@@ -1,0 +1,64 @@
+-- A self-contained script for the dbspinner CLI:
+--
+--   dune exec bin/dbspinner_cli.exe -- run examples/demo.sql
+--
+-- It builds a small flight network and runs a plain CTE, a recursive
+-- CTE and two iterative CTEs (one converging via DELTA, one with a
+-- fixed iteration budget), finishing with a transaction demo.
+
+CREATE TABLE flights (origin VARCHAR, destination VARCHAR, price FLOAT);
+
+INSERT INTO flights VALUES
+  ('AMS', 'JFK', 420.0),
+  ('JFK', 'SFO', 180.0),
+  ('AMS', 'CDG', 90.0),
+  ('CDG', 'JFK', 380.0),
+  ('SFO', 'HNL', 250.0),
+  ('HNL', 'SFO', 240.0);
+
+-- Plain CTE: departure counts.
+WITH departures AS (SELECT origin, COUNT(*) AS n FROM flights GROUP BY origin)
+SELECT origin, n FROM departures ORDER BY n DESC, origin;
+
+-- Recursive CTE: everywhere reachable from AMS.
+WITH RECURSIVE reach (airport) AS (
+  SELECT 'AMS'
+  UNION
+  SELECT f.destination FROM reach JOIN flights AS f ON reach.airport = f.origin)
+SELECT airport FROM reach ORDER BY airport;
+
+-- Iterative CTE with aggregation (impossible in ANSI recursion):
+-- cheapest fare from AMS, relaxed to a fixed point.
+WITH ITERATIVE fares (airport, cost) AS (
+  SELECT destination, 9999999.0 FROM flights
+  UNION SELECT 'AMS', 0.0
+ITERATE
+  SELECT fares.airport,
+         LEAST(fares.cost, COALESCE(MIN(src.cost + f.price), 9999999.0))
+  FROM fares
+    LEFT JOIN flights AS f ON fares.airport = f.destination
+    LEFT JOIN fares AS src ON src.airport = f.origin
+  GROUP BY fares.airport, fares.cost
+UNTIL DELTA = 0)
+SELECT airport, cost FROM fares WHERE cost < 9999999.0 ORDER BY cost;
+
+-- Iterative CTE with a metadata termination: compound interest.
+WITH ITERATIVE savings (account, balance) AS (
+  SELECT 1, 1000.0
+ITERATE
+  SELECT account, ROUND(balance * 1.05, 2) FROM savings
+UNTIL 10 ITERATIONS)
+SELECT account, balance AS after_ten_years FROM savings;
+
+-- The compiled single-plan program behind an iterative query.
+EXPLAIN
+WITH ITERATIVE c (k, n) AS (SELECT 1, 0 ITERATE SELECT k, n + 1 FROM c
+UNTIL 3 ITERATIONS)
+SELECT n FROM c;
+
+-- Transactions wrap any statements, including iterative queries.
+BEGIN;
+DELETE FROM flights WHERE price > 400;
+SELECT COUNT(*) AS remaining_flights FROM flights;
+ROLLBACK;
+SELECT COUNT(*) AS all_flights_restored FROM flights;
