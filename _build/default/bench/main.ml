@@ -1,0 +1,452 @@
+(* Benchmark harness regenerating every table and figure of the paper's
+   evaluation (§VII) on synthetic datasets:
+
+     table1          — the step program of the PR query (Table I)
+     fig8            — minimizing data movement (rename vs copy-back)
+     fig9            — common-result optimization (PR-VS / SSSP-VS,
+                       dblp-like and pokec-like)
+     fig10           — predicate push down (FF, selectivity sweep)
+     fig11           — iterative CTEs vs stored procedures
+     ext-middleware  — native CTE vs SQLoop-style middleware (extension)
+     ext-reorder     — inner-join reordering for common results (§V-A
+                       future work)
+     ext-mpp         — exchange volume of distributed step programs
+     ext-termination — termination-condition overhead (extension)
+     micro           — Bechamel micro-benchmarks of engine primitives
+
+   Usage: dune exec bench/main.exe [-- section ...] [-- --fast]
+   With no arguments every section except `micro` runs. `--fast` uses
+   fewer iterations and smaller graphs for a quick sanity pass; set
+   DBSPINNER_SCALE to grow the datasets instead. Absolute numbers
+   depend on this substrate (a from-scratch OCaml engine, not MPPDB);
+   the paper-shape note under each table states the relationship the
+   figure is expected to reproduce. *)
+
+module Graph_gen = Dbspinner_graph.Graph_gen
+module Datasets = Dbspinner_graph.Datasets
+module Queries = Dbspinner_workload.Queries
+module Loader = Dbspinner_workload.Loader
+module Runner = Dbspinner_workload.Runner
+module Options = Dbspinner_rewrite.Options
+module Relation = Dbspinner_storage.Relation
+module Engine = Dbspinner.Engine
+
+let fast = ref false
+let iterations () = if !fast then 8 else 25
+let scale () = if !fast then 0.4 else 1.0
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let row4 a b c d = Printf.printf "%-34s %12s %12s %14s\n" a b c d
+let secs s = Printf.sprintf "%.4f s" s
+
+let improvement baseline optimized =
+  Printf.sprintf "%+.1f%%"
+    ((baseline -. optimized) /. Float.max baseline 1e-12 *. 100.0)
+
+(* Median-of-three timing for stability. *)
+let timed f =
+  let runs = if !fast then 1 else 3 in
+  let samples =
+    List.init runs (fun _ ->
+        let _, s = Runner.time f in
+        s)
+    |> List.sort Float.compare
+  in
+  List.nth samples (List.length samples / 2)
+
+let engine_for_dataset ?(with_vertex_status = true) spec =
+  let graph =
+    Datasets.generate ~scale:(scale () *. Datasets.scale_factor ()) spec
+  in
+  (graph, Loader.engine_for ~with_vertex_status graph)
+
+let run_with engine options sql () =
+  ignore (Engine.with_options engine options (fun () -> Engine.query engine sql))
+
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  header "Table I: logical step program of the PR query";
+  let _, engine = engine_for_dataset Datasets.dblp_like in
+  print_endline (Engine.explain engine (Queries.pr ~iterations:10 ()));
+  print_endline
+    "\n(paper: 6 steps - materialize R0, init counter, materialize iterative\n\
+    \ part, rename, increment, conditional jump; reproduced above with the\n\
+    \ additional snapshot / unique-key-check steps this engine makes explicit)"
+
+let fig8 () =
+  header
+    (Printf.sprintf
+       "Figure 8: minimizing data movement (rename vs copy-back), %d iterations"
+       (iterations ()));
+  let graph, engine = engine_for_dataset Datasets.dblp_like in
+  Printf.printf "dataset: dblp-like (%d nodes, %d edges)\n\n"
+    (Graph_gen.num_nodes graph) (Graph_gen.num_edges graph);
+  row4 "query" "baseline" "rename" "improvement";
+  let one label sql =
+    let base =
+      timed (run_with engine { Options.default with use_rename = false } sql)
+    in
+    let opt = timed (run_with engine Options.default sql) in
+    row4 label (secs base) (secs opt) (improvement base opt)
+  in
+  one "FF (cheap iterative part)"
+    (Queries.ff ~modulus:1 ~iterations:(iterations ()) ());
+  one "PR (join-heavy iterative part)" (Queries.pr ~iterations:(iterations ()) ());
+  print_endline
+    "\n(paper shape: large gain for FF - up to 48% - and small gain for PR,\n\
+    \ because PR's joins dominate the copy cost)"
+
+let fig9 () =
+  header
+    (Printf.sprintf "Figure 9: common-result optimization, %d iterations"
+       (iterations ()));
+  row4 "query / dataset" "baseline" "common" "improvement";
+  List.iter
+    (fun (spec : Datasets.spec) ->
+      let _, engine = engine_for_dataset spec in
+      let one label sql =
+        let base =
+          timed
+            (run_with engine { Options.default with use_common_result = false } sql)
+        in
+        let opt = timed (run_with engine Options.default sql) in
+        row4
+          (Printf.sprintf "%s / %s" label spec.Datasets.name)
+          (secs base) (secs opt) (improvement base opt)
+      in
+      one "PR-VS" (Queries.pr_vs ~iterations:(iterations ()) ());
+      one "SSSP-VS" (Queries.sssp_vs ~source:0 ~iterations:(iterations ()) ()))
+    [ Datasets.dblp_like; Datasets.pokec_like ];
+  print_endline
+    "\n(paper shape: ~20% faster on DBLP, ~10% on Pokec; PR and SSSP show the\n\
+    \ same pattern because the rewrite targets the shared FROM clause)"
+
+let fig10 () =
+  header
+    (Printf.sprintf "Figure 10: predicate push down (FF), %d iterations"
+       (iterations ()));
+  let graph, engine =
+    engine_for_dataset ~with_vertex_status:false Datasets.webgoogle_like
+  in
+  Printf.printf "dataset: webgoogle-like (%d nodes, %d edges)\n\n"
+    (Graph_gen.num_nodes graph) (Graph_gen.num_edges graph);
+  row4 "selectivity" "baseline" "pushdown" "speedup";
+  List.iter
+    (fun (label, modulus) ->
+      let sql = Queries.ff ~modulus ~iterations:(iterations ()) () in
+      let base =
+        timed (run_with engine { Options.default with use_pushdown = false } sql)
+      in
+      let opt = timed (run_with engine Options.default sql) in
+      row4 label (secs base) (secs opt)
+        (Printf.sprintf "%.1fx" (base /. Float.max opt 1e-12)))
+    [
+      ("100% (mod 1)", 1);
+      ("50% (mod 2)", 2);
+      ("10% (mod 10)", 10);
+      ("1% (mod 100)", 100);
+    ];
+  print_endline
+    "\n(paper shape: baseline flat across selectivities; pushdown improves\n\
+    \ with selectivity, exceeding an order of magnitude at 1%)"
+
+let fig11 () =
+  header
+    (Printf.sprintf
+       "Figure 11: optimized iterative CTEs vs stored procedures, %d iterations"
+       (iterations ()));
+  let graph, engine = engine_for_dataset Datasets.dblp_like in
+  Printf.printf "dataset: dblp-like (%d nodes, %d edges)\n\n"
+    (Graph_gen.num_nodes graph) (Graph_gen.num_edges graph);
+  row4 "query" "stored proc" "iterative CTE" "improvement";
+  let one label proc cleanup sql =
+    let proc_time =
+      timed (fun () ->
+          ignore (Dbspinner.Procedure.call engine proc);
+          ignore (Engine.execute engine cleanup))
+    in
+    let cte_time = timed (run_with engine Options.default sql) in
+    row4 label (secs proc_time) (secs cte_time) (improvement proc_time cte_time)
+  in
+  let n = iterations () in
+  one "PR-VS"
+    (Queries.pr_vs_procedure ~iterations:n)
+    Queries.pr_vs_procedure_cleanup
+    (Queries.pr_vs ~iterations:n ());
+  one "SSSP-VS"
+    (Queries.sssp_vs_procedure ~source:0 ~iterations:n)
+    Queries.sssp_vs_procedure_cleanup
+    (Queries.sssp_vs ~source:0 ~iterations:n ());
+  one "FF (50% selectivity)"
+    (Queries.ff_procedure ~modulus:2 ~iterations:n ())
+    Queries.ff_procedure_cleanup
+    (Queries.ff ~modulus:2 ~iterations:n ());
+  print_endline
+    "\n(paper shape: CTEs at least 25% faster for PR/SSSP - common-result +\n\
+    \ rename - and over 80% faster for FF, where the predicate moves early)"
+
+let ext_middleware () =
+  header "Extension: native iterative CTE vs SQLoop-style middleware (PR)";
+  let graph, engine =
+    engine_for_dataset ~with_vertex_status:false Datasets.dblp_like
+  in
+  Printf.printf "dataset: dblp-like (%d nodes, %d edges)\n\n"
+    (Graph_gen.num_nodes graph) (Graph_gen.num_edges graph);
+  let n = if !fast then 5 else 10 in
+  row4 "driver" "time" "statements" "";
+  let mw_statements = ref 0 in
+  let mw =
+    timed (fun () ->
+        let outcome =
+          Dbspinner.Middleware.run engine
+            (Dbspinner.Middleware.pagerank_script ~iterations:n)
+        in
+        mw_statements := outcome.Dbspinner.Middleware.statements_issued)
+  in
+  row4 "middleware (DDL/DML per round)" (secs mw) (string_of_int !mw_statements) "";
+  let native =
+    timed
+      (run_with engine Options.default
+         (Queries.pr ~iterations:n ~final:"SELECT Node, Rank FROM PageRank" ()))
+  in
+  row4 "native single-plan CTE" (secs native) "1" (improvement mw native);
+  print_endline
+    "\n(the paper motivates the native path qualitatively in section II: one\n\
+    \ plan, no temp-table DDL, no keyed DML merge; the gap quantifies it)"
+
+let ext_reorder () =
+  header
+    "Extension: inner-join reordering for common results (paper §V-A future \
+     work)";
+  let graph, engine = engine_for_dataset Datasets.dblp_like in
+  Printf.printf "dataset: dblp-like (%d nodes, %d edges)\n\n"
+    (Graph_gen.num_nodes graph) (Graph_gen.num_edges graph);
+  (* PR written with inner joins and vertexStatus NOT adjacent to
+     edges: only the reordering pre-pass makes the invariant pair
+     extractable. *)
+  let sql =
+    Printf.sprintf
+      {|WITH ITERATIVE pr (node, rank, delta)
+AS ( SELECT src, 0, 0.15 FROM (SELECT src FROM edges UNION SELECT dst FROM edges)
+ ITERATE
+   SELECT pr.node, pr.rank + pr.delta,
+          COALESCE(0.85 * SUM(ir.delta * e.weight), 0)
+   FROM pr
+     JOIN edges AS e ON pr.node = e.dst
+     JOIN vertexStatus AS vs ON vs.node = e.dst
+     JOIN pr AS ir ON ir.node = e.src
+   WHERE vs.status <> 0
+   GROUP BY pr.node, pr.rank + pr.delta
+ UNTIL %d ITERATIONS )
+SELECT node, rank FROM pr|}
+      (iterations ())
+  in
+  row4 "configuration" "time" "" "";
+  List.iter
+    (fun (label, options) ->
+      let t = timed (run_with engine options sql) in
+      row4 label (secs t) "" "")
+    [
+      ("no common-result rewrite", { Options.default with use_common_result = false });
+      ("common-result (with reordering)", Options.default);
+    ];
+  print_endline
+    "\n(without reordering nothing would be extractable here: vertexStatus\n\
+    \ is not joined directly to edges in the query text)"
+
+let ext_mpp () =
+  header "Extension: simulated MPP execution - exchange volume per plan";
+  let graph, engine = engine_for_dataset Datasets.dblp_like in
+  Printf.printf "dataset: dblp-like (%d nodes, %d edges), 4 workers\n\n"
+    (Graph_gen.num_nodes graph) (Graph_gen.num_edges graph);
+  let compile options sql =
+    Dbspinner_rewrite.Iterative_rewrite.compile ~options
+      ~lookup:(fun name ->
+        Option.map Dbspinner_storage.Table.schema
+          (Dbspinner_storage.Catalog.find_table_opt (Engine.catalog engine) name))
+      (Dbspinner_sql.Parser.parse_query sql)
+  in
+  let n = if !fast then 4 else 10 in
+  let sql = Queries.pr_vs ~iterations:n () in
+  Printf.printf "%-38s %16s %12s\n" "configuration" "rows shuffled" "exchanges";
+  List.iter
+    (fun (label, options) ->
+      let _, shuffles =
+        Dbspinner_mpp.Distributed.run_program ~workers:4 (Engine.catalog engine)
+          (compile options sql)
+      in
+      Printf.printf "%-38s %16d %12d\n" label
+        shuffles.Dbspinner_mpp.Distributed.rows_shuffled
+        shuffles.Dbspinner_mpp.Distributed.exchanges)
+    [
+      ("PR-VS, all optimizations", Options.default);
+      ( "PR-VS, no common-result",
+        { Options.default with use_common_result = false } );
+    ];
+  print_endline
+    "\n(the common result is repartitioned once instead of every iteration -\n\
+    \ the shared-nothing reading of the paper's section V-A argument)"
+
+let ext_termination () =
+  header "Extension: termination-condition overhead (monotone SSSP)";
+  let graph =
+    Graph_gen.chain_with_shortcuts ~seed:7
+      ~num_nodes:(if !fast then 150 else 400)
+      ~shortcut_every:10
+  in
+  let engine = Loader.engine_for ~with_vertex_status:false graph in
+  let body final_tc =
+    Printf.sprintf
+      {|WITH ITERATIVE sssp (Node, Distance)
+AS ( SELECT src, CASE WHEN src = 0 THEN 0 ELSE 9999999 END
+     FROM (SELECT src FROM edges UNION SELECT dst FROM edges)
+ ITERATE
+   SELECT sssp.node, LEAST(sssp.distance, MIN(prev.distance + e.weight))
+   FROM sssp
+     LEFT JOIN edges AS e ON sssp.node = e.dst
+     LEFT JOIN sssp AS prev ON prev.node = e.src
+   WHERE prev.distance <> 9999999
+   GROUP BY sssp.node, sssp.distance
+ UNTIL %s )
+SELECT COUNT(*) FROM sssp|}
+      final_tc
+  in
+  (* Find the natural convergence point first. *)
+  let before =
+    (Engine.session_stats engine).Dbspinner_exec.Stats.loop_iterations
+  in
+  ignore (Engine.query engine (body "DELTA = 0"));
+  let converged =
+    (Engine.session_stats engine).Dbspinner_exec.Stats.loop_iterations - before
+  in
+  Printf.printf "convergence takes %d iterations on this graph\n\n" converged;
+  row4 "termination condition" "time" "iterations" "";
+  List.iter
+    (fun (label, tc) ->
+      let before =
+        (Engine.session_stats engine).Dbspinner_exec.Stats.loop_iterations
+      in
+      let t = timed (fun () -> ignore (Engine.query engine (body tc))) in
+      let ran =
+        (Engine.session_stats engine).Dbspinner_exec.Stats.loop_iterations - before
+      in
+      let runs = if !fast then 1 else 3 in
+      row4 label (secs t) (string_of_int (ran / runs)) "")
+    [
+      ("Metadata (fixed iteration count)", Printf.sprintf "%d ITERATIONS" converged);
+      ("Delta (rows changed = 0)", "DELTA = 0");
+      ("Data (ALL distance finite)", "ALL distance < 9999999");
+    ];
+  print_endline
+    "\n(Delta pays a per-iteration diff of the CTE table against its\n\
+    \ snapshot; Data pays a per-iteration predicate scan but may also\n\
+    \ terminate earlier - here once every node is reachable; Metadata is\n\
+    \ free)"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+
+let micro () =
+  header "Micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let graph = Graph_gen.power_law ~seed:5 ~num_nodes:2_000 ~edges_per_node:4 in
+  let engine = Loader.engine_for graph in
+  let pr_sql = Queries.pr ~iterations:2 () in
+  let lookup name =
+    Option.map Dbspinner_storage.Table.schema
+      (Dbspinner_storage.Catalog.find_table_opt (Engine.catalog engine) name)
+  in
+  let parsed = Dbspinner_sql.Parser.parse_query pr_sql in
+  let tests =
+    [
+      Test.make ~name:"parse-pr-query"
+        (Staged.stage (fun () ->
+             ignore (Dbspinner_sql.Parser.parse_statement pr_sql)));
+      Test.make ~name:"compile-pr-program"
+        (Staged.stage (fun () ->
+             ignore
+               (Dbspinner_rewrite.Iterative_rewrite.compile
+                  ~options:Options.default ~lookup parsed)));
+      Test.make ~name:"aggregate-count-edges"
+        (Staged.stage (fun () ->
+             ignore (Engine.query engine "SELECT COUNT(*), SUM(weight) FROM edges")));
+      Test.make ~name:"hash-join-edges-status"
+        (Staged.stage (fun () ->
+             ignore
+               (Engine.query engine
+                  "SELECT COUNT(*) FROM edges JOIN vertexStatus ON \
+                   vertexStatus.node = edges.dst")));
+      Test.make ~name:"catalog-rename"
+        (Staged.stage
+           (let catalog = Dbspinner_storage.Catalog.create () in
+            let rel = Graph_gen.edges_relation graph in
+            fun () ->
+              Dbspinner_storage.Catalog.set_temp catalog "a" rel;
+              Dbspinner_storage.Catalog.rename_temp catalog ~from_:"a" ~into:"b"));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"dbspinner" tests in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.75) () in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "  %-36s %14.1f ns/run\n" name est
+      | Some _ | None -> Printf.printf "  %-36s (no estimate)\n" name)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [
+    ("table1", table1);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("ext-middleware", ext_middleware);
+    ("ext-reorder", ext_reorder);
+    ("ext-mpp", ext_mpp);
+    ("ext-termination", ext_termination);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--fast" then begin
+          fast := true;
+          false
+        end
+        else true)
+      args
+  in
+  let to_run =
+    match args with
+    | [] -> List.filter (fun (name, _) -> name <> "micro") sections
+    | names ->
+      List.filter_map
+        (fun name ->
+          match List.assoc_opt name sections with
+          | Some f -> Some (name, f)
+          | None ->
+            Printf.eprintf "unknown section %s (available: %s)\n" name
+              (String.concat ", " (List.map fst sections));
+            None)
+        names
+  in
+  Printf.printf
+    "DBSpinner benchmark harness%s - datasets are synthetic (see DESIGN.md);\n\
+     compare shapes with the paper, not absolute times.\n"
+    (if !fast then " (fast mode)" else "");
+  List.iter (fun (_, f) -> f ()) to_run

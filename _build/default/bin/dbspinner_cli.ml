@@ -1,0 +1,224 @@
+(* The dbspinner command-line interface.
+
+   Subcommands:
+     repl            interactive SQL shell (default)
+     run FILE        execute a ;-separated SQL script
+     demo            load a synthetic graph and run the paper's queries
+
+   The shell supports meta-commands:
+     \dt                      list tables
+     \load TABLE FILE         load a CSV file into a new table
+     \gen NAME [SCALE]        generate a synthetic dataset (dblp-like,
+                              pokec-like, webgoogle-like) into edges /
+                              vertexStatus
+     \set OPTION on|off       toggle rename | common | pushdown | fold
+     \options                 show optimizer switches
+     \q                       quit *)
+
+module Engine = Dbspinner.Engine
+module Options = Dbspinner_rewrite.Options
+module Relation = Dbspinner_storage.Relation
+module Schema = Dbspinner_storage.Schema
+module Column_type = Dbspinner_storage.Column_type
+module Catalog = Dbspinner_storage.Catalog
+
+let print_result = function
+  | Engine.Rows rel -> print_string (Relation.to_table_string rel)
+  | Engine.Affected n -> Printf.printf "%d row(s) affected\n" n
+  | Engine.Executed -> print_endline "ok"
+  | Engine.Explained text -> print_endline text
+
+let safe_exec engine sql =
+  match Engine.execute_script engine sql with
+  | results -> List.iter print_result results
+  | exception Dbspinner.Errors.Error (stage, msg) ->
+    Printf.printf "error (%s): %s\n" (Dbspinner.Errors.stage_name stage) msg
+
+let list_tables engine =
+  let catalog = Engine.catalog engine in
+  match Catalog.table_names catalog with
+  | [] -> print_endline "(no tables)"
+  | names ->
+    List.iter
+      (fun name ->
+        let table = Catalog.find_table catalog name in
+        Printf.printf "%-24s %8d rows  %s\n" name
+          (Dbspinner_storage.Table.cardinality table)
+          (Format.asprintf "%a" Schema.pp (Dbspinner_storage.Table.schema table)))
+      names
+
+let load_csv engine table path =
+  (* Infer column types from the first data line: ints, floats,
+     otherwise strings. *)
+  let ic = open_in path in
+  let first = try input_line ic with End_of_file -> "" in
+  close_in ic;
+  let fields = String.split_on_char ',' first in
+  let schema =
+    Schema.make
+      (List.mapi
+         (fun i field ->
+           let ty =
+             if int_of_string_opt field <> None then Column_type.T_int
+             else if float_of_string_opt field <> None then Column_type.T_float
+             else Column_type.T_string
+           in
+           Schema.column ~ty (Printf.sprintf "c%d" i))
+         fields)
+  in
+  let rel = Dbspinner_storage.Csv.load ~schema path in
+  Engine.load_table engine ~name:table rel;
+  Printf.printf "loaded %d rows into %s\n" (Relation.cardinality rel) table
+
+let generate engine name scale =
+  match Dbspinner_graph.Datasets.find name with
+  | None ->
+    Printf.printf "unknown dataset %s (try dblp-like, pokec-like, webgoogle-like)\n"
+      name
+  | Some spec ->
+    let graph = Dbspinner_graph.Datasets.generate ~scale spec in
+    Dbspinner_workload.Loader.load_graph engine graph;
+    Printf.printf "generated %s: %d nodes, %d edges -> tables edges, vertexStatus\n"
+      name
+      (Dbspinner_graph.Graph_gen.num_nodes graph)
+      (Dbspinner_graph.Graph_gen.num_edges graph)
+
+let set_option engine key enabled =
+  let options = Engine.options engine in
+  let options =
+    match key with
+    | "rename" -> Some { options with Options.use_rename = enabled }
+    | "common" -> Some { options with Options.use_common_result = enabled }
+    | "pushdown" -> Some { options with Options.use_pushdown = enabled }
+    | "fold" -> Some { options with Options.use_constant_folding = enabled }
+    | _ -> None
+  in
+  match options with
+  | Some options ->
+    Engine.set_options engine options;
+    Printf.printf "set %s = %b\n" key enabled
+  | None -> Printf.printf "unknown option %s (rename|common|pushdown|fold)\n" key
+
+let handle_meta engine line =
+  match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+  | [ "\\q" ] -> `Quit
+  | [ "\\dt" ] ->
+    list_tables engine;
+    `Continue
+  | [ "\\load"; table; path ] ->
+    (try load_csv engine table path
+     with e -> Printf.printf "load failed: %s\n" (Printexc.to_string e));
+    `Continue
+  | "\\gen" :: name :: rest ->
+    let scale =
+      match rest with
+      | [ s ] -> Option.value (float_of_string_opt s) ~default:1.0
+      | _ -> 1.0
+    in
+    generate engine name scale;
+    `Continue
+  | [ "\\set"; key; flag ] ->
+    set_option engine key (flag = "on" || flag = "true" || flag = "1");
+    `Continue
+  | [ "\\options" ] ->
+    print_endline (Options.to_string (Engine.options engine));
+    `Continue
+  | _ ->
+    print_endline
+      "meta-commands: \\dt  \\load TABLE FILE  \\gen NAME [SCALE]  \\set OPT \
+       on|off  \\options  \\q";
+    `Continue
+
+let repl () =
+  let engine = Engine.create () in
+  print_endline "dbspinner shell — SQL with WITH ITERATIVE support.";
+  print_endline "Type \\gen dblp-like 0.2 to load a sample graph; \\q to quit.";
+  let buffer = Buffer.create 256 in
+  let rec loop () =
+    print_string (if Buffer.length buffer = 0 then "dbspinner> " else "      ...> ");
+    match read_line () with
+    | exception End_of_file -> ()
+    | line when Buffer.length buffer = 0 && String.length line > 0 && line.[0] = '\\'
+      -> (
+      match handle_meta engine (String.trim line) with
+      | `Quit -> ()
+      | `Continue -> loop ())
+    | line ->
+      Buffer.add_string buffer line;
+      Buffer.add_char buffer '\n';
+      let text = Buffer.contents buffer in
+      (* Execute once the statement is ';'-terminated. *)
+      if String.contains line ';' then begin
+        Buffer.clear buffer;
+        safe_exec engine text
+      end;
+      loop ()
+  in
+  loop ();
+  0
+
+let run_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | sql ->
+    let engine = Engine.create () in
+    (match Engine.execute_script engine sql with
+    | results ->
+      List.iter print_result results;
+      0
+    | exception Dbspinner.Errors.Error (stage, msg) ->
+      Printf.eprintf "error (%s): %s\n" (Dbspinner.Errors.stage_name stage) msg;
+      1)
+  | exception Sys_error msg ->
+    Printf.eprintf "%s\n" msg;
+    1
+
+let demo () =
+  let engine = Engine.create () in
+  generate engine "dblp-like" 0.25;
+  print_endline "\n== PageRank (10 iterations), top 5 ==";
+  print_string
+    (Relation.to_table_string
+       (Engine.query engine
+          (Dbspinner_workload.Queries.pr ~iterations:10
+             ~final:"SELECT Node, Rank FROM PageRank ORDER BY Rank DESC LIMIT 5"
+             ())));
+  print_endline "\n== SSSP from node 0 (15 iterations), 5 nearest ==";
+  print_string
+    (Relation.to_table_string
+       (Engine.query engine
+          (Dbspinner_workload.Queries.sssp ~source:0 ~iterations:15
+             ~final:
+               "SELECT Node, LEAST(Distance, Delta) AS dist FROM sssp WHERE \
+                LEAST(Distance, Delta) < 9999999 ORDER BY dist LIMIT 5"
+             ())));
+  print_endline "\n== Friends forecast (10 periods), 1% sample ==";
+  print_string
+    (Relation.to_table_string
+       (Engine.query engine
+          (Dbspinner_workload.Queries.ff ~modulus:100 ~iterations:10 ())));
+  0
+
+(* ------------------------------------------------------------------ *)
+(* Cmdliner plumbing                                                   *)
+
+open Cmdliner
+
+let repl_cmd =
+  Cmd.v (Cmd.info "repl" ~doc:"Interactive SQL shell") Term.(const repl $ const ())
+
+let run_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v (Cmd.info "run" ~doc:"Execute a SQL script") Term.(const run_file $ file)
+
+let demo_cmd =
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run the paper's queries on a synthetic graph")
+    Term.(const demo $ const ())
+
+let main_cmd =
+  let doc = "An analytical SQL engine with native iterative CTEs (DBSpinner)" in
+  Cmd.group ~default:Term.(const repl $ const ())
+    (Cmd.info "dbspinner" ~version:"1.0.0" ~doc)
+    [ repl_cmd; run_cmd; demo_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

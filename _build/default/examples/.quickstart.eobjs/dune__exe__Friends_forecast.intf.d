@@ -1,0 +1,1 @@
+examples/friends_forecast.mli:

@@ -1,0 +1,1 @@
+examples/mpp_shuffle.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dbspinner Dbspinner_storage Printf

@@ -1,0 +1,1 @@
+examples/road_network.ml: Array Dbspinner Dbspinner_exec Dbspinner_graph Dbspinner_storage Dbspinner_workload Float Printf Unix

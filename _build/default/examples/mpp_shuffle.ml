@@ -1,0 +1,62 @@
+(* Shared-nothing execution of an iterative query: the whole PageRank
+   step program runs on simulated MPP workers, with intermediate
+   results staying partitioned between iterations — and the paper's
+   common-result optimization read as exchange volume instead of wall
+   time.
+
+   Run with: dune exec examples/mpp_shuffle.exe *)
+
+module Graph_gen = Dbspinner_graph.Graph_gen
+module Queries = Dbspinner_workload.Queries
+module Loader = Dbspinner_workload.Loader
+module Options = Dbspinner_rewrite.Options
+module Distributed = Dbspinner_mpp.Distributed
+module Relation = Dbspinner_storage.Relation
+module Engine = Dbspinner.Engine
+
+let () =
+  let graph = Graph_gen.power_law ~seed:17 ~num_nodes:1_500 ~edges_per_node:4 in
+  Printf.printf "Graph: %d nodes, %d edges; PR-VS for 8 iterations\n\n"
+    (Graph_gen.num_nodes graph) (Graph_gen.num_edges graph);
+  let engine = Loader.engine_for graph in
+  let sql = Queries.pr_vs ~iterations:8 () in
+  let compile options =
+    Dbspinner_rewrite.Iterative_rewrite.compile ~options
+      ~lookup:(fun name ->
+        Option.map Dbspinner_storage.Table.schema
+          (Dbspinner_storage.Catalog.find_table_opt (Engine.catalog engine) name))
+      (Dbspinner_sql.Parser.parse_query sql)
+  in
+
+  (* Single-node truth. *)
+  let single =
+    Dbspinner_exec.Executor.run_program (Engine.catalog engine)
+      (compile Options.default)
+  in
+  Dbspinner_storage.Catalog.clear_temps (Engine.catalog engine);
+
+  Printf.printf "%-10s %-34s %14s %10s\n" "workers" "configuration"
+    "rows shuffled" "exchanges";
+  List.iter
+    (fun workers ->
+      List.iter
+        (fun (label, options) ->
+          let rel, shuffles =
+            Distributed.run_program ~workers (Engine.catalog engine)
+              (compile options)
+          in
+          assert (Relation.cardinality rel = Relation.cardinality single);
+          Printf.printf "%-10d %-34s %14d %10d\n" workers label
+            shuffles.Distributed.rows_shuffled shuffles.Distributed.exchanges)
+        [
+          ("all optimizations", Options.default);
+          ("no common-result", { Options.default with use_common_result = false });
+        ])
+    [ 2; 4; 8 ];
+
+  print_endline
+    "\nThe loop-invariant edges-x-vertexStatus join is repartitioned once\n\
+     when materialized as a common result; without the rewrite the same\n\
+     rows cross the network in every one of the 8 iterations. More\n\
+     workers cost more exchange volume for the same plan, because a\n\
+     larger fraction of each repartition leaves its source worker."

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Dbspinner_exec Dbspinner_plan Dbspinner_rewrite Dbspinner_sql Dbspinner_storage Errors Format Fun Hashtbl List Option Printf String Unix

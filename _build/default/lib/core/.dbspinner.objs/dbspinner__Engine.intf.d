@@ -1,0 +1,1 @@
+lib/core/engine.mli: Dbspinner_exec Dbspinner_rewrite Dbspinner_storage

@@ -1,0 +1,1 @@
+lib/core/errors.ml: Dbspinner_exec Dbspinner_plan Dbspinner_rewrite Dbspinner_sql Dbspinner_storage Printexc Printf

@@ -1,0 +1,1 @@
+lib/core/middleware.ml: Dbspinner_exec Dbspinner_storage Engine List

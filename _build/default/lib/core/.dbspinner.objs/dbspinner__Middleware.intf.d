@@ -1,0 +1,1 @@
+lib/core/middleware.mli: Dbspinner_storage Engine

@@ -1,0 +1,1 @@
+lib/core/procedure.ml: Dbspinner_storage Engine List Option

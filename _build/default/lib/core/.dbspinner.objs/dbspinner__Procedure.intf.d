@@ -1,0 +1,1 @@
+lib/core/procedure.mli: Dbspinner_storage Engine

@@ -1,0 +1,52 @@
+(** The DBSpinner engine session: parses SQL, applies the functional
+    and optimization rewrites, and executes the resulting single step
+    program. DDL and DML are also supported so the middleware and
+    stored-procedure baselines can drive the very same engine
+    statement-by-statement.
+
+    All entry points raise {!Errors.Error} on failure. *)
+
+module Relation = Dbspinner_storage.Relation
+module Catalog = Dbspinner_storage.Catalog
+module Stats = Dbspinner_exec.Stats
+module Options = Dbspinner_rewrite.Options
+
+type t
+
+type result =
+  | Rows of Relation.t
+  | Affected of int  (** row count of INSERT/UPDATE/DELETE *)
+  | Executed  (** DDL *)
+  | Explained of string
+
+val create : ?options:Options.t -> unit -> t
+
+(** Is a BEGIN ... COMMIT/ROLLBACK transaction open? *)
+val in_transaction : t -> bool
+
+val catalog : t -> Catalog.t
+val options : t -> Options.t
+val set_options : t -> Options.t -> unit
+
+(** Cumulative executor statistics across all statements of the
+    session. *)
+val session_stats : t -> Stats.t
+
+(** Execute one statement. Query temps are cleared afterwards. *)
+val execute : t -> string -> result
+
+(** Run a [;]-separated script; returns one result per statement. *)
+val execute_script : t -> string -> result list
+
+(** Run a query and return its relation.
+    @raise Errors.Error when [sql] is not a query. *)
+val query : t -> string -> Relation.t
+
+(** EXPLAIN text of a query under the session's current options. *)
+val explain : t -> string -> string
+
+(** Create (or replace) a base table and fill it from a relation. *)
+val load_table : ?primary_key:string -> t -> name:string -> Relation.t -> unit
+
+(** Run [f] with a one-off option set, restoring afterwards. *)
+val with_options : t -> Options.t -> (unit -> 'a) -> 'a

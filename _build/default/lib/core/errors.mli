@@ -1,0 +1,19 @@
+(** Unified error surface: every subsystem exception is normalized to
+    {!Error} so callers handle one exception type. *)
+
+type stage =
+  | Parse
+  | Bind
+  | Rewrite
+  | Execute
+  | Constraint
+  | Catalog
+
+exception Error of stage * string
+
+val stage_name : stage -> string
+val to_string : exn -> string
+
+(** Run [f], converting known subsystem exceptions into {!Error};
+    unknown exceptions propagate unchanged. *)
+val wrap : (unit -> 'a) -> 'a

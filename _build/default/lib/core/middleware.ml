@@ -1,0 +1,73 @@
+(** The external (middleware) baseline, after SQLoop [16] as described
+    in paper §II: an iterative computation driven from {e outside} the
+    engine as a stream of basic statements — temp-table DDL, INSERT
+    SELECT for the iterative part, a keyed UPDATE to merge results back
+    and DELETE/DROP for cleanup.
+
+    Every statement is parsed, planned and executed in isolation by the
+    engine, exactly like a middleware talking to a DBMS over a wire
+    protocol: no single plan, no rename, no common-result reuse, no
+    cross-statement predicate motion. *)
+
+module Relation = Dbspinner_storage.Relation
+module Stats = Dbspinner_exec.Stats
+
+(** An external driver script. [iteration] statements run in order,
+    [iterations] times. *)
+type script = {
+  setup : string list;
+      (** CREATE TABLEs and the non-iterative INSERT ... SELECT *)
+  iteration : string list;
+  iterations : int;
+  final : string;  (** the final SELECT *)
+  cleanup : string list;  (** DROP TABLE statements *)
+}
+
+type outcome = {
+  rows : Relation.t;
+  statements_issued : int;
+}
+
+let run (engine : Engine.t) (script : script) : outcome =
+  let issued = ref 0 in
+  let exec sql =
+    incr issued;
+    ignore (Engine.execute engine sql)
+  in
+  List.iter exec script.setup;
+  for _ = 1 to script.iterations do
+    List.iter exec script.iteration
+  done;
+  incr issued;
+  let rows = Engine.query engine script.final in
+  List.iter exec script.cleanup;
+  { rows; statements_issued = !issued }
+
+(** Build the classic SQLoop-style PageRank driver of the paper's
+    Figure 1, parameterized by table names. The caller must have loaded
+    an [edges(src, dst, weight)] table. *)
+let pagerank_script ~iterations : script =
+  {
+    setup =
+      [
+        "CREATE TABLE __mw_pagerank (node INT, rank FLOAT, delta FLOAT, \
+         PRIMARY KEY (node))";
+        "CREATE TABLE __mw_intermediate (node INT, rank FLOAT, delta FLOAT)";
+        "INSERT INTO __mw_pagerank SELECT src, 0, 0.15 FROM (SELECT src FROM \
+         edges UNION SELECT dst FROM edges)";
+      ];
+    iteration =
+      [
+        "DELETE FROM __mw_intermediate";
+        "INSERT INTO __mw_intermediate SELECT p.node, p.rank + p.delta, \
+         COALESCE(0.85 * SUM(ir.delta * ie.weight), 0) FROM __mw_pagerank AS \
+         p LEFT JOIN edges AS ie ON p.node = ie.dst LEFT JOIN __mw_pagerank \
+         AS ir ON ir.node = ie.src GROUP BY p.node, p.rank + p.delta";
+        "UPDATE __mw_pagerank SET rank = i.rank, delta = i.delta FROM \
+         __mw_intermediate AS i WHERE __mw_pagerank.node = i.node";
+      ];
+    iterations;
+    final = "SELECT node, rank FROM __mw_pagerank";
+    cleanup =
+      [ "DROP TABLE __mw_intermediate"; "DROP TABLE __mw_pagerank" ];
+  }

@@ -1,0 +1,32 @@
+(** The external (middleware) baseline after SQLoop, as described in
+    paper §II: an iterative computation driven from outside the engine
+    as a stream of basic statements — temp-table DDL, INSERT SELECT,
+    keyed UPDATE merges, DELETE/DROP cleanup — each parsed, planned and
+    executed in isolation. *)
+
+module Relation = Dbspinner_storage.Relation
+
+(** An external driver script: [iteration] statements run in order,
+    [iterations] times, between [setup] and [final]/[cleanup]. *)
+type script = {
+  setup : string list;
+  iteration : string list;
+  iterations : int;
+  final : string;  (** the final SELECT *)
+  cleanup : string list;
+}
+
+type outcome = {
+  rows : Relation.t;
+  statements_issued : int;
+}
+
+(** Run the script against an engine.
+    @raise Dbspinner.Errors.Error (via {!Engine.execute}) on failures —
+    note that, unlike the native path, a mid-script failure leaves the
+    temp tables behind (the paper's §II argument). *)
+val run : Engine.t -> script -> outcome
+
+(** The Figure-1 PageRank driver over an [edges(src, dst, weight)]
+    table. *)
+val pagerank_script : iterations:int -> script

@@ -1,0 +1,57 @@
+(** The stored-procedure baseline of paper §VII-E.
+
+    A procedure is a sequence of SQL statements with a bounded LOOP
+    construct. As in the paper's comparison, each statement is parsed,
+    planned and executed in isolation — the optimizer "treats the UDF
+    as a black box and processes each statement of the stored procedure
+    in isolation" — so no rename, no common-result hoisting and no
+    cross-statement predicate push down can apply. *)
+
+module Relation = Dbspinner_storage.Relation
+
+type stmt =
+  | Sql of string
+  | Loop of int * stmt list
+
+type t = {
+  name : string;
+  body : stmt list;
+  returns : string option;  (** final SELECT producing the result set *)
+}
+
+let make ?returns ~name body = { name; body; returns }
+
+type outcome = {
+  rows : Relation.t option;
+  statements_executed : int;
+}
+
+let call (engine : Engine.t) (proc : t) : outcome =
+  let executed = ref 0 in
+  let rec run_stmt = function
+    | Sql sql ->
+      incr executed;
+      ignore (Engine.execute engine sql)
+    | Loop (n, body) ->
+      for _ = 1 to n do
+        List.iter run_stmt body
+      done
+  in
+  List.iter run_stmt proc.body;
+  let rows =
+    Option.map
+      (fun sql ->
+        incr executed;
+        Engine.query engine sql)
+      proc.returns
+  in
+  { rows; statements_executed = !executed }
+
+(** Count of statements a call will execute (loops unrolled). *)
+let static_statement_count (proc : t) =
+  let rec count = function
+    | Sql _ -> 1
+    | Loop (n, body) -> n * List.fold_left (fun acc s -> acc + count s) 0 body
+  in
+  List.fold_left (fun acc s -> acc + count s) 0 proc.body
+  + match proc.returns with Some _ -> 1 | None -> 0

@@ -1,0 +1,27 @@
+(** The stored-procedure baseline of paper §VII-E: a sequence of SQL
+    statements with a bounded LOOP, each statement planned in isolation
+    ("the optimizer treats the UDF as a black box"). *)
+
+module Relation = Dbspinner_storage.Relation
+
+type stmt =
+  | Sql of string
+  | Loop of int * stmt list
+
+type t = {
+  name : string;
+  body : stmt list;
+  returns : string option;  (** final SELECT producing the result set *)
+}
+
+val make : ?returns:string -> name:string -> stmt list -> t
+
+type outcome = {
+  rows : Relation.t option;
+  statements_executed : int;
+}
+
+val call : Engine.t -> t -> outcome
+
+(** Statements a call will execute, loops unrolled. *)
+val static_statement_count : t -> int

@@ -1,0 +1,1 @@
+lib/exec/eval.ml: Array Dbspinner_plan Dbspinner_sql Dbspinner_storage Float Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/exec/eval.mli: Dbspinner_plan Dbspinner_storage

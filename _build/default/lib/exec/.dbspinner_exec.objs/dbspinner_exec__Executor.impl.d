@@ -1,0 +1,1 @@
+lib/exec/executor.ml: Array Dbspinner_plan Dbspinner_storage Eval Hashtbl List Operators Printf Stats

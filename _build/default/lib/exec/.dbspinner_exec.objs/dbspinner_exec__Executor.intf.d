@@ -1,0 +1,1 @@
+lib/exec/executor.mli: Dbspinner_plan Dbspinner_storage Stats

@@ -1,0 +1,1 @@
+lib/exec/operators.ml: Array Dbspinner_plan Dbspinner_sql Dbspinner_storage Eval Hashtbl List Option Seq Stats

@@ -1,0 +1,1 @@
+lib/exec/operators.mli: Dbspinner_plan Dbspinner_storage Hashtbl Stats

@@ -1,0 +1,261 @@
+(** Bound-expression interpreter with SQL three-valued logic.
+
+    NULL handling follows the standard: comparisons against NULL are
+    unknown (NULL); AND/OR use Kleene logic; arithmetic propagates
+    NULL; COALESCE/LEAST/GREATEST skip NULLs (PostgreSQL behaviour). *)
+
+module Value = Dbspinner_storage.Value
+module Column_type = Dbspinner_storage.Column_type
+module Row = Dbspinner_storage.Row
+module Ast = Dbspinner_sql.Ast
+module Bound_expr = Dbspinner_plan.Bound_expr
+
+exception Runtime_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+let compare_values op (a : Value.t) (b : Value.t) : Value.t =
+  if Value.is_null a || Value.is_null b then Value.Null
+  else
+    let c = Value.compare a b in
+    let r =
+      match op with
+      | Ast.Eq -> c = 0
+      | Ast.Neq -> c <> 0
+      | Ast.Lt -> c < 0
+      | Ast.Le -> c <= 0
+      | Ast.Gt -> c > 0
+      | Ast.Ge -> c >= 0
+      | _ -> assert false
+    in
+    Value.Bool r
+
+let kleene_and a b =
+  match a, b with
+  | Value.Bool false, _ | _, Value.Bool false -> Value.Bool false
+  | Value.Bool true, x | x, Value.Bool true -> x
+  | Value.Null, Value.Null -> Value.Null
+  | _ -> error "AND requires boolean operands"
+
+let kleene_or a b =
+  match a, b with
+  | Value.Bool true, _ | _, Value.Bool true -> Value.Bool true
+  | Value.Bool false, x | x, Value.Bool false -> x
+  | Value.Null, Value.Null -> Value.Null
+  | _ -> error "OR requires boolean operands"
+
+let as_text = function
+  | Value.Str s -> s
+  | v -> Value.to_string v
+
+let concat a b =
+  if Value.is_null a || Value.is_null b then Value.Null
+  else Value.Str (as_text a ^ as_text b)
+
+(* LIKE pattern matching: % = any sequence, _ = any single char. *)
+let like_match text pattern =
+  let tn = String.length text and pn = String.length pattern in
+  (* memoized recursion over (text index, pattern index) *)
+  let memo = Hashtbl.create 16 in
+  let rec go ti pi =
+    match Hashtbl.find_opt memo (ti, pi) with
+    | Some r -> r
+    | None ->
+      let r =
+        if pi >= pn then ti >= tn
+        else
+          match pattern.[pi] with
+          | '%' -> go ti (pi + 1) || (ti < tn && go (ti + 1) pi)
+          | '_' -> ti < tn && go (ti + 1) (pi + 1)
+          | c -> ti < tn && text.[ti] = c && go (ti + 1) (pi + 1)
+      in
+      Hashtbl.replace memo (ti, pi) r;
+      r
+  in
+  go 0 0
+
+let numeric1 name f v =
+  match v with
+  | Value.Null -> Value.Null
+  | _ -> (
+    match f (Value.to_float v) with
+    | x -> Value.Float x
+    | exception Value.Type_error _ -> error "%s requires a numeric argument" name)
+
+let round_to_digits x digits =
+  let scale = 10.0 ** float_of_int digits in
+  Float.round (x *. scale) /. scale
+
+let apply_func (f : Bound_expr.func) (args : Value.t list) : Value.t =
+  match f, args with
+  | Bound_expr.F_coalesce, args -> (
+    match List.find_opt (fun v -> not (Value.is_null v)) args with
+    | Some v -> v
+    | None -> Value.Null)
+  | Bound_expr.F_least, args -> (
+    let non_null = List.filter (fun v -> not (Value.is_null v)) args in
+    match non_null with
+    | [] -> Value.Null
+    | v :: rest ->
+      List.fold_left (fun acc x -> if Value.compare x acc < 0 then x else acc) v rest)
+  | Bound_expr.F_greatest, args -> (
+    let non_null = List.filter (fun v -> not (Value.is_null v)) args in
+    match non_null with
+    | [] -> Value.Null
+    | v :: rest ->
+      List.fold_left (fun acc x -> if Value.compare x acc > 0 then x else acc) v rest)
+  | Bound_expr.F_ceiling, [ v ] -> (
+    match v with
+    | Value.Null -> Value.Null
+    | Value.Int _ -> v
+    | _ -> Value.Float (Float.ceil (Value.to_float v)))
+  | Bound_expr.F_floor, [ v ] -> (
+    match v with
+    | Value.Null -> Value.Null
+    | Value.Int _ -> v
+    | _ -> Value.Float (Float.floor (Value.to_float v)))
+  | Bound_expr.F_round, [ v ] -> (
+    match v with
+    | Value.Null -> Value.Null
+    | Value.Int _ -> v
+    | _ -> Value.Float (Float.round (Value.to_float v)))
+  | Bound_expr.F_round, [ v; d ] -> (
+    match v, d with
+    | Value.Null, _ | _, Value.Null -> Value.Null
+    | _ -> Value.Float (round_to_digits (Value.to_float v) (Value.to_int d)))
+  | Bound_expr.F_abs, [ v ] -> (
+    match v with
+    | Value.Null -> Value.Null
+    | Value.Int i -> Value.Int (abs i)
+    | _ -> Value.Float (Float.abs (Value.to_float v)))
+  | Bound_expr.F_sqrt, [ v ] -> numeric1 "SQRT" Float.sqrt v
+  | Bound_expr.F_exp, [ v ] -> numeric1 "EXP" Float.exp v
+  | Bound_expr.F_ln, [ v ] -> numeric1 "LN" Float.log v
+  | Bound_expr.F_power, [ a; b ] ->
+    if Value.is_null a || Value.is_null b then Value.Null
+    else Value.Float (Float.pow (Value.to_float a) (Value.to_float b))
+  | Bound_expr.F_sign, [ v ] -> (
+    match v with
+    | Value.Null -> Value.Null
+    | _ ->
+      let f = Value.to_float v in
+      Value.Int (if f > 0.0 then 1 else if f < 0.0 then -1 else 0))
+  | Bound_expr.F_nullif, [ a; b ] ->
+    if (not (Value.is_null a)) && (not (Value.is_null b)) && Value.equal a b
+    then Value.Null
+    else a
+  | Bound_expr.F_upper, [ v ] -> (
+    match v with
+    | Value.Null -> Value.Null
+    | _ -> Value.Str (String.uppercase_ascii (as_text v)))
+  | Bound_expr.F_lower, [ v ] -> (
+    match v with
+    | Value.Null -> Value.Null
+    | _ -> Value.Str (String.lowercase_ascii (as_text v)))
+  | Bound_expr.F_length, [ v ] -> (
+    match v with
+    | Value.Null -> Value.Null
+    | _ -> Value.Int (String.length (as_text v)))
+  | Bound_expr.F_substr, (v :: from :: rest) -> (
+    match v with
+    | Value.Null -> Value.Null
+    | _ ->
+      let s = as_text v in
+      let from = max 1 (Value.to_int from) in
+      let len =
+        match rest with
+        | [ l ] -> Value.to_int l
+        | _ -> String.length s - from + 1
+      in
+      let start = from - 1 in
+      if start >= String.length s || len <= 0 then Value.Str ""
+      else Value.Str (String.sub s start (min len (String.length s - start))))
+  | _, _ -> error "wrong arguments to %s" (Bound_expr.func_name f)
+
+let cast_value (ty : Column_type.t) (v : Value.t) : Value.t =
+  match ty, v with
+  | _, Value.Null -> Value.Null
+  | Column_type.T_int, _ -> Value.Int (Value.to_int v)
+  | Column_type.T_float, _ -> Value.Float (Value.to_float v)
+  | Column_type.T_string, _ -> Value.Str (as_text v)
+  | Column_type.T_bool, Value.Bool _ -> v
+  | Column_type.T_bool, Value.Str s -> (
+    match String.lowercase_ascii s with
+    | "true" | "t" | "1" -> Value.Bool true
+    | "false" | "f" | "0" -> Value.Bool false
+    | _ -> error "cannot cast %S to BOOLEAN" s)
+  | Column_type.T_bool, _ -> error "cannot cast %s to BOOLEAN" (Value.type_name v)
+  | Column_type.T_any, _ -> v
+
+let rec eval (row : Row.t) (e : Bound_expr.t) : Value.t =
+  match e with
+  | Bound_expr.B_lit v -> v
+  | Bound_expr.B_col i ->
+    if i >= Array.length row then
+      error "column index %d out of range (row arity %d)" i (Array.length row)
+    else row.(i)
+  | Bound_expr.B_binop (op, a, b) -> (
+    match op with
+    | Ast.And -> kleene_and (eval row a) (eval row b)
+    | Ast.Or -> kleene_or (eval row a) (eval row b)
+    | Ast.Add -> Value.add (eval row a) (eval row b)
+    | Ast.Sub -> Value.sub (eval row a) (eval row b)
+    | Ast.Mul -> Value.mul (eval row a) (eval row b)
+    | Ast.Div -> Value.div (eval row a) (eval row b)
+    | Ast.Mod -> Value.modulo (eval row a) (eval row b)
+    | Ast.Concat -> concat (eval row a) (eval row b)
+    | Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+      compare_values op (eval row a) (eval row b))
+  | Bound_expr.B_unop (Ast.Neg, a) -> Value.neg (eval row a)
+  | Bound_expr.B_unop (Ast.Not, a) -> (
+    match eval row a with
+    | Value.Bool b -> Value.Bool (not b)
+    | Value.Null -> Value.Null
+    | _ -> error "NOT requires a boolean operand")
+  | Bound_expr.B_func (f, args) -> apply_func f (List.map (eval row) args)
+  | Bound_expr.B_case (branches, else_) -> (
+    let rec first = function
+      | [] -> ( match else_ with Some e -> eval row e | None -> Value.Null)
+      | (cond, v) :: rest -> (
+        match eval row cond with
+        | Value.Bool true -> eval row v
+        | Value.Bool false | Value.Null -> first rest
+        | _ -> error "CASE condition must be boolean")
+    in
+    first branches)
+  | Bound_expr.B_cast (ty, a) -> cast_value ty (eval row a)
+  | Bound_expr.B_is_null (a, want_null) ->
+    Value.Bool (Value.is_null (eval row a) = want_null)
+  | Bound_expr.B_in (a, items, negated) -> (
+    let v = eval row a in
+    if Value.is_null v then Value.Null
+    else
+      let found = ref false in
+      let saw_null = ref false in
+      List.iter
+        (fun item ->
+          let iv = eval row item in
+          if Value.is_null iv then saw_null := true
+          else if Value.equal v iv then found := true)
+        items;
+      if !found then Value.Bool (not negated)
+      else if !saw_null then Value.Null
+      else Value.Bool negated)
+  | Bound_expr.B_between (a, lo, hi) ->
+    let v = eval row a in
+    kleene_and (compare_values Ast.Ge v (eval row lo))
+      (compare_values Ast.Le v (eval row hi))
+  | Bound_expr.B_like (a, pattern, negated) -> (
+    match eval row a with
+    | Value.Null -> Value.Null
+    | v ->
+      let r = like_match (as_text v) pattern in
+      Value.Bool (if negated then not r else r))
+
+(** Condition evaluation for WHERE/ON/HAVING: unknown (NULL) rejects
+    the row. *)
+let eval_pred row e =
+  match eval row e with
+  | Value.Bool b -> b
+  | Value.Null -> false
+  | _ -> error "predicate did not evaluate to a boolean"

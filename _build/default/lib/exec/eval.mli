@@ -1,0 +1,23 @@
+(** Bound-expression interpreter with SQL three-valued logic: NULL
+    comparisons are unknown, AND/OR are Kleene, arithmetic propagates
+    NULL, COALESCE/LEAST/GREATEST skip NULLs. *)
+
+module Value = Dbspinner_storage.Value
+module Row = Dbspinner_storage.Row
+module Bound_expr = Dbspinner_plan.Bound_expr
+
+exception Runtime_error of string
+
+(** Evaluate over a row.
+    @raise Runtime_error on type misuse
+    @raise Division_by_zero on integer division by zero. *)
+val eval : Row.t -> Bound_expr.t -> Value.t
+
+(** Condition semantics for WHERE/ON/HAVING: unknown (NULL) rejects the
+    row.
+    @raise Runtime_error when the expression is not boolean. *)
+val eval_pred : Row.t -> Bound_expr.t -> bool
+
+(** LIKE matching ([%] any sequence, [_] one character); exposed for
+    tests. *)
+val like_match : string -> string -> bool

@@ -1,0 +1,240 @@
+(** The executor: evaluates logical plans against the catalog and runs
+    step programs (program counter, loop state, rename) — the runtime
+    half of the paper's §VI.
+
+    Scans resolve names through the catalog with temps shadowing base
+    tables; that is how the iterative reference reads the current
+    iteration's version of the CTE table. *)
+
+module Value = Dbspinner_storage.Value
+module Row = Dbspinner_storage.Row
+module Schema = Dbspinner_storage.Schema
+module Relation = Dbspinner_storage.Relation
+module Catalog = Dbspinner_storage.Catalog
+module Logical = Dbspinner_plan.Logical
+module Program = Dbspinner_plan.Program
+module Bound_expr = Dbspinner_plan.Bound_expr
+
+exception Execution_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Execution_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Plan evaluation                                                     *)
+
+let rec run_plan ~(stats : Stats.t) (catalog : Catalog.t) (plan : Logical.t) :
+    Relation.t =
+  match plan with
+  | Logical.L_scan { name; scan_schema } -> (
+    match Catalog.resolve_opt catalog name with
+    | None -> error "relation %s does not exist" name
+    | Some rel ->
+      stats.Stats.rows_scanned <-
+        stats.Stats.rows_scanned + Relation.cardinality rel;
+      if Schema.arity (Relation.schema rel) <> Schema.arity scan_schema then
+        error "relation %s changed arity since planning" name;
+      rel)
+  | Logical.L_values rel -> rel
+  | Logical.L_filter { pred; input } ->
+    Operators.filter ~stats pred (run_plan ~stats catalog input)
+  | Logical.L_project { exprs; input } ->
+    Operators.project ~stats exprs (run_plan ~stats catalog input)
+  | Logical.L_join { kind; cond; left; right; join_schema } ->
+    let l = run_plan ~stats catalog left in
+    let r = run_plan ~stats catalog right in
+    Operators.join ~stats kind cond l r join_schema
+  | Logical.L_aggregate { keys; aggs; input; agg_schema } ->
+    Operators.aggregate ~stats ~keys ~aggs (run_plan ~stats catalog input)
+      agg_schema
+  | Logical.L_distinct input ->
+    Operators.distinct ~stats (run_plan ~stats catalog input)
+  | Logical.L_sort { keys; input } ->
+    Operators.sort ~stats keys (run_plan ~stats catalog input)
+  | Logical.L_limit (n, input) ->
+    Operators.limit ~stats n (run_plan ~stats catalog input)
+  | Logical.L_offset (n, input) ->
+    Operators.offset ~stats n (run_plan ~stats catalog input)
+  | Logical.L_union { all; left; right } ->
+    let l = run_plan ~stats catalog left in
+    let r = run_plan ~stats catalog right in
+    let u = Operators.union_all ~stats l r in
+    if all then u else Operators.distinct ~stats u
+  | Logical.L_intersect { all; left; right } ->
+    let l = run_plan ~stats catalog left in
+    let r = run_plan ~stats catalog right in
+    Operators.intersect ~stats ~all l r
+  | Logical.L_except { all; left; right } ->
+    let l = run_plan ~stats catalog left in
+    let r = run_plan ~stats catalog right in
+    Operators.except ~stats ~all l r
+  | Logical.L_subquery_filter { anti; key; input; sub } ->
+    let i = run_plan ~stats catalog input in
+    let sq = run_plan ~stats catalog sub in
+    Operators.subquery_filter ~stats ~anti ~key i sq
+
+(* ------------------------------------------------------------------ *)
+(* Loop state (paper §VI-B)                                            *)
+
+type loop_state = {
+  spec : Program.termination;
+  cte : string;
+  key_idx : int;
+  guard : int;
+  mutable iterations : int;
+  mutable cumulative_updates : int;
+  mutable snapshot : Relation.t option;
+      (** CTE version at the top of the current iteration *)
+}
+
+(** Decide whether another iteration is needed, updating counters. *)
+let loop_continue ~(stats : Stats.t) catalog (st : loop_state) : bool =
+  st.iterations <- st.iterations + 1;
+  stats.Stats.loop_iterations <- stats.Stats.loop_iterations + 1;
+  if st.iterations >= st.guard then
+    error "iterative CTE %s exceeded the %d-iteration guard without meeting \
+           its termination condition"
+      st.cte st.guard;
+  let current () = Catalog.find_temp catalog st.cte in
+  let updates_this_iteration () =
+    match st.snapshot with
+    | None -> Relation.cardinality (current ())
+    | Some prev -> Relation.delta_count ~key_idx:st.key_idx prev (current ())
+  in
+  match st.spec with
+  | Program.Max_iterations n -> st.iterations < n
+  | Program.Max_updates n ->
+    st.cumulative_updates <- st.cumulative_updates + updates_this_iteration ();
+    st.cumulative_updates < n
+  | Program.Delta_at_most bound -> updates_this_iteration () > bound
+  | Program.Data { any; pred } ->
+    let rel = current () in
+    let satisfied = ref 0 in
+    Relation.iter (fun r -> if Eval.eval_pred r pred then incr satisfied) rel;
+    let stop =
+      if any then !satisfied > 0
+      else !satisfied = Relation.cardinality rel && Relation.cardinality rel > 0
+    in
+    not stop
+
+(* ------------------------------------------------------------------ *)
+(* Recursive CTE (semi-naive)                                          *)
+
+let run_recursive ~stats catalog ~name ~work_name ~base ~step_plan ~union_all
+    ~max_recursion =
+  let base_rel = run_plan ~stats catalog base in
+  let schema = Relation.schema base_rel in
+  let module Row_tbl = Operators.Row_tbl in
+  let seen = Row_tbl.create (max 16 (Relation.cardinality base_rel)) in
+  let dedupe rel =
+    (* Keep only rows never produced before (UNION-distinct mode). *)
+    let fresh = ref [] in
+    Relation.iter
+      (fun r ->
+        if not (Row_tbl.mem seen r) then begin
+          Row_tbl.replace seen r ();
+          fresh := r :: !fresh
+        end)
+      rel;
+    Relation.make schema (Array.of_list (List.rev !fresh))
+  in
+  let acc = ref [] in
+  let push rel = Relation.iter (fun r -> acc := r :: !acc) rel in
+  let working = ref (if union_all then base_rel else dedupe base_rel) in
+  push !working;
+  let rounds = ref 0 in
+  while Relation.cardinality !working > 0 do
+    incr rounds;
+    if !rounds > max_recursion then
+      error "recursive CTE %s exceeded %d rounds (missing fixed point?)" name
+        max_recursion;
+    Catalog.set_temp catalog work_name !working;
+    let produced = run_plan ~stats catalog step_plan in
+    let fresh = if union_all then produced else dedupe produced in
+    push fresh;
+    working := fresh
+  done;
+  Catalog.drop_temp catalog work_name;
+  let result = Relation.make schema (Array.of_list (List.rev !acc)) in
+  Catalog.set_temp catalog name result
+
+(* ------------------------------------------------------------------ *)
+(* Program execution                                                   *)
+
+let assert_unique_key catalog ~temp ~key_idx =
+  let rel = Catalog.find_temp catalog temp in
+  let seen = Hashtbl.create (Relation.cardinality rel) in
+  Relation.iter
+    (fun r ->
+      let k = r.(key_idx) in
+      if Value.is_null k then
+        error
+          "iterative CTE produced a NULL row key; specify a key column or \
+           remove NULL keys"
+      else if Hashtbl.mem seen k then
+        error
+          "iterative CTE produced duplicate rows for key %s; resolve \
+           duplicates with an aggregation or GROUP BY (see paper §II)"
+          (Value.to_string k)
+      else Hashtbl.replace seen k ())
+    rel
+
+(** Run a step program to completion and return the final relation. *)
+let run_program ?(stats = Stats.create ()) (catalog : Catalog.t)
+    (program : Program.t) : Relation.t =
+  let steps = Program.steps program in
+  let loops : (int, loop_state) Hashtbl.t = Hashtbl.create 4 in
+  let result = ref None in
+  let pc = ref 0 in
+  while !pc < Array.length steps do
+    let jump = ref None in
+    (match steps.(!pc) with
+    | Program.Materialize { target; plan } ->
+      let rel = run_plan ~stats catalog plan in
+      stats.Stats.materializations <- stats.Stats.materializations + 1;
+      stats.Stats.rows_materialized <-
+        stats.Stats.rows_materialized + Relation.cardinality rel;
+      Catalog.set_temp catalog target rel
+    | Program.Rename { from_; into } ->
+      Catalog.rename_temp catalog ~from_ ~into;
+      stats.Stats.renames <- stats.Stats.renames + 1
+    | Program.Drop_temp name -> Catalog.drop_temp catalog name
+    | Program.Assert_unique_key { temp; key_idx } ->
+      assert_unique_key catalog ~temp ~key_idx
+    | Program.Init_loop { loop_id; termination; cte; key_idx; guard } ->
+      Hashtbl.replace loops loop_id
+        {
+          spec = termination;
+          cte;
+          key_idx;
+          guard;
+          iterations = 0;
+          cumulative_updates = 0;
+          snapshot = None;
+        }
+    | Program.Snapshot { loop_id } -> (
+      match Hashtbl.find_opt loops loop_id with
+      | None -> error "Snapshot for uninitialized loop %d" loop_id
+      | Some st -> st.snapshot <- Catalog.find_temp_opt catalog st.cte)
+    | Program.Loop_end { loop_id; body_start } -> (
+      match Hashtbl.find_opt loops loop_id with
+      | None -> error "Loop_end for uninitialized loop %d" loop_id
+      | Some st -> if loop_continue ~stats catalog st then jump := Some body_start)
+    | Program.Recursive_cte
+        { name; work_name; base; step_plan; union_all; max_recursion } ->
+      run_recursive ~stats catalog ~name ~work_name ~base ~step_plan ~union_all
+        ~max_recursion
+    | Program.Return plan -> result := Some (run_plan ~stats catalog plan));
+    match !jump with
+    | Some target -> pc := target
+    | None -> incr pc
+  done;
+  match !result with
+  | Some rel -> rel
+  | None -> error "program terminated without a Return step"
+
+(** Loop-iteration count of the last loop in a program run — exposed
+    for tests via running with an explicit [stats]. *)
+let run_program_with_stats catalog program =
+  let stats = Stats.create () in
+  let rel = run_program ~stats catalog program in
+  (rel, stats)

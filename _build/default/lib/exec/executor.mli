@@ -1,0 +1,32 @@
+(** The executor: evaluates logical plans against the catalog and runs
+    step programs — the runtime half of the paper's §VI, including the
+    [loop] operator's Metadata / Data / Delta termination modes and the
+    O(1) [rename]. *)
+
+module Relation = Dbspinner_storage.Relation
+module Catalog = Dbspinner_storage.Catalog
+module Logical = Dbspinner_plan.Logical
+module Program = Dbspinner_plan.Program
+
+exception Execution_error of string
+
+(** Evaluate one logical plan. Scans resolve through the catalog with
+    temps shadowing base tables.
+    @raise Execution_error on missing relations or runtime failures. *)
+val run_plan : stats:Stats.t -> Catalog.t -> Logical.t -> Relation.t
+
+(** The §II duplicate-row-key check: fails when the named temp has
+    duplicate or NULL keys in column [key_idx].
+    @raise Execution_error with a message directing the user to resolve
+    duplicates via aggregation. *)
+val assert_unique_key : Catalog.t -> temp:string -> key_idx:int -> unit
+
+(** Run a step program to completion and return the final relation.
+    Temps created by the program are left in the catalog (the engine
+    clears them per statement).
+    @raise Execution_error on runtime failures, including the
+    iteration-guard trip for non-converging loops. *)
+val run_program : ?stats:Stats.t -> Catalog.t -> Program.t -> Relation.t
+
+(** Convenience: run with a fresh {!Stats.t} and return it. *)
+val run_program_with_stats : Catalog.t -> Program.t -> Relation.t * Stats.t

@@ -1,0 +1,437 @@
+(** Physical relational operators. Each consumes and produces
+    materialized {!Relation.t} values; joins are hash joins whenever an
+    equi-conjunct can be extracted from the condition, with a
+    nested-loop fallback. *)
+
+module Value = Dbspinner_storage.Value
+module Row = Dbspinner_storage.Row
+module Schema = Dbspinner_storage.Schema
+module Relation = Dbspinner_storage.Relation
+module Ast = Dbspinner_sql.Ast
+module Bound_expr = Dbspinner_plan.Bound_expr
+module Logical = Dbspinner_plan.Logical
+
+module Row_tbl = Hashtbl.Make (struct
+  type t = Row.t
+
+  let equal = Row.equal
+  let hash = Row.hash
+end)
+
+let filter ~stats pred (rel : Relation.t) : Relation.t =
+  let rows =
+    Array.of_seq
+      (Seq.filter (fun r -> Eval.eval_pred r pred) (Array.to_seq (Relation.rows rel)))
+  in
+  ignore stats;
+  Relation.make (Relation.schema rel) rows
+
+let project ~stats exprs (rel : Relation.t) : Relation.t =
+  ignore stats;
+  let schema = Schema.of_names (List.map snd exprs) in
+  let exprs = Array.of_list (List.map fst exprs) in
+  let rows =
+    Array.map (fun r -> Array.map (fun e -> Eval.eval r e) exprs) (Relation.rows rel)
+  in
+  Relation.make schema rows
+
+let distinct ~stats (rel : Relation.t) : Relation.t =
+  ignore stats;
+  let seen = Row_tbl.create (Relation.cardinality rel) in
+  let keep = ref [] in
+  Relation.iter
+    (fun r ->
+      if not (Row_tbl.mem seen r) then begin
+        Row_tbl.replace seen r ();
+        keep := r :: !keep
+      end)
+    rel;
+  Relation.make (Relation.schema rel) (Array.of_list (List.rev !keep))
+
+let sort ~stats keys (rel : Relation.t) : Relation.t =
+  ignore stats;
+  let keys = Array.of_list keys in
+  let compare_rows a b =
+    let rec go i =
+      if i >= Array.length keys then 0
+      else
+        let expr, descending = keys.(i) in
+        let c = Value.compare (Eval.eval a expr) (Eval.eval b expr) in
+        let c = if descending then -c else c in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+  in
+  let rows = Array.copy (Relation.rows rel) in
+  Array.stable_sort compare_rows rows;
+  Relation.make (Relation.schema rel) rows
+
+let limit ~stats n (rel : Relation.t) : Relation.t =
+  ignore stats;
+  let n = min n (Relation.cardinality rel) in
+  Relation.make (Relation.schema rel) (Array.sub (Relation.rows rel) 0 n)
+
+let offset ~stats n (rel : Relation.t) : Relation.t =
+  ignore stats;
+  let n = min n (Relation.cardinality rel) in
+  Relation.make (Relation.schema rel)
+    (Array.sub (Relation.rows rel) n (Relation.cardinality rel - n))
+
+let union_all ~stats (a : Relation.t) (b : Relation.t) : Relation.t =
+  ignore stats;
+  Relation.make (Relation.schema a)
+    (Array.append (Relation.rows a) (Relation.rows b))
+
+let counts_of (rel : Relation.t) =
+  let table = Row_tbl.create (max 16 (Relation.cardinality rel)) in
+  Relation.iter
+    (fun r ->
+      Row_tbl.replace table r
+        (1 + Option.value (Row_tbl.find_opt table r) ~default:0))
+    rel;
+  table
+
+(** INTERSECT [ALL]: bag semantics take the minimum multiplicity; set
+    semantics emit each common row once. *)
+let intersect ~stats ~all (a : Relation.t) (b : Relation.t) : Relation.t =
+  ignore stats;
+  let right_counts = counts_of b in
+  let emitted = Row_tbl.create 16 in
+  let out = ref [] in
+  Relation.iter
+    (fun r ->
+      match Row_tbl.find_opt right_counts r with
+      | Some n when n > 0 ->
+        if all then begin
+          Row_tbl.replace right_counts r (n - 1);
+          out := r :: !out
+        end
+        else if not (Row_tbl.mem emitted r) then begin
+          Row_tbl.replace emitted r ();
+          out := r :: !out
+        end
+      | _ -> ())
+    a;
+  Relation.make (Relation.schema a) (Array.of_list (List.rev !out))
+
+(** EXCEPT [ALL]: bag semantics subtract multiplicities; set semantics
+    emit each left-only row once. *)
+let except ~stats ~all (a : Relation.t) (b : Relation.t) : Relation.t =
+  ignore stats;
+  let right_counts = counts_of b in
+  let emitted = Row_tbl.create 16 in
+  let out = ref [] in
+  Relation.iter
+    (fun r ->
+      let remaining = Option.value (Row_tbl.find_opt right_counts r) ~default:0 in
+      if all then begin
+        if remaining > 0 then Row_tbl.replace right_counts r (remaining - 1)
+        else out := r :: !out
+      end
+      else if remaining = 0 && not (Row_tbl.mem emitted r) then begin
+        Row_tbl.replace emitted r ();
+        out := r :: !out
+      end)
+    a;
+  Relation.make (Relation.schema a) (Array.of_list (List.rev !out))
+
+(** Uncorrelated IN / EXISTS subquery predicates as semi / anti joins.
+    [key = Some e]: keep input rows per SQL IN / NOT IN semantics,
+    including the null-aware NOT IN rules (a NULL probe or a NULL in a
+    non-empty subquery makes the predicate unknown, which rejects);
+    [key = None]: EXISTS — keep all rows iff the subquery is non-empty
+    (inverted for [anti]). *)
+let subquery_filter ~stats ~anti ~(key : Bound_expr.t option)
+    (input : Relation.t) (sub : Relation.t) : Relation.t =
+  ignore stats;
+  match key with
+  | None ->
+    let nonempty = not (Relation.is_empty sub) in
+    if nonempty <> anti then input
+    else Relation.empty (Relation.schema input)
+  | Some probe ->
+    let members = Hashtbl.create (max 16 (Relation.cardinality sub)) in
+    let sub_has_null = ref false in
+    Relation.iter
+      (fun r ->
+        if Value.is_null r.(0) then sub_has_null := true
+        else Hashtbl.replace members r.(0) ())
+      sub;
+    let sub_empty = Relation.is_empty sub in
+    let keep row =
+      let v = Eval.eval row probe in
+      if not anti then (not (Value.is_null v)) && Hashtbl.mem members v
+      else if sub_empty then true  (* x NOT IN (empty) is TRUE *)
+      else
+        (not (Value.is_null v))
+        && (not !sub_has_null)
+        && not (Hashtbl.mem members v)
+    in
+    Relation.make (Relation.schema input)
+      (Array.of_seq (Seq.filter keep (Array.to_seq (Relation.rows input))))
+
+(* ------------------------------------------------------------------ *)
+(* Joins                                                               *)
+
+(** Split a join condition (over the concatenated row) into hashable
+    equi-key pairs and a residual predicate. A conjunct [a = b]
+    qualifies when [a] reads only left columns and [b] only right
+    columns (or vice versa). *)
+let split_equi_condition ~left_arity cond =
+  let conjuncts =
+    let rec split acc = function
+      | Bound_expr.B_binop (Ast.And, a, b) -> split (split acc a) b
+      | e -> e :: acc
+    in
+    List.rev (split [] cond)
+  in
+  let side e =
+    let cols = Bound_expr.columns_of e in
+    if cols = [] then `Either
+    else if List.for_all (fun i -> i < left_arity) cols then `Left
+    else if List.for_all (fun i -> i >= left_arity) cols then `Right
+    else `Both
+  in
+  let keys = ref [] in
+  let residual = ref [] in
+  List.iter
+    (fun conj ->
+      match conj with
+      | Bound_expr.B_binop (Ast.Eq, a, b) -> (
+        match side a, side b with
+        | `Left, `Right -> keys := (a, Bound_expr.shift (-left_arity) b) :: !keys
+        | `Right, `Left -> keys := (b, Bound_expr.shift (-left_arity) a) :: !keys
+        | _ -> residual := conj :: !residual)
+      | _ -> residual := conj :: !residual)
+    conjuncts;
+  (List.rev !keys, List.rev !residual)
+
+let null_row n : Row.t = Array.make n Value.Null
+
+let eval_residual residual row =
+  List.for_all (fun p -> Eval.eval_pred row p) residual
+
+let key_has_null (k : Row.t) = Array.exists Value.is_null k
+
+(** Hash join over extracted keys. Emits left++right rows; [kind]
+    controls unmatched-row padding. *)
+let hash_join ~(stats : Stats.t) kind keys residual (left : Relation.t)
+    (right : Relation.t) schema : Relation.t =
+  let left_keys = Array.of_list (List.map fst keys) in
+  let right_keys = Array.of_list (List.map snd keys) in
+  let key_of row exprs = Array.map (fun e -> Eval.eval row e) exprs in
+  (* Build on the right side. *)
+  let table = Row_tbl.create (max 16 (Relation.cardinality right)) in
+  Array.iteri
+    (fun idx row ->
+      let k = key_of row right_keys in
+      if not (key_has_null k) then
+        Row_tbl.replace table k
+          ((idx, row) :: (try Row_tbl.find table k with Not_found -> [])))
+    (Relation.rows right);
+  let right_matched =
+    match kind with
+    | Logical.Full_outer | Logical.Right_outer ->
+      Some (Array.make (Relation.cardinality right) false)
+    | _ -> None
+  in
+  let out = ref [] in
+  let emit row = out := row :: !out in
+  let l_arity = Schema.arity (Relation.schema left) in
+  let r_arity = Schema.arity (Relation.schema right) in
+  Relation.iter
+    (fun lrow ->
+      stats.Stats.join_probes <- stats.Stats.join_probes + 1;
+      let k = key_of lrow left_keys in
+      let matched = ref false in
+      if not (key_has_null k) then begin
+        match Row_tbl.find_opt table k with
+        | None -> ()
+        | Some candidates ->
+          List.iter
+            (fun (ridx, rrow) ->
+              let combined = Row.concat lrow rrow in
+              if eval_residual residual combined then begin
+                matched := true;
+                Option.iter (fun arr -> arr.(ridx) <- true) right_matched;
+                emit combined
+              end)
+            candidates
+      end;
+      if not !matched then
+        match kind with
+        | Logical.Left_outer | Logical.Full_outer ->
+          emit (Row.concat lrow (null_row r_arity))
+        | Logical.Inner | Logical.Right_outer | Logical.Cross -> ())
+    left;
+  (match right_matched, kind with
+  | Some arr, (Logical.Right_outer | Logical.Full_outer) ->
+    Array.iteri
+      (fun idx m ->
+        if not m then emit (Row.concat (null_row l_arity) (Relation.rows right).(idx)))
+      arr
+  | _ -> ());
+  let rows = Array.of_list (List.rev !out) in
+  stats.Stats.rows_joined <- stats.Stats.rows_joined + Array.length rows;
+  Relation.make schema rows
+
+(** Nested-loop fallback when no equi-key exists. *)
+let nested_loop_join ~(stats : Stats.t) kind cond (left : Relation.t)
+    (right : Relation.t) schema : Relation.t =
+  let l_arity = Schema.arity (Relation.schema left) in
+  let r_arity = Schema.arity (Relation.schema right) in
+  let right_matched =
+    match kind with
+    | Logical.Full_outer | Logical.Right_outer ->
+      Some (Array.make (Relation.cardinality right) false)
+    | _ -> None
+  in
+  let out = ref [] in
+  let emit row = out := row :: !out in
+  let passes combined =
+    match cond with None -> true | Some c -> Eval.eval_pred combined c
+  in
+  Relation.iter
+    (fun lrow ->
+      stats.Stats.join_probes <- stats.Stats.join_probes + 1;
+      let matched = ref false in
+      Array.iteri
+        (fun ridx rrow ->
+          let combined = Row.concat lrow rrow in
+          if passes combined then begin
+            matched := true;
+            Option.iter (fun arr -> arr.(ridx) <- true) right_matched;
+            emit combined
+          end)
+        (Relation.rows right);
+      if not !matched then
+        match kind with
+        | Logical.Left_outer | Logical.Full_outer ->
+          emit (Row.concat lrow (null_row r_arity))
+        | Logical.Inner | Logical.Right_outer | Logical.Cross -> ())
+    left;
+  (match right_matched, kind with
+  | Some arr, (Logical.Right_outer | Logical.Full_outer) ->
+    Array.iteri
+      (fun idx m ->
+        if not m then emit (Row.concat (null_row l_arity) (Relation.rows right).(idx)))
+      arr
+  | _ -> ());
+  let rows = Array.of_list (List.rev !out) in
+  stats.Stats.rows_joined <- stats.Stats.rows_joined + Array.length rows;
+  Relation.make schema rows
+
+let join ~stats kind cond (left : Relation.t) (right : Relation.t) schema :
+    Relation.t =
+  match kind, cond with
+  | Logical.Cross, _ -> nested_loop_join ~stats kind None left right schema
+  | _, None -> nested_loop_join ~stats kind None left right schema
+  | _, Some c -> (
+    let left_arity = Schema.arity (Relation.schema left) in
+    match split_equi_condition ~left_arity c with
+    | [], _ -> nested_loop_join ~stats kind (Some c) left right schema
+    | keys, residual -> hash_join ~stats kind keys residual left right schema)
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation                                                         *)
+
+type accumulator = {
+  mutable count : int;  (** non-null inputs, or rows for COUNT star *)
+  mutable sum : Value.t;  (** running sum; Null until first input *)
+  mutable min : Value.t;
+  mutable max : Value.t;
+  seen : unit Row_tbl.t option;  (** per-group distinct set *)
+}
+
+let new_accumulator distinct =
+  {
+    count = 0;
+    sum = Value.Null;
+    min = Value.Null;
+    max = Value.Null;
+    seen = (if distinct then Some (Row_tbl.create 8) else None);
+  }
+
+let accumulate acc (v : Value.t) =
+  let fresh =
+    match acc.seen with
+    | None -> true
+    | Some seen ->
+      let key = [| v |] in
+      if Row_tbl.mem seen key then false
+      else begin
+        Row_tbl.replace seen key ();
+        true
+      end
+  in
+  if fresh then begin
+    if not (Value.is_null v) then begin
+      acc.count <- acc.count + 1;
+      acc.sum <- (if Value.is_null acc.sum then v else Value.add acc.sum v);
+      if Value.is_null acc.min || Value.compare v acc.min < 0 then acc.min <- v;
+      if Value.is_null acc.max || Value.compare v acc.max > 0 then acc.max <- v
+    end
+  end
+
+let finalize (kind : Ast.agg_kind) acc : Value.t =
+  match kind with
+  | Ast.Count | Ast.Count_star -> Value.Int acc.count
+  | Ast.Sum -> acc.sum
+  | Ast.Min -> acc.min
+  | Ast.Max -> acc.max
+  | Ast.Avg ->
+    if acc.count = 0 then Value.Null
+    else Value.Float (Value.to_float acc.sum /. float_of_int acc.count)
+
+let aggregate ~(stats : Stats.t) ~keys ~(aggs : Logical.agg list)
+    (input : Relation.t) schema : Relation.t =
+  let keys = Array.of_list keys in
+  let aggs = Array.of_list aggs in
+  stats.Stats.rows_aggregated <-
+    stats.Stats.rows_aggregated + Relation.cardinality input;
+  let groups : (Row.t * accumulator array) Row_tbl.t =
+    Row_tbl.create (max 16 (Relation.cardinality input / 4))
+  in
+  let order = ref [] in
+  Relation.iter
+    (fun row ->
+      let key = Array.map (fun e -> Eval.eval row e) keys in
+      let _, accs =
+        match Row_tbl.find_opt groups key with
+        | Some entry -> entry
+        | None ->
+          let accs =
+            Array.map (fun (a : Logical.agg) -> new_accumulator a.agg_distinct) aggs
+          in
+          Row_tbl.replace groups key (key, accs);
+          order := key :: !order;
+          (key, accs)
+      in
+      Array.iteri
+        (fun i (a : Logical.agg) ->
+          match a.agg_kind with
+          | Ast.Count_star ->
+            (* COUNT star counts rows regardless of nulls *)
+            accs.(i).count <- accs.(i).count + 1
+          | _ -> accumulate accs.(i) (Eval.eval row a.agg_arg))
+        aggs)
+    input;
+  let emit key =
+    let _, accs = Row_tbl.find groups key in
+    let agg_values =
+      Array.mapi (fun i (a : Logical.agg) -> finalize a.agg_kind accs.(i)) aggs
+    in
+    Row.concat key agg_values
+  in
+  let rows =
+    if Array.length keys = 0 && Row_tbl.length groups = 0 then
+      (* Global aggregate over an empty input yields one default row. *)
+      [|
+        Row.concat [||]
+          (Array.map
+             (fun (a : Logical.agg) -> finalize a.agg_kind (new_accumulator false))
+             aggs);
+      |]
+    else Array.of_list (List.rev_map emit !order)
+  in
+  Relation.make schema rows

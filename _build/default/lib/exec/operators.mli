@@ -1,0 +1,94 @@
+(** Physical relational operators over materialized relations. Joins
+    are hash joins whenever an equi-conjunct can be extracted from the
+    condition, with a nested-loop fallback; NULL join keys never
+    match. *)
+
+module Value = Dbspinner_storage.Value
+module Row = Dbspinner_storage.Row
+module Schema = Dbspinner_storage.Schema
+module Relation = Dbspinner_storage.Relation
+module Bound_expr = Dbspinner_plan.Bound_expr
+module Logical = Dbspinner_plan.Logical
+
+(** Hashtable keyed by rows (used across the executor and MPP layer). *)
+module Row_tbl : Hashtbl.S with type key = Row.t
+
+val filter : stats:Stats.t -> Bound_expr.t -> Relation.t -> Relation.t
+val project : stats:Stats.t -> (Bound_expr.t * string) list -> Relation.t -> Relation.t
+val distinct : stats:Stats.t -> Relation.t -> Relation.t
+
+(** Stable sort by [(expr, descending)] keys; NULLs sort first
+    ascending. *)
+val sort : stats:Stats.t -> (Bound_expr.t * bool) list -> Relation.t -> Relation.t
+
+val limit : stats:Stats.t -> int -> Relation.t -> Relation.t
+
+(** Drop the first [n] rows. *)
+val offset : stats:Stats.t -> int -> Relation.t -> Relation.t
+val union_all : stats:Stats.t -> Relation.t -> Relation.t -> Relation.t
+
+(** INTERSECT [ALL]: bag semantics take minimum multiplicities; set
+    semantics emit each common row once. *)
+val intersect : stats:Stats.t -> all:bool -> Relation.t -> Relation.t -> Relation.t
+
+(** EXCEPT [ALL]: bag semantics subtract multiplicities. *)
+val except : stats:Stats.t -> all:bool -> Relation.t -> Relation.t -> Relation.t
+
+(** Uncorrelated IN / EXISTS subquery predicates as semi / anti joins
+    with SQL's null-aware NOT IN semantics. [key = None] is the EXISTS
+    form. *)
+val subquery_filter :
+  stats:Stats.t ->
+  anti:bool ->
+  key:Bound_expr.t option ->
+  Relation.t ->
+  Relation.t ->
+  Relation.t
+
+(** Split a join condition (over the concatenated row) into hashable
+    equi-key pairs [(left expr, right expr over the right row)] and a
+    residual conjunct list. *)
+val split_equi_condition :
+  left_arity:int -> Bound_expr.t -> (Bound_expr.t * Bound_expr.t) list * Bound_expr.t list
+
+(** Hash join over extracted keys; [residual] filters combined rows. *)
+val hash_join :
+  stats:Stats.t ->
+  Logical.join_kind ->
+  (Bound_expr.t * Bound_expr.t) list ->
+  Bound_expr.t list ->
+  Relation.t ->
+  Relation.t ->
+  Schema.t ->
+  Relation.t
+
+(** Nested-loop join for arbitrary (or absent) conditions. *)
+val nested_loop_join :
+  stats:Stats.t ->
+  Logical.join_kind ->
+  Bound_expr.t option ->
+  Relation.t ->
+  Relation.t ->
+  Schema.t ->
+  Relation.t
+
+(** Dispatch: hash join when an equi-key exists, else nested loop. *)
+val join :
+  stats:Stats.t ->
+  Logical.join_kind ->
+  Bound_expr.t option ->
+  Relation.t ->
+  Relation.t ->
+  Schema.t ->
+  Relation.t
+
+(** Hash aggregation; grouped output is keys then aggregates, in first-
+    appearance group order. A global aggregate over an empty input
+    yields one default row. *)
+val aggregate :
+  stats:Stats.t ->
+  keys:Bound_expr.t list ->
+  aggs:Logical.agg list ->
+  Relation.t ->
+  Schema.t ->
+  Relation.t

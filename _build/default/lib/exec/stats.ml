@@ -1,0 +1,65 @@
+(** Per-execution counters. Benchmarks and tests use these to verify
+    that an optimization really changed the work done (e.g. the
+    common-result rewrite reduces join row volume; the rename path
+    eliminates merge materializations). *)
+
+type t = {
+  mutable rows_scanned : int;
+  mutable rows_joined : int;  (** rows produced by join operators *)
+  mutable join_probes : int;  (** probe-side rows processed *)
+  mutable rows_aggregated : int;  (** rows consumed by aggregations *)
+  mutable rows_materialized : int;
+  mutable materializations : int;
+  mutable renames : int;
+  mutable loop_iterations : int;
+  mutable statements : int;  (** statements executed (baselines > 1) *)
+  mutable dml_rows_touched : int;  (** rows written by INSERT/UPDATE/DELETE *)
+}
+
+let create () =
+  {
+    rows_scanned = 0;
+    rows_joined = 0;
+    join_probes = 0;
+    rows_aggregated = 0;
+    rows_materialized = 0;
+    materializations = 0;
+    renames = 0;
+    loop_iterations = 0;
+    statements = 0;
+    dml_rows_touched = 0;
+  }
+
+let reset t =
+  t.rows_scanned <- 0;
+  t.rows_joined <- 0;
+  t.join_probes <- 0;
+  t.rows_aggregated <- 0;
+  t.rows_materialized <- 0;
+  t.materializations <- 0;
+  t.renames <- 0;
+  t.loop_iterations <- 0;
+  t.statements <- 0;
+  t.dml_rows_touched <- 0
+
+let add ~into (src : t) =
+  into.rows_scanned <- into.rows_scanned + src.rows_scanned;
+  into.rows_joined <- into.rows_joined + src.rows_joined;
+  into.join_probes <- into.join_probes + src.join_probes;
+  into.rows_aggregated <- into.rows_aggregated + src.rows_aggregated;
+  into.rows_materialized <- into.rows_materialized + src.rows_materialized;
+  into.materializations <- into.materializations + src.materializations;
+  into.renames <- into.renames + src.renames;
+  into.loop_iterations <- into.loop_iterations + src.loop_iterations;
+  into.statements <- into.statements + src.statements;
+  into.dml_rows_touched <- into.dml_rows_touched + src.dml_rows_touched
+
+let pp fmt t =
+  Format.fprintf fmt
+    "scanned=%d joined=%d probes=%d aggregated=%d materialized=%d(%d ops) \
+     renames=%d iterations=%d statements=%d dml_rows=%d"
+    t.rows_scanned t.rows_joined t.join_probes t.rows_aggregated
+    t.rows_materialized t.materializations t.renames t.loop_iterations
+    t.statements t.dml_rows_touched
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,25 @@
+(** Per-execution counters. Benchmarks and tests use these to verify
+    that an optimization actually changed the work performed, not just
+    the wall time. *)
+
+type t = {
+  mutable rows_scanned : int;
+  mutable rows_joined : int;  (** rows produced by join operators *)
+  mutable join_probes : int;  (** probe-side rows processed *)
+  mutable rows_aggregated : int;  (** rows consumed by aggregations *)
+  mutable rows_materialized : int;
+  mutable materializations : int;
+  mutable renames : int;
+  mutable loop_iterations : int;
+  mutable statements : int;  (** statements executed (baselines > 1) *)
+  mutable dml_rows_touched : int;  (** rows written by INSERT/UPDATE/DELETE *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+(** [add ~into src] accumulates [src] into [into]. *)
+val add : into:t -> t -> unit
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

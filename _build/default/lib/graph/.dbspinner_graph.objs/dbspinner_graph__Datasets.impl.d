@@ -1,0 +1,1 @@
+lib/graph/datasets.ml: Graph_gen List String Sys

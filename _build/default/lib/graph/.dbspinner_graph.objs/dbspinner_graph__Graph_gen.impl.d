@@ -1,0 +1,1 @@
+lib/graph/graph_gen.ml: Array Dbspinner_storage Rng

@@ -1,0 +1,1 @@
+lib/graph/ref_forecast.ml: Array Float Graph_gen Hashtbl Int List Option

@@ -1,0 +1,1 @@
+lib/graph/ref_forecast.mli: Graph_gen

@@ -1,0 +1,1 @@
+lib/graph/ref_pagerank.ml: Array Graph_gen List

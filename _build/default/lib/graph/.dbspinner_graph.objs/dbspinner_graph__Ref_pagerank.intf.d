@@ -1,0 +1,1 @@
+lib/graph/ref_pagerank.mli: Graph_gen

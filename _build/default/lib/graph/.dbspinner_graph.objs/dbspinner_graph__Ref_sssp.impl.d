@@ -1,0 +1,1 @@
+lib/graph/ref_sssp.ml: Array Float Graph_gen Int List Set

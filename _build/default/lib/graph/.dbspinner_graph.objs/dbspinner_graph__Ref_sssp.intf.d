@@ -1,0 +1,1 @@
+lib/graph/ref_sssp.mli: Graph_gen

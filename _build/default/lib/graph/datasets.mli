@@ -1,0 +1,32 @@
+(** Named dataset configurations matching the paper's SNAP datasets in
+    node/edge ratio, scaled for laptop benchmarking. The
+    [DBSPINNER_SCALE] environment variable (a float) grows or shrinks
+    every dataset together. *)
+
+type spec = {
+  name : string;
+  nodes : int;  (** node count at scale 1.0 *)
+  edges_per_node : int;
+  seed : int;
+}
+
+(** DBLP ratio: ~3.3 edges/node. *)
+val dblp_like : spec
+
+(** Pokec ratio: ~19 edges/node. *)
+val pokec_like : spec
+
+(** web-Google ratio: ~6 edges/node. *)
+val webgoogle_like : spec
+
+val all : spec list
+
+(** Current [DBSPINNER_SCALE] (default 1.0; invalid values ignored). *)
+val scale_factor : unit -> float
+
+(** Instantiate a spec as a power-law graph at the given scale
+    (defaults to {!scale_factor}). At least 16 nodes. *)
+val generate : ?scale:float -> spec -> Graph_gen.t
+
+(** Find a spec by (lowercased) name. *)
+val find : string -> spec option

@@ -1,0 +1,184 @@
+(** Synthetic graph generation.
+
+    The paper evaluates on SNAP datasets (DBLP, Pokec, web-Google). We
+    cannot redistribute those, so workloads use deterministic synthetic
+    graphs whose node/edge ratios and degree skew match: a preferential
+    attachment process (Barabási–Albert style) yields the heavy-tailed
+    in-degree distribution typical of citation/social/web graphs, which
+    is what the relative cost of the PR/SSSP join pipeline depends
+    on. *)
+
+type edge = {
+  src : int;
+  dst : int;
+  weight : float;
+}
+
+type t = {
+  num_nodes : int;
+  edges : edge array;
+}
+
+let num_nodes t = t.num_nodes
+let num_edges t = Array.length t.edges
+let edges t = t.edges
+
+(** Out-neighbour adjacency (node -> (dst, weight) list). *)
+let out_adjacency t =
+  let adj = Array.make t.num_nodes [] in
+  Array.iter (fun e -> adj.(e.src) <- (e.dst, e.weight) :: adj.(e.src)) t.edges;
+  adj
+
+(** In-neighbour adjacency (node -> (src, weight) list). *)
+let in_adjacency t =
+  let adj = Array.make t.num_nodes [] in
+  Array.iter (fun e -> adj.(e.dst) <- (e.src, e.weight) :: adj.(e.dst)) t.edges;
+  adj
+
+(** Uniform Erdős–Rényi-style digraph: [num_edges] directed edges with
+    endpoints drawn uniformly; self-loops excluded, duplicates
+    allowed (they act as parallel edges with their own weights). *)
+let uniform ~seed ~num_nodes ~num_edges =
+  if num_nodes < 2 then invalid_arg "Graph_gen.uniform: need at least 2 nodes";
+  let rng = Rng.create seed in
+  let edges =
+    Array.init num_edges (fun _ ->
+        let src = Rng.int rng num_nodes in
+        let rec pick () =
+          let d = Rng.int rng num_nodes in
+          if d = src then pick () else d
+        in
+        let dst = pick () in
+        { src; dst; weight = Rng.float_range rng 1.0 10.0 })
+  in
+  { num_nodes; edges }
+
+(** Preferential attachment: nodes arrive one at a time; each new node
+    emits [edges_per_node] edges whose targets are sampled from the
+    running edge list (endpoint sampling = degree-proportional), giving
+    a power-law in-degree tail. Edge direction is randomized so both
+    in- and out-degree are skewed, as in real web/social graphs. *)
+let power_law ~seed ~num_nodes ~edges_per_node =
+  if num_nodes < 2 then invalid_arg "Graph_gen.power_law: need at least 2 nodes";
+  let rng = Rng.create seed in
+  let m = max 1 edges_per_node in
+  let targets = Array.make (num_nodes * m) 0 in
+  let filled = ref 0 in
+  let edges = ref [] in
+  let push_target v =
+    targets.(!filled) <- v;
+    incr filled
+  in
+  (* Seed with a small cycle so early samples have somewhere to go. *)
+  let seed_nodes = min num_nodes (m + 1) in
+  for v = 0 to seed_nodes - 1 do
+    let d = (v + 1) mod seed_nodes in
+    if d <> v then begin
+      edges := { src = v; dst = d; weight = Rng.float_range rng 1.0 10.0 } :: !edges;
+      push_target d
+    end
+  done;
+  for v = seed_nodes to num_nodes - 1 do
+    for _ = 1 to m do
+      let target =
+        if !filled = 0 || Rng.float rng < 0.15 then Rng.int rng v
+        else targets.(Rng.int rng !filled)
+      in
+      let target = if target = v then (target + 1) mod v else target in
+      let weight = Rng.float_range rng 1.0 10.0 in
+      let e =
+        if Rng.bool rng then { src = v; dst = target; weight }
+        else { src = target; dst = v; weight }
+      in
+      edges := e :: !edges;
+      if !filled < Array.length targets then push_target target
+    done
+  done;
+  { num_nodes; edges = Array.of_list !edges }
+
+(** Grid-like graph with mostly local edges: a rough stand-in for road
+    networks, used by the SSSP example. *)
+let chain_with_shortcuts ~seed ~num_nodes ~shortcut_every =
+  let rng = Rng.create seed in
+  let edges = ref [] in
+  for v = 0 to num_nodes - 2 do
+    edges :=
+      { src = v; dst = v + 1; weight = Rng.float_range rng 1.0 5.0 } :: !edges;
+    if shortcut_every > 0 && v mod shortcut_every = 0 then begin
+      let d = Rng.int rng num_nodes in
+      if d <> v then
+        edges :=
+          { src = v; dst = d; weight = Rng.float_range rng 5.0 50.0 } :: !edges
+    end
+  done;
+  { num_nodes; edges = Array.of_list !edges }
+
+(** Replace every edge weight by [1 / out-degree(src)] — the classic
+    PageRank transition weighting. With it the delta iteration is a
+    contraction (damping 0.85), so ranks stay bounded and readable;
+    with raw weights the paper's PR query still runs but its absolute
+    numbers grow geometrically. *)
+let normalize_weights t =
+  let out_degree = Array.make t.num_nodes 0 in
+  Array.iter (fun e -> out_degree.(e.src) <- out_degree.(e.src) + 1) t.edges;
+  {
+    t with
+    edges =
+      Array.map
+        (fun e -> { e with weight = 1.0 /. float_of_int out_degree.(e.src) })
+        t.edges;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Relational views                                                    *)
+
+module Schema = Dbspinner_storage.Schema
+module Relation = Dbspinner_storage.Relation
+module Value = Dbspinner_storage.Value
+module Column_type = Dbspinner_storage.Column_type
+
+let edges_schema : Schema.t =
+  Schema.make
+    [
+      Schema.column ~ty:Column_type.T_int "src";
+      Schema.column ~ty:Column_type.T_int "dst";
+      Schema.column ~ty:Column_type.T_float "weight";
+    ]
+
+(** The [edges(src, dst, weight)] relation of the paper's queries. *)
+let edges_relation t : Relation.t =
+  Relation.make edges_schema
+    (Array.map
+       (fun e ->
+         [| Value.Int e.src; Value.Int e.dst; Value.Float e.weight |])
+       t.edges)
+
+let vertex_status_schema : Schema.t =
+  Schema.make
+    [
+      Schema.column ~ty:Column_type.T_int "node";
+      Schema.column ~ty:Column_type.T_int "status";
+    ]
+
+(** The [vertexStatus(node, status)] table of the PR-VS query: one row
+    per node, [inactive_fraction] of them with status 0. *)
+let statuses ~seed ~inactive_fraction num_nodes : bool array =
+  (* Explicit loop: the draw order must be deterministic so the
+     relational and array views agree. *)
+  let rng = Rng.create seed in
+  let active = Array.make num_nodes true in
+  for v = 0 to num_nodes - 1 do
+    active.(v) <- Rng.float rng >= inactive_fraction
+  done;
+  active
+
+let vertex_status_relation ?(seed = 7) ?(inactive_fraction = 0.1) t : Relation.t =
+  let active = statuses ~seed ~inactive_fraction t.num_nodes in
+  Relation.make vertex_status_schema
+    (Array.init t.num_nodes (fun v ->
+         [| Value.Int v; Value.Int (if active.(v) then 1 else 0) |]))
+
+(** Statuses as an array for reference implementations; consistent with
+    {!vertex_status_relation} for the same seed. *)
+let vertex_status_array ?(seed = 7) ?(inactive_fraction = 0.1) t : bool array =
+  statuses ~seed ~inactive_fraction t.num_nodes

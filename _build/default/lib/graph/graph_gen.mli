@@ -1,0 +1,63 @@
+(** Synthetic graph generation: deterministic stand-ins for the paper's
+    SNAP datasets, matched on node/edge ratio and degree skew (see
+    DESIGN.md §2). *)
+
+module Schema = Dbspinner_storage.Schema
+module Relation = Dbspinner_storage.Relation
+
+type edge = {
+  src : int;
+  dst : int;
+  weight : float;
+}
+
+type t = {
+  num_nodes : int;
+  edges : edge array;
+}
+
+val num_nodes : t -> int
+val num_edges : t -> int
+val edges : t -> edge array
+
+(** Out-neighbours: node -> [(dst, weight)] list. *)
+val out_adjacency : t -> (int * float) list array
+
+(** In-neighbours: node -> [(src, weight)] list. *)
+val in_adjacency : t -> (int * float) list array
+
+(** Uniform digraph: [num_edges] edges with uniform endpoints, no self
+    loops, weights in [1, 10).
+    @raise Invalid_argument when [num_nodes < 2]. *)
+val uniform : seed:int -> num_nodes:int -> num_edges:int -> t
+
+(** Preferential attachment with degree-proportional target sampling:
+    heavy-tailed degrees, as in citation/social/web graphs.
+    @raise Invalid_argument when [num_nodes < 2]. *)
+val power_law : seed:int -> num_nodes:int -> edges_per_node:int -> t
+
+(** Mostly-local chain with long-range shortcuts: a rough road-network
+    stand-in for the SSSP example. *)
+val chain_with_shortcuts : seed:int -> num_nodes:int -> shortcut_every:int -> t
+
+(** Replace weights by [1 / out-degree(src)] (classic PageRank
+    transition weights; keeps the delta iteration contractive). *)
+val normalize_weights : t -> t
+
+(** {2 Relational views} *)
+
+(** [edges(src INT, dst INT, weight FLOAT)]. *)
+val edges_schema : Schema.t
+
+val edges_relation : t -> Relation.t
+
+(** [vertexStatus(node INT, status INT)]. *)
+val vertex_status_schema : Schema.t
+
+(** One row per node; [inactive_fraction] get status 0. Deterministic
+    in [seed] and consistent with {!vertex_status_array}. *)
+val vertex_status_relation :
+  ?seed:int -> ?inactive_fraction:float -> t -> Relation.t
+
+(** Same statuses as an array ([true] = active). *)
+val vertex_status_array : ?seed:int -> ?inactive_fraction:float -> t -> bool array

@@ -1,0 +1,62 @@
+(** Reference implementation of the Friends-Forecast (FF) query of the
+    paper's Figure 6: a geometric-growth forecast of each node's friend
+    count.
+
+    - Non-iterative part: [friends = out-degree(node)] and
+      [friendsPrev = ceil(friends * (1 - (node mod 10) / 100))];
+      nodes without outgoing edges do not appear (the SQL groups the
+      edges table by [src]).
+    - Iterative part (per iteration):
+      [friends' = round((friends / friendsPrev) * friends, 5)] and
+      [friendsPrev' = friends]. *)
+
+type entry = {
+  node : int;
+  friends : float;
+  friends_prev : float;
+}
+
+let round5 x = Float.round (x *. 1e5) /. 1e5
+
+let init (g : Graph_gen.t) : entry list =
+  let degree = Hashtbl.create 256 in
+  Array.iter
+    (fun (e : Graph_gen.edge) ->
+      Hashtbl.replace degree e.src
+        (1 + Option.value (Hashtbl.find_opt degree e.src) ~default:0))
+    (Graph_gen.edges g);
+  Hashtbl.fold
+    (fun node count acc ->
+      let friends = float_of_int count in
+      let factor = 1.0 -. (float_of_int (node mod 10) /. 100.0) in
+      { node; friends; friends_prev = Float.ceil (friends *. factor) } :: acc)
+    degree []
+  |> List.sort (fun a b -> Int.compare a.node b.node)
+
+let step (entries : entry list) : entry list =
+  List.map
+    (fun e ->
+      {
+        e with
+        friends = round5 (e.friends /. e.friends_prev *. e.friends);
+        friends_prev = e.friends;
+      })
+    entries
+
+let run (g : Graph_gen.t) ~iterations : entry list =
+  let entries = ref (init g) in
+  for _ = 1 to iterations do
+    entries := step !entries
+  done;
+  !entries
+
+(** The FF query's final part: nodes divisible by [modulus], top
+    [limit] by forecast friends (descending). *)
+let final ?(limit = 10) ~modulus entries =
+  entries
+  |> List.filter (fun e -> e.node mod modulus = 0)
+  |> List.sort (fun a b ->
+         match Float.compare b.friends a.friends with
+         | 0 -> Int.compare a.node b.node
+         | c -> c)
+  |> List.filteri (fun i _ -> i < limit)

@@ -1,0 +1,23 @@
+(** Reference implementation of the Friends-Forecast (FF) query of the
+    paper's Figure 6. *)
+
+type entry = {
+  node : int;
+  friends : float;
+  friends_prev : float;
+}
+
+(** The non-iterative part: out-degree counts and
+    [friendsPrev = ceil(friends * (1 - (node mod 10) / 100))]; nodes
+    without outgoing edges are absent. Sorted by node. *)
+val init : Graph_gen.t -> entry list
+
+(** One iteration: [friends' = round((friends / friendsPrev) * friends, 5)],
+    [friendsPrev' = friends]. *)
+val step : entry list -> entry list
+
+val run : Graph_gen.t -> iterations:int -> entry list
+
+(** The final part: nodes divisible by [modulus], top [limit] (default
+    10) by forecast, descending with node-id tiebreak. *)
+val final : ?limit:int -> modulus:int -> entry list -> entry list

@@ -1,0 +1,25 @@
+(** Reference implementations of the delta-accumulation PageRank used
+    by the paper's PR query, mirroring the SQL semantics exactly; the
+    test suite checks the engine's answers against these row by row. *)
+
+type state = {
+  rank : float array;
+  delta : float array;
+}
+
+(** [rank = 0], [delta = 0.15] everywhere. *)
+val init : int -> state
+
+(** The PR query's iteration, [iterations] times:
+    [rank' = rank + delta],
+    [delta' = 0.85 * sum over incoming (u,v,w) of delta_u * w]. *)
+val run : Graph_gen.t -> iterations:int -> state
+
+(** PR-VS semantics: a node is rewritten only when active {e and} it
+    has at least one incoming edge; all others keep their values
+    (merge path). *)
+val run_vs : Graph_gen.t -> active:bool array -> iterations:int -> state
+
+(** Classic normalized PageRank (power iteration with dangling-mass
+    redistribution); sums to 1. *)
+val classic : Graph_gen.t -> iterations:int -> damping:float -> float array

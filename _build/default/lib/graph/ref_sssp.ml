@@ -1,0 +1,108 @@
+(** Reference implementations for the SSSP query.
+
+    {!run} mirrors the paper's Figure-7 SQL semantics exactly — a
+    synchronous Bellman-Ford variant with the "infinity" sentinel
+    [9999999] and the partial-update WHERE clause:
+
+    - start: [distance = INF] for every node, [delta = 0] for the
+      source and [INF] otherwise;
+    - each iteration a node [v] is updated only when it has at least
+      one incoming edge [(u, v, w)] with [delta_u <> INF]; then
+      [distance' = min(distance, delta)] and
+      [delta' = min over such edges of (delta_u + w)];
+    - all other nodes keep their values (merge path).
+
+    {!dijkstra} gives ground-truth shortest distances for convergence
+    tests. *)
+
+let infinity_sentinel = 9999999.0
+
+type state = {
+  distance : float array;
+  delta : float array;
+}
+
+let init num_nodes ~source =
+  {
+    distance = Array.make num_nodes infinity_sentinel;
+    delta =
+      Array.init num_nodes (fun v ->
+          if v = source then 0.0 else infinity_sentinel);
+  }
+
+let step ~in_adj num_nodes (st : state) : state =
+  let distance' = Array.copy st.distance in
+  let delta' = Array.copy st.delta in
+  for v = 0 to num_nodes - 1 do
+    let qualifying =
+      List.filter (fun (u, _) -> st.delta.(u) <> infinity_sentinel) in_adj.(v)
+    in
+    if qualifying <> [] then begin
+      distance'.(v) <- Float.min st.distance.(v) st.delta.(v);
+      delta'.(v) <-
+        List.fold_left
+          (fun acc (u, w) -> Float.min acc (st.delta.(u) +. w))
+          infinity_sentinel qualifying
+    end
+  done;
+  { distance = distance'; delta = delta' }
+
+(** [run g ~source ~iterations] executes the SQL-mirroring iteration.
+    [active] (PR-VS style) restricts updates to active nodes, mirroring
+    the SSSP-VS variant. *)
+let run ?active (g : Graph_gen.t) ~source ~iterations : state =
+  let in_adj = Graph_gen.in_adjacency g in
+  let n = g.Graph_gen.num_nodes in
+  let st = ref (init n ~source) in
+  for _ = 1 to iterations do
+    let next = step ~in_adj n !st in
+    (match active with
+    | None -> st := next
+    | Some a ->
+      (* Inactive nodes are filtered out of the working table and keep
+         their previous values through the merge. *)
+      let cur = !st in
+      for v = 0 to n - 1 do
+        if a.(v) then begin
+          cur.distance.(v) <- next.distance.(v);
+          cur.delta.(v) <- next.delta.(v)
+        end
+      done)
+  done;
+  !st
+
+(** Effective shortest-path estimate of the query's final SELECT:
+    [LEAST(distance, delta)] per node. *)
+let best (st : state) v = Float.min st.distance.(v) st.delta.(v)
+
+(** Textbook Dijkstra over non-negative weights; ground truth for
+    convergence tests. Unreachable nodes keep [infinity_sentinel]. *)
+let dijkstra (g : Graph_gen.t) ~source : float array =
+  let n = g.Graph_gen.num_nodes in
+  let out_adj = Graph_gen.out_adjacency g in
+  let dist = Array.make n infinity_sentinel in
+  let visited = Array.make n false in
+  let module Pq = Set.Make (struct
+    type t = float * int
+
+    let compare (d1, v1) (d2, v2) =
+      match Float.compare d1 d2 with 0 -> Int.compare v1 v2 | c -> c
+  end) in
+  dist.(source) <- 0.0;
+  let pq = ref (Pq.singleton (0.0, source)) in
+  while not (Pq.is_empty !pq) do
+    let ((d, v) as elt) = Pq.min_elt !pq in
+    pq := Pq.remove elt !pq;
+    if not visited.(v) then begin
+      visited.(v) <- true;
+      List.iter
+        (fun (u, w) ->
+          let nd = d +. w in
+          if nd < dist.(u) then begin
+            dist.(u) <- nd;
+            pq := Pq.add (nd, u) !pq
+          end)
+        out_adj.(v)
+    end
+  done;
+  dist

@@ -1,0 +1,26 @@
+(** Reference implementations for the SSSP query: an exact mirror of
+    the paper's Figure-7 SQL semantics, plus Dijkstra as ground
+    truth. *)
+
+(** The query's "infinity": 9999999. *)
+val infinity_sentinel : float
+
+type state = {
+  distance : float array;
+  delta : float array;
+}
+
+val init : int -> source:int -> state
+
+(** The Figure-7 iteration, [iterations] times: a node is updated only
+    when it has an incoming edge from a node with finite delta; then
+    [distance' = min(distance, delta)] and [delta' = min(delta_u + w)].
+    [active] restricts updates to active nodes (SSSP-VS). *)
+val run : ?active:bool array -> Graph_gen.t -> source:int -> iterations:int -> state
+
+(** The final SELECT's per-node estimate: [min(distance, delta)]. *)
+val best : state -> int -> float
+
+(** Ground-truth shortest distances (non-negative weights); unreachable
+    nodes keep {!infinity_sentinel}. *)
+val dijkstra : Graph_gen.t -> source:int -> float array

@@ -1,0 +1,19 @@
+(** Deterministic splitmix64 PRNG: datasets and tests are exactly
+    reproducible across runs, platforms and OCaml versions. *)
+
+type t
+
+val create : int -> t
+val next_int64 : t -> int64
+
+(** Uniform int in [0, bound).
+    @raise Invalid_argument when [bound <= 0]. *)
+val int : t -> int -> int
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** Uniform float in [lo, hi). *)
+val float_range : t -> float -> float -> float
+
+val bool : t -> bool

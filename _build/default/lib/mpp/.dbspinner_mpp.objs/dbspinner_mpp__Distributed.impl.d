@@ -1,0 +1,1 @@
+lib/mpp/distributed.ml: Array Dbspinner_exec Dbspinner_plan Dbspinner_sql Dbspinner_storage Hashtbl List Option Partition Printf String

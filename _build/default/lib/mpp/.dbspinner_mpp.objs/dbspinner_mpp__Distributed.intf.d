@@ -1,0 +1,1 @@
+lib/mpp/distributed.mli: Dbspinner_plan Dbspinner_storage

@@ -1,0 +1,1 @@
+lib/mpp/partition.ml: Array Dbspinner_storage List

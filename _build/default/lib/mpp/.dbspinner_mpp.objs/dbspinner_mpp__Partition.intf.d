@@ -1,0 +1,1 @@
+lib/mpp/partition.mli: Dbspinner_storage

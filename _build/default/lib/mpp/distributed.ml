@@ -1,0 +1,443 @@
+(** A simulated shared-nothing executor: every relation lives as
+    [workers] partitions; equi-joins and grouped aggregations
+    repartition their inputs by key and run per-partition; order-
+    sensitive operators gather. The number of rows that cross workers
+    is recorded — the "data shuffle decisions" of the paper's host
+    engine — so plans can be compared for exchange volume.
+
+    The observable contract, checked by tests: for every plan,
+    distributed execution returns the same bag of rows as the
+    single-node {!Dbspinner_exec.Executor}. *)
+
+module Value = Dbspinner_storage.Value
+module Row = Dbspinner_storage.Row
+module Schema = Dbspinner_storage.Schema
+module Relation = Dbspinner_storage.Relation
+module Catalog = Dbspinner_storage.Catalog
+module Logical = Dbspinner_plan.Logical
+module Bound_expr = Dbspinner_plan.Bound_expr
+module Eval = Dbspinner_exec.Eval
+module Operators = Dbspinner_exec.Operators
+module Stats = Dbspinner_exec.Stats
+
+type shuffle_stats = {
+  mutable rows_shuffled : int;  (** rows that moved between workers *)
+  mutable exchanges : int;  (** number of exchange operations *)
+}
+
+type dist_rel = {
+  parts : Relation.t array;
+}
+
+let gather (d : dist_rel) = Partition.merge d.parts
+
+(** Repartition by a key function, counting rows whose worker changes. *)
+let repartition ~workers ~(shuffles : shuffle_stats) ~key (d : dist_rel) :
+    dist_rel =
+  shuffles.exchanges <- shuffles.exchanges + 1;
+  let buckets = Array.make workers [] in
+  Array.iteri
+    (fun current part ->
+      Relation.iter
+        (fun row ->
+          let target = Partition.worker_of_key ~workers (key row) in
+          if target <> current then
+            shuffles.rows_shuffled <- shuffles.rows_shuffled + 1;
+          buckets.(target) <- row :: buckets.(target))
+        part)
+    d.parts;
+  let schema = Relation.schema d.parts.(0) in
+  {
+    parts =
+      Array.map
+        (fun rows -> Relation.make schema (Array.of_list (List.rev rows)))
+        buckets;
+  }
+
+let gather_to_one ~workers ~(shuffles : shuffle_stats) (d : dist_rel) : dist_rel
+    =
+  shuffles.exchanges <- shuffles.exchanges + 1;
+  Array.iteri
+    (fun current part ->
+      if current <> 0 then
+        shuffles.rows_shuffled <-
+          shuffles.rows_shuffled + Relation.cardinality part)
+    d.parts;
+  let merged = Partition.merge d.parts in
+  let empty = Relation.empty (Relation.schema merged) in
+  { parts = Array.init workers (fun i -> if i = 0 then merged else empty) }
+
+let per_partition f (d : dist_rel) : dist_rel = { parts = Array.map f d.parts }
+
+let key_fn exprs row = Array.map (fun e -> Eval.eval row e) exprs
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation with local pre-aggregation                              *)
+
+(** An aggregate list is decomposable when every partial result can be
+    combined by another aggregate: COUNT combines by SUM, SUM/MIN/MAX
+    by themselves. AVG and DISTINCT aggregates are not (AVG would need
+    a sum/count pair; DISTINCT needs the raw values). *)
+let decomposable (aggs : Logical.agg list) =
+  List.for_all
+    (fun (a : Logical.agg) ->
+      (not a.agg_distinct)
+      &&
+      match a.agg_kind with
+      | Dbspinner_sql.Ast.Count | Dbspinner_sql.Ast.Count_star
+      | Dbspinner_sql.Ast.Sum | Dbspinner_sql.Ast.Min | Dbspinner_sql.Ast.Max ->
+        true
+      | Dbspinner_sql.Ast.Avg -> false)
+    aggs
+
+(** The combiner aggregates applied to partial rows
+    [key_0..key_{n-1}, partial_0..]. *)
+let combiner_aggs ~nkeys (aggs : Logical.agg list) : Logical.agg list =
+  List.mapi
+    (fun i (a : Logical.agg) ->
+      let kind =
+        match a.agg_kind with
+        | Dbspinner_sql.Ast.Count | Dbspinner_sql.Ast.Count_star
+        | Dbspinner_sql.Ast.Sum ->
+          Dbspinner_sql.Ast.Sum
+        | Dbspinner_sql.Ast.Min -> Dbspinner_sql.Ast.Min
+        | Dbspinner_sql.Ast.Max -> Dbspinner_sql.Ast.Max
+        | Dbspinner_sql.Ast.Avg -> assert false
+      in
+      {
+        Logical.agg_kind = kind;
+        agg_distinct = false;
+        agg_arg = Bound_expr.B_col (nkeys + i);
+      })
+    aggs
+
+(** Distributed grouped aggregation. Decomposable aggregates are
+    pre-aggregated locally so only one partial row per (worker, group)
+    crosses the network — the standard MPP shuffle-volume
+    optimization. *)
+let run_aggregate ~workers ~shuffles ~stats ~keys ~aggs ~agg_schema
+    (d : dist_rel) : dist_rel =
+  let nkeys = List.length keys in
+  if decomposable aggs then begin
+    let partial =
+      per_partition
+        (fun part -> Operators.aggregate ~stats ~keys ~aggs part agg_schema)
+        d
+    in
+    let final_keys = List.init nkeys (fun i -> Bound_expr.B_col i) in
+    let final_aggs = combiner_aggs ~nkeys aggs in
+    let combine part =
+      Operators.aggregate ~stats ~keys:final_keys ~aggs:final_aggs part
+        agg_schema
+    in
+    if nkeys = 0 then begin
+      (* One partial row per worker; combine on worker 0. *)
+      let g = gather_to_one ~workers ~shuffles partial in
+      {
+        parts =
+          Array.init workers (fun i ->
+              if i = 0 then combine g.parts.(0) else Relation.empty agg_schema);
+      }
+    end
+    else begin
+      let partial =
+        repartition ~workers ~shuffles
+          ~key:(fun (row : Row.t) -> Array.sub row 0 nkeys)
+          partial
+      in
+      per_partition combine partial
+    end
+  end
+  else if nkeys = 0 then begin
+    (* Non-decomposable global aggregate: gather raw rows. *)
+    let g = gather_to_one ~workers ~shuffles d in
+    {
+      parts =
+        Array.init workers (fun i ->
+            if i = 0 then Operators.aggregate ~stats ~keys ~aggs g.parts.(0) agg_schema
+            else Relation.empty agg_schema);
+    }
+  end
+  else begin
+    let key_exprs = Array.of_list keys in
+    let d = repartition ~workers ~shuffles ~key:(key_fn key_exprs) d in
+    per_partition
+      (fun part -> Operators.aggregate ~stats ~keys ~aggs part agg_schema)
+      d
+  end
+
+let rec run ?temps ~workers ~shuffles ~(stats : Stats.t) (catalog : Catalog.t)
+    (plan : Logical.t) : dist_rel =
+  let run = run ?temps in
+  match plan with
+  | Logical.L_scan { name; _ }
+    when Option.is_some
+           (Option.bind temps (fun t ->
+                Hashtbl.find_opt t (String.lowercase_ascii name))) ->
+    (* A temp materialized by this program: reuse its partitions as
+       they sit on the workers — no exchange. *)
+    Option.get
+      (Option.bind temps (fun t ->
+           Hashtbl.find_opt t (String.lowercase_ascii name)))
+  | Logical.L_scan _ | Logical.L_values _ ->
+    let rel = Dbspinner_exec.Executor.run_plan ~stats catalog plan in
+    { parts = Partition.round_robin ~workers rel }
+  | Logical.L_filter { pred; input } ->
+    per_partition
+      (Operators.filter ~stats pred)
+      (run ~workers ~shuffles ~stats catalog input)
+  | Logical.L_project { exprs; input } ->
+    per_partition
+      (Operators.project ~stats exprs)
+      (run ~workers ~shuffles ~stats catalog input)
+  | Logical.L_join { kind; cond; left; right; join_schema } -> (
+    let dl = run ~workers ~shuffles ~stats catalog left in
+    let dr = run ~workers ~shuffles ~stats catalog right in
+    let left_arity = Schema.arity (Logical.schema left) in
+    let equi =
+      match cond with
+      | None -> []
+      | Some c -> fst (Operators.split_equi_condition ~left_arity c)
+    in
+    match equi with
+    | [] ->
+      (* No hashable key: gather both sides and join on one worker. *)
+      let dl = gather_to_one ~workers ~shuffles dl in
+      let dr = gather_to_one ~workers ~shuffles dr in
+      {
+        parts =
+          Array.init workers (fun i ->
+              if i = 0 then
+                Operators.join ~stats kind cond dl.parts.(0) dr.parts.(0)
+                  join_schema
+              else Relation.empty join_schema);
+      }
+    | keys ->
+      let lkeys = Array.of_list (List.map fst keys) in
+      let rkeys = Array.of_list (List.map snd keys) in
+      let dl = repartition ~workers ~shuffles ~key:(key_fn lkeys) dl in
+      let dr = repartition ~workers ~shuffles ~key:(key_fn rkeys) dr in
+      (* NULL-keyed rows of outer sides land on worker 0 on both sides,
+         so outer padding stays correct per partition. *)
+      {
+        parts =
+          Array.init workers (fun i ->
+              Operators.join ~stats kind cond dl.parts.(i) dr.parts.(i)
+                join_schema);
+      })
+  | Logical.L_aggregate { keys; aggs; input; agg_schema } ->
+    let d = run ~workers ~shuffles ~stats catalog input in
+    run_aggregate ~workers ~shuffles ~stats ~keys ~aggs ~agg_schema d
+  | Logical.L_distinct input ->
+    let d = run ~workers ~shuffles ~stats catalog input in
+    let d = repartition ~workers ~shuffles ~key:(fun row -> row) d in
+    per_partition (Operators.distinct ~stats) d
+  | Logical.L_sort { keys; input } ->
+    let d = run ~workers ~shuffles ~stats catalog input in
+    let d = gather_to_one ~workers ~shuffles d in
+    per_partition (Operators.sort ~stats keys) d
+  | Logical.L_limit (n, input) ->
+    let d = run ~workers ~shuffles ~stats catalog input in
+    let d = gather_to_one ~workers ~shuffles d in
+    per_partition (Operators.limit ~stats n) d
+  | Logical.L_offset (n, input) ->
+    let d = run ~workers ~shuffles ~stats catalog input in
+    let d = gather_to_one ~workers ~shuffles d in
+    per_partition (Operators.offset ~stats n) d
+  | Logical.L_intersect { all; left; right } ->
+    let dl = run ~workers ~shuffles ~stats catalog left in
+    let dr = run ~workers ~shuffles ~stats catalog right in
+    let dl = repartition ~workers ~shuffles ~key:(fun row -> row) dl in
+    let dr = repartition ~workers ~shuffles ~key:(fun row -> row) dr in
+    {
+      parts =
+        Array.init workers (fun i ->
+            Operators.intersect ~stats ~all dl.parts.(i) dr.parts.(i));
+    }
+  | Logical.L_except { all; left; right } ->
+    let dl = run ~workers ~shuffles ~stats catalog left in
+    let dr = run ~workers ~shuffles ~stats catalog right in
+    let dl = repartition ~workers ~shuffles ~key:(fun row -> row) dl in
+    let dr = repartition ~workers ~shuffles ~key:(fun row -> row) dr in
+    {
+      parts =
+        Array.init workers (fun i ->
+            Operators.except ~stats ~all dl.parts.(i) dr.parts.(i));
+    }
+  | Logical.L_union { all; left; right } ->
+    let dl = run ~workers ~shuffles ~stats catalog left in
+    let dr = run ~workers ~shuffles ~stats catalog right in
+    let d =
+      {
+        parts =
+          Array.init workers (fun i ->
+              Operators.union_all ~stats dl.parts.(i) dr.parts.(i));
+      }
+    in
+    if all then d
+    else begin
+      let d = repartition ~workers ~shuffles ~key:(fun row -> row) d in
+      per_partition (Operators.distinct ~stats) d
+    end
+  | Logical.L_subquery_filter { anti; key; input; sub } ->
+    (* Broadcast the (gathered) subquery result to every worker. *)
+    let di = run ~workers ~shuffles ~stats catalog input in
+    let dsub = run ~workers ~shuffles ~stats catalog sub in
+    let gathered = gather dsub in
+    shuffles.exchanges <- shuffles.exchanges + 1;
+    shuffles.rows_shuffled <-
+      shuffles.rows_shuffled + (Relation.cardinality gathered * (workers - 1));
+    per_partition
+      (fun part -> Operators.subquery_filter ~stats ~anti ~key part gathered)
+      di
+
+(** Execute [plan] across [workers] simulated workers; returns the
+    gathered result and the exchange volume. *)
+let run_plan ?(workers = 4) (catalog : Catalog.t) (plan : Logical.t) :
+    Relation.t * shuffle_stats =
+  if workers <= 0 then invalid_arg "Distributed.run_plan: workers <= 0";
+  let shuffles = { rows_shuffled = 0; exchanges = 0 } in
+  let stats = Stats.create () in
+  let d = run ~workers ~shuffles ~stats catalog plan in
+  (gather d, shuffles)
+
+(* ------------------------------------------------------------------ *)
+(* Distributed step programs                                           *)
+
+module Program = Dbspinner_plan.Program
+
+exception Unsupported of string
+
+type loop_state = {
+  spec : Program.termination;
+  cte : string;
+  key_idx : int;
+  guard : int;
+  mutable iterations : int;
+  mutable cumulative_updates : int;
+  mutable snapshot : Relation.t option;
+}
+
+(** Execute a whole step program with every plan running distributed.
+    Materialized temps stay {e partitioned on the workers} between
+    steps (so the loop body's scans of the CTE table cost no exchange),
+    and [Rename] is a pointer swap of partition sets. Termination
+    checks beyond fixed iteration counts gather the CTE to the
+    coordinator; those reads are not counted as shuffles.
+
+    @raise Unsupported for programs containing recursive CTEs. *)
+let run_program ?(workers = 4) (catalog : Catalog.t) (program : Program.t) :
+    Relation.t * shuffle_stats =
+  if workers <= 0 then invalid_arg "Distributed.run_program: workers <= 0";
+  let shuffles = { rows_shuffled = 0; exchanges = 0 } in
+  let stats = Stats.create () in
+  let temps : (string, dist_rel) Hashtbl.t = Hashtbl.create 8 in
+  let key n = String.lowercase_ascii n in
+  let find_temp name =
+    match Hashtbl.find_opt temps (key name) with
+    | Some d -> d
+    | None -> raise (Unsupported (Printf.sprintf "temp %s not materialized" name))
+  in
+  let loops : (int, loop_state) Hashtbl.t = Hashtbl.create 4 in
+  let steps = Program.steps program in
+  let result = ref None in
+  let pc = ref 0 in
+  while !pc < Array.length steps do
+    let jump = ref None in
+    (match steps.(!pc) with
+    | Program.Materialize { target; plan } ->
+      Hashtbl.replace temps (key target)
+        (run ~temps ~workers ~shuffles ~stats catalog plan)
+    | Program.Rename { from_; into } ->
+      let d = find_temp from_ in
+      Hashtbl.remove temps (key from_);
+      Hashtbl.replace temps (key into) d
+    | Program.Drop_temp name -> Hashtbl.remove temps (key name)
+    | Program.Assert_unique_key { temp; key_idx } ->
+      (* Coordinator-side key check: only keys travel, not counted. *)
+      let seen = Hashtbl.create 64 in
+      Array.iter
+        (fun part ->
+          Relation.iter
+            (fun row ->
+              let k = row.(key_idx) in
+              if Value.is_null k then
+                raise
+                  (Dbspinner_exec.Executor.Execution_error
+                     "iterative CTE produced a NULL row key")
+              else if Hashtbl.mem seen k then
+                raise
+                  (Dbspinner_exec.Executor.Execution_error
+                     (Printf.sprintf
+                        "iterative CTE produced duplicate rows for key %s"
+                        (Value.to_string k)))
+              else Hashtbl.replace seen k ())
+            part)
+        (find_temp temp).parts
+    | Program.Init_loop { loop_id; termination; cte; key_idx; guard } ->
+      Hashtbl.replace loops loop_id
+        {
+          spec = termination;
+          cte;
+          key_idx;
+          guard;
+          iterations = 0;
+          cumulative_updates = 0;
+          snapshot = None;
+        }
+    | Program.Snapshot { loop_id } -> (
+      match Hashtbl.find_opt loops loop_id with
+      | None -> raise (Unsupported "snapshot for uninitialized loop")
+      | Some st -> (
+        match st.spec with
+        | Program.Max_iterations _ -> ()
+        | Program.Max_updates _ | Program.Delta_at_most _ | Program.Data _ ->
+          st.snapshot <-
+            Option.map gather (Hashtbl.find_opt temps (key st.cte))))
+    | Program.Loop_end { loop_id; body_start } -> (
+      let st = Hashtbl.find loops loop_id in
+      st.iterations <- st.iterations + 1;
+      stats.Stats.loop_iterations <- stats.Stats.loop_iterations + 1;
+      if st.iterations >= st.guard then
+        raise
+          (Dbspinner_exec.Executor.Execution_error
+             "distributed loop exceeded its iteration guard");
+      let current () = gather (find_temp st.cte) in
+      let updates () =
+        match st.snapshot with
+        | None -> Relation.cardinality (current ())
+        | Some prev -> Relation.delta_count ~key_idx:st.key_idx prev (current ())
+      in
+      let continue_ =
+        match st.spec with
+        | Program.Max_iterations n -> st.iterations < n
+        | Program.Max_updates n ->
+          st.cumulative_updates <- st.cumulative_updates + updates ();
+          st.cumulative_updates < n
+        | Program.Delta_at_most bound -> updates () > bound
+        | Program.Data { any; pred } ->
+          let rel = current () in
+          let satisfied = ref 0 in
+          Relation.iter
+            (fun r -> if Dbspinner_exec.Eval.eval_pred r pred then incr satisfied)
+            rel;
+          let stop =
+            if any then !satisfied > 0
+            else
+              !satisfied = Relation.cardinality rel
+              && Relation.cardinality rel > 0
+          in
+          not stop
+      in
+      if continue_ then jump := Some body_start)
+    | Program.Recursive_cte _ ->
+      raise (Unsupported "recursive CTEs in distributed programs")
+    | Program.Return plan ->
+      result := Some (gather (run ~temps ~workers ~shuffles ~stats catalog plan)));
+    match !jump with
+    | Some target -> pc := target
+    | None -> incr pc
+  done;
+  match !result with
+  | Some rel -> (rel, shuffles)
+  | None -> raise (Unsupported "program without Return")

@@ -1,0 +1,33 @@
+(** Simulated shared-nothing execution: relations live as worker
+    partitions, equi-joins and grouped aggregations repartition by key,
+    order-sensitive operators gather; rows crossing workers are
+    counted. Contract (property-tested): for every plan the result bag
+    equals single-node execution. *)
+
+module Relation = Dbspinner_storage.Relation
+module Catalog = Dbspinner_storage.Catalog
+module Logical = Dbspinner_plan.Logical
+
+type shuffle_stats = {
+  mutable rows_shuffled : int;  (** rows that moved between workers *)
+  mutable exchanges : int;  (** exchange operations performed *)
+}
+
+(** Execute [plan] across [workers] simulated workers (default 4);
+    returns the gathered result and the exchange volume.
+    @raise Invalid_argument when [workers <= 0]. *)
+val run_plan :
+  ?workers:int -> Catalog.t -> Logical.t -> Relation.t * shuffle_stats
+
+module Program = Dbspinner_plan.Program
+
+exception Unsupported of string
+
+(** Execute a whole step program distributed: materialized temps stay
+    partitioned on the workers between steps, [Rename] swaps partition
+    sets, and loop-termination checks beyond fixed iteration counts
+    gather the CTE to the coordinator (not counted as shuffles).
+    @raise Unsupported for recursive CTEs
+    @raise Invalid_argument when [workers <= 0]. *)
+val run_program :
+  ?workers:int -> Catalog.t -> Program.t -> Relation.t * shuffle_stats

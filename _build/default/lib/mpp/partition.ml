@@ -1,0 +1,52 @@
+(** Hash partitioning of relations across workers — the data layout of
+    a shared-nothing engine like the paper's MPPDB host. *)
+
+module Value = Dbspinner_storage.Value
+module Row = Dbspinner_storage.Row
+module Relation = Dbspinner_storage.Relation
+
+(** Worker index for a key row. NULL keys all land on worker 0, which
+    matches the convention that NULL join keys never match anyway. *)
+let worker_of_key ~workers (key : Row.t) =
+  if workers <= 0 then invalid_arg "Partition.worker_of_key: workers <= 0";
+  if Array.exists Value.is_null key then 0
+  else (Row.hash key land max_int) mod workers
+
+(** [by_key ~workers ~key rel] splits [rel] by hashing the evaluated
+    [key] expressions of each row. *)
+let by_key ~workers ~(key : Row.t -> Row.t) (rel : Relation.t) :
+    Relation.t array =
+  let buckets = Array.make workers [] in
+  Relation.iter
+    (fun row ->
+      let w = worker_of_key ~workers (key row) in
+      buckets.(w) <- row :: buckets.(w))
+    rel;
+  Array.map
+    (fun rows ->
+      Relation.make (Relation.schema rel) (Array.of_list (List.rev rows)))
+    buckets
+
+(** Round-robin split (the initial layout of freshly scanned data). *)
+let round_robin ~workers (rel : Relation.t) : Relation.t array =
+  let buckets = Array.make workers [] in
+  Array.iteri
+    (fun i row -> buckets.(i mod workers) <- row :: buckets.(i mod workers))
+    (Relation.rows rel);
+  Array.map
+    (fun rows ->
+      Relation.make (Relation.schema rel) (Array.of_list (List.rev rows)))
+    buckets
+
+(** Gather all partitions onto one worker, preserving row order within
+    each partition. *)
+let merge (parts : Relation.t array) : Relation.t =
+  if Array.length parts = 0 then invalid_arg "Partition.merge: no partitions";
+  let schema = Relation.schema parts.(0) in
+  let rows =
+    Array.concat (Array.to_list (Array.map Relation.rows parts))
+  in
+  Relation.make schema rows
+
+let total_cardinality parts =
+  Array.fold_left (fun acc p -> acc + Relation.cardinality p) 0 parts

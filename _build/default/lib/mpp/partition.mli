@@ -1,0 +1,23 @@
+(** Hash partitioning of relations across workers — the data layout of
+    a shared-nothing engine like the paper's MPPDB host. *)
+
+module Row = Dbspinner_storage.Row
+module Relation = Dbspinner_storage.Relation
+
+(** Worker index for a key row; NULL-containing keys all land on
+    worker 0.
+    @raise Invalid_argument when [workers <= 0]. *)
+val worker_of_key : workers:int -> Row.t -> int
+
+(** Split by hashing the evaluated key of each row. Equal keys land on
+    the same worker (property-tested). *)
+val by_key : workers:int -> key:(Row.t -> Row.t) -> Relation.t -> Relation.t array
+
+(** Round-robin split (initial layout of scanned data). *)
+val round_robin : workers:int -> Relation.t -> Relation.t array
+
+(** Gather partitions back into one relation (bag-preserving).
+    @raise Invalid_argument on an empty partition array. *)
+val merge : Relation.t array -> Relation.t
+
+val total_cardinality : Relation.t array -> int

@@ -1,0 +1,1 @@
+lib/plan/binder.ml: Array Bound_expr Dbspinner_sql Dbspinner_storage List Logical Option Printf String

@@ -1,0 +1,1 @@
+lib/plan/binder.mli: Bound_expr Dbspinner_sql Dbspinner_storage Logical

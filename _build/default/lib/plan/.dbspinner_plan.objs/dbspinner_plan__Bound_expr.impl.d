@@ -1,0 +1,1 @@
+lib/plan/bound_expr.ml: Dbspinner_sql Dbspinner_storage Format Int List Option String

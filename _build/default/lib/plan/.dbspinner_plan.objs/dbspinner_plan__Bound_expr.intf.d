@@ -1,0 +1,1 @@
+lib/plan/bound_expr.mli: Dbspinner_sql Dbspinner_storage Format

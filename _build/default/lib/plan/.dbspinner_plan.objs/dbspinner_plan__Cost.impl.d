@@ -1,0 +1,1 @@
+lib/plan/cost.ml: Array Bound_expr Dbspinner_sql Dbspinner_storage Float Format Hashtbl Logical Option Program String

@@ -1,0 +1,1 @@
+lib/plan/cost.mli: Format Logical Program

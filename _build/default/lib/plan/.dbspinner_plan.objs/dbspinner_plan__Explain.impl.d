@@ -1,0 +1,1 @@
+lib/plan/explain.ml: Array Bound_expr Dbspinner_sql Dbspinner_storage List Logical Printf Program String

@@ -1,0 +1,1 @@
+lib/plan/explain.mli: Logical Program

@@ -1,0 +1,1 @@
+lib/plan/logical.ml: Bound_expr Dbspinner_sql Dbspinner_storage List Printf String

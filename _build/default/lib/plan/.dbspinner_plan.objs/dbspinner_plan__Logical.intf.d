@@ -1,0 +1,1 @@
+lib/plan/logical.mli: Bound_expr Dbspinner_sql Dbspinner_storage

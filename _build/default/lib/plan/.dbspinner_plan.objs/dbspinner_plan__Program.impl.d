@@ -1,0 +1,1 @@
+lib/plan/program.ml: Array Bound_expr Dbspinner_storage Logical Printf

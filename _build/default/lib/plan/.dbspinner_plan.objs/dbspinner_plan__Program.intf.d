@@ -1,0 +1,1 @@
+lib/plan/program.mli: Bound_expr Dbspinner_storage Logical

@@ -1,0 +1,501 @@
+(** The binder: resolves names, types and aggregates, turning an AST
+    query into a {!Logical} plan.
+
+    CTE handling is {e not} here — the engine's rewriter materializes
+    CTEs as temp relations and extends the binder's environment with
+    their schemas, so a CTE reference binds like any other scan. *)
+
+module Schema = Dbspinner_storage.Schema
+module Relation = Dbspinner_storage.Relation
+module Value = Dbspinner_storage.Value
+module Ast = Dbspinner_sql.Ast
+
+exception Bind_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Bind_error s)) fmt
+
+type env = {
+  lookup : string -> Schema.t option;
+      (** resolve a table or temp name to its schema, case-insensitive *)
+}
+
+let env_of_lookup lookup = { lookup }
+
+(** [with_temp env name schema] shadows [name] with [schema]; used to
+    make CTE names visible while binding later parts of the query. *)
+let with_temp env name schema =
+  let key = String.lowercase_ascii name in
+  {
+    lookup =
+      (fun n ->
+        if String.lowercase_ascii n = key then Some schema else env.lookup n);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Scopes                                                              *)
+
+type scope_col = {
+  qualifier : string option;
+  col_name : string;
+}
+
+type scope = scope_col array
+
+let scope_of_schema ?qualifier (schema : Schema.t) : scope =
+  Array.map (fun (c : Schema.column) -> { qualifier; col_name = c.name }) schema
+
+let scope_concat (a : scope) (b : scope) : scope = Array.append a b
+
+let ci_equal a b = String.lowercase_ascii a = String.lowercase_ascii b
+
+let resolve_column (scope : scope) qualifier name =
+  let matches = ref [] in
+  Array.iteri
+    (fun i sc ->
+      let name_ok = ci_equal sc.col_name name in
+      let qual_ok =
+        match qualifier with
+        | None -> true
+        | Some q -> (
+          match sc.qualifier with Some sq -> ci_equal sq q | None -> false)
+      in
+      if name_ok && qual_ok then matches := i :: !matches)
+    scope;
+  match !matches with
+  | [ i ] -> i
+  | [] ->
+    error "unknown column %s%s"
+      (match qualifier with Some q -> q ^ "." | None -> "")
+      name
+  | _ :: _ :: _ ->
+    error "ambiguous column reference %s%s"
+      (match qualifier with Some q -> q ^ "." | None -> "")
+      name
+
+(* ------------------------------------------------------------------ *)
+(* Scalar expression binding                                           *)
+
+let rec bind_scalar (scope : scope) (e : Ast.expr) : Bound_expr.t =
+  match e with
+  | Ast.Lit v -> Bound_expr.B_lit v
+  | Ast.Col (q, c) -> Bound_expr.B_col (resolve_column scope q c)
+  | Ast.Star -> error "* is only valid as a SELECT item or in COUNT(*)"
+  | Ast.Agg _ -> error "aggregate calls are not allowed in this context"
+  | Ast.Binop (op, a, b) ->
+    Bound_expr.B_binop (op, bind_scalar scope a, bind_scalar scope b)
+  | Ast.Unop (op, a) -> Bound_expr.B_unop (op, bind_scalar scope a)
+  | Ast.Func (name, args) -> (
+    match Bound_expr.func_of_name name with
+    | None -> error "unknown function %s" name
+    | Some f ->
+      let n = List.length args in
+      let ok =
+        match Bound_expr.func_arity f with
+        | `Exact k -> n = k
+        | `At_least k -> n >= k
+        | `Range (lo, hi) -> n >= lo && n <= hi
+      in
+      if not ok then error "wrong number of arguments to %s" name;
+      Bound_expr.B_func (f, List.map (bind_scalar scope) args))
+  | Ast.Case (branches, else_) ->
+    Bound_expr.B_case
+      ( List.map
+          (fun (c, v) -> (bind_scalar scope c, bind_scalar scope v))
+          branches,
+        Option.map (bind_scalar scope) else_ )
+  | Ast.Cast (a, ty) -> Bound_expr.B_cast (ty, bind_scalar scope a)
+  | Ast.Is_null (a, is_null) -> Bound_expr.B_is_null (bind_scalar scope a, is_null)
+  | Ast.In_list (a, items, neg) ->
+    Bound_expr.B_in
+      (bind_scalar scope a, List.map (bind_scalar scope) items, neg)
+  | Ast.Between (a, lo, hi) ->
+    Bound_expr.B_between
+      (bind_scalar scope a, bind_scalar scope lo, bind_scalar scope hi)
+  | Ast.Like (a, pat, neg) -> Bound_expr.B_like (bind_scalar scope a, pat, neg)
+  | Ast.In_subquery _ | Ast.Exists_subquery _ ->
+    error
+      "subquery predicates are only supported as top-level WHERE conjuncts"
+  | Ast.Scalar_subquery _ ->
+    error
+      "scalar subqueries must be uncorrelated and may only reference base \
+       tables or views"
+
+(* ------------------------------------------------------------------ *)
+(* FROM binding                                                        *)
+
+let join_kind = function
+  | Ast.Inner -> Logical.Inner
+  | Ast.Left_outer -> Logical.Left_outer
+  | Ast.Right_outer -> Logical.Right_outer
+  | Ast.Full_outer -> Logical.Full_outer
+  | Ast.Cross -> Logical.Cross
+
+let rec bind_from env (f : Ast.from_item) : Logical.t * scope =
+  match f with
+  | Ast.From_table { table; alias } -> (
+    match env.lookup table with
+    | None -> error "unknown table %s" table
+    | Some schema ->
+      let qualifier = Some (Option.value alias ~default:table) in
+      (Logical.scan ~name:table ~schema, scope_of_schema ?qualifier schema))
+  | Ast.From_subquery { query; alias } ->
+    let plan = bind_query env query in
+    (plan, scope_of_schema ~qualifier:alias (Logical.schema plan))
+  | Ast.From_join { left; kind; right; condition } -> (
+    let lplan, lscope = bind_from env left in
+    let rplan, rscope = bind_from env right in
+    let scope = scope_concat lscope rscope in
+    let cond = Option.map (bind_scalar scope) condition in
+    match kind, cond with
+    | Ast.Cross, None -> (Logical.join Logical.Cross lplan rplan, scope)
+    | Ast.Cross, Some _ -> error "CROSS JOIN cannot have an ON condition"
+    | _, None -> error "JOIN requires an ON condition"
+    | k, Some c -> (Logical.join (join_kind k) ~cond:c lplan rplan, scope))
+
+(* ------------------------------------------------------------------ *)
+(* SELECT binding                                                      *)
+
+and output_name idx (item : Ast.select_item) =
+  match item.alias with
+  | Some a -> a
+  | None -> (
+    let rec derive = function
+      | Ast.Col (_, c) -> Some c
+      | Ast.Agg (Ast.Count_star, _, _) -> Some "count"
+      | Ast.Agg (kind, _, _) ->
+        Some (String.lowercase_ascii (Dbspinner_sql.Sql_pretty.agg_name kind))
+      | Ast.Func (name, _) -> Some (String.lowercase_ascii name)
+      | Ast.Cast (e, _) -> derive e
+      | _ -> None
+    in
+    match derive item.expr with
+    | Some n -> n
+    | None -> Printf.sprintf "_col%d" idx)
+
+and expand_stars (scope : scope) items =
+  List.concat_map
+    (fun (item : Ast.select_item) ->
+      match item.expr with
+      | Ast.Star ->
+        if Array.length scope = 0 then error "SELECT * with no FROM clause";
+        Array.to_list
+          (Array.map
+             (fun sc ->
+               { Ast.expr = Ast.Col (sc.qualifier, sc.col_name); alias = None })
+             scope)
+      | _ -> [ item ])
+    items
+
+and bind_select env (s : Ast.select) : Logical.t =
+  let input, scope =
+    match s.from with
+    | Some f -> bind_from env f
+    | None ->
+      (* SELECT without FROM: a single empty row ("dual"). *)
+      let dual = Relation.make (Schema.of_names []) [| [||] |] in
+      (Logical.values dual, [||])
+  in
+  let input =
+    match s.where with
+    | None -> input
+    | Some w ->
+      if Ast.has_aggregate w then
+        error "aggregate calls are not allowed in WHERE";
+      (* Top-level subquery conjuncts become semi / anti joins; the
+         rest is an ordinary filter. *)
+      let subquery_conjuncts, scalar_conjuncts =
+        List.partition
+          (function
+            | Ast.In_subquery _ | Ast.Exists_subquery _ -> true
+            | _ -> false)
+          (Ast.conjuncts w)
+      in
+      let input =
+        match scalar_conjuncts with
+        | [] -> input
+        | cs -> Logical.filter (bind_scalar scope (Ast.conjoin cs)) input
+      in
+      List.fold_left
+        (fun input conj ->
+          match conj with
+          | Ast.In_subquery (e, q, anti) ->
+            (* The subquery binds in the global environment only:
+               correlated subqueries are unsupported. *)
+            let sub = bind_query env q in
+            if Schema.arity (Logical.schema sub) <> 1 then
+              error "IN subquery must return exactly one column";
+            Logical.subquery_filter ~anti ~key:(Some (bind_scalar scope e))
+              input sub
+          | Ast.Exists_subquery (q, anti) ->
+            Logical.subquery_filter ~anti ~key:None input (bind_query env q)
+          | _ -> assert false)
+        input subquery_conjuncts
+  in
+  let items = expand_stars scope s.items in
+  let needs_aggregate =
+    s.group_by <> []
+    || List.exists (fun (it : Ast.select_item) -> Ast.has_aggregate it.expr) items
+    || (match s.having with Some h -> Ast.has_aggregate h | None -> false)
+    || s.having <> None
+  in
+  let plan =
+    if needs_aggregate then
+      bind_aggregate_select scope items s input
+    else begin
+      let exprs =
+        List.mapi
+          (fun i (it : Ast.select_item) ->
+            (bind_scalar scope it.expr, output_name i it))
+          items
+      in
+      Logical.project exprs input
+    end
+  in
+  if s.distinct then Logical.distinct plan else plan
+
+and bind_aggregate_select (scope : scope) items (s : Ast.select) input =
+  (* 1. Bind group keys over the input scope. *)
+  let keys = List.map (bind_scalar scope) s.group_by in
+  let key_asts = Array.of_list s.group_by in
+  let nkeys = Array.length key_asts in
+  (* 2. Collect distinct aggregate calls from items and HAVING. *)
+  let agg_asts = ref [] in
+  let collect e =
+    Ast.fold_expr
+      (fun () n ->
+        match n with
+        | Ast.Agg _ ->
+          if not (List.exists (Ast.expr_equal n) !agg_asts) then
+            agg_asts := !agg_asts @ [ n ]
+        | _ -> ())
+      () e
+  in
+  List.iter (fun (it : Ast.select_item) -> collect it.expr) items;
+  Option.iter collect s.having;
+  let agg_asts = Array.of_list !agg_asts in
+  let aggs =
+    Array.to_list
+      (Array.map
+         (fun a ->
+           match a with
+           | Ast.Agg (Ast.Count_star, d, _) ->
+             {
+               Logical.agg_kind = Ast.Count_star;
+               agg_distinct = d;
+               agg_arg = Bound_expr.B_lit Value.Null;
+             }
+           | Ast.Agg (kind, d, arg) ->
+             {
+               Logical.agg_kind = kind;
+               agg_distinct = d;
+               agg_arg = bind_scalar scope arg;
+             }
+           | _ -> assert false)
+         agg_asts)
+  in
+  (* 3. Key-index lookup: structural equality, or same resolved column. *)
+  let resolved_col e =
+    match e with
+    | Ast.Col (q, c) -> ( try Some (resolve_column scope q c) with _ -> None)
+    | _ -> None
+  in
+  let find_key e =
+    let rec search i =
+      if i >= nkeys then None
+      else if
+        Ast.expr_equal e key_asts.(i)
+        ||
+        match resolved_col e, resolved_col key_asts.(i) with
+        | Some a, Some b -> a = b
+        | _ -> false
+      then Some i
+      else search (i + 1)
+    in
+    search 0
+  in
+  let find_agg e =
+    let rec search i =
+      if i >= Array.length agg_asts then None
+      else if Ast.expr_equal e agg_asts.(i) then Some i
+      else search (i + 1)
+    in
+    search 0
+  in
+  (* 4. Translate post-aggregation expressions over [keys @ aggs]. *)
+  let rec translate (e : Ast.expr) : Bound_expr.t =
+    match find_key e with
+    | Some i -> Bound_expr.B_col i
+    | None -> (
+      match find_agg e with
+      | Some i -> Bound_expr.B_col (nkeys + i)
+      | None -> (
+        match e with
+        | Ast.Lit v -> Bound_expr.B_lit v
+        | Ast.Col (q, c) ->
+          error "column %s%s must appear in GROUP BY or an aggregate"
+            (match q with Some q -> q ^ "." | None -> "")
+            c
+        | Ast.Star -> error "* not allowed here"
+        | Ast.Agg _ ->
+          (* nested aggregate that failed find_agg: bug upstream *)
+          error "nested aggregate calls are not supported"
+        | Ast.Binop (op, a, b) -> Bound_expr.B_binop (op, translate a, translate b)
+        | Ast.Unop (op, a) -> Bound_expr.B_unop (op, translate a)
+        | Ast.Func (name, args) -> (
+          match Bound_expr.func_of_name name with
+          | None -> error "unknown function %s" name
+          | Some f -> Bound_expr.B_func (f, List.map translate args))
+        | Ast.Case (branches, else_) ->
+          Bound_expr.B_case
+            ( List.map (fun (c, v) -> (translate c, translate v)) branches,
+              Option.map translate else_ )
+        | Ast.Cast (a, ty) -> Bound_expr.B_cast (ty, translate a)
+        | Ast.Is_null (a, isn) -> Bound_expr.B_is_null (translate a, isn)
+        | Ast.In_list (a, its, neg) ->
+          Bound_expr.B_in (translate a, List.map translate its, neg)
+        | Ast.Between (a, lo, hi) ->
+          Bound_expr.B_between (translate a, translate lo, translate hi)
+        | Ast.Like (a, pat, neg) -> Bound_expr.B_like (translate a, pat, neg)
+        | Ast.In_subquery _ | Ast.Exists_subquery _ ->
+          error
+            "subquery predicates are only supported as top-level WHERE \
+             conjuncts"
+        | Ast.Scalar_subquery _ ->
+          error
+            "scalar subqueries must be uncorrelated and may only reference \
+             base tables or views"))
+  in
+  let key_names =
+    List.mapi
+      (fun i e ->
+        match e with Ast.Col (_, c) -> c | _ -> Printf.sprintf "_key%d" i)
+      s.group_by
+  in
+  let agg_names =
+    Array.to_list (Array.mapi (fun i _ -> Printf.sprintf "_agg%d" i) agg_asts)
+  in
+  let agg_plan =
+    Logical.aggregate ~keys ~key_names ~aggs ~agg_names input
+  in
+  let agg_plan =
+    match s.having with
+    | None -> agg_plan
+    | Some h -> Logical.filter (translate h) agg_plan
+  in
+  let exprs =
+    List.mapi
+      (fun i (it : Ast.select_item) -> (translate it.expr, output_name i it))
+      items
+  in
+  Logical.project exprs agg_plan
+
+(* ------------------------------------------------------------------ *)
+(* Query bodies                                                        *)
+
+and bind_query env (q : Ast.query) : Logical.t =
+  let bind_set_op name all left right combine =
+    let lplan = bind_query env left in
+    let rplan = bind_query env right in
+    if Schema.arity (Logical.schema lplan) <> Schema.arity (Logical.schema rplan)
+    then error "%s branches have different numbers of columns" name;
+    combine ~all lplan rplan
+  in
+  match q with
+  | Ast.Q_select s -> bind_select env s
+  | Ast.Q_union { all; left; right } ->
+    bind_set_op "UNION" all left right (fun ~all l r ->
+        let u = Logical.union ~all l r in
+        if all then u else Logical.distinct u)
+  | Ast.Q_intersect { all; left; right } ->
+    bind_set_op "INTERSECT" all left right Logical.intersect
+  | Ast.Q_except { all; left; right } ->
+    bind_set_op "EXCEPT" all left right Logical.except
+
+(** Bind ORDER BY / LIMIT over a query body. ORDER BY accepts output
+    column names, 1-based positions, or — as in standard SQL —
+    expressions over the {e source} columns of a plain SELECT even when
+    they are not in the select list. The latter are planned as hidden
+    projected columns that a final projection strips again. *)
+let bind_ordered ?(offset = 0) env (body : Ast.query)
+    (order_by : Ast.order_item list) (limit : int option) : Logical.t =
+  let plan = bind_query env body in
+  let finish plan keys =
+    let plan = Logical.sort keys plan in
+    let plan = Logical.offset offset plan in
+    match limit with None -> plan | Some n -> Logical.limit n plan
+  in
+  if order_by = [] then finish plan []
+  else begin
+    let out_scope = scope_of_schema (Logical.schema plan) in
+    (* First try to bind every key over the output schema. *)
+    let attempts =
+      List.map
+        (fun (o : Ast.order_item) ->
+          let bound =
+            match o.sort_expr with
+            | Ast.Lit (Value.Int n) ->
+              if n < 1 || n > Array.length out_scope then
+                error "ORDER BY position %d out of range" n;
+              Some (Bound_expr.B_col (n - 1))
+            | e -> ( try Some (bind_scalar out_scope e) with Bind_error _ -> None)
+          in
+          (o, bound))
+        order_by
+    in
+    if List.for_all (fun (_, b) -> Option.is_some b) attempts then
+      finish plan
+        (List.map (fun ((o : Ast.order_item), b) -> (Option.get b, o.descending)) attempts)
+    else begin
+      (* Keys referencing source columns: add them as hidden projected
+         columns, sort, then strip them. Only plain SELECT bodies can
+         do this; DISTINCT would change meaning. *)
+      match body with
+      | Ast.Q_select s when not s.Ast.distinct ->
+        let hidden =
+          List.filteri (fun _ (_, b) -> b = None) attempts
+          |> List.mapi (fun i ((o : Ast.order_item), _) ->
+                 {
+                   Ast.expr = o.sort_expr;
+                   alias = Some (Printf.sprintf "_sort%d" i);
+                 })
+        in
+        let extended = Ast.Q_select { s with Ast.items = s.Ast.items @ hidden } in
+        let plan2 = bind_query env extended in
+        let n_out = Array.length out_scope in
+        let keys =
+          let next_hidden = ref 0 in
+          List.map
+            (fun ((o : Ast.order_item), b) ->
+              match b with
+              | Some bound -> (bound, o.descending)
+              | None ->
+                let idx = n_out + !next_hidden in
+                incr next_hidden;
+                (Bound_expr.B_col idx, o.descending))
+            attempts
+        in
+        let sorted = finish plan2 keys in
+        (* Strip the hidden columns, restoring the declared output. *)
+        Logical.project
+          (List.mapi
+             (fun i (sc : scope_col) -> (Bound_expr.B_col i, sc.col_name))
+             (Array.to_list out_scope))
+          sorted
+      | Ast.Q_select _ | Ast.Q_union _ | Ast.Q_intersect _ | Ast.Q_except _ ->
+        (* Re-raise the original binding failure. *)
+        let (o, _) = List.find (fun (_, b) -> b = None) attempts in
+        ignore (bind_scalar out_scope o.Ast.sort_expr);
+        assert false
+    end
+  end
+
+(** Project a plan so its output columns get the given names (used for
+    CTE column lists: [WITH R (a, b, c) AS ...]). *)
+let rename_output (plan : Logical.t) names : Logical.t =
+  let schema = Logical.schema plan in
+  if List.length names <> Schema.arity schema then
+    error "CTE column list has %d names but query returns %d columns"
+      (List.length names) (Schema.arity schema);
+  Logical.project
+    (List.mapi (fun i n -> (Bound_expr.B_col i, n)) names)
+    plan

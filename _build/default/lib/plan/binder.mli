@@ -1,0 +1,53 @@
+(** The binder: resolves names, types and aggregates, turning AST
+    queries into {!Logical} plans. CTE handling lives in the rewriter —
+    it materializes CTEs as temps and extends the environment with
+    their schemas, so a CTE reference binds like any other scan. *)
+
+module Schema = Dbspinner_storage.Schema
+module Ast = Dbspinner_sql.Ast
+
+exception Bind_error of string
+
+type env
+
+(** [env_of_lookup f] — [f] resolves a table or temp name to its
+    schema, case-insensitively. *)
+val env_of_lookup : (string -> Schema.t option) -> env
+
+(** Shadow [name] with [schema] (makes a CTE visible downstream). *)
+val with_temp : env -> string -> Schema.t -> env
+
+(** {2 Scopes} *)
+
+type scope_col = {
+  qualifier : string option;
+  col_name : string;
+}
+
+type scope = scope_col array
+
+val scope_of_schema : ?qualifier:string -> Schema.t -> scope
+val scope_concat : scope -> scope -> scope
+
+(** {2 Binding} *)
+
+(** Bind a scalar expression (no aggregates) over a scope.
+    @raise Bind_error on unknown/ambiguous names or misuse. *)
+val bind_scalar : scope -> Ast.expr -> Bound_expr.t
+
+(** Bind a FROM item, returning its plan and the visible scope. *)
+val bind_from : env -> Ast.from_item -> Logical.t * scope
+
+(** Bind a query body (SELECT / UNION tree). *)
+val bind_query : env -> Ast.query -> Logical.t
+
+(** Bind a body plus ORDER BY / LIMIT. ORDER BY accepts output names,
+    1-based positions, and (for plain SELECTs) source-column
+    expressions, planned as hidden projected columns. *)
+val bind_ordered :
+  ?offset:int -> env -> Ast.query -> Ast.order_item list -> int option -> Logical.t
+
+(** Project a plan so its columns get the given names (CTE column
+    lists).
+    @raise Bind_error on arity mismatch. *)
+val rename_output : Logical.t -> string list -> Logical.t

@@ -1,0 +1,200 @@
+(** Bound (name-resolved) expressions: column references are positions
+    in the input row. Produced by {!Binder}, evaluated by the executor.
+
+    Aggregates never appear here — the binder splits them out into the
+    aggregate operator and rewrites the surrounding expression to read
+    the aggregate's output column. *)
+
+module Value = Dbspinner_storage.Value
+module Column_type = Dbspinner_storage.Column_type
+module Ast = Dbspinner_sql.Ast
+
+(** Scalar functions understood by the evaluator. *)
+type func =
+  | F_coalesce
+  | F_least
+  | F_greatest
+  | F_ceiling
+  | F_floor
+  | F_round  (** ROUND(x) or ROUND(x, digits) *)
+  | F_abs
+  | F_sqrt
+  | F_power
+  | F_sign
+  | F_exp
+  | F_ln
+  | F_nullif
+  | F_upper
+  | F_lower
+  | F_length
+  | F_substr  (** SUBSTR(s, from [, len]), 1-based *)
+
+type t =
+  | B_lit of Value.t
+  | B_col of int
+  | B_binop of Ast.binop * t * t
+  | B_unop of Ast.unop * t
+  | B_func of func * t list
+  | B_case of (t * t) list * t option
+  | B_cast of Column_type.t * t
+  | B_is_null of t * bool  (** [true] = IS NULL *)
+  | B_in of t * t list * bool  (** [true] = NOT IN *)
+  | B_between of t * t * t
+  | B_like of t * string * bool
+
+let func_of_name name =
+  match String.uppercase_ascii name with
+  | "COALESCE" -> Some F_coalesce
+  | "LEAST" -> Some F_least
+  | "GREATEST" -> Some F_greatest
+  | "CEILING" | "CEIL" -> Some F_ceiling
+  | "FLOOR" -> Some F_floor
+  | "ROUND" -> Some F_round
+  | "ABS" -> Some F_abs
+  | "SQRT" -> Some F_sqrt
+  | "POWER" | "POW" -> Some F_power
+  | "SIGN" -> Some F_sign
+  | "EXP" -> Some F_exp
+  | "LN" -> Some F_ln
+  | "NULLIF" -> Some F_nullif
+  | "UPPER" -> Some F_upper
+  | "LOWER" -> Some F_lower
+  | "LENGTH" | "LEN" -> Some F_length
+  | "SUBSTR" | "SUBSTRING" -> Some F_substr
+  | _ -> None
+
+let func_name = function
+  | F_coalesce -> "COALESCE"
+  | F_least -> "LEAST"
+  | F_greatest -> "GREATEST"
+  | F_ceiling -> "CEILING"
+  | F_floor -> "FLOOR"
+  | F_round -> "ROUND"
+  | F_abs -> "ABS"
+  | F_sqrt -> "SQRT"
+  | F_power -> "POWER"
+  | F_sign -> "SIGN"
+  | F_exp -> "EXP"
+  | F_ln -> "LN"
+  | F_nullif -> "NULLIF"
+  | F_upper -> "UPPER"
+  | F_lower -> "LOWER"
+  | F_length -> "LENGTH"
+  | F_substr -> "SUBSTR"
+
+(** Arity check at bind time; [None] means variadic with a minimum. *)
+let func_arity = function
+  | F_coalesce | F_least | F_greatest -> `At_least 1
+  | F_round -> `Range (1, 2)
+  | F_substr -> `Range (2, 3)
+  | F_power | F_nullif -> `Exact 2
+  | F_ceiling | F_floor | F_abs | F_sqrt | F_sign | F_exp | F_ln | F_upper
+  | F_lower | F_length ->
+    `Exact 1
+
+(** All column indices read by [e]. *)
+let rec columns acc = function
+  | B_lit _ -> acc
+  | B_col i -> i :: acc
+  | B_binop (_, a, b) -> columns (columns acc a) b
+  | B_unop (_, a) -> columns acc a
+  | B_func (_, args) -> List.fold_left columns acc args
+  | B_case (branches, else_) ->
+    let acc =
+      List.fold_left (fun acc (c, v) -> columns (columns acc c) v) acc branches
+    in
+    Option.fold ~none:acc ~some:(columns acc) else_
+  | B_cast (_, a) -> columns acc a
+  | B_is_null (a, _) -> columns acc a
+  | B_in (a, items, _) -> List.fold_left columns (columns acc a) items
+  | B_between (a, lo, hi) -> columns (columns (columns acc a) lo) hi
+  | B_like (a, _, _) -> columns acc a
+
+let columns_of e = List.sort_uniq Int.compare (columns [] e)
+
+(** [shift n e] adds [n] to every column index (used when an expression
+    bound over a left input must be evaluated over a concatenated
+    join row). *)
+let rec shift n = function
+  | B_lit _ as e -> e
+  | B_col i -> B_col (i + n)
+  | B_binop (op, a, b) -> B_binop (op, shift n a, shift n b)
+  | B_unop (op, a) -> B_unop (op, shift n a)
+  | B_func (f, args) -> B_func (f, List.map (shift n) args)
+  | B_case (branches, else_) ->
+    B_case
+      ( List.map (fun (c, v) -> (shift n c, shift n v)) branches,
+        Option.map (shift n) else_ )
+  | B_cast (ty, a) -> B_cast (ty, shift n a)
+  | B_is_null (a, neg) -> B_is_null (shift n a, neg)
+  | B_in (a, items, neg) -> B_in (shift n a, List.map (shift n) items, neg)
+  | B_between (a, lo, hi) -> B_between (shift n a, shift n lo, shift n hi)
+  | B_like (a, pat, neg) -> B_like (shift n a, pat, neg)
+
+(** [substitute f e] replaces every column reference [B_col i] with
+    [f i]; used to move predicates through projections. *)
+let rec substitute f = function
+  | B_lit _ as e -> e
+  | B_col i -> f i
+  | B_binop (op, a, b) -> B_binop (op, substitute f a, substitute f b)
+  | B_unop (op, a) -> B_unop (op, substitute f a)
+  | B_func (fn, args) -> B_func (fn, List.map (substitute f) args)
+  | B_case (branches, else_) ->
+    B_case
+      ( List.map (fun (c, v) -> (substitute f c, substitute f v)) branches,
+        Option.map (substitute f) else_ )
+  | B_cast (ty, a) -> B_cast (ty, substitute f a)
+  | B_is_null (a, neg) -> B_is_null (substitute f a, neg)
+  | B_in (a, items, neg) -> B_in (substitute f a, List.map (substitute f) items, neg)
+  | B_between (a, lo, hi) ->
+    B_between (substitute f a, substitute f lo, substitute f hi)
+  | B_like (a, pat, neg) -> B_like (substitute f a, pat, neg)
+
+(** Split into top-level AND conjuncts. *)
+let rec conjuncts = function
+  | B_binop (Ast.And, a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let conjoin = function
+  | [] -> B_lit (Value.Bool true)
+  | e :: rest -> List.fold_left (fun acc c -> B_binop (Ast.And, acc, c)) e rest
+
+let rec pp fmt = function
+  | B_lit v -> Value.pp fmt v
+  | B_col i -> Format.fprintf fmt "$%d" i
+  | B_binop (op, a, b) ->
+    Format.fprintf fmt "(%a %s %a)" pp a
+      (Dbspinner_sql.Sql_pretty.binop_symbol op)
+      pp b
+  | B_unop (Ast.Neg, a) -> Format.fprintf fmt "(- %a)" pp a
+  | B_unop (Ast.Not, a) -> Format.fprintf fmt "(NOT %a)" pp a
+  | B_func (f, args) ->
+    Format.fprintf fmt "%s(%a)" (func_name f)
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         pp)
+      args
+  | B_case (branches, else_) ->
+    Format.pp_print_string fmt "CASE";
+    List.iter
+      (fun (c, v) -> Format.fprintf fmt " WHEN %a THEN %a" pp c pp v)
+      branches;
+    Option.iter (fun e -> Format.fprintf fmt " ELSE %a" pp e) else_;
+    Format.pp_print_string fmt " END"
+  | B_cast (ty, a) ->
+    Format.fprintf fmt "CAST(%a AS %s)" pp a (Column_type.to_string ty)
+  | B_is_null (a, true) -> Format.fprintf fmt "(%a IS NULL)" pp a
+  | B_is_null (a, false) -> Format.fprintf fmt "(%a IS NOT NULL)" pp a
+  | B_in (a, items, neg) ->
+    Format.fprintf fmt "(%a %sIN (%a))" pp a
+      (if neg then "NOT " else "")
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         pp)
+      items
+  | B_between (a, lo, hi) ->
+    Format.fprintf fmt "(%a BETWEEN %a AND %a)" pp a pp lo pp hi
+  | B_like (a, pat, neg) ->
+    Format.fprintf fmt "(%a %sLIKE '%s')" pp a (if neg then "NOT " else "") pat
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,67 @@
+(** Bound (name-resolved) expressions: column references are positions
+    in the input row. Produced by {!Binder}, evaluated by the executor.
+    Aggregates never appear here — the binder splits them into the
+    aggregate operator. *)
+
+module Value = Dbspinner_storage.Value
+module Column_type = Dbspinner_storage.Column_type
+module Ast = Dbspinner_sql.Ast
+
+(** Scalar functions understood by the evaluator. *)
+type func =
+  | F_coalesce
+  | F_least
+  | F_greatest
+  | F_ceiling
+  | F_floor
+  | F_round  (** ROUND(x) or ROUND(x, digits) *)
+  | F_abs
+  | F_sqrt
+  | F_power
+  | F_sign
+  | F_exp
+  | F_ln
+  | F_nullif
+  | F_upper
+  | F_lower
+  | F_length
+  | F_substr  (** SUBSTR(s, from [, len]), 1-based *)
+
+type t =
+  | B_lit of Value.t
+  | B_col of int
+  | B_binop of Ast.binop * t * t
+  | B_unop of Ast.unop * t
+  | B_func of func * t list
+  | B_case of (t * t) list * t option
+  | B_cast of Column_type.t * t
+  | B_is_null of t * bool  (** [true] = IS NULL *)
+  | B_in of t * t list * bool  (** [true] = NOT IN *)
+  | B_between of t * t * t
+  | B_like of t * string * bool
+
+val func_of_name : string -> func option
+val func_name : func -> string
+
+(** Arity constraint checked at bind time. *)
+val func_arity : func -> [ `At_least of int | `Exact of int | `Range of int * int ]
+
+(** Sorted, deduplicated column indices read by the expression. *)
+val columns_of : t -> int list
+
+(** Add [n] to every column index (evaluate a one-side expression over
+    a concatenated join row; negative [n] shifts back). *)
+val shift : int -> t -> t
+
+(** Replace every [B_col i] with [f i] (move predicates through
+    projections). *)
+val substitute : (int -> t) -> t -> t
+
+(** Top-level AND conjuncts. *)
+val conjuncts : t -> t list
+
+(** AND-combine; the empty list is literal TRUE. *)
+val conjoin : t list -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

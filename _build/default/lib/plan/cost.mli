@@ -1,0 +1,36 @@
+(** Cost and cardinality estimation, including the paper's §IX future
+    work: iteration-count estimation for optimizer costing. The model
+    compares rewrites relatively; it does not predict wall time. *)
+
+(** Source of base-table / temp cardinalities. *)
+type statistics = {
+  cardinality_of : string -> int option;
+}
+
+type estimate = {
+  rows : float;  (** estimated output cardinality *)
+  cost : float;  (** estimated total work, arbitrary units *)
+}
+
+val plan : statistics -> Logical.t -> estimate
+
+(** Estimated iteration count for a termination condition given the
+    CTE's estimated cardinality: Metadata counts are exact, UPDATES
+    divides the budget by the expected per-iteration update volume,
+    Delta/Data use a convergence heuristic logarithmic in the
+    working-set size. *)
+val estimate_iterations : cte_rows:float -> Program.termination -> float
+
+type program_estimate = {
+  setup_cost : float;  (** work outside any loop *)
+  per_iteration_cost : float;
+  iterations : float;
+  total_cost : float;  (** setup + per-iteration × iterations *)
+}
+
+(** Estimate a full step program; loop-body steps are charged per
+    estimated iteration, and materialized temp cardinalities propagate
+    to later steps. *)
+val program : statistics -> Program.t -> program_estimate
+
+val pp_program_estimate : Format.formatter -> program_estimate -> unit

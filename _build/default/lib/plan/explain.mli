@@ -1,0 +1,5 @@
+(** Textual rendering of logical plans and step programs — the engine's
+    EXPLAIN output, in the paper's Table-I style. *)
+
+val plan_to_string : Logical.t -> string
+val program_to_string : Program.t -> string

@@ -1,0 +1,213 @@
+(** Logical query plans. Every node carries its output schema so that
+    downstream binding and the executor never recompute name
+    resolution.
+
+    Scans are by name and resolved against the catalog at execution
+    time: intermediate results (temps) shadow base tables, which is how
+    the iterative reference ("PageRank") inside the loop body reads the
+    current iteration's table. *)
+
+module Schema = Dbspinner_storage.Schema
+module Relation = Dbspinner_storage.Relation
+module Ast = Dbspinner_sql.Ast
+
+type join_kind = Inner | Left_outer | Right_outer | Full_outer | Cross
+
+type agg = {
+  agg_kind : Ast.agg_kind;
+  agg_distinct : bool;
+  agg_arg : Bound_expr.t;  (** ignored for [Count_star] *)
+}
+
+type t =
+  | L_scan of { name : string; scan_schema : Schema.t }
+  | L_values of Relation.t
+  | L_filter of { pred : Bound_expr.t; input : t }
+  | L_project of { exprs : (Bound_expr.t * string) list; input : t }
+  | L_join of {
+      kind : join_kind;
+      cond : Bound_expr.t option;
+          (** over the concatenated (left @ right) row *)
+      left : t;
+      right : t;
+      join_schema : Schema.t;
+    }
+  | L_aggregate of {
+      keys : Bound_expr.t list;
+      aggs : agg list;
+      input : t;
+      agg_schema : Schema.t;  (** key columns then aggregate columns *)
+    }
+  | L_distinct of t
+  | L_sort of { keys : (Bound_expr.t * bool) list; input : t }
+      (** [(expr, descending)] *)
+  | L_limit of int * t
+  | L_offset of int * t
+  | L_union of { all : bool; left : t; right : t }
+  | L_intersect of { all : bool; left : t; right : t }
+      (** bag semantics for ALL (minimum multiplicities) *)
+  | L_except of { all : bool; left : t; right : t }
+      (** bag semantics for ALL (multiplicity difference) *)
+  | L_subquery_filter of {
+      anti : bool;  (** NOT IN / NOT EXISTS *)
+      key : Bound_expr.t option;
+          (** the probe expression of IN; [None] for EXISTS *)
+      input : t;
+      sub : t;  (** arity 1 when [key] is [Some] *)
+    }
+      (** uncorrelated IN / EXISTS subquery predicates, executed as
+          semi / (null-aware) anti joins *)
+
+let rec schema = function
+  | L_scan { scan_schema; _ } -> scan_schema
+  | L_values rel -> Relation.schema rel
+  | L_filter { input; _ } -> schema input
+  | L_project { exprs; _ } ->
+    Schema.of_names (List.map snd exprs)
+  | L_join { join_schema; _ } -> join_schema
+  | L_aggregate { agg_schema; _ } -> agg_schema
+  | L_distinct input -> schema input
+  | L_sort { input; _ } -> schema input
+  | L_limit (_, input) | L_offset (_, input) -> schema input
+  | L_union { left; _ } | L_intersect { left; _ } | L_except { left; _ } ->
+    schema left
+  | L_subquery_filter { input; _ } -> schema input
+
+(* Smart constructors --------------------------------------------------- *)
+
+let scan ~name ~schema = L_scan { name; scan_schema = schema }
+let values rel = L_values rel
+let filter pred input = L_filter { pred; input }
+let project exprs input = L_project { exprs; input }
+
+let join kind ?cond left right =
+  let join_schema = Schema.append (schema left) (schema right) in
+  L_join { kind; cond; left; right; join_schema }
+
+let aggregate ~keys ~key_names ~aggs ~agg_names input =
+  assert (List.length keys = List.length key_names);
+  assert (List.length aggs = List.length agg_names);
+  let agg_schema = Schema.of_names (key_names @ agg_names) in
+  L_aggregate { keys; aggs; input; agg_schema }
+
+let distinct input = L_distinct input
+let sort keys input = if keys = [] then input else L_sort { keys; input }
+let limit n input = L_limit (n, input)
+let offset n input = if n <= 0 then input else L_offset (n, input)
+
+let subquery_filter ~anti ~key input sub =
+  (match key with
+  | Some _ ->
+    if Schema.arity (schema sub) <> 1 then
+      invalid_arg "Logical.subquery_filter: IN subquery must return one column"
+  | None -> ());
+  L_subquery_filter { anti; key; input; sub }
+
+let check_set_arity name left right =
+  if Schema.arity (schema left) <> Schema.arity (schema right) then
+    invalid_arg (Printf.sprintf "Logical.%s: arity mismatch" name)
+
+let union ~all left right =
+  check_set_arity "union" left right;
+  L_union { all; left; right }
+
+let intersect ~all left right =
+  check_set_arity "intersect" left right;
+  L_intersect { all; left; right }
+
+let except ~all left right =
+  check_set_arity "except" left right;
+  L_except { all; left; right }
+
+(* Traversals ----------------------------------------------------------- *)
+
+(** Names of all scans in the plan (base tables and temps). *)
+let rec scan_names acc = function
+  | L_scan { name; _ } -> name :: acc
+  | L_values _ -> acc
+  | L_filter { input; _ }
+  | L_project { input; _ }
+  | L_sort { input; _ }
+  | L_limit (_, input)
+  | L_offset (_, input)
+  | L_aggregate { input; _ }
+  | L_distinct input ->
+    scan_names acc input
+  | L_join { left; right; _ }
+  | L_union { left; right; _ }
+  | L_intersect { left; right; _ }
+  | L_except { left; right; _ } ->
+    scan_names (scan_names acc left) right
+  | L_subquery_filter { input; sub; _ } -> scan_names (scan_names acc input) sub
+
+let referenced_tables t = List.sort_uniq String.compare (scan_names [] t)
+
+(** [rename_scans mapping t] replaces scan names per [mapping]
+    (case-insensitive keys); used when a rewrite redirects the
+    iterative reference to a materialized common result. *)
+let rec rename_scans mapping = function
+  | L_scan { name; scan_schema } ->
+    let name' =
+      match
+        List.assoc_opt (String.lowercase_ascii name)
+          (List.map (fun (k, v) -> (String.lowercase_ascii k, v)) mapping)
+      with
+      | Some n -> n
+      | None -> name
+    in
+    L_scan { name = name'; scan_schema }
+  | L_values _ as t -> t
+  | L_filter { pred; input } -> L_filter { pred; input = rename_scans mapping input }
+  | L_project { exprs; input } ->
+    L_project { exprs; input = rename_scans mapping input }
+  | L_join { kind; cond; left; right; join_schema } ->
+    L_join
+      {
+        kind;
+        cond;
+        left = rename_scans mapping left;
+        right = rename_scans mapping right;
+        join_schema;
+      }
+  | L_aggregate { keys; aggs; input; agg_schema } ->
+    L_aggregate { keys; aggs; input = rename_scans mapping input; agg_schema }
+  | L_distinct input -> L_distinct (rename_scans mapping input)
+  | L_sort { keys; input } -> L_sort { keys; input = rename_scans mapping input }
+  | L_limit (n, input) -> L_limit (n, rename_scans mapping input)
+  | L_offset (n, input) -> L_offset (n, rename_scans mapping input)
+  | L_union { all; left; right } ->
+    L_union
+      { all; left = rename_scans mapping left; right = rename_scans mapping right }
+  | L_intersect { all; left; right } ->
+    L_intersect
+      { all; left = rename_scans mapping left; right = rename_scans mapping right }
+  | L_except { all; left; right } ->
+    L_except
+      { all; left = rename_scans mapping left; right = rename_scans mapping right }
+  | L_subquery_filter { anti; key; input; sub } ->
+    L_subquery_filter
+      {
+        anti;
+        key;
+        input = rename_scans mapping input;
+        sub = rename_scans mapping sub;
+      }
+
+(** Number of operator nodes; a coarse plan-size metric used by tests
+    and EXPLAIN. *)
+let rec size = function
+  | L_scan _ | L_values _ -> 1
+  | L_filter { input; _ }
+  | L_project { input; _ }
+  | L_sort { input; _ }
+  | L_limit (_, input)
+  | L_offset (_, input)
+  | L_aggregate { input; _ }
+  | L_distinct input ->
+    1 + size input
+  | L_join { left; right; _ }
+  | L_union { left; right; _ }
+  | L_intersect { left; right; _ }
+  | L_except { left; right; _ } ->
+    1 + size left + size right
+  | L_subquery_filter { input; sub; _ } -> 1 + size input + size sub

@@ -1,0 +1,98 @@
+(** Logical query plans. Every node carries enough information to
+    recover its output schema without re-binding; scans are by name and
+    resolved against the catalog at execution time, with temps
+    shadowing base tables (how the iterative reference reads the
+    current iteration's table). *)
+
+module Schema = Dbspinner_storage.Schema
+module Relation = Dbspinner_storage.Relation
+module Ast = Dbspinner_sql.Ast
+
+type join_kind = Inner | Left_outer | Right_outer | Full_outer | Cross
+
+type agg = {
+  agg_kind : Ast.agg_kind;
+  agg_distinct : bool;
+  agg_arg : Bound_expr.t;  (** ignored for [Count_star] *)
+}
+
+type t =
+  | L_scan of { name : string; scan_schema : Schema.t }
+  | L_values of Relation.t
+  | L_filter of { pred : Bound_expr.t; input : t }
+  | L_project of { exprs : (Bound_expr.t * string) list; input : t }
+  | L_join of {
+      kind : join_kind;
+      cond : Bound_expr.t option;  (** over the concatenated row *)
+      left : t;
+      right : t;
+      join_schema : Schema.t;
+    }
+  | L_aggregate of {
+      keys : Bound_expr.t list;
+      aggs : agg list;
+      input : t;
+      agg_schema : Schema.t;  (** key columns then aggregate columns *)
+    }
+  | L_distinct of t
+  | L_sort of { keys : (Bound_expr.t * bool) list; input : t }
+      (** [(expr, descending)] *)
+  | L_limit of int * t
+  | L_offset of int * t
+  | L_union of { all : bool; left : t; right : t }
+  | L_intersect of { all : bool; left : t; right : t }
+  | L_except of { all : bool; left : t; right : t }
+  | L_subquery_filter of {
+      anti : bool;  (** NOT IN / NOT EXISTS *)
+      key : Bound_expr.t option;  (** IN probe; [None] = EXISTS *)
+      input : t;
+      sub : t;
+    }
+
+val schema : t -> Schema.t
+
+(** {2 Smart constructors} *)
+
+val scan : name:string -> schema:Schema.t -> t
+val values : Relation.t -> t
+val filter : Bound_expr.t -> t -> t
+val project : (Bound_expr.t * string) list -> t -> t
+val join : join_kind -> ?cond:Bound_expr.t -> t -> t -> t
+
+val aggregate :
+  keys:Bound_expr.t list ->
+  key_names:string list ->
+  aggs:agg list ->
+  agg_names:string list ->
+  t ->
+  t
+
+val distinct : t -> t
+
+(** No-op on an empty key list. *)
+val sort : (Bound_expr.t * bool) list -> t -> t
+
+val limit : int -> t -> t
+
+(** No-op on a non-positive offset. *)
+val offset : int -> t -> t
+
+(** @raise Invalid_argument on arity mismatches. *)
+val union : all:bool -> t -> t -> t
+
+val intersect : all:bool -> t -> t -> t
+val except : all:bool -> t -> t -> t
+
+(** @raise Invalid_argument when an IN subquery is not single-column. *)
+val subquery_filter : anti:bool -> key:Bound_expr.t option -> t -> t -> t
+
+(** {2 Traversals} *)
+
+(** Sorted unique names of all scans (base tables and temps). *)
+val referenced_tables : t -> string list
+
+(** Replace scan names per the (case-insensitive) mapping. *)
+val rename_scans : (string * string) list -> t -> t
+
+(** Operator-node count; a coarse plan-size metric. *)
+val size : t -> int

@@ -1,0 +1,1 @@
+lib/rewrite/common_result.ml: Dbspinner_sql Dbspinner_storage List Option Printf String

@@ -1,0 +1,1 @@
+lib/rewrite/common_result.mli: Dbspinner_sql Dbspinner_storage

@@ -1,0 +1,1 @@
+lib/rewrite/fold.ml: Dbspinner_exec Dbspinner_plan Dbspinner_sql Dbspinner_storage List Option

@@ -1,0 +1,1 @@
+lib/rewrite/fold.mli: Dbspinner_sql

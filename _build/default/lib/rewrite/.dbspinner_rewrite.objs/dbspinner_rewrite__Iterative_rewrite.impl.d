@@ -1,0 +1,1 @@
+lib/rewrite/iterative_rewrite.ml: Array Common_result Dbspinner_plan Dbspinner_sql Dbspinner_storage Fold List Options Outer_to_inner Plan_pushdown Printf Pushdown String

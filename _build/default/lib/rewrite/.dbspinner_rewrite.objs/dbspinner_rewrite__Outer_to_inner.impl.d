@@ -1,0 +1,1 @@
+lib/rewrite/outer_to_inner.ml: Dbspinner_plan Dbspinner_sql List Option String

@@ -1,0 +1,1 @@
+lib/rewrite/outer_to_inner.mli: Dbspinner_sql

@@ -1,0 +1,1 @@
+lib/rewrite/plan_pushdown.ml: Array Dbspinner_plan Dbspinner_sql Dbspinner_storage List

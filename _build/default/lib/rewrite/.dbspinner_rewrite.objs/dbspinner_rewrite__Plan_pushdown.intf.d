@@ -1,0 +1,1 @@
+lib/rewrite/plan_pushdown.mli: Dbspinner_plan

@@ -1,0 +1,1 @@
+lib/rewrite/pushdown.ml: Dbspinner_sql Fun List Option String

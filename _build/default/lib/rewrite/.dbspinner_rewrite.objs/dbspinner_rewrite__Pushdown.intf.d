@@ -1,0 +1,1 @@
+lib/rewrite/pushdown.mli: Dbspinner_sql

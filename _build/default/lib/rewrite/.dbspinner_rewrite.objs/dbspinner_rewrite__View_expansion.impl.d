@@ -1,0 +1,1 @@
+lib/rewrite/view_expansion.ml: Dbspinner_sql List Option Printf String

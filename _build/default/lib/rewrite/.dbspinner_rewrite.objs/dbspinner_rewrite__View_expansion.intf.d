@@ -1,0 +1,1 @@
+lib/rewrite/view_expansion.mli: Dbspinner_sql

@@ -1,0 +1,421 @@
+(** Common-result rewrite (paper §V-A): joins in the iterative part
+    whose inputs never change across iterations are materialized once,
+    before the loop, and the iterative part re-reads the materialized
+    result.
+
+    A subtree of [Ri]'s join tree is {e loop-invariant} when it never
+    references the CTE itself: base tables cannot change during the
+    query and earlier CTEs are materialized once, so only the iterative
+    reference varies between iterations. Every maximal invariant
+    subtree that is an actual join (extraction of a bare scan saves
+    nothing) becomes a new plain CTE placed before the iterative CTE.
+
+    Column references into the extracted subtree are rewritten from
+    [alias.column] to [common.alias_column]; the rewrite is abandoned
+    for a candidate whenever that mapping could be ambiguous
+    (unqualified references into the subtree, duplicated aliases,
+    SELECT-star items). Filters of [Ri]'s WHERE clause that touch only the
+    subtree are hoisted into the common CTE, shrinking it once instead
+    of every iteration. *)
+
+module Schema = Dbspinner_storage.Schema
+module Ast = Dbspinner_sql.Ast
+
+let ci = String.lowercase_ascii
+let ci_equal a b = ci a = ci b
+
+type leaf = {
+  leaf_alias : string;
+  leaf_columns : string list;
+}
+
+(** Leaf tables of a join subtree with effective aliases and schemas;
+    [None] when the subtree contains anything but plain table scans. *)
+let rec leaves_of ~lookup = function
+  | Ast.From_table { table; alias } -> (
+    match lookup table with
+    | None -> None
+    | Some schema ->
+      Some
+        [
+          {
+            leaf_alias = Option.value alias ~default:table;
+            leaf_columns = Schema.column_names schema;
+          };
+        ])
+  | Ast.From_subquery _ -> None
+  | Ast.From_join { left; right; _ } -> (
+    match leaves_of ~lookup left, leaves_of ~lookup right with
+    | Some l, Some r -> Some (l @ r)
+    | _ -> None)
+
+let references_cte cte_name f =
+  List.exists (fun t -> ci_equal t cte_name) (Ast.tables_of_from f)
+
+(** Maximal invariant join subtrees, top-down, each tagged with whether
+    it sits on a null-producing side of an enclosing outer join. A
+    WHERE conjunct over such a subtree is null-rejecting at the top
+    level (it silently turns the outer join into an inner join), so
+    hoisting it {e into} the subtree would change semantics — those
+    candidates keep their filters outside. *)
+let candidates cte_name (f : Ast.from_item) : (Ast.from_item * bool) list =
+  let rec go ~nullable f =
+    match f with
+    | Ast.From_join { left; kind; right; _ } ->
+      if references_cte cte_name f then begin
+        let left_nullable, right_nullable =
+          match kind with
+          | Ast.Inner | Ast.Cross -> (nullable, nullable)
+          | Ast.Left_outer -> (nullable, true)
+          | Ast.Right_outer -> (true, nullable)
+          | Ast.Full_outer -> (true, true)
+        in
+        go ~nullable:left_nullable left @ go ~nullable:right_nullable right
+      end
+      else [ (f, nullable) ]
+    | Ast.From_table _ | Ast.From_subquery _ -> []
+  in
+  go ~nullable:false f
+
+let flat_name alias column = ci alias ^ "_" ^ ci column
+
+(** Replace [target] (physical equality) with a scan of [common_name]
+    in the join tree. Unchanged subtrees keep their physical identity
+    so later candidates can still be located; returns [None] when
+    [target] does not occur. *)
+let replace_subtree ~target ~common_name (f : Ast.from_item) :
+    Ast.from_item option =
+  let found = ref false in
+  let rec go f =
+    if f == target then begin
+      found := true;
+      Ast.From_table { table = common_name; alias = Some common_name }
+    end
+    else
+      match f with
+      | Ast.From_table _ | Ast.From_subquery _ -> f
+      | Ast.From_join { left; kind; right; condition } ->
+        let left' = go left in
+        let right' = go right in
+        if left' == left && right' == right then f
+        else Ast.From_join { left = left'; kind; right = right'; condition }
+  in
+  let f' = go f in
+  if !found then Some f' else None
+
+(** Rewrite an expression's references into the extracted subtree.
+    Raises [Exit] when an unqualified reference could resolve into the
+    subtree (ambiguous — abort the candidate). *)
+let rewrite_expr ~leaves ~common_name e =
+  let alias_set = List.map (fun l -> ci l.leaf_alias) leaves in
+  let column_set =
+    List.concat_map (fun l -> List.map ci l.leaf_columns) leaves
+  in
+  Ast.map_expr
+    (fun node ->
+      match node with
+      | Ast.Col (Some q, c) when List.mem (ci q) alias_set ->
+        Ast.Col (Some common_name, flat_name q c)
+      | Ast.Col (None, c) when List.mem (ci c) column_set -> raise Exit
+      (* Subquery innards are not rewritten: abort conservatively. *)
+      | Ast.In_subquery _ | Ast.Exists_subquery _ | Ast.Scalar_subquery _ ->
+        raise Exit
+      | _ -> node)
+    e
+
+(** Conjuncts whose column references all point (qualified) into the
+    subtree can be evaluated once inside the common CTE. *)
+let splits_where ~leaves where =
+  let alias_set = List.map (fun l -> ci l.leaf_alias) leaves in
+  let all_in_subtree conj =
+    let only = ref true in
+    ignore
+      (Ast.fold_expr
+         (fun () n ->
+           match n with
+           | Ast.Col (Some q, _) when List.mem (ci q) alias_set -> ()
+           | Ast.Col _ -> only := false
+           | Ast.Agg _ | Ast.In_subquery _ | Ast.Exists_subquery _
+           | Ast.Scalar_subquery _ ->
+             only := false
+           | _ -> ())
+         () conj);
+    !only
+  in
+  match where with
+  | None -> ([], [])
+  | Some w -> List.partition all_in_subtree (Ast.conjuncts w)
+
+(* ------------------------------------------------------------------ *)
+(* Inner-join reordering (the paper's §V-A future work)                *)
+
+(** When the iterative part's FROM is a chain of {e inner} joins, the
+    loop-invariant tables may not be adjacent (the paper's example:
+    vertexStatus not joined directly with edges). Inner joins commute,
+    so we flatten the chain, group the invariant leaves first and
+    rebuild a left-deep tree — after which the maximal-subtree search
+    finds them as one candidate. The rewrite refuses anything unsound:
+    outer joins in the chain, missing ON conditions for a step (which
+    would manufacture a cross product), unqualified or unattributable
+    condition references. *)
+
+let rec inner_only = function
+  | Ast.From_table _ -> true
+  | Ast.From_subquery _ -> true
+  | Ast.From_join { kind = Ast.Inner; left; right; condition = Some _ } ->
+    inner_only left && inner_only right
+  | Ast.From_join _ -> false
+
+let rec flatten_inner f =
+  match f with
+  | Ast.From_table _ | Ast.From_subquery _ -> ([ f ], [])
+  | Ast.From_join { left; right; condition; _ } ->
+    let ll, lc = flatten_inner left in
+    let rl, rc = flatten_inner right in
+    ( ll @ rl,
+      lc @ rc @ match condition with Some c -> Ast.conjuncts c | None -> [] )
+
+let leaf_alias = function
+  | Ast.From_table { table; alias } -> ci (Option.value alias ~default:table)
+  | Ast.From_subquery { alias; _ } -> ci alias
+  | Ast.From_join _ -> assert false
+
+(** Aliases referenced by a conjunct; [None] when it contains an
+    unqualified reference (unattributable). *)
+let conjunct_aliases conj =
+  let ok = ref true in
+  let found =
+    Ast.fold_expr
+      (fun acc n ->
+        match n with
+        | Ast.Col (Some q, _) -> ci q :: acc
+        | Ast.Col (None, _) ->
+          ok := false;
+          acc
+        | _ -> acc)
+      [] conj
+  in
+  if !ok then Some (List.sort_uniq String.compare found) else None
+
+exception Give_up
+
+let reorder_for_invariance ~cte_name (f : Ast.from_item) : Ast.from_item option =
+  if not (inner_only f) then None
+  else begin
+    let leaves, conds = flatten_inner f in
+    let invariant, variant =
+      List.partition (fun leaf -> not (references_cte cte_name leaf)) leaves
+    in
+    if List.length invariant < 2 || variant = [] then None
+    else
+      try
+        let attributed =
+          List.map
+            (fun conj ->
+              match conjunct_aliases conj with
+              | Some aliases -> (conj, aliases, ref false)
+              | None -> raise Give_up)
+            conds
+        in
+        let build order =
+          let available = ref [] in
+          let tree = ref None in
+          List.iter
+            (fun leaf ->
+              available := leaf_alias leaf :: !available;
+              match !tree with
+              | None -> tree := Some leaf
+              | Some acc ->
+                let usable =
+                  List.filter
+                    (fun (_, aliases, used) ->
+                      (not !used)
+                      && List.for_all (fun a -> List.mem a !available) aliases)
+                    attributed
+                in
+                (* At least one condition must constrain the new leaf,
+                   or this step would be an (unintended) cross
+                   product. *)
+                if
+                  not
+                    (List.exists
+                       (fun (_, aliases, _) -> List.mem (leaf_alias leaf) aliases)
+                       usable)
+                then raise Give_up;
+                List.iter (fun (_, _, used) -> used := true) usable;
+                let condition =
+                  Ast.conjoin (List.map (fun (c, _, _) -> c) usable)
+                in
+                tree :=
+                  Some
+                    (Ast.From_join
+                       {
+                         left = acc;
+                         kind = Ast.Inner;
+                         right = leaf;
+                         condition = Some condition;
+                       }))
+            order;
+          (* Every condition must have found a home. *)
+          if List.exists (fun (_, _, used) -> not !used) attributed then
+            raise Give_up;
+          Option.get !tree
+        in
+        Some (build (invariant @ variant))
+      with Give_up -> None
+  end
+
+type extraction = {
+  new_ctes : Ast.cte list;
+  step : Ast.query;
+  extracted : int;  (** number of subtrees materialized *)
+}
+
+(** Attempt the rewrite on the iterative part of CTE [cte_name]. Never
+    fails: candidates that cannot be extracted soundly are skipped. *)
+let rewrite_step ~lookup ~cte_name ~prefix (step : Ast.query) : extraction =
+  match step with
+  | Ast.Q_union _ | Ast.Q_intersect _ | Ast.Q_except _ ->
+    { new_ctes = []; step; extracted = 0 }
+  | Ast.Q_select s -> (
+    match s.Ast.from with
+    | None -> { new_ctes = []; step; extracted = 0 }
+    | Some from
+      when List.exists
+             (fun (it : Ast.select_item) -> it.expr = Ast.Star)
+             s.Ast.items ->
+      ignore from;
+      { new_ctes = []; step; extracted = 0 }
+    | Some from ->
+      (* Future-work extension (§V-A): reorder pure inner-join chains
+         so invariant tables become one extractable subtree. *)
+      let from, s =
+        match reorder_for_invariance ~cte_name from with
+        | Some from' -> (from', { s with Ast.from = Some from' })
+        | None -> (from, s)
+      in
+      let counter = ref 0 in
+      let new_ctes = ref [] in
+      let apply_candidate (s : Ast.select) (target, nullable) =
+        match leaves_of ~lookup target with
+        | None -> None
+        | Some leaves ->
+          let aliases = List.map (fun l -> ci l.leaf_alias) leaves in
+          if List.length (List.sort_uniq String.compare aliases)
+             <> List.length aliases
+          then None
+          else begin
+            incr counter;
+            let common_name = Printf.sprintf "%s__common%d" prefix !counter in
+            let hoisted, remaining =
+              (* A filter over a null-padded subtree must stay at the
+                 outer WHERE level (it is what rejects the padding). *)
+              if nullable then ([], Option.to_list (Option.map Ast.conjuncts s.Ast.where) |> List.concat)
+              else splits_where ~leaves s.Ast.where
+            in
+            match
+              let from' =
+                match
+                  replace_subtree ~target ~common_name (Option.get s.Ast.from)
+                with
+                | Some f -> f
+                | None -> raise Exit
+              in
+              let items =
+                List.concat_map
+                  (fun l ->
+                    List.map
+                      (fun c ->
+                        {
+                          Ast.expr = Ast.Col (Some l.leaf_alias, c);
+                          alias = Some (flat_name l.leaf_alias c);
+                        })
+                      l.leaf_columns)
+                  leaves
+              in
+              let cte_body =
+                Ast.Q_select
+                  {
+                    Ast.distinct = false;
+                    items;
+                    from = Some target;
+                    where =
+                      (if hoisted = [] then None
+                       else Some (Ast.conjoin hoisted));
+                    group_by = [];
+                    having = None;
+                  }
+              in
+              let rw e = rewrite_expr ~leaves ~common_name e in
+              let rec rw_from = function
+                | (Ast.From_table _ | Ast.From_subquery _) as f -> f
+                | Ast.From_join { left; kind; right; condition } ->
+                  Ast.From_join
+                    {
+                      left = rw_from left;
+                      kind;
+                      right = rw_from right;
+                      condition = Option.map rw condition;
+                    }
+              in
+              let s' =
+                {
+                  s with
+                  Ast.items =
+                    List.map
+                      (fun (it : Ast.select_item) ->
+                        { it with Ast.expr = rw it.expr })
+                      s.Ast.items;
+                  from = Some (rw_from from');
+                  where =
+                    (if remaining = [] then None
+                     else Some (rw (Ast.conjoin remaining)));
+                  group_by = List.map rw s.Ast.group_by;
+                  having = Option.map rw s.Ast.having;
+                }
+              in
+              (Ast.Cte_plain { name = common_name; columns = None; body = cte_body }, s')
+            with
+            | cte, s' ->
+              new_ctes := !new_ctes @ [ cte ];
+              Some s'
+            | exception Exit ->
+              decr counter;
+              None
+          end
+      in
+      let final_select =
+        List.fold_left
+          (fun s target ->
+            match apply_candidate s target with
+            | Some s' -> s'
+            | None -> s)
+          s
+          (candidates cte_name from)
+      in
+      {
+        new_ctes = !new_ctes;
+        step = Ast.Q_select final_select;
+        extracted = List.length !new_ctes;
+      })
+
+(** Apply the rewrite to every iterative CTE of a query. The extracted
+    common CTEs are inserted immediately before their iterative CTE so
+    the functional rewrite materializes them before the loop. *)
+let rewrite_full_query ~lookup (q : Ast.full_query) : Ast.full_query =
+  (* Names visible to the step: base tables plus all earlier CTEs.
+     Earlier CTE schemas are not needed for extraction (they are not
+     plain-table leaves), so the base-table lookup suffices. *)
+  let ctes =
+    List.concat_map
+      (fun cte ->
+        match cte with
+        | Ast.Cte_iterative { name; columns; key; base; step; until } ->
+          let { new_ctes; step; _ } =
+            rewrite_step ~lookup ~cte_name:name ~prefix:(ci name) step
+          in
+          new_ctes @ [ Ast.Cte_iterative { name; columns; key; base; step; until } ]
+        | Ast.Cte_plain _ | Ast.Cte_recursive _ -> [ cte ])
+      q.ctes
+  in
+  { q with ctes }

@@ -1,0 +1,41 @@
+(** Common-result rewrite (paper §V-A): loop-invariant joins of the
+    iterative part are materialized once, before the loop, as new plain
+    CTEs, and the iterative part re-reads the materialized result.
+    Includes the paper's declared future work — inner-join reordering
+    so invariant tables that are not adjacent still form one
+    extractable subtree — and hoists invariant WHERE conjuncts into the
+    common CTE except across an outer join's null-padded side. *)
+
+module Schema = Dbspinner_storage.Schema
+module Ast = Dbspinner_sql.Ast
+
+type extraction = {
+  new_ctes : Ast.cte list;  (** plain CTEs to materialize before the loop *)
+  step : Ast.query;  (** the rewritten iterative part *)
+  extracted : int;  (** number of subtrees materialized *)
+}
+
+(** Attempt the rewrite on one iterative part. Never fails: candidates
+    that cannot be extracted soundly (subquery leaves, duplicate or
+    ambiguous aliases, unqualified references into the subtree,
+    SELECT-star items) are skipped. [lookup] resolves base-table
+    schemas; [prefix] names the generated CTEs
+    ([<prefix>__common<i>]). *)
+val rewrite_step :
+  lookup:(string -> Schema.t option) ->
+  cte_name:string ->
+  prefix:string ->
+  Ast.query ->
+  extraction
+
+(** Apply {!rewrite_step} to every iterative CTE of a query, inserting
+    the common CTEs immediately before their iterative CTE. *)
+val rewrite_full_query :
+  lookup:(string -> Schema.t option) -> Ast.full_query -> Ast.full_query
+
+(** Exposed for tests: reorder a pure inner-join chain so invariant
+    leaves become adjacent; [None] when reordering is not soundly
+    possible (outer joins, missing conditions, unattributable
+    references). *)
+val reorder_for_invariance :
+  cte_name:string -> Ast.from_item -> Ast.from_item option

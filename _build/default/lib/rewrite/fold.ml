@@ -1,0 +1,102 @@
+(** Constant folding: any scalar subexpression without column
+    references or aggregates is evaluated at plan time. Expressions
+    whose evaluation raises (e.g. division by zero) are left in place
+    so the error, if reachable, surfaces at run time as SQL requires. *)
+
+module Value = Dbspinner_storage.Value
+module Ast = Dbspinner_sql.Ast
+module Binder = Dbspinner_plan.Binder
+module Eval = Dbspinner_exec.Eval
+
+let is_constant e =
+  Ast.fold_expr
+    (fun acc n ->
+      acc && match n with Ast.Col _ | Ast.Agg _ | Ast.Star -> false | _ -> true)
+    true e
+
+let fold_expr (e : Ast.expr) : Ast.expr =
+  let try_fold node =
+    match node with
+    | Ast.Lit _ -> node
+    | _ when is_constant node -> (
+      match Eval.eval [||] (Binder.bind_scalar [||] node) with
+      | v -> Ast.Lit v
+      | exception _ -> node)
+    | _ -> node
+  in
+  Ast.map_expr try_fold e
+
+(** [map_exprs f q] applies [f] to {e every} expression of a full
+    query: select items, WHERE/GROUP BY/HAVING, join conditions,
+    subqueries in FROM, CTE bodies, Data termination conditions and
+    ORDER BY keys (positional integers excepted). Shared by folding and
+    the engine's scalar-subquery pre-evaluation. *)
+let map_exprs (f : Ast.expr -> Ast.expr) (q : Ast.full_query) : Ast.full_query =
+  let rec on_from (fr : Ast.from_item) : Ast.from_item =
+    match fr with
+    | Ast.From_table _ -> fr
+    | Ast.From_subquery { query; alias } ->
+      Ast.From_subquery { query = on_query query; alias }
+    | Ast.From_join { left; kind; right; condition } ->
+      Ast.From_join
+        {
+          left = on_from left;
+          kind;
+          right = on_from right;
+          condition = Option.map f condition;
+        }
+  and on_select (s : Ast.select) : Ast.select =
+    {
+      s with
+      items =
+        List.map (fun (it : Ast.select_item) -> { it with Ast.expr = f it.expr }) s.items;
+      from = Option.map on_from s.from;
+      where = Option.map f s.where;
+      group_by = List.map f s.group_by;
+      having = Option.map f s.having;
+    }
+  and on_query q = Ast.map_selects on_select q in
+  let on_cte = function
+    | Ast.Cte_plain { name; columns; body } ->
+      Ast.Cte_plain { name; columns; body = on_query body }
+    | Ast.Cte_recursive { name; columns; base; step; union_all } ->
+      Ast.Cte_recursive
+        { name; columns; base = on_query base; step = on_query step; union_all }
+    | Ast.Cte_iterative { name; columns; key; base; step; until } ->
+      let until =
+        match until with
+        | Ast.T_data { any; cond } -> Ast.T_data { any; cond = f cond }
+        | (Ast.T_iterations _ | Ast.T_updates _ | Ast.T_delta _) as t -> t
+      in
+      Ast.Cte_iterative
+        { name; columns; key; base = on_query base; step = on_query step; until }
+  in
+  {
+    ctes = List.map on_cte q.ctes;
+    body = on_query q.body;
+    order_by =
+      List.map
+        (fun (o : Ast.order_item) ->
+          (* Positional ORDER BY integers must not be rewritten away. *)
+          match o.sort_expr with
+          | Ast.Lit _ -> o
+          | e -> { o with sort_expr = f e })
+        q.order_by;
+    limit = q.limit;
+    offset = q.offset;
+  }
+
+let fold_query q = Ast.map_selects (fun s ->
+    {
+      s with
+      Ast.items =
+        List.map (fun (it : Ast.select_item) -> { it with Ast.expr = fold_expr it.expr }) s.Ast.items;
+      from = s.Ast.from;
+      where = Option.map fold_expr s.Ast.where;
+      group_by = List.map fold_expr s.Ast.group_by;
+      having = Option.map fold_expr s.Ast.having;
+    })
+    q
+
+let fold_full_query (q : Ast.full_query) : Ast.full_query =
+  map_exprs fold_expr q

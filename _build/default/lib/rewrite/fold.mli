@@ -1,0 +1,19 @@
+(** Constant folding: scalar subexpressions without column references
+    or aggregates are evaluated at plan time. Expressions whose
+    evaluation raises (e.g. division by zero) stay unfolded so the
+    error surfaces at run time, as SQL requires. *)
+
+module Ast = Dbspinner_sql.Ast
+
+val is_constant : Ast.expr -> bool
+val fold_expr : Ast.expr -> Ast.expr
+val fold_query : Ast.query -> Ast.query
+
+(** Apply a function to every expression of a full query (select
+    items, predicates, join conditions, CTE bodies, Data termination
+    conditions, non-positional ORDER BY keys). *)
+val map_exprs : (Ast.expr -> Ast.expr) -> Ast.full_query -> Ast.full_query
+
+(** Folds every CTE body, termination condition and the main body;
+    positional ORDER BY integers are preserved. *)
+val fold_full_query : Ast.full_query -> Ast.full_query

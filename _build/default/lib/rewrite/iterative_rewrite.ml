@@ -1,0 +1,338 @@
+(** The functional rewrite (paper §IV, Algorithm 1): compiles a full
+    query — including plain, recursive and iterative CTEs — into a
+    single step {!Program} of existing operators plus [rename] and
+    [loop].
+
+    For an iterative CTE [R as (R0 ITERATE Ri UNTIL Tc)]:
+
+    {ol
+    {- materialize [R0] into the CTE table (step 1 of Table I);}
+    {- initialize the loop operator (step 2);}
+    {- each iteration: materialize [Ri] into the working table
+       (step 3), check the unique-row-key requirement of §II, then
+       either {e rename} the working table over the CTE table (full
+       update, step 4) or materialize the merge of old and new rows
+       keyed by the row identifier (partial update, Algorithm 1
+       lines 8–10);}
+    {- update the loop and jump back while [Tc] is unmet (steps 5–6);}
+    {- finally bind the main query [Qf] over the CTE table.}}
+
+    The optimizer hooks of §V are applied here as well: the
+    common-result rewrite runs first (it only reshapes the AST), and
+    predicate push down filters the bound non-iterative plan. *)
+
+module Schema = Dbspinner_storage.Schema
+module Value = Dbspinner_storage.Value
+module Ast = Dbspinner_sql.Ast
+module Binder = Dbspinner_plan.Binder
+module Logical = Dbspinner_plan.Logical
+module Program = Dbspinner_plan.Program
+module Bound_expr = Dbspinner_plan.Bound_expr
+
+exception Rewrite_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Rewrite_error s)) fmt
+
+(** What the optimizer actually did to a query — used by tests, debug
+    logging and the CLI's EXPLAIN header. *)
+type report = {
+  mutable common_results_extracted : int;
+  mutable predicates_pushed : int;  (** §V-B pushes into R0 *)
+  mutable rename_paths : int;  (** full-update loops using rename *)
+  mutable merge_paths : int;  (** partial-update loops using the merge *)
+}
+
+let empty_report () =
+  {
+    common_results_extracted = 0;
+    predicates_pushed = 0;
+    rename_paths = 0;
+    merge_paths = 0;
+  }
+
+let report_to_string r =
+  Printf.sprintf
+    "common-results=%d predicates-pushed=%d rename-loops=%d merge-loops=%d"
+    r.common_results_extracted r.predicates_pushed r.rename_paths r.merge_paths
+
+(* ------------------------------------------------------------------ *)
+(* Merge plan for partial updates (Algorithm 1, line 8)                *)
+
+(** [SELECT CASE WHEN w.key IS NOT NULL THEN w.c ELSE cte.c END, ...
+    FROM cte LEFT JOIN w ON cte.key = w.key] — rows updated by the
+    iteration take the working table's values, all others keep the
+    previous version's. *)
+let merge_plan ~schema ~key_idx ~cte_name ~work_name =
+  let n = Schema.arity schema in
+  let left = Logical.scan ~name:cte_name ~schema in
+  let right = Logical.scan ~name:work_name ~schema in
+  let cond =
+    Bound_expr.B_binop (Ast.Eq, Bound_expr.B_col key_idx, Bound_expr.B_col (n + key_idx))
+  in
+  let joined = Logical.join Logical.Left_outer ~cond left right in
+  let exprs =
+    List.init n (fun i ->
+        let take_new =
+          ( Bound_expr.B_is_null (Bound_expr.B_col (n + key_idx), false),
+            Bound_expr.B_col (n + i) )
+        in
+        ( Bound_expr.B_case ([ take_new ], Some (Bound_expr.B_col i)),
+          (schema.(i) : Schema.column).name ))
+  in
+  Logical.project exprs joined
+
+(* ------------------------------------------------------------------ *)
+(* Per-CTE compilation                                                 *)
+
+type ctx = {
+  options : Options.t;
+  report : report;
+  mutable env : Binder.env;
+  mutable steps : Program.step list;  (** reversed *)
+  mutable next_loop : int;
+}
+
+let emit ctx step = ctx.steps <- step :: ctx.steps
+let position ctx = List.length ctx.steps
+
+let bind_cte_body ctx ~name columns (body : Ast.query) =
+  let plan = Binder.bind_query ctx.env body in
+  match columns with
+  | None -> plan
+  | Some names -> (
+    match Binder.rename_output plan names with
+    | plan -> plan
+    | exception Binder.Bind_error m -> error "CTE %s: %s" name m)
+
+let compile_plain ctx ~name ~columns body =
+  let plan = bind_cte_body ctx ~name columns body in
+  emit ctx (Program.Materialize { target = name; plan });
+  ctx.env <- Binder.with_temp ctx.env name (Logical.schema plan)
+
+let compile_recursive ctx ~name ~columns ~base ~step ~union_all =
+  let base_plan = bind_cte_body ctx ~name columns base in
+  let schema = Logical.schema base_plan in
+  let work_name = name ^ "#rwork" in
+  let step_env = Binder.with_temp ctx.env name schema in
+  let step_plan = Binder.bind_query step_env step in
+  if Schema.arity (Logical.schema step_plan) <> Schema.arity schema then
+    error
+      "recursive CTE %s: the recursive part returns %d columns but the base \
+       returns %d"
+      name
+      (Schema.arity (Logical.schema step_plan))
+      (Schema.arity schema);
+  let step_plan = Logical.rename_scans [ (name, work_name) ] step_plan in
+  let step_plan = Binder.rename_output step_plan (Schema.column_names schema) in
+  emit ctx
+    (Program.Recursive_cte
+       {
+         name;
+         work_name;
+         base = base_plan;
+         step_plan;
+         union_all;
+         max_recursion = ctx.options.Options.max_recursion;
+       });
+  ctx.env <- Binder.with_temp ctx.env name schema
+
+(** Does the iterative part update the entire dataset? Algorithm 1
+    branches on the presence of a WHERE clause; in addition the FROM
+    clause must preserve every CTE row — the CTE driving a chain of
+    LEFT JOINs does, while an inner join (possibly introduced by the
+    outer-to-inner rewrite) can drop rows and therefore requires the
+    merge path. *)
+let rec cte_preserving_from cte_name = function
+  | Ast.From_table { table; _ } ->
+    String.lowercase_ascii table = String.lowercase_ascii cte_name
+  | Ast.From_subquery _ -> false
+  | Ast.From_join { left; kind = Ast.Left_outer; _ } ->
+    cte_preserving_from cte_name left
+  | Ast.From_join _ -> false
+
+let updates_entire_dataset ~cte_name (step : Ast.query) =
+  match step with
+  | Ast.Q_select s -> (
+    s.Ast.where = None
+    && s.Ast.having = None
+    &&
+    match s.Ast.from with
+    | Some from -> cte_preserving_from cte_name from
+    | None -> false)
+  | Ast.Q_union _ | Ast.Q_intersect _ | Ast.Q_except _ -> true
+
+let bind_termination ~schema ~cte_name (t : Ast.termination) :
+    Program.termination =
+  match t with
+  | Ast.T_iterations n ->
+    if n <= 0 then error "UNTIL %d ITERATIONS: count must be positive" n;
+    Program.Max_iterations n
+  | Ast.T_updates n ->
+    if n <= 0 then error "UNTIL %d UPDATES: count must be positive" n;
+    Program.Max_updates n
+  | Ast.T_delta n -> Program.Delta_at_most n
+  | Ast.T_data { any; cond } ->
+    let scope = Binder.scope_of_schema ~qualifier:cte_name schema in
+    Program.Data { any; pred = Binder.bind_scalar scope cond }
+
+let compile_iterative ctx ~name ~columns ~key ~base ~step ~until
+    ~(final : Ast.query) =
+  let options = ctx.options in
+  (* --- non-iterative part R0 --------------------------------------- *)
+  let base_plan = bind_cte_body ctx ~name columns base in
+  let schema = Logical.schema base_plan in
+  let column_names = Schema.column_names schema in
+  (* Predicate push down (§V-B): filter R0 with the sound part of the
+     final query's WHERE clause. *)
+  let base_plan =
+    if not options.Options.use_pushdown then base_plan
+    else
+      match
+        Pushdown.pushable_predicate ~cte_name:name ~columns:column_names ~step
+          ~final
+      with
+      | None -> base_plan
+      | Some pred ->
+        ctx.report.predicates_pushed <- ctx.report.predicates_pushed + 1;
+        let scope = Binder.scope_of_schema schema in
+        Logical.filter (Binder.bind_scalar scope pred) base_plan
+  in
+  (* --- row identifier ----------------------------------------------- *)
+  let key_idx =
+    match key with
+    | Some k -> (
+      match Schema.index_of schema k with
+      | Some i -> i
+      | None -> error "iterative CTE %s: KEY column %s not in its schema" name k)
+    | None -> 0
+  in
+  (* --- iterative part Ri -------------------------------------------- *)
+  let step_env = Binder.with_temp ctx.env name schema in
+  let step_plan = Binder.bind_query step_env step in
+  if Schema.arity (Logical.schema step_plan) <> Schema.arity schema then
+    error
+      "iterative CTE %s: the iterative part returns %d columns but the \
+       non-iterative part returns %d"
+      name
+      (Schema.arity (Logical.schema step_plan))
+      (Schema.arity schema);
+  let step_plan = Binder.rename_output step_plan column_names in
+  let work_name = name ^ "#work" in
+  let merge_name = name ^ "#merge" in
+  let termination = bind_termination ~schema ~cte_name:name until in
+  (* --- emit Table-I steps ------------------------------------------- *)
+  let loop_id = ctx.next_loop in
+  ctx.next_loop <- ctx.next_loop + 1;
+  emit ctx (Program.Materialize { target = name; plan = base_plan });
+  emit ctx
+    (Program.Init_loop
+       {
+         loop_id;
+         termination;
+         cte = name;
+         key_idx;
+         guard = options.Options.max_iterations_guard;
+       });
+  let body_start = position ctx in
+  emit ctx (Program.Snapshot { loop_id });
+  emit ctx (Program.Materialize { target = work_name; plan = step_plan });
+  emit ctx (Program.Assert_unique_key { temp = work_name; key_idx });
+  let full_update = updates_entire_dataset ~cte_name:name step in
+  if full_update && options.Options.use_rename then begin
+    ctx.report.rename_paths <- ctx.report.rename_paths + 1;
+    (* Minimal data movement: the working table becomes the CTE table. *)
+    emit ctx (Program.Rename { from_ = work_name; into = name })
+  end
+  else begin
+    ctx.report.merge_paths <- ctx.report.merge_paths + 1;
+    let plan = merge_plan ~schema ~key_idx ~cte_name:name ~work_name in
+    emit ctx (Program.Materialize { target = merge_name; plan });
+    if options.Options.use_rename then begin
+      emit ctx (Program.Rename { from_ = merge_name; into = name });
+      emit ctx (Program.Drop_temp work_name)
+    end
+    else begin
+      (* Baseline of §VII-B: copy the merged data back into the main
+         table instead of swapping pointers. *)
+      emit ctx
+        (Program.Materialize
+           { target = name; plan = Logical.scan ~name:merge_name ~schema });
+      emit ctx (Program.Drop_temp merge_name);
+      emit ctx (Program.Drop_temp work_name)
+    end
+  end;
+  emit ctx (Program.Loop_end { loop_id; body_start });
+  ctx.env <- Binder.with_temp ctx.env name schema
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+
+(** Compile a full query into a single executable step program.
+    [lookup] resolves base-table schemas. *)
+let optimize_step_plans options (steps : Program.step list) : Program.step list =
+  if not options.Options.use_pushdown then steps
+  else
+    List.map
+      (fun step ->
+        match step with
+        | Program.Materialize { target; plan } ->
+          Program.Materialize { target; plan = Plan_pushdown.push_filters plan }
+        | Program.Return plan -> Program.Return (Plan_pushdown.push_filters plan)
+        | Program.Recursive_cte r ->
+          Program.Recursive_cte
+            {
+              r with
+              base = Plan_pushdown.push_filters r.base;
+              step_plan = Plan_pushdown.push_filters r.step_plan;
+            }
+        | Program.Rename _ | Program.Drop_temp _ | Program.Assert_unique_key _
+        | Program.Init_loop _ | Program.Loop_end _ | Program.Snapshot _ ->
+          step)
+      steps
+
+let compile_with_report ?(options = Options.default) ~lookup
+    (q : Ast.full_query) : Program.t * report =
+  let report = empty_report () in
+  let q =
+    if options.Options.use_constant_folding then Fold.fold_full_query q else q
+  in
+  let q =
+    if options.Options.use_outer_to_inner then
+      Outer_to_inner.simplify_full_query q
+    else q
+  in
+  let ctes_before = List.length q.ctes in
+  let q =
+    if options.Options.use_common_result then
+      Common_result.rewrite_full_query ~lookup q
+    else q
+  in
+  report.common_results_extracted <- List.length q.ctes - ctes_before;
+  let ctx =
+    {
+      options;
+      report;
+      env = Binder.env_of_lookup lookup;
+      steps = [];
+      next_loop = 0;
+    }
+  in
+  List.iter
+    (fun cte ->
+      match cte with
+      | Ast.Cte_plain { name; columns; body } -> compile_plain ctx ~name ~columns body
+      | Ast.Cte_recursive { name; columns; base; step; union_all } ->
+        compile_recursive ctx ~name ~columns ~base ~step ~union_all
+      | Ast.Cte_iterative { name; columns; key; base; step; until } ->
+        compile_iterative ctx ~name ~columns ~key ~base ~step ~until
+          ~final:q.body)
+    q.ctes;
+  let result_plan =
+    Binder.bind_ordered ~offset:q.offset ctx.env q.body q.order_by q.limit
+  in
+  emit ctx (Program.Return result_plan);
+  let steps = optimize_step_plans options (List.rev ctx.steps) in
+  (Program.make steps ~result_schema:(Logical.schema result_plan), ctx.report)
+
+let compile ?options ~lookup (q : Ast.full_query) : Program.t =
+  fst (compile_with_report ?options ~lookup q)

@@ -1,0 +1,48 @@
+(** The functional rewrite (paper §IV, Algorithm 1): compiles a full
+    query — plain, recursive and iterative CTEs included — into a
+    single executable step {!Program} built from ordinary operators
+    plus [rename] and [loop]. The §V optimizer rules are applied here
+    under their {!Options} switches: outer-to-inner simplification and
+    the common-result rewrite reshape the AST first; predicate push
+    down filters the bound non-iterative plan and then sinks filters
+    through every emitted plan. *)
+
+module Schema = Dbspinner_storage.Schema
+module Ast = Dbspinner_sql.Ast
+module Program = Dbspinner_plan.Program
+
+exception Rewrite_error of string
+
+(** [compile ~options ~lookup q] — [lookup] resolves base-table
+    schemas.
+    @raise Rewrite_error on invalid iterative CTEs (arity mismatch
+    between the parts, unknown KEY column, non-positive counts)
+    @raise Dbspinner_plan.Binder.Bind_error on name-resolution
+    failures. *)
+val compile :
+  ?options:Options.t ->
+  lookup:(string -> Schema.t option) ->
+  Ast.full_query ->
+  Program.t
+
+(** What the optimizer did: counts of extracted common results, pushed
+    predicates, and rename vs merge loop paths. *)
+type report = {
+  mutable common_results_extracted : int;
+  mutable predicates_pushed : int;
+  mutable rename_paths : int;
+  mutable merge_paths : int;
+}
+
+val report_to_string : report -> string
+
+val compile_with_report :
+  ?options:Options.t ->
+  lookup:(string -> Schema.t option) ->
+  Ast.full_query ->
+  Program.t * report
+
+(** Exposed for tests: the Algorithm-1 full-update criterion — true
+    when [Ri] has no WHERE/HAVING and its FROM preserves every CTE row
+    (the CTE driving a chain of LEFT JOINs). *)
+val updates_entire_dataset : cte_name:string -> Ast.query -> bool

@@ -1,0 +1,53 @@
+(** Optimizer switches. Each flag corresponds to one of the paper's
+    optimizations so that benchmarks can measure them independently
+    (Figures 8, 9, 10). *)
+
+type t = {
+  use_rename : bool;
+      (** §IV / §VII-B: swap the working table into the CTE table with
+          the O(1) [rename] operator instead of copying data back and
+          diffing updated rows *)
+  use_common_result : bool;
+      (** §V-A: materialize loop-invariant joins of the iterative part
+          once, before the loop *)
+  use_pushdown : bool;
+      (** §V-B: push final-part predicates over update-invariant
+          columns into the non-iterative part *)
+  use_constant_folding : bool;  (** fold constant scalar expressions *)
+  use_outer_to_inner : bool;
+      (** demote outer joins whose padded side is rejected by a
+          null-rejecting WHERE conjunct (stock rewrite listed in §V;
+          also unlocks filter hoisting for the common-result rule) *)
+  max_recursion : int;  (** safety bound for recursive CTEs *)
+  max_iterations_guard : int;
+      (** safety bound for iterative CTEs with Data/Delta termination
+          that never converge *)
+}
+
+let default =
+  {
+    use_rename = true;
+    use_common_result = true;
+    use_pushdown = true;
+    use_constant_folding = true;
+    use_outer_to_inner = true;
+    max_recursion = 10_000;
+    max_iterations_guard = 100_000;
+  }
+
+(** All paper optimizations off: the naive rewrite the paper's
+    baselines use. *)
+let unoptimized =
+  {
+    default with
+    use_rename = false;
+    use_common_result = false;
+    use_pushdown = false;
+    use_constant_folding = false;
+    use_outer_to_inner = false;
+  }
+
+let to_string t =
+  Printf.sprintf "rename=%b common_result=%b pushdown=%b fold=%b outer_to_inner=%b"
+    t.use_rename t.use_common_result t.use_pushdown t.use_constant_folding
+    t.use_outer_to_inner

@@ -1,0 +1,32 @@
+(** Optimizer switches — one per paper optimization so benchmarks can
+    measure each independently (Figures 8–10). *)
+
+type t = {
+  use_rename : bool;
+      (** §IV / §VII-B: swap the working table in with the O(1) rename
+          instead of copying back and diffing *)
+  use_common_result : bool;
+      (** §V-A: materialize loop-invariant joins once, before the loop
+          (includes the inner-join reordering future work) *)
+  use_pushdown : bool;
+      (** §V-B: push final-part predicates over update-invariant
+          columns into the non-iterative part, plus generic plan-level
+          filter push down *)
+  use_constant_folding : bool;
+  use_outer_to_inner : bool;
+      (** demote outer joins under null-rejecting WHERE conjuncts
+          (stock rewrite listed in §V; unlocks common-result
+          hoisting) *)
+  max_recursion : int;  (** safety bound for recursive CTEs *)
+  max_iterations_guard : int;
+      (** hard cap for Data/Delta terminations that never converge *)
+}
+
+(** Everything on. *)
+val default : t
+
+(** All paper optimizations off — the naive rewrite used as the
+    experimental baseline. *)
+val unoptimized : t
+
+val to_string : t -> string

@@ -1,0 +1,130 @@
+(** Outer-to-inner join simplification — one of the stock rewrites the
+    paper lists for its host engine (§V: "heuristic optimization
+    rewrites like join elimination, outer to inner join conversions").
+
+    A WHERE conjunct that is {e null-rejecting} on the null-padded side
+    of an outer join discards every padded row, so the outer join can
+    be demoted: LEFT/RIGHT become INNER, FULL loses the rejected side.
+    Beyond being cheaper to execute, this matters for iterative CTEs:
+    the common-result rewrite may only hoist filters into subtrees that
+    are not null-padded, so demotion unlocks hoisting (e.g. the
+    vertexStatus filter of PR-VS).
+
+    Null-rejection is decided syntactically and conservatively: a
+    conjunct rejects NULLs of alias set [s] when it is a comparison /
+    IS NOT NULL / BETWEEN / LIKE / IN whose operand {e strictly}
+    depends on a column qualified by an alias in [s] — where strict
+    means the NULL propagates (arithmetic, casts, strict functions),
+    never absorbed (COALESCE, CASE, IS NULL). Unqualified references
+    never count. *)
+
+module Ast = Dbspinner_sql.Ast
+module Bound_expr = Dbspinner_plan.Bound_expr
+
+let ci = String.lowercase_ascii
+
+(** Effective aliases exposed by a FROM subtree. *)
+let rec aliases = function
+  | Ast.From_table { table; alias } -> [ ci (Option.value alias ~default:table) ]
+  | Ast.From_subquery { alias; _ } -> [ ci alias ]
+  | Ast.From_join { left; right; _ } -> aliases left @ aliases right
+
+(** Does [e] strictly depend on a column qualified by an alias in
+    [set]? Strict contexts propagate NULL; COALESCE/NULLIF/CASE/IS
+    NULL absorb it and break strictness. *)
+let rec strictly_depends set (e : Ast.expr) =
+  match e with
+  | Ast.Col (Some q, _) -> List.mem (ci q) set
+  | Ast.Col (None, _) | Ast.Lit _ | Ast.Star -> false
+  | Ast.Binop ((Ast.And | Ast.Or), _, _) -> false
+  | Ast.Binop (_, a, b) -> strictly_depends set a || strictly_depends set b
+  | Ast.Unop (Ast.Neg, a) -> strictly_depends set a
+  | Ast.Unop (Ast.Not, _) -> false
+  | Ast.Cast (a, _) -> strictly_depends set a
+  | Ast.Func (name, args) -> (
+    match Bound_expr.func_of_name name with
+    | Some
+        ( Bound_expr.F_ceiling | Bound_expr.F_floor | Bound_expr.F_round
+        | Bound_expr.F_abs | Bound_expr.F_sqrt | Bound_expr.F_power
+        | Bound_expr.F_sign | Bound_expr.F_exp | Bound_expr.F_ln
+        | Bound_expr.F_upper | Bound_expr.F_lower | Bound_expr.F_length
+        | Bound_expr.F_substr ) ->
+      List.exists (strictly_depends set) args
+    | _ -> false)
+  | Ast.Agg _ | Ast.Case _ | Ast.Is_null _ | Ast.In_list _ | Ast.Between _
+  | Ast.Like _ | Ast.In_subquery _ | Ast.Exists_subquery _
+  | Ast.Scalar_subquery _ ->
+    false
+
+(** Is the conjunct guaranteed false-or-unknown when every column of
+    [set] is NULL? *)
+let null_rejecting set (conj : Ast.expr) =
+  match conj with
+  | Ast.Binop ((Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), a, b) ->
+    strictly_depends set a || strictly_depends set b
+  | Ast.Is_null (a, false) -> strictly_depends set a
+  | Ast.Between (a, lo, hi) ->
+    strictly_depends set a || strictly_depends set lo || strictly_depends set hi
+  | Ast.Like (a, _, _) -> strictly_depends set a
+  | Ast.In_list (a, _, _) -> strictly_depends set a
+  | _ -> false
+
+(** Demote outer joins in [from] whose padded side is rejected by some
+    WHERE conjunct. *)
+let rec demote conjuncts (f : Ast.from_item) : Ast.from_item =
+  match f with
+  | Ast.From_table _ | Ast.From_subquery _ -> f
+  | Ast.From_join { left; kind; right; condition } ->
+    let left = demote conjuncts left in
+    let right = demote conjuncts right in
+    let rejected side =
+      let set = aliases side in
+      List.exists (null_rejecting set) conjuncts
+    in
+    let kind =
+      match kind with
+      | Ast.Inner | Ast.Cross -> kind
+      | Ast.Left_outer -> if rejected right then Ast.Inner else kind
+      | Ast.Right_outer -> if rejected left then Ast.Inner else kind
+      | Ast.Full_outer -> (
+        match rejected left, rejected right with
+        | true, true -> Ast.Inner
+        | true, false -> Ast.Right_outer
+        | false, true -> Ast.Left_outer
+        | false, false -> Ast.Full_outer)
+    in
+    Ast.From_join { left; kind; right; condition }
+
+let simplify_select (s : Ast.select) : Ast.select =
+  match s.Ast.from, s.Ast.where with
+  | Some from, Some where ->
+    { s with Ast.from = Some (demote (Ast.conjuncts where) from) }
+  | _ -> s
+
+let simplify_query q = Ast.map_selects simplify_select q
+
+let simplify_cte = function
+  | Ast.Cte_plain { name; columns; body } ->
+    Ast.Cte_plain { name; columns; body = simplify_query body }
+  | Ast.Cte_recursive { name; columns; base; step; union_all } ->
+    Ast.Cte_recursive
+      {
+        name;
+        columns;
+        base = simplify_query base;
+        step = simplify_query step;
+        union_all;
+      }
+  | Ast.Cte_iterative { name; columns; key; base; step; until } ->
+    Ast.Cte_iterative
+      {
+        name;
+        columns;
+        key;
+        base = simplify_query base;
+        step = simplify_query step;
+        until;
+      }
+
+let simplify_full_query (q : Ast.full_query) : Ast.full_query =
+  { q with ctes = List.map simplify_cte q.ctes; body = simplify_query q.body }

@@ -1,0 +1,15 @@
+(** Outer-to-inner join simplification: a WHERE conjunct that is
+    null-rejecting on the padded side of an outer join discards every
+    padded row, so LEFT/RIGHT demote to INNER and FULL loses the
+    rejected side. Null-rejection is decided syntactically and
+    conservatively (see the implementation header). *)
+
+module Ast = Dbspinner_sql.Ast
+
+(** Is the conjunct guaranteed false-or-unknown when every column
+    qualified by an alias in the set is NULL? Exposed for tests. *)
+val null_rejecting : string list -> Ast.expr -> bool
+
+val simplify_select : Ast.select -> Ast.select
+val simplify_query : Ast.query -> Ast.query
+val simplify_full_query : Ast.full_query -> Ast.full_query

@@ -1,0 +1,110 @@
+(** Generic filter push down over bound logical plans — the standard
+    "within the WHERE and FROM clause" predicate motion the paper's
+    host engine already performs (§V-B notes RDBMSs push predicates
+    within blocks, just not into CTEs). The iterative-CTE-specific rule
+    in {!Pushdown} decides whether a predicate may enter the CTE at
+    all; this pass then sinks every filter as deep into its plan as
+    soundness allows:
+
+    - through projections, by substituting the projected expressions;
+    - through grouped aggregations, when the predicate reads group-key
+      columns only;
+    - to one side of a join, when the predicate reads only that side's
+      columns (never to the null-padded side of an outer join);
+    - into both branches of a union, through DISTINCT and sorts;
+    - never through LIMIT (that would change which rows are kept). *)
+
+module Ast = Dbspinner_sql.Ast
+module Bound_expr = Dbspinner_plan.Bound_expr
+module Logical = Dbspinner_plan.Logical
+module Schema = Dbspinner_storage.Schema
+
+let wrap pending node =
+  if pending = [] then node
+  else Logical.filter (Bound_expr.conjoin pending) node
+
+(** Columns of [e] all within [0, n)? *)
+let reads_only_below n e = List.for_all (fun i -> i < n) (Bound_expr.columns_of e)
+
+let reads_only_at_or_above n e =
+  List.for_all (fun i -> i >= n) (Bound_expr.columns_of e)
+
+let rec push pending (node : Logical.t) : Logical.t =
+  match node with
+  | Logical.L_filter { pred; input } ->
+    push (Bound_expr.conjuncts pred @ pending) input
+  | Logical.L_project { exprs; input } ->
+    (* Substituting the projected expression for each column reference
+       is always sound here: expressions are pure. *)
+    let table = Array.of_list (List.map fst exprs) in
+    let lowered =
+      List.map (Bound_expr.substitute (fun i -> table.(i))) pending
+    in
+    Logical.L_project { exprs; input = push lowered input }
+  | Logical.L_aggregate { keys; aggs; input; agg_schema } ->
+    let nkeys = List.length keys in
+    let movable, blocked =
+      List.partition (reads_only_below nkeys) pending
+    in
+    let key_table = Array.of_list keys in
+    let lowered =
+      List.map (Bound_expr.substitute (fun i -> key_table.(i))) movable
+    in
+    wrap blocked
+      (Logical.L_aggregate { keys; aggs; input = push lowered input; agg_schema })
+  | Logical.L_join { kind; cond; left; right; join_schema } ->
+    let left_arity = Schema.arity (Logical.schema left) in
+    let to_left, rest =
+      match kind with
+      | Logical.Inner | Logical.Cross | Logical.Left_outer ->
+        List.partition (reads_only_below left_arity) pending
+      | Logical.Right_outer | Logical.Full_outer -> ([], pending)
+    in
+    let to_right, blocked =
+      match kind with
+      | Logical.Inner | Logical.Cross | Logical.Right_outer ->
+        List.partition (reads_only_at_or_above left_arity) rest
+      | Logical.Left_outer | Logical.Full_outer -> ([], rest)
+    in
+    let to_right =
+      List.map (Bound_expr.shift (-left_arity)) to_right
+    in
+    wrap blocked
+      (Logical.L_join
+         {
+           kind;
+           cond;
+           left = push to_left left;
+           right = push to_right right;
+           join_schema;
+         })
+  | Logical.L_union { all; left; right } ->
+    (* Branch schemas are positionally aligned with the output. *)
+    Logical.L_union { all; left = push pending left; right = push pending right }
+  | Logical.L_intersect { all; left; right } ->
+    (* f(A intersect B) = f(A) intersect f(B): filtering removes the
+       same rows from both multiplicity counts. *)
+    Logical.L_intersect
+      { all; left = push pending left; right = push pending right }
+  | Logical.L_except { all; left; right } ->
+    (* f(A except B) = f(A) except f(B): rows failing f are absent from
+       the output either way, rows passing keep their counts. *)
+    Logical.L_except { all; left = push pending left; right = push pending right }
+  | Logical.L_subquery_filter { anti; key; input; sub } ->
+    (* The node only removes input rows: outer filters commute with it
+       and keep sinking through the input side. *)
+    Logical.L_subquery_filter
+      { anti; key; input = push pending input; sub = push_no_pending sub }
+  | Logical.L_distinct input -> Logical.L_distinct (push pending input)
+  | Logical.L_sort { keys; input } -> Logical.L_sort { keys; input = push pending input }
+  | Logical.L_limit (n, input) ->
+    (* Filtering below a LIMIT keeps different rows: stop here. *)
+    Logical.L_limit (n, push_no_pending input) |> wrap pending
+  | Logical.L_offset (n, input) ->
+    Logical.L_offset (n, push_no_pending input) |> wrap pending
+  | Logical.L_scan _ | Logical.L_values _ -> wrap pending node
+
+and push_no_pending node = push [] node
+
+(** Sink every filter in [plan] as deep as possible. *)
+let push_filters (plan : Logical.t) : Logical.t = push [] plan

@@ -1,0 +1,9 @@
+(** Generic filter push down over bound logical plans: sinks every
+    filter through projections (by substitution), grouped aggregations
+    (key-only predicates), the sound side of joins, unions, DISTINCT
+    and sorts — never through LIMIT or to an outer join's null-padded
+    side. *)
+
+module Logical = Dbspinner_plan.Logical
+
+val push_filters : Logical.t -> Logical.t

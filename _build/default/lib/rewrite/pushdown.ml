@@ -1,0 +1,138 @@
+(** Predicate push down for iterative CTEs (paper §V-B).
+
+    For regular CTEs a final-part predicate can be pushed into the CTE
+    unconditionally; for iterative CTEs this is unsound in general —
+    e.g. pushing [Node = 10] into PageRank would remove the neighbour
+    rows every rank computation needs. This module implements the
+    restricted, sound rule:
+
+    A conjunct of the final part's WHERE clause may be pushed into the
+    {e non-iterative} part when:
+
+    - the final part reads the CTE directly (single-table FROM);
+    - the iterative part [Ri] is a pointwise map over the CTE — its
+      FROM is exactly the CTE reference, with no joins, aggregates,
+      grouping or DISTINCT — so each output row depends only on the
+      corresponding input row; and
+    - the conjunct only references {e identity columns}: positions
+      whose [Ri] select item passes the column through unchanged.
+
+    Under those conditions a base row excluded by the predicate can
+    never influence any surviving row in any iteration, and its own
+    identity columns never change, so filtering it out early is
+    equivalent to filtering at the end. *)
+
+module Ast = Dbspinner_sql.Ast
+
+let ci_equal a b = String.lowercase_ascii a = String.lowercase_ascii b
+
+(** The select block of a query if it is a plain SELECT. *)
+let as_select = function
+  | Ast.Q_select s -> Some s
+  | Ast.Q_union _ | Ast.Q_intersect _ | Ast.Q_except _ -> None
+
+(** Is [from] exactly a reference to [cte_name]? Returns the effective
+    alias when it is. *)
+let single_table_from cte_name = function
+  | Some (Ast.From_table { table; alias }) when ci_equal table cte_name ->
+    Some (Option.value alias ~default:table)
+  | _ -> None
+
+(** Positions of CTE columns that [Ri]'s select items pass through
+    unchanged. [columns] are the CTE's declared column names in
+    order. *)
+let identity_columns ~columns ~(step_select : Ast.select) ~step_alias =
+  let qualifier_ok q =
+    match q with None -> true | Some q -> ci_equal q step_alias
+  in
+  List.mapi
+    (fun position name ->
+      match List.nth_opt step_select.Ast.items position with
+      | Some { Ast.expr = Ast.Col (q, c); _ }
+        when qualifier_ok q && ci_equal c name ->
+        Some position
+      | _ -> None)
+    columns
+  |> List.filter_map Fun.id
+
+(** Does the iterative part qualify as a pointwise map over the CTE? *)
+let step_is_pointwise ~cte_name (step : Ast.query) =
+  match as_select step with
+  | None -> None
+  | Some s -> (
+    match single_table_from cte_name s.Ast.from with
+    | None -> None
+    | Some alias ->
+      let no_aggregates =
+        List.for_all
+          (fun (it : Ast.select_item) -> not (Ast.has_aggregate it.expr))
+          s.items
+        && s.group_by = []
+        && s.having = None
+        && not s.distinct
+      in
+      if no_aggregates then Some (s, alias) else None)
+
+(** Column references of [e] as unqualified lowercase names, or [None]
+    when [e] references something other than the CTE alias. *)
+let cte_columns_of_conjunct ~cte_alias e =
+  let ok = ref true in
+  let cols =
+    Ast.fold_expr
+      (fun acc n ->
+        match n with
+        | Ast.Col (q, c) ->
+          (match q with
+          | Some q when not (ci_equal q cte_alias) -> ok := false
+          | _ -> ());
+          String.lowercase_ascii c :: acc
+        | Ast.Agg _ | Ast.In_subquery _ | Ast.Exists_subquery _
+        | Ast.Scalar_subquery _ ->
+          ok := false;
+          acc
+        | _ -> acc)
+      [] e
+  in
+  if !ok then Some cols else None
+
+(** [pushable_predicate ~cte_name ~columns ~step ~final] returns the
+    conjunction of the final-part WHERE conjuncts that may soundly be
+    pushed into the non-iterative part, with qualifiers stripped so the
+    result can be bound against the CTE's own schema. [None] when
+    nothing can be pushed. *)
+let pushable_predicate ~cte_name ~(columns : string list) ~(step : Ast.query)
+    ~(final : Ast.query) : Ast.expr option =
+  match as_select final with
+  | None -> None
+  | Some fs -> (
+    match single_table_from cte_name fs.Ast.from, fs.Ast.where with
+    | None, _ | _, None -> None
+    | Some final_alias, Some where -> (
+      match step_is_pointwise ~cte_name step with
+      | None -> None
+      | Some (step_select, step_alias) ->
+        let identity = identity_columns ~columns ~step_select ~step_alias in
+        let identity_names =
+          List.map
+            (fun i -> String.lowercase_ascii (List.nth columns i))
+            identity
+        in
+        let pushable =
+          List.filter
+            (fun conj ->
+              match cte_columns_of_conjunct ~cte_alias:final_alias conj with
+              | None -> false
+              | Some cols ->
+                List.for_all (fun c -> List.mem c identity_names) cols)
+            (Ast.conjuncts where)
+        in
+        if pushable = [] then None
+        else
+          (* Strip qualifiers: the predicate will be bound over the
+             CTE's own schema inside the rewrite. *)
+          let strip e =
+            Ast.map_expr
+              (function Ast.Col (_, c) -> Ast.Col (None, c) | n -> n)
+              e
+          in
+          Some (strip (Ast.conjoin pushable))))

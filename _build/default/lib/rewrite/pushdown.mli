@@ -1,0 +1,26 @@
+(** Predicate push down for iterative CTEs (paper §V-B): the restricted
+    rule deciding when a final-part WHERE conjunct may move into the
+    non-iterative part. See the implementation header for the soundness
+    argument. *)
+
+module Ast = Dbspinner_sql.Ast
+
+(** [pushable_predicate ~cte_name ~columns ~step ~final] — [columns]
+    are the CTE's declared column names in order; returns the
+    conjunction of final-part WHERE conjuncts that may soundly be
+    evaluated on [R0], with qualifiers stripped so the caller can bind
+    it over the CTE's own schema. [None] when nothing can move:
+    the final part does not read the CTE directly, the iterative part
+    is not a pointwise map (joins, aggregates, grouping, DISTINCT), or
+    every conjunct touches a column the iteration rewrites. *)
+val pushable_predicate :
+  cte_name:string ->
+  columns:string list ->
+  step:Ast.query ->
+  final:Ast.query ->
+  Ast.expr option
+
+(** Exposed for tests: positions whose select item passes the CTE
+    column through unchanged. *)
+val identity_columns :
+  columns:string list -> step_select:Ast.select -> step_alias:string -> int list

@@ -1,0 +1,88 @@
+(** View-reference expansion — the example the paper gives for
+    functional rewrites (§III: "Common examples are view reference
+    expansion (plugging view definitions into the query tree)").
+
+    A view is a named, CTE-free query body; expansion replaces every
+    [FROM view_name] with a derived table carrying the view's body.
+    CTE names shadow views (a CTE named like a view wins), and views
+    may reference other views up to a fixed depth (self-reference and
+    cycles trip the depth limit). *)
+
+module Ast = Dbspinner_sql.Ast
+
+exception View_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (View_error s)) fmt
+
+let max_depth = 32
+let ci = String.lowercase_ascii
+
+(** [expand ~lookup q] — [lookup] resolves a view name to its body
+    (declared column lists are folded into the stored body by the
+    engine at CREATE VIEW time).
+    @raise View_error when expansion exceeds {!max_depth} (view cycles
+    or self-reference). *)
+let expand ~(lookup : string -> Ast.query option) (q : Ast.full_query) :
+    Ast.full_query =
+  let rec expand_from ~depth ~shadowed (f : Ast.from_item) : Ast.from_item =
+    match f with
+    | Ast.From_table { table; alias } -> (
+      if List.mem (ci table) shadowed then f
+      else
+        match lookup table with
+        | None -> f
+        | Some body ->
+          if depth > max_depth then
+            error "view expansion exceeded depth %d (cyclic views?)" max_depth;
+          (* Re-expand the body: views may use views. *)
+          let body = expand_query ~depth:(depth + 1) ~shadowed:[] body in
+          Ast.From_subquery
+            { query = body; alias = Option.value alias ~default:table })
+    | Ast.From_subquery { query; alias } ->
+      Ast.From_subquery { query = expand_query ~depth ~shadowed query; alias }
+    | Ast.From_join { left; kind; right; condition } ->
+      Ast.From_join
+        {
+          left = expand_from ~depth ~shadowed left;
+          kind;
+          right = expand_from ~depth ~shadowed right;
+          condition;
+        }
+
+  and expand_select ~depth ~shadowed (s : Ast.select) : Ast.select =
+    { s with Ast.from = Option.map (expand_from ~depth ~shadowed) s.Ast.from }
+
+  and expand_query ~depth ~shadowed (q : Ast.query) : Ast.query =
+    Ast.map_selects (expand_select ~depth ~shadowed) q
+  in
+  (* CTE names defined by this query shadow views everywhere in it. *)
+  let shadowed = List.map (fun c -> ci (Ast.cte_name c)) q.Ast.ctes in
+  let expand_cte = function
+    | Ast.Cte_plain { name; columns; body } ->
+      Ast.Cte_plain
+        { name; columns; body = expand_query ~depth:0 ~shadowed body }
+    | Ast.Cte_recursive { name; columns; base; step; union_all } ->
+      Ast.Cte_recursive
+        {
+          name;
+          columns;
+          base = expand_query ~depth:0 ~shadowed base;
+          step = expand_query ~depth:0 ~shadowed step;
+          union_all;
+        }
+    | Ast.Cte_iterative { name; columns; key; base; step; until } ->
+      Ast.Cte_iterative
+        {
+          name;
+          columns;
+          key;
+          base = expand_query ~depth:0 ~shadowed base;
+          step = expand_query ~depth:0 ~shadowed step;
+          until;
+        }
+  in
+  {
+    q with
+    Ast.ctes = List.map expand_cte q.Ast.ctes;
+    body = expand_query ~depth:0 ~shadowed q.Ast.body;
+  }

@@ -1,0 +1,16 @@
+(** View-reference expansion — the paper's canonical example of a
+    functional rewrite (§III): every [FROM view_name] is replaced by a
+    derived table carrying the view's body. CTE names shadow views;
+    views may reference other views up to a fixed depth. *)
+
+module Ast = Dbspinner_sql.Ast
+
+exception View_error of string
+
+val max_depth : int
+
+(** [expand ~lookup q] — [lookup] resolves a view name to its stored
+    body (column lists are folded into the body by the engine at
+    CREATE VIEW time).
+    @raise View_error on cyclic or overly deep view chains. *)
+val expand : lookup:(string -> Ast.query option) -> Ast.full_query -> Ast.full_query

@@ -1,0 +1,1 @@
+lib/sql/ast.ml: Dbspinner_storage List Option String

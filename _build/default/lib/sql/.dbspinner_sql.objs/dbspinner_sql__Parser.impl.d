@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Array Ast Dbspinner_storage Lexer List Option Printf String Token

@@ -1,0 +1,1 @@
+lib/sql/sql_pretty.ml: Ast Buffer Dbspinner_storage List Option Printf String Token

@@ -1,0 +1,1 @@
+lib/sql/sql_pretty.mli: Ast

@@ -1,0 +1,357 @@
+(** Abstract syntax of the supported SQL dialect, including the
+    iterative-CTE extension of SQLoop/DBSpinner:
+
+    {v
+    WITH ITERATIVE R [(c1, ..., cn)] [KEY c] AS (
+      R0  ITERATE  Ri  UNTIL Tc
+    ) Qf
+    v}
+
+    plus regular and recursive CTEs, set operations, joins, grouping,
+    CASE, scalar functions, and the DDL/DML statements needed by the
+    middleware and stored-procedure baselines. *)
+
+module Value = Dbspinner_storage.Value
+module Column_type = Dbspinner_storage.Column_type
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+  | Concat
+
+type unop = Neg | Not
+
+type agg_kind = Count | Count_star | Sum | Avg | Min | Max
+
+type expr =
+  | Lit of Value.t
+  | Col of string option * string  (** optional qualifier, column name *)
+  | Star  (** only valid as a SELECT item or as the COUNT-star argument *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Func of string * expr list  (** scalar function, name uppercased *)
+  | Agg of agg_kind * bool * expr  (** kind, DISTINCT?, argument *)
+  | Case of (expr * expr) list * expr option  (** searched CASE *)
+  | Cast of expr * Column_type.t
+  | Is_null of expr * bool  (** [true] = IS NULL, [false] = IS NOT NULL *)
+  | In_list of expr * expr list * bool  (** [true] = NOT IN *)
+  | Between of expr * expr * expr
+  | Like of expr * string * bool  (** [true] = NOT LIKE *)
+  | In_subquery of expr * query * bool
+      (** [expr [NOT] IN (subquery)]; the subquery must return one
+          column and may not reference the outer scope *)
+  | Exists_subquery of query * bool  (** [[NOT] EXISTS (subquery)] *)
+  | Scalar_subquery of query
+      (** [(SELECT ...)] as a value: must be uncorrelated, reference
+          only base tables/views, and return one row and one column
+          (zero rows evaluate to NULL) *)
+
+and join_kind = Inner | Left_outer | Right_outer | Full_outer | Cross
+
+and select_item = {
+  expr : expr;
+  alias : string option;
+}
+
+and order_item = {
+  sort_expr : expr;
+  descending : bool;
+}
+
+and from_item =
+  | From_table of { table : string; alias : string option }
+  | From_subquery of { query : query; alias : string }
+  | From_join of {
+      left : from_item;
+      kind : join_kind;
+      right : from_item;
+      condition : expr option;  (** [None] only for [Cross] *)
+    }
+
+and select = {
+  distinct : bool;
+  items : select_item list;
+  from : from_item option;
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+}
+
+(** A query body: SELECT blocks combined with set operators. *)
+and query =
+  | Q_select of select
+  | Q_union of { all : bool; left : query; right : query }
+  | Q_intersect of { all : bool; left : query; right : query }
+  | Q_except of { all : bool; left : query; right : query }
+
+(** Iterative-CTE termination condition [Tc] (paper §II, §VI-B). *)
+type termination =
+  | T_iterations of int  (** UNTIL n ITERATIONS — metadata *)
+  | T_updates of int  (** UNTIL n UPDATES — metadata *)
+  | T_delta of int
+      (** UNTIL DELTA <= n: stop when at most [n] rows changed in the
+          last iteration ([T_delta 0] = convergence) *)
+  | T_data of { any : bool; cond : expr }
+      (** UNTIL [ANY|ALL] (expr): stop when some/every row of the CTE
+          table satisfies [cond] *)
+
+type cte =
+  | Cte_plain of { name : string; columns : string list option; body : query }
+  | Cte_recursive of {
+      name : string;
+      columns : string list option;
+      base : query;
+      step : query;
+      union_all : bool;
+    }
+  | Cte_iterative of {
+      name : string;
+      columns : string list option;
+      key : string option;
+          (** unique row identifier used by the update merge; defaults
+              to the first column *)
+      base : query;
+      step : query;
+      until : termination;
+    }
+
+(** A full top-level query: CTE list, body, final ordering/limit. *)
+type full_query = {
+  ctes : cte list;
+  body : query;
+  order_by : order_item list;
+  limit : int option;
+  offset : int;  (** 0 = none *)
+}
+
+type column_def = {
+  col_name : string;
+  col_type : Column_type.t;
+}
+
+type statement =
+  | S_query of full_query
+  | S_create_table of {
+      table : string;
+      if_not_exists : bool;
+      columns : column_def list;
+      primary_key : string option;
+    }
+  | S_drop_table of { table : string; if_exists : bool }
+  | S_insert of {
+      table : string;
+      columns : string list option;
+      source : insert_source;
+    }
+  | S_update of {
+      table : string;
+      set : (string * expr) list;
+      from : from_item option;
+      where : expr option;
+    }
+  | S_delete of { table : string; where : expr option }
+  | S_truncate of string
+  | S_create_view of {
+      view : string;
+      view_columns : string list option;
+      body : query;  (** CTE-free, ORDER BY/LIMIT-free *)
+    }
+  | S_drop_view of { view : string; if_exists : bool }
+  | S_begin  (** start a transaction over the base tables *)
+  | S_commit
+  | S_rollback
+  | S_explain of { analyze : bool; target : statement }
+      (** EXPLAIN prints the compiled program; EXPLAIN ANALYZE also runs
+          it and reports actual executor counters *)
+
+and insert_source =
+  | I_values of expr list list
+  | I_query of full_query
+
+(* ------------------------------------------------------------------ *)
+(* Convenience constructors used by tests and programmatic callers     *)
+
+let int_lit i = Lit (Value.Int i)
+let float_lit f = Lit (Value.Float f)
+let str_lit s = Lit (Value.Str s)
+let col ?qualifier name = Col (qualifier, name)
+
+let simple_select ?(distinct = false) ?from ?where ?(group_by = []) ?having
+    items =
+  Q_select { distinct; items; from; where; group_by; having }
+
+let item ?alias expr = { expr; alias }
+
+let plain_query ?(ctes = []) ?(order_by = []) ?limit ?(offset = 0) body =
+  { ctes; body; order_by; limit; offset }
+
+(* ------------------------------------------------------------------ *)
+(* Traversals                                                          *)
+
+(** [map_expr f e] rebuilds [e] bottom-up, applying [f] to every node
+    after its children have been mapped. *)
+let rec map_expr f e =
+  let e' =
+    match e with
+    | Lit _ | Col _ | Star -> e
+    | Binop (op, a, b) -> Binop (op, map_expr f a, map_expr f b)
+    | Unop (op, a) -> Unop (op, map_expr f a)
+    | Func (name, args) -> Func (name, List.map (map_expr f) args)
+    | Agg (kind, distinct, a) -> Agg (kind, distinct, map_expr f a)
+    | Case (branches, else_) ->
+      Case
+        ( List.map (fun (c, v) -> (map_expr f c, map_expr f v)) branches,
+          Option.map (map_expr f) else_ )
+    | Cast (a, ty) -> Cast (map_expr f a, ty)
+    | Is_null (a, neg) -> Is_null (map_expr f a, neg)
+    | In_list (a, items, neg) ->
+      In_list (map_expr f a, List.map (map_expr f) items, neg)
+    | Between (a, lo, hi) -> Between (map_expr f a, map_expr f lo, map_expr f hi)
+    | Like (a, pat, neg) -> Like (map_expr f a, pat, neg)
+    (* Subquery innards are query trees, not expressions: the mapper
+       sees the node itself but does not descend into the query. *)
+    | In_subquery (a, q, neg) -> In_subquery (map_expr f a, q, neg)
+    | Exists_subquery _ | Scalar_subquery _ -> e
+  in
+  f e'
+
+(** [fold_expr f acc e] folds over every node of [e] (pre-order). *)
+let rec fold_expr f acc e =
+  let acc = f acc e in
+  match e with
+  | Lit _ | Col _ | Star -> acc
+  | Binop (_, a, b) -> fold_expr f (fold_expr f acc a) b
+  | Unop (_, a) -> fold_expr f acc a
+  | Func (_, args) -> List.fold_left (fold_expr f) acc args
+  | Agg (_, _, a) -> fold_expr f acc a
+  | Case (branches, else_) ->
+    let acc =
+      List.fold_left
+        (fun acc (c, v) -> fold_expr f (fold_expr f acc c) v)
+        acc branches
+    in
+    Option.fold ~none:acc ~some:(fold_expr f acc) else_
+  | Cast (a, _) -> fold_expr f acc a
+  | Is_null (a, _) -> fold_expr f acc a
+  | In_list (a, items, _) -> List.fold_left (fold_expr f) (fold_expr f acc a) items
+  | Between (a, lo, hi) -> fold_expr f (fold_expr f (fold_expr f acc a) lo) hi
+  | Like (a, _, _) -> fold_expr f acc a
+  | In_subquery (a, _, _) -> fold_expr f acc a
+  | Exists_subquery _ | Scalar_subquery _ -> acc
+
+(** Does the expression contain any aggregate call? *)
+let has_aggregate e =
+  fold_expr (fun acc n -> acc || match n with Agg _ -> true | _ -> false) false e
+
+(** All column references [(qualifier, name)] appearing in [e]. *)
+let columns_of_expr e =
+  List.rev
+    (fold_expr
+       (fun acc n -> match n with Col (q, c) -> (q, c) :: acc | _ -> acc)
+       [] e)
+
+(** All table names referenced anywhere in a FROM item (including
+    subqueries), used by rewrite rules to detect references to the
+    iterative CTE. *)
+let rec tables_of_from = function
+  | From_table { table; _ } -> [ table ]
+  | From_subquery { query; _ } -> tables_of_query query
+  | From_join { left; right; _ } -> tables_of_from left @ tables_of_from right
+
+and tables_of_select (s : select) =
+  match s.from with None -> [] | Some f -> tables_of_from f
+
+and tables_of_query = function
+  | Q_select s -> tables_of_select s
+  | Q_union { left; right; _ }
+  | Q_intersect { left; right; _ }
+  | Q_except { left; right; _ } ->
+    tables_of_query left @ tables_of_query right
+
+(** Map a function over every [select] block of a query, bottom-up. *)
+let rec map_selects f = function
+  | Q_select s -> Q_select (f s)
+  | Q_union { all; left; right } ->
+    Q_union { all; left = map_selects f left; right = map_selects f right }
+  | Q_intersect { all; left; right } ->
+    Q_intersect { all; left = map_selects f left; right = map_selects f right }
+  | Q_except { all; left; right } ->
+    Q_except { all; left = map_selects f left; right = map_selects f right }
+
+(** Structural expression equality with case-insensitive identifiers
+    and function names; used to match SELECT items against GROUP BY
+    keys and by the optimizer rewrites. *)
+let rec expr_equal a b =
+  let ci x y = String.lowercase_ascii x = String.lowercase_ascii y in
+  let ci_opt x y =
+    match x, y with
+    | None, None -> true
+    | Some x, Some y -> ci x y
+    | None, Some _ | Some _, None -> false
+  in
+  match a, b with
+  | Lit x, Lit y -> Value.equal x y
+  | Col (qa, ca), Col (qb, cb) -> ci_opt qa qb && ci ca cb
+  | Star, Star -> true
+  | Binop (opa, a1, a2), Binop (opb, b1, b2) ->
+    opa = opb && expr_equal a1 b1 && expr_equal a2 b2
+  | Unop (opa, a1), Unop (opb, b1) -> opa = opb && expr_equal a1 b1
+  | Func (na, argsa), Func (nb, argsb) ->
+    ci na nb
+    && List.length argsa = List.length argsb
+    && List.for_all2 expr_equal argsa argsb
+  | Agg (ka, da, a1), Agg (kb, db, b1) ->
+    ka = kb && da = db && expr_equal a1 b1
+  | Case (ba, ea), Case (bb, eb) ->
+    List.length ba = List.length bb
+    && List.for_all2
+         (fun (c1, v1) (c2, v2) -> expr_equal c1 c2 && expr_equal v1 v2)
+         ba bb
+    && (match ea, eb with
+       | None, None -> true
+       | Some x, Some y -> expr_equal x y
+       | None, Some _ | Some _, None -> false)
+  | Cast (a1, ta), Cast (b1, tb) -> ta = tb && expr_equal a1 b1
+  | Is_null (a1, na), Is_null (b1, nb) -> na = nb && expr_equal a1 b1
+  | In_list (a1, la, na), In_list (b1, lb, nb) ->
+    na = nb && expr_equal a1 b1
+    && List.length la = List.length lb
+    && List.for_all2 expr_equal la lb
+  | Between (a1, a2, a3), Between (b1, b2, b3) ->
+    expr_equal a1 b1 && expr_equal a2 b2 && expr_equal a3 b3
+  | Like (a1, pa, na), Like (b1, pb, nb) -> na = nb && pa = pb && expr_equal a1 b1
+  | In_subquery (a1, qa, na), In_subquery (b1, qb, nb) ->
+    na = nb && expr_equal a1 b1 && qa = qb
+  | Exists_subquery (qa, na), Exists_subquery (qb, nb) -> na = nb && qa = qb
+  | Scalar_subquery qa, Scalar_subquery qb -> qa = qb
+  | ( ( Lit _ | Col _ | Star | Binop _ | Unop _ | Func _ | Agg _ | Case _
+      | Cast _ | Is_null _ | In_list _ | Between _ | Like _ | In_subquery _
+      | Exists_subquery _ | Scalar_subquery _ ),
+      _ ) ->
+    false
+
+(** Split a boolean expression into its top-level AND conjuncts. *)
+let rec conjuncts = function
+  | Binop (And, a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let rec conjoin = function
+  | [] -> Lit (Value.Bool true)
+  | [ e ] -> e
+  | e :: rest -> Binop (And, e, conjoin rest)
+
+let cte_name = function
+  | Cte_plain { name; _ } | Cte_recursive { name; _ } | Cte_iterative { name; _ }
+    ->
+    name

@@ -1,0 +1,198 @@
+(** Hand-written SQL lexer producing a token array with positions.
+
+    Supports: [--] line comments, [/* */] block comments, single-quoted
+    strings with [''] escapes, double-quoted identifiers, int/float
+    literals (including [1.], [.5], [1e-3]) and multi-character
+    operators ([<=], [>=], [<>], [!=], [||]). *)
+
+exception Lex_error of string * int * int  (** message, line, col *)
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let error st msg = raise (Lex_error (msg, st.line, st.col))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_trivia st
+  | Some '-' when peek2 st = Some '-' ->
+    while peek st <> None && peek st <> Some '\n' do
+      advance st
+    done;
+    skip_trivia st
+  | Some '/' when peek2 st = Some '*' ->
+    advance st;
+    advance st;
+    let rec close () =
+      match peek st with
+      | None -> error st "unterminated block comment"
+      | Some '*' when peek2 st = Some '/' ->
+        advance st;
+        advance st
+      | Some _ ->
+        advance st;
+        close ()
+    in
+    close ();
+    skip_trivia st
+  | _ -> ()
+
+let lex_string st =
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> error st "unterminated string literal"
+    | Some '\'' when peek2 st = Some '\'' ->
+      Buffer.add_char buf '\'';
+      advance st;
+      advance st;
+      loop ()
+    | Some '\'' -> advance st
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      loop ()
+  in
+  loop ();
+  Token.Str_lit (Buffer.contents buf)
+
+let lex_quoted_ident st =
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> error st "unterminated quoted identifier"
+    | Some '"' -> advance st
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      loop ()
+  in
+  loop ();
+  Token.Ident (Buffer.contents buf)
+
+let lex_number st =
+  let buf = Buffer.create 16 in
+  let is_float = ref false in
+  let consume_digits () =
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      Buffer.add_char buf (Option.get (peek st));
+      advance st
+    done
+  in
+  consume_digits ();
+  (match peek st with
+  | Some '.' when (match peek2 st with Some c -> is_digit c | _ -> true) ->
+    is_float := true;
+    Buffer.add_char buf '.';
+    advance st;
+    consume_digits ()
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') -> (
+    match peek2 st with
+    | Some c when is_digit c || c = '+' || c = '-' ->
+      is_float := true;
+      Buffer.add_char buf 'e';
+      advance st;
+      (match peek st with
+      | Some ('+' | '-') ->
+        Buffer.add_char buf (Option.get (peek st));
+        advance st
+      | _ -> ());
+      consume_digits ()
+    | _ -> ())
+  | _ -> ());
+  let text = Buffer.contents buf in
+  if !is_float then Token.Float_lit (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Token.Int_lit i
+    | None -> Token.Float_lit (float_of_string text)
+
+let lex_word st =
+  let buf = Buffer.create 16 in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    Buffer.add_char buf (Option.get (peek st));
+    advance st
+  done;
+  let word = Buffer.contents buf in
+  if Token.is_keyword word then Token.Kw (String.uppercase_ascii word)
+  else Token.Ident word
+
+let two_char_symbols = [ "<="; ">="; "<>"; "!="; "||" ]
+
+let lex_symbol st =
+  let c = Option.get (peek st) in
+  let two =
+    match peek2 st with
+    | Some c2 ->
+      let s = Printf.sprintf "%c%c" c c2 in
+      if List.mem s two_char_symbols then Some s else None
+    | None -> None
+  in
+  match two with
+  | Some s ->
+    advance st;
+    advance st;
+    Token.Symbol s
+  | None -> (
+    match c with
+    | '(' | ')' | ',' | ';' | '.' | '+' | '-' | '*' | '/' | '%' | '=' | '<'
+    | '>' ->
+      advance st;
+      Token.Symbol (String.make 1 c)
+    | _ -> error st (Printf.sprintf "unexpected character %C" c))
+
+let next_token st : Token.positioned =
+  skip_trivia st;
+  let line = st.line and col = st.col in
+  let token =
+    match peek st with
+    | None -> Token.Eof
+    | Some '\'' -> lex_string st
+    | Some '"' -> lex_quoted_ident st
+    | Some c when is_digit c -> lex_number st
+    | Some '.' when (match peek2 st with Some c -> is_digit c | _ -> false) ->
+      lex_number st
+    | Some c when is_ident_start c -> lex_word st
+    | Some _ -> lex_symbol st
+  in
+  { Token.token; line; col }
+
+(** [tokenize src] lexes the whole input, ending with [Eof]. *)
+let tokenize src : Token.positioned array =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let toks = ref [] in
+  let rec loop () =
+    let t = next_token st in
+    toks := t :: !toks;
+    if t.Token.token <> Token.Eof then loop ()
+  in
+  loop ();
+  Array.of_list (List.rev !toks)

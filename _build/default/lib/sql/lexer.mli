@@ -1,0 +1,11 @@
+(** Hand-written SQL lexer: [--] and [/* */] comments, single-quoted
+    strings with [''] escapes, double-quoted identifiers, int/float
+    literals (including [.5] and exponents) and multi-character
+    operators. *)
+
+exception Lex_error of string * int * int  (** message, line, column *)
+
+(** Lex the whole input; the result always ends with {!Token.Eof}.
+    @raise Lex_error on unterminated strings/comments or stray
+    characters. *)
+val tokenize : string -> Token.positioned array

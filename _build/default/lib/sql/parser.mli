@@ -1,0 +1,19 @@
+(** Recursive-descent parser for the supported SQL dialect, including
+    the iterative-CTE extension
+    [WITH ITERATIVE R (cols) KEY c AS (R0 ITERATE Ri UNTIL Tc) Qf]. *)
+
+exception Parse_error of string * int * int  (** message, line, column *)
+
+(** Parse exactly one statement (a trailing [;] is allowed).
+    @raise Parse_error on syntax errors or trailing input. *)
+val parse_statement : string -> Ast.statement
+
+(** Parse a query (SELECT / WITH ...).
+    @raise Parse_error likewise. *)
+val parse_query : string -> Ast.full_query
+
+(** Parse a [;]-separated script into its statements. *)
+val parse_script : string -> Ast.statement list
+
+(** Parse a standalone scalar expression (tests, REPL). *)
+val parse_expression : string -> Ast.expr

@@ -1,0 +1,277 @@
+(** Render AST nodes back to SQL text. The output re-parses to the same
+    AST (checked by property tests), which also makes it usable for
+    logging and for shipping rewritten statements to the baselines. *)
+
+module Value = Dbspinner_storage.Value
+module Column_type = Dbspinner_storage.Column_type
+
+let binop_symbol = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Mod -> "%"
+  | Ast.Eq -> "="
+  | Ast.Neq -> "<>"
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | Ast.And -> "AND"
+  | Ast.Or -> "OR"
+  | Ast.Concat -> "||"
+
+let agg_name = function
+  | Ast.Count | Ast.Count_star -> "COUNT"
+  | Ast.Sum -> "SUM"
+  | Ast.Avg -> "AVG"
+  | Ast.Min -> "MIN"
+  | Ast.Max -> "MAX"
+
+let quote_ident name =
+  let plain =
+    name <> ""
+    && (not (Token.is_keyword name))
+    && String.for_all
+         (fun c ->
+           (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+           || (c >= '0' && c <= '9'))
+         name
+    && not (name.[0] >= '0' && name.[0] <= '9')
+  in
+  if plain then name else "\"" ^ name ^ "\""
+
+let join_kind = function
+  | Ast.Inner -> "JOIN"
+  | Ast.Left_outer -> "LEFT JOIN"
+  | Ast.Right_outer -> "RIGHT JOIN"
+  | Ast.Full_outer -> "FULL JOIN"
+  | Ast.Cross -> "CROSS JOIN"
+
+let rec expr e =
+  match e with
+  | Ast.Lit v -> Value.to_string v
+  | Ast.Col (None, c) -> quote_ident c
+  | Ast.Col (Some q, c) -> quote_ident q ^ "." ^ quote_ident c
+  | Ast.Star -> "*"
+  | Ast.Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr a) (binop_symbol op) (expr b)
+  (* Fold negation of numeric literals so printing agrees with the
+     parser's folded representation. *)
+  | Ast.Unop (Ast.Neg, Ast.Lit (Value.Int i)) -> Value.to_string (Value.Int (-i))
+  | Ast.Unop (Ast.Neg, Ast.Lit (Value.Float f)) ->
+    Value.to_string (Value.Float (-.f))
+  (* Print general negation as a subtraction so the output is stable
+     under re-parsing (a leading "-" would re-fold into the operand
+     when that operand prints as a literal, e.g. after Neg(Neg(0))). *)
+  | Ast.Unop (Ast.Neg, a) -> Printf.sprintf "(0 - %s)" (expr a)
+  | Ast.Unop (Ast.Not, a) -> Printf.sprintf "(NOT %s)" (expr a)
+  | Ast.Func (name, args) ->
+    Printf.sprintf "%s(%s)" name (String.concat ", " (List.map expr args))
+  | Ast.Agg (Ast.Count_star, _, _) -> "COUNT(*)"
+  | Ast.Agg (kind, distinct, a) ->
+    Printf.sprintf "%s(%s%s)" (agg_name kind)
+      (if distinct then "DISTINCT " else "")
+      (expr a)
+  | Ast.Case (branches, else_) ->
+    let b =
+      List.map
+        (fun (c, v) -> Printf.sprintf "WHEN %s THEN %s" (expr c) (expr v))
+        branches
+    in
+    let e_part =
+      match else_ with Some e -> " ELSE " ^ expr e | None -> ""
+    in
+    Printf.sprintf "CASE %s%s END" (String.concat " " b) e_part
+  | Ast.Cast (a, ty) ->
+    Printf.sprintf "CAST(%s AS %s)" (expr a) (Column_type.to_string ty)
+  | Ast.Is_null (a, true) -> Printf.sprintf "(%s IS NULL)" (expr a)
+  | Ast.Is_null (a, false) -> Printf.sprintf "(%s IS NOT NULL)" (expr a)
+  | Ast.In_list (a, items, neg) ->
+    Printf.sprintf "(%s %sIN (%s))" (expr a)
+      (if neg then "NOT " else "")
+      (String.concat ", " (List.map expr items))
+  | Ast.Between (a, lo, hi) ->
+    Printf.sprintf "(%s BETWEEN %s AND %s)" (expr a) (expr lo) (expr hi)
+  | Ast.Like (a, pat, neg) ->
+    Printf.sprintf "(%s %sLIKE %s)" (expr a)
+      (if neg then "NOT " else "")
+      (Value.to_string (Value.Str pat))
+  | Ast.In_subquery (a, q, neg) ->
+    Printf.sprintf "(%s %sIN (%s))" (expr a)
+      (if neg then "NOT " else "")
+      (query q)
+  | Ast.Exists_subquery (q, neg) ->
+    Printf.sprintf "(%sEXISTS (%s))" (if neg then "NOT " else "") (query q)
+  | Ast.Scalar_subquery q -> Printf.sprintf "(%s)" (query q)
+
+and select_item (it : Ast.select_item) =
+  match it.alias with
+  | None -> expr it.expr
+  | Some a -> Printf.sprintf "%s AS %s" (expr it.expr) (quote_ident a)
+
+and from_item = function
+  | Ast.From_table { table; alias } -> (
+    match alias with
+    | None -> quote_ident table
+    | Some a -> Printf.sprintf "%s AS %s" (quote_ident table) (quote_ident a))
+  | Ast.From_subquery { query = q; alias } ->
+    Printf.sprintf "(%s) AS %s" (query q) (quote_ident alias)
+  | Ast.From_join { left; kind; right; condition } -> (
+    let base =
+      Printf.sprintf "%s %s %s" (from_item left) (join_kind kind)
+        (from_item right)
+    in
+    match condition with
+    | None -> base
+    | Some c -> Printf.sprintf "%s ON %s" base (expr c))
+
+and select (s : Ast.select) =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf "SELECT ";
+  if s.distinct then Buffer.add_string buf "DISTINCT ";
+  Buffer.add_string buf (String.concat ", " (List.map select_item s.items));
+  Option.iter
+    (fun f -> Buffer.add_string buf (" FROM " ^ from_item f))
+    s.from;
+  Option.iter (fun w -> Buffer.add_string buf (" WHERE " ^ expr w)) s.where;
+  if s.group_by <> [] then
+    Buffer.add_string buf
+      (" GROUP BY " ^ String.concat ", " (List.map expr s.group_by));
+  Option.iter (fun h -> Buffer.add_string buf (" HAVING " ^ expr h)) s.having;
+  Buffer.contents buf
+
+and query = function
+  | Ast.Q_select s -> select s
+  | Ast.Q_union { all; left; right } -> set_op "UNION" all left right
+  | Ast.Q_intersect { all; left; right } -> set_op "INTERSECT" all left right
+  | Ast.Q_except { all; left; right } -> set_op "EXCEPT" all left right
+
+and set_op name all left right =
+  Printf.sprintf "%s %s %s%s" (query left) name
+    (if all then "ALL " else "")
+    (match right with
+    | Ast.Q_select s -> select s
+    | (Ast.Q_union _ | Ast.Q_intersect _ | Ast.Q_except _) as q ->
+      "(" ^ query q ^ ")")
+
+let termination = function
+  | Ast.T_iterations n -> Printf.sprintf "%d ITERATIONS" n
+  | Ast.T_updates n -> Printf.sprintf "%d UPDATES" n
+  | Ast.T_delta n -> Printf.sprintf "DELTA <= %d" n
+  | Ast.T_data { any; cond } ->
+    Printf.sprintf "%s %s" (if any then "ANY" else "ALL") (expr cond)
+
+let cte = function
+  | Ast.Cte_plain { name; columns; body } ->
+    Printf.sprintf "%s%s AS (%s)" (quote_ident name)
+      (match columns with
+      | None -> ""
+      | Some cs ->
+        " (" ^ String.concat ", " (List.map quote_ident cs) ^ ")")
+      (query body)
+  | Ast.Cte_recursive { name; columns; base; step; union_all } ->
+    Printf.sprintf "RECURSIVE %s%s AS (%s UNION %s%s)" (quote_ident name)
+      (match columns with
+      | None -> ""
+      | Some cs ->
+        " (" ^ String.concat ", " (List.map quote_ident cs) ^ ")")
+      (query base)
+      (if union_all then "ALL " else "")
+      (query step)
+  | Ast.Cte_iterative { name; columns; key; base; step; until } ->
+    Printf.sprintf "ITERATIVE %s%s%s AS (%s ITERATE %s UNTIL %s)"
+      (quote_ident name)
+      (match columns with
+      | None -> ""
+      | Some cs ->
+        " (" ^ String.concat ", " (List.map quote_ident cs) ^ ")")
+      (match key with None -> "" | Some k -> " KEY " ^ quote_ident k)
+      (query base) (query step) (termination until)
+
+let full_query (q : Ast.full_query) =
+  let buf = Buffer.create 128 in
+  if q.ctes <> [] then begin
+    Buffer.add_string buf "WITH ";
+    Buffer.add_string buf (String.concat ", " (List.map cte q.ctes));
+    Buffer.add_char buf ' '
+  end;
+  Buffer.add_string buf (query q.body);
+  if q.order_by <> [] then begin
+    let item (o : Ast.order_item) =
+      expr o.sort_expr ^ if o.descending then " DESC" else ""
+    in
+    Buffer.add_string buf
+      (" ORDER BY " ^ String.concat ", " (List.map item q.order_by))
+  end;
+  Option.iter (fun n -> Buffer.add_string buf (Printf.sprintf " LIMIT %d" n)) q.limit;
+  if q.offset > 0 then
+    Buffer.add_string buf (Printf.sprintf " OFFSET %d" q.offset);
+  Buffer.contents buf
+
+let rec statement = function
+  | Ast.S_query q -> full_query q
+  | Ast.S_create_table { table; if_not_exists; columns; primary_key } ->
+    let cols =
+      List.map
+        (fun (c : Ast.column_def) ->
+          Printf.sprintf "%s %s" (quote_ident c.col_name)
+            (Column_type.to_string c.col_type))
+        columns
+    in
+    let pk =
+      match primary_key with
+      | None -> ""
+      | Some k -> Printf.sprintf ", PRIMARY KEY (%s)" (quote_ident k)
+    in
+    Printf.sprintf "CREATE TABLE %s%s (%s%s)"
+      (if if_not_exists then "IF NOT EXISTS " else "")
+      (quote_ident table) (String.concat ", " cols) pk
+  | Ast.S_drop_table { table; if_exists } ->
+    Printf.sprintf "DROP TABLE %s%s"
+      (if if_exists then "IF EXISTS " else "")
+      (quote_ident table)
+  | Ast.S_insert { table; columns; source } ->
+    let cols =
+      match columns with
+      | None -> ""
+      | Some cs -> " (" ^ String.concat ", " (List.map quote_ident cs) ^ ")"
+    in
+    let src =
+      match source with
+      | Ast.I_values tuples ->
+        "VALUES "
+        ^ String.concat ", "
+            (List.map
+               (fun t -> "(" ^ String.concat ", " (List.map expr t) ^ ")")
+               tuples)
+      | Ast.I_query q -> full_query q
+    in
+    Printf.sprintf "INSERT INTO %s%s %s" (quote_ident table) cols src
+  | Ast.S_update { table; set; from; where } ->
+    let assignments =
+      List.map (fun (c, e) -> Printf.sprintf "%s = %s" (quote_ident c) (expr e)) set
+    in
+    Printf.sprintf "UPDATE %s SET %s%s%s" (quote_ident table)
+      (String.concat ", " assignments)
+      (match from with None -> "" | Some f -> " FROM " ^ from_item f)
+      (match where with None -> "" | Some w -> " WHERE " ^ expr w)
+  | Ast.S_delete { table; where } ->
+    Printf.sprintf "DELETE FROM %s%s" (quote_ident table)
+      (match where with None -> "" | Some w -> " WHERE " ^ expr w)
+  | Ast.S_truncate table -> "TRUNCATE TABLE " ^ quote_ident table
+  | Ast.S_create_view { view; view_columns; body } ->
+    Printf.sprintf "CREATE VIEW %s%s AS %s" (quote_ident view)
+      (match view_columns with
+      | None -> ""
+      | Some cs -> " (" ^ String.concat ", " (List.map quote_ident cs) ^ ")")
+      (query body)
+  | Ast.S_drop_view { view; if_exists } ->
+    Printf.sprintf "DROP VIEW %s%s"
+      (if if_exists then "IF EXISTS " else "")
+      (quote_ident view)
+  | Ast.S_begin -> "BEGIN"
+  | Ast.S_commit -> "COMMIT"
+  | Ast.S_rollback -> "ROLLBACK"
+  | Ast.S_explain { analyze; target } ->
+    (if analyze then "EXPLAIN ANALYZE " else "EXPLAIN ") ^ statement target

@@ -1,0 +1,21 @@
+(** Render AST nodes back to SQL text. Output re-parses to an
+    equivalent AST and printing is idempotent (checked by property
+    tests), making it suitable for logging, EXPLAIN and shipping
+    rewritten statements to the baselines. *)
+
+val binop_symbol : Ast.binop -> string
+val agg_name : Ast.agg_kind -> string
+
+(** Quote an identifier when it collides with a keyword or contains
+    non-identifier characters. *)
+val quote_ident : string -> string
+
+val expr : Ast.expr -> string
+val select_item : Ast.select_item -> string
+val from_item : Ast.from_item -> string
+val select : Ast.select -> string
+val query : Ast.query -> string
+val termination : Ast.termination -> string
+val cte : Ast.cte -> string
+val full_query : Ast.full_query -> string
+val statement : Ast.statement -> string

@@ -1,0 +1,50 @@
+(** Lexical tokens. Keywords are recognized case-insensitively by the
+    lexer and carried as [Kw] with an uppercase payload, so the parser
+    matches on canonical spelling. *)
+
+type t =
+  | Kw of string  (** keyword, uppercased *)
+  | Ident of string  (** identifier (possibly quoted) *)
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Symbol of string  (** operator or punctuation: [,] [(] [=] [<=] ... *)
+  | Eof
+
+type positioned = {
+  token : t;
+  line : int;
+  col : int;
+}
+
+let keywords =
+  [
+    "SELECT"; "FROM"; "WHERE"; "GROUP"; "BY"; "HAVING"; "ORDER"; "LIMIT";
+    "OFFSET"; "AS"; "ON"; "JOIN"; "INNER"; "LEFT"; "RIGHT"; "FULL"; "OUTER";
+    "CROSS"; "UNION"; "INTERSECT"; "EXCEPT"; "ALL"; "DISTINCT"; "WITH"; "RECURSIVE"; "ITERATIVE";
+    "ITERATE"; "UNTIL"; "ITERATIONS"; "UPDATES"; "DELTA"; "KEY"; "PRIMARY";
+    "AND"; "OR"; "NOT"; "IS"; "NULL"; "TRUE"; "FALSE"; "IN"; "BETWEEN";
+    "EXISTS"; "CASE"; "WHEN"; "THEN"; "ELSE"; "END"; "CAST"; "CREATE";
+    "TABLE"; "DROP"; "IF"; "INSERT"; "INTO"; "VALUES"; "UPDATE"; "SET";
+    "DELETE"; "TRUNCATE"; "EXPLAIN"; "ANY"; "ASC"; "DESC"; "LIKE"; "MOD";
+    "COUNT"; "SUM"; "AVG"; "MIN"; "MAX"; "PROCEDURE"; "CALL"; "LOOP";
+    "TEMP"; "TEMPORARY"; "ANALYZE"; "DUAL"; "BEGIN"; "COMMIT"; "ROLLBACK"; "TRANSACTION"; "VIEW";
+  ]
+
+let keyword_set : (string, unit) Hashtbl.t =
+  let h = Hashtbl.create 97 in
+  List.iter (fun k -> Hashtbl.replace h k ()) keywords;
+  h
+
+let is_keyword s = Hashtbl.mem keyword_set (String.uppercase_ascii s)
+
+let to_string = function
+  | Kw k -> k
+  | Ident i -> i
+  | Int_lit i -> string_of_int i
+  | Float_lit f -> string_of_float f
+  | Str_lit s -> "'" ^ s ^ "'"
+  | Symbol s -> s
+  | Eof -> "<eof>"
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,1 @@
+lib/storage/column_type.mli: Format Value

@@ -1,0 +1,1 @@
+lib/storage/csv.ml: Array Buffer Column_type Fun List Printf Relation Schema String Value

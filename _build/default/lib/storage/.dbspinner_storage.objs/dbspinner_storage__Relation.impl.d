@@ -1,0 +1,1 @@
+lib/storage/relation.ml: Array Buffer Format Hashtbl List Printf Row Schema String Value

@@ -1,0 +1,1 @@
+lib/storage/schema.ml: Array Column_type Format List Option Printf String

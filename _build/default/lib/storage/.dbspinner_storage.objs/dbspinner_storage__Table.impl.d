@@ -1,0 +1,1 @@
+lib/storage/table.ml: Array Column_type Hashtbl List Option Printf Relation Row Schema Value

@@ -1,0 +1,113 @@
+(** The catalog: base tables plus the executor's intermediate-result
+    lookup table.
+
+    The lookup table mirrors the paper's §VI-A description: a map from
+    name to (schema, pointer-to-rows). The [rename] operation swaps the
+    binding in O(1) and releases any displaced entry — this is exactly
+    the "rename" operator DBSpinner adds to the engine. *)
+
+type t = {
+  base : (string, Table.t) Hashtbl.t;
+  temps : (string, Relation.t) Hashtbl.t;
+  mutable ddl_ops : int;  (** CREATE/DROP count, for baseline accounting *)
+  mutable renames : int;
+}
+
+exception Unknown_table of string
+exception Duplicate_table of string
+
+let create () =
+  { base = Hashtbl.create 16; temps = Hashtbl.create 16; ddl_ops = 0; renames = 0 }
+
+let key = String.lowercase_ascii
+
+(* ------------------------------------------------------------------ *)
+(* Base tables                                                         *)
+
+let create_table ?primary_key t ~name schema =
+  let k = key name in
+  if Hashtbl.mem t.base k then raise (Duplicate_table name);
+  let table = Table.create ?primary_key ~name schema in
+  Hashtbl.replace t.base k table;
+  t.ddl_ops <- t.ddl_ops + 1;
+  table
+
+let drop_table t name =
+  let k = key name in
+  if not (Hashtbl.mem t.base k) then raise (Unknown_table name);
+  Hashtbl.remove t.base k;
+  t.ddl_ops <- t.ddl_ops + 1
+
+let find_table t name =
+  match Hashtbl.find_opt t.base (key name) with
+  | Some table -> table
+  | None -> raise (Unknown_table name)
+
+let find_table_opt t name = Hashtbl.find_opt t.base (key name)
+let mem_table t name = Hashtbl.mem t.base (key name)
+
+let table_names t =
+  Hashtbl.fold (fun _ tbl acc -> Table.name tbl :: acc) t.base []
+  |> List.sort String.compare
+
+(** Current base-table bindings, for transaction snapshots. *)
+let base_bindings t = Hashtbl.fold (fun k tbl acc -> (k, tbl) :: acc) t.base []
+
+(** Restore a {!base_bindings} snapshot: tables created since are
+    dropped, dropped tables reappear. *)
+let restore_base t bindings =
+  Hashtbl.reset t.base;
+  List.iter (fun (k, tbl) -> Hashtbl.replace t.base k tbl) bindings
+
+(* ------------------------------------------------------------------ *)
+(* Intermediate results (temp lookup table)                            *)
+
+let set_temp t name rel = Hashtbl.replace t.temps (key name) rel
+
+let find_temp t name =
+  match Hashtbl.find_opt t.temps (key name) with
+  | Some rel -> rel
+  | None -> raise (Unknown_table name)
+
+let find_temp_opt t name = Hashtbl.find_opt t.temps (key name)
+let mem_temp t name = Hashtbl.mem t.temps (key name)
+let drop_temp t name = Hashtbl.remove t.temps (key name)
+
+(** O(1) pointer swap. If [into] already exists its entry is removed
+    first (the engine releases the memory), per paper §VI-A. *)
+let rename_temp t ~from_ ~into =
+  let rel =
+    match Hashtbl.find_opt t.temps (key from_) with
+    | Some rel -> rel
+    | None -> raise (Unknown_table from_)
+  in
+  Hashtbl.remove t.temps (key into);
+  Hashtbl.remove t.temps (key from_);
+  Hashtbl.replace t.temps (key into) rel;
+  t.renames <- t.renames + 1
+
+let temp_names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.temps [] |> List.sort String.compare
+
+let clear_temps t = Hashtbl.reset t.temps
+
+(** Resolve a name for reading: temps shadow base tables, so that the
+    iterative CTE reference ("PageRank") wins over a base table of the
+    same name inside the CTE body. *)
+let resolve t name : Relation.t =
+  match find_temp_opt t name with
+  | Some rel -> rel
+  | None -> Table.to_relation (find_table t name)
+
+let resolve_opt t name : Relation.t option =
+  match find_temp_opt t name with
+  | Some rel -> Some rel
+  | None -> Option.map Table.to_relation (find_table_opt t name)
+
+let schema_of t name : Schema.t =
+  match find_temp_opt t name with
+  | Some rel -> Relation.schema rel
+  | None -> Table.schema (find_table t name)
+
+let ddl_ops t = t.ddl_ops
+let renames t = t.renames

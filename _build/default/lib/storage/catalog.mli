@@ -1,0 +1,72 @@
+(** The catalog: base tables plus the executor's intermediate-result
+    lookup table. The lookup table realizes the paper's §VI-A [rename]
+    operator: an O(1) pointer swap that releases any displaced entry.
+    All names are case-insensitive. *)
+
+type t
+
+exception Unknown_table of string
+exception Duplicate_table of string
+
+val create : unit -> t
+
+(** {2 Base tables} *)
+
+(** @raise Duplicate_table when the name is taken. *)
+val create_table : ?primary_key:string -> t -> name:string -> Schema.t -> Table.t
+
+(** @raise Unknown_table when absent. *)
+val drop_table : t -> string -> unit
+
+(** @raise Unknown_table when absent. *)
+val find_table : t -> string -> Table.t
+
+val find_table_opt : t -> string -> Table.t option
+val mem_table : t -> string -> bool
+val table_names : t -> string list
+
+(** Current base-table bindings, for transaction snapshots. *)
+val base_bindings : t -> (string * Table.t) list
+
+(** Restore a {!base_bindings} snapshot: tables created since are
+    dropped, dropped tables reappear. *)
+val restore_base : t -> (string * Table.t) list -> unit
+
+(** {2 Intermediate results (temps)} *)
+
+val set_temp : t -> string -> Relation.t -> unit
+
+(** @raise Unknown_table when absent. *)
+val find_temp : t -> string -> Relation.t
+
+val find_temp_opt : t -> string -> Relation.t option
+val mem_temp : t -> string -> bool
+val drop_temp : t -> string -> unit
+
+(** The rename operator: O(1) binding swap; an existing [into] entry is
+    dropped first.
+    @raise Unknown_table when [from_] is absent. *)
+val rename_temp : t -> from_:string -> into:string -> unit
+
+val temp_names : t -> string list
+val clear_temps : t -> unit
+
+(** {2 Unified resolution} *)
+
+(** Resolve a name for reading; temps shadow base tables, so the
+    iterative reference inside a loop body reads the current
+    iteration's table.
+    @raise Unknown_table when absent everywhere. *)
+val resolve : t -> string -> Relation.t
+
+val resolve_opt : t -> string -> Relation.t option
+
+(** @raise Unknown_table when absent. *)
+val schema_of : t -> string -> Schema.t
+
+(** {2 Accounting} *)
+
+(** CREATE/DROP operations performed (baseline overhead metric). *)
+val ddl_ops : t -> int
+
+val renames : t -> int

@@ -1,0 +1,64 @@
+(** Declared column types for CREATE TABLE and CSV ingestion. Execution
+    is dynamically typed; declared types are enforced on insert. *)
+
+type t =
+  | T_int
+  | T_float
+  | T_string
+  | T_bool
+  | T_any  (** no constraint; used for computed temp results *)
+
+let to_string = function
+  | T_int -> "INT"
+  | T_float -> "FLOAT"
+  | T_string -> "VARCHAR"
+  | T_bool -> "BOOLEAN"
+  | T_any -> "ANY"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "INT" | "INTEGER" | "BIGINT" | "SMALLINT" -> Some T_int
+  | "FLOAT" | "DOUBLE" | "REAL" | "NUMERIC" | "DECIMAL" -> Some T_float
+  | "VARCHAR" | "TEXT" | "CHAR" | "STRING" -> Some T_string
+  | "BOOLEAN" | "BOOL" -> Some T_bool
+  | "ANY" -> Some T_any
+  | _ -> None
+
+(** [admits ty v] holds when value [v] may be stored in a column of
+    type [ty]. NULL is admitted everywhere; ints are admitted into
+    float columns (and widened by {!coerce}). *)
+let admits ty (v : Value.t) =
+  match ty, v with
+  | _, Value.Null -> true
+  | T_any, _ -> true
+  | T_int, Value.Int _ -> true
+  | T_float, (Value.Int _ | Value.Float _) -> true
+  | T_string, Value.Str _ -> true
+  | T_bool, Value.Bool _ -> true
+  | (T_int | T_float | T_string | T_bool), _ -> false
+
+(** Widen a value to fit the column type ([Int] into [T_float]
+    columns). Assumes [admits ty v]. *)
+let coerce ty (v : Value.t) : Value.t =
+  match ty, v with
+  | T_float, Value.Int i -> Value.Float (float_of_int i)
+  | _, _ -> v
+
+(** Parse a CSV cell under a declared type. Empty cells are NULL. *)
+let parse ty s : Value.t =
+  if s = "" then Value.Null
+  else
+    match ty with
+    | T_int -> Value.Int (int_of_string s)
+    | T_float -> Value.Float (float_of_string s)
+    | T_string -> Value.Str s
+    | T_bool -> Value.Bool (bool_of_string (String.lowercase_ascii s))
+    | T_any -> (
+      match int_of_string_opt s with
+      | Some i -> Value.Int i
+      | None -> (
+        match float_of_string_opt s with
+        | Some f -> Value.Float f
+        | None -> Value.Str s))
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

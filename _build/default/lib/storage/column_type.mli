@@ -1,0 +1,30 @@
+(** Declared column types for CREATE TABLE and CSV ingestion.
+    Execution is dynamically typed; declared types are enforced on
+    insert. *)
+
+type t =
+  | T_int
+  | T_float
+  | T_string
+  | T_bool
+  | T_any  (** no constraint; computed temp results *)
+
+val to_string : t -> string
+
+(** Recognizes the usual SQL spellings (INTEGER, DOUBLE, NUMERIC,
+    VARCHAR, ...), case-insensitively. *)
+val of_string : string -> t option
+
+(** May [v] be stored in a column of this type? NULL always may; ints
+    are admitted into float columns. *)
+val admits : t -> Value.t -> bool
+
+(** Widen a value to fit the column ([Int] into [T_float]); assumes
+    {!admits}. *)
+val coerce : t -> Value.t -> Value.t
+
+(** Parse a CSV cell; [""] is NULL.
+    @raise Failure on malformed numerics. *)
+val parse : t -> string -> Value.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,109 @@
+(** Minimal CSV reader/writer for loading edge lists and saving query
+    results. Handles quoted fields with embedded commas/quotes; no
+    external dependency. *)
+
+let split_line line =
+  let buf = Buffer.create 16 in
+  let fields = ref [] in
+  let n = String.length line in
+  let rec field i =
+    if i >= n then finish i
+    else if line.[i] = '"' then quoted (i + 1)
+    else if line.[i] = ',' then begin
+      push ();
+      field (i + 1)
+    end
+    else begin
+      Buffer.add_char buf line.[i];
+      field (i + 1)
+    end
+  and quoted i =
+    if i >= n then finish i
+    else if line.[i] = '"' then
+      if i + 1 < n && line.[i + 1] = '"' then begin
+        Buffer.add_char buf '"';
+        quoted (i + 2)
+      end
+      else field (i + 1)
+    else begin
+      Buffer.add_char buf line.[i];
+      quoted (i + 1)
+    end
+  and push () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  and finish _ = push ()
+  in
+  field 0;
+  List.rev !fields
+
+let quote_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+(** [load ~schema ?separator path] reads a headerless file, parsing each
+    field under the schema's declared column type. [separator] defaults
+    to comma; pass ['\t'] or [' '] for SNAP-style edge lists. *)
+let load ~(schema : Schema.t) ?(separator = ',') path : Relation.t =
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       if line <> "" && line.[0] <> '#' then begin
+         let fields =
+           if separator = ',' then split_line line
+           else
+             String.split_on_char separator line
+             |> List.filter (fun s -> s <> "")
+         in
+         let row =
+           Array.of_list
+             (List.mapi
+                (fun i f ->
+                  if i < Schema.arity schema then
+                    Column_type.parse schema.(i).Schema.ty f
+                  else Value.Null)
+                fields)
+         in
+         if Array.length row = Schema.arity schema then rows := row :: !rows
+         else
+           failwith
+             (Printf.sprintf "Csv.load %s: row with %d fields, expected %d"
+                path (Array.length row) (Schema.arity schema))
+       end
+     done
+   with
+  | End_of_file -> close_in ic
+  | e ->
+    close_in ic;
+    raise e);
+  Relation.make schema (Array.of_list (List.rev !rows))
+
+let raw_string (v : Value.t) =
+  match v with
+  | Value.Str s -> s
+  | Value.Null -> ""
+  (* Shortest representation that round-trips exactly. *)
+  | Value.Float f -> Printf.sprintf "%.17g" f
+  | v -> Value.to_string v
+
+(** [save ?header rel path] writes one line per row; [header] adds a
+    column-name line. *)
+let save ?(header = false) (rel : Relation.t) path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      if header then
+        output_string oc
+          (String.concat "," (Schema.column_names (Relation.schema rel)) ^ "\n");
+      Relation.iter
+        (fun row ->
+          let line =
+            String.concat ","
+              (Array.to_list (Array.map (fun v -> quote_field (raw_string v)) row))
+          in
+          output_string oc (line ^ "\n"))
+        rel)

@@ -1,0 +1,17 @@
+(** Minimal CSV reader/writer: quoted fields, configurable separator,
+    SNAP-style [#] comment lines. No external dependency. *)
+
+(** Split one CSV line honoring double-quoted fields with [""]
+    escapes. *)
+val split_line : string -> string list
+
+(** [load ~schema ?separator path] reads a headerless file, parsing
+    each field under the schema's declared column type; empty fields
+    become NULL, [#]-prefixed lines are skipped. [separator] defaults
+    to [','].
+    @raise Failure on arity mismatches, [Sys_error] on I/O errors. *)
+val load : schema:Schema.t -> ?separator:char -> string -> Relation.t
+
+(** [save ?header rel path] writes one line per row; floats keep full
+    round-trip precision. *)
+val save : ?header:bool -> Relation.t -> string -> unit

@@ -1,0 +1,117 @@
+(** An immutable materialized relation: a schema plus a row array.
+
+    All executor operators consume and produce relations; the paper's
+    engine likewise materializes intermediate results of iterative CTEs
+    (§IV: "iterative CTEs mostly materialize intermediate results"). *)
+
+type t = {
+  schema : Schema.t;
+  rows : Row.t array;
+}
+
+let make schema rows =
+  Array.iter
+    (fun r ->
+      if Array.length r <> Schema.arity schema then
+        invalid_arg
+          (Printf.sprintf "Relation.make: row arity %d <> schema arity %d"
+             (Array.length r) (Schema.arity schema)))
+    rows;
+  { schema; rows }
+
+let of_lists schema rows = make schema (Array.of_list (List.map Row.of_list rows))
+
+let empty schema = { schema; rows = [||] }
+
+let schema t = t.schema
+let rows t = t.rows
+let cardinality t = Array.length t.rows
+let is_empty t = cardinality t = 0
+
+let iter f t = Array.iter f t.rows
+let fold f init t = Array.fold_left f init t.rows
+
+(** [column t name] extracts one column as a value array. *)
+let column t name =
+  let i = Schema.find_exn t.schema name in
+  Array.map (fun r -> r.(i)) t.rows
+
+(** Structural equality as a {e bag} of rows (order-insensitive):
+    relations are sets/bags in SQL, so tests compare with this. *)
+let equal_bag a b =
+  Schema.arity a.schema = Schema.arity b.schema
+  && cardinality a = cardinality b
+  &&
+  let sa = Array.copy a.rows and sb = Array.copy b.rows in
+  Array.sort Row.compare sa;
+  Array.sort Row.compare sb;
+  Array.for_all2 Row.equal sa sb
+
+(** Rows changed between two versions keyed by column [key_idx]; used
+    by the Delta termination condition and by tests. Counts rows whose
+    key is present in both but whose payload differs, plus rows present
+    in only one side. *)
+let delta_count ~key_idx (prev : t) (next : t) =
+  let index = Hashtbl.create (cardinality prev) in
+  Array.iter (fun r -> Hashtbl.replace index r.(key_idx) r) prev.rows;
+  let changed = ref 0 in
+  let seen = ref 0 in
+  Array.iter
+    (fun r ->
+      match Hashtbl.find_opt index r.(key_idx) with
+      | Some old ->
+        incr seen;
+        if not (Row.equal old r) then incr changed
+      | None -> incr changed)
+    next.rows;
+  (* Rows that vanished also count as changed. *)
+  !changed + (cardinality prev - !seen)
+
+let sorted t =
+  let rows = Array.copy t.rows in
+  Array.sort Row.compare rows;
+  { t with rows }
+
+let pp fmt t =
+  Format.fprintf fmt "%a [%d rows]" Schema.pp t.schema (cardinality t);
+  Array.iteri
+    (fun i r -> if i < 20 then Format.fprintf fmt "@\n  %a" Row.pp r)
+    t.rows;
+  if cardinality t > 20 then Format.fprintf fmt "@\n  ..."
+
+(** Render as an aligned ASCII table (CLI output). *)
+let to_table_string ?(max_rows = 50) t =
+  let headers = Array.of_list (Schema.column_names t.schema) in
+  let shown = min max_rows (cardinality t) in
+  let cells =
+    Array.init shown (fun i -> Array.map Value.to_string t.rows.(i))
+  in
+  let widths =
+    Array.mapi
+      (fun c h ->
+        Array.fold_left (fun w row -> max w (String.length row.(c)))
+          (String.length h) cells)
+      headers
+  in
+  let buf = Buffer.create 256 in
+  let line ch =
+    Array.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) ch)) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let render row =
+    Array.iteri
+      (fun c cell ->
+        Buffer.add_string buf (Printf.sprintf "| %-*s " widths.(c) cell))
+      row;
+    Buffer.add_string buf "|\n"
+  in
+  line '-';
+  render headers;
+  line '-';
+  Array.iter render cells;
+  line '-';
+  if cardinality t > shown then
+    Buffer.add_string buf
+      (Printf.sprintf "(%d more rows)\n" (cardinality t - shown));
+  Buffer.add_string buf (Printf.sprintf "(%d rows)\n" (cardinality t));
+  Buffer.contents buf

@@ -1,0 +1,41 @@
+(** Immutable materialized relations: a schema plus a row array. All
+    executor operators consume and produce relations. *)
+
+type t
+
+(** @raise Invalid_argument when a row's arity differs from the
+    schema's. *)
+val make : Schema.t -> Row.t array -> t
+
+val of_lists : Schema.t -> Value.t list list -> t
+val empty : Schema.t -> t
+val schema : t -> Schema.t
+val rows : t -> Row.t array
+val cardinality : t -> int
+val is_empty : t -> bool
+val iter : (Row.t -> unit) -> t -> unit
+val fold : ('a -> Row.t -> 'a) -> 'a -> t -> 'a
+
+(** One column as a value array.
+    @raise Invalid_argument when the column does not exist. *)
+val column : t -> string -> Value.t array
+
+(** Bag (multiset) equality: same rows with the same multiplicities,
+    in any order. The equality used by tests, since SQL results are
+    bags. *)
+val equal_bag : t -> t -> bool
+
+(** [delta_count ~key_idx prev next] — number of rows that changed
+    between two versions keyed by column [key_idx]: rows whose payload
+    differs, plus insertions, plus deletions. Assumes unique keys.
+    Drives the Delta termination condition and update counting. *)
+val delta_count : key_idx:int -> t -> t -> int
+
+(** Copy with rows sorted by {!Row.compare} (canonical order for
+    comparisons). *)
+val sorted : t -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** Aligned ASCII rendering, truncated to [max_rows] (default 50). *)
+val to_table_string : ?max_rows:int -> t -> string

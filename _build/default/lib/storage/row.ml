@@ -1,0 +1,39 @@
+(** A row is a flat array of values, positionally aligned with a
+    {!Schema.t}. *)
+
+type t = Value.t array
+
+let of_list = Array.of_list
+let to_list = Array.to_list
+let arity = Array.length
+
+let equal (a : t) (b : t) =
+  Array.length a = Array.length b && Array.for_all2 Value.equal a b
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  let rec loop i =
+    if i >= la && i >= lb then 0
+    else if i >= la then -1
+    else if i >= lb then 1
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else loop (i + 1)
+  in
+  loop 0
+
+let hash (t : t) =
+  Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+
+(** [project row idxs] extracts the listed positions (used by grouping
+    keys and join keys). *)
+let project (row : t) (idxs : int array) : t =
+  Array.map (fun i -> row.(i)) idxs
+
+let concat (a : t) (b : t) : t = Array.append a b
+
+let pp fmt (t : t) =
+  Format.fprintf fmt "(%s)"
+    (String.concat ", " (Array.to_list (Array.map Value.to_string t)))
+
+let to_string (t : t) = Format.asprintf "%a" pp t

@@ -1,0 +1,24 @@
+(** Rows: flat value arrays positionally aligned with a {!Schema.t}. *)
+
+type t = Value.t array
+
+val of_list : Value.t list -> t
+val to_list : t -> Value.t list
+val arity : t -> int
+
+(** Pointwise {!Value.equal} (so [Int 1] equals [Float 1.0]). *)
+val equal : t -> t -> bool
+
+(** Lexicographic {!Value.compare}; shorter rows sort first. *)
+val compare : t -> t -> int
+
+(** Consistent with {!equal}. *)
+val hash : t -> int
+
+(** [project row idxs] extracts the listed positions (grouping and join
+    keys). *)
+val project : t -> int array -> t
+
+val concat : t -> t -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

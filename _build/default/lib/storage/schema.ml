@@ -1,0 +1,64 @@
+(** Relation schemas: ordered named, typed columns.
+
+    Column names are case-insensitive, following SQL identifier rules;
+    lookups normalize to lowercase. *)
+
+type column = {
+  name : string;
+  ty : Column_type.t;
+}
+
+type t = column array
+
+let column ?(ty = Column_type.T_any) name = { name; ty }
+
+let of_names names = Array.of_list (List.map column names)
+
+let make cols = Array.of_list cols
+
+let arity (t : t) = Array.length t
+
+let normalize = String.lowercase_ascii
+
+let column_names (t : t) = Array.to_list (Array.map (fun c -> c.name) t)
+
+(** [index_of t name] is the position of column [name] (case
+    insensitive), or [None]. *)
+let index_of (t : t) name =
+  let name = normalize name in
+  let rec loop i =
+    if i >= Array.length t then None
+    else if normalize t.(i).name = name then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+let find_exn (t : t) name =
+  match index_of t name with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Schema.find_exn: no column %S" name)
+
+let mem (t : t) name = Option.is_some (index_of t name)
+
+(** [rename_columns t names] keeps types but replaces names; used when a
+    CTE declares an explicit column list, e.g.
+    [WITH ITERATIVE PageRank (Node, Rank, Delta)]. *)
+let rename_columns (t : t) names =
+  let names = Array.of_list names in
+  if Array.length names <> Array.length t then
+    invalid_arg "Schema.rename_columns: arity mismatch";
+  Array.mapi (fun i c -> { c with name = names.(i) }) t
+
+let append (a : t) (b : t) : t = Array.append a b
+
+let equal_names (a : t) (b : t) =
+  arity a = arity b
+  && Array.for_all2 (fun x y -> normalize x.name = normalize y.name) a b
+
+let pp fmt (t : t) =
+  Format.fprintf fmt "(%s)"
+    (String.concat ", "
+       (Array.to_list
+          (Array.map
+             (fun c -> Printf.sprintf "%s %s" c.name (Column_type.to_string c.ty))
+             t)))

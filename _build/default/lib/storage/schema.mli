@@ -1,0 +1,40 @@
+(** Relation schemas: ordered, named, typed columns. Column names are
+    case-insensitive, following SQL identifier rules. *)
+
+type column = {
+  name : string;
+  ty : Column_type.t;
+}
+
+type t = column array
+
+(** [column ?ty name] is a column of type [ty] (default
+    {!Column_type.T_any}). *)
+val column : ?ty:Column_type.t -> string -> column
+
+(** Schema with the given names, all of type [T_any]. *)
+val of_names : string list -> t
+
+val make : column list -> t
+val arity : t -> int
+val column_names : t -> string list
+
+(** Position of a column by case-insensitive name. *)
+val index_of : t -> string -> int option
+
+(** @raise Invalid_argument when the column does not exist. *)
+val find_exn : t -> string -> int
+
+val mem : t -> string -> bool
+
+(** Replace all column names, keeping types; used for CTE column lists.
+    @raise Invalid_argument on arity mismatch. *)
+val rename_columns : t -> string list -> t
+
+(** Concatenation, as produced by joins. *)
+val append : t -> t -> t
+
+(** Same arity and (case-insensitive) names, position-wise. *)
+val equal_names : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

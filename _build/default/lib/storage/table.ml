@@ -1,0 +1,153 @@
+(** A mutable base table supporting the DML operations that the
+    middleware and stored-procedure baselines rely on (INSERT, UPDATE,
+    DELETE), with declared-type checking and an optional primary key.
+
+    The native iterative-CTE path never mutates base tables; it only
+    reads them and materializes temp relations in {!Catalog}. *)
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  mutable rows : Row.t list;  (** newest first; order is irrelevant *)
+  mutable cardinality : int;
+  primary_key : int option;
+  pk_index : (Value.t, unit) Hashtbl.t option;
+}
+
+exception Constraint_violation of string
+
+let create ?primary_key ~name schema =
+  let pk_idx =
+    Option.map
+      (fun k ->
+        match Schema.index_of schema k with
+        | Some i -> i
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Table.create: primary key %S not in schema" k))
+      primary_key
+  in
+  {
+    name;
+    schema;
+    rows = [];
+    cardinality = 0;
+    primary_key = pk_idx;
+    pk_index = Option.map (fun _ -> Hashtbl.create 64) pk_idx;
+  }
+
+let name t = t.name
+let schema t = t.schema
+let cardinality t = t.cardinality
+let primary_key t = t.primary_key
+
+let check_row t (row : Row.t) : Row.t =
+  if Array.length row <> Schema.arity t.schema then
+    raise
+      (Constraint_violation
+         (Printf.sprintf "table %s expects %d columns, got %d" t.name
+            (Schema.arity t.schema) (Array.length row)));
+  Array.mapi
+    (fun i v ->
+      let col : Schema.column = t.schema.(i) in
+      if not (Column_type.admits col.ty v) then
+        raise
+          (Constraint_violation
+             (Printf.sprintf "table %s column %s (%s) rejects %s" t.name
+                col.name
+                (Column_type.to_string col.ty)
+                (Value.to_string v)));
+      Column_type.coerce col.ty v)
+    row
+
+let insert t row =
+  let row = check_row t row in
+  (match t.primary_key, t.pk_index with
+  | Some k, Some idx ->
+    let key = row.(k) in
+    if Value.is_null key then
+      raise (Constraint_violation (t.name ^ ": NULL primary key"));
+    if Hashtbl.mem idx key then
+      raise
+        (Constraint_violation
+           (Printf.sprintf "%s: duplicate primary key %s" t.name
+              (Value.to_string key)));
+    Hashtbl.replace idx key ()
+  | _ -> ());
+  t.rows <- row :: t.rows;
+  t.cardinality <- t.cardinality + 1
+
+let insert_all t rows = List.iter (insert t) rows
+
+(** [update t ~pred ~set] applies [set] to every row satisfying [pred];
+    returns the number of rows updated. [set] receives the old row and
+    must return the full new row. *)
+let update t ~pred ~set =
+  let updated = ref 0 in
+  t.rows <-
+    List.map
+      (fun row ->
+        if pred row then begin
+          incr updated;
+          check_row t (set row)
+        end
+        else row)
+      t.rows;
+  (* Primary-key index must be rebuilt if keys may have changed. *)
+  (match t.pk_index, t.primary_key with
+  | Some idx, Some k when !updated > 0 ->
+    Hashtbl.reset idx;
+    List.iter
+      (fun (r : Row.t) ->
+        if Hashtbl.mem idx r.(k) then
+          raise
+            (Constraint_violation
+               (Printf.sprintf "%s: update created duplicate key %s" t.name
+                  (Value.to_string r.(k))));
+        Hashtbl.replace idx r.(k) ())
+      t.rows
+  | _ -> ());
+  !updated
+
+(** [delete t ~pred] removes matching rows; returns how many. *)
+let delete t ~pred =
+  let deleted = ref 0 in
+  t.rows <-
+    List.filter
+      (fun (row : Row.t) ->
+        let kill = pred row in
+        if kill then begin
+          incr deleted;
+          match t.pk_index, t.primary_key with
+          | Some idx, Some k -> Hashtbl.remove idx row.(k)
+          | _ -> ()
+        end;
+        not kill)
+      t.rows;
+  t.cardinality <- t.cardinality - !deleted;
+  !deleted
+
+let truncate t =
+  t.rows <- [];
+  t.cardinality <- 0;
+  Option.iter Hashtbl.reset t.pk_index
+
+let to_relation t = Relation.make t.schema (Array.of_list t.rows)
+
+(** O(1) snapshot of the row list (rows are immutable once stored). *)
+let snapshot_rows t = t.rows
+
+(** Restore a snapshot taken with {!snapshot_rows}, rebuilding the
+    primary-key index. *)
+let restore_rows t rows =
+  t.rows <- rows;
+  t.cardinality <- List.length rows;
+  match t.pk_index, t.primary_key with
+  | Some idx, Some k ->
+    Hashtbl.reset idx;
+    List.iter (fun (r : Row.t) -> Hashtbl.replace idx r.(k) ()) rows
+  | _ -> ()
+
+let replace_contents t (rel : Relation.t) =
+  truncate t;
+  Relation.iter (fun r -> insert t r) rel

@@ -1,0 +1,51 @@
+(** Mutable base tables with declared-type checking and an optional
+    primary key — the DML surface used by the middleware and
+    stored-procedure baselines. The native iterative-CTE path never
+    mutates base tables. *)
+
+type t
+
+exception Constraint_violation of string
+
+(** [create ?primary_key ~name schema] — [primary_key] names a column
+    enforced unique and non-NULL on insert.
+    @raise Invalid_argument when the key column is not in the schema. *)
+val create : ?primary_key:string -> name:string -> Schema.t -> t
+
+val name : t -> string
+val schema : t -> Schema.t
+val cardinality : t -> int
+
+(** Index of the primary-key column, if any. *)
+val primary_key : t -> int option
+
+(** @raise Constraint_violation on arity, type, duplicate-key or
+    NULL-key violations. Ints are widened into float columns. *)
+val insert : t -> Row.t -> unit
+
+val insert_all : t -> Row.t list -> unit
+
+(** [update t ~pred ~set] rewrites every row satisfying [pred]; returns
+    the number of rows updated. [set] receives the old row and returns
+    the full new row.
+    @raise Constraint_violation when an update breaks a constraint. *)
+val update : t -> pred:(Row.t -> bool) -> set:(Row.t -> Row.t) -> int
+
+(** [delete t ~pred] removes matching rows; returns how many. *)
+val delete : t -> pred:(Row.t -> bool) -> int
+
+val truncate : t -> unit
+
+(** Immutable snapshot of the current contents. *)
+val to_relation : t -> Relation.t
+
+(** Replace all contents with the rows of a relation. *)
+val replace_contents : t -> Relation.t -> unit
+
+(** O(1) snapshot of the row list (rows are immutable once stored);
+    pair with {!restore_rows} for transaction rollback. *)
+val snapshot_rows : t -> Row.t list
+
+(** Restore a {!snapshot_rows} snapshot, rebuilding the primary-key
+    index. *)
+val restore_rows : t -> Row.t list -> unit

@@ -1,0 +1,115 @@
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+exception Type_error of string
+
+let type_name = function
+  | Null -> "null"
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | Str _ -> "string"
+  | Bool _ -> "bool"
+
+let type_error expected v =
+  raise (Type_error (Printf.sprintf "expected %s, got %s" expected (type_name v)))
+
+(* Rank for cross-type comparison; numeric types share a rank so that
+   Int/Float compare by value. *)
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ | Float _ -> 2
+  | Str _ -> 3
+
+let compare a b =
+  match a, b with
+  | Null, Null -> 0
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Str x, Str y -> String.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | (Null | Int _ | Float _ | Str _ | Bool _), _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Null -> 0
+  | Bool b -> if b then 1 else 2
+  | Int i -> Hashtbl.hash (float_of_int i)
+  | Float f -> Hashtbl.hash f
+  | Str s -> Hashtbl.hash s
+
+let is_null = function Null -> true | Int _ | Float _ | Str _ | Bool _ -> false
+
+let to_float = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | (Null | Str _ | Bool _) as v -> type_error "numeric" v
+
+let to_int = function
+  | Int i -> i
+  | Float f -> int_of_float f
+  | (Null | Str _ | Bool _) as v -> type_error "numeric" v
+
+let to_bool = function
+  | Bool b -> Some b
+  | Null -> None
+  | (Int _ | Float _ | Str _) as v -> type_error "bool" v
+
+let arith int_op float_op a b =
+  match a, b with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y -> Int (int_op x y)
+  | (Int _ | Float _), (Int _ | Float _) -> Float (float_op (to_float a) (to_float b))
+  | (Str _ | Bool _), _ -> type_error "numeric" a
+  | _, (Str _ | Bool _) -> type_error "numeric" b
+
+let add a b = arith ( + ) ( +. ) a b
+let sub a b = arith ( - ) ( -. ) a b
+let mul a b = arith ( * ) ( *. ) a b
+
+let div a b =
+  match a, b with
+  | Null, _ | _, Null -> Null
+  | Int _, Int 0 -> raise Division_by_zero
+  | Int x, Int y when x mod y = 0 -> Int (x / y)
+  (* Non-exact integer division promotes to float: SQL users writing
+     [friends / friendsPrev] expect a ratio, not truncation. *)
+  | (Int _ | Float _), (Int _ | Float _) -> Float (to_float a /. to_float b)
+  | (Str _ | Bool _), _ -> type_error "numeric" a
+  | _, (Str _ | Bool _) -> type_error "numeric" b
+
+let modulo a b =
+  match a, b with
+  | Null, _ | _, Null -> Null
+  | Int _, Int 0 -> raise Division_by_zero
+  | Int x, Int y -> Int (x mod y)
+  | (Int _ | Float _), (Int _ | Float _) ->
+    Float (Float.rem (to_float a) (to_float b))
+  | (Str _ | Bool _), _ -> type_error "numeric" a
+  | _, (Str _ | Bool _) -> type_error "numeric" b
+
+let neg = function
+  | Null -> Null
+  | Int i -> Int (-i)
+  | Float f -> Float (-.f)
+  | (Str _ | Bool _) as v -> type_error "numeric" v
+
+let to_string = function
+  | Null -> "NULL"
+  | Int i -> string_of_int i
+  | Float f ->
+    (* Render floats so that integral values keep a trailing ".": SQL
+       output style, and unambiguous vs Int. *)
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+    else Printf.sprintf "%.6g" f
+  | Str s -> "'" ^ String.concat "''" (String.split_on_char '\'' s) ^ "'"
+  | Bool b -> if b then "TRUE" else "FALSE"
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

@@ -1,0 +1,63 @@
+(** Runtime values stored in relations.
+
+    The engine is dynamically typed at execution time: every cell is a
+    {!t}. SQL NULL is represented by {!Null}; three-valued logic over
+    NULLs lives in the expression evaluator, while this module provides
+    NULL-aware primitive operations (comparison, arithmetic, hashing). *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+(** Total ordering used by ORDER BY and grouping: [Null] sorts first,
+    ints and floats compare numerically across the two types, other
+    mismatched types compare by a fixed type rank. *)
+val compare : t -> t -> int
+
+(** Value equality consistent with {!compare} (so [Int 1] equals
+    [Float 1.0]). This is {e not} SQL [=]: [Null] is equal to [Null]
+    here, which is what grouping and DISTINCT require. *)
+val equal : t -> t -> bool
+
+(** Hash consistent with {!equal} (numeric values hash by their float
+    image). *)
+val hash : t -> int
+
+val is_null : t -> bool
+
+(** [to_float v] is the numeric image of [v].
+    @raise Type_error if [v] is not numeric. *)
+val to_float : t -> float
+
+(** [to_int v] truncates numerics to int.
+    @raise Type_error if [v] is not numeric. *)
+val to_int : t -> int
+
+(** [to_bool v] interprets [v] as a condition; [Null] maps to [None]
+    (unknown), non-boolean values raise.
+    @raise Type_error on non-boolean, non-null values. *)
+val to_bool : t -> bool option
+
+exception Type_error of string
+
+(** Arithmetic with SQL NULL propagation: any NULL operand yields NULL.
+    Integer pairs stay integral (except [div] by zero raising
+    [Division_by_zero]); mixed int/float promotes to float. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val modulo : t -> t -> t
+val neg : t -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** SQL literal rendering: strings quoted, NULL as [NULL]. *)
+val to_string : t -> string
+
+(** Type name used in error messages: ["null"], ["int"], ... *)
+val type_name : t -> string

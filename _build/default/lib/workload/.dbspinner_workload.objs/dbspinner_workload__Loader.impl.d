@@ -1,0 +1,1 @@
+lib/workload/loader.ml: Dbspinner Dbspinner_graph

@@ -1,0 +1,1 @@
+lib/workload/loader.mli: Dbspinner Dbspinner_graph Dbspinner_rewrite

@@ -1,0 +1,1 @@
+lib/workload/runner.ml: Dbspinner Dbspinner_exec Dbspinner_rewrite Dbspinner_storage Float Format Unix

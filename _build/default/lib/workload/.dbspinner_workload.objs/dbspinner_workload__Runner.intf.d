@@ -1,0 +1,1 @@
+lib/workload/runner.mli: Dbspinner Dbspinner_exec Dbspinner_rewrite Dbspinner_storage Format

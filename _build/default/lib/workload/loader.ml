@@ -1,0 +1,18 @@
+(** Load a generated graph into an engine as the paper's base tables:
+    [edges(src, dst, weight)] and [vertexStatus(node, status)]. *)
+
+module Graph_gen = Dbspinner_graph.Graph_gen
+
+let load_graph ?(with_vertex_status = true) ?(inactive_fraction = 0.1)
+    ?(status_seed = 7) (engine : Dbspinner.Engine.t) (g : Graph_gen.t) =
+  Dbspinner.Engine.load_table engine ~name:"edges" (Graph_gen.edges_relation g);
+  if with_vertex_status then
+    Dbspinner.Engine.load_table ~primary_key:"node" engine ~name:"vertexStatus"
+      (Graph_gen.vertex_status_relation ~seed:status_seed ~inactive_fraction g)
+
+(** Fresh engine preloaded with [g]. *)
+let engine_for ?options ?(with_vertex_status = true) ?(inactive_fraction = 0.1)
+    ?(status_seed = 7) (g : Graph_gen.t) : Dbspinner.Engine.t =
+  let engine = Dbspinner.Engine.create ?options () in
+  load_graph ~with_vertex_status ~inactive_fraction ~status_seed engine g;
+  engine

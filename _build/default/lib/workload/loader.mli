@@ -1,0 +1,21 @@
+(** Load generated graphs into an engine as the paper's base tables:
+    [edges(src, dst, weight)] and [vertexStatus(node, status)]. *)
+
+module Graph_gen = Dbspinner_graph.Graph_gen
+
+val load_graph :
+  ?with_vertex_status:bool ->
+  ?inactive_fraction:float ->
+  ?status_seed:int ->
+  Dbspinner.Engine.t ->
+  Graph_gen.t ->
+  unit
+
+(** Fresh engine preloaded with the graph. *)
+val engine_for :
+  ?options:Dbspinner_rewrite.Options.t ->
+  ?with_vertex_status:bool ->
+  ?inactive_fraction:float ->
+  ?status_seed:int ->
+  Graph_gen.t ->
+  Dbspinner.Engine.t

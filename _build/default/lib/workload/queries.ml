@@ -1,0 +1,245 @@
+(** SQL text builders for the paper's evaluation queries (§VII-A):
+
+    - PR — PageRank over the whole graph (Fig. 2), full update per
+      iteration;
+    - PR-VS — PageRank restricted to active nodes via a join with
+      vertexStatus (§V-A), partial update, loop-invariant join;
+    - SSSP / SSSP-VS — single-source shortest path (Fig. 7);
+    - FF — friends forecast by geometric growth (Fig. 6), pointwise
+      iterative part, selectivity-controllable final predicate.
+
+    The PR/SSSP aggregates are wrapped in COALESCE so nodes without
+    incoming edges keep well-defined values (the paper's figures omit
+    this detail; without it SQL NULL semantics would poison ranks).
+
+    The VS variants join edges with vertexStatus {e directly} (the
+    shape the paper's Figure 5 plans after join reordering), so the
+    common-result rule can materialize exactly the paper's COMMON#1. *)
+
+let pr ?(final = "SELECT Node, Rank FROM PageRank") ~iterations () =
+  Printf.sprintf
+    {|WITH ITERATIVE PageRank (Node, Rank, Delta)
+AS ( SELECT src, 0, 0.15
+     FROM (SELECT src FROM edges UNION SELECT dst FROM edges)
+ ITERATE
+   SELECT PageRank.node,
+     PageRank.rank + PageRank.delta,
+     COALESCE(0.85 * SUM(IncomingRank.delta * IncomingEdges.weight), 0)
+   FROM PageRank
+     LEFT JOIN edges AS IncomingEdges
+       ON PageRank.node = IncomingEdges.dst
+     LEFT JOIN PageRank AS IncomingRank
+       ON IncomingRank.node = IncomingEdges.src
+   GROUP BY PageRank.node, PageRank.rank + PageRank.delta
+ UNTIL %d ITERATIONS )
+%s|}
+    iterations final
+
+let pr_vs ?(final = "SELECT Node, Rank FROM PageRank") ~iterations () =
+  Printf.sprintf
+    {|WITH ITERATIVE PageRank (Node, Rank, Delta)
+AS ( SELECT src, 0, 0.15
+     FROM (SELECT src FROM edges UNION SELECT dst FROM edges)
+ ITERATE
+   SELECT PageRank.node,
+     PageRank.rank + PageRank.delta,
+     COALESCE(0.85 * SUM(IncomingRank.delta * IncomingEdges.weight), 0)
+   FROM PageRank
+     LEFT JOIN (edges AS IncomingEdges
+                JOIN vertexStatus AS avail_pr
+                  ON avail_pr.node = IncomingEdges.dst)
+       ON PageRank.node = IncomingEdges.dst
+     LEFT JOIN PageRank AS IncomingRank
+       ON IncomingRank.node = IncomingEdges.src
+   WHERE avail_pr.status <> 0
+   GROUP BY PageRank.node, PageRank.rank + PageRank.delta
+ UNTIL %d ITERATIONS )
+%s|}
+    iterations final
+
+let sssp ?(final = "SELECT Node, Distance, Delta FROM sssp") ~source ~iterations
+    () =
+  Printf.sprintf
+    {|WITH ITERATIVE sssp (Node, Distance, Delta)
+AS ( SELECT src, 9999999, CASE WHEN src = %d THEN 0 ELSE 9999999 END
+     FROM (SELECT src FROM edges UNION SELECT dst FROM edges)
+ ITERATE
+   SELECT sssp.node,
+     LEAST(sssp.distance, sssp.delta),
+     COALESCE(MIN(IncomingDistance.delta + IncomingEdges.weight), 9999999)
+   FROM sssp
+     LEFT JOIN edges AS IncomingEdges
+       ON sssp.node = IncomingEdges.dst
+     LEFT JOIN sssp AS IncomingDistance
+       ON IncomingDistance.node = IncomingEdges.src
+   WHERE IncomingDistance.Delta <> 9999999
+   GROUP BY sssp.node, LEAST(sssp.distance, sssp.delta)
+ UNTIL %d ITERATIONS )
+%s|}
+    source iterations final
+
+let sssp_vs ?(final = "SELECT Node, Distance, Delta FROM sssp") ~source
+    ~iterations () =
+  Printf.sprintf
+    {|WITH ITERATIVE sssp (Node, Distance, Delta)
+AS ( SELECT src, 9999999, CASE WHEN src = %d THEN 0 ELSE 9999999 END
+     FROM (SELECT src FROM edges UNION SELECT dst FROM edges)
+ ITERATE
+   SELECT sssp.node,
+     LEAST(sssp.distance, sssp.delta),
+     COALESCE(MIN(IncomingDistance.delta + IncomingEdges.weight), 9999999)
+   FROM sssp
+     LEFT JOIN (edges AS IncomingEdges
+                JOIN vertexStatus AS avail_sssp
+                  ON avail_sssp.node = IncomingEdges.dst)
+       ON sssp.node = IncomingEdges.dst
+     LEFT JOIN sssp AS IncomingDistance
+       ON IncomingDistance.node = IncomingEdges.src
+   WHERE IncomingDistance.Delta <> 9999999 AND avail_sssp.status <> 0
+   GROUP BY sssp.node, LEAST(sssp.distance, sssp.delta)
+ UNTIL %d ITERATIONS )
+%s|}
+    source iterations final
+
+(** [ff ~modulus ~iterations ()] — the final predicate
+    [MOD(node, modulus) = 0] keeps roughly [1/modulus] of the nodes, so
+    [modulus] controls selectivity as in §VII-D ("changing the value of
+    X in MOD(node, X)"). *)
+let ff ?(limit = 10) ~modulus ~iterations () =
+  Printf.sprintf
+    {|WITH ITERATIVE forecast (node, friends, friendsPrev)
+AS ( SELECT src AS node, count(dst) AS friends,
+        ceiling(count(dst) * (1.0 - (src %% 10) / 100.0)) AS friendsPrev
+     FROM edges GROUP BY src
+ ITERATE
+   SELECT node AS node,
+      round(cast((friends / friendsPrev) * friends AS numeric), 5) AS friends,
+      friends AS friendsPrev
+   FROM forecast
+ UNTIL %d ITERATIONS )
+SELECT node, friends
+FROM forecast WHERE MOD(node, %d) = 0
+ORDER BY friends DESC, node LIMIT %d|}
+    iterations modulus limit
+
+(** FF without ORDER/LIMIT, returning the full forecast — used by
+    correctness tests against {!Dbspinner_graph.Ref_forecast}. *)
+let ff_full ~modulus ~iterations () =
+  Printf.sprintf
+    {|WITH ITERATIVE forecast (node, friends, friendsPrev)
+AS ( SELECT src AS node, count(dst) AS friends,
+        ceiling(count(dst) * (1.0 - (src %% 10) / 100.0)) AS friendsPrev
+     FROM edges GROUP BY src
+ ITERATE
+   SELECT node AS node,
+      round(cast((friends / friendsPrev) * friends AS numeric), 5) AS friends,
+      friends AS friendsPrev
+   FROM forecast
+ UNTIL %d ITERATIONS )
+SELECT node, friends FROM forecast WHERE MOD(node, %d) = 0 ORDER BY node|}
+    iterations modulus
+
+(* ------------------------------------------------------------------ *)
+(* Stored-procedure equivalents (§VII-E)                               *)
+
+module Procedure = Dbspinner.Procedure
+
+(** PR-VS as a stored procedure: R0 once, then a bounded loop running
+    Ri and a keyed UPDATE — each statement planned in isolation. *)
+let pr_vs_procedure ~iterations : Procedure.t =
+  Procedure.make ~name:"sp_pagerank_vs"
+    ~returns:"SELECT node, rank FROM __sp_pr ORDER BY node"
+    [
+      Procedure.Sql
+        "CREATE TABLE __sp_pr (node INT, rank FLOAT, delta FLOAT, PRIMARY KEY \
+         (node))";
+      Procedure.Sql "CREATE TABLE __sp_work (node INT, rank FLOAT, delta FLOAT)";
+      Procedure.Sql
+        "INSERT INTO __sp_pr SELECT src, 0, 0.15 FROM (SELECT src FROM edges \
+         UNION SELECT dst FROM edges)";
+      Procedure.Loop
+        ( iterations,
+          [
+            Procedure.Sql "DELETE FROM __sp_work";
+            Procedure.Sql
+              "INSERT INTO __sp_work SELECT p.node, p.rank + p.delta, \
+               COALESCE(0.85 * SUM(ir.delta * ie.weight), 0) FROM __sp_pr AS \
+               p LEFT JOIN (edges AS ie JOIN vertexStatus AS vs ON vs.node = \
+               ie.dst) ON p.node = ie.dst LEFT JOIN __sp_pr AS ir ON ir.node \
+               = ie.src WHERE vs.status <> 0 GROUP BY p.node, p.rank + p.delta";
+            Procedure.Sql
+              "UPDATE __sp_pr SET rank = w.rank, delta = w.delta FROM \
+               __sp_work AS w WHERE __sp_pr.node = w.node";
+          ] );
+      Procedure.Sql "DROP TABLE __sp_work";
+    ]
+
+let pr_vs_procedure_cleanup = "DROP TABLE IF EXISTS __sp_pr"
+
+let sssp_vs_procedure ~source ~iterations : Procedure.t =
+  Procedure.make ~name:"sp_sssp_vs"
+    ~returns:"SELECT node, distance, delta FROM __sp_sssp ORDER BY node"
+    [
+      Procedure.Sql
+        "CREATE TABLE __sp_sssp (node INT, distance FLOAT, delta FLOAT, \
+         PRIMARY KEY (node))";
+      Procedure.Sql
+        "CREATE TABLE __sp_swork (node INT, distance FLOAT, delta FLOAT)";
+      Procedure.Sql
+        (Printf.sprintf
+           "INSERT INTO __sp_sssp SELECT src, 9999999, CASE WHEN src = %d \
+            THEN 0 ELSE 9999999 END FROM (SELECT src FROM edges UNION SELECT \
+            dst FROM edges)"
+           source);
+      Procedure.Loop
+        ( iterations,
+          [
+            Procedure.Sql "DELETE FROM __sp_swork";
+            Procedure.Sql
+              "INSERT INTO __sp_swork SELECT s.node, LEAST(s.distance, \
+               s.delta), COALESCE(MIN(idist.delta + ie.weight), 9999999) \
+               FROM __sp_sssp AS s LEFT JOIN (edges AS ie JOIN vertexStatus \
+               AS vs ON vs.node = ie.dst) ON s.node = ie.dst LEFT JOIN \
+               __sp_sssp AS idist ON idist.node = ie.src WHERE idist.delta \
+               <> 9999999 AND vs.status <> 0 GROUP BY s.node, \
+               LEAST(s.distance, s.delta)";
+            Procedure.Sql
+              "UPDATE __sp_sssp SET distance = w.distance, delta = w.delta \
+               FROM __sp_swork AS w WHERE __sp_sssp.node = w.node";
+          ] );
+      Procedure.Sql "DROP TABLE __sp_swork";
+    ]
+
+let sssp_vs_procedure_cleanup = "DROP TABLE IF EXISTS __sp_sssp"
+
+let ff_procedure ?(limit = 10) ~modulus ~iterations () : Procedure.t =
+  Procedure.make ~name:"sp_forecast"
+    ~returns:
+      (Printf.sprintf
+         "SELECT node, friends FROM __sp_ff WHERE MOD(node, %d) = 0 ORDER BY \
+          friends DESC, node LIMIT %d"
+         modulus limit)
+    [
+      Procedure.Sql
+        "CREATE TABLE __sp_ff (node INT, friends FLOAT, friendsprev FLOAT, \
+         PRIMARY KEY (node))";
+      Procedure.Sql
+        "CREATE TABLE __sp_fwork (node INT, friends FLOAT, friendsprev FLOAT)";
+      Procedure.Sql
+        "INSERT INTO __sp_ff SELECT src, count(dst), ceiling(count(dst) * \
+         (1.0 - (src % 10) / 100.0)) FROM edges GROUP BY src";
+      Procedure.Loop
+        ( iterations,
+          [
+            Procedure.Sql "DELETE FROM __sp_fwork";
+            Procedure.Sql
+              "INSERT INTO __sp_fwork SELECT node, round(cast((friends / \
+               friendsprev) * friends AS numeric), 5), friends FROM __sp_ff";
+            Procedure.Sql
+              "UPDATE __sp_ff SET friends = w.friends, friendsprev = \
+               w.friendsprev FROM __sp_fwork AS w WHERE __sp_ff.node = w.node";
+          ] );
+      Procedure.Sql "DROP TABLE __sp_fwork";
+    ]
+
+let ff_procedure_cleanup = "DROP TABLE IF EXISTS __sp_ff"

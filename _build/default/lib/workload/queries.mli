@@ -1,0 +1,35 @@
+(** SQL builders for the paper's evaluation queries (§VII-A) and their
+    stored-procedure equivalents (§VII-E). All expect an
+    [edges(src, dst, weight)] table; the -VS variants also expect
+    [vertexStatus(node, status)]. *)
+
+module Procedure = Dbspinner.Procedure
+
+(** PageRank (Fig. 2): full update per iteration, COALESCE-wrapped
+    aggregate. [final] defaults to [SELECT Node, Rank FROM PageRank]. *)
+val pr : ?final:string -> iterations:int -> unit -> string
+
+(** PageRank over active nodes (§V-A): the vertexStatus join is
+    loop-invariant; partial update via the merge path. *)
+val pr_vs : ?final:string -> iterations:int -> unit -> string
+
+(** Single-source shortest path (Fig. 7). *)
+val sssp : ?final:string -> source:int -> iterations:int -> unit -> string
+
+val sssp_vs : ?final:string -> source:int -> iterations:int -> unit -> string
+
+(** Friends forecast (Fig. 6); [modulus] controls the final predicate's
+    selectivity (roughly [1/modulus] of the nodes survive). *)
+val ff : ?limit:int -> modulus:int -> iterations:int -> unit -> string
+
+(** FF without the top-N, ordered by node — for correctness tests. *)
+val ff_full : modulus:int -> iterations:int -> unit -> string
+
+(** {2 Stored-procedure baselines} *)
+
+val pr_vs_procedure : iterations:int -> Procedure.t
+val pr_vs_procedure_cleanup : string
+val sssp_vs_procedure : source:int -> iterations:int -> Procedure.t
+val sssp_vs_procedure_cleanup : string
+val ff_procedure : ?limit:int -> modulus:int -> iterations:int -> unit -> Procedure.t
+val ff_procedure_cleanup : string

@@ -1,0 +1,60 @@
+(** Timing harness used by the benchmark executable and the
+    experiments: run the same query under different optimizer option
+    sets and report wall time plus executor statistics. *)
+
+module Stats = Dbspinner_exec.Stats
+module Options = Dbspinner_rewrite.Options
+module Relation = Dbspinner_storage.Relation
+
+type measurement = {
+  label : string;
+  seconds : float;
+  rows : int;
+  stats : Stats.t;
+}
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+(** Run [sql] on [engine] under [options]; session temps are cleared by
+    the engine after the query. *)
+let run_query ~label ~options engine sql : measurement * Relation.t =
+  Dbspinner.Engine.with_options engine options (fun () ->
+      let before = Stats.create () in
+      Stats.add ~into:before (Dbspinner.Engine.session_stats engine);
+      let rel, seconds = time (fun () -> Dbspinner.Engine.query engine sql) in
+      let after = Dbspinner.Engine.session_stats engine in
+      let stats = Stats.create () in
+      Stats.add ~into:stats after;
+      stats.Stats.rows_scanned <- after.Stats.rows_scanned - before.Stats.rows_scanned;
+      stats.Stats.rows_joined <- after.Stats.rows_joined - before.Stats.rows_joined;
+      stats.Stats.join_probes <- after.Stats.join_probes - before.Stats.join_probes;
+      stats.Stats.rows_aggregated <-
+        after.Stats.rows_aggregated - before.Stats.rows_aggregated;
+      stats.Stats.rows_materialized <-
+        after.Stats.rows_materialized - before.Stats.rows_materialized;
+      stats.Stats.materializations <-
+        after.Stats.materializations - before.Stats.materializations;
+      stats.Stats.renames <- after.Stats.renames - before.Stats.renames;
+      stats.Stats.loop_iterations <-
+        after.Stats.loop_iterations - before.Stats.loop_iterations;
+      stats.Stats.statements <- after.Stats.statements - before.Stats.statements;
+      stats.Stats.dml_rows_touched <-
+        after.Stats.dml_rows_touched - before.Stats.dml_rows_touched;
+      ( { label; seconds; rows = Relation.cardinality rel; stats }, rel ))
+
+(** Percentage improvement of [optimized] over [baseline] wall time. *)
+let improvement ~baseline ~optimized =
+  if baseline.seconds <= 0.0 then 0.0
+  else (baseline.seconds -. optimized.seconds) /. baseline.seconds *. 100.0
+
+(** Speedup factor (baseline / optimized). *)
+let speedup ~baseline ~optimized =
+  if optimized.seconds <= 0.0 then Float.infinity
+  else baseline.seconds /. optimized.seconds
+
+let pp_measurement fmt m =
+  Format.fprintf fmt "%-28s %8.4f s  %6d rows  [%a]" m.label m.seconds m.rows
+    Stats.pp m.stats

@@ -1,0 +1,33 @@
+(** Timing harness: run the same query under different optimizer option
+    sets, reporting wall time and per-query executor statistics. *)
+
+module Stats = Dbspinner_exec.Stats
+module Options = Dbspinner_rewrite.Options
+module Relation = Dbspinner_storage.Relation
+
+type measurement = {
+  label : string;
+  seconds : float;
+  rows : int;
+  stats : Stats.t;  (** this query's counters (session deltas) *)
+}
+
+(** [time f] runs [f] once, returning its result and elapsed seconds. *)
+val time : (unit -> 'a) -> 'a * float
+
+(** Run [sql] under [options]; the engine's options are restored
+    afterwards. *)
+val run_query :
+  label:string ->
+  options:Options.t ->
+  Dbspinner.Engine.t ->
+  string ->
+  measurement * Relation.t
+
+(** Percentage improvement of [optimized] over [baseline] wall time. *)
+val improvement : baseline:measurement -> optimized:measurement -> float
+
+(** Speedup factor (baseline / optimized). *)
+val speedup : baseline:measurement -> optimized:measurement -> float
+
+val pp_measurement : Format.formatter -> measurement -> unit

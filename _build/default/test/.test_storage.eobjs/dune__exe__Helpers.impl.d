@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Dbspinner Dbspinner_storage Float String

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Dbspinner_exec Dbspinner_plan Dbspinner_sql Dbspinner_storage Helpers List

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array Dbspinner Dbspinner_rewrite Dbspinner_storage Hashtbl List Option Printf QCheck2 QCheck_alcotest String

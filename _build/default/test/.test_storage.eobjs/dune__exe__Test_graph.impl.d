@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Dbspinner_graph Dbspinner_storage List Printf Seq

@@ -1,0 +1,1 @@
+test/test_mpp.ml: Alcotest Array Dbspinner_exec Dbspinner_mpp Dbspinner_plan Dbspinner_sql Dbspinner_storage Helpers List Printf

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Dbspinner_exec Dbspinner_mpp Dbspinner_plan Dbspinner_sql Dbspinner_storage Hashtbl List Option Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Array Dbspinner_sql Dbspinner_storage Dbspinner_workload List String

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Dbspinner_storage Filename Fun Helpers Option Sys

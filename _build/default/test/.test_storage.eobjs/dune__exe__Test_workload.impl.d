@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Dbspinner Dbspinner_exec Dbspinner_graph Dbspinner_rewrite Dbspinner_storage Dbspinner_workload Float Hashtbl Helpers List Printf

@@ -1,0 +1,122 @@
+(** Shared fixtures and Alcotest testables for the suite. *)
+
+module Value = Dbspinner_storage.Value
+module Row = Dbspinner_storage.Row
+module Schema = Dbspinner_storage.Schema
+module Relation = Dbspinner_storage.Relation
+module Column_type = Dbspinner_storage.Column_type
+
+let value_testable : Value.t Alcotest.testable =
+  Alcotest.testable Value.pp Value.equal
+
+let row_testable : Row.t Alcotest.testable =
+  Alcotest.testable Row.pp Row.equal
+
+(** Relations compared as bags (order-insensitive). *)
+let relation_testable : Relation.t Alcotest.testable =
+  Alcotest.testable Relation.pp Relation.equal_bag
+
+let vi i = Value.Int i
+let vf f = Value.Float f
+let vs s = Value.Str s
+let vb b = Value.Bool b
+let vnull = Value.Null
+
+(** Shorthand relation constructor from column names and value rows. *)
+let rel names rows : Relation.t =
+  Relation.of_lists (Schema.of_names names) rows
+
+(** Engine preloaded with a tiny, hand-checkable 4-node graph:
+    1->2 (1.0), 2->3 (2.0), 3->1 (3.0), 1->3 (4.0), 4->1 (0.5).
+    Node degrees and shortest paths are easy to verify by hand. *)
+let tiny_graph_engine () =
+  let engine = Dbspinner.Engine.create () in
+  (match
+     Dbspinner.Engine.execute engine
+       "CREATE TABLE edges (src INT, dst INT, weight FLOAT)"
+   with
+  | Dbspinner.Engine.Executed -> ()
+  | _ -> failwith "setup failed");
+  (match
+     Dbspinner.Engine.execute engine
+       "INSERT INTO edges VALUES (1, 2, 1.0), (2, 3, 2.0), (3, 1, 3.0), (1, \
+        3, 4.0), (4, 1, 0.5)"
+   with
+  | Dbspinner.Engine.Affected 5 -> ()
+  | _ -> failwith "setup failed");
+  engine
+
+(** Engine with a small people/orders pair of tables for join tests. *)
+let shop_engine () =
+  let engine = Dbspinner.Engine.create () in
+  ignore
+    (Dbspinner.Engine.execute engine
+       "CREATE TABLE people (id INT PRIMARY KEY, name VARCHAR, age INT)");
+  ignore
+    (Dbspinner.Engine.execute engine
+       "INSERT INTO people VALUES (1, 'ada', 36), (2, 'bob', 25), (3, 'cy', \
+        52), (4, 'dee', 25)");
+  ignore
+    (Dbspinner.Engine.execute engine
+       "CREATE TABLE orders (id INT PRIMARY KEY, person_id INT, total FLOAT)");
+  ignore
+    (Dbspinner.Engine.execute engine
+       "INSERT INTO orders VALUES (10, 1, 5.0), (11, 1, 7.5), (12, 2, 3.0), \
+        (13, 9, 1.0)");
+  engine
+
+let query engine sql = Dbspinner.Engine.query engine sql
+
+(** Assert that a query returns the expected bag of rows. *)
+let check_query ?(msg = "query result") engine sql expected_names expected_rows
+    =
+  Alcotest.check relation_testable msg
+    (rel expected_names expected_rows)
+    (query engine sql)
+
+(** Bag equality with relative numeric tolerance — for comparing plans
+    that legitimately reorder float additions (join reordering,
+    distributed aggregation). Rows are canonically sorted first. *)
+let approx_equal_bag ?(tolerance = 1e-9) a b =
+  let close x y =
+    Float.abs (x -. y) <= tolerance *. (1.0 +. Float.abs x +. Float.abs y)
+  in
+  Relation.cardinality a = Relation.cardinality b
+  &&
+  let sa = Relation.sorted a and sb = Relation.sorted b in
+  Array.for_all2
+    (fun (ra : Row.t) rb ->
+      Array.for_all2
+        (fun va vb ->
+          match (va : Value.t), (vb : Value.t) with
+          | (Value.Int _ | Value.Float _), (Value.Int _ | Value.Float _) ->
+            close (Value.to_float va) (Value.to_float vb)
+          | _ -> Value.equal va vb)
+        ra rb)
+    (Relation.rows sa) (Relation.rows sb)
+
+(** Index of the first occurrence of [needle] in [haystack]
+    (case-sensitive), or [None]. *)
+let find_substring haystack needle =
+  let hn = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > hn then None
+    else if String.sub haystack i nn = needle then Some i
+    else go (i + 1)
+  in
+  if nn = 0 then Some 0 else go 0
+
+let contains haystack needle =
+  let h = String.lowercase_ascii haystack and n = String.lowercase_ascii needle in
+  let hn = String.length h and nn = String.length n in
+  let rec go i = i + nn <= hn && (String.sub h i nn = n || go (i + 1)) in
+  nn = 0 || go 0
+
+(** Assert that evaluating [sql] raises an engine error whose message
+    contains [substring]. *)
+let check_error ?(substring = "") engine sql =
+  match Dbspinner.Engine.execute engine sql with
+  | _ -> Alcotest.failf "expected an error for: %s" sql
+  | exception Dbspinner.Errors.Error (_, msg) ->
+    if substring <> "" && not (contains msg substring) then
+      Alcotest.failf "error message %S does not mention %S" msg substring

@@ -1,0 +1,556 @@
+(** Unit tests for the execution layer: the expression interpreter's
+    three-valued logic and scalar functions, the physical operators,
+    and the step-program executor (loop, rename, snapshots,
+    terminations, recursive CTEs). *)
+
+module Value = Dbspinner_storage.Value
+module Schema = Dbspinner_storage.Schema
+module Relation = Dbspinner_storage.Relation
+module Catalog = Dbspinner_storage.Catalog
+module Ast = Dbspinner_sql.Ast
+module Bound_expr = Dbspinner_plan.Bound_expr
+module Logical = Dbspinner_plan.Logical
+module Program = Dbspinner_plan.Program
+module Binder = Dbspinner_plan.Binder
+module Parser = Dbspinner_sql.Parser
+module Eval = Dbspinner_exec.Eval
+module Operators = Dbspinner_exec.Operators
+module Executor = Dbspinner_exec.Executor
+module Stats = Dbspinner_exec.Stats
+open Helpers
+
+(** Evaluate a standalone SQL expression over an empty row. *)
+let eval_sql sql =
+  Eval.eval [||] (Binder.bind_scalar [||] (Parser.parse_expression sql))
+
+let check_eval msg expected sql =
+  Alcotest.check value_testable msg expected (eval_sql sql)
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                               *)
+
+let test_three_valued_logic () =
+  check_eval "null = null is unknown" vnull "NULL = NULL";
+  check_eval "null <> 1 is unknown" vnull "NULL <> 1";
+  check_eval "false and null" (vb false) "FALSE AND NULL";
+  check_eval "true and null" vnull "TRUE AND NULL";
+  check_eval "true or null" (vb true) "TRUE OR NULL";
+  check_eval "false or null" vnull "FALSE OR NULL";
+  check_eval "not null" vnull "NOT NULL";
+  check_eval "null is null" (vb true) "NULL IS NULL";
+  check_eval "1 is not null" (vb true) "1 IS NOT NULL"
+
+let test_in_semantics () =
+  check_eval "match" (vb true) "2 IN (1, 2)";
+  check_eval "no match" (vb false) "3 IN (1, 2)";
+  check_eval "no match with null member" vnull "3 IN (1, NULL)";
+  check_eval "match despite null member" (vb true) "1 IN (1, NULL)";
+  check_eval "null subject" vnull "NULL IN (1, 2)";
+  check_eval "not in with null member" vnull "3 NOT IN (1, NULL)"
+
+let test_between_and_like () =
+  check_eval "between inclusive" (vb true) "2 BETWEEN 2 AND 3";
+  check_eval "between null bound" vnull "2 BETWEEN NULL AND 3";
+  check_eval "like percent" (vb true) "'hello' LIKE 'he%'";
+  check_eval "like underscore" (vb true) "'cat' LIKE 'c_t'";
+  check_eval "like no match" (vb false) "'cat' LIKE 'c_'";
+  check_eval "not like" (vb true) "'cat' NOT LIKE 'dog%'";
+  check_eval "like on null" vnull "NULL LIKE 'x%'"
+
+let test_scalar_functions () =
+  check_eval "coalesce picks first non-null" (vi 2) "COALESCE(NULL, 2, 3)";
+  check_eval "coalesce all null" vnull "COALESCE(NULL, NULL)";
+  check_eval "least skips nulls" (vi 1) "LEAST(3, NULL, 1)";
+  check_eval "greatest" (vi 3) "GREATEST(3, NULL, 1)";
+  check_eval "ceiling of float" (vf 3.0) "CEILING(2.1)";
+  check_eval "ceiling of int is identity" (vi 7) "CEILING(7)";
+  check_eval "floor" (vf 2.0) "FLOOR(2.9)";
+  check_eval "round to digits" (vf 2.35) "ROUND(2.345678, 2)";
+  check_eval "abs int" (vi 4) "ABS(-4)";
+  check_eval "sqrt" (vf 3.0) "SQRT(9)";
+  check_eval "power" (vf 8.0) "POWER(2, 3)";
+  check_eval "sign" (vi (-1)) "SIGN(-0.5)";
+  check_eval "nullif equal" vnull "NULLIF(5, 5)";
+  check_eval "nullif different" (vi 5) "NULLIF(5, 6)";
+  check_eval "upper" (vs "ABC") "UPPER('abc')";
+  check_eval "length" (vi 3) "LENGTH('abc')";
+  check_eval "substr" (vs "ell") "SUBSTR('hello', 2, 3)";
+  check_eval "substr to end" (vs "llo") "SUBSTR('hello', 3)"
+
+let test_cast_and_case () =
+  check_eval "cast truncates" (vi 2) "CAST(2.9 AS INT)";
+  check_eval "cast widens" (vf 2.0) "CAST(2 AS FLOAT)";
+  check_eval "cast to string" (vs "2") "CAST(2 AS VARCHAR)";
+  check_eval "cast null" vnull "CAST(NULL AS INT)";
+  check_eval "case first match" (vs "one") "CASE WHEN 1 = 1 THEN 'one' WHEN 1 = 1 THEN 'dup' END";
+  check_eval "case no match no else" vnull "CASE WHEN 1 = 2 THEN 'x' END";
+  check_eval "case null condition skipped" (vs "e")
+    "CASE WHEN NULL THEN 'x' ELSE 'e' END"
+
+let test_arithmetic_null_propagation () =
+  check_eval "add null" vnull "1 + NULL";
+  check_eval "mixed promotes" (vf 3.5) "1 + 2.5";
+  check_eval "concat" (vs "ab") "'a' || 'b'";
+  check_eval "concat null" vnull "'a' || NULL";
+  check_eval "unary minus" (vi (-3)) "-(1 + 2)"
+
+let test_eval_pred () =
+  let p sql = Eval.eval_pred [||] (Binder.bind_scalar [||] (Parser.parse_expression sql)) in
+  Alcotest.(check bool) "true keeps" true (p "1 = 1");
+  Alcotest.(check bool) "false drops" false (p "1 = 2");
+  Alcotest.(check bool) "unknown drops" false (p "NULL = 1")
+
+(* ------------------------------------------------------------------ *)
+(* Operators                                                           *)
+
+let stats () = Stats.create ()
+
+let test_joins_all_kinds () =
+  let left = rel [ "id"; "v" ] [ [ vi 1; vs "a" ]; [ vi 2; vs "b" ]; [ vi 3; vs "c" ] ] in
+  let right = rel [ "id"; "w" ] [ [ vi 2; vs "x" ]; [ vi 3; vs "y" ]; [ vi 4; vs "z" ] ] in
+  let schema = Schema.append (Relation.schema left) (Relation.schema right) in
+  let cond = Bound_expr.B_binop (Ast.Eq, Bound_expr.B_col 0, Bound_expr.B_col 2) in
+  let join kind = Operators.join ~stats:(stats ()) kind (Some cond) left right schema in
+  Alcotest.check relation_testable "inner"
+    (rel [ "id"; "v"; "id"; "w" ]
+       [ [ vi 2; vs "b"; vi 2; vs "x" ]; [ vi 3; vs "c"; vi 3; vs "y" ] ])
+    (join Logical.Inner);
+  Alcotest.check relation_testable "left outer"
+    (rel [ "id"; "v"; "id"; "w" ]
+       [
+         [ vi 1; vs "a"; vnull; vnull ];
+         [ vi 2; vs "b"; vi 2; vs "x" ];
+         [ vi 3; vs "c"; vi 3; vs "y" ];
+       ])
+    (join Logical.Left_outer);
+  Alcotest.check relation_testable "right outer"
+    (rel [ "id"; "v"; "id"; "w" ]
+       [
+         [ vi 2; vs "b"; vi 2; vs "x" ];
+         [ vi 3; vs "c"; vi 3; vs "y" ];
+         [ vnull; vnull; vi 4; vs "z" ];
+       ])
+    (join Logical.Right_outer);
+  Alcotest.check relation_testable "full outer"
+    (rel [ "id"; "v"; "id"; "w" ]
+       [
+         [ vi 1; vs "a"; vnull; vnull ];
+         [ vi 2; vs "b"; vi 2; vs "x" ];
+         [ vi 3; vs "c"; vi 3; vs "y" ];
+         [ vnull; vnull; vi 4; vs "z" ];
+       ])
+    (join Logical.Full_outer);
+  Alcotest.(check int) "cross product size" 9
+    (Relation.cardinality
+       (Operators.join ~stats:(stats ()) Logical.Cross None left right schema))
+
+let test_join_null_keys_never_match () =
+  let left = rel [ "k" ] [ [ vnull ]; [ vi 1 ] ] in
+  let right = rel [ "k" ] [ [ vnull ]; [ vi 1 ] ] in
+  let schema = Schema.of_names [ "k"; "k" ] in
+  let cond = Bound_expr.B_binop (Ast.Eq, Bound_expr.B_col 0, Bound_expr.B_col 1) in
+  Alcotest.check relation_testable "only non-null matches"
+    (rel [ "k"; "k" ] [ [ vi 1; vi 1 ] ])
+    (Operators.join ~stats:(stats ()) Logical.Inner (Some cond) left right schema);
+  Alcotest.check relation_testable "left outer pads null keys"
+    (rel [ "k"; "k" ] [ [ vnull; vnull ]; [ vi 1; vi 1 ] ])
+    (Operators.join ~stats:(stats ()) Logical.Left_outer (Some cond) left right
+       schema)
+
+let test_join_residual_condition () =
+  (* Equi key plus non-equi residual: hash path with filtering. *)
+  let left = rel [ "k"; "v" ] [ [ vi 1; vi 10 ]; [ vi 1; vi 30 ] ] in
+  let right = rel [ "k"; "lim" ] [ [ vi 1; vi 20 ] ] in
+  let schema = Schema.of_names [ "k"; "v"; "k"; "lim" ] in
+  let cond =
+    Bound_expr.B_binop
+      ( Ast.And,
+        Bound_expr.B_binop (Ast.Eq, Bound_expr.B_col 0, Bound_expr.B_col 2),
+        Bound_expr.B_binop (Ast.Lt, Bound_expr.B_col 1, Bound_expr.B_col 3) )
+  in
+  Alcotest.check relation_testable "residual filters"
+    (rel [ "k"; "v"; "k"; "lim" ] [ [ vi 1; vi 10; vi 1; vi 20 ] ])
+    (Operators.join ~stats:(stats ()) Logical.Inner (Some cond) left right schema)
+
+let test_nested_loop_non_equi () =
+  let left = rel [ "a" ] [ [ vi 1 ]; [ vi 5 ] ] in
+  let right = rel [ "b" ] [ [ vi 3 ] ] in
+  let schema = Schema.of_names [ "a"; "b" ] in
+  let cond = Bound_expr.B_binop (Ast.Lt, Bound_expr.B_col 0, Bound_expr.B_col 1) in
+  Alcotest.check relation_testable "non-equi inner"
+    (rel [ "a"; "b" ] [ [ vi 1; vi 3 ] ])
+    (Operators.join ~stats:(stats ()) Logical.Inner (Some cond) left right schema);
+  Alcotest.check relation_testable "non-equi left outer"
+    (rel [ "a"; "b" ] [ [ vi 1; vi 3 ]; [ vi 5; vnull ] ])
+    (Operators.join ~stats:(stats ()) Logical.Left_outer (Some cond) left right
+       schema)
+
+let test_aggregate_kinds () =
+  let input =
+    rel [ "g"; "v" ]
+      [
+        [ vi 1; vi 10 ];
+        [ vi 1; vi 20 ];
+        [ vi 1; vnull ];
+        [ vi 2; vi 5 ];
+      ]
+  in
+  let keys = [ Bound_expr.B_col 0 ] in
+  let agg kind arg =
+    { Logical.agg_kind = kind; agg_distinct = false; agg_arg = arg }
+  in
+  let schema = Schema.of_names [ "g"; "cnt"; "cnt_star"; "sum"; "avg"; "mn"; "mx" ] in
+  let out =
+    Operators.aggregate ~stats:(stats ()) ~keys
+      ~aggs:
+        [
+          agg Ast.Count (Bound_expr.B_col 1);
+          agg Ast.Count_star (Bound_expr.B_lit vnull);
+          agg Ast.Sum (Bound_expr.B_col 1);
+          agg Ast.Avg (Bound_expr.B_col 1);
+          agg Ast.Min (Bound_expr.B_col 1);
+          agg Ast.Max (Bound_expr.B_col 1);
+        ]
+      input schema
+  in
+  Alcotest.check relation_testable "grouped aggregates"
+    (rel
+       [ "g"; "cnt"; "cnt_star"; "sum"; "avg"; "mn"; "mx" ]
+       [
+         [ vi 1; vi 2; vi 3; vi 30; vf 15.0; vi 10; vi 20 ];
+         [ vi 2; vi 1; vi 1; vi 5; vf 5.0; vi 5; vi 5 ];
+       ])
+    out
+
+let test_aggregate_empty_input () =
+  let empty = rel [ "v" ] [] in
+  let agg kind =
+    { Logical.agg_kind = kind; agg_distinct = false; agg_arg = Bound_expr.B_col 0 }
+  in
+  let out =
+    Operators.aggregate ~stats:(stats ()) ~keys:[]
+      ~aggs:[ agg Ast.Count; agg Ast.Sum; agg Ast.Min ]
+      empty
+      (Schema.of_names [ "cnt"; "sum"; "mn" ])
+  in
+  Alcotest.check relation_testable "global aggregate defaults"
+    (rel [ "cnt"; "sum"; "mn" ] [ [ vi 0; vnull; vnull ] ])
+    out;
+  (* Grouped aggregate over empty input: no groups, no rows. *)
+  let grouped =
+    Operators.aggregate ~stats:(stats ()) ~keys:[ Bound_expr.B_col 0 ]
+      ~aggs:[ agg Ast.Count ] empty
+      (Schema.of_names [ "g"; "cnt" ])
+  in
+  Alcotest.(check int) "no groups" 0 (Relation.cardinality grouped)
+
+let test_aggregate_distinct () =
+  let input = rel [ "v" ] [ [ vi 1 ]; [ vi 1 ]; [ vi 2 ]; [ vnull ] ] in
+  let out =
+    Operators.aggregate ~stats:(stats ()) ~keys:[]
+      ~aggs:
+        [
+          {
+            Logical.agg_kind = Ast.Count;
+            agg_distinct = true;
+            agg_arg = Bound_expr.B_col 0;
+          };
+          {
+            Logical.agg_kind = Ast.Sum;
+            agg_distinct = true;
+            agg_arg = Bound_expr.B_col 0;
+          };
+        ]
+      input
+      (Schema.of_names [ "cnt"; "sum" ])
+  in
+  Alcotest.check relation_testable "distinct aggregates"
+    (rel [ "cnt"; "sum" ] [ [ vi 2; vi 3 ] ])
+    out
+
+let test_sort_limit_distinct () =
+  let input = rel [ "v" ] [ [ vi 3 ]; [ vi 1 ]; [ vnull ]; [ vi 2 ]; [ vi 1 ] ] in
+  let sorted =
+    Operators.sort ~stats:(stats ()) [ (Bound_expr.B_col 0, false) ] input
+  in
+  Alcotest.(check (list (list value_testable)))
+    "nulls first ascending"
+    [ [ vnull ]; [ vi 1 ]; [ vi 1 ]; [ vi 2 ]; [ vi 3 ] ]
+    (List.map Array.to_list (Array.to_list (Relation.rows sorted)));
+  let top2 = Operators.limit ~stats:(stats ()) 2 sorted in
+  Alcotest.(check int) "limit" 2 (Relation.cardinality top2);
+  let distinct = Operators.distinct ~stats:(stats ()) input in
+  Alcotest.(check int) "distinct" 4 (Relation.cardinality distinct)
+
+(* ------------------------------------------------------------------ *)
+(* Programs: loop, rename, terminations                                *)
+
+(** Build a program that iterates [counter <- counter + 1] starting at
+    0 with the given termination, returning the final value. *)
+let counter_program termination =
+  let schema = Schema.of_names [ "k"; "n" ] in
+  let base =
+    Logical.values (rel [ "k"; "n" ] [ [ vi 1; vi 0 ] ])
+  in
+  let step =
+    Logical.project
+      [ (Bound_expr.B_col 0, "k");
+        (Bound_expr.B_binop (Ast.Add, Bound_expr.B_col 1, Bound_expr.B_lit (vi 1)), "n");
+      ]
+      (Logical.scan ~name:"c" ~schema)
+  in
+  Program.make
+    [
+      Program.Materialize { target = "c"; plan = base };
+      Program.Init_loop { loop_id = 0; termination; cte = "c"; key_idx = 0; guard = 1000 };
+      Program.Snapshot { loop_id = 0 };
+      Program.Materialize { target = "c#work"; plan = step };
+      Program.Rename { from_ = "c#work"; into = "c" };
+      Program.Loop_end { loop_id = 0; body_start = 2 };
+      Program.Return (Logical.scan ~name:"c" ~schema);
+    ]
+    ~result_schema:schema
+
+let run_counter termination =
+  let catalog = Catalog.create () in
+  let rel, stats = Executor.run_program_with_stats catalog (counter_program termination) in
+  match (Relation.rows rel).(0) with
+  | [| _; Value.Int n |] -> (n, stats)
+  | _ -> Alcotest.fail "unexpected row"
+
+let test_loop_metadata_iterations () =
+  let n, stats = run_counter (Program.Max_iterations 7) in
+  Alcotest.(check int) "seven increments" 7 n;
+  Alcotest.(check int) "seven loop iterations" 7 stats.Stats.loop_iterations;
+  Alcotest.(check int) "one rename per iteration" 7 stats.Stats.renames
+
+let test_loop_metadata_updates () =
+  (* Each iteration updates exactly one row, so 3 UPDATES = 3 rounds. *)
+  let n, _ = run_counter (Program.Max_updates 3) in
+  Alcotest.(check int) "three updates" 3 n
+
+let test_loop_data_any () =
+  let pred = Bound_expr.B_binop (Ast.Ge, Bound_expr.B_col 1, Bound_expr.B_lit (vi 5)) in
+  let n, _ = run_counter (Program.Data { any = true; pred }) in
+  Alcotest.(check int) "stops when any n >= 5" 5 n
+
+let test_loop_data_all () =
+  let pred = Bound_expr.B_binop (Ast.Ge, Bound_expr.B_col 1, Bound_expr.B_lit (vi 4)) in
+  let n, _ = run_counter (Program.Data { any = false; pred }) in
+  Alcotest.(check int) "stops when all n >= 4" 4 n
+
+let test_loop_delta_termination () =
+  (* A step that stops changing after n reaches 3: delta drops to 0. *)
+  let schema = Schema.of_names [ "k"; "n" ] in
+  let base = Logical.values (rel [ "k"; "n" ] [ [ vi 1; vi 0 ] ]) in
+  let step =
+    Logical.project
+      [
+        (Bound_expr.B_col 0, "k");
+        ( Bound_expr.B_func
+            ( Bound_expr.F_least,
+              [
+                Bound_expr.B_binop (Ast.Add, Bound_expr.B_col 1, Bound_expr.B_lit (vi 1));
+                Bound_expr.B_lit (vi 3);
+              ] ),
+          "n" );
+      ]
+      (Logical.scan ~name:"c" ~schema)
+  in
+  let program =
+    Program.make
+      [
+        Program.Materialize { target = "c"; plan = base };
+        Program.Init_loop
+          { loop_id = 0; termination = Program.Delta_at_most 0; cte = "c"; key_idx = 0; guard = 1000 };
+        Program.Snapshot { loop_id = 0 };
+        Program.Materialize { target = "c#work"; plan = step };
+        Program.Rename { from_ = "c#work"; into = "c" };
+        Program.Loop_end { loop_id = 0; body_start = 2 };
+        Program.Return (Logical.scan ~name:"c" ~schema);
+      ]
+      ~result_schema:schema
+  in
+  let catalog = Catalog.create () in
+  let rel, stats = Executor.run_program_with_stats catalog program in
+  (match (Relation.rows rel).(0) with
+  | [| _; Value.Int n |] -> Alcotest.(check int) "converged to 3" 3 n
+  | _ -> Alcotest.fail "unexpected row");
+  (* 3 changing iterations + 1 confirming iteration. *)
+  Alcotest.(check int) "four iterations" 4 stats.Stats.loop_iterations
+
+let test_loop_guard () =
+  (* A Data condition that never holds trips the guard. *)
+  let pred = Bound_expr.B_binop (Ast.Lt, Bound_expr.B_col 1, Bound_expr.B_lit (vi 0)) in
+  let schema = Schema.of_names [ "k"; "n" ] in
+  let program =
+    Program.make
+      [
+        Program.Materialize
+          { target = "c"; plan = Logical.values (rel [ "k"; "n" ] [ [ vi 1; vi 0 ] ]) };
+        Program.Init_loop
+          {
+            loop_id = 0;
+            termination = Program.Data { any = true; pred };
+            cte = "c";
+            key_idx = 0;
+            guard = 10;
+          };
+        Program.Snapshot { loop_id = 0 };
+        Program.Materialize
+          {
+            target = "c#work";
+            plan =
+              Logical.project
+                [ (Bound_expr.B_col 0, "k"); (Bound_expr.B_col 1, "n") ]
+                (Logical.scan ~name:"c" ~schema);
+          };
+        Program.Rename { from_ = "c#work"; into = "c" };
+        Program.Loop_end { loop_id = 0; body_start = 2 };
+        Program.Return (Logical.scan ~name:"c" ~schema);
+      ]
+      ~result_schema:schema
+  in
+  match Executor.run_program (Catalog.create ()) program with
+  | exception Executor.Execution_error m ->
+    Alcotest.(check bool) "mentions guard" true (contains m "guard")
+  | _ -> Alcotest.fail "expected guard error"
+
+let test_assert_unique_key () =
+  let catalog = Catalog.create () in
+  Catalog.set_temp catalog "w" (rel [ "k" ] [ [ vi 1 ]; [ vi 1 ] ]);
+  (match Executor.assert_unique_key catalog ~temp:"w" ~key_idx:0 with
+  | exception Executor.Execution_error m ->
+    Alcotest.(check bool) "duplicate detected" true (contains m "duplicate")
+  | () -> Alcotest.fail "expected duplicate-key error");
+  Catalog.set_temp catalog "w2" (rel [ "k" ] [ [ vnull ] ]);
+  (match Executor.assert_unique_key catalog ~temp:"w2" ~key_idx:0 with
+  | exception Executor.Execution_error m ->
+    Alcotest.(check bool) "null key detected" true (contains m "null")
+  | () -> Alcotest.fail "expected null-key error");
+  Catalog.set_temp catalog "w3" (rel [ "k" ] [ [ vi 1 ]; [ vi 2 ] ]);
+  Executor.assert_unique_key catalog ~temp:"w3" ~key_idx:0
+
+let test_recursive_cte_program () =
+  (* Transitive closure of 1 -> 2 -> 3 -> 4 from node 1. *)
+  let catalog = Catalog.create () in
+  let edges_schema = Schema.of_names [ "src"; "dst" ] in
+  let tbl = Dbspinner_storage.Table.create ~name:"e" edges_schema in
+  Dbspinner_storage.Table.insert_all tbl
+    [ [| vi 1; vi 2 |]; [| vi 2; vi 3 |]; [| vi 3; vi 4 |] ];
+  let catalog_tbl = Catalog.create_table catalog ~name:"unused" (Schema.of_names [ "x" ]) in
+  ignore catalog_tbl;
+  Catalog.set_temp catalog "e" (Dbspinner_storage.Table.to_relation tbl);
+  let schema = Schema.of_names [ "n" ] in
+  let base = Logical.values (rel [ "n" ] [ [ vi 1 ] ]) in
+  (* step: SELECT e.dst FROM work JOIN e ON work.n = e.src *)
+  let step =
+    Logical.project
+      [ (Bound_expr.B_col 2, "n") ]
+      (Logical.join Logical.Inner
+         ~cond:(Bound_expr.B_binop (Ast.Eq, Bound_expr.B_col 0, Bound_expr.B_col 1))
+         (Logical.scan ~name:"reach#w" ~schema)
+         (Logical.scan ~name:"e" ~schema:edges_schema))
+  in
+  let program =
+    Program.make
+      [
+        Program.Recursive_cte
+          {
+            name = "reach";
+            work_name = "reach#w";
+            base;
+            step_plan = step;
+            union_all = false;
+            max_recursion = 100;
+          };
+        Program.Return (Logical.scan ~name:"reach" ~schema);
+      ]
+      ~result_schema:schema
+  in
+  let result = Executor.run_program catalog program in
+  Alcotest.check relation_testable "closure"
+    (rel [ "n" ] [ [ vi 1 ]; [ vi 2 ]; [ vi 3 ]; [ vi 4 ] ])
+    result
+
+let test_recursive_cycle_terminates () =
+  (* UNION-distinct semantics reach a fixed point even on a cycle. *)
+  let catalog = Catalog.create () in
+  let edges_schema = Schema.of_names [ "src"; "dst" ] in
+  Catalog.set_temp catalog "e"
+    (rel [ "src"; "dst" ] [ [ vi 1; vi 2 ]; [ vi 2; vi 1 ] ]);
+  let schema = Schema.of_names [ "n" ] in
+  let step =
+    Logical.project
+      [ (Bound_expr.B_col 2, "n") ]
+      (Logical.join Logical.Inner
+         ~cond:(Bound_expr.B_binop (Ast.Eq, Bound_expr.B_col 0, Bound_expr.B_col 1))
+         (Logical.scan ~name:"r#w" ~schema)
+         (Logical.scan ~name:"e" ~schema:edges_schema))
+  in
+  let program =
+    Program.make
+      [
+        Program.Recursive_cte
+          {
+            name = "r";
+            work_name = "r#w";
+            base = Logical.values (rel [ "n" ] [ [ vi 1 ] ]);
+            step_plan = step;
+            union_all = false;
+            max_recursion = 100;
+          };
+        Program.Return (Logical.scan ~name:"r" ~schema);
+      ]
+      ~result_schema:schema
+  in
+  Alcotest.check relation_testable "cycle closure"
+    (rel [ "n" ] [ [ vi 1 ]; [ vi 2 ] ])
+    (Executor.run_program catalog program)
+
+let test_missing_return () =
+  let program = Program.make [] ~result_schema:(Schema.of_names []) in
+  match Executor.run_program (Catalog.create ()) program with
+  | exception Executor.Execution_error _ -> ()
+  | _ -> Alcotest.fail "expected error for program without Return"
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "eval",
+        [
+          Alcotest.test_case "three-valued-logic" `Quick test_three_valued_logic;
+          Alcotest.test_case "in-semantics" `Quick test_in_semantics;
+          Alcotest.test_case "between-like" `Quick test_between_and_like;
+          Alcotest.test_case "scalar-functions" `Quick test_scalar_functions;
+          Alcotest.test_case "cast-case" `Quick test_cast_and_case;
+          Alcotest.test_case "null-propagation" `Quick
+            test_arithmetic_null_propagation;
+          Alcotest.test_case "predicates" `Quick test_eval_pred;
+        ] );
+      ( "operators",
+        [
+          Alcotest.test_case "join-kinds" `Quick test_joins_all_kinds;
+          Alcotest.test_case "join-null-keys" `Quick test_join_null_keys_never_match;
+          Alcotest.test_case "join-residual" `Quick test_join_residual_condition;
+          Alcotest.test_case "non-equi-join" `Quick test_nested_loop_non_equi;
+          Alcotest.test_case "aggregate-kinds" `Quick test_aggregate_kinds;
+          Alcotest.test_case "aggregate-empty" `Quick test_aggregate_empty_input;
+          Alcotest.test_case "aggregate-distinct" `Quick test_aggregate_distinct;
+          Alcotest.test_case "sort-limit-distinct" `Quick test_sort_limit_distinct;
+        ] );
+      ( "programs",
+        [
+          Alcotest.test_case "metadata-iterations" `Quick
+            test_loop_metadata_iterations;
+          Alcotest.test_case "metadata-updates" `Quick test_loop_metadata_updates;
+          Alcotest.test_case "data-any" `Quick test_loop_data_any;
+          Alcotest.test_case "data-all" `Quick test_loop_data_all;
+          Alcotest.test_case "delta" `Quick test_loop_delta_termination;
+          Alcotest.test_case "guard" `Quick test_loop_guard;
+          Alcotest.test_case "unique-key-check" `Quick test_assert_unique_key;
+          Alcotest.test_case "recursive-cte" `Quick test_recursive_cte_program;
+          Alcotest.test_case "recursive-cycle" `Quick test_recursive_cycle_terminates;
+          Alcotest.test_case "missing-return" `Quick test_missing_return;
+        ] );
+    ]

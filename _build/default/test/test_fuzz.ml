@@ -1,0 +1,638 @@
+(** Random-query differential testing: a restricted query language with
+    its own independent naive evaluator (including its own three-valued
+    logic), rendered to SQL text and executed through the full engine
+    pipeline — lexer, parser, binder, rewriter, executor. Any
+    divergence is a bug in one of the two implementations.
+
+    The query space: a single table [t(a, b, c)] of nullable ints;
+    projections with arithmetic and CASE; WHERE predicates with
+    AND/OR/NOT, comparisons and IS NULL; optional GROUP BY on one
+    column with COUNT-star / SUM / MIN / MAX. *)
+
+module Value = Dbspinner_storage.Value
+module Relation = Dbspinner_storage.Relation
+module Engine = Dbspinner.Engine
+
+(* ------------------------------------------------------------------ *)
+(* The restricted language                                             *)
+
+type col = A | B | C
+
+type expr =
+  | Col of col
+  | Const of int
+  | Null
+  | Add of expr * expr
+  | Mul of expr * expr
+  | Case of pred * expr * expr
+
+and pred =
+  | Cmp of [ `Eq | `Lt | `Le ] * expr * expr
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+  | Is_null of expr
+
+type agg = Count_star | Sum of col | Min of col | Max of col
+
+type query =
+  | Plain of { items : expr list; where : pred option }
+  | Grouped of { key : col; aggs : agg list; where : pred option }
+
+(* ------------------------------------------------------------------ *)
+(* SQL rendering                                                       *)
+
+let col_name = function A -> "a" | B -> "b" | C -> "c"
+
+let rec expr_sql_n names = function
+  | Col c -> names c
+  | Const i -> string_of_int i
+  | Null -> "NULL"
+  | Add (x, y) ->
+    Printf.sprintf "(%s + %s)" (expr_sql_n names x) (expr_sql_n names y)
+  | Mul (x, y) ->
+    Printf.sprintf "(%s * %s)" (expr_sql_n names x) (expr_sql_n names y)
+  | Case (p, t, e) ->
+    Printf.sprintf "CASE WHEN %s THEN %s ELSE %s END" (pred_sql_n names p)
+      (expr_sql_n names t) (expr_sql_n names e)
+
+and pred_sql_n names = function
+  | Cmp (`Eq, x, y) ->
+    Printf.sprintf "(%s = %s)" (expr_sql_n names x) (expr_sql_n names y)
+  | Cmp (`Lt, x, y) ->
+    Printf.sprintf "(%s < %s)" (expr_sql_n names x) (expr_sql_n names y)
+  | Cmp (`Le, x, y) ->
+    Printf.sprintf "(%s <= %s)" (expr_sql_n names x) (expr_sql_n names y)
+  | And (p, q) ->
+    Printf.sprintf "(%s AND %s)" (pred_sql_n names p) (pred_sql_n names q)
+  | Or (p, q) ->
+    Printf.sprintf "(%s OR %s)" (pred_sql_n names p) (pred_sql_n names q)
+  | Not p -> Printf.sprintf "(NOT %s)" (pred_sql_n names p)
+  | Is_null e -> Printf.sprintf "(%s IS NULL)" (expr_sql_n names e)
+
+let expr_sql = expr_sql_n col_name
+let pred_sql = pred_sql_n col_name
+
+let agg_sql = function
+  | Count_star -> "COUNT(*)"
+  | Sum c -> Printf.sprintf "SUM(%s)" (col_name c)
+  | Min c -> Printf.sprintf "MIN(%s)" (col_name c)
+  | Max c -> Printf.sprintf "MAX(%s)" (col_name c)
+
+let query_sql = function
+  | Plain { items; where } ->
+    Printf.sprintf "SELECT %s FROM t%s"
+      (String.concat ", " (List.map expr_sql items))
+      (match where with None -> "" | Some p -> " WHERE " ^ pred_sql p)
+  | Grouped { key; aggs; where } ->
+    Printf.sprintf "SELECT %s, %s FROM t%s GROUP BY %s" (col_name key)
+      (String.concat ", " (List.map agg_sql aggs))
+      (match where with None -> "" | Some p -> " WHERE " ^ pred_sql p)
+      (col_name key)
+
+(* ------------------------------------------------------------------ *)
+(* The independent naive evaluator                                     *)
+
+type rval = int option
+type row = rval array  (** [a; b; c] *)
+
+let get (row : row) = function A -> row.(0) | B -> row.(1) | C -> row.(2)
+
+let lift2 f x y =
+  match x, y with Some x, Some y -> Some (f x y) | _ -> None
+
+(* Kleene three-valued logic, written independently of the engine's. *)
+let rec eval_pred (row : row) = function
+  | Cmp (op, x, y) -> (
+    match eval_expr row x, eval_expr row y with
+    | Some x, Some y ->
+      Some (match op with `Eq -> x = y | `Lt -> x < y | `Le -> x <= y)
+    | _ -> None)
+  | And (p, q) -> (
+    match eval_pred row p, eval_pred row q with
+    | Some false, _ | _, Some false -> Some false
+    | Some true, Some true -> Some true
+    | _ -> None)
+  | Or (p, q) -> (
+    match eval_pred row p, eval_pred row q with
+    | Some true, _ | _, Some true -> Some true
+    | Some false, Some false -> Some false
+    | _ -> None)
+  | Not p -> Option.map not (eval_pred row p)
+  | Is_null e -> Some (eval_expr row e = None)
+
+and eval_expr (row : row) = function
+  | Col c -> get row c
+  | Const i -> Some i
+  | Null -> None
+  | Add (x, y) -> lift2 ( + ) (eval_expr row x) (eval_expr row y)
+  | Mul (x, y) -> lift2 ( * ) (eval_expr row x) (eval_expr row y)
+  | Case (p, t, e) ->
+    if eval_pred row p = Some true then eval_expr row t else eval_expr row e
+
+let filter_rows where rows =
+  match where with
+  | None -> rows
+  | Some p -> List.filter (fun r -> eval_pred r p = Some true) rows
+
+let eval_agg rows = function
+  | Count_star -> Some (List.length rows)
+  | Sum c -> (
+    match List.filter_map (fun r -> get r c) rows with
+    | [] -> None
+    | vs -> Some (List.fold_left ( + ) 0 vs))
+  | Min c -> (
+    match List.filter_map (fun r -> get r c) rows with
+    | [] -> None
+    | v :: vs -> Some (List.fold_left min v vs))
+  | Max c -> (
+    match List.filter_map (fun r -> get r c) rows with
+    | [] -> None
+    | v :: vs -> Some (List.fold_left max v vs))
+
+(** Reference result: a bag of [rval list] rows. *)
+let reference (rows : row list) = function
+  | Plain { items; where } ->
+    List.map
+      (fun r -> List.map (fun e -> eval_expr r e) items)
+      (filter_rows where rows)
+  | Grouped { key; aggs; where } ->
+    let rows = filter_rows where rows in
+    let groups : (rval, row list) Hashtbl.t = Hashtbl.create 8 in
+    let order = ref [] in
+    List.iter
+      (fun r ->
+        let k = get r key in
+        if not (Hashtbl.mem groups k) then order := k :: !order;
+        Hashtbl.replace groups k (r :: Option.value (Hashtbl.find_opt groups k) ~default:[]))
+      rows;
+    List.rev_map
+      (fun k ->
+        let members = Hashtbl.find groups k in
+        k :: List.map (eval_agg members) aggs)
+      !order
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+
+let col_gen = QCheck2.Gen.oneofl [ A; B; C ]
+let col_kv_gen = QCheck2.Gen.oneofl [ A; B ]  (* iterative CTE: k, v *)
+let col_k_gen = QCheck2.Gen.return A  (* identity column only *)
+
+(** Predicate generator over a given sub-expression generator. *)
+let pred_of (sub : expr QCheck2.Gen.t) : pred QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let cmp =
+    map3 (fun op x y -> Cmp (op, x, y)) (oneofl [ `Eq; `Lt; `Le ]) sub sub
+  in
+  frequency
+    [
+      (4, cmp);
+      (1, map (fun e -> Is_null e) sub);
+      (1, map2 (fun p q -> And (p, q)) cmp cmp);
+      (1, map2 (fun p q -> Or (p, q)) cmp cmp);
+      (1, map (fun p -> Not p) cmp);
+    ]
+
+let expr_gen_of (cols : col QCheck2.Gen.t) : expr QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  sized
+  @@ fix (fun self n ->
+         let leaf =
+           frequency
+             [
+               (4, map (fun c -> Col c) cols);
+               (3, map (fun i -> Const i) (int_range (-5) 5));
+               (1, return Null);
+             ]
+         in
+         if n <= 0 then leaf
+         else
+           let sub = self (n / 2) in
+           frequency
+             [
+               (3, leaf);
+               (2, map2 (fun x y -> Add (x, y)) sub sub);
+               (1, map2 (fun x y -> Mul (x, y)) sub sub);
+               (1, map3 (fun p t e -> Case (p, t, e)) (pred_of sub) sub sub);
+             ])
+
+let expr_gen = expr_gen_of col_gen
+let pred_gen = pred_of expr_gen
+
+let agg_gen =
+  QCheck2.Gen.oneof
+    [
+      QCheck2.Gen.return Count_star;
+      QCheck2.Gen.map (fun c -> Sum c) col_gen;
+      QCheck2.Gen.map (fun c -> Min c) col_gen;
+      QCheck2.Gen.map (fun c -> Max c) col_gen;
+    ]
+
+let query_gen : query QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let where = option pred_gen in
+  frequency
+    [
+      ( 3,
+        map2
+          (fun items where -> Plain { items; where })
+          (list_size (int_range 1 3) expr_gen)
+          where );
+      ( 2,
+        map3
+          (fun key aggs where -> Grouped { key; aggs; where })
+          col_gen
+          (list_size (int_range 1 3) agg_gen)
+          where );
+    ]
+
+let rval_gen : rval QCheck2.Gen.t =
+  QCheck2.Gen.(
+    frequency [ (4, map (fun i -> Some i) (int_range (-4) 4)); (1, return None) ])
+
+let table_gen : row list QCheck2.Gen.t =
+  QCheck2.Gen.(
+    list_size (int_range 0 20)
+      (map3 (fun a b c -> [| a; b; c |]) rval_gen rval_gen rval_gen))
+
+(* ------------------------------------------------------------------ *)
+(* The differential property                                           *)
+
+let to_rval (v : Value.t) : rval =
+  match v with
+  | Value.Null -> None
+  | Value.Int i -> Some i
+  | _ -> failwith "fuzz queries should only produce ints and NULLs"
+
+let canonical (rows : rval list list) = List.sort compare rows
+
+let engine_for (rows : row list) =
+  let e = Engine.create () in
+  ignore (Engine.execute e "CREATE TABLE t (a INT, b INT, c INT)");
+  if rows <> [] then begin
+    let tuple (r : row) =
+      Printf.sprintf "(%s)"
+        (String.concat ", "
+           (List.map
+              (function Some i -> string_of_int i | None -> "NULL")
+              (Array.to_list r)))
+    in
+    ignore
+      (Engine.execute e
+         ("INSERT INTO t VALUES " ^ String.concat ", " (List.map tuple rows)))
+  end;
+  e
+
+let run_engine e q =
+  let rel = Engine.query e (query_sql q) in
+  Array.to_list (Relation.rows rel)
+  |> List.map (fun r -> List.map to_rval (Array.to_list r))
+
+let differential_test =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:500 ~name:"engine = naive reference on random queries"
+       ~print:(fun (rows, q) ->
+         Printf.sprintf "%s over %d rows" (query_sql q) (List.length rows))
+       QCheck2.Gen.(pair table_gen query_gen)
+       (fun (rows, q) ->
+         let e = engine_for rows in
+         let expected = canonical (reference rows q) in
+         let got = canonical (run_engine e q) in
+         if expected = got then true
+         else
+           QCheck2.Test.fail_reportf
+             "mismatch for %s:\nexpected %d rows, got %d rows" (query_sql q)
+             (List.length expected) (List.length got)))
+
+(* ------------------------------------------------------------------ *)
+(* DML fuzzing: random UPDATE / DELETE sequences vs list operations    *)
+
+type dml =
+  | Update of { set_col : col; set_expr : expr; dml_where : pred option }
+  | Delete of { dml_where : pred option }
+
+let dml_sql = function
+  | Update { set_col; set_expr; dml_where } ->
+    Printf.sprintf "UPDATE t SET %s = %s%s" (col_name set_col)
+      (expr_sql set_expr)
+      (match dml_where with None -> "" | Some p -> " WHERE " ^ pred_sql p)
+  | Delete { dml_where } ->
+    Printf.sprintf "DELETE FROM t%s"
+      (match dml_where with None -> "" | Some p -> " WHERE " ^ pred_sql p)
+
+let dml_reference (rows : row list) = function
+  | Update { set_col; set_expr; dml_where } ->
+    List.map
+      (fun (r : row) ->
+        let hit =
+          match dml_where with None -> true | Some p -> eval_pred r p = Some true
+        in
+        if not hit then r
+        else begin
+          let r' = Array.copy r in
+          let v = eval_expr r set_expr in
+          (match set_col with
+          | A -> r'.(0) <- v
+          | B -> r'.(1) <- v
+          | C -> r'.(2) <- v);
+          r'
+        end)
+      rows
+  | Delete { dml_where } ->
+    List.filter
+      (fun r ->
+        match dml_where with
+        | None -> false
+        | Some p -> eval_pred r p <> Some true)
+      rows
+
+let dml_gen : dml QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  frequency
+    [
+      ( 3,
+        map3
+          (fun set_col set_expr dml_where -> Update { set_col; set_expr; dml_where })
+          col_gen expr_gen (option pred_gen) );
+      (1, map (fun dml_where -> Delete { dml_where }) (option pred_gen));
+    ]
+
+let dml_differential =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300 ~name:"UPDATE/DELETE = naive list operations"
+       ~print:(fun (rows, ops) ->
+         Printf.sprintf "%s over %d rows"
+           (String.concat "; " (List.map dml_sql ops))
+           (List.length rows))
+       QCheck2.Gen.(pair table_gen (list_size (int_range 1 4) dml_gen))
+       (fun (rows, ops) ->
+         let e = engine_for rows in
+         let expected =
+           List.fold_left dml_reference rows ops
+           |> List.map (fun (r : row) -> Array.to_list r)
+         in
+         List.iter (fun op -> ignore (Engine.execute e (dml_sql op))) ops;
+         let rel = Engine.query e "SELECT a, b, c FROM t" in
+         let actual =
+           Array.to_list (Relation.rows rel)
+           |> List.map (fun r -> List.map to_rval (Array.to_list r))
+         in
+         canonical (expected :> rval list list) = canonical actual))
+
+(* ------------------------------------------------------------------ *)
+(* Join fuzzing: two-table joins vs a naive nested loop                *)
+
+(** Random join queries over [t(a, b, c)] and [u(a, b, c)]:
+    [SELECT t.x, u.y FROM t [LEFT] JOIN u ON t.a = u.a [AND extra]
+     [WHERE pred]], evaluated by a naive nested loop with padding. *)
+type join_query = {
+  jq_left_outer : bool;
+  jq_left_col : col;  (** t-side output column *)
+  jq_right_col : col;  (** u-side output column *)
+  jq_on_extra : pred option;  (** over u columns only *)
+  jq_where : pred option;  (** over t columns only *)
+}
+
+let t_names = function A -> "t.a" | B -> "t.b" | C -> "t.c"
+let u_names = function A -> "u.a" | B -> "u.b" | C -> "u.c"
+
+let join_sql (q : join_query) =
+  Printf.sprintf "SELECT %s, %s FROM t %sJOIN u ON t.a = u.a%s%s"
+    (t_names q.jq_left_col) (u_names q.jq_right_col)
+    (if q.jq_left_outer then "LEFT " else "")
+    (match q.jq_on_extra with
+    | None -> ""
+    | Some p -> " AND " ^ pred_sql_n u_names p)
+    (match q.jq_where with
+    | None -> ""
+    | Some p -> " WHERE " ^ pred_sql_n t_names p)
+
+let join_reference (trows : row list) (urows : row list) (q : join_query) :
+    rval list list =
+  let trows =
+    match q.jq_where with
+    | None -> trows
+    | Some p -> List.filter (fun r -> eval_pred r p = Some true) trows
+  in
+  List.concat_map
+    (fun (tr : row) ->
+      let matches =
+        List.filter
+          (fun (ur : row) ->
+            (match get tr A, get ur A with
+            | Some x, Some y -> x = y
+            | _ -> false)
+            &&
+            match q.jq_on_extra with
+            | None -> true
+            | Some p -> eval_pred ur p = Some true)
+          urows
+      in
+      match matches with
+      | [] when q.jq_left_outer -> [ [ get tr q.jq_left_col; None ] ]
+      | [] -> []
+      | ms -> List.map (fun ur -> [ get tr q.jq_left_col; get ur q.jq_right_col ]) ms)
+    trows
+
+let join_query_gen : join_query QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  map3
+    (fun (jq_left_outer, jq_left_col, jq_right_col) jq_on_extra jq_where ->
+      { jq_left_outer; jq_left_col; jq_right_col; jq_on_extra; jq_where })
+    (triple bool col_gen col_gen)
+    (option (pred_of (expr_gen_of col_gen)))
+    (option (pred_of (expr_gen_of col_gen)))
+
+let engine_for_two (trows : row list) (urows : row list) =
+  let e = engine_for trows in
+  ignore (Engine.execute e "CREATE TABLE u (a INT, b INT, c INT)");
+  if urows <> [] then begin
+    let tuple (r : row) =
+      Printf.sprintf "(%s)"
+        (String.concat ", "
+           (List.map
+              (function Some i -> string_of_int i | None -> "NULL")
+              (Array.to_list r)))
+    in
+    ignore
+      (Engine.execute e
+         ("INSERT INTO u VALUES " ^ String.concat ", " (List.map tuple urows)))
+  end;
+  e
+
+let join_differential =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300 ~name:"joins = naive nested loop"
+       ~print:(fun ((trows, urows), q) ->
+         Printf.sprintf "%s over %d x %d rows" (join_sql q) (List.length trows)
+           (List.length urows))
+       QCheck2.Gen.(pair (pair table_gen table_gen) join_query_gen)
+       (fun ((trows, urows), q) ->
+         let e = engine_for_two trows urows in
+         let expected = canonical (join_reference trows urows q) in
+         let rel = Engine.query e (join_sql q) in
+         let actual =
+           canonical
+             (Array.to_list (Relation.rows rel)
+             |> List.map (fun r -> List.map to_rval (Array.to_list r)))
+         in
+         if expected = actual then true
+         else
+           QCheck2.Test.fail_reportf "mismatch for %s: expected %d, got %d rows"
+             (join_sql q) (List.length expected) (List.length actual)))
+
+(* ------------------------------------------------------------------ *)
+(* Iterative-CTE fuzzing: random pointwise loops vs a naive loop       *)
+
+(** A random iterative query over the CTE [r (k, v)]:
+
+    {v
+    WITH ITERATIVE r (k, v) AS (
+      SELECT a, MIN(b) FROM t WHERE a IS NOT NULL GROUP BY a
+    ITERATE SELECT k, <step_expr> FROM r [WHERE <step_where>]
+    UNTIL n ITERATIONS )
+    SELECT k, v FROM r [WHERE <final_where over k>]
+    v}
+
+    The non-iterative part deduplicates keys (the §II unique-key
+    requirement); a WHERE in the step exercises the merge path, its
+    absence the rename path; a final WHERE over the identity column [k]
+    exercises predicate push down. *)
+type iter_query = {
+  step_expr : expr;  (** over k (A) and v (B) *)
+  step_where : pred option;
+  rounds : int;
+  final_where : pred option;  (** over k (A) only *)
+}
+
+let kv_names = function A -> "k" | B -> "v" | C -> "c_unused"
+
+let iter_sql (q : iter_query) =
+  Printf.sprintf
+    {|WITH ITERATIVE r (k, v) AS (
+  SELECT a, MIN(b) FROM t WHERE a IS NOT NULL GROUP BY a
+ITERATE SELECT k, %s FROM r%s
+UNTIL %d ITERATIONS )
+SELECT k, v FROM r%s|}
+    (expr_sql_n kv_names q.step_expr)
+    (match q.step_where with
+    | None -> ""
+    | Some p -> " WHERE " ^ pred_sql_n kv_names p)
+    q.rounds
+    (match q.final_where with
+    | None -> ""
+    | Some p -> " WHERE " ^ pred_sql_n kv_names p)
+
+let iter_reference (rows : row list) (q : iter_query) : rval list list =
+  (* Non-iterative part: distinct non-null keys with MIN(b). *)
+  let table : (int, rval) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (r : row) ->
+      match get r A with
+      | None -> ()
+      | Some k ->
+        let b = get r B in
+        (match Hashtbl.find_opt table k with
+        | None ->
+          order := k :: !order;
+          Hashtbl.replace table k b
+        | Some prev ->
+          let merged =
+            match prev, b with
+            | None, x | x, None -> x
+            | Some p, Some n -> Some (min p n)
+          in
+          Hashtbl.replace table k merged))
+    rows;
+  let keys = List.rev !order in
+  (* Iterations: pointwise update of v, keyed merge semantics. *)
+  for _ = 1 to q.rounds do
+    List.iter
+      (fun k ->
+        let v = Hashtbl.find table k in
+        let pair : row = [| Some k; v; None |] in
+        let selected =
+          match q.step_where with
+          | None -> true
+          | Some p -> eval_pred pair p = Some true
+        in
+        if selected then Hashtbl.replace table k (eval_expr pair q.step_expr))
+      keys
+  done;
+  (* Final part. *)
+  keys
+  |> List.filter_map (fun k ->
+         let pair : row = [| Some k; Hashtbl.find table k; None |] in
+         match q.final_where with
+         | Some p when eval_pred pair p <> Some true -> None
+         | _ -> Some [ Some k; Hashtbl.find table k ])
+
+let iter_query_gen : iter_query QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  map3
+    (fun step_expr (step_where, final_where) rounds ->
+      { step_expr; step_where; rounds; final_where })
+    (expr_gen_of col_kv_gen)
+    (pair (option (pred_of (expr_gen_of col_kv_gen)))
+       (option (pred_of (expr_gen_of col_k_gen))))
+    (int_range 1 5)
+
+let iterative_differential =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300
+       ~name:"iterative CTEs = naive loop on random queries"
+       ~print:(fun (rows, q) ->
+         Printf.sprintf "%s over %d rows" (iter_sql q) (List.length rows))
+       QCheck2.Gen.(pair table_gen iter_query_gen)
+       (fun (rows, q) ->
+         let e = engine_for rows in
+         let sql = iter_sql q in
+         let expected = canonical (iter_reference rows q) in
+         let run options =
+           Engine.with_options e options (fun () ->
+               let rel = Engine.query e sql in
+               canonical
+                 (Array.to_list (Relation.rows rel)
+                 |> List.map (fun r -> List.map to_rval (Array.to_list r))))
+         in
+         let default = run Dbspinner_rewrite.Options.default in
+         let unopt = run Dbspinner_rewrite.Options.unoptimized in
+         if expected = default && expected = unopt then true
+         else
+           QCheck2.Test.fail_reportf
+             "mismatch for %s:\nreference %d rows, optimized %d, naive %d" sql
+             (List.length expected) (List.length default) (List.length unopt)))
+
+(* Also fuzz the same queries through EXPLAIN (plans must compile) and
+   under the unoptimized option set (results must agree with default). *)
+let options_differential =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"optimizer options agree on random queries"
+       ~print:(fun (rows, q) ->
+         Printf.sprintf "%s over %d rows" (query_sql q) (List.length rows))
+       QCheck2.Gen.(pair table_gen query_gen)
+       (fun (rows, q) ->
+         let e = engine_for rows in
+         let sql = query_sql q in
+         let default = Engine.query e sql in
+         let unopt =
+           Engine.with_options e Dbspinner_rewrite.Options.unoptimized (fun () ->
+               Engine.query e sql)
+         in
+         ignore (Engine.explain e sql);
+         Relation.equal_bag default unopt))
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "differential",
+        [
+          differential_test;
+          options_differential;
+          join_differential;
+          dml_differential;
+          iterative_differential;
+        ] );
+    ]

@@ -1,0 +1,211 @@
+(** Tests for the graph substrate: deterministic RNG, generators and
+    the reference algorithms the SQL answers are checked against. *)
+
+module Rng = Dbspinner_graph.Rng
+module Graph_gen = Dbspinner_graph.Graph_gen
+module Datasets = Dbspinner_graph.Datasets
+module Ref_pagerank = Dbspinner_graph.Ref_pagerank
+module Ref_sssp = Dbspinner_graph.Ref_sssp
+module Ref_forecast = Dbspinner_graph.Ref_forecast
+module Relation = Dbspinner_storage.Relation
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same sequence" (Rng.int a 1000) (Rng.int b 1000)
+  done;
+  let c = Rng.create 43 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Rng.int a 1000 <> Rng.int c 1000 then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_rng_ranges () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 10 in
+    Alcotest.(check bool) "int in range" true (v >= 0 && v < 10);
+    let f = Rng.float rng in
+    Alcotest.(check bool) "float in range" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_uniform_generator () =
+  let g = Graph_gen.uniform ~seed:1 ~num_nodes:50 ~num_edges:200 in
+  Alcotest.(check int) "edge count" 200 (Graph_gen.num_edges g);
+  Array.iter
+    (fun (e : Graph_gen.edge) ->
+      Alcotest.(check bool) "no self loops" true (e.src <> e.dst);
+      Alcotest.(check bool) "in range" true
+        (e.src >= 0 && e.src < 50 && e.dst >= 0 && e.dst < 50);
+      Alcotest.(check bool) "weight positive" true (e.weight > 0.0))
+    (Graph_gen.edges g)
+
+let test_power_law_generator () =
+  let g = Graph_gen.power_law ~seed:2 ~num_nodes:500 ~edges_per_node:3 in
+  Alcotest.(check bool) "roughly m edges per node" true
+    (Graph_gen.num_edges g > 400 && Graph_gen.num_edges g < 1600);
+  (* Degree skew: the max in-degree should far exceed the average. *)
+  let in_deg = Array.make 500 0 in
+  Array.iter
+    (fun (e : Graph_gen.edge) -> in_deg.(e.dst) <- in_deg.(e.dst) + 1)
+    (Graph_gen.edges g);
+  let max_deg = Array.fold_left max 0 in_deg in
+  let avg = float_of_int (Graph_gen.num_edges g) /. 500.0 in
+  Alcotest.(check bool) "heavy tail" true (float_of_int max_deg > 4.0 *. avg);
+  (* Determinism. *)
+  let g2 = Graph_gen.power_law ~seed:2 ~num_nodes:500 ~edges_per_node:3 in
+  Alcotest.(check bool) "deterministic" true
+    (Graph_gen.edges g = Graph_gen.edges g2)
+
+let test_adjacency_views () =
+  let g =
+    {
+      Graph_gen.num_nodes = 3;
+      edges =
+        [|
+          { Graph_gen.src = 0; dst = 1; weight = 1.0 };
+          { Graph_gen.src = 0; dst = 2; weight = 2.0 };
+          { Graph_gen.src = 1; dst = 2; weight = 3.0 };
+        |];
+    }
+  in
+  let out_adj = Graph_gen.out_adjacency g in
+  Alcotest.(check int) "out degree of 0" 2 (List.length out_adj.(0));
+  let in_adj = Graph_gen.in_adjacency g in
+  Alcotest.(check int) "in degree of 2" 2 (List.length in_adj.(2));
+  let rel = Graph_gen.edges_relation g in
+  Alcotest.(check int) "relation rows" 3 (Relation.cardinality rel)
+
+let test_vertex_status_consistency () =
+  let g = Graph_gen.uniform ~seed:3 ~num_nodes:100 ~num_edges:50 in
+  let rel = Graph_gen.vertex_status_relation ~seed:5 ~inactive_fraction:0.3 g in
+  let arr = Graph_gen.vertex_status_array ~seed:5 ~inactive_fraction:0.3 g in
+  Alcotest.(check int) "one row per node" 100 (Relation.cardinality rel);
+  Relation.iter
+    (fun row ->
+      let node = Dbspinner_storage.Value.to_int row.(0) in
+      let status = Dbspinner_storage.Value.to_int row.(1) in
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d consistent" node)
+        arr.(node) (status = 1))
+    rel;
+  let inactive = Array.length (Array.of_seq (Seq.filter not (Array.to_seq arr))) in
+  Alcotest.(check bool) "roughly 30% inactive" true
+    (inactive > 15 && inactive < 45)
+
+let test_datasets_ratios () =
+  List.iter
+    (fun (spec : Datasets.spec) ->
+      let g = Datasets.generate ~scale:0.1 spec in
+      let ratio =
+        float_of_int (Graph_gen.num_edges g) /. float_of_int (Graph_gen.num_nodes g)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s edge/node ratio near %d" spec.name spec.edges_per_node)
+        true
+        (ratio > float_of_int spec.edges_per_node *. 0.5
+        && ratio < float_of_int spec.edges_per_node *. 1.5))
+    Datasets.all
+
+(* ------------------------------------------------------------------ *)
+(* Reference algorithms                                                *)
+
+(* Hand-checkable graph: 0 -> 1 (w 1), 1 -> 2 (w 2), 0 -> 2 (w 5). *)
+let small =
+  {
+    Graph_gen.num_nodes = 3;
+    edges =
+      [|
+        { Graph_gen.src = 0; dst = 1; weight = 1.0 };
+        { Graph_gen.src = 1; dst = 2; weight = 2.0 };
+        { Graph_gen.src = 0; dst = 2; weight = 5.0 };
+      |];
+  }
+
+let test_dijkstra_small () =
+  let d = Ref_sssp.dijkstra small ~source:0 in
+  Alcotest.(check (float 1e-9)) "d(0)" 0.0 d.(0);
+  Alcotest.(check (float 1e-9)) "d(1)" 1.0 d.(1);
+  Alcotest.(check (float 1e-9)) "d(2) via 1" 3.0 d.(2)
+
+let test_sssp_reference_converges_to_dijkstra () =
+  let g = Graph_gen.uniform ~seed:11 ~num_nodes:60 ~num_edges:240 in
+  let st = Ref_sssp.run g ~source:0 ~iterations:70 in
+  let d = Ref_sssp.dijkstra g ~source:0 in
+  for v = 0 to 59 do
+    Alcotest.(check (float 1e-6))
+      (Printf.sprintf "node %d" v)
+      d.(v) (Ref_sssp.best st v)
+  done
+
+let test_pagerank_reference_first_steps () =
+  (* One iteration by hand on the small graph:
+     rank_1 = 0.15 everywhere; delta_1(v) = 0.85 * sum_in(0.15 * w). *)
+  let st = Ref_pagerank.run small ~iterations:1 in
+  Alcotest.(check (float 1e-9)) "rank after 1" 0.15 st.rank.(0);
+  Alcotest.(check (float 1e-9)) "delta(0) no in-edges" 0.0 st.delta.(0);
+  Alcotest.(check (float 1e-9)) "delta(1) = .85*.15*1" 0.1275 st.delta.(1);
+  Alcotest.(check (float 1e-9)) "delta(2) = .85*.15*(2+5)" 0.8925 st.delta.(2)
+
+let test_classic_pagerank_sums_to_one () =
+  let g = Graph_gen.power_law ~seed:4 ~num_nodes:200 ~edges_per_node:3 in
+  let rank = Ref_pagerank.classic g ~iterations:50 ~damping:0.85 in
+  let total = Array.fold_left ( +. ) 0.0 rank in
+  Alcotest.(check (float 1e-6)) "probability mass conserved" 1.0 total
+
+let test_forecast_reference () =
+  (* Node 0 has out-degree 2: friendsPrev = ceil(2 * 1.0) = 2.
+     Iteration: friends' = (2/2)*2 = 2 (fixed point for factor 1). *)
+  let entries = Ref_forecast.run small ~iterations:3 in
+  let node0 = List.find (fun (e : Ref_forecast.entry) -> e.node = 0) entries in
+  Alcotest.(check (float 1e-9)) "node 0 stable" 2.0 node0.friends;
+  (* Node 1: degree 1, factor 1 - 1/100 = 0.99, prev = ceil(0.99) = 1:
+     friends' = (1/1)*1 = 1 — also stable. *)
+  let node1 = List.find (fun (e : Ref_forecast.entry) -> e.node = 1) entries in
+  Alcotest.(check (float 1e-9)) "node 1 stable" 1.0 node1.friends;
+  (* Node 2 has no outgoing edges: absent. *)
+  Alcotest.(check int) "only source nodes present" 2 (List.length entries)
+
+let test_forecast_final_filter () =
+  let entries =
+    [
+      { Ref_forecast.node = 0; friends = 5.0; friends_prev = 1.0 };
+      { Ref_forecast.node = 10; friends = 9.0; friends_prev = 1.0 };
+      { Ref_forecast.node = 15; friends = 7.0; friends_prev = 1.0 };
+    ]
+  in
+  let top = Ref_forecast.final ~modulus:5 ~limit:2 entries in
+  Alcotest.(check (list int)) "modulus and order"
+    [ 10; 15 ]
+    (List.map (fun (e : Ref_forecast.entry) -> e.node) top)
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "ranges" `Quick test_rng_ranges;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "uniform" `Quick test_uniform_generator;
+          Alcotest.test_case "power-law" `Quick test_power_law_generator;
+          Alcotest.test_case "adjacency" `Quick test_adjacency_views;
+          Alcotest.test_case "vertex-status" `Quick test_vertex_status_consistency;
+          Alcotest.test_case "dataset-ratios" `Quick test_datasets_ratios;
+        ] );
+      ( "references",
+        [
+          Alcotest.test_case "dijkstra-small" `Quick test_dijkstra_small;
+          Alcotest.test_case "sssp-converges" `Quick
+            test_sssp_reference_converges_to_dijkstra;
+          Alcotest.test_case "pagerank-first-steps" `Quick
+            test_pagerank_reference_first_steps;
+          Alcotest.test_case "classic-pagerank-mass" `Quick
+            test_classic_pagerank_sums_to_one;
+          Alcotest.test_case "forecast" `Quick test_forecast_reference;
+          Alcotest.test_case "forecast-final" `Quick test_forecast_final_filter;
+        ] );
+    ]

@@ -1,0 +1,492 @@
+(** Cross-module integration tests: multi-CTE queries, recursive +
+    iterative mixes, the Table-I plan snapshot, CSV-loaded workloads,
+    distributed execution of real query plans, and failure injection
+    (errors mid-script leave the engine usable). *)
+
+module Value = Dbspinner_storage.Value
+module Schema = Dbspinner_storage.Schema
+module Relation = Dbspinner_storage.Relation
+module Catalog = Dbspinner_storage.Catalog
+module Csv = Dbspinner_storage.Csv
+module Column_type = Dbspinner_storage.Column_type
+module Parser = Dbspinner_sql.Parser
+module Options = Dbspinner_rewrite.Options
+module Iterative_rewrite = Dbspinner_rewrite.Iterative_rewrite
+module Explain = Dbspinner_plan.Explain
+module Graph_gen = Dbspinner_graph.Graph_gen
+module Queries = Dbspinner_workload.Queries
+module Loader = Dbspinner_workload.Loader
+module Distributed = Dbspinner_mpp.Distributed
+module Engine = Dbspinner.Engine
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Multi-CTE and mixed queries                                         *)
+
+let test_multiple_ctes_chain () =
+  let e = tiny_graph_engine () in
+  (* A plain CTE feeding an iterative CTE feeding the final query. *)
+  check_query e
+    {|WITH sources AS (SELECT DISTINCT src AS node FROM edges),
+          ITERATIVE grow (node, gen) AS (
+            SELECT node, 0 FROM sources
+            ITERATE SELECT node, gen + 1 FROM grow
+            UNTIL 3 ITERATIONS)
+      SELECT COUNT(*) AS n, MAX(gen) AS g FROM grow|}
+    [ "n"; "g" ]
+    [ [ vi 4; vi 3 ] ]
+
+let test_two_iterative_ctes () =
+  let e = Engine.create () in
+  check_query e
+    {|WITH ITERATIVE a (k, x) AS (SELECT 1, 0 ITERATE SELECT k, x + 1 FROM a UNTIL 3 ITERATIONS),
+          ITERATIVE b (k, y) AS (SELECT 1, 100 ITERATE SELECT k, y - 1 FROM b UNTIL 5 ITERATIONS)
+      SELECT a.x, b.y FROM a JOIN b ON a.k = b.k|}
+    [ "x"; "y" ]
+    [ [ vi 3; vi 95 ] ]
+
+let test_iterative_cte_reads_plain_cte () =
+  (* The iterative body joins against an earlier CTE every round. *)
+  let e = tiny_graph_engine () in
+  check_query e
+    {|WITH step_size AS (SELECT COUNT(*) AS n FROM edges),
+          ITERATIVE c (k, total) AS (
+            SELECT 1, 0
+            ITERATE SELECT c.k, c.total + step_size.n FROM c JOIN step_size ON 1 = 1
+            UNTIL 4 ITERATIONS)
+      SELECT total FROM c|}
+    [ "total" ]
+    [ [ vi 20 ] ]
+
+let test_recursive_then_iterative () =
+  let e = tiny_graph_engine () in
+  (* Recursive reachability from node 4 feeds an iterative counter. *)
+  check_query e
+    {|WITH RECURSIVE reach (n) AS (SELECT 4 UNION SELECT e.dst FROM reach JOIN edges AS e ON reach.n = e.src),
+          ITERATIVE sized (k, c) AS (
+            SELECT 1, 0
+            ITERATE SELECT sized.k, r.cnt FROM sized JOIN (SELECT COUNT(*) AS cnt FROM reach) AS r ON 1 = 1
+            UNTIL 1 ITERATIONS)
+      SELECT c FROM sized|}
+    [ "c" ]
+    [ [ vi 4 ] ]
+
+let test_recursive_union_all_paths () =
+  (* UNION ALL recursive CTE counts paths, not just reachable nodes:
+     1->3 directly and via 2, bounded by depth. *)
+  let e = Engine.create () in
+  ignore (Engine.execute e "CREATE TABLE g (src INT, dst INT)");
+  ignore (Engine.execute e "INSERT INTO g VALUES (1, 2), (2, 3), (1, 3)");
+  check_query e
+    {|WITH RECURSIVE p (node, depth) AS (
+        SELECT 1, 0
+        UNION ALL
+        SELECT g.dst, p.depth + 1 FROM p JOIN g ON p.node = g.src WHERE p.depth < 3)
+      SELECT node, COUNT(*) AS paths FROM p GROUP BY node ORDER BY node|}
+    [ "node"; "paths" ]
+    [ [ vi 1; vi 1 ]; [ vi 2; vi 1 ]; [ vi 3; vi 2 ] ]
+
+(* ------------------------------------------------------------------ *)
+(* Table I snapshot                                                    *)
+
+let test_table1_snapshot () =
+  (* The compiled PR program rendered as EXPLAIN must follow the exact
+     step skeleton of the paper's Table I. *)
+  let e = tiny_graph_engine () in
+  let text = Engine.explain e (Queries.pr ~iterations:10 ()) in
+  let expected_order =
+    [
+      "Materialize PageRank";  (* step 1: materialize R0 *)
+      "InitLoop";              (* step 2: initialize counter *)
+      "Snapshot";
+      "Materialize PageRank#work";  (* step 3: iterate *)
+      "AssertUniqueKey";
+      "Rename PageRank#work -> PageRank";  (* step 4: rename *)
+      "LoopEnd";               (* steps 5-6: counter, conditional jump *)
+      "Return";
+    ]
+  in
+  let rec check_order pos = function
+    | [] -> ()
+    | needle :: rest -> (
+      match find_substring (String.sub text pos (String.length text - pos)) needle with
+      | Some i -> check_order (pos + i + String.length needle) rest
+      | None -> Alcotest.failf "EXPLAIN missing %S after position %d" needle pos)
+  in
+  check_order 0 expected_order
+
+(* ------------------------------------------------------------------ *)
+(* CSV-loaded end-to-end                                               *)
+
+let test_csv_to_query_pipeline () =
+  (* Save a generated graph to CSV, load it into a fresh engine via
+     Csv.load, and run PR — results must match the directly-loaded
+     engine. *)
+  let g = Graph_gen.uniform ~seed:21 ~num_nodes:40 ~num_edges:120 in
+  let direct = Loader.engine_for ~with_vertex_status:false g in
+  let q = Queries.pr ~iterations:5 ~final:"SELECT Node, Rank FROM PageRank" () in
+  let expected = Engine.query direct q in
+  let path = Filename.temp_file "dbspinner_edges" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv.save (Graph_gen.edges_relation g) path;
+      let loaded = Csv.load ~schema:Graph_gen.edges_schema path in
+      let e2 = Engine.create () in
+      Engine.load_table e2 ~name:"edges" loaded;
+      Alcotest.check relation_testable "CSV round-trip preserves PR" expected
+        (Engine.query e2 q))
+
+(* ------------------------------------------------------------------ *)
+(* Distributed execution of real plans                                 *)
+
+let test_distributed_pr_iteration_body () =
+  (* Run the PR iterative-part plan both single-node and distributed;
+     results must agree and shuffles must be reported. *)
+  let g = Graph_gen.power_law ~seed:31 ~num_nodes:80 ~edges_per_node:3 in
+  let e = Loader.engine_for g in
+  let q = Parser.parse_query (Queries.pr ~iterations:2 ()) in
+  let program =
+    Iterative_rewrite.compile ~options:Options.default
+      ~lookup:(fun name ->
+        match Catalog.find_table_opt (Engine.catalog e) name with
+        | Some t -> Some (Dbspinner_storage.Table.schema t)
+        | None -> None)
+      q
+  in
+  (* Fish the working-table plan out of the compiled program. *)
+  let step_plan =
+    Array.find_map
+      (function
+        | Dbspinner_plan.Program.Materialize { target; plan }
+          when contains target "#work" ->
+          Some plan
+        | _ -> None)
+      (Dbspinner_plan.Program.steps program)
+    |> Option.get
+  in
+  (* Materialize the base CTE table first so the step plan can scan it. *)
+  let base_plan =
+    match (Dbspinner_plan.Program.steps program).(0) with
+    | Dbspinner_plan.Program.Materialize { plan; _ } -> plan
+    | _ -> Alcotest.fail "first step should materialize the base"
+  in
+  let stats = Dbspinner_exec.Stats.create () in
+  let catalog = Engine.catalog e in
+  Catalog.set_temp catalog "PageRank"
+    (Dbspinner_exec.Executor.run_plan ~stats catalog base_plan);
+  let single = Dbspinner_exec.Executor.run_plan ~stats catalog step_plan in
+  let dist, shuffles = Distributed.run_plan ~workers:4 catalog step_plan in
+  Catalog.clear_temps catalog;
+  (* Distributed SUMs add floats in a different order, so compare with
+     a numeric tolerance rather than exact bag equality. *)
+  let close a b =
+    Float.abs (a -. b) <= 1e-9 *. (1.0 +. Float.abs a +. Float.abs b)
+  in
+  let approx_equal a b =
+    Relation.cardinality a = Relation.cardinality b
+    &&
+    let sa = Relation.sorted a and sb = Relation.sorted b in
+    Array.for_all2
+      (fun (ra : Dbspinner_storage.Row.t) rb ->
+        Array.for_all2
+          (fun va vb ->
+            match (va : Value.t), (vb : Value.t) with
+            | (Value.Int _ | Value.Float _), (Value.Int _ | Value.Float _) ->
+              close (Value.to_float va) (Value.to_float vb)
+            | _ -> Value.equal va vb)
+          ra rb)
+      (Relation.rows sa) (Relation.rows sb)
+  in
+  Alcotest.(check bool) "distributed = single node (approx)" true
+    (approx_equal single dist);
+  Alcotest.(check bool) "join repartitioning happened" true
+    (shuffles.Distributed.exchanges > 0)
+
+let test_distributed_program_matches_single_node () =
+  (* The whole PR step program executed distributed: gathered result
+     must match single-node execution (approximately: float summation
+     order differs), and the common-result rewrite must reduce the
+     exchange volume — the MPP version of the paper's §V-A argument. *)
+  let g = Graph_gen.power_law ~seed:41 ~num_nodes:70 ~edges_per_node:3 in
+  let e = Loader.engine_for g in
+  let compile options =
+    Iterative_rewrite.compile ~options
+      ~lookup:(fun name ->
+        Option.map Dbspinner_storage.Table.schema
+          (Catalog.find_table_opt (Engine.catalog e) name))
+      (Parser.parse_query (Queries.pr_vs ~iterations:4 ()))
+  in
+  let single =
+    Dbspinner_exec.Executor.run_program (Engine.catalog e)
+      (compile Options.default)
+  in
+  Catalog.clear_temps (Engine.catalog e);
+  let dist, with_common =
+    Distributed.run_program ~workers:4 (Engine.catalog e)
+      (compile Options.default)
+  in
+  let close a b = Float.abs (a -. b) <= 1e-9 *. (1.0 +. Float.abs a +. Float.abs b) in
+  let approx_equal a b =
+    Relation.cardinality a = Relation.cardinality b
+    &&
+    let sa = Relation.sorted a and sb = Relation.sorted b in
+    Array.for_all2
+      (fun (ra : Dbspinner_storage.Row.t) rb ->
+        Array.for_all2
+          (fun va vb ->
+            match (va : Value.t), (vb : Value.t) with
+            | (Value.Int _ | Value.Float _), (Value.Int _ | Value.Float _) ->
+              close (Value.to_float va) (Value.to_float vb)
+            | _ -> Value.equal va vb)
+          ra rb)
+      (Relation.rows sa) (Relation.rows sb)
+  in
+  Alcotest.(check bool) "distributed program = single node" true
+    (approx_equal single dist);
+  let _, without_common =
+    Distributed.run_program ~workers:4 (Engine.catalog e)
+      (compile { Options.default with use_common_result = false })
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "common result cuts shuffles (%d vs %d rows)"
+       with_common.Distributed.rows_shuffled
+       without_common.Distributed.rows_shuffled)
+    true
+    (with_common.Distributed.rows_shuffled
+    < without_common.Distributed.rows_shuffled)
+
+let test_preaggregation_cuts_shuffle_volume () =
+  (* 4000 rows in 10 groups: local pre-aggregation means at most
+     workers * groups partial rows cross the network instead of the
+     raw rows. *)
+  let rows =
+    Array.init 4000 (fun i ->
+        [| Value.Int (i mod 10); Value.Int i |])
+  in
+  let catalog = Catalog.create () in
+  Catalog.set_temp catalog "big"
+    (Relation.make (Schema.of_names [ "g"; "v" ]) rows);
+  let plan =
+    Dbspinner_plan.Logical.aggregate
+      ~keys:[ Dbspinner_plan.Bound_expr.B_col 0 ]
+      ~key_names:[ "g" ]
+      ~aggs:
+        [
+          {
+            Dbspinner_plan.Logical.agg_kind = Dbspinner_sql.Ast.Sum;
+            agg_distinct = false;
+            agg_arg = Dbspinner_plan.Bound_expr.B_col 1;
+          };
+        ]
+      ~agg_names:[ "s" ]
+      (Dbspinner_plan.Logical.scan ~name:"big" ~schema:(Schema.of_names [ "g"; "v" ]))
+  in
+  let stats = Dbspinner_exec.Stats.create () in
+  let single = Dbspinner_exec.Executor.run_plan ~stats catalog plan in
+  let dist, shuffles = Distributed.run_plan ~workers:4 catalog plan in
+  Alcotest.check relation_testable "pre-aggregated result correct" single dist;
+  Alcotest.(check bool)
+    (Printf.sprintf "shuffled %d rows, expected at most 40"
+       shuffles.Distributed.rows_shuffled)
+    true
+    (shuffles.Distributed.rows_shuffled <= 4 * 10)
+
+let test_distinct_aggregate_not_preaggregated () =
+  (* COUNT(DISTINCT v) must not be combined from partials; results must
+     still be correct (the executor falls back to raw repartition). *)
+  let rows = Array.init 100 (fun i -> [| Value.Int (i mod 5); Value.Int (i mod 7) |]) in
+  let catalog = Catalog.create () in
+  Catalog.set_temp catalog "d" (Relation.make (Schema.of_names [ "g"; "v" ]) rows);
+  let plan =
+    Dbspinner_plan.Logical.aggregate
+      ~keys:[ Dbspinner_plan.Bound_expr.B_col 0 ]
+      ~key_names:[ "g" ]
+      ~aggs:
+        [
+          {
+            Dbspinner_plan.Logical.agg_kind = Dbspinner_sql.Ast.Count;
+            agg_distinct = true;
+            agg_arg = Dbspinner_plan.Bound_expr.B_col 1;
+          };
+        ]
+      ~agg_names:[ "c" ]
+      (Dbspinner_plan.Logical.scan ~name:"d" ~schema:(Schema.of_names [ "g"; "v" ]))
+  in
+  let stats = Dbspinner_exec.Stats.create () in
+  let single = Dbspinner_exec.Executor.run_plan ~stats catalog plan in
+  let dist, _ = Distributed.run_plan ~workers:3 catalog plan in
+  Alcotest.check relation_testable "distinct aggregate correct" single dist
+
+(* ------------------------------------------------------------------ *)
+(* Paper fidelity: Figure 1 vs Figure 2                                *)
+
+let test_figure1_script_equals_figure2_cte () =
+  (* The paper's Figure 1 expresses PageRank as a hand-written
+     multi-statement script (CREATE/INSERT/DELETE/UPDATE per
+     iteration); Figure 2 is the same computation as one iterative
+     CTE. Run both on the same graph and compare. *)
+  let g = Graph_gen.power_law ~seed:51 ~num_nodes:50 ~edges_per_node:3 in
+  let e = Loader.engine_for ~with_vertex_status:false g in
+  let iterations = 3 in
+  (* Figure 1, verbatim structure (the COALESCE mirrors the workload
+     query so nodes without in-edges keep defined deltas). *)
+  let setup =
+    {|CREATE TABLE IntermediateTable (node INT, rank FLOAT, delta FLOAT);
+      CREATE TABLE PageRankT (node INT, rank FLOAT, delta FLOAT);
+      INSERT INTO PageRankT
+        SELECT src, 0, 0.15
+        FROM (SELECT src FROM edges UNION SELECT dst FROM edges)|}
+  in
+  let iteration =
+    {|DELETE FROM IntermediateTable;
+      INSERT INTO IntermediateTable
+        SELECT PageRankT.node,
+               PageRankT.rank + PageRankT.delta,
+               COALESCE(0.85 * SUM(IncomingRank.delta * IncomingEdges.Weight), 0)
+        FROM PageRankT
+          LEFT JOIN edges AS IncomingEdges
+            ON PageRankT.node = IncomingEdges.dst
+          LEFT JOIN PageRankT AS IncomingRank
+            ON IncomingRank.node = IncomingEdges.src
+        GROUP BY PageRankT.node, PageRankT.rank + PageRankT.delta;
+      UPDATE PageRankT
+         SET rank = IntermediateTable.rank,
+             delta = IntermediateTable.delta
+        FROM IntermediateTable
+       WHERE PageRankT.node = IntermediateTable.node|}
+  in
+  ignore (Engine.execute_script e setup);
+  for _ = 1 to iterations do
+    ignore (Engine.execute_script e iteration)
+  done;
+  let figure1 =
+    Engine.query e "SELECT node, rank FROM PageRankT ORDER BY node"
+  in
+  let figure2 =
+    Engine.query e
+      (Queries.pr ~iterations
+         ~final:"SELECT Node, Rank FROM PageRank ORDER BY Node" ())
+  in
+  Alcotest.check relation_testable "Figure 1 script = Figure 2 CTE" figure2
+    figure1
+
+(* ------------------------------------------------------------------ *)
+(* Failure injection                                                   *)
+
+let test_engine_survives_errors () =
+  let e = tiny_graph_engine () in
+  (* A failing query (division by zero at runtime) must not leave stale
+     temps or corrupt the session. *)
+  (match Engine.query e
+           "WITH ITERATIVE r (k, v) AS (SELECT 1, 4 ITERATE SELECT k, v / (v \
+            - v) FROM r UNTIL 3 ITERATIONS) SELECT * FROM r"
+   with
+  | exception Dbspinner.Errors.Error (_, _) -> ()
+  | _ -> Alcotest.fail "expected division by zero");
+  Alcotest.(check (list string)) "no leaked temps" []
+    (Catalog.temp_names (Engine.catalog e));
+  (* The engine still answers queries. *)
+  check_query e "SELECT COUNT(*) FROM edges" [ "count" ] [ [ vi 5 ] ]
+
+let test_duplicate_key_error_message_guides_user () =
+  let e = Engine.create () in
+  ignore (Engine.execute e "CREATE TABLE pairs (k INT, v INT)");
+  ignore (Engine.execute e "INSERT INTO pairs VALUES (1, 10), (1, 20)");
+  match
+    Engine.query e
+      "WITH ITERATIVE r (k, v) AS (SELECT 0, 0 ITERATE SELECT k, v FROM \
+       pairs UNTIL 2 ITERATIONS) SELECT * FROM r"
+  with
+  | exception Dbspinner.Errors.Error (_, msg) ->
+    Alcotest.(check bool) "suggests aggregation" true
+      (contains msg "aggregation" || contains msg "GROUP BY")
+  | _ -> Alcotest.fail "expected duplicate-key error"
+
+(* ------------------------------------------------------------------ *)
+(* Update-count termination across the merge path                      *)
+
+let updates_expected () =
+  rel [ "k"; "v" ] [ [ vi 1; vi 0 ]; [ vi 2; vi 2 ]; [ vi 3; vi 2 ] ]
+
+let test_updates_termination_counts_changed_rows () =
+  (* Working set shrinks: keys <= iteration stop changing. UNTIL n
+     UPDATES terminates once the cumulative changed-row count hits n. *)
+  let e = Engine.create () in
+  ignore (Engine.execute e "CREATE TABLE seed (k INT, v INT)");
+  ignore (Engine.execute e "INSERT INTO seed VALUES (1, 0), (2, 0), (3, 0)");
+  let rel =
+    Engine.query e
+      "WITH ITERATIVE r (k, v) AS (SELECT k, v FROM seed ITERATE SELECT k, v \
+       + 1 FROM r WHERE k > 1 UNTIL 4 UPDATES) SELECT k, v FROM r"
+  in
+  (* Each iteration updates rows 2 and 3 (2 updates); cumulative counts
+     2 then 4 -> exactly two iterations run. *)
+  Alcotest.check relation_testable "two iterations of partial updates"
+    (updates_expected ())
+    rel
+
+(* ------------------------------------------------------------------ *)
+(* Ordering and limits after iteration                                 *)
+
+let test_final_order_limit_over_iterative () =
+  let e = tiny_graph_engine () in
+  let rel =
+    Engine.query e
+      (Queries.pr ~iterations:5
+         ~final:"SELECT Node, Rank FROM PageRank ORDER BY Rank DESC LIMIT 2" ())
+  in
+  Alcotest.(check int) "limited" 2 (Relation.cardinality rel);
+  let rows = Relation.rows rel in
+  Alcotest.(check bool) "descending" true
+    (Value.compare rows.(0).(1) rows.(1).(1) >= 0)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "multi-cte",
+        [
+          Alcotest.test_case "plain-feeds-iterative" `Quick test_multiple_ctes_chain;
+          Alcotest.test_case "two-iterative" `Quick test_two_iterative_ctes;
+          Alcotest.test_case "iterative-reads-plain" `Quick
+            test_iterative_cte_reads_plain_cte;
+          Alcotest.test_case "recursive-then-iterative" `Quick
+            test_recursive_then_iterative;
+          Alcotest.test_case "recursive-union-all" `Quick
+            test_recursive_union_all_paths;
+        ] );
+      ("table1", [ Alcotest.test_case "snapshot" `Quick test_table1_snapshot ]);
+      ( "paper-fidelity",
+        [
+          Alcotest.test_case "figure1-equals-figure2" `Quick
+            test_figure1_script_equals_figure2_cte;
+        ] );
+      ("csv", [ Alcotest.test_case "pipeline" `Quick test_csv_to_query_pipeline ]);
+      ( "distributed",
+        [
+          Alcotest.test_case "pr-iteration-body" `Quick
+            test_distributed_pr_iteration_body;
+          Alcotest.test_case "program-distributed" `Quick
+            test_distributed_program_matches_single_node;
+          Alcotest.test_case "pre-aggregation" `Quick
+            test_preaggregation_cuts_shuffle_volume;
+          Alcotest.test_case "distinct-no-preagg" `Quick
+            test_distinct_aggregate_not_preaggregated;
+        ] );
+      ( "failure-injection",
+        [
+          Alcotest.test_case "survives-errors" `Quick test_engine_survives_errors;
+          Alcotest.test_case "duplicate-key-guidance" `Quick
+            test_duplicate_key_error_message_guides_user;
+        ] );
+      ( "termination",
+        [
+          Alcotest.test_case "updates-counting" `Quick
+            test_updates_termination_counts_changed_rows;
+        ] );
+      ( "final-part",
+        [
+          Alcotest.test_case "order-limit" `Quick
+            test_final_order_limit_over_iterative;
+        ] );
+    ]

@@ -1,0 +1,264 @@
+(** Unit tests for the planner layer: name resolution, aggregate
+    splitting, star expansion, ORDER BY binding, plan schemas, plan
+    traversals and EXPLAIN rendering. *)
+
+module Schema = Dbspinner_storage.Schema
+module Ast = Dbspinner_sql.Ast
+module Parser = Dbspinner_sql.Parser
+module Binder = Dbspinner_plan.Binder
+module Logical = Dbspinner_plan.Logical
+module Bound_expr = Dbspinner_plan.Bound_expr
+module Explain = Dbspinner_plan.Explain
+open Helpers
+
+(* A fixed environment: t(a, b, c) and u(a, x). *)
+let env =
+  Binder.env_of_lookup (fun name ->
+      match String.lowercase_ascii name with
+      | "t" -> Some (Schema.of_names [ "a"; "b"; "c" ])
+      | "u" -> Some (Schema.of_names [ "a"; "x" ])
+      | _ -> None)
+
+let bind sql = Binder.bind_query env (Parser.parse_query sql).Ast.body
+
+let bind_full sql =
+  let q = Parser.parse_query sql in
+  Binder.bind_ordered env q.Ast.body q.Ast.order_by q.Ast.limit
+
+let names plan = Schema.column_names (Logical.schema plan)
+
+let fails_with fragment f =
+  match f () with
+  | exception Binder.Bind_error m ->
+    Alcotest.(check bool)
+      (Printf.sprintf "error mentions %S (got %S)" fragment m)
+      true (contains m fragment)
+  | _ -> Alcotest.failf "expected bind error mentioning %S" fragment
+
+(* ------------------------------------------------------------------ *)
+
+let test_output_names () =
+  Alcotest.(check (list string)) "aliases and derived names"
+    [ "a"; "bee"; "sum"; "coalesce" ]
+    (names (bind "SELECT a, b AS bee, SUM(c) AS sum, COALESCE(a, b) FROM t GROUP BY a, b"))
+
+let test_star_expansion () =
+  Alcotest.(check (list string)) "star expands in order" [ "a"; "b"; "c" ]
+    (names (bind "SELECT * FROM t"));
+  Alcotest.(check (list string)) "star across join"
+    [ "a"; "b"; "c"; "a"; "x" ]
+    (names (bind "SELECT * FROM t JOIN u ON t.a = u.a"))
+
+let test_unknown_and_ambiguous () =
+  fails_with "unknown column" (fun () -> bind "SELECT nope FROM t");
+  fails_with "unknown table" (fun () -> bind "SELECT 1 FROM missing");
+  fails_with "ambiguous" (fun () -> bind "SELECT a FROM t JOIN u ON t.a = u.a");
+  (* Qualification resolves the ambiguity. *)
+  ignore (bind "SELECT t.a FROM t JOIN u ON t.a = u.a")
+
+let test_alias_scoping () =
+  (* Aliased table: original name no longer resolves the qualifier. *)
+  ignore (bind "SELECT z.a FROM t AS z");
+  fails_with "unknown column" (fun () -> bind "SELECT t.a FROM t AS z")
+
+let test_aggregate_rules () =
+  fails_with "GROUP BY" (fun () -> bind "SELECT a, SUM(b) FROM t");
+  fails_with "WHERE" (fun () -> bind "SELECT a FROM t WHERE SUM(b) > 1");
+  (* Key matched structurally: expression key reused in items. *)
+  ignore (bind "SELECT a + b, COUNT(*) FROM t GROUP BY a + b");
+  (* Same column spelled qualified and unqualified. *)
+  ignore (bind "SELECT t.a FROM t GROUP BY a");
+  (* HAVING over an aggregate not in the items. *)
+  ignore (bind "SELECT a FROM t GROUP BY a HAVING MAX(b) > 2")
+
+let test_group_key_schema () =
+  match bind "SELECT a, COUNT(*) AS n FROM t GROUP BY a" with
+  | Logical.L_project { input = Logical.L_aggregate { agg_schema; keys; aggs; _ }; _ }
+    ->
+    Alcotest.(check int) "one key" 1 (List.length keys);
+    Alcotest.(check int) "one agg" 1 (List.length aggs);
+    Alcotest.(check (list string)) "aggregate schema"
+      [ "a"; "_agg0" ]
+      (Schema.column_names agg_schema)
+  | _ -> Alcotest.fail "expected project over aggregate"
+
+let test_order_by_binding () =
+  (match bind_full "SELECT a, b FROM t ORDER BY b DESC, 1 LIMIT 2" with
+  | Logical.L_limit (2, Logical.L_sort { keys = [ (k1, true); (k2, false) ]; _ }) ->
+    Alcotest.(check bool) "desc key is col 1" true (k1 = Bound_expr.B_col 1);
+    Alcotest.(check bool) "positional is col 0" true (k2 = Bound_expr.B_col 0)
+  | _ -> Alcotest.fail "expected limit over sort");
+  fails_with "out of range" (fun () -> bind_full "SELECT a FROM t ORDER BY 5")
+
+let test_union_binding () =
+  (* UNION dedupes, UNION ALL does not; arity mismatch rejected. *)
+  (match bind "SELECT a FROM t UNION SELECT a FROM u" with
+  | Logical.L_distinct (Logical.L_union { all = false; _ }) -> ()
+  | _ -> Alcotest.fail "union should dedupe");
+  (match bind "SELECT a FROM t UNION ALL SELECT a FROM u" with
+  | Logical.L_union { all = true; _ } -> ()
+  | _ -> Alcotest.fail "union all is bare");
+  fails_with "different numbers of columns" (fun () ->
+      bind "SELECT a, b FROM t UNION SELECT a FROM u")
+
+let test_no_from () =
+  match bind "SELECT 1 + 1 AS two" with
+  | Logical.L_project { exprs = [ (_, "two") ]; input = Logical.L_values _ } -> ()
+  | _ -> Alcotest.fail "expected project over values"
+
+let test_rename_output () =
+  let plan = Binder.rename_output (bind "SELECT a, b FROM t") [ "x"; "y" ] in
+  Alcotest.(check (list string)) "renamed" [ "x"; "y" ] (names plan);
+  fails_with "column list" (fun () ->
+      Binder.rename_output (bind "SELECT a FROM t") [ "x"; "y" ])
+
+let test_scalar_function_arity () =
+  fails_with "wrong number of arguments" (fun () -> bind "SELECT ABS(a, b) FROM t");
+  fails_with "unknown function" (fun () -> bind "SELECT FROBNICATE(a) FROM t")
+
+(* ------------------------------------------------------------------ *)
+(* Logical plan utilities                                              *)
+
+let test_referenced_tables_and_rename_scans () =
+  let plan = bind "SELECT t.a FROM t JOIN u ON t.a = u.a" in
+  Alcotest.(check (list string)) "referenced" [ "t"; "u" ]
+    (Logical.referenced_tables plan);
+  let renamed = Logical.rename_scans [ ("T", "t_prime") ] plan in
+  Alcotest.(check (list string)) "renamed scan" [ "t_prime"; "u" ]
+    (Logical.referenced_tables renamed)
+
+let test_plan_size () =
+  let small = Logical.size (bind "SELECT a FROM t") in
+  let large = Logical.size (bind "SELECT t.a FROM t JOIN u ON t.a = u.a WHERE t.b > 1") in
+  Alcotest.(check bool) "join plan larger" true (large > small)
+
+let test_bound_expr_utils () =
+  let e =
+    Bound_expr.B_binop
+      ( Ast.Add,
+        Bound_expr.B_col 2,
+        Bound_expr.B_func (Bound_expr.F_coalesce, [ Bound_expr.B_col 0 ]) )
+  in
+  Alcotest.(check (list int)) "columns_of" [ 0; 2 ] (Bound_expr.columns_of e);
+  Alcotest.(check (list int)) "shift" [ 5; 7 ]
+    (Bound_expr.columns_of (Bound_expr.shift 5 e))
+
+let test_explain_render () =
+  let text = Explain.plan_to_string (bind "SELECT a, COUNT(*) FROM t GROUP BY a") in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true (contains text needle))
+    [ "Project"; "Aggregate"; "Scan t"; "COUNT(*)" ]
+
+(* ------------------------------------------------------------------ *)
+(* Cost model                                                          *)
+
+module Cost = Dbspinner_plan.Cost
+module Program = Dbspinner_plan.Program
+
+let statistics =
+  {
+    Cost.cardinality_of =
+      (fun name ->
+        match String.lowercase_ascii name with
+        | "t" -> Some 1000
+        | "u" -> Some 100
+        | _ -> None);
+  }
+
+let test_cost_monotonic_in_plan_size () =
+  let base = Cost.plan statistics (bind "SELECT a FROM t") in
+  let joined =
+    Cost.plan statistics (bind "SELECT t.a FROM t JOIN u ON t.a = u.a")
+  in
+  Alcotest.(check bool) "join costs more than scan" true
+    (joined.Cost.cost > base.Cost.cost);
+  let filtered = Cost.plan statistics (bind "SELECT a FROM t WHERE a = 1") in
+  Alcotest.(check bool) "filter reduces estimated rows" true
+    (filtered.Cost.rows < base.Cost.rows)
+
+let test_cost_iteration_estimates () =
+  Alcotest.(check (float 0.001)) "metadata exact" 25.0
+    (Cost.estimate_iterations ~cte_rows:1000.0 (Program.Max_iterations 25));
+  Alcotest.(check bool) "updates scale with cte size" true
+    (Cost.estimate_iterations ~cte_rows:100.0 (Program.Max_updates 1000) = 10.0);
+  let delta =
+    Cost.estimate_iterations ~cte_rows:1000.0 (Program.Delta_at_most 0)
+  in
+  Alcotest.(check bool) "delta heuristic grows with size" true
+    (delta
+    > Cost.estimate_iterations ~cte_rows:10.0 (Program.Delta_at_most 0))
+
+let test_cost_loop_dominates_program () =
+  (* For an iterative program, the loop body times iterations should
+     dominate the total; more iterations -> more total cost. *)
+  let lookup name =
+    match String.lowercase_ascii name with
+    | "edges" -> Some (Schema.of_names [ "src"; "dst"; "weight" ])
+    | _ -> None
+  in
+  let compile n =
+    Dbspinner_rewrite.Iterative_rewrite.compile ~lookup
+      (Dbspinner_sql.Parser.parse_query
+         (Dbspinner_workload.Queries.pr ~iterations:n ()))
+  in
+  let stats_edges =
+    {
+      Cost.cardinality_of =
+        (fun name ->
+          if String.lowercase_ascii name = "edges" then Some 10_000 else None);
+    }
+  in
+  let e10 = Cost.program stats_edges (compile 10) in
+  let e50 = Cost.program stats_edges (compile 50) in
+  Alcotest.(check (float 0.001)) "iterations read from Tc" 10.0 e10.Cost.iterations;
+  Alcotest.(check bool) "more iterations cost more" true
+    (e50.Cost.total_cost > e10.Cost.total_cost);
+  Alcotest.(check bool) "loop dominates setup at 10 rounds" true
+    (e10.Cost.per_iteration_cost *. e10.Cost.iterations > e10.Cost.setup_cost)
+
+let test_cost_in_explain_output () =
+  let engine = Helpers.tiny_graph_engine () in
+  let text =
+    Dbspinner.Engine.explain engine
+      (Dbspinner_workload.Queries.pr ~iterations:10 ())
+  in
+  Alcotest.(check bool) "cost line present" true
+    (Helpers.contains text "Cost estimate");
+  Alcotest.(check bool) "iterations estimated" true
+    (Helpers.contains text "estimated-iterations=10.0")
+
+let () =
+  Alcotest.run "plan"
+    [
+      ( "binder",
+        [
+          Alcotest.test_case "output-names" `Quick test_output_names;
+          Alcotest.test_case "star-expansion" `Quick test_star_expansion;
+          Alcotest.test_case "unknown-ambiguous" `Quick test_unknown_and_ambiguous;
+          Alcotest.test_case "alias-scoping" `Quick test_alias_scoping;
+          Alcotest.test_case "aggregate-rules" `Quick test_aggregate_rules;
+          Alcotest.test_case "group-key-schema" `Quick test_group_key_schema;
+          Alcotest.test_case "order-by" `Quick test_order_by_binding;
+          Alcotest.test_case "union" `Quick test_union_binding;
+          Alcotest.test_case "no-from" `Quick test_no_from;
+          Alcotest.test_case "rename-output" `Quick test_rename_output;
+          Alcotest.test_case "function-arity" `Quick test_scalar_function_arity;
+        ] );
+      ( "logical",
+        [
+          Alcotest.test_case "referenced-tables" `Quick
+            test_referenced_tables_and_rename_scans;
+          Alcotest.test_case "plan-size" `Quick test_plan_size;
+          Alcotest.test_case "bound-expr-utils" `Quick test_bound_expr_utils;
+          Alcotest.test_case "explain" `Quick test_explain_render;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "monotonic" `Quick test_cost_monotonic_in_plan_size;
+          Alcotest.test_case "iteration-estimates" `Quick
+            test_cost_iteration_estimates;
+          Alcotest.test_case "loop-dominates" `Quick test_cost_loop_dominates_program;
+          Alcotest.test_case "in-explain" `Quick test_cost_in_explain_output;
+        ] );
+    ]

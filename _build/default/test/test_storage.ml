@@ -1,0 +1,329 @@
+(** Unit tests for the storage layer: values, schemas, relations,
+    tables, the catalog lookup table (rename!) and CSV I/O. *)
+
+module Value = Dbspinner_storage.Value
+module Column_type = Dbspinner_storage.Column_type
+module Schema = Dbspinner_storage.Schema
+module Row = Dbspinner_storage.Row
+module Relation = Dbspinner_storage.Relation
+module Table = Dbspinner_storage.Table
+module Catalog = Dbspinner_storage.Catalog
+module Csv = Dbspinner_storage.Csv
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Value                                                               *)
+
+let test_value_compare () =
+  Alcotest.(check int) "int order" (-1) (compare (Value.compare (vi 1) (vi 2)) 0);
+  Alcotest.(check bool) "int = float" true (Value.equal (vi 3) (vf 3.0));
+  Alcotest.(check bool) "null equals null (grouping)" true
+    (Value.equal vnull vnull);
+  Alcotest.(check bool) "null sorts first" true
+    (Value.compare vnull (vi (-100)) < 0);
+  Alcotest.(check bool) "string order" true (Value.compare (vs "a") (vs "b") < 0)
+
+let test_value_hash_consistent () =
+  Alcotest.(check int) "hash int = hash float" (Value.hash (vi 5))
+    (Value.hash (vf 5.0))
+
+let test_value_arith () =
+  Alcotest.check value_testable "add ints" (vi 5) (Value.add (vi 2) (vi 3));
+  Alcotest.check value_testable "add mixed" (vf 5.5) (Value.add (vi 2) (vf 3.5));
+  Alcotest.check value_testable "null propagates" vnull (Value.add vnull (vi 1));
+  Alcotest.check value_testable "exact int division" (vi 3)
+    (Value.div (vi 6) (vi 2));
+  Alcotest.check value_testable "inexact division promotes" (vf 2.5)
+    (Value.div (vi 5) (vi 2));
+  Alcotest.check value_testable "modulo" (vi 1) (Value.modulo (vi 7) (vi 3));
+  Alcotest.check value_testable "negate" (vf (-2.5)) (Value.neg (vf 2.5));
+  Alcotest.(check_raises) "div by zero" Division_by_zero (fun () ->
+      ignore (Value.div (vi 1) (vi 0)))
+
+let test_value_type_errors () =
+  (match Value.add (vs "x") (vi 1) with
+  | exception Value.Type_error _ -> ()
+  | _ -> Alcotest.fail "expected type error");
+  match Value.to_bool (vi 1) with
+  | exception Value.Type_error _ -> ()
+  | _ -> Alcotest.fail "expected type error"
+
+let test_value_to_string () =
+  Alcotest.(check string) "null" "NULL" (Value.to_string vnull);
+  Alcotest.(check string) "string quoting" "'o''brien'"
+    (Value.to_string (vs "o'brien"));
+  Alcotest.(check string) "integral float keeps point" "2.0"
+    (Value.to_string (vf 2.0))
+
+(* ------------------------------------------------------------------ *)
+(* Column types                                                        *)
+
+let test_column_type () =
+  Alcotest.(check bool) "int admits int" true
+    (Column_type.admits Column_type.T_int (vi 1));
+  Alcotest.(check bool) "float admits int" true
+    (Column_type.admits Column_type.T_float (vi 1));
+  Alcotest.(check bool) "int rejects float" false
+    (Column_type.admits Column_type.T_int (vf 1.5));
+  Alcotest.(check bool) "null admitted everywhere" true
+    (Column_type.admits Column_type.T_bool vnull);
+  Alcotest.check value_testable "coerce widens int" (vf 2.0)
+    (Column_type.coerce Column_type.T_float (vi 2));
+  Alcotest.(check (option string))
+    "of_string integer" (Some "INT")
+    (Option.map Column_type.to_string (Column_type.of_string "integer"));
+  Alcotest.check value_testable "parse empty is null" vnull
+    (Column_type.parse Column_type.T_int "")
+
+(* ------------------------------------------------------------------ *)
+(* Schema                                                              *)
+
+let test_schema_lookup () =
+  let s = Schema.of_names [ "Node"; "Rank"; "Delta" ] in
+  Alcotest.(check (option int)) "case-insensitive" (Some 1)
+    (Schema.index_of s "rank");
+  Alcotest.(check (option int)) "missing" None (Schema.index_of s "weight");
+  Alcotest.(check int) "find_exn" 2 (Schema.find_exn s "DELTA")
+
+let test_schema_rename () =
+  let s = Schema.of_names [ "a"; "b" ] in
+  let s' = Schema.rename_columns s [ "x"; "y" ] in
+  Alcotest.(check (list string)) "renamed" [ "x"; "y" ] (Schema.column_names s');
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Schema.rename_columns: arity mismatch") (fun () ->
+      ignore (Schema.rename_columns s [ "only_one" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Row / Relation                                                      *)
+
+let test_row_ops () =
+  let r = Row.of_list [ vi 1; vs "x"; vnull ] in
+  Alcotest.(check int) "arity" 3 (Row.arity r);
+  Alcotest.check row_testable "project"
+    (Row.of_list [ vnull; vi 1 ])
+    (Row.project r [| 2; 0 |]);
+  Alcotest.(check bool) "equal to itself" true (Row.equal r r);
+  Alcotest.(check bool) "numeric row equality" true
+    (Row.equal (Row.of_list [ vi 2 ]) (Row.of_list [ vf 2.0 ]))
+
+let test_relation_bag_equality () =
+  let a = rel [ "x" ] [ [ vi 1 ]; [ vi 2 ]; [ vi 2 ] ] in
+  let b = rel [ "x" ] [ [ vi 2 ]; [ vi 1 ]; [ vi 2 ] ] in
+  let c = rel [ "x" ] [ [ vi 1 ]; [ vi 2 ] ] in
+  Alcotest.(check bool) "order-insensitive" true (Relation.equal_bag a b);
+  Alcotest.(check bool) "multiplicity matters" false (Relation.equal_bag a c)
+
+let test_relation_arity_check () =
+  Alcotest.(check_raises)
+    "row arity mismatch"
+    (Invalid_argument "Relation.make: row arity 1 <> schema arity 2")
+    (fun () ->
+      ignore
+        (Relation.make (Schema.of_names [ "a"; "b" ]) [| [| vi 1 |] |]))
+
+let test_delta_count () =
+  let prev = rel [ "k"; "v" ] [ [ vi 1; vi 10 ]; [ vi 2; vi 20 ]; [ vi 3; vi 30 ] ] in
+  let next = rel [ "k"; "v" ] [ [ vi 1; vi 10 ]; [ vi 2; vi 99 ]; [ vi 3; vi 30 ] ] in
+  Alcotest.(check int) "one changed" 1 (Relation.delta_count ~key_idx:0 prev next);
+  Alcotest.(check int) "identical" 0 (Relation.delta_count ~key_idx:0 prev prev);
+  let grew = rel [ "k"; "v" ] [ [ vi 1; vi 10 ]; [ vi 2; vi 20 ]; [ vi 3; vi 30 ]; [ vi 4; vi 40 ] ] in
+  Alcotest.(check int) "insert counts" 1 (Relation.delta_count ~key_idx:0 prev grew);
+  let shrank = rel [ "k"; "v" ] [ [ vi 1; vi 10 ] ] in
+  Alcotest.(check int) "deletes count" 2
+    (Relation.delta_count ~key_idx:0 prev shrank)
+
+let test_relation_column () =
+  let r = rel [ "a"; "b" ] [ [ vi 1; vs "x" ]; [ vi 2; vs "y" ] ] in
+  Alcotest.(check (array value_testable))
+    "column b" [| vs "x"; vs "y" |] (Relation.column r "b")
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+
+let test_table_insert_and_types () =
+  let t =
+    Table.create ~primary_key:"id" ~name:"t"
+      (Schema.make
+         [
+           Schema.column ~ty:Column_type.T_int "id";
+           Schema.column ~ty:Column_type.T_float "v";
+         ])
+  in
+  Table.insert t [| vi 1; vi 10 |];
+  (* Int coerced into the float column. *)
+  Alcotest.check relation_testable "coerced"
+    (rel [ "id"; "v" ] [ [ vi 1; vf 10.0 ] ])
+    (Table.to_relation t);
+  Alcotest.(check bool) "duplicate pk rejected" true
+    (match Table.insert t [| vi 1; vf 2.0 |] with
+    | exception Table.Constraint_violation _ -> true
+    | () -> false);
+  Alcotest.(check bool) "null pk rejected" true
+    (match Table.insert t [| vnull; vf 2.0 |] with
+    | exception Table.Constraint_violation _ -> true
+    | () -> false);
+  Alcotest.(check bool) "wrong type rejected" true
+    (match Table.insert t [| vs "x"; vf 2.0 |] with
+    | exception Table.Constraint_violation _ -> true
+    | () -> false)
+
+let test_table_update_delete () =
+  let t = Table.create ~name:"t" (Schema.of_names [ "k"; "v" ]) in
+  Table.insert_all t [ [| vi 1; vi 10 |]; [| vi 2; vi 20 |]; [| vi 3; vi 30 |] ];
+  let updated =
+    Table.update t
+      ~pred:(fun r -> Value.compare r.(0) (vi 1) > 0)
+      ~set:(fun r -> [| r.(0); Value.add r.(1) (vi 1) |])
+  in
+  Alcotest.(check int) "two updated" 2 updated;
+  let deleted = Table.delete t ~pred:(fun r -> Value.equal r.(0) (vi 2)) in
+  Alcotest.(check int) "one deleted" 1 deleted;
+  Alcotest.(check int) "cardinality tracked" 2 (Table.cardinality t);
+  Alcotest.check relation_testable "final contents"
+    (rel [ "k"; "v" ] [ [ vi 1; vi 10 ]; [ vi 3; vi 31 ] ])
+    (Table.to_relation t);
+  Table.truncate t;
+  Alcotest.(check int) "truncate empties" 0 (Table.cardinality t)
+
+(* ------------------------------------------------------------------ *)
+(* Catalog                                                             *)
+
+let test_catalog_base_tables () =
+  let c = Catalog.create () in
+  let _ = Catalog.create_table c ~name:"Edges" (Schema.of_names [ "src" ]) in
+  Alcotest.(check bool) "case-insensitive lookup" true
+    (Catalog.mem_table c "EDGES");
+  Alcotest.(check bool) "duplicate rejected" true
+    (match Catalog.create_table c ~name:"edges" (Schema.of_names [ "x" ]) with
+    | exception Catalog.Duplicate_table _ -> true
+    | _ -> false);
+  Catalog.drop_table c "edges";
+  Alcotest.(check bool) "dropped" false (Catalog.mem_table c "edges");
+  Alcotest.(check int) "ddl ops counted" 2 (Catalog.ddl_ops c)
+
+let test_catalog_rename_semantics () =
+  let c = Catalog.create () in
+  let r1 = rel [ "x" ] [ [ vi 1 ] ] in
+  let r2 = rel [ "x" ] [ [ vi 2 ] ] in
+  Catalog.set_temp c "main" r1;
+  Catalog.set_temp c "work" r2;
+  (* Rename over an existing entry drops the displaced relation. *)
+  Catalog.rename_temp c ~from_:"work" ~into:"main";
+  Alcotest.check relation_testable "work became main" r2
+    (Catalog.find_temp c "main");
+  Alcotest.(check bool) "work is gone" false (Catalog.mem_temp c "work");
+  Alcotest.(check int) "rename counted" 1 (Catalog.renames c);
+  Alcotest.(check bool) "renaming a missing temp fails" true
+    (match Catalog.rename_temp c ~from_:"nope" ~into:"main" with
+    | exception Catalog.Unknown_table _ -> true
+    | () -> false)
+
+let test_catalog_shadowing () =
+  let c = Catalog.create () in
+  let t = Catalog.create_table c ~name:"r" (Schema.of_names [ "x" ]) in
+  Table.insert t [| vi 1 |];
+  Alcotest.check relation_testable "resolves base"
+    (rel [ "x" ] [ [ vi 1 ] ])
+    (Catalog.resolve c "r");
+  Catalog.set_temp c "r" (rel [ "x" ] [ [ vi 99 ] ]);
+  Alcotest.check relation_testable "temp shadows base"
+    (rel [ "x" ] [ [ vi 99 ] ])
+    (Catalog.resolve c "r");
+  Catalog.clear_temps c;
+  Alcotest.check relation_testable "base visible again"
+    (rel [ "x" ] [ [ vi 1 ] ])
+    (Catalog.resolve c "r")
+
+(* ------------------------------------------------------------------ *)
+(* CSV                                                                 *)
+
+let test_csv_roundtrip () =
+  let schema =
+    Schema.make
+      [
+        Schema.column ~ty:Column_type.T_int "id";
+        Schema.column ~ty:Column_type.T_string "name";
+        Schema.column ~ty:Column_type.T_float "score";
+      ]
+  in
+  let original =
+    Relation.of_lists schema
+      [
+        [ vi 1; vs "plain"; vf 1.5 ];
+        [ vi 2; vs "with,comma"; vf 2.5 ];
+        [ vi 3; vs "with\"quote"; vf 3.5 ];
+        [ vi 4; vnull; vnull ];
+      ]
+  in
+  let path = Filename.temp_file "dbspinner_test" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv.save original path;
+      let loaded = Csv.load ~schema path in
+      Alcotest.check relation_testable "roundtrip" original loaded)
+
+let test_csv_separator_and_comments () =
+  let path = Filename.temp_file "dbspinner_test" ".tsv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "# SNAP-style comment\n1\t2\n3\t4\n";
+      close_out oc;
+      let schema =
+        Schema.make
+          [
+            Schema.column ~ty:Column_type.T_int "src";
+            Schema.column ~ty:Column_type.T_int "dst";
+          ]
+      in
+      let loaded = Csv.load ~schema ~separator:'\t' path in
+      Alcotest.check relation_testable "tsv with comments"
+        (rel [ "src"; "dst" ] [ [ vi 1; vi 2 ]; [ vi 3; vi 4 ] ])
+        loaded)
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "compare" `Quick test_value_compare;
+          Alcotest.test_case "hash-consistency" `Quick test_value_hash_consistent;
+          Alcotest.test_case "arithmetic" `Quick test_value_arith;
+          Alcotest.test_case "type-errors" `Quick test_value_type_errors;
+          Alcotest.test_case "to-string" `Quick test_value_to_string;
+        ] );
+      ( "column-type",
+        [ Alcotest.test_case "admits-coerce-parse" `Quick test_column_type ] );
+      ( "schema",
+        [
+          Alcotest.test_case "lookup" `Quick test_schema_lookup;
+          Alcotest.test_case "rename" `Quick test_schema_rename;
+        ] );
+      ( "relation",
+        [
+          Alcotest.test_case "row-ops" `Quick test_row_ops;
+          Alcotest.test_case "bag-equality" `Quick test_relation_bag_equality;
+          Alcotest.test_case "arity-check" `Quick test_relation_arity_check;
+          Alcotest.test_case "delta-count" `Quick test_delta_count;
+          Alcotest.test_case "column-extract" `Quick test_relation_column;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "insert-and-types" `Quick test_table_insert_and_types;
+          Alcotest.test_case "update-delete" `Quick test_table_update_delete;
+        ] );
+      ( "catalog",
+        [
+          Alcotest.test_case "base-tables" `Quick test_catalog_base_tables;
+          Alcotest.test_case "rename-operator" `Quick test_catalog_rename_semantics;
+          Alcotest.test_case "temp-shadowing" `Quick test_catalog_shadowing;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "separator-comments" `Quick
+            test_csv_separator_and_comments;
+        ] );
+    ]
