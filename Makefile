@@ -1,0 +1,51 @@
+# Developer/CI entry points. `make check` is the CI gate: build, full
+# test suite, formatting check, and the fixed-seed smoke pass over the
+# randomized suites.
+
+DUNE ?= dune
+# Fixed seed so the property/fuzz suites are reproducible in CI.
+SMOKE_SEED ?= 42
+
+.PHONY: all build test fmt fmt-check smoke bench-fast check clean
+
+all: build
+
+build:
+	$(DUNE) build
+
+test: build
+	$(DUNE) runtest
+
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  $(DUNE) build @fmt --auto-promote; \
+	else \
+	  echo "SKIP fmt: ocamlformat is not installed"; \
+	fi
+
+# Fails when any file is not formatted. Gated on ocamlformat being
+# installed so the target degrades to a no-op (with a notice) on
+# machines without it rather than breaking the build.
+fmt-check:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  $(DUNE) build @fmt && echo "formatting clean"; \
+	else \
+	  echo "SKIP fmt-check: ocamlformat is not installed"; \
+	fi
+
+# Quick reproducible confidence pass: the randomized property and fuzz
+# suites under a fixed seed, plus the fault-injection/recovery suite
+# (deterministic by construction — seeded fault plans).
+smoke: build
+	QCHECK_SEED=$(SMOKE_SEED) $(DUNE) exec test/test_properties.exe
+	QCHECK_SEED=$(SMOKE_SEED) $(DUNE) exec test/test_fuzz.exe
+	$(DUNE) exec test/test_fault.exe
+	$(DUNE) exec test/test_mpp.exe
+
+bench-fast: build
+	$(DUNE) exec bench/main.exe -- --fast
+
+check: build test fmt-check smoke
+
+clean:
+	$(DUNE) clean

@@ -12,6 +12,9 @@
                               pokec-like, webgoogle-like) into edges /
                               vertexStatus
      \set OPTION on|off       toggle rename | common | pushdown | fold
+     \set deadline SECS|off   wall-clock budget per statement
+     \set budget ROWS|off     rows-materialized budget per statement
+     \set retries N           transient-fault retries before fallback
      \options                 show optimizer switches
      \q                       quit *)
 
@@ -99,6 +102,39 @@ let set_option engine key enabled =
     Printf.printf "set %s = %b\n" key enabled
   | None -> Printf.printf "unknown option %s (rename|common|pushdown|fold)\n" key
 
+(** Resource-guard and recovery knobs: [\set deadline SECS|off],
+    [\set budget ROWS|off], [\set retries N]. *)
+let set_guard engine key value =
+  let options = Engine.options engine in
+  let off = value = "off" || value = "none" in
+  match key with
+  | "deadline" -> (
+    match (off, float_of_string_opt value) with
+    | true, _ ->
+      Engine.set_options engine { options with Options.deadline_seconds = None };
+      print_endline "deadline off"
+    | false, Some s when s > 0.0 ->
+      Engine.set_options engine
+        { options with Options.deadline_seconds = Some s };
+      Printf.printf "set deadline = %gs\n" s
+    | false, _ -> print_endline "usage: \\set deadline SECONDS|off")
+  | "budget" -> (
+    match (off, int_of_string_opt value) with
+    | true, _ ->
+      Engine.set_options engine { options with Options.row_budget = None };
+      print_endline "row budget off"
+    | false, Some n when n > 0 ->
+      Engine.set_options engine { options with Options.row_budget = Some n };
+      Printf.printf "set row budget = %d rows\n" n
+    | false, _ -> print_endline "usage: \\set budget ROWS|off")
+  | "retries" -> (
+    match int_of_string_opt value with
+    | Some n when n >= 0 ->
+      Engine.set_options engine { options with Options.mpp_max_retries = n };
+      Printf.printf "set mpp retries = %d\n" n
+    | _ -> print_endline "usage: \\set retries N")
+  | _ -> assert false
+
 let handle_meta engine line =
   match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
   | [ "\\q" ] -> `Quit
@@ -117,6 +153,9 @@ let handle_meta engine line =
     in
     generate engine name scale;
     `Continue
+  | [ "\\set"; (("deadline" | "budget" | "retries") as key); value ] ->
+    set_guard engine key value;
+    `Continue
   | [ "\\set"; key; flag ] ->
     set_option engine key (flag = "on" || flag = "true" || flag = "1");
     `Continue
@@ -126,7 +165,8 @@ let handle_meta engine line =
   | _ ->
     print_endline
       "meta-commands: \\dt  \\load TABLE FILE  \\gen NAME [SCALE]  \\set OPT \
-       on|off  \\options  \\q";
+       on|off  \\set deadline SECS|off  \\set budget ROWS|off  \\set retries N  \
+       \\options  \\q";
     `Continue
 
 let repl () =

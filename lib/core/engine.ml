@@ -132,14 +132,22 @@ let compile_query t (q : Ast.full_query) : Program.t =
   let q = prevaluate_scalar_subqueries t q in
   Iterative_rewrite.compile ~options:t.options ~lookup:(lookup t) q
 
+(** Resource guards for one statement, from the session options. Built
+    per statement so the wall-clock deadline starts at statement
+    start. *)
+let guards_of_options (options : Options.t) : Dbspinner_exec.Guards.t =
+  Dbspinner_exec.Guards.make ?deadline_seconds:options.deadline_seconds
+    ?row_budget:options.row_budget ()
+
 let run_query ?(keep_temps = false) t (q : Ast.full_query) : Relation.t =
   let program = compile_query t q in
   let stats = Stats.create () in
+  let guards = guards_of_options t.options in
   Fun.protect
     ~finally:(fun () ->
       Stats.add ~into:t.stats stats;
       if not keep_temps then Catalog.clear_temps t.catalog)
-    (fun () -> Executor.run_program ~stats t.catalog program)
+    (fun () -> Executor.run_program ~stats ~guards t.catalog program)
 
 (* ------------------------------------------------------------------ *)
 (* DML                                                                 *)
@@ -497,6 +505,7 @@ let rec exec_statement t (stmt : Ast.statement) : result =
         (* EXPLAIN ANALYZE: execute the program and report the actual
            executor counters next to the estimates. *)
         let stats = Stats.create () in
+        let guards = guards_of_options t.options in
         let rel, seconds =
           let t0 = Unix.gettimeofday () in
           let rel =
@@ -504,7 +513,7 @@ let rec exec_statement t (stmt : Ast.statement) : result =
               ~finally:(fun () ->
                 Stats.add ~into:t.stats stats;
                 Catalog.clear_temps t.catalog)
-              (fun () -> Executor.run_program ~stats t.catalog program)
+              (fun () -> Executor.run_program ~stats ~guards t.catalog program)
           in
           (rel, Unix.gettimeofday () -. t0)
         in

@@ -9,6 +9,7 @@ type stage =
   | Execute
   | Constraint
   | Catalog
+  | Resource
 
 exception Error of stage * string
 
@@ -19,6 +20,7 @@ let stage_name = function
   | Execute -> "execute"
   | Constraint -> "constraint"
   | Catalog -> "catalog"
+  | Resource -> "resource"
 
 let to_string = function
   | Error (stage, msg) -> Printf.sprintf "%s error: %s" (stage_name stage) msg
@@ -37,6 +39,10 @@ let wrap f =
     raise (Error (Rewrite, m))
   | Dbspinner_exec.Executor.Execution_error m -> raise (Error (Execute, m))
   | Dbspinner_exec.Eval.Runtime_error m -> raise (Error (Execute, m))
+  | Dbspinner_exec.Guards.Resource_exhausted m -> raise (Error (Resource, m))
+  | Dbspinner_mpp.Distributed.Unsupported m ->
+    raise (Error (Execute, Printf.sprintf "distributed execution: %s" m))
+  | Dbspinner_mpp.Fault.Transient_fault m -> raise (Error (Execute, m))
   | Dbspinner_storage.Value.Type_error m -> raise (Error (Execute, m))
   | Dbspinner_storage.Table.Constraint_violation m ->
     raise (Error (Constraint, m))

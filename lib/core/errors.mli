@@ -8,6 +8,7 @@ type stage =
   | Execute
   | Constraint
   | Catalog
+  | Resource  (** deadline or row-budget guard tripped *)
 
 exception Error of stage * string
 

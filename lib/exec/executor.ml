@@ -90,31 +90,37 @@ type loop_state = {
 let loop_continue ~(stats : Stats.t) catalog (st : loop_state) : bool =
   st.iterations <- st.iterations + 1;
   stats.Stats.loop_iterations <- stats.Stats.loop_iterations + 1;
-  if st.iterations >= st.guard then
-    error "iterative CTE %s exceeded the %d-iteration guard without meeting \
-           its termination condition"
-      st.cte st.guard;
   let current () = Catalog.find_temp catalog st.cte in
   let updates_this_iteration () =
     match st.snapshot with
     | None -> Relation.cardinality (current ())
     | Some prev -> Relation.delta_count ~key_idx:st.key_idx prev (current ())
   in
-  match st.spec with
-  | Program.Max_iterations n -> st.iterations < n
-  | Program.Max_updates n ->
-    st.cumulative_updates <- st.cumulative_updates + updates_this_iteration ();
-    st.cumulative_updates < n
-  | Program.Delta_at_most bound -> updates_this_iteration () > bound
-  | Program.Data { any; pred } ->
-    let rel = current () in
-    let satisfied = ref 0 in
-    Relation.iter (fun r -> if Eval.eval_pred r pred then incr satisfied) rel;
-    let stop =
-      if any then !satisfied > 0
-      else !satisfied = Relation.cardinality rel && Relation.cardinality rel > 0
-    in
-    not stop
+  let continue_ =
+    match st.spec with
+    | Program.Max_iterations n -> st.iterations < n
+    | Program.Max_updates n ->
+      st.cumulative_updates <- st.cumulative_updates + updates_this_iteration ();
+      st.cumulative_updates < n
+    | Program.Delta_at_most bound -> updates_this_iteration () > bound
+    | Program.Data { any; pred } ->
+      let rel = current () in
+      let satisfied = ref 0 in
+      Relation.iter (fun r -> if Eval.eval_pred r pred then incr satisfied) rel;
+      let stop =
+        if any then !satisfied > 0
+        else !satisfied = Relation.cardinality rel && Relation.cardinality rel > 0
+      in
+      not stop
+  in
+  (* The guard trips only when another iteration would actually run: a
+     loop whose termination fires exactly on the guard iteration
+     returns its result instead of erroring. *)
+  if continue_ && st.iterations >= st.guard then
+    error "iterative CTE %s exceeded the %d-iteration guard without meeting \
+           its termination condition"
+      st.cte st.guard;
+  continue_
 
 (* ------------------------------------------------------------------ *)
 (* Recursive CTE (semi-naive)                                          *)
@@ -178,9 +184,11 @@ let assert_unique_key catalog ~temp ~key_idx =
       else Hashtbl.replace seen k ())
     rel
 
-(** Run a step program to completion and return the final relation. *)
-let run_program ?(stats = Stats.create ()) (catalog : Catalog.t)
-    (program : Program.t) : Relation.t =
+(** Run a step program to completion and return the final relation.
+    [guards] (wall-clock deadline, rows-materialized budget) are
+    checked at materialize and loop boundaries. *)
+let run_program ?(stats = Stats.create ()) ?(guards = Guards.none)
+    (catalog : Catalog.t) (program : Program.t) : Relation.t =
   let steps = Program.steps program in
   let loops : (int, loop_state) Hashtbl.t = Hashtbl.create 4 in
   let result = ref None in
@@ -193,6 +201,7 @@ let run_program ?(stats = Stats.create ()) (catalog : Catalog.t)
       stats.Stats.materializations <- stats.Stats.materializations + 1;
       stats.Stats.rows_materialized <-
         stats.Stats.rows_materialized + Relation.cardinality rel;
+      Guards.check guards ~stats;
       Catalog.set_temp catalog target rel
     | Program.Rename { from_; into } ->
       Catalog.rename_temp catalog ~from_ ~into;
@@ -218,7 +227,9 @@ let run_program ?(stats = Stats.create ()) (catalog : Catalog.t)
     | Program.Loop_end { loop_id; body_start } -> (
       match Hashtbl.find_opt loops loop_id with
       | None -> error "Loop_end for uninitialized loop %d" loop_id
-      | Some st -> if loop_continue ~stats catalog st then jump := Some body_start)
+      | Some st ->
+        Guards.check guards ~stats;
+        if loop_continue ~stats catalog st then jump := Some body_start)
     | Program.Recursive_cte
         { name; work_name; base; step_plan; union_all; max_recursion } ->
       run_recursive ~stats catalog ~name ~work_name ~base ~step_plan ~union_all
@@ -234,7 +245,7 @@ let run_program ?(stats = Stats.create ()) (catalog : Catalog.t)
 
 (** Loop-iteration count of the last loop in a program run — exposed
     for tests via running with an explicit [stats]. *)
-let run_program_with_stats catalog program =
+let run_program_with_stats ?guards catalog program =
   let stats = Stats.create () in
-  let rel = run_program ~stats catalog program in
+  let rel = run_program ~stats ?guards catalog program in
   (rel, stats)

@@ -23,10 +23,15 @@ val assert_unique_key : Catalog.t -> temp:string -> key_idx:int -> unit
 
 (** Run a step program to completion and return the final relation.
     Temps created by the program are left in the catalog (the engine
-    clears them per statement).
+    clears them per statement). [guards] are checked at materialize and
+    loop boundaries.
     @raise Execution_error on runtime failures, including the
-    iteration-guard trip for non-converging loops. *)
-val run_program : ?stats:Stats.t -> Catalog.t -> Program.t -> Relation.t
+    iteration-guard trip for non-converging loops
+    @raise Guards.Resource_exhausted when a deadline or row budget is
+    crossed. *)
+val run_program :
+  ?stats:Stats.t -> ?guards:Guards.t -> Catalog.t -> Program.t -> Relation.t
 
 (** Convenience: run with a fresh {!Stats.t} and return it. *)
-val run_program_with_stats : Catalog.t -> Program.t -> Relation.t * Stats.t
+val run_program_with_stats :
+  ?guards:Guards.t -> Catalog.t -> Program.t -> Relation.t * Stats.t

@@ -1,0 +1,48 @@
+(** Resource guards: a wall-clock deadline and a rows-materialized
+    budget checked at materialize and loop boundaries by both the
+    single-node and the distributed executor. A production engine
+    serving many tenants must bound runaway iterative queries — an
+    unbounded [UNTIL] loop can otherwise monopolize a worker; guards
+    turn that into a typed, recoverable error instead of a hung
+    session. *)
+
+exception Resource_exhausted of string
+
+type t = {
+  deadline : float option;
+      (** absolute wall-clock time (Unix epoch seconds) after which
+          execution aborts *)
+  row_budget : int option;
+      (** maximum total rows the program may materialize *)
+}
+
+let none = { deadline = None; row_budget = None }
+
+let is_none t = t.deadline = None && t.row_budget = None
+
+(** Build guards from relative knobs: [deadline_seconds] is measured
+    from now. *)
+let make ?deadline_seconds ?row_budget () =
+  {
+    deadline =
+      Option.map (fun s -> Unix.gettimeofday () +. s) deadline_seconds;
+    row_budget;
+  }
+
+let error fmt = Printf.ksprintf (fun s -> raise (Resource_exhausted s)) fmt
+
+(** Raise {!Resource_exhausted} when a limit has been crossed. The
+    row budget is compared against [stats.rows_materialized], so the
+    caller must account materialized rows before checking. *)
+let check t ~(stats : Stats.t) =
+  (match t.row_budget with
+  | Some budget when stats.Stats.rows_materialized > budget ->
+    error
+      "row budget exhausted: %d rows materialized exceeds the %d-row budget"
+      stats.Stats.rows_materialized budget
+  | _ -> ());
+  match t.deadline with
+  | Some deadline when Unix.gettimeofday () > deadline ->
+    error "deadline exceeded after %d loop iterations"
+      stats.Stats.loop_iterations
+  | _ -> ()

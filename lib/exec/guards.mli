@@ -1,0 +1,26 @@
+(** Resource guards: wall-clock deadline and rows-materialized budget,
+    checked at materialize and loop boundaries by both executors.
+    {!Errors.wrap} maps {!Resource_exhausted} to the [Resource] error
+    stage. *)
+
+exception Resource_exhausted of string
+
+type t = {
+  deadline : float option;
+      (** absolute wall-clock time (Unix epoch seconds) *)
+  row_budget : int option;
+      (** maximum total rows the program may materialize *)
+}
+
+(** No limits. *)
+val none : t
+
+(** True when neither limit is set (checks are free to skip). *)
+val is_none : t -> bool
+
+(** [make ?deadline_seconds ?row_budget ()] — [deadline_seconds] is
+    relative to now. *)
+val make : ?deadline_seconds:float -> ?row_budget:int -> unit -> t
+
+(** @raise Resource_exhausted when a limit has been crossed. *)
+val check : t -> stats:Stats.t -> unit

@@ -1,7 +1,10 @@
 (** Per-execution counters. Benchmarks and tests use these to verify
     that an optimization really changed the work done (e.g. the
     common-result rewrite reduces join row volume; the rename path
-    eliminates merge materializations). *)
+    eliminates merge materializations). The fault/recovery counters are
+    filled in by the distributed executor so benchmarks can measure
+    recovery overhead (faults survived, checkpoints taken, fallbacks to
+    single-node execution). *)
 
 type t = {
   mutable rows_scanned : int;
@@ -14,6 +17,14 @@ type t = {
   mutable loop_iterations : int;
   mutable statements : int;  (** statements executed (baselines > 1) *)
   mutable dml_rows_touched : int;  (** rows written by INSERT/UPDATE/DELETE *)
+  mutable faults_injected : int;  (** transient faults raised by Fault.plan *)
+  mutable retries : int;  (** iteration re-executions after a fault *)
+  mutable checkpoints_taken : int;  (** loop checkpoints persisted *)
+  mutable recoveries : int;  (** successful restarts from a checkpoint *)
+  mutable fallbacks : int;  (** degradations to single-node execution *)
+  mutable backoff_steps : int;
+      (** cumulative deterministic backoff units accrued across retries
+          (simulated, not slept) *)
 }
 
 let create () =
@@ -28,6 +39,12 @@ let create () =
     loop_iterations = 0;
     statements = 0;
     dml_rows_touched = 0;
+    faults_injected = 0;
+    retries = 0;
+    checkpoints_taken = 0;
+    recoveries = 0;
+    fallbacks = 0;
+    backoff_steps = 0;
   }
 
 let reset t =
@@ -40,7 +57,13 @@ let reset t =
   t.renames <- 0;
   t.loop_iterations <- 0;
   t.statements <- 0;
-  t.dml_rows_touched <- 0
+  t.dml_rows_touched <- 0;
+  t.faults_injected <- 0;
+  t.retries <- 0;
+  t.checkpoints_taken <- 0;
+  t.recoveries <- 0;
+  t.fallbacks <- 0;
+  t.backoff_steps <- 0
 
 let add ~into (src : t) =
   into.rows_scanned <- into.rows_scanned + src.rows_scanned;
@@ -52,7 +75,13 @@ let add ~into (src : t) =
   into.renames <- into.renames + src.renames;
   into.loop_iterations <- into.loop_iterations + src.loop_iterations;
   into.statements <- into.statements + src.statements;
-  into.dml_rows_touched <- into.dml_rows_touched + src.dml_rows_touched
+  into.dml_rows_touched <- into.dml_rows_touched + src.dml_rows_touched;
+  into.faults_injected <- into.faults_injected + src.faults_injected;
+  into.retries <- into.retries + src.retries;
+  into.checkpoints_taken <- into.checkpoints_taken + src.checkpoints_taken;
+  into.recoveries <- into.recoveries + src.recoveries;
+  into.fallbacks <- into.fallbacks + src.fallbacks;
+  into.backoff_steps <- into.backoff_steps + src.backoff_steps
 
 let pp fmt t =
   Format.fprintf fmt
@@ -60,6 +89,17 @@ let pp fmt t =
      renames=%d iterations=%d statements=%d dml_rows=%d"
     t.rows_scanned t.rows_joined t.join_probes t.rows_aggregated
     t.rows_materialized t.materializations t.renames t.loop_iterations
-    t.statements t.dml_rows_touched
+    t.statements t.dml_rows_touched;
+  (* Recovery counters only appear once something faulted, so the
+     common no-fault output stays short. *)
+  if
+    t.faults_injected > 0 || t.retries > 0 || t.checkpoints_taken > 0
+    || t.recoveries > 0 || t.fallbacks > 0
+  then
+    Format.fprintf fmt
+      " faults=%d retries=%d checkpoints=%d recoveries=%d fallbacks=%d \
+       backoff=%d"
+      t.faults_injected t.retries t.checkpoints_taken t.recoveries t.fallbacks
+      t.backoff_steps
 
 let to_string t = Format.asprintf "%a" pp t

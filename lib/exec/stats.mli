@@ -1,6 +1,7 @@
 (** Per-execution counters. Benchmarks and tests use these to verify
     that an optimization actually changed the work performed, not just
-    the wall time. *)
+    the wall time. The fault/recovery counters are filled in by the
+    distributed executor's checkpoint-recovery machinery. *)
 
 type t = {
   mutable rows_scanned : int;
@@ -13,6 +14,14 @@ type t = {
   mutable loop_iterations : int;
   mutable statements : int;  (** statements executed (baselines > 1) *)
   mutable dml_rows_touched : int;  (** rows written by INSERT/UPDATE/DELETE *)
+  mutable faults_injected : int;  (** transient faults raised by Fault.plan *)
+  mutable retries : int;  (** iteration re-executions after a fault *)
+  mutable checkpoints_taken : int;  (** loop checkpoints persisted *)
+  mutable recoveries : int;  (** successful restarts from a checkpoint *)
+  mutable fallbacks : int;  (** degradations to single-node execution *)
+  mutable backoff_steps : int;
+      (** cumulative deterministic backoff units accrued across retries
+          (simulated, not slept) *)
 }
 
 val create : unit -> t

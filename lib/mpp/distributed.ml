@@ -7,7 +7,10 @@
 
     The observable contract, checked by tests: for every plan,
     distributed execution returns the same bag of rows as the
-    single-node {!Dbspinner_exec.Executor}. *)
+    single-node {!Dbspinner_exec.Executor} — including under injected
+    transient faults, which {!run_program} survives via
+    iteration-granular checkpoints, bounded retries and, as a last
+    resort, falling back to single-node execution. *)
 
 module Value = Dbspinner_storage.Value
 module Row = Dbspinner_storage.Row
@@ -19,6 +22,7 @@ module Bound_expr = Dbspinner_plan.Bound_expr
 module Eval = Dbspinner_exec.Eval
 module Operators = Dbspinner_exec.Operators
 module Stats = Dbspinner_exec.Stats
+module Guards = Dbspinner_exec.Guards
 
 type shuffle_stats = {
   mutable rows_shuffled : int;  (** rows that moved between workers *)
@@ -32,8 +36,9 @@ type dist_rel = {
 let gather (d : dist_rel) = Partition.merge d.parts
 
 (** Repartition by a key function, counting rows whose worker changes. *)
-let repartition ~workers ~(shuffles : shuffle_stats) ~key (d : dist_rel) :
-    dist_rel =
+let repartition ~workers ~(shuffles : shuffle_stats) ~fault ~key (d : dist_rel)
+    : dist_rel =
+  Fault.tick fault ~site:Fault.Repartition;
   shuffles.exchanges <- shuffles.exchanges + 1;
   let buckets = Array.make workers [] in
   Array.iteri
@@ -54,8 +59,9 @@ let repartition ~workers ~(shuffles : shuffle_stats) ~key (d : dist_rel) :
         buckets;
   }
 
-let gather_to_one ~workers ~(shuffles : shuffle_stats) (d : dist_rel) : dist_rel
-    =
+let gather_to_one ~workers ~(shuffles : shuffle_stats) ~fault (d : dist_rel) :
+    dist_rel =
+  Fault.tick fault ~site:Fault.Gather;
   shuffles.exchanges <- shuffles.exchanges + 1;
   Array.iteri
     (fun current part ->
@@ -67,7 +73,9 @@ let gather_to_one ~workers ~(shuffles : shuffle_stats) (d : dist_rel) : dist_rel
   let empty = Relation.empty (Relation.schema merged) in
   { parts = Array.init workers (fun i -> if i = 0 then merged else empty) }
 
-let per_partition f (d : dist_rel) : dist_rel = { parts = Array.map f d.parts }
+let per_partition ~fault f (d : dist_rel) : dist_rel =
+  Fault.tick fault ~site:Fault.Operator;
+  { parts = Array.map f d.parts }
 
 let key_fn exprs row = Array.map (fun e -> Eval.eval row e) exprs
 
@@ -115,12 +123,12 @@ let combiner_aggs ~nkeys (aggs : Logical.agg list) : Logical.agg list =
     pre-aggregated locally so only one partial row per (worker, group)
     crosses the network — the standard MPP shuffle-volume
     optimization. *)
-let run_aggregate ~workers ~shuffles ~stats ~keys ~aggs ~agg_schema
+let run_aggregate ~workers ~shuffles ~fault ~stats ~keys ~aggs ~agg_schema
     (d : dist_rel) : dist_rel =
   let nkeys = List.length keys in
   if decomposable aggs then begin
     let partial =
-      per_partition
+      per_partition ~fault
         (fun part -> Operators.aggregate ~stats ~keys ~aggs part agg_schema)
         d
     in
@@ -132,7 +140,7 @@ let run_aggregate ~workers ~shuffles ~stats ~keys ~aggs ~agg_schema
     in
     if nkeys = 0 then begin
       (* One partial row per worker; combine on worker 0. *)
-      let g = gather_to_one ~workers ~shuffles partial in
+      let g = gather_to_one ~workers ~shuffles ~fault partial in
       {
         parts =
           Array.init workers (fun i ->
@@ -141,16 +149,16 @@ let run_aggregate ~workers ~shuffles ~stats ~keys ~aggs ~agg_schema
     end
     else begin
       let partial =
-        repartition ~workers ~shuffles
+        repartition ~workers ~shuffles ~fault
           ~key:(fun (row : Row.t) -> Array.sub row 0 nkeys)
           partial
       in
-      per_partition combine partial
+      per_partition ~fault combine partial
     end
   end
   else if nkeys = 0 then begin
     (* Non-decomposable global aggregate: gather raw rows. *)
-    let g = gather_to_one ~workers ~shuffles d in
+    let g = gather_to_one ~workers ~shuffles ~fault d in
     {
       parts =
         Array.init workers (fun i ->
@@ -160,15 +168,22 @@ let run_aggregate ~workers ~shuffles ~stats ~keys ~aggs ~agg_schema
   end
   else begin
     let key_exprs = Array.of_list keys in
-    let d = repartition ~workers ~shuffles ~key:(key_fn key_exprs) d in
-    per_partition
+    let d = repartition ~workers ~shuffles ~fault ~key:(key_fn key_exprs) d in
+    per_partition ~fault
       (fun part -> Operators.aggregate ~stats ~keys ~aggs part agg_schema)
       d
   end
 
-let rec run ?temps ~workers ~shuffles ~(stats : Stats.t) (catalog : Catalog.t)
-    (plan : Logical.t) : dist_rel =
-  let run = run ?temps in
+let rec run ?temps ~workers ~shuffles ~fault ~(stats : Stats.t)
+    (catalog : Catalog.t) (plan : Logical.t) : dist_rel =
+  let run = run ?temps ~fault in
+  let per_partition f d = per_partition ~fault f d in
+  let repartition ~workers ~shuffles ~key d =
+    repartition ~workers ~shuffles ~fault ~key d
+  in
+  let gather_to_one ~workers ~shuffles d =
+    gather_to_one ~workers ~shuffles ~fault d
+  in
   match plan with
   | Logical.L_scan { name; _ }
     when Option.is_some
@@ -227,7 +242,7 @@ let rec run ?temps ~workers ~shuffles ~(stats : Stats.t) (catalog : Catalog.t)
       })
   | Logical.L_aggregate { keys; aggs; input; agg_schema } ->
     let d = run ~workers ~shuffles ~stats catalog input in
-    run_aggregate ~workers ~shuffles ~stats ~keys ~aggs ~agg_schema d
+    run_aggregate ~workers ~shuffles ~fault ~stats ~keys ~aggs ~agg_schema d
   | Logical.L_distinct input ->
     let d = run ~workers ~shuffles ~stats catalog input in
     let d = repartition ~workers ~shuffles ~key:(fun row -> row) d in
@@ -283,6 +298,7 @@ let rec run ?temps ~workers ~shuffles ~(stats : Stats.t) (catalog : Catalog.t)
     (* Broadcast the (gathered) subquery result to every worker. *)
     let di = run ~workers ~shuffles ~stats catalog input in
     let dsub = run ~workers ~shuffles ~stats catalog sub in
+    Fault.tick fault ~site:Fault.Broadcast;
     let gathered = gather dsub in
     shuffles.exchanges <- shuffles.exchanges + 1;
     shuffles.rows_shuffled <-
@@ -292,13 +308,15 @@ let rec run ?temps ~workers ~shuffles ~(stats : Stats.t) (catalog : Catalog.t)
       di
 
 (** Execute [plan] across [workers] simulated workers; returns the
-    gathered result and the exchange volume. *)
-let run_plan ?(workers = 4) (catalog : Catalog.t) (plan : Logical.t) :
-    Relation.t * shuffle_stats =
+    gathered result and the exchange volume. Injected faults propagate
+    (single plans have no checkpoint to recover from; use
+    {!run_program} for recovery semantics). *)
+let run_plan ?(workers = 4) ?(fault = Fault.none) (catalog : Catalog.t)
+    (plan : Logical.t) : Relation.t * shuffle_stats =
   if workers <= 0 then invalid_arg "Distributed.run_plan: workers <= 0";
   let shuffles = { rows_shuffled = 0; exchanges = 0 } in
   let stats = Stats.create () in
-  let d = run ~workers ~shuffles ~stats catalog plan in
+  let d = run ~workers ~shuffles ~fault ~stats catalog plan in
   (gather d, shuffles)
 
 (* ------------------------------------------------------------------ *)
@@ -318,6 +336,48 @@ type loop_state = {
   mutable snapshot : Relation.t option;
 }
 
+let copy_loop_state (st : loop_state) : loop_state =
+  {
+    spec = st.spec;
+    cte = st.cte;
+    key_idx = st.key_idx;
+    guard = st.guard;
+    iterations = st.iterations;
+    cumulative_updates = st.cumulative_updates;
+    snapshot = st.snapshot;
+  }
+
+(** A restart point: the program counter to resume at plus copies of
+    the partitioned temps and loop counters. Relations are immutable,
+    so checkpoints are O(temps + loops) pointer copies — the "cheap
+    checkpoint" SciDB-style iteration-granular recovery relies on. *)
+type checkpoint = {
+  ck_pc : int;
+  ck_temps : (string, dist_rel) Hashtbl.t;
+  ck_loops : (int * loop_state) list;
+  ck_in_loop : bool;
+      (** true for checkpoints taken at a [Loop_end] (a restore from
+          one counts as a recovery, not a from-scratch restart) *)
+}
+
+(** Run [program] single-node as the graceful-degradation path after
+    [max_retries] consecutive transient faults. The catalog's temp
+    namespace is restored afterwards so callers see no leftover temps
+    from the fallback execution. *)
+let fallback_single_node ~stats ~guards (catalog : Catalog.t)
+    (program : Program.t) : Relation.t =
+  stats.Stats.fallbacks <- stats.Stats.fallbacks + 1;
+  let saved =
+    List.map
+      (fun n -> (n, Catalog.find_temp catalog n))
+      (Catalog.temp_names catalog)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Catalog.clear_temps catalog;
+      List.iter (fun (n, r) -> Catalog.set_temp catalog n r) saved)
+    (fun () -> Dbspinner_exec.Executor.run_program ~stats ~guards catalog program)
+
 (** Execute a whole step program with every plan running distributed.
     Materialized temps stay {e partitioned on the workers} between
     steps (so the loop body's scans of the CTE table cost no exchange),
@@ -325,12 +385,24 @@ type loop_state = {
     checks beyond fixed iteration counts gather the CTE to the
     coordinator; those reads are not counted as shuffles.
 
+    Fault tolerance: when [fault] injects a {!Fault.Transient_fault},
+    execution restarts from the last checkpoint — taken at program
+    start and after every [Loop_end] — retrying up to [max_retries]
+    consecutive times with deterministic exponential backoff accounting
+    (recorded in [stats], not slept). Once retries are exhausted the
+    program degrades gracefully to single-node execution
+    ([stats.fallbacks]) instead of failing the query. [guards] are
+    checked at materialize and loop boundaries; {!Guards.Resource_exhausted}
+    is not retried (resource exhaustion is not transient).
+
     @raise Unsupported for programs containing recursive CTEs. *)
-let run_program ?(workers = 4) (catalog : Catalog.t) (program : Program.t) :
-    Relation.t * shuffle_stats =
+let run_program ?(workers = 4) ?(fault = Fault.none) ?(max_retries = 3)
+    ?(guards = Guards.none) ?(stats = Stats.create ()) (catalog : Catalog.t)
+    (program : Program.t) : Relation.t * shuffle_stats =
   if workers <= 0 then invalid_arg "Distributed.run_program: workers <= 0";
+  if max_retries < 0 then
+    invalid_arg "Distributed.run_program: max_retries < 0";
   let shuffles = { rows_shuffled = 0; exchanges = 0 } in
-  let stats = Stats.create () in
   let temps : (string, dist_rel) Hashtbl.t = Hashtbl.create 8 in
   let key n = String.lowercase_ascii n in
   let find_temp name =
@@ -342,16 +414,42 @@ let run_program ?(workers = 4) (catalog : Catalog.t) (program : Program.t) :
   let steps = Program.steps program in
   let result = ref None in
   let pc = ref 0 in
-  while !pc < Array.length steps do
+  let take_checkpoint ~in_loop next_pc =
+    {
+      ck_pc = next_pc;
+      ck_temps = Hashtbl.copy temps;
+      ck_loops =
+        Hashtbl.fold (fun id st acc -> (id, copy_loop_state st) :: acc) loops [];
+      ck_in_loop = in_loop;
+    }
+  in
+  let restore ck =
+    Hashtbl.reset temps;
+    Hashtbl.iter (fun k v -> Hashtbl.replace temps k v) ck.ck_temps;
+    Hashtbl.reset loops;
+    List.iter
+      (fun (id, st) -> Hashtbl.replace loops id (copy_loop_state st))
+      ck.ck_loops;
+    pc := ck.ck_pc
+  in
+  let last_checkpoint = ref (take_checkpoint ~in_loop:false 0) in
+  (* Consecutive failed attempts since the last successful checkpoint. *)
+  let attempts = ref 0 in
+  let exec_step step =
     let jump = ref None in
-    (match steps.(!pc) with
+    (match step with
     | Program.Materialize { target; plan } ->
-      Hashtbl.replace temps (key target)
-        (run ~temps ~workers ~shuffles ~stats catalog plan)
+      let d = run ~temps ~workers ~shuffles ~fault ~stats catalog plan in
+      stats.Stats.materializations <- stats.Stats.materializations + 1;
+      stats.Stats.rows_materialized <-
+        stats.Stats.rows_materialized + Partition.total_cardinality d.parts;
+      Guards.check guards ~stats;
+      Hashtbl.replace temps (key target) d
     | Program.Rename { from_; into } ->
       let d = find_temp from_ in
       Hashtbl.remove temps (key from_);
-      Hashtbl.replace temps (key into) d
+      Hashtbl.replace temps (key into) d;
+      stats.Stats.renames <- stats.Stats.renames + 1
     | Program.Drop_temp name -> Hashtbl.remove temps (key name)
     | Program.Assert_unique_key { temp; key_idx } ->
       (* Coordinator-side key check: only keys travel, not counted. *)
@@ -394,14 +492,11 @@ let run_program ?(workers = 4) (catalog : Catalog.t) (program : Program.t) :
         | Program.Max_updates _ | Program.Delta_at_most _ | Program.Data _ ->
           st.snapshot <-
             Option.map gather (Hashtbl.find_opt temps (key st.cte))))
-    | Program.Loop_end { loop_id; body_start } -> (
+    | Program.Loop_end { loop_id; body_start } ->
       let st = Hashtbl.find loops loop_id in
       st.iterations <- st.iterations + 1;
       stats.Stats.loop_iterations <- stats.Stats.loop_iterations + 1;
-      if st.iterations >= st.guard then
-        raise
-          (Dbspinner_exec.Executor.Execution_error
-             "distributed loop exceeded its iteration guard");
+      Guards.check guards ~stats;
       let current () = gather (find_temp st.cte) in
       let updates () =
         match st.snapshot with
@@ -429,14 +524,56 @@ let run_program ?(workers = 4) (catalog : Catalog.t) (program : Program.t) :
           in
           not stop
       in
-      if continue_ then jump := Some body_start)
+      (* The guard trips only when another iteration would actually
+         run: termination firing exactly on the guard iteration
+         returns normally. *)
+      if continue_ && st.iterations >= st.guard then
+        raise
+          (Dbspinner_exec.Executor.Execution_error
+             "distributed loop exceeded its iteration guard");
+      if continue_ then jump := Some body_start;
+      (* Iteration-granular checkpoint: the completed iteration's CTE
+         partitions and loop counters become the new restart point. *)
+      let next_pc = match !jump with Some t -> t | None -> !pc + 1 in
+      last_checkpoint := take_checkpoint ~in_loop:true next_pc;
+      stats.Stats.checkpoints_taken <- stats.Stats.checkpoints_taken + 1;
+      attempts := 0
     | Program.Recursive_cte _ ->
       raise (Unsupported "recursive CTEs in distributed programs")
     | Program.Return plan ->
-      result := Some (gather (run ~temps ~workers ~shuffles ~stats catalog plan)));
-    match !jump with
-    | Some target -> pc := target
-    | None -> incr pc
+      result :=
+        Some (gather (run ~temps ~workers ~shuffles ~fault ~stats catalog plan)));
+    !jump
+  in
+  while !pc < Array.length steps do
+    let iteration =
+      Hashtbl.fold (fun _ st acc -> max acc st.iterations) loops 0
+    in
+    Fault.set_context fault ~step:!pc ~iteration;
+    match exec_step steps.(!pc) with
+    | jump -> (
+      match jump with
+      | Some target -> pc := target
+      | None -> incr pc)
+    | exception Fault.Transient_fault _ ->
+      stats.Stats.faults_injected <- stats.Stats.faults_injected + 1;
+      if !attempts >= max_retries then begin
+        (* Retry budget exhausted: degrade gracefully to single-node
+           execution instead of failing the query. *)
+        result := Some (fallback_single_node ~stats ~guards catalog program);
+        pc := Array.length steps
+      end
+      else begin
+        incr attempts;
+        stats.Stats.retries <- stats.Stats.retries + 1;
+        (* Deterministic exponential backoff, accounted not slept:
+           1, 2, 4, ... units per consecutive failure. *)
+        stats.Stats.backoff_steps <-
+          stats.Stats.backoff_steps + (1 lsl min (!attempts - 1) 16);
+        if !last_checkpoint.ck_in_loop then
+          stats.Stats.recoveries <- stats.Stats.recoveries + 1;
+        restore !last_checkpoint
+      end
   done;
   match !result with
   | Some rel -> (rel, shuffles)

@@ -2,11 +2,15 @@
     partitions, equi-joins and grouped aggregations repartition by key,
     order-sensitive operators gather; rows crossing workers are
     counted. Contract (property-tested): for every plan the result bag
-    equals single-node execution. *)
+    equals single-node execution — including under injected transient
+    faults, which {!run_program} survives via iteration-granular
+    checkpoints, bounded retries and single-node fallback. *)
 
 module Relation = Dbspinner_storage.Relation
 module Catalog = Dbspinner_storage.Catalog
 module Logical = Dbspinner_plan.Logical
+module Stats = Dbspinner_exec.Stats
+module Guards = Dbspinner_exec.Guards
 
 type shuffle_stats = {
   mutable rows_shuffled : int;  (** rows that moved between workers *)
@@ -14,10 +18,17 @@ type shuffle_stats = {
 }
 
 (** Execute [plan] across [workers] simulated workers (default 4);
-    returns the gathered result and the exchange volume.
+    returns the gathered result and the exchange volume. [fault]
+    injects transient faults at exchanges and per-partition operators;
+    plan-level execution has no checkpoints, so injected faults
+    propagate to the caller as {!Fault.Transient_fault}.
     @raise Invalid_argument when [workers <= 0]. *)
 val run_plan :
-  ?workers:int -> Catalog.t -> Logical.t -> Relation.t * shuffle_stats
+  ?workers:int ->
+  ?fault:Fault.plan ->
+  Catalog.t ->
+  Logical.t ->
+  Relation.t * shuffle_stats
 
 module Program = Dbspinner_plan.Program
 
@@ -27,7 +38,26 @@ exception Unsupported of string
     partitioned on the workers between steps, [Rename] swaps partition
     sets, and loop-termination checks beyond fixed iteration counts
     gather the CTE to the coordinator (not counted as shuffles).
+
+    Fault tolerance: on a {!Fault.Transient_fault} from [fault],
+    execution restarts from the last checkpoint (program start, then
+    after every completed loop iteration), retrying up to [max_retries]
+    consecutive times with deterministic backoff accounting before
+    degrading gracefully to single-node execution. Recovery activity is
+    recorded in [stats] ([faults_injected], [retries],
+    [checkpoints_taken], [recoveries], [fallbacks], [backoff_steps]).
+    [guards] are checked at materialize and loop boundaries;
+    {!Guards.Resource_exhausted} is never retried.
     @raise Unsupported for recursive CTEs
-    @raise Invalid_argument when [workers <= 0]. *)
+    @raise Guards.Resource_exhausted when a deadline or row budget is
+    crossed
+    @raise Invalid_argument when [workers <= 0] or [max_retries < 0]. *)
 val run_program :
-  ?workers:int -> Catalog.t -> Program.t -> Relation.t * shuffle_stats
+  ?workers:int ->
+  ?fault:Fault.plan ->
+  ?max_retries:int ->
+  ?guards:Guards.t ->
+  ?stats:Stats.t ->
+  Catalog.t ->
+  Program.t ->
+  Relation.t * shuffle_stats

@@ -1,0 +1,91 @@
+(** Deterministic fault injection for the simulated shared-nothing
+    layer. A {!plan} decides, at every exchange (repartition / gather /
+    broadcast) and per-partition operator, whether to raise a
+    {!Transient_fault} — simulating a worker crash or a dropped
+    exchange. Plans are seeded ({!Dbspinner_graph.Rng}) or scripted at
+    exact (step, iteration) points, so every failure schedule is
+    exactly reproducible: the same seed injects the same faults at the
+    same exchanges on every run, which is what lets the recovery
+    property tests assert byte-identical results. *)
+
+module Rng = Dbspinner_graph.Rng
+
+type site =
+  | Repartition  (** key-hash exchange between workers *)
+  | Gather  (** all partitions collapsing onto one worker *)
+  | Broadcast  (** one relation replicated to every worker *)
+  | Operator  (** per-partition operator execution (worker crash) *)
+
+let site_name = function
+  | Repartition -> "repartition"
+  | Gather -> "gather"
+  | Broadcast -> "broadcast"
+  | Operator -> "operator"
+
+exception Transient_fault of string
+
+type spec =
+  | No_faults
+  | Probabilistic of { seed : int; probability : float; max_faults : int }
+      (** each fault site draws from a seeded PRNG and fails with
+          [probability], up to [max_faults] total injections *)
+  | Scripted of (int * int) list
+      (** exact [(step, iteration)] points: the first fault site
+          reached while the executor is at program step [step] with
+          [iteration] completed loop iterations fails, once per point *)
+
+type plan = {
+  spec : spec;
+  rng : Rng.t;
+  mutable injected : int;
+  mutable step : int;  (** current program step, set by the executor *)
+  mutable iteration : int;  (** completed iterations of the active loop *)
+  pending : (int * int, unit) Hashtbl.t;  (** scripted points not yet fired *)
+}
+
+let make spec =
+  let seed = match spec with Probabilistic { seed; _ } -> seed | _ -> 0 in
+  let pending = Hashtbl.create 4 in
+  (match spec with
+  | Scripted points -> List.iter (fun p -> Hashtbl.replace pending p ()) points
+  | No_faults | Probabilistic _ -> ());
+  { spec; rng = Rng.create seed; injected = 0; step = 0; iteration = 0; pending }
+
+let none = make No_faults
+
+let probabilistic ?(max_faults = max_int) ~seed ~probability () =
+  make (Probabilistic { seed; probability; max_faults })
+
+let scripted points = make (Scripted points)
+
+let faults_injected t = t.injected
+
+(** Executors report their position before running each step so
+    scripted faults can target exact (step, iteration) points. *)
+let set_context t ~step ~iteration =
+  t.step <- step;
+  t.iteration <- iteration
+
+let inject t ~site =
+  t.injected <- t.injected + 1;
+  raise
+    (Transient_fault
+       (Printf.sprintf "injected transient fault at %s (step %d, iteration %d)"
+          (site_name site) t.step t.iteration))
+
+(** Called at every fault site; raises {!Transient_fault} when the plan
+    schedules a failure here. *)
+let tick t ~site =
+  match t.spec with
+  | No_faults -> ()
+  | Probabilistic { probability; max_faults; _ } ->
+    (* Draw even when saturated so the schedule of later sites does not
+       depend on how many faults already fired. *)
+    let draw = Rng.float t.rng in
+    if t.injected < max_faults && draw < probability then inject t ~site
+  | Scripted _ ->
+    let point = (t.step, t.iteration) in
+    if Hashtbl.mem t.pending point then begin
+      Hashtbl.remove t.pending point;
+      inject t ~site
+    end

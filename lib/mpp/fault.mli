@@ -1,0 +1,47 @@
+(** Deterministic, seedable fault injection for the simulated
+    shared-nothing layer: exchanges and per-partition operators can be
+    made to raise {!Transient_fault} with a configured probability or
+    at scripted (step, iteration) points. The distributed executor
+    recovers via loop checkpoints, bounded retries and single-node
+    fallback. *)
+
+type site =
+  | Repartition  (** key-hash exchange between workers *)
+  | Gather  (** all partitions collapsing onto one worker *)
+  | Broadcast  (** one relation replicated to every worker *)
+  | Operator  (** per-partition operator execution (worker crash) *)
+
+val site_name : site -> string
+
+exception Transient_fault of string
+
+type spec =
+  | No_faults
+  | Probabilistic of { seed : int; probability : float; max_faults : int }
+      (** each fault site draws from a seeded PRNG and fails with
+          [probability], up to [max_faults] total injections *)
+  | Scripted of (int * int) list
+      (** exact [(step, iteration)] points, firing once per point *)
+
+type plan
+
+val make : spec -> plan
+
+(** A fresh no-fault plan (ticks are free). *)
+val none : plan
+
+val probabilistic :
+  ?max_faults:int -> seed:int -> probability:float -> unit -> plan
+
+val scripted : (int * int) list -> plan
+
+(** Faults raised by this plan so far. *)
+val faults_injected : plan -> int
+
+(** Executors report their position before each step so scripted
+    faults can target exact (step, iteration) points. *)
+val set_context : plan -> step:int -> iteration:int -> unit
+
+(** Called at every fault site.
+    @raise Transient_fault when the plan schedules a failure here. *)
+val tick : plan -> site:site -> unit

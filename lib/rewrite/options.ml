@@ -22,6 +22,15 @@ type t = {
   max_iterations_guard : int;
       (** safety bound for iterative CTEs with Data/Delta termination
           that never converge *)
+  deadline_seconds : float option;
+      (** wall-clock budget per statement; crossing it raises a
+          Resource-stage error at the next materialize or loop boundary *)
+  row_budget : int option;
+      (** cap on total rows materialized per statement; same Resource
+          surfacing as the deadline *)
+  mpp_max_retries : int;
+      (** consecutive transient-fault retries before distributed
+          execution falls back to single-node *)
 }
 
 let default =
@@ -33,6 +42,9 @@ let default =
     use_outer_to_inner = true;
     max_recursion = 10_000;
     max_iterations_guard = 100_000;
+    deadline_seconds = None;
+    row_budget = None;
+    mpp_max_retries = 3;
   }
 
 (** All paper optimizations off: the naive rewrite the paper's
@@ -48,6 +60,20 @@ let unoptimized =
   }
 
 let to_string t =
-  Printf.sprintf "rename=%b common_result=%b pushdown=%b fold=%b outer_to_inner=%b"
+  let guards =
+    let deadline =
+      match t.deadline_seconds with
+      | None -> ""
+      | Some s -> Printf.sprintf " deadline=%gs" s
+    in
+    let budget =
+      match t.row_budget with
+      | None -> ""
+      | Some n -> Printf.sprintf " row_budget=%d" n
+    in
+    deadline ^ budget
+  in
+  Printf.sprintf
+    "rename=%b common_result=%b pushdown=%b fold=%b outer_to_inner=%b%s"
     t.use_rename t.use_common_result t.use_pushdown t.use_constant_folding
-    t.use_outer_to_inner
+    t.use_outer_to_inner guards

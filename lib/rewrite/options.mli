@@ -20,6 +20,14 @@ type t = {
   max_recursion : int;  (** safety bound for recursive CTEs *)
   max_iterations_guard : int;
       (** hard cap for Data/Delta terminations that never converge *)
+  deadline_seconds : float option;
+      (** wall-clock budget per statement; crossing it raises a
+          Resource-stage error at the next materialize or loop boundary *)
+  row_budget : int option;
+      (** cap on total rows materialized per statement *)
+  mpp_max_retries : int;
+      (** consecutive transient-fault retries before distributed
+          execution falls back to single-node *)
 }
 
 (** Everything on. *)
