@@ -6,7 +6,7 @@ DUNE ?= dune
 # Fixed seed so the property/fuzz suites are reproducible in CI.
 SMOKE_SEED ?= 42
 
-.PHONY: all build test fmt fmt-check smoke bench-fast check clean
+.PHONY: all build test fmt fmt-check smoke bench-fast check ci clean
 
 all: build
 
@@ -34,18 +34,25 @@ fmt-check:
 	fi
 
 # Quick reproducible confidence pass: the randomized property and fuzz
-# suites under a fixed seed, plus the fault-injection/recovery suite
-# (deterministic by construction — seeded fault plans).
+# suites under a fixed seed, the fault-injection/recovery suite and the
+# Domain-pool parallel suite (both deterministic by construction —
+# seeded fault plans, order-stable parallel merges), plus the fixed-seed
+# seq-vs-parallel benchmark section at workers=2.
 smoke: build
 	QCHECK_SEED=$(SMOKE_SEED) $(DUNE) exec test/test_properties.exe
 	QCHECK_SEED=$(SMOKE_SEED) $(DUNE) exec test/test_fuzz.exe
 	$(DUNE) exec test/test_fault.exe
 	$(DUNE) exec test/test_mpp.exe
+	QCHECK_SEED=$(SMOKE_SEED) $(DUNE) exec test/test_parallel.exe
+	$(DUNE) exec bench/main.exe -- ext-parallel --fast
 
 bench-fast: build
 	$(DUNE) exec bench/main.exe -- --fast
 
 check: build test fmt-check smoke
+
+# The minimal CI gate: compile, full test suite, formatting.
+ci: build test fmt-check
 
 clean:
 	$(DUNE) clean

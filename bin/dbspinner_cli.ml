@@ -15,6 +15,8 @@
      \set deadline SECS|off   wall-clock budget per statement
      \set budget ROWS|off     rows-materialized budget per statement
      \set retries N           transient-fault retries before fallback
+     \set workers N           Domain-pool size for parallel operators
+     \set chunk N             min rows before an operator chunks its input
      \options                 show optimizer switches
      \q                       quit *)
 
@@ -133,6 +135,19 @@ let set_guard engine key value =
       Engine.set_options engine { options with Options.mpp_max_retries = n };
       Printf.printf "set mpp retries = %d\n" n
     | _ -> print_endline "usage: \\set retries N")
+  | "workers" -> (
+    match int_of_string_opt value with
+    | Some n when n >= 1 ->
+      Engine.set_options engine { options with Options.parallel_workers = n };
+      Printf.printf "set workers = %d%s\n" n
+        (if n = 1 then " (sequential)" else "")
+    | _ -> print_endline "usage: \\set workers N (N >= 1)")
+  | "chunk" -> (
+    match int_of_string_opt value with
+    | Some n when n >= 1 ->
+      Engine.set_options engine { options with Options.parallel_chunk_rows = n };
+      Printf.printf "set chunk threshold = %d rows\n" n
+    | _ -> print_endline "usage: \\set chunk ROWS (>= 1)")
   | _ -> assert false
 
 let handle_meta engine line =
@@ -153,7 +168,7 @@ let handle_meta engine line =
     in
     generate engine name scale;
     `Continue
-  | [ "\\set"; (("deadline" | "budget" | "retries") as key); value ] ->
+  | [ "\\set"; (("deadline" | "budget" | "retries" | "workers" | "chunk") as key); value ] ->
     set_guard engine key value;
     `Continue
   | [ "\\set"; key; flag ] ->
@@ -166,11 +181,16 @@ let handle_meta engine line =
     print_endline
       "meta-commands: \\dt  \\load TABLE FILE  \\gen NAME [SCALE]  \\set OPT \
        on|off  \\set deadline SECS|off  \\set budget ROWS|off  \\set retries N  \
-       \\options  \\q";
+       \\set workers N  \\set chunk ROWS  \\options  \\q";
     `Continue
 
-let repl () =
-  let engine = Engine.create () in
+(** Session options for a CLI invocation: [--workers N] sets the
+    Domain-pool size for chunk-parallel operators. *)
+let options_of_workers workers =
+  { Options.default with Options.parallel_workers = max 1 workers }
+
+let repl workers =
+  let engine = Engine.create ~options:(options_of_workers workers) () in
   print_endline "dbspinner shell — SQL with WITH ITERATIVE support.";
   print_endline "Type \\gen dblp-like 0.2 to load a sample graph; \\q to quit.";
   let buffer = Buffer.create 256 in
@@ -197,10 +217,10 @@ let repl () =
   loop ();
   0
 
-let run_file path =
+let run_file workers path =
   match In_channel.with_open_text path In_channel.input_all with
   | sql ->
-    let engine = Engine.create () in
+    let engine = Engine.create ~options:(options_of_workers workers) () in
     (match Engine.execute_script engine sql with
     | results ->
       List.iter print_result results;
@@ -212,8 +232,8 @@ let run_file path =
     Printf.eprintf "%s\n" msg;
     1
 
-let demo () =
-  let engine = Engine.create () in
+let demo workers =
+  let engine = Engine.create ~options:(options_of_workers workers) () in
   generate engine "dblp-like" 0.25;
   print_endline "\n== PageRank (10 iterations), top 5 ==";
   print_string
@@ -243,21 +263,32 @@ let demo () =
 
 open Cmdliner
 
+let workers_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "w"; "workers" ] ~docv:"N"
+        ~doc:
+          "Domain-pool size for chunk-parallel operators (1 = sequential; \
+           results are identical either way).")
+
 let repl_cmd =
-  Cmd.v (Cmd.info "repl" ~doc:"Interactive SQL shell") Term.(const repl $ const ())
+  Cmd.v (Cmd.info "repl" ~doc:"Interactive SQL shell")
+    Term.(const repl $ workers_arg)
 
 let run_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
-  Cmd.v (Cmd.info "run" ~doc:"Execute a SQL script") Term.(const run_file $ file)
+  Cmd.v (Cmd.info "run" ~doc:"Execute a SQL script")
+    Term.(const run_file $ workers_arg $ file)
 
 let demo_cmd =
   Cmd.v
     (Cmd.info "demo" ~doc:"Run the paper's queries on a synthetic graph")
-    Term.(const demo $ const ())
+    Term.(const demo $ workers_arg)
 
 let main_cmd =
   let doc = "An analytical SQL engine with native iterative CTEs (DBSpinner)" in
-  Cmd.group ~default:Term.(const repl $ const ())
+  Cmd.group ~default:Term.(const repl $ workers_arg)
     (Cmd.info "dbspinner" ~version:"1.0.0" ~doc)
     [ repl_cmd; run_cmd; demo_cmd ]
 

@@ -139,15 +139,23 @@ let guards_of_options (options : Options.t) : Dbspinner_exec.Guards.t =
   Dbspinner_exec.Guards.make ?deadline_seconds:options.deadline_seconds
     ?row_budget:options.row_budget ()
 
+(** Chunk-parallel execution context from the session options ([None]
+    when [parallel_workers <= 1], i.e. sequential). *)
+let parallel_of_options (options : Options.t) :
+    Dbspinner_exec.Parallel.ctx option =
+  Dbspinner_exec.Parallel.context ~chunk_rows:options.parallel_chunk_rows
+    ~workers:options.parallel_workers ()
+
 let run_query ?(keep_temps = false) t (q : Ast.full_query) : Relation.t =
   let program = compile_query t q in
   let stats = Stats.create () in
   let guards = guards_of_options t.options in
+  let parallel = parallel_of_options t.options in
   Fun.protect
     ~finally:(fun () ->
       Stats.add ~into:t.stats stats;
       if not keep_temps then Catalog.clear_temps t.catalog)
-    (fun () -> Executor.run_program ~stats ~guards t.catalog program)
+    (fun () -> Executor.run_program ?parallel ~stats ~guards t.catalog program)
 
 (* ------------------------------------------------------------------ *)
 (* DML                                                                 *)
@@ -506,6 +514,7 @@ let rec exec_statement t (stmt : Ast.statement) : result =
            executor counters next to the estimates. *)
         let stats = Stats.create () in
         let guards = guards_of_options t.options in
+        let parallel = parallel_of_options t.options in
         let rel, seconds =
           let t0 = Unix.gettimeofday () in
           let rel =
@@ -513,7 +522,8 @@ let rec exec_statement t (stmt : Ast.statement) : result =
               ~finally:(fun () ->
                 Stats.add ~into:t.stats stats;
                 Catalog.clear_temps t.catalog)
-              (fun () -> Executor.run_program ~stats ~guards t.catalog program)
+              (fun () ->
+                Executor.run_program ?parallel ~stats ~guards t.catalog program)
           in
           (rel, Unix.gettimeofday () -. t0)
         in

@@ -22,10 +22,11 @@ let error fmt = Printf.ksprintf (fun s -> raise (Execution_error s)) fmt
 (* ------------------------------------------------------------------ *)
 (* Plan evaluation                                                     *)
 
-let rec run_plan ~(stats : Stats.t) (catalog : Catalog.t) (plan : Logical.t) :
-    Relation.t =
+let rec run_plan ?parallel ~(stats : Stats.t) (catalog : Catalog.t)
+    (plan : Logical.t) : Relation.t =
   match plan with
   | Logical.L_scan { name; scan_schema } -> (
+    Stats.timed stats Stats.Op_scan @@ fun () ->
     match Catalog.resolve_opt catalog name with
     | None -> error "relation %s does not exist" name
     | Some rel ->
@@ -36,40 +37,42 @@ let rec run_plan ~(stats : Stats.t) (catalog : Catalog.t) (plan : Logical.t) :
       rel)
   | Logical.L_values rel -> rel
   | Logical.L_filter { pred; input } ->
-    Operators.filter ~stats pred (run_plan ~stats catalog input)
+    Operators.filter ?parallel ~stats pred (run_plan ?parallel ~stats catalog input)
   | Logical.L_project { exprs; input } ->
-    Operators.project ~stats exprs (run_plan ~stats catalog input)
+    Operators.project ?parallel ~stats exprs
+      (run_plan ?parallel ~stats catalog input)
   | Logical.L_join { kind; cond; left; right; join_schema } ->
-    let l = run_plan ~stats catalog left in
-    let r = run_plan ~stats catalog right in
-    Operators.join ~stats kind cond l r join_schema
+    let l = run_plan ?parallel ~stats catalog left in
+    let r = run_plan ?parallel ~stats catalog right in
+    Operators.join ?parallel ~stats kind cond l r join_schema
   | Logical.L_aggregate { keys; aggs; input; agg_schema } ->
-    Operators.aggregate ~stats ~keys ~aggs (run_plan ~stats catalog input)
+    Operators.aggregate ~stats ~keys ~aggs
+      (run_plan ?parallel ~stats catalog input)
       agg_schema
   | Logical.L_distinct input ->
-    Operators.distinct ~stats (run_plan ~stats catalog input)
+    Operators.distinct ~stats (run_plan ?parallel ~stats catalog input)
   | Logical.L_sort { keys; input } ->
-    Operators.sort ~stats keys (run_plan ~stats catalog input)
+    Operators.sort ~stats keys (run_plan ?parallel ~stats catalog input)
   | Logical.L_limit (n, input) ->
-    Operators.limit ~stats n (run_plan ~stats catalog input)
+    Operators.limit ~stats n (run_plan ?parallel ~stats catalog input)
   | Logical.L_offset (n, input) ->
-    Operators.offset ~stats n (run_plan ~stats catalog input)
+    Operators.offset ~stats n (run_plan ?parallel ~stats catalog input)
   | Logical.L_union { all; left; right } ->
-    let l = run_plan ~stats catalog left in
-    let r = run_plan ~stats catalog right in
+    let l = run_plan ?parallel ~stats catalog left in
+    let r = run_plan ?parallel ~stats catalog right in
     let u = Operators.union_all ~stats l r in
     if all then u else Operators.distinct ~stats u
   | Logical.L_intersect { all; left; right } ->
-    let l = run_plan ~stats catalog left in
-    let r = run_plan ~stats catalog right in
+    let l = run_plan ?parallel ~stats catalog left in
+    let r = run_plan ?parallel ~stats catalog right in
     Operators.intersect ~stats ~all l r
   | Logical.L_except { all; left; right } ->
-    let l = run_plan ~stats catalog left in
-    let r = run_plan ~stats catalog right in
+    let l = run_plan ?parallel ~stats catalog left in
+    let r = run_plan ?parallel ~stats catalog right in
     Operators.except ~stats ~all l r
   | Logical.L_subquery_filter { anti; key; input; sub } ->
-    let i = run_plan ~stats catalog input in
-    let sq = run_plan ~stats catalog sub in
+    let i = run_plan ?parallel ~stats catalog input in
+    let sq = run_plan ?parallel ~stats catalog sub in
     Operators.subquery_filter ~stats ~anti ~key i sq
 
 (* ------------------------------------------------------------------ *)
@@ -107,9 +110,10 @@ let loop_continue ~(stats : Stats.t) catalog (st : loop_state) : bool =
       let rel = current () in
       let satisfied = ref 0 in
       Relation.iter (fun r -> if Eval.eval_pred r pred then incr satisfied) rel;
+      (* ALL over an empty relation is vacuously true: a CTE that
+         drains to empty must stop, not spin until the guard trips. *)
       let stop =
-        if any then !satisfied > 0
-        else !satisfied = Relation.cardinality rel && Relation.cardinality rel > 0
+        if any then !satisfied > 0 else !satisfied = Relation.cardinality rel
       in
       not stop
   in
@@ -125,9 +129,9 @@ let loop_continue ~(stats : Stats.t) catalog (st : loop_state) : bool =
 (* ------------------------------------------------------------------ *)
 (* Recursive CTE (semi-naive)                                          *)
 
-let run_recursive ~stats catalog ~name ~work_name ~base ~step_plan ~union_all
-    ~max_recursion =
-  let base_rel = run_plan ~stats catalog base in
+let run_recursive ?parallel ~stats catalog ~name ~work_name ~base ~step_plan
+    ~union_all ~max_recursion =
+  let base_rel = run_plan ?parallel ~stats catalog base in
   let schema = Relation.schema base_rel in
   let module Row_tbl = Operators.Row_tbl in
   let seen = Row_tbl.create (max 16 (Relation.cardinality base_rel)) in
@@ -154,7 +158,7 @@ let run_recursive ~stats catalog ~name ~work_name ~base ~step_plan ~union_all
       error "recursive CTE %s exceeded %d rounds (missing fixed point?)" name
         max_recursion;
     Catalog.set_temp catalog work_name !working;
-    let produced = run_plan ~stats catalog step_plan in
+    let produced = run_plan ?parallel ~stats catalog step_plan in
     let fresh = if union_all then produced else dedupe produced in
     push fresh;
     working := fresh
@@ -187,7 +191,7 @@ let assert_unique_key catalog ~temp ~key_idx =
 (** Run a step program to completion and return the final relation.
     [guards] (wall-clock deadline, rows-materialized budget) are
     checked at materialize and loop boundaries. *)
-let run_program ?(stats = Stats.create ()) ?(guards = Guards.none)
+let run_program ?parallel ?(stats = Stats.create ()) ?(guards = Guards.none)
     (catalog : Catalog.t) (program : Program.t) : Relation.t =
   let steps = Program.steps program in
   let loops : (int, loop_state) Hashtbl.t = Hashtbl.create 4 in
@@ -197,7 +201,7 @@ let run_program ?(stats = Stats.create ()) ?(guards = Guards.none)
     let jump = ref None in
     (match steps.(!pc) with
     | Program.Materialize { target; plan } ->
-      let rel = run_plan ~stats catalog plan in
+      let rel = run_plan ?parallel ~stats catalog plan in
       stats.Stats.materializations <- stats.Stats.materializations + 1;
       stats.Stats.rows_materialized <-
         stats.Stats.rows_materialized + Relation.cardinality rel;
@@ -232,9 +236,10 @@ let run_program ?(stats = Stats.create ()) ?(guards = Guards.none)
         if loop_continue ~stats catalog st then jump := Some body_start)
     | Program.Recursive_cte
         { name; work_name; base; step_plan; union_all; max_recursion } ->
-      run_recursive ~stats catalog ~name ~work_name ~base ~step_plan ~union_all
-        ~max_recursion
-    | Program.Return plan -> result := Some (run_plan ~stats catalog plan));
+      run_recursive ?parallel ~stats catalog ~name ~work_name ~base ~step_plan
+        ~union_all ~max_recursion
+    | Program.Return plan ->
+      result := Some (run_plan ?parallel ~stats catalog plan));
     match !jump with
     | Some target -> pc := target
     | None -> incr pc
@@ -245,7 +250,7 @@ let run_program ?(stats = Stats.create ()) ?(guards = Guards.none)
 
 (** Loop-iteration count of the last loop in a program run — exposed
     for tests via running with an explicit [stats]. *)
-let run_program_with_stats ?guards catalog program =
+let run_program_with_stats ?parallel ?guards catalog program =
   let stats = Stats.create () in
-  let rel = run_program ~stats ?guards catalog program in
+  let rel = run_program ?parallel ~stats ?guards catalog program in
   (rel, stats)

@@ -11,9 +11,12 @@ module Program = Dbspinner_plan.Program
 exception Execution_error of string
 
 (** Evaluate one logical plan. Scans resolve through the catalog with
-    temps shadowing base tables.
+    temps shadowing base tables. [?parallel] enables chunk-parallel
+    filter/project/hash-probe; results and logical stats counters are
+    identical to sequential execution.
     @raise Execution_error on missing relations or runtime failures. *)
-val run_plan : stats:Stats.t -> Catalog.t -> Logical.t -> Relation.t
+val run_plan :
+  ?parallel:Parallel.ctx -> stats:Stats.t -> Catalog.t -> Logical.t -> Relation.t
 
 (** The §II duplicate-row-key check: fails when the named temp has
     duplicate or NULL keys in column [key_idx].
@@ -30,8 +33,17 @@ val assert_unique_key : Catalog.t -> temp:string -> key_idx:int -> unit
     @raise Guards.Resource_exhausted when a deadline or row budget is
     crossed. *)
 val run_program :
-  ?stats:Stats.t -> ?guards:Guards.t -> Catalog.t -> Program.t -> Relation.t
+  ?parallel:Parallel.ctx ->
+  ?stats:Stats.t ->
+  ?guards:Guards.t ->
+  Catalog.t ->
+  Program.t ->
+  Relation.t
 
 (** Convenience: run with a fresh {!Stats.t} and return it. *)
 val run_program_with_stats :
-  ?guards:Guards.t -> Catalog.t -> Program.t -> Relation.t * Stats.t
+  ?parallel:Parallel.ctx ->
+  ?guards:Guards.t ->
+  Catalog.t ->
+  Program.t ->
+  Relation.t * Stats.t

@@ -1,7 +1,13 @@
 (** Physical relational operators. Each consumes and produces
     materialized {!Relation.t} values; joins are hash joins whenever an
     equi-conjunct can be extracted from the condition, with a
-    nested-loop fallback. *)
+    nested-loop fallback.
+
+    [filter], [project] and the hash-join probe accept an optional
+    {!Parallel.ctx} and split large inputs into contiguous chunks
+    executed across the Domain pool. Chunk outputs are concatenated in
+    chunk order and per-chunk counters are merged in chunk order, so
+    the parallel path is bit-identical to the sequential one. *)
 
 module Value = Dbspinner_storage.Value
 module Row = Dbspinner_storage.Row
@@ -18,25 +24,43 @@ module Row_tbl = Hashtbl.Make (struct
   let hash = Row.hash
 end)
 
-let filter ~stats pred (rel : Relation.t) : Relation.t =
-  let rows =
-    Array.of_seq
-      (Seq.filter (fun r -> Eval.eval_pred r pred) (Array.to_seq (Relation.rows rel)))
+let filter ?parallel ~(stats : Stats.t) pred (rel : Relation.t) : Relation.t =
+  Stats.timed stats Stats.Op_filter @@ fun () ->
+  let rows = Relation.rows rel in
+  let n = Array.length rows in
+  let chunk (st : Stats.t) lo len =
+    st.Stats.rows_filtered <- st.Stats.rows_filtered + len;
+    let kept = ref [] in
+    for j = lo + len - 1 downto lo do
+      let r = rows.(j) in
+      if Eval.eval_pred r pred then kept := r :: !kept
+    done;
+    Array.of_list !kept
   in
-  ignore stats;
-  Relation.make (Relation.schema rel) rows
+  let chunks = Parallel.chunked parallel ~stats ~n chunk in
+  Relation.make (Relation.schema rel) (Array.concat (Array.to_list chunks))
 
-let project ~stats exprs (rel : Relation.t) : Relation.t =
-  ignore stats;
+let project ?parallel ~(stats : Stats.t) exprs (rel : Relation.t) : Relation.t =
+  Stats.timed stats Stats.Op_project @@ fun () ->
   let schema = Schema.of_names (List.map snd exprs) in
   let exprs = Array.of_list (List.map fst exprs) in
-  let rows =
-    Array.map (fun r -> Array.map (fun e -> Eval.eval r e) exprs) (Relation.rows rel)
+  let rows = Relation.rows rel in
+  let n = Array.length rows in
+  (* Chunks write disjoint index ranges of one pre-sized output array,
+     so the merged result is position-identical to the sequential map. *)
+  let out = Array.make n [||] in
+  let chunk (st : Stats.t) lo len =
+    st.Stats.rows_projected <- st.Stats.rows_projected + len;
+    for j = lo to lo + len - 1 do
+      let r = rows.(j) in
+      out.(j) <- Array.map (fun e -> Eval.eval r e) exprs
+    done
   in
-  Relation.make schema rows
+  ignore (Parallel.chunked parallel ~stats ~n chunk);
+  Relation.make schema out
 
 let distinct ~stats (rel : Relation.t) : Relation.t =
-  ignore stats;
+  Stats.timed stats Stats.Op_distinct @@ fun () ->
   let seen = Row_tbl.create (Relation.cardinality rel) in
   let keep = ref [] in
   Relation.iter
@@ -49,7 +73,7 @@ let distinct ~stats (rel : Relation.t) : Relation.t =
   Relation.make (Relation.schema rel) (Array.of_list (List.rev !keep))
 
 let sort ~stats keys (rel : Relation.t) : Relation.t =
-  ignore stats;
+  Stats.timed stats Stats.Op_sort @@ fun () ->
   let keys = Array.of_list keys in
   let compare_rows a b =
     let rec go i =
@@ -94,7 +118,7 @@ let counts_of (rel : Relation.t) =
 (** INTERSECT [ALL]: bag semantics take the minimum multiplicity; set
     semantics emit each common row once. *)
 let intersect ~stats ~all (a : Relation.t) (b : Relation.t) : Relation.t =
-  ignore stats;
+  Stats.timed stats Stats.Op_setop @@ fun () ->
   let right_counts = counts_of b in
   let emitted = Row_tbl.create 16 in
   let out = ref [] in
@@ -117,7 +141,7 @@ let intersect ~stats ~all (a : Relation.t) (b : Relation.t) : Relation.t =
 (** EXCEPT [ALL]: bag semantics subtract multiplicities; set semantics
     emit each left-only row once. *)
 let except ~stats ~all (a : Relation.t) (b : Relation.t) : Relation.t =
-  ignore stats;
+  Stats.timed stats Stats.Op_setop @@ fun () ->
   let right_counts = counts_of b in
   let emitted = Row_tbl.create 16 in
   let out = ref [] in
@@ -143,7 +167,7 @@ let except ~stats ~all (a : Relation.t) (b : Relation.t) : Relation.t =
     (inverted for [anti]). *)
 let subquery_filter ~stats ~anti ~(key : Bound_expr.t option)
     (input : Relation.t) (sub : Relation.t) : Relation.t =
-  ignore stats;
+  Stats.timed stats Stats.Op_setop @@ fun () ->
   match key with
   | None ->
     let nonempty = not (Relation.is_empty sub) in
@@ -214,9 +238,13 @@ let eval_residual residual row =
 let key_has_null (k : Row.t) = Array.exists Value.is_null k
 
 (** Hash join over extracted keys. Emits left++right rows; [kind]
-    controls unmatched-row padding. *)
-let hash_join ~(stats : Stats.t) kind keys residual (left : Relation.t)
-    (right : Relation.t) schema : Relation.t =
+    controls unmatched-row padding. The build side is sequential; the
+    probe side is chunk-parallel over the left rows, with per-chunk
+    outputs concatenated in chunk order (probe order == left order,
+    identical to sequential). *)
+let hash_join ?parallel ~(stats : Stats.t) kind keys residual
+    (left : Relation.t) (right : Relation.t) schema : Relation.t =
+  Stats.timed stats Stats.Op_join @@ fun () ->
   let left_keys = Array.of_list (List.map fst keys) in
   let right_keys = Array.of_list (List.map snd keys) in
   let key_of row exprs = Array.map (fun e -> Eval.eval row e) exprs in
@@ -235,13 +263,18 @@ let hash_join ~(stats : Stats.t) kind keys residual (left : Relation.t)
       Some (Array.make (Relation.cardinality right) false)
     | _ -> None
   in
-  let out = ref [] in
-  let emit row = out := row :: !out in
   let l_arity = Schema.arity (Relation.schema left) in
   let r_arity = Schema.arity (Relation.schema right) in
-  Relation.iter
-    (fun lrow ->
-      stats.Stats.join_probes <- stats.Stats.join_probes + 1;
+  let lrows = Relation.rows left in
+  let n = Array.length lrows in
+  (* Chunks only ever write [true] into [right_matched]; writes become
+     visible at the barrier, before the padding pass reads the array. *)
+  let probe (st : Stats.t) lo len =
+    let out = ref [] in
+    let emit row = out := row :: !out in
+    for j = lo to lo + len - 1 do
+      let lrow = lrows.(j) in
+      st.Stats.join_probes <- st.Stats.join_probes + 1;
       let k = key_of lrow left_keys in
       let matched = ref false in
       if not (key_has_null k) then begin
@@ -262,22 +295,31 @@ let hash_join ~(stats : Stats.t) kind keys residual (left : Relation.t)
         match kind with
         | Logical.Left_outer | Logical.Full_outer ->
           emit (Row.concat lrow (null_row r_arity))
-        | Logical.Inner | Logical.Right_outer | Logical.Cross -> ())
-    left;
-  (match right_matched, kind with
-  | Some arr, (Logical.Right_outer | Logical.Full_outer) ->
-    Array.iteri
-      (fun idx m ->
-        if not m then emit (Row.concat (null_row l_arity) (Relation.rows right).(idx)))
-      arr
-  | _ -> ());
-  let rows = Array.of_list (List.rev !out) in
+        | Logical.Inner | Logical.Right_outer | Logical.Cross -> ()
+    done;
+    Array.of_list (List.rev !out)
+  in
+  let chunks = Parallel.chunked parallel ~stats ~n probe in
+  let pad =
+    match right_matched, kind with
+    | Some arr, (Logical.Right_outer | Logical.Full_outer) ->
+      let extra = ref [] in
+      let rrows = Relation.rows right in
+      for idx = Array.length arr - 1 downto 0 do
+        if not arr.(idx) then
+          extra := Row.concat (null_row l_arity) rrows.(idx) :: !extra
+      done;
+      [ Array.of_list !extra ]
+    | _ -> []
+  in
+  let rows = Array.concat (Array.to_list chunks @ pad) in
   stats.Stats.rows_joined <- stats.Stats.rows_joined + Array.length rows;
   Relation.make schema rows
 
 (** Nested-loop fallback when no equi-key exists. *)
 let nested_loop_join ~(stats : Stats.t) kind cond (left : Relation.t)
     (right : Relation.t) schema : Relation.t =
+  Stats.timed stats Stats.Op_join @@ fun () ->
   let l_arity = Schema.arity (Relation.schema left) in
   let r_arity = Schema.arity (Relation.schema right) in
   let right_matched =
@@ -321,8 +363,8 @@ let nested_loop_join ~(stats : Stats.t) kind cond (left : Relation.t)
   stats.Stats.rows_joined <- stats.Stats.rows_joined + Array.length rows;
   Relation.make schema rows
 
-let join ~stats kind cond (left : Relation.t) (right : Relation.t) schema :
-    Relation.t =
+let join ?parallel ~stats kind cond (left : Relation.t) (right : Relation.t)
+    schema : Relation.t =
   match kind, cond with
   | Logical.Cross, _ -> nested_loop_join ~stats kind None left right schema
   | _, None -> nested_loop_join ~stats kind None left right schema
@@ -330,7 +372,8 @@ let join ~stats kind cond (left : Relation.t) (right : Relation.t) schema :
     let left_arity = Schema.arity (Relation.schema left) in
     match split_equi_condition ~left_arity c with
     | [], _ -> nested_loop_join ~stats kind (Some c) left right schema
-    | keys, residual -> hash_join ~stats kind keys residual left right schema)
+    | keys, residual ->
+      hash_join ?parallel ~stats kind keys residual left right schema)
 
 (* ------------------------------------------------------------------ *)
 (* Aggregation                                                         *)
@@ -385,6 +428,7 @@ let finalize (kind : Ast.agg_kind) acc : Value.t =
 
 let aggregate ~(stats : Stats.t) ~keys ~(aggs : Logical.agg list)
     (input : Relation.t) schema : Relation.t =
+  Stats.timed stats Stats.Op_aggregate @@ fun () ->
   let keys = Array.of_list keys in
   let aggs = Array.of_list aggs in
   stats.Stats.rows_aggregated <-

@@ -1,7 +1,13 @@
 (** Physical relational operators over materialized relations. Joins
     are hash joins whenever an equi-conjunct can be extracted from the
     condition, with a nested-loop fallback; NULL join keys never
-    match. *)
+    match.
+
+    [filter], [project] and the hash-join probe accept an optional
+    [?parallel] context ({!Parallel.ctx}) and split inputs above the
+    context's chunk threshold across the Domain pool; chunk outputs
+    and counters merge in chunk order, so results and logical stats
+    are identical to the sequential path. *)
 
 module Value = Dbspinner_storage.Value
 module Row = Dbspinner_storage.Row
@@ -13,8 +19,15 @@ module Logical = Dbspinner_plan.Logical
 (** Hashtable keyed by rows (used across the executor and MPP layer). *)
 module Row_tbl : Hashtbl.S with type key = Row.t
 
-val filter : stats:Stats.t -> Bound_expr.t -> Relation.t -> Relation.t
-val project : stats:Stats.t -> (Bound_expr.t * string) list -> Relation.t -> Relation.t
+val filter :
+  ?parallel:Parallel.ctx -> stats:Stats.t -> Bound_expr.t -> Relation.t -> Relation.t
+
+val project :
+  ?parallel:Parallel.ctx ->
+  stats:Stats.t ->
+  (Bound_expr.t * string) list ->
+  Relation.t ->
+  Relation.t
 val distinct : stats:Stats.t -> Relation.t -> Relation.t
 
 (** Stable sort by [(expr, descending)] keys; NULLs sort first
@@ -51,8 +64,10 @@ val subquery_filter :
 val split_equi_condition :
   left_arity:int -> Bound_expr.t -> (Bound_expr.t * Bound_expr.t) list * Bound_expr.t list
 
-(** Hash join over extracted keys; [residual] filters combined rows. *)
+(** Hash join over extracted keys; [residual] filters combined rows.
+    Sequential build, chunk-parallel probe. *)
 val hash_join :
+  ?parallel:Parallel.ctx ->
   stats:Stats.t ->
   Logical.join_kind ->
   (Bound_expr.t * Bound_expr.t) list ->
@@ -74,6 +89,7 @@ val nested_loop_join :
 
 (** Dispatch: hash join when an equi-key exists, else nested loop. *)
 val join :
+  ?parallel:Parallel.ctx ->
   stats:Stats.t ->
   Logical.join_kind ->
   Bound_expr.t option ->

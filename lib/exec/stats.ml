@@ -4,10 +4,61 @@
     eliminates merge materializations). The fault/recovery counters are
     filled in by the distributed executor so benchmarks can measure
     recovery overhead (faults survived, checkpoints taken, fallbacks to
-    single-node execution). *)
+    single-node execution).
+
+    Two kinds of fields live here:
+
+    - {e logical} integer counters, deterministic for a given plan and
+      input (and, under parallel execution, merged from per-task
+      private instances in task order so totals stay deterministic);
+    - {e wall-time} buckets ([op_wall]), one per operator family, so
+      EXPLAIN ANALYZE can show where time goes. Times are measured,
+      not deterministic, and under parallel execution they sum CPU
+      seconds across domains. {!logical_equal} ignores them. *)
+
+(** Operator families timed into {!t.op_wall}. *)
+type op =
+  | Op_scan
+  | Op_filter
+  | Op_project
+  | Op_join
+  | Op_aggregate
+  | Op_sort
+  | Op_distinct
+  | Op_setop  (** union / intersect / except / subquery filters *)
+
+let op_count = 8
+
+let op_index = function
+  | Op_scan -> 0
+  | Op_filter -> 1
+  | Op_project -> 2
+  | Op_join -> 3
+  | Op_aggregate -> 4
+  | Op_sort -> 5
+  | Op_distinct -> 6
+  | Op_setop -> 7
+
+let op_name = function
+  | Op_scan -> "scan"
+  | Op_filter -> "filter"
+  | Op_project -> "project"
+  | Op_join -> "join"
+  | Op_aggregate -> "aggregate"
+  | Op_sort -> "sort"
+  | Op_distinct -> "distinct"
+  | Op_setop -> "setop"
+
+let all_ops =
+  [
+    Op_scan; Op_filter; Op_project; Op_join; Op_aggregate; Op_sort; Op_distinct;
+    Op_setop;
+  ]
 
 type t = {
   mutable rows_scanned : int;
+  mutable rows_filtered : int;  (** rows evaluated by filter operators *)
+  mutable rows_projected : int;  (** rows produced by projections *)
   mutable rows_joined : int;  (** rows produced by join operators *)
   mutable join_probes : int;  (** probe-side rows processed *)
   mutable rows_aggregated : int;  (** rows consumed by aggregations *)
@@ -25,11 +76,16 @@ type t = {
   mutable backoff_steps : int;
       (** cumulative deterministic backoff units accrued across retries
           (simulated, not slept) *)
+  op_wall : float array;
+      (** seconds spent per operator family, indexed by {!op_index};
+          CPU seconds (summed across domains) under parallel execution *)
 }
 
 let create () =
   {
     rows_scanned = 0;
+    rows_filtered = 0;
+    rows_projected = 0;
     rows_joined = 0;
     join_probes = 0;
     rows_aggregated = 0;
@@ -45,10 +101,13 @@ let create () =
     recoveries = 0;
     fallbacks = 0;
     backoff_steps = 0;
+    op_wall = Array.make op_count 0.0;
   }
 
 let reset t =
   t.rows_scanned <- 0;
+  t.rows_filtered <- 0;
+  t.rows_projected <- 0;
   t.rows_joined <- 0;
   t.join_probes <- 0;
   t.rows_aggregated <- 0;
@@ -63,10 +122,13 @@ let reset t =
   t.checkpoints_taken <- 0;
   t.recoveries <- 0;
   t.fallbacks <- 0;
-  t.backoff_steps <- 0
+  t.backoff_steps <- 0;
+  Array.fill t.op_wall 0 op_count 0.0
 
 let add ~into (src : t) =
   into.rows_scanned <- into.rows_scanned + src.rows_scanned;
+  into.rows_filtered <- into.rows_filtered + src.rows_filtered;
+  into.rows_projected <- into.rows_projected + src.rows_projected;
   into.rows_joined <- into.rows_joined + src.rows_joined;
   into.join_probes <- into.join_probes + src.join_probes;
   into.rows_aggregated <- into.rows_aggregated + src.rows_aggregated;
@@ -81,15 +143,51 @@ let add ~into (src : t) =
   into.checkpoints_taken <- into.checkpoints_taken + src.checkpoints_taken;
   into.recoveries <- into.recoveries + src.recoveries;
   into.fallbacks <- into.fallbacks + src.fallbacks;
-  into.backoff_steps <- into.backoff_steps + src.backoff_steps
+  into.backoff_steps <- into.backoff_steps + src.backoff_steps;
+  for i = 0 to op_count - 1 do
+    into.op_wall.(i) <- into.op_wall.(i) +. src.op_wall.(i)
+  done
+
+(** Equality of the deterministic logical counters; wall-time buckets
+    are excluded (they vary run to run). Used by the seq-vs-parallel
+    equivalence tests. *)
+let logical_equal a b =
+  a.rows_scanned = b.rows_scanned
+  && a.rows_filtered = b.rows_filtered
+  && a.rows_projected = b.rows_projected
+  && a.rows_joined = b.rows_joined
+  && a.join_probes = b.join_probes
+  && a.rows_aggregated = b.rows_aggregated
+  && a.rows_materialized = b.rows_materialized
+  && a.materializations = b.materializations
+  && a.renames = b.renames
+  && a.loop_iterations = b.loop_iterations
+  && a.statements = b.statements
+  && a.dml_rows_touched = b.dml_rows_touched
+  && a.faults_injected = b.faults_injected
+  && a.retries = b.retries
+  && a.checkpoints_taken = b.checkpoints_taken
+  && a.recoveries = b.recoveries
+  && a.fallbacks = b.fallbacks
+  && a.backoff_steps = b.backoff_steps
+
+(** [timed t op f] runs [f ()], accruing its elapsed wall time into
+    [t]'s bucket for [op] (also on exception). *)
+let timed t op f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      let i = op_index op in
+      t.op_wall.(i) <- t.op_wall.(i) +. (Unix.gettimeofday () -. t0))
+    f
 
 let pp fmt t =
   Format.fprintf fmt
-    "scanned=%d joined=%d probes=%d aggregated=%d materialized=%d(%d ops) \
-     renames=%d iterations=%d statements=%d dml_rows=%d"
-    t.rows_scanned t.rows_joined t.join_probes t.rows_aggregated
-    t.rows_materialized t.materializations t.renames t.loop_iterations
-    t.statements t.dml_rows_touched;
+    "scanned=%d filtered=%d projected=%d joined=%d probes=%d aggregated=%d \
+     materialized=%d(%d ops) renames=%d iterations=%d statements=%d dml_rows=%d"
+    t.rows_scanned t.rows_filtered t.rows_projected t.rows_joined t.join_probes
+    t.rows_aggregated t.rows_materialized t.materializations t.renames
+    t.loop_iterations t.statements t.dml_rows_touched;
   (* Recovery counters only appear once something faulted, so the
      common no-fault output stays short. *)
   if
@@ -100,6 +198,15 @@ let pp fmt t =
       " faults=%d retries=%d checkpoints=%d recoveries=%d fallbacks=%d \
        backoff=%d"
       t.faults_injected t.retries t.checkpoints_taken t.recoveries t.fallbacks
-      t.backoff_steps
+      t.backoff_steps;
+  (* Per-operator wall-time buckets, only once something was timed. *)
+  if Array.exists (fun s -> s > 0.0) t.op_wall then begin
+    Format.fprintf fmt "@\n  op wall time:";
+    List.iter
+      (fun op ->
+        let s = t.op_wall.(op_index op) in
+        if s > 0.0 then Format.fprintf fmt " %s=%.4fs" (op_name op) s)
+      all_ops
+  end
 
 let to_string t = Format.asprintf "%a" pp t

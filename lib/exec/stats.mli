@@ -1,10 +1,28 @@
 (** Per-execution counters. Benchmarks and tests use these to verify
     that an optimization actually changed the work performed, not just
     the wall time. The fault/recovery counters are filled in by the
-    distributed executor's checkpoint-recovery machinery. *)
+    distributed executor's checkpoint-recovery machinery.
+
+    Integer counters are {e logical}: deterministic for a given plan
+    and input, even under parallel execution (per-task private
+    instances are merged in task order). The [op_wall] buckets are
+    measured wall time and excluded from {!logical_equal}. *)
+
+(** Operator families timed into {!t.op_wall} via {!timed}. *)
+type op =
+  | Op_scan
+  | Op_filter
+  | Op_project
+  | Op_join
+  | Op_aggregate
+  | Op_sort
+  | Op_distinct
+  | Op_setop  (** union / intersect / except / subquery filters *)
 
 type t = {
   mutable rows_scanned : int;
+  mutable rows_filtered : int;  (** rows evaluated by filter operators *)
+  mutable rows_projected : int;  (** rows produced by projections *)
   mutable rows_joined : int;  (** rows produced by join operators *)
   mutable join_probes : int;  (** probe-side rows processed *)
   mutable rows_aggregated : int;  (** rows consumed by aggregations *)
@@ -22,13 +40,29 @@ type t = {
   mutable backoff_steps : int;
       (** cumulative deterministic backoff units accrued across retries
           (simulated, not slept) *)
+  op_wall : float array;
+      (** seconds spent per operator family, indexed by {!op_index};
+          CPU seconds (summed across domains) under parallel execution *)
 }
 
 val create : unit -> t
 val reset : t -> unit
 
-(** [add ~into src] accumulates [src] into [into]. *)
+(** [add ~into src] accumulates [src] into [into] (wall-time buckets
+    included). *)
 val add : into:t -> t -> unit
+
+(** Equality of the deterministic logical counters; [op_wall] is
+    ignored. Used by seq-vs-parallel equivalence tests. *)
+val logical_equal : t -> t -> bool
+
+val op_index : op -> int
+val op_name : op -> string
+val all_ops : op list
+
+(** [timed t op f] runs [f ()], accruing its elapsed wall time into
+    [t]'s bucket for [op] (also on exception). *)
+val timed : t -> op -> (unit -> 'a) -> 'a
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

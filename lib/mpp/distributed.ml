@@ -23,6 +23,7 @@ module Eval = Dbspinner_exec.Eval
 module Operators = Dbspinner_exec.Operators
 module Stats = Dbspinner_exec.Stats
 module Guards = Dbspinner_exec.Guards
+module Parallel = Dbspinner_exec.Parallel
 
 type shuffle_stats = {
   mutable rows_shuffled : int;  (** rows that moved between workers *)
@@ -73,9 +74,21 @@ let gather_to_one ~workers ~(shuffles : shuffle_stats) ~fault (d : dist_rel) :
   let empty = Relation.empty (Relation.schema merged) in
   { parts = Array.init workers (fun i -> if i = 0 then merged else empty) }
 
-let per_partition ~fault f (d : dist_rel) : dist_rel =
+(** Run [f] on every partition concurrently across the Domain pool.
+    [Fault.tick] runs once, coordinator-side, before dispatch (the
+    shared seeded RNG is not domain-safe); an exception raised inside a
+    domain is re-raised here at the barrier, so checkpoint/retry above
+    observes it exactly as in sequential execution. Each partition gets
+    a private [Stats.t] merged into [stats] in partition order, keeping
+    counters deterministic. *)
+let per_partition ~pool ~fault ~(stats : Stats.t)
+    (f : Stats.t -> Relation.t -> Relation.t) (d : dist_rel) : dist_rel =
   Fault.tick fault ~site:Fault.Operator;
-  { parts = Array.map f d.parts }
+  {
+    parts =
+      Parallel.run_indexed pool ~stats (Array.length d.parts) (fun st i ->
+          f st d.parts.(i));
+  }
 
 let key_fn exprs row = Array.map (fun e -> Eval.eval row e) exprs
 
@@ -123,19 +136,19 @@ let combiner_aggs ~nkeys (aggs : Logical.agg list) : Logical.agg list =
     pre-aggregated locally so only one partial row per (worker, group)
     crosses the network — the standard MPP shuffle-volume
     optimization. *)
-let run_aggregate ~workers ~shuffles ~fault ~stats ~keys ~aggs ~agg_schema
-    (d : dist_rel) : dist_rel =
+let run_aggregate ~pool ~workers ~shuffles ~fault ~stats ~keys ~aggs
+    ~agg_schema (d : dist_rel) : dist_rel =
   let nkeys = List.length keys in
   if decomposable aggs then begin
     let partial =
-      per_partition ~fault
-        (fun part -> Operators.aggregate ~stats ~keys ~aggs part agg_schema)
+      per_partition ~pool ~fault ~stats
+        (fun st part -> Operators.aggregate ~stats:st ~keys ~aggs part agg_schema)
         d
     in
     let final_keys = List.init nkeys (fun i -> Bound_expr.B_col i) in
     let final_aggs = combiner_aggs ~nkeys aggs in
-    let combine part =
-      Operators.aggregate ~stats ~keys:final_keys ~aggs:final_aggs part
+    let combine st part =
+      Operators.aggregate ~stats:st ~keys:final_keys ~aggs:final_aggs part
         agg_schema
     in
     if nkeys = 0 then begin
@@ -144,7 +157,8 @@ let run_aggregate ~workers ~shuffles ~fault ~stats ~keys ~aggs ~agg_schema
       {
         parts =
           Array.init workers (fun i ->
-              if i = 0 then combine g.parts.(0) else Relation.empty agg_schema);
+              if i = 0 then combine stats g.parts.(0)
+              else Relation.empty agg_schema);
       }
     end
     else begin
@@ -153,7 +167,7 @@ let run_aggregate ~workers ~shuffles ~fault ~stats ~keys ~aggs ~agg_schema
           ~key:(fun (row : Row.t) -> Array.sub row 0 nkeys)
           partial
       in
-      per_partition ~fault combine partial
+      per_partition ~pool ~fault ~stats combine partial
     end
   end
   else if nkeys = 0 then begin
@@ -169,15 +183,19 @@ let run_aggregate ~workers ~shuffles ~fault ~stats ~keys ~aggs ~agg_schema
   else begin
     let key_exprs = Array.of_list keys in
     let d = repartition ~workers ~shuffles ~fault ~key:(key_fn key_exprs) d in
-    per_partition ~fault
-      (fun part -> Operators.aggregate ~stats ~keys ~aggs part agg_schema)
+    per_partition ~pool ~fault ~stats
+      (fun st part -> Operators.aggregate ~stats:st ~keys ~aggs part agg_schema)
       d
   end
 
-let rec run ?temps ~workers ~shuffles ~fault ~(stats : Stats.t)
+let rec run ?temps ~pool ~workers ~shuffles ~fault ~(stats : Stats.t)
     (catalog : Catalog.t) (plan : Logical.t) : dist_rel =
-  let run = run ?temps ~fault in
-  let per_partition f d = per_partition ~fault f d in
+  let run = run ?temps ~pool ~fault in
+  (* Per-partition operator work fans out across the Domain pool;
+     exchanges (repartition/gather) and fault ticks stay on the
+     coordinator. *)
+  let on_partitions n f = Parallel.run_indexed pool ~stats n f in
+  let per_partition f d = per_partition ~pool ~fault ~stats f d in
   let repartition ~workers ~shuffles ~key d =
     repartition ~workers ~shuffles ~fault ~key d
   in
@@ -199,11 +217,11 @@ let rec run ?temps ~workers ~shuffles ~fault ~(stats : Stats.t)
     { parts = Partition.round_robin ~workers rel }
   | Logical.L_filter { pred; input } ->
     per_partition
-      (Operators.filter ~stats pred)
+      (fun st part -> Operators.filter ~stats:st pred part)
       (run ~workers ~shuffles ~stats catalog input)
   | Logical.L_project { exprs; input } ->
     per_partition
-      (Operators.project ~stats exprs)
+      (fun st part -> Operators.project ~stats:st exprs part)
       (run ~workers ~shuffles ~stats catalog input)
   | Logical.L_join { kind; cond; left; right; join_schema } -> (
     let dl = run ~workers ~shuffles ~stats catalog left in
@@ -236,29 +254,30 @@ let rec run ?temps ~workers ~shuffles ~fault ~(stats : Stats.t)
          so outer padding stays correct per partition. *)
       {
         parts =
-          Array.init workers (fun i ->
-              Operators.join ~stats kind cond dl.parts.(i) dr.parts.(i)
+          on_partitions workers (fun st i ->
+              Operators.join ~stats:st kind cond dl.parts.(i) dr.parts.(i)
                 join_schema);
       })
   | Logical.L_aggregate { keys; aggs; input; agg_schema } ->
     let d = run ~workers ~shuffles ~stats catalog input in
-    run_aggregate ~workers ~shuffles ~fault ~stats ~keys ~aggs ~agg_schema d
+    run_aggregate ~pool ~workers ~shuffles ~fault ~stats ~keys ~aggs
+      ~agg_schema d
   | Logical.L_distinct input ->
     let d = run ~workers ~shuffles ~stats catalog input in
     let d = repartition ~workers ~shuffles ~key:(fun row -> row) d in
-    per_partition (Operators.distinct ~stats) d
+    per_partition (fun st part -> Operators.distinct ~stats:st part) d
   | Logical.L_sort { keys; input } ->
     let d = run ~workers ~shuffles ~stats catalog input in
     let d = gather_to_one ~workers ~shuffles d in
-    per_partition (Operators.sort ~stats keys) d
+    per_partition (fun st part -> Operators.sort ~stats:st keys part) d
   | Logical.L_limit (n, input) ->
     let d = run ~workers ~shuffles ~stats catalog input in
     let d = gather_to_one ~workers ~shuffles d in
-    per_partition (Operators.limit ~stats n) d
+    per_partition (fun st part -> Operators.limit ~stats:st n part) d
   | Logical.L_offset (n, input) ->
     let d = run ~workers ~shuffles ~stats catalog input in
     let d = gather_to_one ~workers ~shuffles d in
-    per_partition (Operators.offset ~stats n) d
+    per_partition (fun st part -> Operators.offset ~stats:st n part) d
   | Logical.L_intersect { all; left; right } ->
     let dl = run ~workers ~shuffles ~stats catalog left in
     let dr = run ~workers ~shuffles ~stats catalog right in
@@ -266,8 +285,8 @@ let rec run ?temps ~workers ~shuffles ~fault ~(stats : Stats.t)
     let dr = repartition ~workers ~shuffles ~key:(fun row -> row) dr in
     {
       parts =
-        Array.init workers (fun i ->
-            Operators.intersect ~stats ~all dl.parts.(i) dr.parts.(i));
+        on_partitions workers (fun st i ->
+            Operators.intersect ~stats:st ~all dl.parts.(i) dr.parts.(i));
     }
   | Logical.L_except { all; left; right } ->
     let dl = run ~workers ~shuffles ~stats catalog left in
@@ -276,8 +295,8 @@ let rec run ?temps ~workers ~shuffles ~fault ~(stats : Stats.t)
     let dr = repartition ~workers ~shuffles ~key:(fun row -> row) dr in
     {
       parts =
-        Array.init workers (fun i ->
-            Operators.except ~stats ~all dl.parts.(i) dr.parts.(i));
+        on_partitions workers (fun st i ->
+            Operators.except ~stats:st ~all dl.parts.(i) dr.parts.(i));
     }
   | Logical.L_union { all; left; right } ->
     let dl = run ~workers ~shuffles ~stats catalog left in
@@ -285,14 +304,14 @@ let rec run ?temps ~workers ~shuffles ~fault ~(stats : Stats.t)
     let d =
       {
         parts =
-          Array.init workers (fun i ->
-              Operators.union_all ~stats dl.parts.(i) dr.parts.(i));
+          on_partitions workers (fun st i ->
+              Operators.union_all ~stats:st dl.parts.(i) dr.parts.(i));
       }
     in
     if all then d
     else begin
       let d = repartition ~workers ~shuffles ~key:(fun row -> row) d in
-      per_partition (Operators.distinct ~stats) d
+      per_partition (fun st part -> Operators.distinct ~stats:st part) d
     end
   | Logical.L_subquery_filter { anti; key; input; sub } ->
     (* Broadcast the (gathered) subquery result to every worker. *)
@@ -304,19 +323,21 @@ let rec run ?temps ~workers ~shuffles ~fault ~(stats : Stats.t)
     shuffles.rows_shuffled <-
       shuffles.rows_shuffled + (Relation.cardinality gathered * (workers - 1));
     per_partition
-      (fun part -> Operators.subquery_filter ~stats ~anti ~key part gathered)
+      (fun st part -> Operators.subquery_filter ~stats:st ~anti ~key part gathered)
       di
 
 (** Execute [plan] across [workers] simulated workers; returns the
-    gathered result and the exchange volume. Injected faults propagate
-    (single plans have no checkpoint to recover from; use
-    {!run_program} for recovery semantics). *)
-let run_plan ?(workers = 4) ?(fault = Fault.none) (catalog : Catalog.t)
+    gathered result and the exchange volume. Per-partition operator
+    work runs concurrently on [pool] (default: the shared Domain
+    pool). Injected faults propagate (single plans have no checkpoint
+    to recover from; use {!run_program} for recovery semantics). *)
+let run_plan ?(workers = 4) ?pool ?(fault = Fault.none) (catalog : Catalog.t)
     (plan : Logical.t) : Relation.t * shuffle_stats =
   if workers <= 0 then invalid_arg "Distributed.run_plan: workers <= 0";
+  let pool = match pool with Some p -> p | None -> Parallel.default () in
   let shuffles = { rows_shuffled = 0; exchanges = 0 } in
   let stats = Stats.create () in
-  let d = run ~workers ~shuffles ~fault ~stats catalog plan in
+  let d = run ~pool ~workers ~shuffles ~fault ~stats catalog plan in
   (gather d, shuffles)
 
 (* ------------------------------------------------------------------ *)
@@ -396,12 +417,13 @@ let fallback_single_node ~stats ~guards (catalog : Catalog.t)
     is not retried (resource exhaustion is not transient).
 
     @raise Unsupported for programs containing recursive CTEs. *)
-let run_program ?(workers = 4) ?(fault = Fault.none) ?(max_retries = 3)
+let run_program ?(workers = 4) ?pool ?(fault = Fault.none) ?(max_retries = 3)
     ?(guards = Guards.none) ?(stats = Stats.create ()) (catalog : Catalog.t)
     (program : Program.t) : Relation.t * shuffle_stats =
   if workers <= 0 then invalid_arg "Distributed.run_program: workers <= 0";
   if max_retries < 0 then
     invalid_arg "Distributed.run_program: max_retries < 0";
+  let pool = match pool with Some p -> p | None -> Parallel.default () in
   let shuffles = { rows_shuffled = 0; exchanges = 0 } in
   let temps : (string, dist_rel) Hashtbl.t = Hashtbl.create 8 in
   let key n = String.lowercase_ascii n in
@@ -439,7 +461,7 @@ let run_program ?(workers = 4) ?(fault = Fault.none) ?(max_retries = 3)
     let jump = ref None in
     (match step with
     | Program.Materialize { target; plan } ->
-      let d = run ~temps ~workers ~shuffles ~fault ~stats catalog plan in
+      let d = run ~temps ~pool ~workers ~shuffles ~fault ~stats catalog plan in
       stats.Stats.materializations <- stats.Stats.materializations + 1;
       stats.Stats.rows_materialized <-
         stats.Stats.rows_materialized + Partition.total_cardinality d.parts;
@@ -516,11 +538,11 @@ let run_program ?(workers = 4) ?(fault = Fault.none) ?(max_retries = 3)
           Relation.iter
             (fun r -> if Dbspinner_exec.Eval.eval_pred r pred then incr satisfied)
             rel;
+          (* ALL over an empty relation is vacuously true — same fix
+             as the single-node executor. *)
           let stop =
             if any then !satisfied > 0
-            else
-              !satisfied = Relation.cardinality rel
-              && Relation.cardinality rel > 0
+            else !satisfied = Relation.cardinality rel
           in
           not stop
       in
@@ -542,7 +564,9 @@ let run_program ?(workers = 4) ?(fault = Fault.none) ?(max_retries = 3)
       raise (Unsupported "recursive CTEs in distributed programs")
     | Program.Return plan ->
       result :=
-        Some (gather (run ~temps ~workers ~shuffles ~fault ~stats catalog plan)));
+        Some
+          (gather
+             (run ~temps ~pool ~workers ~shuffles ~fault ~stats catalog plan)));
     !jump
   in
   while !pc < Array.length steps do

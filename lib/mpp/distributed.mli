@@ -1,16 +1,22 @@
 (** Simulated shared-nothing execution: relations live as worker
     partitions, equi-joins and grouped aggregations repartition by key,
     order-sensitive operators gather; rows crossing workers are
-    counted. Contract (property-tested): for every plan the result bag
-    equals single-node execution — including under injected transient
-    faults, which {!run_program} survives via iteration-granular
-    checkpoints, bounded retries and single-node fallback. *)
+    counted. Per-partition operator work runs {e concurrently} across a
+    {!Dbspinner_exec.Parallel} Domain pool (shuffle/gather barriers are
+    preserved; per-partition stats merge in partition order, so
+    counters stay deterministic; a fault raised inside a domain is
+    re-raised at the barrier). Contract (property-tested): for every
+    plan the result bag equals single-node execution — including under
+    injected transient faults, which {!run_program} survives via
+    iteration-granular checkpoints, bounded retries and single-node
+    fallback. *)
 
 module Relation = Dbspinner_storage.Relation
 module Catalog = Dbspinner_storage.Catalog
 module Logical = Dbspinner_plan.Logical
 module Stats = Dbspinner_exec.Stats
 module Guards = Dbspinner_exec.Guards
+module Parallel = Dbspinner_exec.Parallel
 
 type shuffle_stats = {
   mutable rows_shuffled : int;  (** rows that moved between workers *)
@@ -25,6 +31,7 @@ type shuffle_stats = {
     @raise Invalid_argument when [workers <= 0]. *)
 val run_plan :
   ?workers:int ->
+  ?pool:Parallel.t ->
   ?fault:Fault.plan ->
   Catalog.t ->
   Logical.t ->
@@ -54,6 +61,7 @@ exception Unsupported of string
     @raise Invalid_argument when [workers <= 0] or [max_retries < 0]. *)
 val run_program :
   ?workers:int ->
+  ?pool:Parallel.t ->
   ?fault:Fault.plan ->
   ?max_retries:int ->
   ?guards:Guards.t ->

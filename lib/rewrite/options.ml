@@ -31,6 +31,12 @@ type t = {
   mpp_max_retries : int;
       (** consecutive transient-fault retries before distributed
           execution falls back to single-node *)
+  parallel_workers : int;
+      (** Domain-pool size for chunk-parallel single-node operators;
+          1 = sequential execution (results are identical either way) *)
+  parallel_chunk_rows : int;
+      (** minimum relation cardinality before an operator splits its
+          input across the pool *)
 }
 
 let default =
@@ -45,6 +51,8 @@ let default =
     deadline_seconds = None;
     row_budget = None;
     mpp_max_retries = 3;
+    parallel_workers = 1;
+    parallel_chunk_rows = 4096;
   }
 
 (** All paper optimizations off: the naive rewrite the paper's
@@ -73,7 +81,13 @@ let to_string t =
     in
     deadline ^ budget
   in
+  let parallel =
+    if t.parallel_workers > 1 then
+      Printf.sprintf " workers=%d chunk=%d" t.parallel_workers
+        t.parallel_chunk_rows
+    else ""
+  in
   Printf.sprintf
-    "rename=%b common_result=%b pushdown=%b fold=%b outer_to_inner=%b%s"
+    "rename=%b common_result=%b pushdown=%b fold=%b outer_to_inner=%b%s%s"
     t.use_rename t.use_common_result t.use_pushdown t.use_constant_folding
-    t.use_outer_to_inner guards
+    t.use_outer_to_inner guards parallel

@@ -28,6 +28,12 @@ type t = {
   mpp_max_retries : int;
       (** consecutive transient-fault retries before distributed
           execution falls back to single-node *)
+  parallel_workers : int;
+      (** Domain-pool size for chunk-parallel single-node operators;
+          1 = sequential execution (results are identical either way) *)
+  parallel_chunk_rows : int;
+      (** minimum relation cardinality before an operator splits its
+          input across the pool *)
 }
 
 (** Everything on. *)

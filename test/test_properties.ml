@@ -176,6 +176,137 @@ let join_left = join_consistency Logical.Left_outer
 let join_right = join_consistency Logical.Right_outer
 let join_full = join_consistency Logical.Full_outer
 
+let kind_name = function
+  | Logical.Inner -> "inner"
+  | Logical.Left_outer -> "left"
+  | Logical.Right_outer -> "right"
+  | Logical.Full_outer -> "full"
+  | Logical.Cross -> "cross"
+
+(** Rows whose join key (column 0) is frequently NULL — NULL keys must
+    never match but outer kinds must still pad the unmatched rows. *)
+let nullable_key_row_gen arity : Row.t QCheck2.Gen.t =
+  QCheck2.Gen.(
+    map2
+      (fun key rest -> Array.of_list (key :: rest))
+      (frequency
+         [
+           (3, map (fun i -> Value.Int i) (int_range 0 5));
+           (1, return Value.Null);
+         ])
+      (list_size (return (arity - 1)) value_gen))
+
+let nullable_key_relation_gen ~arity ~max_rows : Relation.t QCheck2.Gen.t =
+  QCheck2.Gen.(
+    map
+      (fun rows ->
+        Relation.make
+          (Schema.of_names (List.init arity (Printf.sprintf "c%d")))
+          (Array.of_list rows))
+      (list_size (int_range 0 max_rows) (nullable_key_row_gen arity)))
+
+let join_null_keys kind =
+  qtest ~count:100
+    (Printf.sprintf "hash = nested loop with NULL keys (%s)" (kind_name kind))
+    QCheck2.Gen.(
+      pair
+        (nullable_key_relation_gen ~arity:2 ~max_rows:12)
+        (nullable_key_relation_gen ~arity:2 ~max_rows:12))
+    (fun (l, r) ->
+      let schema = join_schema l r in
+      let hash =
+        Operators.hash_join ~stats:(stats ()) kind
+          [ (Bound_expr.B_col 0, Bound_expr.B_col 0) ]
+          [] l r schema
+      in
+      let nested =
+        Operators.nested_loop_join ~stats:(stats ()) kind (Some equi_cond) l r
+          schema
+      in
+      Relation.equal_bag hash nested)
+
+let join_null_inner = join_null_keys Logical.Inner
+let join_null_left = join_null_keys Logical.Left_outer
+let join_null_right = join_null_keys Logical.Right_outer
+let join_null_full = join_null_keys Logical.Full_outer
+
+(** A residual predicate rejecting every key match: inner joins become
+    empty while outer kinds must pad {e all} rows of their outer
+    sides — hash and nested-loop must agree on that padding. *)
+let join_residual_rejects kind =
+  qtest ~count:100
+    (Printf.sprintf "residual rejecting all matches (%s)" (kind_name kind))
+    QCheck2.Gen.(
+      pair (relation_gen ~arity:2 ~max_rows:12) (relation_gen ~arity:2 ~max_rows:12))
+    (fun (l, r) ->
+      let schema = join_schema l r in
+      let hash =
+        Operators.hash_join ~stats:(stats ()) kind
+          [ (Bound_expr.B_col 0, Bound_expr.B_col 0) ]
+          [ Bound_expr.B_lit (Value.Bool false) ]
+          l r schema
+      in
+      let cond =
+        Bound_expr.B_binop (Ast.And, equi_cond, Bound_expr.B_lit (Value.Bool false))
+      in
+      let nested =
+        Operators.nested_loop_join ~stats:(stats ()) kind (Some cond) l r schema
+      in
+      Relation.equal_bag hash nested
+      &&
+      match kind with
+      | Logical.Inner -> Relation.is_empty hash
+      | Logical.Left_outer -> Relation.cardinality hash = Relation.cardinality l
+      | Logical.Right_outer -> Relation.cardinality hash = Relation.cardinality r
+      | Logical.Full_outer ->
+        Relation.cardinality hash
+        = Relation.cardinality l + Relation.cardinality r
+      | Logical.Cross -> true)
+
+let join_residual_inner = join_residual_rejects Logical.Inner
+let join_residual_left = join_residual_rejects Logical.Left_outer
+let join_residual_right = join_residual_rejects Logical.Right_outer
+let join_residual_full = join_residual_rejects Logical.Full_outer
+
+(** Chunk-parallel operators must be bit-identical (row order included)
+    to the sequential path, with equal logical counters. *)
+let exact_equal a b =
+  Relation.cardinality a = Relation.cardinality b
+  && Array.for_all2 Row.equal (Relation.rows a) (Relation.rows b)
+
+let parallel_ops_match_sequential =
+  let parallel = Dbspinner_exec.Parallel.context ~chunk_rows:1 ~workers:3 () in
+  qtest ~count:100 "chunk-parallel filter/project/hash-probe = sequential"
+    QCheck2.Gen.(
+      pair
+        (nullable_key_relation_gen ~arity:2 ~max_rows:24)
+        (nullable_key_relation_gen ~arity:2 ~max_rows:24))
+    (fun (l, r) ->
+      let pred =
+        Bound_expr.B_binop
+          (Ast.Lt, Bound_expr.B_col 0, Bound_expr.B_lit (Value.Int 3))
+      in
+      let seq_stats = stats () and par_stats = stats () in
+      let f_seq = Operators.filter ~stats:seq_stats pred l in
+      let f_par = Operators.filter ?parallel ~stats:par_stats pred l in
+      let exprs = [ (Bound_expr.B_col 0, "k") ] in
+      let p_seq = Operators.project ~stats:seq_stats exprs l in
+      let p_par = Operators.project ?parallel ~stats:par_stats exprs l in
+      let schema = join_schema l r in
+      let j_seq =
+        Operators.hash_join ~stats:seq_stats Logical.Full_outer
+          [ (Bound_expr.B_col 0, Bound_expr.B_col 0) ]
+          [] l r schema
+      in
+      let j_par =
+        Operators.hash_join ?parallel ~stats:par_stats Logical.Full_outer
+          [ (Bound_expr.B_col 0, Bound_expr.B_col 0) ]
+          [] l r schema
+      in
+      exact_equal f_seq f_par && exact_equal p_seq p_par
+      && exact_equal j_seq j_par
+      && Stats.logical_equal seq_stats par_stats)
+
 let inner_join_cardinality =
   qtest ~count:100 "inner join row count = sum over keys of |L_k|*|R_k|"
     QCheck2.Gen.(pair (relation_gen ~arity:2 ~max_rows:12) (relation_gen ~arity:2 ~max_rows:12))
@@ -495,6 +626,18 @@ let () =
       ("parser", [ parser_roundtrip ]);
       ( "joins",
         [ join_inner; join_left; join_right; join_full; inner_join_cardinality ] );
+      ( "join-edges",
+        [
+          join_null_inner;
+          join_null_left;
+          join_null_right;
+          join_null_full;
+          join_residual_inner;
+          join_residual_left;
+          join_residual_right;
+          join_residual_full;
+          parallel_ops_match_sequential;
+        ] );
       ( "aggregates",
         [
           sum_matches_fold;
