@@ -6,7 +6,7 @@ DUNE ?= dune
 # Fixed seed so the property/fuzz suites are reproducible in CI.
 SMOKE_SEED ?= 42
 
-.PHONY: all build test fmt fmt-check smoke bench-fast check ci clean
+.PHONY: all build test fmt fmt-check smoke bench-fast bench-cache check ci clean
 
 all: build
 
@@ -36,18 +36,28 @@ fmt-check:
 # Quick reproducible confidence pass: the randomized property and fuzz
 # suites under a fixed seed, the fault-injection/recovery suite and the
 # Domain-pool parallel suite (both deterministic by construction —
-# seeded fault plans, order-stable parallel merges), plus the fixed-seed
-# seq-vs-parallel benchmark section at workers=2.
+# seeded fault plans, order-stable parallel merges), the executor-cache
+# suite (cache-on vs cache-off equivalence), plus the fixed-seed
+# seq-vs-parallel and cache on/off benchmark sections at workers=2.
+# The cache bench writes BENCH_cache.json (cache_hits, improvement,
+# results_equal per workload) for CI trend tracking.
 smoke: build
 	QCHECK_SEED=$(SMOKE_SEED) $(DUNE) exec test/test_properties.exe
 	QCHECK_SEED=$(SMOKE_SEED) $(DUNE) exec test/test_fuzz.exe
 	$(DUNE) exec test/test_fault.exe
 	$(DUNE) exec test/test_mpp.exe
 	QCHECK_SEED=$(SMOKE_SEED) $(DUNE) exec test/test_parallel.exe
+	$(DUNE) exec test/test_cache.exe
 	$(DUNE) exec bench/main.exe -- ext-parallel --fast
+	$(DUNE) exec bench/main.exe -- ext-cache --fast --json BENCH_cache.json
 
 bench-fast: build
 	$(DUNE) exec bench/main.exe -- --fast
+
+# Full cache on/off comparison (both worker counts, full iteration
+# counts) with the machine-readable record file.
+bench-cache: build
+	$(DUNE) exec bench/main.exe -- ext-cache --json BENCH_cache.json
 
 check: build test fmt-check smoke
 

@@ -16,15 +16,21 @@
      ext-termination — termination-condition overhead (extension)
      ext-parallel    — sequential vs Domain-pool parallel execution
                        (extension)
+     ext-cache       — iteration-aware executor cache: loop-invariant
+                       join-build reuse + compiled expressions
+                       (extension)
      micro           — Bechamel micro-benchmarks of engine primitives
 
    Usage: dune exec bench/main.exe [-- section ...] [-- --fast]
+                                   [-- --json PATH]
    With no arguments every section except `micro` runs. `--fast` uses
    fewer iterations and smaller graphs for a quick sanity pass; set
-   DBSPINNER_SCALE to grow the datasets instead. Absolute numbers
-   depend on this substrate (a from-scratch OCaml engine, not MPPDB);
-   the paper-shape note under each table states the relationship the
-   figure is expected to reproduce. *)
+   DBSPINNER_SCALE to grow the datasets instead. `--json PATH` writes
+   the machine-readable records that sections emitted (currently
+   ext-cache) for CI trend tracking. Absolute numbers depend on this
+   substrate (a from-scratch OCaml engine, not MPPDB); the paper-shape
+   note under each table states the relationship the figure is
+   expected to reproduce. *)
 
 module Graph_gen = Dbspinner_graph.Graph_gen
 module Datasets = Dbspinner_graph.Datasets
@@ -48,6 +54,58 @@ let secs s = Printf.sprintf "%.4f s" s
 let improvement baseline optimized =
   Printf.sprintf "%+.1f%%"
     ((baseline -. optimized) /. Float.max baseline 1e-12 *. 100.0)
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable output: sections push flat records; --json PATH
+   writes them out (hand-rolled — the build carries no JSON library). *)
+
+type json_value = J_str of string | J_num of float | J_int of int | J_bool of bool
+
+let json_records : (string * json_value) list list ref = ref []
+let record_json fields = json_records := fields :: !json_records
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path =
+  let render = function
+    | J_str s -> Printf.sprintf "\"%s\"" (json_escape s)
+    | J_num f -> Printf.sprintf "%.6f" f
+    | J_int i -> string_of_int i
+    | J_bool b -> if b then "true" else "false"
+  in
+  let oc = open_out path in
+  output_string oc "{\n  \"schema\": \"dbspinner-bench-v1\",\n  \"records\": [\n";
+  let records = List.rev !json_records in
+  let last = List.length records - 1 in
+  List.iteri
+    (fun i fields ->
+      let body =
+        List.map
+          (fun (k, v) -> Printf.sprintf "\"%s\": %s" (json_escape k) (render v))
+          fields
+      in
+      Printf.fprintf oc "    { %s }%s\n" (String.concat ", " body)
+        (if i = last then "" else ","))
+    records;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %d JSON record%s to %s\n" (List.length records)
+    (if List.length records = 1 then "" else "s")
+    path
 
 (* Median-of-three timing for stability. *)
 let timed f =
@@ -468,6 +526,95 @@ let ext_parallel () =
     \ count - the parallel path is order-stable by construction; speedup\n\
     \ depends on available cores and row volume per iteration)"
 
+let ext_cache () =
+  header
+    (Printf.sprintf
+       "Extension: iteration-aware executor cache (join-build reuse + compiled \
+        expressions), %d iterations"
+       (iterations ()));
+  let module Stats = Dbspinner_exec.Stats in
+  let module Executor = Dbspinner_exec.Executor in
+  let module Parallel = Dbspinner_exec.Parallel in
+  let module Catalog = Dbspinner_storage.Catalog in
+  let graph, engine = engine_for_dataset Datasets.dblp_like in
+  Printf.printf "dataset: dblp-like (%d nodes, %d edges)\n"
+    (Graph_gen.num_nodes graph) (Graph_gen.num_edges graph);
+  let catalog = Engine.catalog engine in
+  let lookup name =
+    Option.map Dbspinner_storage.Table.schema (Catalog.find_table_opt catalog name)
+  in
+  let compile sql =
+    Dbspinner_rewrite.Iterative_rewrite.compile ~options:Options.default ~lookup
+      (Dbspinner_sql.Parser.parse_query sql)
+  in
+  let n = iterations () in
+  let workloads =
+    [
+      ("PR", Queries.pr ~iterations:n ());
+      ("PR-VS", Queries.pr_vs ~iterations:n ());
+      ("SSSP", Queries.sssp ~source:0 ~iterations:n ());
+      ("SSSP-VS", Queries.sssp_vs ~source:0 ~iterations:n ());
+      ("FF (50%, mod 2)", Queries.ff ~modulus:2 ~iterations:n ());
+    ]
+  in
+  let worker_counts = if !fast then [ 2 ] else [ 1; 2 ] in
+  List.iter
+    (fun workers ->
+      let parallel = Parallel.context ~workers () in
+      Printf.printf "\nworkers=%d\n" workers;
+      Printf.printf "%-22s %11s %11s %12s %7s %7s %6s\n" "workload" "cache off"
+        "cache on" "improvement" "hits" "misses" "equal";
+      List.iter
+        (fun (label, sql) ->
+          let program = compile sql in
+          let run use_cache =
+            (* Each timed run starts from a clean temp namespace; the
+               per-run cache is created inside run_program. *)
+            let rel = ref (Relation.make (Dbspinner_storage.Schema.make []) [||]) in
+            let stats = Stats.create () in
+            let t =
+              timed (fun () ->
+                  Catalog.clear_temps catalog;
+                  Stats.reset stats;
+                  rel := Executor.run_program ?parallel ~stats ~use_cache catalog program)
+            in
+            (t, !rel, stats)
+          in
+          let off_t, off_rel, off_stats = run false in
+          let on_t, on_rel, on_stats = run true in
+          let equal =
+            Relation.equal_bag off_rel on_rel
+            && Stats.logical_equal off_stats on_stats
+          in
+          Printf.printf "%-22s %11s %11s %12s %7d %7d %6s\n" label (secs off_t)
+            (secs on_t) (improvement off_t on_t) on_stats.Stats.cache_hits
+            on_stats.Stats.cache_misses
+            (if equal then "yes" else "NO!");
+          record_json
+            [
+              ("section", J_str "ext-cache");
+              ("workload", J_str label);
+              ("workers", J_int workers);
+              ("cache_off_s", J_num off_t);
+              ("cache_on_s", J_num on_t);
+              ( "improvement_pct",
+                J_num ((off_t -. on_t) /. Float.max off_t 1e-12 *. 100.0) );
+              ("cache_hits", J_int on_stats.Stats.cache_hits);
+              ("cache_misses", J_int on_stats.Stats.cache_misses);
+              ("build_ms_saved", J_num on_stats.Stats.build_ms_saved);
+              ("results_equal", J_bool equal);
+            ])
+        workloads)
+    worker_counts;
+  Catalog.clear_temps catalog;
+  print_endline
+    "\n(cache off is the legacy interpreted path; cache on memoizes\n\
+    \ loop-invariant join builds / subquery sets under source generations\n\
+    \ and compiles each expression once per run. PR-VS and SSSP-VS hit on\n\
+    \ the hoisted common-result build every iteration; FF has no join in\n\
+    \ its loop, so its gain comes from compiled expressions alone. Rows\n\
+    \ and logical stats must be identical — `equal` says so)"
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
@@ -540,21 +687,27 @@ let sections =
     ("ext-fault", ext_fault);
     ("ext-termination", ext_termination);
     ("ext-parallel", ext_parallel);
+    ("ext-cache", ext_cache);
     ("micro", micro);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--fast" then begin
-          fast := true;
-          false
-        end
-        else true)
-      args
+  let json_path = ref None in
+  let rec strip = function
+    | [] -> []
+    | "--fast" :: rest ->
+      fast := true;
+      strip rest
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      strip rest
+    | "--json" :: [] ->
+      Printf.eprintf "--json requires a path argument\n";
+      exit 2
+    | a :: rest -> a :: strip rest
   in
+  let args = strip args in
   let to_run =
     match args with
     | [] -> List.filter (fun (name, _) -> name <> "micro") sections
@@ -573,4 +726,5 @@ let () =
     "DBSpinner benchmark harness%s - datasets are synthetic (see DESIGN.md);\n\
      compare shapes with the paper, not absolute times.\n"
     (if !fast then " (fast mode)" else "");
-  List.iter (fun (_, f) -> f ()) to_run
+  List.iter (fun (_, f) -> f ()) to_run;
+  Option.iter write_json !json_path

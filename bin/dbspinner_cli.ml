@@ -11,7 +11,8 @@
      \gen NAME [SCALE]        generate a synthetic dataset (dblp-like,
                               pokec-like, webgoogle-like) into edges /
                               vertexStatus
-     \set OPTION on|off       toggle rename | common | pushdown | fold
+     \set OPTION on|off       toggle rename | common | pushdown | fold |
+                              exec_cache
      \set deadline SECS|off   wall-clock budget per statement
      \set budget ROWS|off     rows-materialized budget per statement
      \set retries N           transient-fault retries before fallback
@@ -96,13 +97,17 @@ let set_option engine key enabled =
     | "common" -> Some { options with Options.use_common_result = enabled }
     | "pushdown" -> Some { options with Options.use_pushdown = enabled }
     | "fold" -> Some { options with Options.use_constant_folding = enabled }
+    | "exec_cache" | "cache" ->
+      Some { options with Options.use_exec_cache = enabled }
     | _ -> None
   in
   match options with
   | Some options ->
     Engine.set_options engine options;
     Printf.printf "set %s = %b\n" key enabled
-  | None -> Printf.printf "unknown option %s (rename|common|pushdown|fold)\n" key
+  | None ->
+    Printf.printf "unknown option %s (rename|common|pushdown|fold|exec_cache)\n"
+      key
 
 (** Resource-guard and recovery knobs: [\set deadline SECS|off],
     [\set budget ROWS|off], [\set retries N]. *)
@@ -180,17 +185,23 @@ let handle_meta engine line =
   | _ ->
     print_endline
       "meta-commands: \\dt  \\load TABLE FILE  \\gen NAME [SCALE]  \\set OPT \
-       on|off  \\set deadline SECS|off  \\set budget ROWS|off  \\set retries N  \
-       \\set workers N  \\set chunk ROWS  \\options  \\q";
+       on|off (rename|common|pushdown|fold|exec_cache)  \\set deadline \
+       SECS|off  \\set budget ROWS|off  \\set retries N  \\set workers N  \
+       \\set chunk ROWS  \\options  \\q";
     `Continue
 
 (** Session options for a CLI invocation: [--workers N] sets the
-    Domain-pool size for chunk-parallel operators. *)
-let options_of_workers workers =
-  { Options.default with Options.parallel_workers = max 1 workers }
+    Domain-pool size for chunk-parallel operators; [--no-exec-cache]
+    disables the iteration-aware executor cache. *)
+let options_of_workers workers no_cache =
+  {
+    Options.default with
+    Options.parallel_workers = max 1 workers;
+    use_exec_cache = not no_cache;
+  }
 
-let repl workers =
-  let engine = Engine.create ~options:(options_of_workers workers) () in
+let repl workers no_cache =
+  let engine = Engine.create ~options:(options_of_workers workers no_cache) () in
   print_endline "dbspinner shell — SQL with WITH ITERATIVE support.";
   print_endline "Type \\gen dblp-like 0.2 to load a sample graph; \\q to quit.";
   let buffer = Buffer.create 256 in
@@ -217,10 +228,10 @@ let repl workers =
   loop ();
   0
 
-let run_file workers path =
+let run_file workers no_cache path =
   match In_channel.with_open_text path In_channel.input_all with
   | sql ->
-    let engine = Engine.create ~options:(options_of_workers workers) () in
+    let engine = Engine.create ~options:(options_of_workers workers no_cache) () in
     (match Engine.execute_script engine sql with
     | results ->
       List.iter print_result results;
@@ -232,8 +243,8 @@ let run_file workers path =
     Printf.eprintf "%s\n" msg;
     1
 
-let demo workers =
-  let engine = Engine.create ~options:(options_of_workers workers) () in
+let demo workers no_cache =
+  let engine = Engine.create ~options:(options_of_workers workers no_cache) () in
   generate engine "dblp-like" 0.25;
   print_endline "\n== PageRank (10 iterations), top 5 ==";
   print_string
@@ -272,23 +283,32 @@ let workers_arg =
           "Domain-pool size for chunk-parallel operators (1 = sequential; \
            results are identical either way).")
 
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-exec-cache" ]
+        ~doc:
+          "Disable the iteration-aware executor cache (loop-invariant \
+           join-build reuse and compiled expressions). Results are \
+           identical either way; use for perf comparisons.")
+
 let repl_cmd =
   Cmd.v (Cmd.info "repl" ~doc:"Interactive SQL shell")
-    Term.(const repl $ workers_arg)
+    Term.(const repl $ workers_arg $ no_cache_arg)
 
 let run_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   Cmd.v (Cmd.info "run" ~doc:"Execute a SQL script")
-    Term.(const run_file $ workers_arg $ file)
+    Term.(const run_file $ workers_arg $ no_cache_arg $ file)
 
 let demo_cmd =
   Cmd.v
     (Cmd.info "demo" ~doc:"Run the paper's queries on a synthetic graph")
-    Term.(const demo $ workers_arg)
+    Term.(const demo $ workers_arg $ no_cache_arg)
 
 let main_cmd =
   let doc = "An analytical SQL engine with native iterative CTEs (DBSpinner)" in
-  Cmd.group ~default:Term.(const repl $ workers_arg)
+  Cmd.group ~default:Term.(const repl $ workers_arg $ no_cache_arg)
     (Cmd.info "dbspinner" ~version:"1.0.0" ~doc)
     [ repl_cmd; run_cmd; demo_cmd ]
 

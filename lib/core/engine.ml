@@ -155,7 +155,9 @@ let run_query ?(keep_temps = false) t (q : Ast.full_query) : Relation.t =
     ~finally:(fun () ->
       Stats.add ~into:t.stats stats;
       if not keep_temps then Catalog.clear_temps t.catalog)
-    (fun () -> Executor.run_program ?parallel ~stats ~guards t.catalog program)
+    (fun () ->
+      Executor.run_program ?parallel ~stats ~guards
+        ~use_cache:t.options.Options.use_exec_cache t.catalog program)
 
 (* ------------------------------------------------------------------ *)
 (* DML                                                                 *)
@@ -523,7 +525,9 @@ let rec exec_statement t (stmt : Ast.statement) : result =
                 Stats.add ~into:t.stats stats;
                 Catalog.clear_temps t.catalog)
               (fun () ->
-                Executor.run_program ?parallel ~stats ~guards t.catalog program)
+                Executor.run_program ?parallel ~stats ~guards
+                  ~use_cache:t.options.Options.use_exec_cache t.catalog
+                  program)
           in
           (rel, Unix.gettimeofday () -. t0)
         in

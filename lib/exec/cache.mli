@@ -1,0 +1,76 @@
+(** Iteration-aware executor cache, one instance per program run:
+    memoizes hash-join build tables, semi/anti-join membership sets and
+    IN-subquery sets keyed by [(source generations, plan subtree, key
+    expressions)], plus {!Eval.compile} closures keyed by the
+    expression. Loop-invariant inputs keep their generation across
+    iterations and hit; the iterative temp is rebound with a fresh
+    generation each iteration and misses naturally. Hits replay the
+    build's logical {!Stats} counters, so cache-on and cache-off runs
+    are {!Stats.logical_equal}. *)
+
+module Value = Dbspinner_storage.Value
+module Row = Dbspinner_storage.Row
+module Relation = Dbspinner_storage.Relation
+module Bound_expr = Dbspinner_plan.Bound_expr
+module Logical = Dbspinner_plan.Logical
+
+(** One relation a cached plan subtree reads: lowercased name plus the
+    {!Catalog.temp_generation} (temps) or {!Table.version} (base
+    tables) observed at build time. *)
+type source = { src_temp : bool; src_name : string; src_gen : int }
+
+type build_key = {
+  bk_sources : source list;  (** sorted, deduplicated *)
+  bk_plan : Logical.t;
+  bk_keys : Bound_expr.t list;
+}
+
+type set_key = {
+  sk_sources : source list;
+  sk_plan : Logical.t;
+  sk_keyed : bool;  (** IN (membership set built) vs EXISTS *)
+}
+
+(** A hash-join build table: built relation plus buckets of
+    [(row index, row)] keyed by key-expression values. Outer-join
+    matched-row tracking is per-probe state and lives with the probe,
+    not here. *)
+type join_build = {
+  jb_rel : Relation.t;
+  jb_table : (int * Row.t) list Row.Tbl.t;
+}
+
+(** Digest of an IN / EXISTS subquery result; [ss_members] is only
+    populated for keyed (IN) lookups. *)
+type sub_set = {
+  ss_empty : bool;
+  ss_has_null : bool;
+  ss_members : (Value.t, unit) Hashtbl.t;
+}
+
+type t
+
+val create : unit -> t
+
+(** [join_build t ~stats key build] returns the cached build table for
+    [key], or runs [build] against a private stats instance, accruing
+    its counters (and a {!Stats.clone_logical} replay snapshot) before
+    caching. Single-threaded (program executor) callers only. *)
+val join_build : t -> stats:Stats.t -> build_key -> (Stats.t -> join_build) -> join_build
+
+(** Same contract as {!join_build}, for subquery sets. *)
+val sub_set : t -> stats:Stats.t -> set_key -> (Stats.t -> sub_set) -> sub_set
+
+(** Fetch (or compile and insert) the {!Eval.compile} closure for an
+    expression; counts a cache hit or miss into [stats]. Safe to call
+    from concurrent partition domains. *)
+val compiled : t -> stats:Stats.t -> Bound_expr.t -> Row.t -> Value.t
+
+(** Predicate variant ({!Eval.eval_pred} semantics: NULL rejects). *)
+val compiled_pred : t -> stats:Stats.t -> Bound_expr.t -> Row.t -> bool
+
+(** Drop build/set entries that read the named temp. Pure memory
+    hygiene — generations already prevent stale hits — so that
+    per-iteration build tables of the iterative temp do not accumulate
+    for the lifetime of the run. *)
+val invalidate_temp : t -> string -> unit

@@ -52,27 +52,51 @@ let concat a b =
   if Value.is_null a || Value.is_null b then Value.Null
   else Value.Str (as_text a ^ as_text b)
 
-(* LIKE pattern matching: % = any sequence, _ = any single char. *)
-let like_match text pattern =
-  let tn = String.length text and pn = String.length pattern in
-  (* memoized recursion over (text index, pattern index) *)
-  let memo = Hashtbl.create 16 in
-  let rec go ti pi =
-    match Hashtbl.find_opt memo (ti, pi) with
-    | Some r -> r
-    | None ->
-      let r =
-        if pi >= pn then ti >= tn
-        else
-          match pattern.[pi] with
-          | '%' -> go ti (pi + 1) || (ti < tn && go (ti + 1) pi)
-          | '_' -> ti < tn && go (ti + 1) (pi + 1)
-          | c -> ti < tn && text.[ti] = c && go (ti + 1) (pi + 1)
-      in
-      Hashtbl.replace memo (ti, pi) r;
-      r
-  in
-  go 0 0
+(* LIKE pattern matching: % = any sequence, _ = any single char.
+
+   [like_matcher pattern] precompiles the pattern into a closure so the
+   per-row match allocates nothing (the previous implementation built a
+   fresh memo Hashtbl per row per match). The matcher is the classic
+   two-pointer greedy scan with single-level backtracking to the last
+   '%': on a mismatch past a '%', re-anchor the '%' one character
+   further right. Sound because a later '%' subsumes any earlier
+   backtrack point. *)
+let like_matcher pattern =
+  let pn = String.length pattern in
+  fun text ->
+    let tn = String.length text in
+    let ti = ref 0 and pi = ref 0 in
+    let star_pi = ref (-1) and star_ti = ref (-1) in
+    let result = ref None in
+    while !result = None do
+      if !ti < tn then begin
+        if !pi < pn && pattern.[!pi] = '%' then begin
+          star_pi := !pi;
+          star_ti := !ti;
+          incr pi
+        end
+        else if !pi < pn && (pattern.[!pi] = '_' || pattern.[!pi] = text.[!ti])
+        then begin
+          incr pi;
+          incr ti
+        end
+        else if !star_pi >= 0 then begin
+          pi := !star_pi + 1;
+          incr star_ti;
+          ti := !star_ti
+        end
+        else result := Some false
+      end
+      else begin
+        while !pi < pn && pattern.[!pi] = '%' do
+          incr pi
+        done;
+        result := Some (!pi >= pn)
+      end
+    done;
+    Option.get !result
+
+let like_match text pattern = like_matcher pattern text
 
 let numeric1 name f v =
   match v with
@@ -259,3 +283,109 @@ let eval_pred row e =
   | Value.Bool b -> b
   | Value.Null -> false
   | _ -> error "predicate did not evaluate to a boolean"
+
+(** Closure-compile an expression: walk the [Bound_expr] tree once and
+    return a [Row.t -> Value.t] that re-walks nothing — literals,
+    column indices, operator dispatch and LIKE patterns are all resolved
+    at compile time. Semantics (three-valued logic, error messages,
+    evaluation strictness) are identical to {!eval} by construction:
+    each case applies the same combinator to the compiled children that
+    {!eval} applies to the evaluated children. *)
+let rec compile (e : Bound_expr.t) : Row.t -> Value.t =
+  match e with
+  | Bound_expr.B_lit v -> fun _ -> v
+  | Bound_expr.B_col i ->
+    fun row ->
+      if i >= Array.length row then
+        error "column index %d out of range (row arity %d)" i (Array.length row)
+      else row.(i)
+  | Bound_expr.B_binop (op, a, b) -> (
+    let ca = compile a and cb = compile b in
+    match op with
+    | Ast.And -> fun row -> kleene_and (ca row) (cb row)
+    | Ast.Or -> fun row -> kleene_or (ca row) (cb row)
+    | Ast.Add -> fun row -> Value.add (ca row) (cb row)
+    | Ast.Sub -> fun row -> Value.sub (ca row) (cb row)
+    | Ast.Mul -> fun row -> Value.mul (ca row) (cb row)
+    | Ast.Div -> fun row -> Value.div (ca row) (cb row)
+    | Ast.Mod -> fun row -> Value.modulo (ca row) (cb row)
+    | Ast.Concat -> fun row -> concat (ca row) (cb row)
+    | Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+      fun row -> compare_values op (ca row) (cb row))
+  | Bound_expr.B_unop (Ast.Neg, a) ->
+    let ca = compile a in
+    fun row -> Value.neg (ca row)
+  | Bound_expr.B_unop (Ast.Not, a) -> (
+    let ca = compile a in
+    fun row ->
+      match ca row with
+      | Value.Bool b -> Value.Bool (not b)
+      | Value.Null -> Value.Null
+      | _ -> error "NOT requires a boolean operand")
+  | Bound_expr.B_func (f, args) ->
+    let cargs = List.map compile args in
+    fun row -> apply_func f (List.map (fun c -> c row) cargs)
+  | Bound_expr.B_case (branches, else_) ->
+    let cbranches =
+      List.map (fun (cond, v) -> (compile cond, compile v)) branches
+    in
+    let celse = Option.map compile else_ in
+    fun row ->
+      let rec first = function
+        | [] -> ( match celse with Some c -> c row | None -> Value.Null)
+        | (ccond, cv) :: rest -> (
+          match ccond row with
+          | Value.Bool true -> cv row
+          | Value.Bool false | Value.Null -> first rest
+          | _ -> error "CASE condition must be boolean")
+      in
+      first cbranches
+  | Bound_expr.B_cast (ty, a) ->
+    let ca = compile a in
+    fun row -> cast_value ty (ca row)
+  | Bound_expr.B_is_null (a, want_null) ->
+    let ca = compile a in
+    fun row -> Value.Bool (Value.is_null (ca row) = want_null)
+  | Bound_expr.B_in (a, items, negated) ->
+    let ca = compile a in
+    let citems = List.map compile items in
+    fun row ->
+      let v = ca row in
+      if Value.is_null v then Value.Null
+      else begin
+        let found = ref false in
+        let saw_null = ref false in
+        List.iter
+          (fun citem ->
+            let iv = citem row in
+            if Value.is_null iv then saw_null := true
+            else if Value.equal v iv then found := true)
+          citems;
+        if !found then Value.Bool (not negated)
+        else if !saw_null then Value.Null
+        else Value.Bool negated
+      end
+  | Bound_expr.B_between (a, lo, hi) ->
+    let ca = compile a and clo = compile lo and chi = compile hi in
+    fun row ->
+      let v = ca row in
+      kleene_and (compare_values Ast.Ge v (clo row))
+        (compare_values Ast.Le v (chi row))
+  | Bound_expr.B_like (a, pattern, negated) -> (
+    let ca = compile a in
+    let matcher = like_matcher pattern in
+    fun row ->
+      match ca row with
+      | Value.Null -> Value.Null
+      | v ->
+        let r = matcher (as_text v) in
+        Value.Bool (if negated then not r else r))
+
+(** Compiled counterpart of {!eval_pred}. *)
+let compile_pred (e : Bound_expr.t) : Row.t -> bool =
+  let c = compile e in
+  fun row ->
+    match c row with
+    | Value.Bool b -> b
+    | Value.Null -> false
+    | _ -> error "predicate did not evaluate to a boolean"

@@ -18,6 +18,19 @@ val eval : Row.t -> Bound_expr.t -> Value.t
     @raise Runtime_error when the expression is not boolean. *)
 val eval_pred : Row.t -> Bound_expr.t -> bool
 
+(** Closure-compile an expression: the [Bound_expr] tree is walked once
+    at compile time (resolving operator dispatch, literals, column
+    indices and LIKE patterns), and the returned closure re-walks
+    nothing per row. Result and errors are identical to {!eval}. *)
+val compile : Bound_expr.t -> Row.t -> Value.t
+
+(** Compiled counterpart of {!eval_pred} (NULL rejects the row). *)
+val compile_pred : Bound_expr.t -> Row.t -> bool
+
 (** LIKE matching ([%] any sequence, [_] one character); exposed for
     tests. *)
 val like_match : string -> string -> bool
+
+(** [like_matcher pattern] precompiles a LIKE pattern into an
+    allocation-free per-string matcher. *)
+val like_matcher : string -> string -> bool

@@ -11,6 +11,7 @@ module Row = Dbspinner_storage.Row
 module Schema = Dbspinner_storage.Schema
 module Relation = Dbspinner_storage.Relation
 module Catalog = Dbspinner_storage.Catalog
+module Table = Dbspinner_storage.Table
 module Logical = Dbspinner_plan.Logical
 module Program = Dbspinner_plan.Program
 module Bound_expr = Dbspinner_plan.Bound_expr
@@ -22,7 +23,58 @@ let error fmt = Printf.ksprintf (fun s -> raise (Execution_error s)) fmt
 (* ------------------------------------------------------------------ *)
 (* Plan evaluation                                                     *)
 
-let rec run_plan ?parallel ~(stats : Stats.t) (catalog : Catalog.t)
+exception Not_cacheable
+
+(** The relations a plan subtree reads, with their generations, or
+    [None] when the subtree is not cache-eligible. Eligible subtrees
+    read only named relations (temps or base tables): an [L_values]
+    leaf embeds literal rows in the key, where NaN floats would defeat
+    the structural equality the memo tables rely on, so it opts out.
+    Every source's generation is part of the cache key, which is what
+    makes a stale hit impossible: rebinding a temp or mutating a base
+    table changes the key rather than racing an invalidation. *)
+let cache_sources (catalog : Catalog.t) (plan : Logical.t) :
+    Cache.source list option =
+  let acc = ref [] in
+  let add_scan name =
+    let k = String.lowercase_ascii name in
+    (* Temps shadow base tables, same precedence as Catalog.resolve. *)
+    match Catalog.temp_generation catalog name with
+    | Some gen ->
+      acc := { Cache.src_temp = true; src_name = k; src_gen = gen } :: !acc
+    | None -> (
+      match Catalog.find_table_opt catalog name with
+      | Some tbl ->
+        acc :=
+          { Cache.src_temp = false; src_name = k; src_gen = Table.version tbl }
+          :: !acc
+      | None -> raise Not_cacheable)
+  in
+  let rec walk = function
+    | Logical.L_scan { name; _ } -> add_scan name
+    | Logical.L_values _ -> raise Not_cacheable
+    | Logical.L_filter { input; _ }
+    | Logical.L_project { input; _ }
+    | Logical.L_aggregate { input; _ }
+    | Logical.L_distinct input
+    | Logical.L_sort { input; _ }
+    | Logical.L_limit (_, input)
+    | Logical.L_offset (_, input) -> walk input
+    | Logical.L_join { left; right; _ }
+    | Logical.L_union { left; right; _ }
+    | Logical.L_intersect { left; right; _ }
+    | Logical.L_except { left; right; _ } ->
+      walk left;
+      walk right
+    | Logical.L_subquery_filter { input; sub; _ } ->
+      walk input;
+      walk sub
+  in
+  match walk plan with
+  | () -> Some (List.sort_uniq compare !acc)
+  | exception Not_cacheable -> None
+
+let rec run_plan ?parallel ?cache ~(stats : Stats.t) (catalog : Catalog.t)
     (plan : Logical.t) : Relation.t =
   match plan with
   | Logical.L_scan { name; scan_schema } -> (
@@ -37,43 +89,100 @@ let rec run_plan ?parallel ~(stats : Stats.t) (catalog : Catalog.t)
       rel)
   | Logical.L_values rel -> rel
   | Logical.L_filter { pred; input } ->
-    Operators.filter ?parallel ~stats pred (run_plan ?parallel ~stats catalog input)
+    Operators.filter ?parallel ?cache ~stats pred
+      (run_plan ?parallel ?cache ~stats catalog input)
   | Logical.L_project { exprs; input } ->
-    Operators.project ?parallel ~stats exprs
-      (run_plan ?parallel ~stats catalog input)
-  | Logical.L_join { kind; cond; left; right; join_schema } ->
-    let l = run_plan ?parallel ~stats catalog left in
-    let r = run_plan ?parallel ~stats catalog right in
-    Operators.join ?parallel ~stats kind cond l r join_schema
+    Operators.project ?parallel ?cache ~stats exprs
+      (run_plan ?parallel ?cache ~stats catalog input)
+  | Logical.L_join { kind; cond; left; right; join_schema } -> (
+    let l = run_plan ?parallel ?cache ~stats catalog left in
+    (* Cached hash-join path: when the build (right) side reads only
+       named relations, memoize its build table under the sources'
+       generations. A loop-invariant side (the common-result temp, or a
+       base table like [edges]) keeps its generation across iterations
+       and hits; the iterative temp is rebound each iteration and
+       misses. Falls back to the ordinary join when no equi-key exists
+       or the side is not eligible. *)
+    let cached =
+      match cache, cond with
+      | Some c, Some cnd when kind <> Logical.Cross -> (
+        let left_arity = Schema.arity (Relation.schema l) in
+        match Operators.split_equi_condition ~left_arity cnd with
+        | [], _ -> None
+        | keys, residual -> (
+          match cache_sources catalog right with
+          | None -> None
+          | Some srcs ->
+            let build_keys = List.map snd keys in
+            let build =
+              Cache.join_build c ~stats
+                { Cache.bk_sources = srcs; bk_plan = right; bk_keys = build_keys }
+                (fun local ->
+                  let r = run_plan ?parallel ?cache ~stats:local catalog right in
+                  Operators.make_join_build ?cache ~stats:local build_keys r)
+            in
+            Some
+              (Operators.hash_join_probe ?parallel ?cache ~stats kind keys
+                 residual build l join_schema)))
+      | _ -> None
+    in
+    match cached with
+    | Some rel -> rel
+    | None ->
+      let r = run_plan ?parallel ?cache ~stats catalog right in
+      Operators.join ?parallel ?cache ~stats kind cond l r join_schema)
   | Logical.L_aggregate { keys; aggs; input; agg_schema } ->
-    Operators.aggregate ~stats ~keys ~aggs
-      (run_plan ?parallel ~stats catalog input)
+    Operators.aggregate ?cache ~stats ~keys ~aggs
+      (run_plan ?parallel ?cache ~stats catalog input)
       agg_schema
   | Logical.L_distinct input ->
-    Operators.distinct ~stats (run_plan ?parallel ~stats catalog input)
+    Operators.distinct ~stats (run_plan ?parallel ?cache ~stats catalog input)
   | Logical.L_sort { keys; input } ->
-    Operators.sort ~stats keys (run_plan ?parallel ~stats catalog input)
+    Operators.sort ?cache ~stats keys
+      (run_plan ?parallel ?cache ~stats catalog input)
   | Logical.L_limit (n, input) ->
-    Operators.limit ~stats n (run_plan ?parallel ~stats catalog input)
+    Operators.limit ~stats n (run_plan ?parallel ?cache ~stats catalog input)
   | Logical.L_offset (n, input) ->
-    Operators.offset ~stats n (run_plan ?parallel ~stats catalog input)
+    Operators.offset ~stats n (run_plan ?parallel ?cache ~stats catalog input)
   | Logical.L_union { all; left; right } ->
-    let l = run_plan ?parallel ~stats catalog left in
-    let r = run_plan ?parallel ~stats catalog right in
+    let l = run_plan ?parallel ?cache ~stats catalog left in
+    let r = run_plan ?parallel ?cache ~stats catalog right in
     let u = Operators.union_all ~stats l r in
     if all then u else Operators.distinct ~stats u
   | Logical.L_intersect { all; left; right } ->
-    let l = run_plan ?parallel ~stats catalog left in
-    let r = run_plan ?parallel ~stats catalog right in
+    let l = run_plan ?parallel ?cache ~stats catalog left in
+    let r = run_plan ?parallel ?cache ~stats catalog right in
     Operators.intersect ~stats ~all l r
   | Logical.L_except { all; left; right } ->
-    let l = run_plan ?parallel ~stats catalog left in
-    let r = run_plan ?parallel ~stats catalog right in
+    let l = run_plan ?parallel ?cache ~stats catalog left in
+    let r = run_plan ?parallel ?cache ~stats catalog right in
     Operators.except ~stats ~all l r
-  | Logical.L_subquery_filter { anti; key; input; sub } ->
-    let i = run_plan ?parallel ~stats catalog input in
-    let sq = run_plan ?parallel ~stats catalog sub in
-    Operators.subquery_filter ~stats ~anti ~key i sq
+  | Logical.L_subquery_filter { anti; key; input; sub } -> (
+    let i = run_plan ?parallel ?cache ~stats catalog input in
+    (* Same memoization for IN / EXISTS subquery digests: a
+       loop-invariant subquery is digested once per run. *)
+    let cached =
+      match cache with
+      | Some c -> (
+        match cache_sources catalog sub with
+        | None -> None
+        | Some srcs ->
+          let keyed = key <> None in
+          let set =
+            Cache.sub_set c ~stats
+              { Cache.sk_sources = srcs; sk_plan = sub; sk_keyed = keyed }
+              (fun local ->
+                let sq = run_plan ?parallel ?cache ~stats:local catalog sub in
+                Operators.make_sub_set ~stats:local ~need_members:keyed sq)
+          in
+          Some (Operators.subquery_filter_with_set ?cache ~stats ~anti ~key i set))
+      | None -> None
+    in
+    match cached with
+    | Some rel -> rel
+    | None ->
+      let sq = run_plan ?parallel ?cache ~stats catalog sub in
+      Operators.subquery_filter ?cache ~stats ~anti ~key i sq)
 
 (* ------------------------------------------------------------------ *)
 (* Loop state (paper §VI-B)                                            *)
@@ -129,9 +238,10 @@ let loop_continue ~(stats : Stats.t) catalog (st : loop_state) : bool =
 (* ------------------------------------------------------------------ *)
 (* Recursive CTE (semi-naive)                                          *)
 
-let run_recursive ?parallel ~stats catalog ~name ~work_name ~base ~step_plan
-    ~union_all ~max_recursion =
-  let base_rel = run_plan ?parallel ~stats catalog base in
+let run_recursive ?parallel ?cache ~stats catalog ~name ~work_name ~base
+    ~step_plan ~union_all ~max_recursion =
+  let invalidate n = Option.iter (fun c -> Cache.invalidate_temp c n) cache in
+  let base_rel = run_plan ?parallel ?cache ~stats catalog base in
   let schema = Relation.schema base_rel in
   let module Row_tbl = Operators.Row_tbl in
   let seen = Row_tbl.create (max 16 (Relation.cardinality base_rel)) in
@@ -158,14 +268,17 @@ let run_recursive ?parallel ~stats catalog ~name ~work_name ~base ~step_plan
       error "recursive CTE %s exceeded %d rounds (missing fixed point?)" name
         max_recursion;
     Catalog.set_temp catalog work_name !working;
-    let produced = run_plan ?parallel ~stats catalog step_plan in
+    invalidate work_name;
+    let produced = run_plan ?parallel ?cache ~stats catalog step_plan in
     let fresh = if union_all then produced else dedupe produced in
     push fresh;
     working := fresh
   done;
   Catalog.drop_temp catalog work_name;
+  invalidate work_name;
   let result = Relation.make schema (Array.of_list (List.rev !acc)) in
-  Catalog.set_temp catalog name result
+  Catalog.set_temp catalog name result;
+  invalidate name
 
 (* ------------------------------------------------------------------ *)
 (* Program execution                                                   *)
@@ -190,9 +303,17 @@ let assert_unique_key catalog ~temp ~key_idx =
 
 (** Run a step program to completion and return the final relation.
     [guards] (wall-clock deadline, rows-materialized budget) are
-    checked at materialize and loop boundaries. *)
+    checked at materialize and loop boundaries. [use_cache] enables the
+    per-run iteration-aware {!Cache}; results and logical stats are
+    identical either way. *)
 let run_program ?parallel ?(stats = Stats.create ()) ?(guards = Guards.none)
-    (catalog : Catalog.t) (program : Program.t) : Relation.t =
+    ?(use_cache = true) (catalog : Catalog.t) (program : Program.t) :
+    Relation.t =
+  let cache = if use_cache then Some (Cache.create ()) else None in
+  (* Memory hygiene at every rebinding step: generations already make
+     stale hits impossible, but entries built over a dead generation
+     would otherwise pile up for the length of the loop. *)
+  let invalidate n = Option.iter (fun c -> Cache.invalidate_temp c n) cache in
   let steps = Program.steps program in
   let loops : (int, loop_state) Hashtbl.t = Hashtbl.create 4 in
   let result = ref None in
@@ -201,16 +322,21 @@ let run_program ?parallel ?(stats = Stats.create ()) ?(guards = Guards.none)
     let jump = ref None in
     (match steps.(!pc) with
     | Program.Materialize { target; plan } ->
-      let rel = run_plan ?parallel ~stats catalog plan in
+      let rel = run_plan ?parallel ?cache ~stats catalog plan in
       stats.Stats.materializations <- stats.Stats.materializations + 1;
       stats.Stats.rows_materialized <-
         stats.Stats.rows_materialized + Relation.cardinality rel;
       Guards.check guards ~stats;
-      Catalog.set_temp catalog target rel
+      Catalog.set_temp catalog target rel;
+      invalidate target
     | Program.Rename { from_; into } ->
       Catalog.rename_temp catalog ~from_ ~into;
-      stats.Stats.renames <- stats.Stats.renames + 1
-    | Program.Drop_temp name -> Catalog.drop_temp catalog name
+      stats.Stats.renames <- stats.Stats.renames + 1;
+      invalidate from_;
+      invalidate into
+    | Program.Drop_temp name ->
+      Catalog.drop_temp catalog name;
+      invalidate name
     | Program.Assert_unique_key { temp; key_idx } ->
       assert_unique_key catalog ~temp ~key_idx
     | Program.Init_loop { loop_id; termination; cte; key_idx; guard } ->
@@ -236,10 +362,10 @@ let run_program ?parallel ?(stats = Stats.create ()) ?(guards = Guards.none)
         if loop_continue ~stats catalog st then jump := Some body_start)
     | Program.Recursive_cte
         { name; work_name; base; step_plan; union_all; max_recursion } ->
-      run_recursive ?parallel ~stats catalog ~name ~work_name ~base ~step_plan
-        ~union_all ~max_recursion
+      run_recursive ?parallel ?cache ~stats catalog ~name ~work_name ~base
+        ~step_plan ~union_all ~max_recursion
     | Program.Return plan ->
-      result := Some (run_plan ?parallel ~stats catalog plan));
+      result := Some (run_plan ?parallel ?cache ~stats catalog plan));
     match !jump with
     | Some target -> pc := target
     | None -> incr pc
@@ -250,7 +376,7 @@ let run_program ?parallel ?(stats = Stats.create ()) ?(guards = Guards.none)
 
 (** Loop-iteration count of the last loop in a program run — exposed
     for tests via running with an explicit [stats]. *)
-let run_program_with_stats ?parallel ?guards catalog program =
+let run_program_with_stats ?parallel ?guards ?use_cache catalog program =
   let stats = Stats.create () in
-  let rel = run_program ?parallel ~stats ?guards catalog program in
+  let rel = run_program ?parallel ~stats ?guards ?use_cache catalog program in
   (rel, stats)

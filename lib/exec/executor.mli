@@ -16,7 +16,12 @@ exception Execution_error of string
     identical to sequential execution.
     @raise Execution_error on missing relations or runtime failures. *)
 val run_plan :
-  ?parallel:Parallel.ctx -> stats:Stats.t -> Catalog.t -> Logical.t -> Relation.t
+  ?parallel:Parallel.ctx ->
+  ?cache:Cache.t ->
+  stats:Stats.t ->
+  Catalog.t ->
+  Logical.t ->
+  Relation.t
 
 (** The §II duplicate-row-key check: fails when the named temp has
     duplicate or NULL keys in column [key_idx].
@@ -31,11 +36,18 @@ val assert_unique_key : Catalog.t -> temp:string -> key_idx:int -> unit
     @raise Execution_error on runtime failures, including the
     iteration-guard trip for non-converging loops
     @raise Guards.Resource_exhausted when a deadline or row budget is
-    crossed. *)
+    crossed.
+
+    [use_cache] (default true) enables a per-run iteration-aware
+    {!Cache}: loop-invariant join builds and subquery digests are
+    memoized under source generations, and expressions are closure-
+    compiled once per run. Results and logical stats are identical
+    either way; only wall time and the cache counters differ. *)
 val run_program :
   ?parallel:Parallel.ctx ->
   ?stats:Stats.t ->
   ?guards:Guards.t ->
+  ?use_cache:bool ->
   Catalog.t ->
   Program.t ->
   Relation.t
@@ -44,6 +56,7 @@ val run_program :
 val run_program_with_stats :
   ?parallel:Parallel.ctx ->
   ?guards:Guards.t ->
+  ?use_cache:bool ->
   Catalog.t ->
   Program.t ->
   Relation.t * Stats.t

@@ -17,15 +17,27 @@ module Ast = Dbspinner_sql.Ast
 module Bound_expr = Dbspinner_plan.Bound_expr
 module Logical = Dbspinner_plan.Logical
 
-module Row_tbl = Hashtbl.Make (struct
-  type t = Row.t
+module Row_tbl = Row.Tbl
 
-  let equal = Row.equal
-  let hash = Row.hash
-end)
+(* With a cache the expression is closure-compiled once per program run
+   and fetched here (a hit after the first call); without one it falls
+   back to the tree-walking interpreter, so the legacy path executes
+   exactly the code it always did. Either way the resolution happens
+   once per operator call, outside the per-row loop. *)
+let compiled_val ?cache ~stats (e : Bound_expr.t) : Row.t -> Value.t =
+  match cache with
+  | Some c -> Cache.compiled c ~stats e
+  | None -> fun row -> Eval.eval row e
 
-let filter ?parallel ~(stats : Stats.t) pred (rel : Relation.t) : Relation.t =
+let compiled_pred ?cache ~stats (e : Bound_expr.t) : Row.t -> bool =
+  match cache with
+  | Some c -> Cache.compiled_pred c ~stats e
+  | None -> fun row -> Eval.eval_pred row e
+
+let filter ?parallel ?cache ~(stats : Stats.t) pred (rel : Relation.t) :
+    Relation.t =
   Stats.timed stats Stats.Op_filter @@ fun () ->
+  let pred = compiled_pred ?cache ~stats pred in
   let rows = Relation.rows rel in
   let n = Array.length rows in
   let chunk (st : Stats.t) lo len =
@@ -33,17 +45,22 @@ let filter ?parallel ~(stats : Stats.t) pred (rel : Relation.t) : Relation.t =
     let kept = ref [] in
     for j = lo + len - 1 downto lo do
       let r = rows.(j) in
-      if Eval.eval_pred r pred then kept := r :: !kept
+      if pred r then kept := r :: !kept
     done;
     Array.of_list !kept
   in
   let chunks = Parallel.chunked parallel ~stats ~n chunk in
-  Relation.make (Relation.schema rel) (Array.concat (Array.to_list chunks))
+  Relation.make_trusted (Relation.schema rel)
+    (Array.concat (Array.to_list chunks))
 
-let project ?parallel ~(stats : Stats.t) exprs (rel : Relation.t) : Relation.t =
+let project ?parallel ?cache ~(stats : Stats.t) exprs (rel : Relation.t) :
+    Relation.t =
   Stats.timed stats Stats.Op_project @@ fun () ->
   let schema = Schema.of_names (List.map snd exprs) in
-  let exprs = Array.of_list (List.map fst exprs) in
+  let exprs =
+    Array.of_list
+      (List.map (fun (e, _) -> compiled_val ?cache ~stats e) exprs)
+  in
   let rows = Relation.rows rel in
   let n = Array.length rows in
   (* Chunks write disjoint index ranges of one pre-sized output array,
@@ -53,11 +70,11 @@ let project ?parallel ~(stats : Stats.t) exprs (rel : Relation.t) : Relation.t =
     st.Stats.rows_projected <- st.Stats.rows_projected + len;
     for j = lo to lo + len - 1 do
       let r = rows.(j) in
-      out.(j) <- Array.map (fun e -> Eval.eval r e) exprs
+      out.(j) <- Array.map (fun f -> f r) exprs
     done
   in
   ignore (Parallel.chunked parallel ~stats ~n chunk);
-  Relation.make schema out
+  Relation.make_trusted schema out
 
 let distinct ~stats (rel : Relation.t) : Relation.t =
   Stats.timed stats Stats.Op_distinct @@ fun () ->
@@ -70,17 +87,20 @@ let distinct ~stats (rel : Relation.t) : Relation.t =
         keep := r :: !keep
       end)
     rel;
-  Relation.make (Relation.schema rel) (Array.of_list (List.rev !keep))
+  Relation.make_trusted (Relation.schema rel) (Array.of_list (List.rev !keep))
 
-let sort ~stats keys (rel : Relation.t) : Relation.t =
+let sort ?cache ~stats keys (rel : Relation.t) : Relation.t =
   Stats.timed stats Stats.Op_sort @@ fun () ->
-  let keys = Array.of_list keys in
+  let keys =
+    Array.of_list
+      (List.map (fun (e, desc) -> (compiled_val ?cache ~stats e, desc)) keys)
+  in
   let compare_rows a b =
     let rec go i =
       if i >= Array.length keys then 0
       else
-        let expr, descending = keys.(i) in
-        let c = Value.compare (Eval.eval a expr) (Eval.eval b expr) in
+        let f, descending = keys.(i) in
+        let c = Value.compare (f a) (f b) in
         let c = if descending then -c else c in
         if c <> 0 then c else go (i + 1)
     in
@@ -88,22 +108,22 @@ let sort ~stats keys (rel : Relation.t) : Relation.t =
   in
   let rows = Array.copy (Relation.rows rel) in
   Array.stable_sort compare_rows rows;
-  Relation.make (Relation.schema rel) rows
+  Relation.make_trusted (Relation.schema rel) rows
 
 let limit ~stats n (rel : Relation.t) : Relation.t =
   ignore stats;
   let n = min n (Relation.cardinality rel) in
-  Relation.make (Relation.schema rel) (Array.sub (Relation.rows rel) 0 n)
+  Relation.make_trusted (Relation.schema rel) (Array.sub (Relation.rows rel) 0 n)
 
 let offset ~stats n (rel : Relation.t) : Relation.t =
   ignore stats;
   let n = min n (Relation.cardinality rel) in
-  Relation.make (Relation.schema rel)
+  Relation.make_trusted (Relation.schema rel)
     (Array.sub (Relation.rows rel) n (Relation.cardinality rel - n))
 
 let union_all ~stats (a : Relation.t) (b : Relation.t) : Relation.t =
   ignore stats;
-  Relation.make (Relation.schema a)
+  Relation.make_trusted (Relation.schema a)
     (Array.append (Relation.rows a) (Relation.rows b))
 
 let counts_of (rel : Relation.t) =
@@ -136,7 +156,7 @@ let intersect ~stats ~all (a : Relation.t) (b : Relation.t) : Relation.t =
         end
       | _ -> ())
     a;
-  Relation.make (Relation.schema a) (Array.of_list (List.rev !out))
+  Relation.make_trusted (Relation.schema a) (Array.of_list (List.rev !out))
 
 (** EXCEPT [ALL]: bag semantics subtract multiplicities; set semantics
     emit each left-only row once. *)
@@ -157,42 +177,64 @@ let except ~stats ~all (a : Relation.t) (b : Relation.t) : Relation.t =
         out := r :: !out
       end)
     a;
-  Relation.make (Relation.schema a) (Array.of_list (List.rev !out))
+  Relation.make_trusted (Relation.schema a) (Array.of_list (List.rev !out))
 
-(** Uncorrelated IN / EXISTS subquery predicates as semi / anti joins.
-    [key = Some e]: keep input rows per SQL IN / NOT IN semantics,
-    including the null-aware NOT IN rules (a NULL probe or a NULL in a
-    non-empty subquery makes the predicate unknown, which rejects);
-    [key = None]: EXISTS — keep all rows iff the subquery is non-empty
-    (inverted for [anti]). *)
-let subquery_filter ~stats ~anti ~(key : Bound_expr.t option)
-    (input : Relation.t) (sub : Relation.t) : Relation.t =
+(** Digest a subquery result for IN / EXISTS filtering. The membership
+    set is only built when [need_members] (an IN probe exists); EXISTS
+    only needs emptiness, and indexing [r.(0)] on a multi-column EXISTS
+    subquery would be wrong. Cacheable: depends only on [sub]. *)
+let make_sub_set ~stats ~need_members (sub : Relation.t) : Cache.sub_set =
   Stats.timed stats Stats.Op_setop @@ fun () ->
-  match key with
-  | None ->
-    let nonempty = not (Relation.is_empty sub) in
-    if nonempty <> anti then input
-    else Relation.empty (Relation.schema input)
-  | Some probe ->
-    let members = Hashtbl.create (max 16 (Relation.cardinality sub)) in
-    let sub_has_null = ref false in
+  let members =
+    Hashtbl.create (if need_members then max 16 (Relation.cardinality sub) else 1)
+  in
+  let sub_has_null = ref false in
+  if need_members then
     Relation.iter
       (fun r ->
         if Value.is_null r.(0) then sub_has_null := true
         else Hashtbl.replace members r.(0) ())
       sub;
-    let sub_empty = Relation.is_empty sub in
+  {
+    Cache.ss_empty = Relation.is_empty sub;
+    ss_has_null = !sub_has_null;
+    ss_members = members;
+  }
+
+(** Uncorrelated IN / EXISTS subquery predicates as semi / anti joins
+    over a prepared {!make_sub_set} digest.
+    [key = Some e]: keep input rows per SQL IN / NOT IN semantics,
+    including the null-aware NOT IN rules (a NULL probe or a NULL in a
+    non-empty subquery makes the predicate unknown, which rejects);
+    [key = None]: EXISTS — keep all rows iff the subquery is non-empty
+    (inverted for [anti]). *)
+let subquery_filter_with_set ?cache ~stats ~anti ~(key : Bound_expr.t option)
+    (input : Relation.t) (set : Cache.sub_set) : Relation.t =
+  Stats.timed stats Stats.Op_setop @@ fun () ->
+  match key with
+  | None ->
+    let nonempty = not set.Cache.ss_empty in
+    if nonempty <> anti then input
+    else Relation.empty (Relation.schema input)
+  | Some probe ->
+    let probe = compiled_val ?cache ~stats probe in
+    let members = set.Cache.ss_members in
     let keep row =
-      let v = Eval.eval row probe in
+      let v = probe row in
       if not anti then (not (Value.is_null v)) && Hashtbl.mem members v
-      else if sub_empty then true  (* x NOT IN (empty) is TRUE *)
+      else if set.Cache.ss_empty then true  (* x NOT IN (empty) is TRUE *)
       else
         (not (Value.is_null v))
-        && (not !sub_has_null)
+        && (not set.Cache.ss_has_null)
         && not (Hashtbl.mem members v)
     in
-    Relation.make (Relation.schema input)
+    Relation.make_trusted (Relation.schema input)
       (Array.of_seq (Seq.filter keep (Array.to_seq (Relation.rows input))))
+
+let subquery_filter ?cache ~stats ~anti ~(key : Bound_expr.t option)
+    (input : Relation.t) (sub : Relation.t) : Relation.t =
+  let set = make_sub_set ~stats ~need_members:(key <> None) sub in
+  subquery_filter_with_set ?cache ~stats ~anti ~key input set
 
 (* ------------------------------------------------------------------ *)
 (* Joins                                                               *)
@@ -232,31 +274,47 @@ let split_equi_condition ~left_arity cond =
 
 let null_row n : Row.t = Array.make n Value.Null
 
-let eval_residual residual row =
-  List.for_all (fun p -> Eval.eval_pred row p) residual
-
 let key_has_null (k : Row.t) = Array.exists Value.is_null k
 
-(** Hash join over extracted keys. Emits left++right rows; [kind]
-    controls unmatched-row padding. The build side is sequential; the
-    probe side is chunk-parallel over the left rows, with per-chunk
-    outputs concatenated in chunk order (probe order == left order,
-    identical to sequential). *)
-let hash_join ?parallel ~(stats : Stats.t) kind keys residual
-    (left : Relation.t) (right : Relation.t) schema : Relation.t =
+(** Build the hash table for [hash_join_probe] over the right side.
+    Split out of the join so the executor can memoize it: when the
+    build side is loop-invariant, the table survives across iterations
+    of the loop (see {!Cache}). The result carries no per-probe state —
+    outer-join matched-row tracking is allocated by each probe call. *)
+let make_join_build ?cache ~(stats : Stats.t) keys (right : Relation.t) :
+    Cache.join_build =
   Stats.timed stats Stats.Op_join @@ fun () ->
-  let left_keys = Array.of_list (List.map fst keys) in
-  let right_keys = Array.of_list (List.map snd keys) in
-  let key_of row exprs = Array.map (fun e -> Eval.eval row e) exprs in
-  (* Build on the right side. *)
+  let right_keys =
+    Array.of_list (List.map (fun e -> compiled_val ?cache ~stats e) keys)
+  in
   let table = Row_tbl.create (max 16 (Relation.cardinality right)) in
   Array.iteri
     (fun idx row ->
-      let k = key_of row right_keys in
+      let k = Array.map (fun f -> f row) right_keys in
       if not (key_has_null k) then
         Row_tbl.replace table k
           ((idx, row) :: (try Row_tbl.find table k with Not_found -> [])))
     (Relation.rows right);
+  { Cache.jb_rel = right; jb_table = table }
+
+(** Probe a {!make_join_build} table with the left rows. Emits
+    left++right rows; [kind] controls unmatched-row padding. The probe
+    is chunk-parallel over the left rows, with per-chunk outputs
+    concatenated in chunk order (probe order == left order, identical
+    to sequential). *)
+let hash_join_probe ?parallel ?cache ~(stats : Stats.t) kind keys residual
+    (build : Cache.join_build) (left : Relation.t) schema : Relation.t =
+  Stats.timed stats Stats.Op_join @@ fun () ->
+  let right = build.Cache.jb_rel in
+  let table = build.Cache.jb_table in
+  let left_keys =
+    Array.of_list
+      (List.map (fun (l, _) -> compiled_val ?cache ~stats l) keys)
+  in
+  let residual =
+    List.map (fun p -> compiled_pred ?cache ~stats p) residual
+  in
+  let passes_residual row = List.for_all (fun p -> p row) residual in
   let right_matched =
     match kind with
     | Logical.Full_outer | Logical.Right_outer ->
@@ -275,7 +333,7 @@ let hash_join ?parallel ~(stats : Stats.t) kind keys residual
     for j = lo to lo + len - 1 do
       let lrow = lrows.(j) in
       st.Stats.join_probes <- st.Stats.join_probes + 1;
-      let k = key_of lrow left_keys in
+      let k = Array.map (fun f -> f lrow) left_keys in
       let matched = ref false in
       if not (key_has_null k) then begin
         match Row_tbl.find_opt table k with
@@ -284,7 +342,7 @@ let hash_join ?parallel ~(stats : Stats.t) kind keys residual
           List.iter
             (fun (ridx, rrow) ->
               let combined = Row.concat lrow rrow in
-              if eval_residual residual combined then begin
+              if passes_residual combined then begin
                 matched := true;
                 Option.iter (fun arr -> arr.(ridx) <- true) right_matched;
                 emit combined
@@ -314,10 +372,17 @@ let hash_join ?parallel ~(stats : Stats.t) kind keys residual
   in
   let rows = Array.concat (Array.to_list chunks @ pad) in
   stats.Stats.rows_joined <- stats.Stats.rows_joined + Array.length rows;
-  Relation.make schema rows
+  Relation.make_trusted schema rows
+
+(** Hash join over extracted keys: build on the right, probe with the
+    left. *)
+let hash_join ?parallel ?cache ~(stats : Stats.t) kind keys residual
+    (left : Relation.t) (right : Relation.t) schema : Relation.t =
+  let build = make_join_build ?cache ~stats (List.map snd keys) right in
+  hash_join_probe ?parallel ?cache ~stats kind keys residual build left schema
 
 (** Nested-loop fallback when no equi-key exists. *)
-let nested_loop_join ~(stats : Stats.t) kind cond (left : Relation.t)
+let nested_loop_join ?cache ~(stats : Stats.t) kind cond (left : Relation.t)
     (right : Relation.t) schema : Relation.t =
   Stats.timed stats Stats.Op_join @@ fun () ->
   let l_arity = Schema.arity (Relation.schema left) in
@@ -330,8 +395,10 @@ let nested_loop_join ~(stats : Stats.t) kind cond (left : Relation.t)
   in
   let out = ref [] in
   let emit row = out := row :: !out in
-  let passes combined =
-    match cond with None -> true | Some c -> Eval.eval_pred combined c
+  let passes =
+    match cond with
+    | None -> fun _ -> true
+    | Some c -> compiled_pred ?cache ~stats c
   in
   Relation.iter
     (fun lrow ->
@@ -361,19 +428,19 @@ let nested_loop_join ~(stats : Stats.t) kind cond (left : Relation.t)
   | _ -> ());
   let rows = Array.of_list (List.rev !out) in
   stats.Stats.rows_joined <- stats.Stats.rows_joined + Array.length rows;
-  Relation.make schema rows
+  Relation.make_trusted schema rows
 
-let join ?parallel ~stats kind cond (left : Relation.t) (right : Relation.t)
-    schema : Relation.t =
+let join ?parallel ?cache ~stats kind cond (left : Relation.t)
+    (right : Relation.t) schema : Relation.t =
   match kind, cond with
-  | Logical.Cross, _ -> nested_loop_join ~stats kind None left right schema
-  | _, None -> nested_loop_join ~stats kind None left right schema
+  | Logical.Cross, _ -> nested_loop_join ?cache ~stats kind None left right schema
+  | _, None -> nested_loop_join ?cache ~stats kind None left right schema
   | _, Some c -> (
     let left_arity = Schema.arity (Relation.schema left) in
     match split_equi_condition ~left_arity c with
-    | [], _ -> nested_loop_join ~stats kind (Some c) left right schema
+    | [], _ -> nested_loop_join ?cache ~stats kind (Some c) left right schema
     | keys, residual ->
-      hash_join ?parallel ~stats kind keys residual left right schema)
+      hash_join ?parallel ?cache ~stats kind keys residual left right schema)
 
 (* ------------------------------------------------------------------ *)
 (* Aggregation                                                         *)
@@ -426,11 +493,21 @@ let finalize (kind : Ast.agg_kind) acc : Value.t =
     if acc.count = 0 then Value.Null
     else Value.Float (Value.to_float acc.sum /. float_of_int acc.count)
 
-let aggregate ~(stats : Stats.t) ~keys ~(aggs : Logical.agg list)
+let aggregate ?cache ~(stats : Stats.t) ~keys ~(aggs : Logical.agg list)
     (input : Relation.t) schema : Relation.t =
   Stats.timed stats Stats.Op_aggregate @@ fun () ->
-  let keys = Array.of_list keys in
+  let keys =
+    Array.of_list (List.map (fun e -> compiled_val ?cache ~stats e) keys)
+  in
   let aggs = Array.of_list aggs in
+  let agg_args =
+    Array.map
+      (fun (a : Logical.agg) ->
+        match a.agg_kind with
+        | Ast.Count_star -> fun _ -> Value.Null  (* unused *)
+        | _ -> compiled_val ?cache ~stats a.agg_arg)
+      aggs
+  in
   stats.Stats.rows_aggregated <-
     stats.Stats.rows_aggregated + Relation.cardinality input;
   let groups : (Row.t * accumulator array) Row_tbl.t =
@@ -439,7 +516,7 @@ let aggregate ~(stats : Stats.t) ~keys ~(aggs : Logical.agg list)
   let order = ref [] in
   Relation.iter
     (fun row ->
-      let key = Array.map (fun e -> Eval.eval row e) keys in
+      let key = Array.map (fun f -> f row) keys in
       let _, accs =
         match Row_tbl.find_opt groups key with
         | Some entry -> entry
@@ -457,7 +534,7 @@ let aggregate ~(stats : Stats.t) ~keys ~(aggs : Logical.agg list)
           | Ast.Count_star ->
             (* COUNT star counts rows regardless of nulls *)
             accs.(i).count <- accs.(i).count + 1
-          | _ -> accumulate accs.(i) (Eval.eval row a.agg_arg))
+          | _ -> accumulate accs.(i) (agg_args.(i) row))
         aggs)
     input;
   let emit key =
@@ -478,4 +555,4 @@ let aggregate ~(stats : Stats.t) ~keys ~(aggs : Logical.agg list)
       |]
     else Array.of_list (List.rev_map emit !order)
   in
-  Relation.make schema rows
+  Relation.make_trusted schema rows

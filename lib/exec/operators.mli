@@ -19,11 +19,26 @@ module Logical = Dbspinner_plan.Logical
 (** Hashtable keyed by rows (used across the executor and MPP layer). *)
 module Row_tbl : Hashtbl.S with type key = Row.t
 
+(** Resolve an expression to a per-row closure: fetched from the cache
+    ({!Eval.compile}d once per program run) when one is given, else the
+    tree-walking interpreter. Resolution happens once per operator
+    call, outside the per-row loop. *)
+val compiled_val : ?cache:Cache.t -> stats:Stats.t -> Bound_expr.t -> Row.t -> Value.t
+
+(** Predicate variant ({!Eval.eval_pred} semantics: NULL rejects). *)
+val compiled_pred : ?cache:Cache.t -> stats:Stats.t -> Bound_expr.t -> Row.t -> bool
+
 val filter :
-  ?parallel:Parallel.ctx -> stats:Stats.t -> Bound_expr.t -> Relation.t -> Relation.t
+  ?parallel:Parallel.ctx ->
+  ?cache:Cache.t ->
+  stats:Stats.t ->
+  Bound_expr.t ->
+  Relation.t ->
+  Relation.t
 
 val project :
   ?parallel:Parallel.ctx ->
+  ?cache:Cache.t ->
   stats:Stats.t ->
   (Bound_expr.t * string) list ->
   Relation.t ->
@@ -32,7 +47,8 @@ val distinct : stats:Stats.t -> Relation.t -> Relation.t
 
 (** Stable sort by [(expr, descending)] keys; NULLs sort first
     ascending. *)
-val sort : stats:Stats.t -> (Bound_expr.t * bool) list -> Relation.t -> Relation.t
+val sort :
+  ?cache:Cache.t -> stats:Stats.t -> (Bound_expr.t * bool) list -> Relation.t -> Relation.t
 
 val limit : stats:Stats.t -> int -> Relation.t -> Relation.t
 
@@ -47,10 +63,27 @@ val intersect : stats:Stats.t -> all:bool -> Relation.t -> Relation.t -> Relatio
 (** EXCEPT [ALL]: bag semantics subtract multiplicities. *)
 val except : stats:Stats.t -> all:bool -> Relation.t -> Relation.t -> Relation.t
 
-(** Uncorrelated IN / EXISTS subquery predicates as semi / anti joins
-    with SQL's null-aware NOT IN semantics. [key = None] is the EXISTS
+(** Digest a subquery result for IN / EXISTS filtering; the membership
+    set is only built when [need_members]. Cacheable: depends only on
+    the subquery relation. *)
+val make_sub_set : stats:Stats.t -> need_members:bool -> Relation.t -> Cache.sub_set
+
+(** IN / EXISTS filtering over a prepared {!make_sub_set} digest, with
+    SQL's null-aware NOT IN semantics. [key = None] is the EXISTS
     form. *)
+val subquery_filter_with_set :
+  ?cache:Cache.t ->
+  stats:Stats.t ->
+  anti:bool ->
+  key:Bound_expr.t option ->
+  Relation.t ->
+  Cache.sub_set ->
+  Relation.t
+
+(** Uncorrelated IN / EXISTS subquery predicates as semi / anti joins:
+    {!make_sub_set} composed with {!subquery_filter_with_set}. *)
 val subquery_filter :
+  ?cache:Cache.t ->
   stats:Stats.t ->
   anti:bool ->
   key:Bound_expr.t option ->
@@ -64,10 +97,31 @@ val subquery_filter :
 val split_equi_condition :
   left_arity:int -> Bound_expr.t -> (Bound_expr.t * Bound_expr.t) list * Bound_expr.t list
 
-(** Hash join over extracted keys; [residual] filters combined rows.
-    Sequential build, chunk-parallel probe. *)
+(** Build the hash table for {!hash_join_probe} over the right side,
+    given the right-side key expressions. Split out so the executor can
+    memoize loop-invariant builds (see {!Cache}). *)
+val make_join_build :
+  ?cache:Cache.t -> stats:Stats.t -> Bound_expr.t list -> Relation.t -> Cache.join_build
+
+(** Probe a {!make_join_build} table with the left rows; [residual]
+    filters combined rows. Chunk-parallel over the left rows. *)
+val hash_join_probe :
+  ?parallel:Parallel.ctx ->
+  ?cache:Cache.t ->
+  stats:Stats.t ->
+  Logical.join_kind ->
+  (Bound_expr.t * Bound_expr.t) list ->
+  Bound_expr.t list ->
+  Cache.join_build ->
+  Relation.t ->
+  Schema.t ->
+  Relation.t
+
+(** Hash join over extracted keys: {!make_join_build} composed with
+    {!hash_join_probe}. *)
 val hash_join :
   ?parallel:Parallel.ctx ->
+  ?cache:Cache.t ->
   stats:Stats.t ->
   Logical.join_kind ->
   (Bound_expr.t * Bound_expr.t) list ->
@@ -79,6 +133,7 @@ val hash_join :
 
 (** Nested-loop join for arbitrary (or absent) conditions. *)
 val nested_loop_join :
+  ?cache:Cache.t ->
   stats:Stats.t ->
   Logical.join_kind ->
   Bound_expr.t option ->
@@ -90,6 +145,7 @@ val nested_loop_join :
 (** Dispatch: hash join when an equi-key exists, else nested loop. *)
 val join :
   ?parallel:Parallel.ctx ->
+  ?cache:Cache.t ->
   stats:Stats.t ->
   Logical.join_kind ->
   Bound_expr.t option ->
@@ -102,6 +158,7 @@ val join :
     appearance group order. A global aggregate over an empty input
     yields one default row. *)
 val aggregate :
+  ?cache:Cache.t ->
   stats:Stats.t ->
   keys:Bound_expr.t list ->
   aggs:Logical.agg list ->

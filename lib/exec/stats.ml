@@ -76,6 +76,11 @@ type t = {
   mutable backoff_steps : int;
       (** cumulative deterministic backoff units accrued across retries
           (simulated, not slept) *)
+  mutable cache_hits : int;  (** executor-cache lookups served from cache *)
+  mutable cache_misses : int;  (** executor-cache lookups that built fresh *)
+  mutable build_ms_saved : float;
+      (** wall milliseconds of build work avoided by cache hits
+          (measured at miss time, so not deterministic) *)
   op_wall : float array;
       (** seconds spent per operator family, indexed by {!op_index};
           CPU seconds (summed across domains) under parallel execution *)
@@ -101,6 +106,9 @@ let create () =
     recoveries = 0;
     fallbacks = 0;
     backoff_steps = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    build_ms_saved = 0.0;
     op_wall = Array.make op_count 0.0;
   }
 
@@ -123,6 +131,9 @@ let reset t =
   t.recoveries <- 0;
   t.fallbacks <- 0;
   t.backoff_steps <- 0;
+  t.cache_hits <- 0;
+  t.cache_misses <- 0;
+  t.build_ms_saved <- 0.0;
   Array.fill t.op_wall 0 op_count 0.0
 
 let add ~into (src : t) =
@@ -144,13 +155,31 @@ let add ~into (src : t) =
   into.recoveries <- into.recoveries + src.recoveries;
   into.fallbacks <- into.fallbacks + src.fallbacks;
   into.backoff_steps <- into.backoff_steps + src.backoff_steps;
+  into.cache_hits <- into.cache_hits + src.cache_hits;
+  into.cache_misses <- into.cache_misses + src.cache_misses;
+  into.build_ms_saved <- into.build_ms_saved +. src.build_ms_saved;
   for i = 0 to op_count - 1 do
     into.op_wall.(i) <- into.op_wall.(i) +. src.op_wall.(i)
   done
 
+(** Snapshot of the logical counters only: wall-time buckets and the
+    cache counters are zeroed. Used by the executor cache to record what
+    a build {e logically} did, so a later hit can replay those counters
+    without double-counting its own hit/miss bookkeeping. *)
+let clone_logical (src : t) =
+  let c = create () in
+  add ~into:c src;
+  Array.fill c.op_wall 0 op_count 0.0;
+  c.cache_hits <- 0;
+  c.cache_misses <- 0;
+  c.build_ms_saved <- 0.0;
+  c
+
 (** Equality of the deterministic logical counters; wall-time buckets
-    are excluded (they vary run to run). Used by the seq-vs-parallel
-    equivalence tests. *)
+    and cache counters are excluded (wall time varies run to run; cache
+    counters depend on whether the cache is enabled, and cache-on vs
+    cache-off runs must compare logically equal). Used by the
+    seq-vs-parallel and cache-on-vs-off equivalence tests. *)
 let logical_equal a b =
   a.rows_scanned = b.rows_scanned
   && a.rows_filtered = b.rows_filtered
@@ -199,6 +228,10 @@ let pp fmt t =
        backoff=%d"
       t.faults_injected t.retries t.checkpoints_taken t.recoveries t.fallbacks
       t.backoff_steps;
+  (* Cache counters only appear when the executor cache saw traffic. *)
+  if t.cache_hits > 0 || t.cache_misses > 0 then
+    Format.fprintf fmt " cache_hits=%d cache_misses=%d build_ms_saved=%.1f"
+      t.cache_hits t.cache_misses t.build_ms_saved;
   (* Per-operator wall-time buckets, only once something was timed. *)
   if Array.exists (fun s -> s > 0.0) t.op_wall then begin
     Format.fprintf fmt "@\n  op wall time:";

@@ -40,6 +40,11 @@ type t = {
   mutable backoff_steps : int;
       (** cumulative deterministic backoff units accrued across retries
           (simulated, not slept) *)
+  mutable cache_hits : int;  (** executor-cache lookups served from cache *)
+  mutable cache_misses : int;  (** executor-cache lookups that built fresh *)
+  mutable build_ms_saved : float;
+      (** wall milliseconds of build work avoided by cache hits
+          (measured, not deterministic) *)
   op_wall : float array;
       (** seconds spent per operator family, indexed by {!op_index};
           CPU seconds (summed across domains) under parallel execution *)
@@ -52,8 +57,14 @@ val reset : t -> unit
     included). *)
 val add : into:t -> t -> unit
 
-(** Equality of the deterministic logical counters; [op_wall] is
-    ignored. Used by seq-vs-parallel equivalence tests. *)
+(** Copy with only the logical counters retained: [op_wall] and the
+    cache counters are zeroed. The executor cache stores one of these
+    per entry so a hit can replay the build's logical work. *)
+val clone_logical : t -> t
+
+(** Equality of the deterministic logical counters; [op_wall] and the
+    cache counters are ignored (cache-on vs cache-off runs must compare
+    equal). Used by seq-vs-parallel and cache equivalence tests. *)
 val logical_equal : t -> t -> bool
 
 val op_index : op -> int

@@ -21,6 +21,7 @@ module Logical = Dbspinner_plan.Logical
 module Bound_expr = Dbspinner_plan.Bound_expr
 module Eval = Dbspinner_exec.Eval
 module Operators = Dbspinner_exec.Operators
+module Cache = Dbspinner_exec.Cache
 module Stats = Dbspinner_exec.Stats
 module Guards = Dbspinner_exec.Guards
 module Parallel = Dbspinner_exec.Parallel
@@ -90,7 +91,14 @@ let per_partition ~pool ~fault ~(stats : Stats.t)
           f st d.parts.(i));
   }
 
-let key_fn exprs row = Array.map (fun e -> Eval.eval row e) exprs
+(* Precompile the key expressions once per repartition (the closures
+   come from the per-run cache when one is given), instead of
+   re-interpreting each expression tree per row. *)
+let key_fn ?cache ~stats exprs =
+  let fs =
+    Array.map (fun e -> Operators.compiled_val ?cache ~stats e) exprs
+  in
+  fun row -> Array.map (fun f -> f row) fs
 
 (* ------------------------------------------------------------------ *)
 (* Aggregation with local pre-aggregation                              *)
@@ -136,20 +144,21 @@ let combiner_aggs ~nkeys (aggs : Logical.agg list) : Logical.agg list =
     pre-aggregated locally so only one partial row per (worker, group)
     crosses the network — the standard MPP shuffle-volume
     optimization. *)
-let run_aggregate ~pool ~workers ~shuffles ~fault ~stats ~keys ~aggs
+let run_aggregate ?cache ~pool ~workers ~shuffles ~fault ~stats ~keys ~aggs
     ~agg_schema (d : dist_rel) : dist_rel =
   let nkeys = List.length keys in
   if decomposable aggs then begin
     let partial =
       per_partition ~pool ~fault ~stats
-        (fun st part -> Operators.aggregate ~stats:st ~keys ~aggs part agg_schema)
+        (fun st part ->
+          Operators.aggregate ?cache ~stats:st ~keys ~aggs part agg_schema)
         d
     in
     let final_keys = List.init nkeys (fun i -> Bound_expr.B_col i) in
     let final_aggs = combiner_aggs ~nkeys aggs in
     let combine st part =
-      Operators.aggregate ~stats:st ~keys:final_keys ~aggs:final_aggs part
-        agg_schema
+      Operators.aggregate ?cache ~stats:st ~keys:final_keys ~aggs:final_aggs
+        part agg_schema
     in
     if nkeys = 0 then begin
       (* One partial row per worker; combine on worker 0. *)
@@ -176,21 +185,28 @@ let run_aggregate ~pool ~workers ~shuffles ~fault ~stats ~keys ~aggs
     {
       parts =
         Array.init workers (fun i ->
-            if i = 0 then Operators.aggregate ~stats ~keys ~aggs g.parts.(0) agg_schema
+            if i = 0 then
+              Operators.aggregate ?cache ~stats ~keys ~aggs g.parts.(0)
+                agg_schema
             else Relation.empty agg_schema);
     }
   end
   else begin
     let key_exprs = Array.of_list keys in
-    let d = repartition ~workers ~shuffles ~fault ~key:(key_fn key_exprs) d in
+    let d =
+      repartition ~workers ~shuffles ~fault
+        ~key:(key_fn ?cache ~stats key_exprs)
+        d
+    in
     per_partition ~pool ~fault ~stats
-      (fun st part -> Operators.aggregate ~stats:st ~keys ~aggs part agg_schema)
+      (fun st part ->
+        Operators.aggregate ?cache ~stats:st ~keys ~aggs part agg_schema)
       d
   end
 
-let rec run ?temps ~pool ~workers ~shuffles ~fault ~(stats : Stats.t)
+let rec run ?temps ?cache ~pool ~workers ~shuffles ~fault ~(stats : Stats.t)
     (catalog : Catalog.t) (plan : Logical.t) : dist_rel =
-  let run = run ?temps ~pool ~fault in
+  let run = run ?temps ?cache ~pool ~fault in
   (* Per-partition operator work fans out across the Domain pool;
      exchanges (repartition/gather) and fault ticks stay on the
      coordinator. *)
@@ -213,15 +229,15 @@ let rec run ?temps ~pool ~workers ~shuffles ~fault ~(stats : Stats.t)
       (Option.bind temps (fun t ->
            Hashtbl.find_opt t (String.lowercase_ascii name)))
   | Logical.L_scan _ | Logical.L_values _ ->
-    let rel = Dbspinner_exec.Executor.run_plan ~stats catalog plan in
+    let rel = Dbspinner_exec.Executor.run_plan ?cache ~stats catalog plan in
     { parts = Partition.round_robin ~workers rel }
   | Logical.L_filter { pred; input } ->
     per_partition
-      (fun st part -> Operators.filter ~stats:st pred part)
+      (fun st part -> Operators.filter ?cache ~stats:st pred part)
       (run ~workers ~shuffles ~stats catalog input)
   | Logical.L_project { exprs; input } ->
     per_partition
-      (fun st part -> Operators.project ~stats:st exprs part)
+      (fun st part -> Operators.project ?cache ~stats:st exprs part)
       (run ~workers ~shuffles ~stats catalog input)
   | Logical.L_join { kind; cond; left; right; join_schema } -> (
     let dl = run ~workers ~shuffles ~stats catalog left in
@@ -241,26 +257,30 @@ let rec run ?temps ~pool ~workers ~shuffles ~fault ~(stats : Stats.t)
         parts =
           Array.init workers (fun i ->
               if i = 0 then
-                Operators.join ~stats kind cond dl.parts.(0) dr.parts.(0)
-                  join_schema
+                Operators.join ?cache ~stats kind cond dl.parts.(0)
+                  dr.parts.(0) join_schema
               else Relation.empty join_schema);
       }
     | keys ->
       let lkeys = Array.of_list (List.map fst keys) in
       let rkeys = Array.of_list (List.map snd keys) in
-      let dl = repartition ~workers ~shuffles ~key:(key_fn lkeys) dl in
-      let dr = repartition ~workers ~shuffles ~key:(key_fn rkeys) dr in
+      let dl =
+        repartition ~workers ~shuffles ~key:(key_fn ?cache ~stats lkeys) dl
+      in
+      let dr =
+        repartition ~workers ~shuffles ~key:(key_fn ?cache ~stats rkeys) dr
+      in
       (* NULL-keyed rows of outer sides land on worker 0 on both sides,
          so outer padding stays correct per partition. *)
       {
         parts =
           on_partitions workers (fun st i ->
-              Operators.join ~stats:st kind cond dl.parts.(i) dr.parts.(i)
-                join_schema);
+              Operators.join ?cache ~stats:st kind cond dl.parts.(i)
+                dr.parts.(i) join_schema);
       })
   | Logical.L_aggregate { keys; aggs; input; agg_schema } ->
     let d = run ~workers ~shuffles ~stats catalog input in
-    run_aggregate ~pool ~workers ~shuffles ~fault ~stats ~keys ~aggs
+    run_aggregate ?cache ~pool ~workers ~shuffles ~fault ~stats ~keys ~aggs
       ~agg_schema d
   | Logical.L_distinct input ->
     let d = run ~workers ~shuffles ~stats catalog input in
@@ -269,7 +289,7 @@ let rec run ?temps ~pool ~workers ~shuffles ~fault ~(stats : Stats.t)
   | Logical.L_sort { keys; input } ->
     let d = run ~workers ~shuffles ~stats catalog input in
     let d = gather_to_one ~workers ~shuffles d in
-    per_partition (fun st part -> Operators.sort ~stats:st keys part) d
+    per_partition (fun st part -> Operators.sort ?cache ~stats:st keys part) d
   | Logical.L_limit (n, input) ->
     let d = run ~workers ~shuffles ~stats catalog input in
     let d = gather_to_one ~workers ~shuffles d in
@@ -323,7 +343,8 @@ let rec run ?temps ~pool ~workers ~shuffles ~fault ~(stats : Stats.t)
     shuffles.rows_shuffled <-
       shuffles.rows_shuffled + (Relation.cardinality gathered * (workers - 1));
     per_partition
-      (fun st part -> Operators.subquery_filter ~stats:st ~anti ~key part gathered)
+      (fun st part ->
+        Operators.subquery_filter ?cache ~stats:st ~anti ~key part gathered)
       di
 
 (** Execute [plan] across [workers] simulated workers; returns the
@@ -331,13 +352,14 @@ let rec run ?temps ~pool ~workers ~shuffles ~fault ~(stats : Stats.t)
     work runs concurrently on [pool] (default: the shared Domain
     pool). Injected faults propagate (single plans have no checkpoint
     to recover from; use {!run_program} for recovery semantics). *)
-let run_plan ?(workers = 4) ?pool ?(fault = Fault.none) (catalog : Catalog.t)
-    (plan : Logical.t) : Relation.t * shuffle_stats =
+let run_plan ?(workers = 4) ?pool ?(fault = Fault.none) ?(use_cache = true)
+    (catalog : Catalog.t) (plan : Logical.t) : Relation.t * shuffle_stats =
   if workers <= 0 then invalid_arg "Distributed.run_plan: workers <= 0";
   let pool = match pool with Some p -> p | None -> Parallel.default () in
+  let cache = if use_cache then Some (Cache.create ()) else None in
   let shuffles = { rows_shuffled = 0; exchanges = 0 } in
   let stats = Stats.create () in
-  let d = run ~pool ~workers ~shuffles ~fault ~stats catalog plan in
+  let d = run ?cache ~pool ~workers ~shuffles ~fault ~stats catalog plan in
   (gather d, shuffles)
 
 (* ------------------------------------------------------------------ *)
@@ -418,12 +440,17 @@ let fallback_single_node ~stats ~guards (catalog : Catalog.t)
 
     @raise Unsupported for programs containing recursive CTEs. *)
 let run_program ?(workers = 4) ?pool ?(fault = Fault.none) ?(max_retries = 3)
-    ?(guards = Guards.none) ?(stats = Stats.create ()) (catalog : Catalog.t)
-    (program : Program.t) : Relation.t * shuffle_stats =
+    ?(guards = Guards.none) ?(stats = Stats.create ()) ?(use_cache = true)
+    (catalog : Catalog.t) (program : Program.t) : Relation.t * shuffle_stats =
   if workers <= 0 then invalid_arg "Distributed.run_program: workers <= 0";
   if max_retries < 0 then
     invalid_arg "Distributed.run_program: max_retries < 0";
   let pool = match pool with Some p -> p | None -> Parallel.default () in
+  (* Distributed temps are partitioned [dist_rel]s outside the catalog,
+     so the generation-keyed build memo never applies here; the cache
+     still pays off through compiled expressions, shared (behind its
+     lock) across all partition domains. *)
+  let cache = if use_cache then Some (Cache.create ()) else None in
   let shuffles = { rows_shuffled = 0; exchanges = 0 } in
   let temps : (string, dist_rel) Hashtbl.t = Hashtbl.create 8 in
   let key n = String.lowercase_ascii n in
@@ -461,7 +488,9 @@ let run_program ?(workers = 4) ?pool ?(fault = Fault.none) ?(max_retries = 3)
     let jump = ref None in
     (match step with
     | Program.Materialize { target; plan } ->
-      let d = run ~temps ~pool ~workers ~shuffles ~fault ~stats catalog plan in
+      let d =
+        run ~temps ?cache ~pool ~workers ~shuffles ~fault ~stats catalog plan
+      in
       stats.Stats.materializations <- stats.Stats.materializations + 1;
       stats.Stats.rows_materialized <-
         stats.Stats.rows_materialized + Partition.total_cardinality d.parts;
@@ -566,7 +595,8 @@ let run_program ?(workers = 4) ?pool ?(fault = Fault.none) ?(max_retries = 3)
       result :=
         Some
           (gather
-             (run ~temps ~pool ~workers ~shuffles ~fault ~stats catalog plan)));
+             (run ~temps ?cache ~pool ~workers ~shuffles ~fault ~stats catalog
+                plan)));
     !jump
   in
   while !pc < Array.length steps do

@@ -33,6 +33,7 @@ val run_plan :
   ?workers:int ->
   ?pool:Parallel.t ->
   ?fault:Fault.plan ->
+  ?use_cache:bool ->
   Catalog.t ->
   Logical.t ->
   Relation.t * shuffle_stats
@@ -55,6 +56,11 @@ exception Unsupported of string
     [checkpoints_taken], [recoveries], [fallbacks], [backoff_steps]).
     [guards] are checked at materialize and loop boundaries;
     {!Guards.Resource_exhausted} is never retried.
+
+    [use_cache] (default true) shares one compiled-expression cache
+    across all partition domains; distributed temps live outside the
+    catalog, so the generation-keyed build memo does not apply here.
+    Results and logical stats are identical either way.
     @raise Unsupported for recursive CTEs
     @raise Guards.Resource_exhausted when a deadline or row budget is
     crossed
@@ -66,6 +72,7 @@ val run_program :
   ?max_retries:int ->
   ?guards:Guards.t ->
   ?stats:Stats.t ->
+  ?use_cache:bool ->
   Catalog.t ->
   Program.t ->
   Relation.t * shuffle_stats

@@ -37,6 +37,11 @@ type t = {
   parallel_chunk_rows : int;
       (** minimum relation cardinality before an operator splits its
           input across the pool *)
+  use_exec_cache : bool;
+      (** iteration-aware executor cache: memoize loop-invariant join
+          builds / subquery digests under source generations and
+          closure-compile expressions once per program run. An executor
+          concern, not a paper rewrite, so [unoptimized] keeps it on. *)
 }
 
 let default =
@@ -53,6 +58,7 @@ let default =
     mpp_max_retries = 3;
     parallel_workers = 1;
     parallel_chunk_rows = 4096;
+    use_exec_cache = true;
   }
 
 (** All paper optimizations off: the naive rewrite the paper's
@@ -87,7 +93,9 @@ let to_string t =
         t.parallel_chunk_rows
     else ""
   in
+  (* Only shown when disabled, keeping the default rendering stable. *)
+  let cache = if t.use_exec_cache then "" else " exec_cache=off" in
   Printf.sprintf
-    "rename=%b common_result=%b pushdown=%b fold=%b outer_to_inner=%b%s%s"
+    "rename=%b common_result=%b pushdown=%b fold=%b outer_to_inner=%b%s%s%s"
     t.use_rename t.use_common_result t.use_pushdown t.use_constant_folding
-    t.use_outer_to_inner guards parallel
+    t.use_outer_to_inner guards parallel cache

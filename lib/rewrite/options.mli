@@ -34,6 +34,10 @@ type t = {
   parallel_chunk_rows : int;
       (** minimum relation cardinality before an operator splits its
           input across the pool *)
+  use_exec_cache : bool;
+      (** iteration-aware executor cache (loop-invariant join-build
+          reuse + compiled expressions); an executor concern, not a
+          paper rewrite, so [unoptimized] keeps it on *)
 }
 
 (** Everything on. *)

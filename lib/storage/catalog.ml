@@ -9,6 +9,10 @@
 type t = {
   base : (string, Table.t) Hashtbl.t;
   temps : (string, Relation.t) Hashtbl.t;
+  temp_gens : (string, int) Hashtbl.t;
+      (** generation number per temp; fresh on every (re)bind, so the
+          executor cache can tell iterations of the same name apart *)
+  mutable generation_counter : int;
   mutable ddl_ops : int;  (** CREATE/DROP count, for baseline accounting *)
   mutable renames : int;
 }
@@ -17,7 +21,14 @@ exception Unknown_table of string
 exception Duplicate_table of string
 
 let create () =
-  { base = Hashtbl.create 16; temps = Hashtbl.create 16; ddl_ops = 0; renames = 0 }
+  {
+    base = Hashtbl.create 16;
+    temps = Hashtbl.create 16;
+    temp_gens = Hashtbl.create 16;
+    generation_counter = 0;
+    ddl_ops = 0;
+    renames = 0;
+  }
 
 let key = String.lowercase_ascii
 
@@ -62,7 +73,14 @@ let restore_base t bindings =
 (* ------------------------------------------------------------------ *)
 (* Intermediate results (temp lookup table)                            *)
 
-let set_temp t name rel = Hashtbl.replace t.temps (key name) rel
+let next_gen t =
+  t.generation_counter <- t.generation_counter + 1;
+  t.generation_counter
+
+let set_temp t name rel =
+  let k = key name in
+  Hashtbl.replace t.temps k rel;
+  Hashtbl.replace t.temp_gens k (next_gen t)
 
 let find_temp t name =
   match Hashtbl.find_opt t.temps (key name) with
@@ -71,7 +89,14 @@ let find_temp t name =
 
 let find_temp_opt t name = Hashtbl.find_opt t.temps (key name)
 let mem_temp t name = Hashtbl.mem t.temps (key name)
-let drop_temp t name = Hashtbl.remove t.temps (key name)
+let drop_temp t name =
+  Hashtbl.remove t.temps (key name);
+  Hashtbl.remove t.temp_gens (key name)
+
+(** Generation of a temp binding: assigned fresh on every
+    [set_temp]/[rename_temp], never reused (the counter only rises, even
+    across [clear_temps]). *)
+let temp_generation t name = Hashtbl.find_opt t.temp_gens (key name)
 
 (** O(1) pointer swap. If [into] already exists its entry is removed
     first (the engine releases the memory), per paper §VI-A. *)
@@ -83,13 +108,21 @@ let rename_temp t ~from_ ~into =
   in
   Hashtbl.remove t.temps (key into);
   Hashtbl.remove t.temps (key from_);
+  Hashtbl.remove t.temp_gens (key from_);
   Hashtbl.replace t.temps (key into) rel;
+  (* Still an O(1) swap: only the generation counter is touched, never
+     the rows. *)
+  Hashtbl.replace t.temp_gens (key into) (next_gen t);
   t.renames <- t.renames + 1
 
 let temp_names t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.temps [] |> List.sort String.compare
 
-let clear_temps t = Hashtbl.reset t.temps
+let clear_temps t =
+  Hashtbl.reset t.temps;
+  (* The counter is deliberately NOT reset: generations stay globally
+     unique so a cache outliving the temps can never see a stale hit. *)
+  Hashtbl.reset t.temp_gens
 
 (** Resolve a name for reading: temps shadow base tables, so that the
     iterative CTE reference ("PageRank") wins over a base table of the

@@ -51,6 +51,12 @@ val rename_temp : t -> from_:string -> into:string -> unit
 val temp_names : t -> string list
 val clear_temps : t -> unit
 
+(** Generation number of a temp binding. Every [set_temp]/[rename_temp]
+    assigns a fresh, globally unique generation (the counter only
+    rises, even across [clear_temps]), so executor caches keyed on
+    [(name, generation)] invalidate naturally when a temp is rebound. *)
+val temp_generation : t -> string -> int option
+
 (** {2 Unified resolution} *)
 
 (** Resolve a name for reading; temps shadow base tables, so the

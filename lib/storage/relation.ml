@@ -19,6 +19,12 @@ let make schema rows =
     rows;
   { schema; rows }
 
+(** Trusted constructor for operator outputs whose rows are built from
+    already-validated relations: skips the O(n) per-row arity check of
+    {!make}. External ingestion (CSV, DML, VALUES) must keep using
+    {!make}. *)
+let make_trusted schema rows = { schema; rows }
+
 let of_lists schema rows = make schema (Array.of_list (List.map Row.of_list rows))
 
 let empty schema = { schema; rows = [||] }

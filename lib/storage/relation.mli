@@ -7,6 +7,12 @@ type t
     schema's. *)
 val make : Schema.t -> Row.t array -> t
 
+(** Unchecked constructor for trusted operator outputs: the caller
+    guarantees every row already matches the schema arity (rows taken
+    from validated relations). Skips {!make}'s O(n) re-validation;
+    external/CSV ingestion must keep using {!make}. *)
+val make_trusted : Schema.t -> Row.t array -> t
+
 val of_lists : Schema.t -> Value.t list list -> t
 val empty : Schema.t -> t
 val schema : t -> Schema.t

@@ -32,6 +32,15 @@ let project (row : t) (idxs : int array) : t =
 
 let concat (a : t) (b : t) : t = Array.append a b
 
+(** Hashtable keyed by rows — the executor's hash-join build tables and
+    distinct/grouping sets all key on rows. *)
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
 let pp fmt (t : t) =
   Format.fprintf fmt "(%s)"
     (String.concat ", " (Array.to_list (Array.map Value.to_string t)))

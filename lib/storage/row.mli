@@ -20,5 +20,10 @@ val hash : t -> int
 val project : t -> int array -> t
 
 val concat : t -> t -> t
+
+(** Hashtable keyed by rows (join build tables, distinct sets, group
+    maps) using {!equal}/{!hash}. *)
+module Tbl : Hashtbl.S with type key = t
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -10,6 +10,8 @@ type t = {
   schema : Schema.t;
   mutable rows : Row.t list;  (** newest first; order is irrelevant *)
   mutable cardinality : int;
+  mutable version : int;
+      (** bumped on every mutation; executor caches key on it *)
   primary_key : int option;
   pk_index : (Value.t, unit) Hashtbl.t option;
 }
@@ -32,6 +34,7 @@ let create ?primary_key ~name schema =
     schema;
     rows = [];
     cardinality = 0;
+    version = 0;
     primary_key = pk_idx;
     pk_index = Option.map (fun _ -> Hashtbl.create 64) pk_idx;
   }
@@ -39,6 +42,7 @@ let create ?primary_key ~name schema =
 let name t = t.name
 let schema t = t.schema
 let cardinality t = t.cardinality
+let version t = t.version
 let primary_key t = t.primary_key
 
 let check_row t (row : Row.t) : Row.t =
@@ -75,7 +79,8 @@ let insert t row =
     Hashtbl.replace idx key ()
   | _ -> ());
   t.rows <- row :: t.rows;
-  t.cardinality <- t.cardinality + 1
+  t.cardinality <- t.cardinality + 1;
+  t.version <- t.version + 1
 
 let insert_all t rows = List.iter (insert t) rows
 
@@ -107,6 +112,7 @@ let update t ~pred ~set =
         Hashtbl.replace idx r.(k) ())
       t.rows
   | _ -> ());
+  if !updated > 0 then t.version <- t.version + 1;
   !updated
 
 (** [delete t ~pred] removes matching rows; returns how many. *)
@@ -125,11 +131,13 @@ let delete t ~pred =
         not kill)
       t.rows;
   t.cardinality <- t.cardinality - !deleted;
+  if !deleted > 0 then t.version <- t.version + 1;
   !deleted
 
 let truncate t =
   t.rows <- [];
   t.cardinality <- 0;
+  t.version <- t.version + 1;
   Option.iter Hashtbl.reset t.pk_index
 
 let to_relation t = Relation.make t.schema (Array.of_list t.rows)
@@ -142,6 +150,7 @@ let snapshot_rows t = t.rows
 let restore_rows t rows =
   t.rows <- rows;
   t.cardinality <- List.length rows;
+  t.version <- t.version + 1;
   match t.pk_index, t.primary_key with
   | Some idx, Some k ->
     Hashtbl.reset idx;

@@ -16,6 +16,10 @@ val name : t -> string
 val schema : t -> Schema.t
 val cardinality : t -> int
 
+(** Monotonic mutation counter: bumped by every insert/update/delete/
+    truncate/restore. Executor caches key base-table reads on it. *)
+val version : t -> int
+
 (** Index of the primary-key column, if any. *)
 val primary_key : t -> int option
 
