@@ -6,7 +6,7 @@ DUNE ?= dune
 # Fixed seed so the property/fuzz suites are reproducible in CI.
 SMOKE_SEED ?= 42
 
-.PHONY: all build test fmt fmt-check smoke bench-fast bench-cache check ci clean
+.PHONY: all build test fmt fmt-check smoke trace-smoke bench-fast bench-cache check ci clean
 
 all: build
 
@@ -51,6 +51,20 @@ smoke: build
 	$(DUNE) exec bench/main.exe -- ext-parallel --fast
 	$(DUNE) exec bench/main.exe -- ext-cache --fast --json BENCH_cache.json
 
+# Trace smoke: the observability suite (ring buffer, NDJSON schema,
+# cross-executor timeline agreement, and a faulted distributed run
+# with tracing on), then an end-to-end pass: run an iterative workload
+# under --trace, validate the emitted NDJSON with `trace-check`, and
+# regenerate + validate BENCH_trace.json (trace on/off equivalence and
+# per-iteration delta agreement across sequential / parallel /
+# distributed execution).
+trace-smoke: build
+	$(DUNE) exec test/test_obs.exe
+	$(DUNE) exec bin/dbspinner_cli.exe -- run --trace=trace_smoke.ndjson examples/trace_smoke.sql > /dev/null
+	$(DUNE) exec bin/dbspinner_cli.exe -- trace-check trace_smoke.ndjson
+	$(DUNE) exec bench/main.exe -- ext-trace --fast --json BENCH_trace.json
+	$(DUNE) exec bin/dbspinner_cli.exe -- trace-check BENCH_trace.json
+
 bench-fast: build
 	$(DUNE) exec bench/main.exe -- --fast
 
@@ -59,10 +73,11 @@ bench-fast: build
 bench-cache: build
 	$(DUNE) exec bench/main.exe -- ext-cache --json BENCH_cache.json
 
-check: build test fmt-check smoke
+check: build test fmt-check smoke trace-smoke
 
-# The minimal CI gate: compile, full test suite, formatting.
-ci: build test fmt-check
+# The minimal CI gate: compile, full test suite, formatting, trace
+# smoke (NDJSON + bench-record validation with the fault path traced).
+ci: build test fmt-check trace-smoke
 
 clean:
 	$(DUNE) clean

@@ -19,6 +19,10 @@
      ext-cache       — iteration-aware executor cache: loop-invariant
                        join-build reuse + compiled expressions
                        (extension)
+     ext-trace       — iteration-aware tracing: overhead when off/on and
+                       convergence-timeline agreement across the
+                       sequential / parallel / distributed executors
+                       (extension)
      micro           — Bechamel micro-benchmarks of engine primitives
 
    Usage: dune exec bench/main.exe [-- section ...] [-- --fast]
@@ -615,6 +619,200 @@ let ext_cache () =
     \ its loop, so its gain comes from compiled expressions alone. Rows\n\
     \ and logical stats must be identical — `equal` says so)"
 
+let ext_trace () =
+  header "Extension: iteration-aware tracing (overhead + timeline agreement)";
+  let module Stats = Dbspinner_exec.Stats in
+  let module Executor = Dbspinner_exec.Executor in
+  let module Parallel = Dbspinner_exec.Parallel in
+  let module Catalog = Dbspinner_storage.Catalog in
+  let module Trace = Dbspinner_obs.Trace in
+  let module Value = Dbspinner_storage.Value in
+  (* Bag equality with a float tolerance: the distributed executor
+     legitimately reorders float additions across partitions, so PR
+     ranks differ in the last bits. The sequential trace-on run is
+     still checked bit-for-bit against trace-off below. *)
+  let approx_equal_bag a b =
+    let close x y =
+      Float.abs (x -. y) <= 1e-9 *. (1.0 +. Float.abs x +. Float.abs y)
+    in
+    Relation.cardinality a = Relation.cardinality b
+    &&
+    let sa = Relation.sorted a and sb = Relation.sorted b in
+    Array.for_all2
+      (fun ra rb ->
+        Array.for_all2
+          (fun va vb ->
+            match ((va : Value.t), (vb : Value.t)) with
+            | (Value.Int _ | Value.Float _), (Value.Int _ | Value.Float _) ->
+              close (Value.to_float va) (Value.to_float vb)
+            | _ -> Value.equal va vb)
+          ra rb)
+      (Relation.rows sa) (Relation.rows sb)
+  in
+  let compile_for catalog sql =
+    let lookup name =
+      Option.map Dbspinner_storage.Table.schema
+        (Catalog.find_table_opt catalog name)
+    in
+    Dbspinner_rewrite.Iterative_rewrite.compile ~options:Options.default ~lookup
+      (Dbspinner_sql.Parser.parse_query sql)
+  in
+  let graph, pr_engine = engine_for_dataset Datasets.dblp_like in
+  Printf.printf "datasets: dblp-like (%d nodes, %d edges) for PR, chain+shortcuts for SSSP\n"
+    (Graph_gen.num_nodes graph) (Graph_gen.num_edges graph);
+  let n = if !fast then 5 else 10 in
+  let chain =
+    Graph_gen.chain_with_shortcuts ~seed:7
+      ~num_nodes:(if !fast then 60 else 150)
+      ~shortcut_every:10
+  in
+  let sssp_engine = Loader.engine_for ~with_vertex_status:false chain in
+  let sssp_sql =
+    {|WITH ITERATIVE sssp (Node, Distance)
+AS ( SELECT src, CASE WHEN src = 0 THEN 0 ELSE 9999999 END
+     FROM (SELECT src FROM edges UNION SELECT dst FROM edges)
+ ITERATE
+   SELECT sssp.node, LEAST(sssp.distance, MIN(prev.distance + e.weight))
+   FROM sssp
+     LEFT JOIN edges AS e ON sssp.node = e.dst
+     LEFT JOIN sssp AS prev ON prev.node = e.src
+   WHERE prev.distance <> 9999999
+   GROUP BY sssp.node, sssp.distance
+ UNTIL DELTA = 0 )
+SELECT COUNT(*) FROM sssp|}
+  in
+  let workloads =
+    [
+      ( Printf.sprintf "PR (%d ITERATIONS)" n,
+        Engine.catalog pr_engine,
+        compile_for (Engine.catalog pr_engine) (Queries.pr ~iterations:n ()),
+        false );
+      ( "SSSP (UNTIL DELTA = 0)",
+        Engine.catalog sssp_engine,
+        compile_for (Engine.catalog sssp_engine) sssp_sql,
+        true );
+    ]
+  in
+  Printf.printf "\n%-22s %11s %11s %10s %6s %7s %7s %6s\n" "workload"
+    "trace off" "trace on" "overhead" "iters" "deltas" "events" "equal";
+  List.iter
+    (fun (label, catalog, program, expects_converged) ->
+      (* One timed + one measured run per execution path. The measured
+         run is sliced out of the shared ring buffer with [next_seq] so
+         its spans are not mixed with the timing repetitions'. *)
+      let run_path exec =
+        let tr = Trace.create () in
+        let stats = Stats.create () in
+        let t =
+          timed (fun () ->
+              Catalog.clear_temps catalog;
+              Stats.reset stats;
+              ignore (exec ~stats ~trace:(Some tr) ()))
+        in
+        let min_seq = Trace.next_seq tr in
+        Catalog.clear_temps catalog;
+        Stats.reset stats;
+        let rel = exec ~stats ~trace:(Some tr) () in
+        let iter_spans = Trace.iteration_spans ~min_seq tr in
+        let deltas = List.map (fun (s : Trace.span) -> s.Trace.delta) iter_spans in
+        let events =
+          String.split_on_char '\n' (Trace.to_ndjson ~min_seq tr)
+          |> List.filter (fun l -> String.trim l <> "")
+        in
+        let valid =
+          List.for_all
+            (fun l -> match Trace.validate_event l with Ok () -> true | Error _ -> false)
+            events
+        in
+        (t, rel, Stats.copy stats, deltas, List.length events, valid)
+      in
+      (* Baseline: sequential with tracing compiled out of the path. *)
+      let off_stats = Stats.create () in
+      let off_rel =
+        ref (Relation.make (Dbspinner_storage.Schema.make []) [||])
+      in
+      let off_t =
+        timed (fun () ->
+            Catalog.clear_temps catalog;
+            Stats.reset off_stats;
+            off_rel := Executor.run_program ~stats:off_stats catalog program)
+      in
+      Catalog.clear_temps catalog;
+      Stats.reset off_stats;
+      off_rel := Executor.run_program ~stats:off_stats catalog program;
+      let seq_t, seq_rel, seq_stats, seq_deltas, seq_events, seq_valid =
+        run_path (fun ~stats ~trace () ->
+            Executor.run_program ~stats ?trace catalog program)
+      in
+      let parallel = Parallel.context ~workers:2 () in
+      let _, par_rel, _, par_deltas, par_events, par_valid =
+        run_path (fun ~stats ~trace () ->
+            Executor.run_program ?parallel ~stats ?trace catalog program)
+      in
+      let _, dist_rel, _, dist_deltas, dist_events, dist_valid =
+        run_path (fun ~stats ~trace () ->
+            fst
+              (Dbspinner_mpp.Distributed.run_program ~workers:4 ~stats ?trace
+                 catalog program))
+      in
+      Catalog.clear_temps catalog;
+      let results_equal =
+        Relation.equal_bag !off_rel seq_rel
+        && approx_equal_bag !off_rel par_rel
+        && approx_equal_bag !off_rel dist_rel
+      in
+      (* Tracing must be non-perturbing: same logical work on vs off. *)
+      let stats_equal = Stats.logical_equal off_stats seq_stats in
+      let deltas_agree = seq_deltas = par_deltas && seq_deltas = dist_deltas in
+      (* The timeline must agree with the executor's own loop
+         accounting: one Iteration span per counted iteration, and for
+         Delta-terminated loops the final recorded delta is 0. *)
+      let iters = List.length seq_deltas in
+      let executor_agrees =
+        iters = seq_stats.Stats.loop_iterations
+        && ((not expects_converged)
+           || match List.rev seq_deltas with last :: _ -> last = 0 | [] -> false)
+      in
+      let events_valid = seq_valid && par_valid && dist_valid in
+      let all_ok =
+        results_equal && stats_equal && deltas_agree && executor_agrees
+        && events_valid
+      in
+      Printf.printf "%-22s %11s %11s %10s %6d %7s %7d %6s\n" label (secs off_t)
+        (secs seq_t)
+        (improvement seq_t off_t)
+        iters
+        (if deltas_agree then "agree" else "DIFFER")
+        (seq_events + par_events + dist_events)
+        (if all_ok then "yes" else "NO!");
+      record_json
+        [
+          ("section", J_str "ext-trace");
+          ("workload", J_str label);
+          ("trace_off_s", J_num off_t);
+          ("trace_on_s", J_num seq_t);
+          ( "overhead_pct",
+            J_num ((seq_t -. off_t) /. Float.max off_t 1e-12 *. 100.0) );
+          ("iterations", J_int iters);
+          ("loop_iterations", J_int seq_stats.Stats.loop_iterations);
+          ( "final_delta",
+            J_int (match List.rev seq_deltas with d :: _ -> d | [] -> -1) );
+          ("events_seq", J_int seq_events);
+          ("events_parallel", J_int par_events);
+          ("events_distributed", J_int dist_events);
+          ("deltas_agree", J_bool deltas_agree);
+          ("stats_equal", J_bool stats_equal);
+          ("results_equal", J_bool results_equal);
+          ("events_valid", J_bool events_valid);
+        ])
+    workloads;
+  print_endline
+    "\n(trace on records one span per step, loop iteration, and operator\n\
+    \ family into a ring buffer; spans are built from pure counter and\n\
+    \ cardinality reads, so logical stats are identical on vs off and\n\
+    \ the per-iteration delta timeline agrees across the sequential,\n\
+    \ parallel, and distributed executors — `equal` checks all of it)"
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
@@ -688,6 +886,7 @@ let sections =
     ("ext-termination", ext_termination);
     ("ext-parallel", ext_parallel);
     ("ext-cache", ext_cache);
+    ("ext-trace", ext_trace);
     ("micro", micro);
   ]
 

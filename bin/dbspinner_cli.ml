@@ -1,9 +1,10 @@
 (* The dbspinner command-line interface.
 
    Subcommands:
-     repl            interactive SQL shell (default)
-     run FILE        execute a ;-separated SQL script
-     demo            load a synthetic graph and run the paper's queries
+     repl              interactive SQL shell (default)
+     run FILE          execute a ;-separated SQL script
+     demo              load a synthetic graph and run the paper's queries
+     trace-check FILE  validate an NDJSON trace (or bench JSON) file
 
    The shell supports meta-commands:
      \dt                      list tables
@@ -13,6 +14,7 @@
                               vertexStatus
      \set OPTION on|off       toggle rename | common | pushdown | fold |
                               exec_cache
+     \set trace on|off        emit NDJSON trace events to stdout
      \set deadline SECS|off   wall-clock budget per statement
      \set budget ROWS|off     rows-materialized budget per statement
      \set retries N           transient-fault retries before fallback
@@ -27,6 +29,39 @@ module Relation = Dbspinner_storage.Relation
 module Schema = Dbspinner_storage.Schema
 module Column_type = Dbspinner_storage.Column_type
 module Catalog = Dbspinner_storage.Catalog
+module Trace = Dbspinner_obs.Trace
+module Json = Dbspinner_obs.Json
+
+(* ------------------------------------------------------------------ *)
+(* Trace sink: NDJSON events to stdout ("-") or a file                  *)
+
+type trace_sink = {
+  sink_trace : Trace.t;
+  sink_dest : string;  (** "-" = stdout *)
+  mutable sink_last_seq : int;  (** first span seq not yet flushed *)
+}
+
+(** Install a fresh session trace on [engine] writing to [dest]
+    ("-" = stdout). A file destination is truncated now and appended to
+    at each flush. *)
+let make_trace_sink engine dest =
+  let tr = Engine.enable_trace engine in
+  if dest <> "-" then Out_channel.with_open_text dest (fun _ -> ());
+  { sink_trace = tr; sink_dest = dest; sink_last_seq = Trace.next_seq tr }
+
+(** Write the spans recorded since the last flush as NDJSON lines. *)
+let flush_trace = function
+  | None -> ()
+  | Some sink ->
+    let text = Trace.to_ndjson ~min_seq:sink.sink_last_seq sink.sink_trace in
+    sink.sink_last_seq <- Trace.next_seq sink.sink_trace;
+    if text <> "" then
+      if sink.sink_dest = "-" then print_string text
+      else
+        Out_channel.with_open_gen
+          [ Open_wronly; Open_append; Open_creat ]
+          0o644 sink.sink_dest
+          (fun oc -> Out_channel.output_string oc text)
 
 let print_result = function
   | Engine.Rows rel -> print_string (Relation.to_table_string rel)
@@ -155,7 +190,20 @@ let set_guard engine key value =
     | _ -> print_endline "usage: \\set chunk ROWS (>= 1)")
   | _ -> assert false
 
-let handle_meta engine line =
+(** [\set trace on|off]: install / remove a stdout NDJSON trace sink. *)
+let set_trace engine sink value =
+  match value with
+  | "on" | "true" | "1" ->
+    sink := Some (make_trace_sink engine "-");
+    print_endline "trace on (NDJSON events to stdout)"
+  | "off" | "false" | "0" ->
+    flush_trace !sink;
+    sink := None;
+    Engine.set_trace engine None;
+    print_endline "trace off"
+  | _ -> print_endline "usage: \\set trace on|off"
+
+let handle_meta engine sink line =
   match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
   | [ "\\q" ] -> `Quit
   | [ "\\dt" ] ->
@@ -176,6 +224,9 @@ let handle_meta engine line =
   | [ "\\set"; (("deadline" | "budget" | "retries" | "workers" | "chunk") as key); value ] ->
     set_guard engine key value;
     `Continue
+  | [ "\\set"; "trace"; value ] ->
+    set_trace engine sink value;
+    `Continue
   | [ "\\set"; key; flag ] ->
     set_option engine key (flag = "on" || flag = "true" || flag = "1");
     `Continue
@@ -185,9 +236,9 @@ let handle_meta engine line =
   | _ ->
     print_endline
       "meta-commands: \\dt  \\load TABLE FILE  \\gen NAME [SCALE]  \\set OPT \
-       on|off (rename|common|pushdown|fold|exec_cache)  \\set deadline \
-       SECS|off  \\set budget ROWS|off  \\set retries N  \\set workers N  \
-       \\set chunk ROWS  \\options  \\q";
+       on|off (rename|common|pushdown|fold|exec_cache)  \\set trace on|off  \
+       \\set deadline SECS|off  \\set budget ROWS|off  \\set retries N  \\set \
+       workers N  \\set chunk ROWS  \\options  \\q";
     `Continue
 
 (** Session options for a CLI invocation: [--workers N] sets the
@@ -200,19 +251,20 @@ let options_of_workers workers no_cache =
     use_exec_cache = not no_cache;
   }
 
-let repl workers no_cache =
+let repl workers no_cache trace_dest =
   let engine = Engine.create ~options:(options_of_workers workers no_cache) () in
+  let sink = ref (Option.map (make_trace_sink engine) trace_dest) in
   print_endline "dbspinner shell — SQL with WITH ITERATIVE support.";
   print_endline "Type \\gen dblp-like 0.2 to load a sample graph; \\q to quit.";
   let buffer = Buffer.create 256 in
   let rec loop () =
     print_string (if Buffer.length buffer = 0 then "dbspinner> " else "      ...> ");
     match read_line () with
-    | exception End_of_file -> ()
+    | exception End_of_file -> flush_trace !sink
     | line when Buffer.length buffer = 0 && String.length line > 0 && line.[0] = '\\'
       -> (
-      match handle_meta engine (String.trim line) with
-      | `Quit -> ()
+      match handle_meta engine sink (String.trim line) with
+      | `Quit -> flush_trace !sink
       | `Continue -> loop ())
     | line ->
       Buffer.add_string buffer line;
@@ -221,30 +273,35 @@ let repl workers no_cache =
       (* Execute once the statement is ';'-terminated. *)
       if String.contains line ';' then begin
         Buffer.clear buffer;
-        safe_exec engine text
+        safe_exec engine text;
+        flush_trace !sink
       end;
       loop ()
   in
   loop ();
   0
 
-let run_file workers no_cache path =
+let run_file workers no_cache trace_dest path =
   match In_channel.with_open_text path In_channel.input_all with
   | sql ->
     let engine = Engine.create ~options:(options_of_workers workers no_cache) () in
+    let sink = Option.map (make_trace_sink engine) trace_dest in
     (match Engine.execute_script engine sql with
     | results ->
       List.iter print_result results;
+      flush_trace sink;
       0
     | exception Dbspinner.Errors.Error (stage, msg) ->
+      flush_trace sink;
       Printf.eprintf "error (%s): %s\n" (Dbspinner.Errors.stage_name stage) msg;
       1)
   | exception Sys_error msg ->
     Printf.eprintf "%s\n" msg;
     1
 
-let demo workers no_cache =
+let demo workers no_cache trace_dest =
   let engine = Engine.create ~options:(options_of_workers workers no_cache) () in
+  let sink = Option.map (make_trace_sink engine) trace_dest in
   generate engine "dblp-like" 0.25;
   print_endline "\n== PageRank (10 iterations), top 5 ==";
   print_string
@@ -267,7 +324,78 @@ let demo workers no_cache =
     (Relation.to_table_string
        (Engine.query engine
           (Dbspinner_workload.Queries.ff ~modulus:100 ~iterations:10 ())));
+  flush_trace sink;
   0
+
+(* ------------------------------------------------------------------ *)
+(* trace-check: validate NDJSON trace / bench JSON files               *)
+
+(** Validate [path] as either an NDJSON trace (one event per line,
+    checked against the span schema) or a dbspinner bench JSON file
+    (an object with a "schema" string and a "records" array of flat
+    objects). Returns a process exit code. *)
+let trace_check path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg ->
+    Printf.eprintf "%s\n" msg;
+    1
+  | contents -> (
+    let bench =
+      match Json.parse contents with
+      | Ok (Json.Obj _ as o) -> (
+        match (Json.member "schema" o, Json.member "records" o) with
+        | Some (Json.Str schema), Some (Json.Arr records) ->
+          Some (schema, records)
+        | _ -> None)
+      | Ok _ | Error _ -> None
+    in
+    match bench with
+    | Some (schema, records) ->
+      let bad =
+        List.filteri
+          (fun _ r -> match r with Json.Obj _ -> false | _ -> true)
+          records
+      in
+      if bad = [] then begin
+        Printf.printf "%s: ok (bench file, schema %s, %d records)\n" path
+          schema (List.length records);
+        0
+      end
+      else begin
+        Printf.eprintf "%s: %d records are not JSON objects\n" path
+          (List.length bad);
+        1
+      end
+    | None ->
+      let lines =
+        String.split_on_char '\n' contents
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      if lines = [] then begin
+        Printf.eprintf "%s: empty trace\n" path;
+        1
+      end
+      else begin
+        let errors = ref 0 in
+        List.iteri
+          (fun i line ->
+            match Trace.validate_event line with
+            | Ok () -> ()
+            | Error msg ->
+              incr errors;
+              if !errors <= 5 then
+                Printf.eprintf "%s:%d: invalid trace event: %s\n" path (i + 1)
+                  msg)
+          lines;
+        if !errors = 0 then begin
+          Printf.printf "%s: ok (%d trace events)\n" path (List.length lines);
+          0
+        end
+        else begin
+          Printf.eprintf "%s: %d invalid events\n" path !errors;
+          1
+        end
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* Cmdliner plumbing                                                   *)
@@ -292,24 +420,44 @@ let no_cache_arg =
            join-build reuse and compiled expressions). Results are \
            identical either way; use for perf comparisons.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record iteration-aware trace spans (steps, loop iterations with \
+           convergence gauges, operator families) and emit them as NDJSON \
+           events after each statement — to $(docv), or to stdout when no \
+           file is given.")
+
 let repl_cmd =
   Cmd.v (Cmd.info "repl" ~doc:"Interactive SQL shell")
-    Term.(const repl $ workers_arg $ no_cache_arg)
+    Term.(const repl $ workers_arg $ no_cache_arg $ trace_arg)
 
 let run_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   Cmd.v (Cmd.info "run" ~doc:"Execute a SQL script")
-    Term.(const run_file $ workers_arg $ no_cache_arg $ file)
+    Term.(const run_file $ workers_arg $ no_cache_arg $ trace_arg $ file)
 
 let demo_cmd =
   Cmd.v
     (Cmd.info "demo" ~doc:"Run the paper's queries on a synthetic graph")
-    Term.(const demo $ workers_arg $ no_cache_arg)
+    Term.(const demo $ workers_arg $ no_cache_arg $ trace_arg)
+
+let trace_check_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:
+         "Validate an NDJSON trace file against the trace event schema (or a \
+          dbspinner bench JSON file for well-formedness)")
+    Term.(const trace_check $ file)
 
 let main_cmd =
   let doc = "An analytical SQL engine with native iterative CTEs (DBSpinner)" in
-  Cmd.group ~default:Term.(const repl $ workers_arg $ no_cache_arg)
+  Cmd.group ~default:Term.(const repl $ workers_arg $ no_cache_arg $ trace_arg)
     (Cmd.info "dbspinner" ~version:"1.0.0" ~doc)
-    [ repl_cmd; run_cmd; demo_cmd ]
+    [ repl_cmd; run_cmd; demo_cmd; trace_check_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,44 @@
+-- Small iterative workload for the trace smoke test:
+--
+--   dune exec bin/dbspinner_cli.exe -- run --trace=trace_smoke.ndjson \
+--     examples/trace_smoke.sql
+--   dune exec bin/dbspinner_cli.exe -- trace-check trace_smoke.ndjson
+--
+-- SSSP on a small weighted graph, converging via UNTIL DELTA = 0, so
+-- the emitted trace contains a multi-iteration convergence timeline
+-- with shrinking deltas.
+
+CREATE TABLE edges (src INT, dst INT, weight FLOAT);
+
+INSERT INTO edges VALUES
+  (0, 1, 1.0), (0, 2, 4.0), (1, 2, 2.0), (2, 3, 1.0),
+  (3, 4, 3.0), (1, 4, 7.0), (4, 5, 1.0), (2, 5, 8.0),
+  (5, 6, 2.0), (6, 7, 1.0), (3, 7, 9.0);
+
+WITH ITERATIVE sssp (Node, Distance) AS (
+  SELECT src, CASE WHEN src = 0 THEN 0.0 ELSE 9999999.0 END FROM
+    (SELECT src FROM edges UNION SELECT dst FROM edges)
+ITERATE
+  SELECT sssp.Node,
+         LEAST(sssp.Distance, COALESCE(MIN(prev.Distance + e.weight), 9999999.0))
+  FROM sssp
+    LEFT JOIN edges AS e ON sssp.Node = e.dst
+    LEFT JOIN sssp AS prev ON prev.Node = e.src
+  GROUP BY sssp.Node, sssp.Distance
+UNTIL DELTA = 0)
+SELECT Node, Distance FROM sssp WHERE Distance < 9999999.0 ORDER BY Node;
+
+-- The convergence timeline rendered inline.
+EXPLAIN ANALYZE
+WITH ITERATIVE sssp (Node, Distance) AS (
+  SELECT src, CASE WHEN src = 0 THEN 0.0 ELSE 9999999.0 END FROM
+    (SELECT src FROM edges UNION SELECT dst FROM edges)
+ITERATE
+  SELECT sssp.Node,
+         LEAST(sssp.Distance, COALESCE(MIN(prev.Distance + e.weight), 9999999.0))
+  FROM sssp
+    LEFT JOIN edges AS e ON sssp.Node = e.dst
+    LEFT JOIN sssp AS prev ON prev.Node = e.src
+  GROUP BY sssp.Node, sssp.Distance
+UNTIL DELTA = 0)
+SELECT COUNT(*) FROM sssp;

@@ -23,6 +23,7 @@ module Eval = Dbspinner_exec.Eval
 module Stats = Dbspinner_exec.Stats
 module Options = Dbspinner_rewrite.Options
 module Iterative_rewrite = Dbspinner_rewrite.Iterative_rewrite
+module Trace = Dbspinner_obs.Trace
 
 (** Snapshot taken at BEGIN: the base-table bindings plus every
     table's row list (rows are immutable, so this is O(tables)). *)
@@ -38,6 +39,9 @@ type t = {
   mutable options : Options.t;
   mutable transaction : transaction_snapshot option;
   stats : Stats.t;  (** cumulative across all statements of the session *)
+  mutable trace : Trace.t option;
+      (** session trace collector; [None] (the default) disables
+          tracing entirely — the executors then do no tracing work *)
 }
 
 type result =
@@ -53,6 +57,7 @@ let create ?(options = Options.default) () =
     options;
     transaction = None;
     stats = Stats.create ();
+    trace = None;
   }
 
 let in_transaction t = t.transaction <> None
@@ -61,6 +66,15 @@ let catalog t = t.catalog
 let options t = t.options
 let set_options t options = t.options <- options
 let session_stats t = t.stats
+let trace t = t.trace
+let set_trace t tr = t.trace <- tr
+
+(** Install a fresh trace collector sized from the session options and
+    return it. *)
+let enable_trace t =
+  let tr = Trace.create ~capacity:t.options.Options.trace_buffer () in
+  t.trace <- Some tr;
+  tr
 
 let lookup t name =
   match Catalog.find_temp_opt t.catalog name with
@@ -157,7 +171,8 @@ let run_query ?(keep_temps = false) t (q : Ast.full_query) : Relation.t =
       if not keep_temps then Catalog.clear_temps t.catalog)
     (fun () ->
       Executor.run_program ?parallel ~stats ~guards
-        ~use_cache:t.options.Options.use_exec_cache t.catalog program)
+        ~use_cache:t.options.Options.use_exec_cache ?trace:t.trace t.catalog
+        program)
 
 (* ------------------------------------------------------------------ *)
 (* DML                                                                 *)
@@ -513,10 +528,19 @@ let rec exec_statement t (stmt : Ast.statement) : result =
       if not analyze then Explained base
       else begin
         (* EXPLAIN ANALYZE: execute the program and report the actual
-           executor counters next to the estimates. *)
+           executor counters next to the estimates. Always traced — the
+           session trace if one is installed, else a throwaway local
+           collector — so the convergence timeline can be rendered for
+           iterative queries. *)
         let stats = Stats.create () in
         let guards = guards_of_options t.options in
         let parallel = parallel_of_options t.options in
+        let tr =
+          match t.trace with
+          | Some tr -> tr
+          | None -> Trace.create ~capacity:t.options.Options.trace_buffer ()
+        in
+        let seq0 = Trace.next_seq tr in
         let rel, seconds =
           let t0 = Unix.gettimeofday () in
           let rel =
@@ -526,15 +550,16 @@ let rec exec_statement t (stmt : Ast.statement) : result =
                 Catalog.clear_temps t.catalog)
               (fun () ->
                 Executor.run_program ?parallel ~stats ~guards
-                  ~use_cache:t.options.Options.use_exec_cache t.catalog
-                  program)
+                  ~use_cache:t.options.Options.use_exec_cache ~trace:tr
+                  t.catalog program)
           in
           (rel, Unix.gettimeofday () -. t0)
         in
+        let timeline = Trace.render_timeline ~min_seq:seq0 tr in
         Explained
-          (Format.asprintf
-             "%s@\n@\nActual: %.4f s, %d rows returned@\n  %a" base seconds
-             (Relation.cardinality rel) Stats.pp stats)
+          (Format.asprintf "%s@\n@\nActual: %.4f s, %d rows returned@\n  %a%s"
+             base seconds (Relation.cardinality rel) Stats.pp stats
+             (if timeline = "" then "" else "\n\n" ^ timeline))
       end
     | other -> Explained (Dbspinner_sql.Sql_pretty.statement other))
 

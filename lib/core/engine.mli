@@ -10,6 +10,7 @@ module Relation = Dbspinner_storage.Relation
 module Catalog = Dbspinner_storage.Catalog
 module Stats = Dbspinner_exec.Stats
 module Options = Dbspinner_rewrite.Options
+module Trace = Dbspinner_obs.Trace
 
 type t
 
@@ -31,6 +32,20 @@ val set_options : t -> Options.t -> unit
 (** Cumulative executor statistics across all statements of the
     session. *)
 val session_stats : t -> Stats.t
+
+(** The session's trace collector, if tracing is on. Queries executed
+    while one is installed record step / iteration / operator / program
+    spans into it (see {!Dbspinner_obs.Trace}); with [None] the
+    executors skip all tracing work. EXPLAIN ANALYZE always traces its
+    own run (into the session collector when installed, else a
+    throwaway one) to render the convergence timeline. *)
+val trace : t -> Trace.t option
+
+val set_trace : t -> Trace.t option -> unit
+
+(** Install a fresh collector sized by [Options.trace_buffer] and
+    return it. *)
+val enable_trace : t -> Trace.t
 
 (** Execute one statement. Query temps are cleared afterwards. *)
 val execute : t -> string -> result

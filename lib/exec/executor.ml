@@ -15,6 +15,7 @@ module Table = Dbspinner_storage.Table
 module Logical = Dbspinner_plan.Logical
 module Program = Dbspinner_plan.Program
 module Bound_expr = Dbspinner_plan.Bound_expr
+module Trace = Dbspinner_obs.Trace
 
 exception Execution_error of string
 
@@ -196,25 +197,52 @@ type loop_state = {
   mutable cumulative_updates : int;
   mutable snapshot : Relation.t option;
       (** CTE version at the top of the current iteration *)
+  mutable iter_mark : (float * Stats.t) option;
+      (** tracing only: wall clock and stats snapshot at the start of
+          the current iteration, so the iteration span can carry its
+          own deltas. [None] whenever tracing is off. *)
 }
 
-(** Decide whether another iteration is needed, updating counters. *)
-let loop_continue ~(stats : Stats.t) catalog (st : loop_state) : bool =
+(** Decide whether another iteration is needed, updating counters.
+    Returns the continue flag and, when it was computed (or when
+    [want_delta] forces it for the trace timeline), this iteration's
+    update count.
+
+    First-iteration semantics, load-bearing and regression-tested in
+    [test_exec.ml]: when [st.snapshot = None] (no [Snapshot] step has
+    run for this loop — hand-built programs, or the distributed
+    executor's [Max_iterations] fast path) the "delta" is the {e full}
+    CTE cardinality, because with no previous version every row counts
+    as updated. Consequently [Max_updates n] charges the whole first
+    materialization against its budget, and [Delta_at_most 0] can never
+    converge without a snapshot — even on already-converged input —
+    until the guard trips. Compiled programs always emit [Snapshot] at
+    the top of the loop body, so user queries get true deltas from
+    iteration 2 on; the first iteration still counts full cardinality
+    (snapshot of a not-yet-materialized CTE is [None]). A refactor
+    that made the first delta 0 would silently let [UNTIL DELTA]
+    loops terminate one iteration early. *)
+let loop_continue ~(stats : Stats.t) ?(want_delta = false) catalog
+    (st : loop_state) : bool * int option =
   st.iterations <- st.iterations + 1;
   stats.Stats.loop_iterations <- stats.Stats.loop_iterations + 1;
   let current () = Catalog.find_temp catalog st.cte in
-  let updates_this_iteration () =
-    match st.snapshot with
-    | None -> Relation.cardinality (current ())
-    | Some prev -> Relation.delta_count ~key_idx:st.key_idx prev (current ())
+  (* Pure reads only (cardinality / delta_count touch no stats), so
+     forcing this for the trace cannot perturb logical counters. *)
+  let updates_this_iteration =
+    lazy
+      (match st.snapshot with
+      | None -> Relation.cardinality (current ())
+      | Some prev -> Relation.delta_count ~key_idx:st.key_idx prev (current ()))
   in
   let continue_ =
     match st.spec with
     | Program.Max_iterations n -> st.iterations < n
     | Program.Max_updates n ->
-      st.cumulative_updates <- st.cumulative_updates + updates_this_iteration ();
+      st.cumulative_updates <-
+        st.cumulative_updates + Lazy.force updates_this_iteration;
       st.cumulative_updates < n
-    | Program.Delta_at_most bound -> updates_this_iteration () > bound
+    | Program.Delta_at_most bound -> Lazy.force updates_this_iteration > bound
     | Program.Data { any; pred } ->
       let rel = current () in
       let satisfied = ref 0 in
@@ -233,7 +261,12 @@ let loop_continue ~(stats : Stats.t) catalog (st : loop_state) : bool =
     error "iterative CTE %s exceeded the %d-iteration guard without meeting \
            its termination condition"
       st.cte st.guard;
-  continue_
+  let delta =
+    if want_delta || Lazy.is_val updates_this_iteration then
+      Some (Lazy.force updates_this_iteration)
+    else None
+  in
+  (continue_, delta)
 
 (* ------------------------------------------------------------------ *)
 (* Recursive CTE (semi-naive)                                          *)
@@ -305,9 +338,15 @@ let assert_unique_key catalog ~temp ~key_idx =
     [guards] (wall-clock deadline, rows-materialized budget) are
     checked at materialize and loop boundaries. [use_cache] enables the
     per-run iteration-aware {!Cache}; results and logical stats are
-    identical either way. *)
+    identical either way.
+
+    [trace], when given, records one {!Trace} span per executed step,
+    per loop iteration (carrying the convergence gauges), per operator
+    family and per program. The [None] path does no tracing work at
+    all, and the [Some] path reads counters and relations purely, so
+    traced and untraced runs stay [Stats.logical_equal]. *)
 let run_program ?parallel ?(stats = Stats.create ()) ?(guards = Guards.none)
-    ?(use_cache = true) (catalog : Catalog.t) (program : Program.t) :
+    ?(use_cache = true) ?trace (catalog : Catalog.t) (program : Program.t) :
     Relation.t =
   let cache = if use_cache then Some (Cache.create ()) else None in
   (* Memory hygiene at every rebinding step: generations already make
@@ -318,14 +357,40 @@ let run_program ?parallel ?(stats = Stats.create ()) ?(guards = Guards.none)
   let loops : (int, loop_state) Hashtbl.t = Hashtbl.create 4 in
   let result = ref None in
   let pc = ref 0 in
+  let prog_mark =
+    match trace with
+    | None -> None
+    | Some _ -> Some (Unix.gettimeofday (), Stats.copy stats)
+  in
+  let step_label step =
+    match step with
+    | Program.Materialize { target; _ } -> "materialize:" ^ target
+    | Program.Rename { from_; into } -> "rename:" ^ from_ ^ "->" ^ into
+    | Program.Drop_temp name -> "drop:" ^ name
+    | Program.Assert_unique_key { temp; _ } -> "assert_unique:" ^ temp
+    | Program.Init_loop { cte; _ } -> "init_loop:" ^ cte
+    | Program.Snapshot { loop_id } -> Printf.sprintf "snapshot:%d" loop_id
+    | Program.Loop_end { loop_id; _ } -> Printf.sprintf "loop_end:%d" loop_id
+    | Program.Recursive_cte { name; _ } -> "recursive_cte:" ^ name
+    | Program.Return _ -> "return"
+  in
   while !pc < Array.length steps do
     let jump = ref None in
+    (* Gauges the current step wants attached to its Step span. *)
+    let step_rows = ref (-1) in
+    let step_delta = ref (-1) in
+    let step_mark =
+      match trace with
+      | None -> None
+      | Some _ -> Some (Unix.gettimeofday (), Stats.copy stats)
+    in
     (match steps.(!pc) with
     | Program.Materialize { target; plan } ->
       let rel = run_plan ?parallel ?cache ~stats catalog plan in
       stats.Stats.materializations <- stats.Stats.materializations + 1;
       stats.Stats.rows_materialized <-
         stats.Stats.rows_materialized + Relation.cardinality rel;
+      step_rows := Relation.cardinality rel;
       Guards.check guards ~stats;
       Catalog.set_temp catalog target rel;
       invalidate target
@@ -349,6 +414,10 @@ let run_program ?parallel ?(stats = Stats.create ()) ?(guards = Guards.none)
           iterations = 0;
           cumulative_updates = 0;
           snapshot = None;
+          iter_mark =
+            (match trace with
+            | None -> None
+            | Some _ -> Some (Unix.gettimeofday (), Stats.copy stats));
         }
     | Program.Snapshot { loop_id } -> (
       match Hashtbl.find_opt loops loop_id with
@@ -359,24 +428,81 @@ let run_program ?parallel ?(stats = Stats.create ()) ?(guards = Guards.none)
       | None -> error "Loop_end for uninitialized loop %d" loop_id
       | Some st ->
         Guards.check guards ~stats;
-        if loop_continue ~stats catalog st then jump := Some body_start)
+        let continue_, delta =
+          loop_continue ~stats ~want_delta:(trace <> None) catalog st
+        in
+        (match trace, st.iter_mark with
+        | Some tr, Some (t0, s0) ->
+          let now = Unix.gettimeofday () in
+          let rows =
+            match Catalog.find_temp_opt catalog st.cte with
+            | Some rel -> Relation.cardinality rel
+            | None -> -1
+          in
+          let d = Option.value delta ~default:(-1) in
+          step_delta := d;
+          Trace.emit tr ~kind:Trace.Iteration ~label:st.cte ~loop_id
+            ~iteration:st.iterations ~rows ~delta:d
+            ~cum_updates:
+              (match st.spec with
+              | Program.Max_updates _ -> st.cumulative_updates
+              | _ -> -1)
+            ~wall_ms:((now -. t0) *. 1000.)
+            ~counters:(Stats.trace_counters ~since:s0 stats)
+            ();
+          if continue_ then st.iter_mark <- Some (now, Stats.copy stats)
+        | _ -> ());
+        if continue_ then jump := Some body_start)
     | Program.Recursive_cte
         { name; work_name; base; step_plan; union_all; max_recursion } ->
       run_recursive ?parallel ?cache ~stats catalog ~name ~work_name ~base
         ~step_plan ~union_all ~max_recursion
     | Program.Return plan ->
-      result := Some (run_plan ?parallel ?cache ~stats catalog plan));
+      let rel = run_plan ?parallel ?cache ~stats catalog plan in
+      step_rows := Relation.cardinality rel;
+      result := Some rel);
+    (match trace, step_mark with
+    | Some tr, Some (t0, s0) ->
+      Trace.emit tr ~kind:Trace.Step
+        ~label:(step_label steps.(!pc))
+        ~rows:!step_rows ~delta:!step_delta
+        ~wall_ms:((Unix.gettimeofday () -. t0) *. 1000.)
+        ~counters:(Stats.trace_counters ~since:s0 stats)
+        ()
+    | _ -> ());
     match !jump with
     | Some target -> pc := target
     | None -> incr pc
   done;
+  (match trace, prog_mark with
+  | Some tr, Some (t0, s0) ->
+    List.iter
+      (fun op ->
+        let i = Stats.op_index op in
+        let dt = stats.Stats.op_wall.(i) -. s0.Stats.op_wall.(i) in
+        if dt > 0.0 then
+          Trace.emit tr ~kind:Trace.Operator ~label:(Stats.op_name op)
+            ~wall_ms:(dt *. 1000.) ~counters:Trace.zero_counters ())
+      Stats.all_ops;
+    Trace.emit tr ~kind:Trace.Program ~label:"program"
+      ~rows:
+        (match !result with
+        | Some rel -> Relation.cardinality rel
+        | None -> -1)
+      ~wall_ms:((Unix.gettimeofday () -. t0) *. 1000.)
+      ~counters:(Stats.trace_counters ~since:s0 stats)
+      ()
+  | _ -> ());
   match !result with
   | Some rel -> rel
   | None -> error "program terminated without a Return step"
 
 (** Loop-iteration count of the last loop in a program run — exposed
     for tests via running with an explicit [stats]. *)
-let run_program_with_stats ?parallel ?guards ?use_cache catalog program =
+let run_program_with_stats ?parallel ?guards ?use_cache ?trace catalog program
+    =
   let stats = Stats.create () in
-  let rel = run_program ?parallel ~stats ?guards ?use_cache catalog program in
+  let rel =
+    run_program ?parallel ~stats ?guards ?use_cache ?trace catalog program
+  in
   (rel, stats)

@@ -42,12 +42,20 @@ val assert_unique_key : Catalog.t -> temp:string -> key_idx:int -> unit
     {!Cache}: loop-invariant join builds and subquery digests are
     memoized under source generations, and expressions are closure-
     compiled once per run. Results and logical stats are identical
-    either way; only wall time and the cache counters differ. *)
+    either way; only wall time and the cache counters differ.
+
+    [trace], when given, records one {!Dbspinner_obs.Trace} span per
+    executed step, per loop iteration (with CTE cardinality, delta and
+    cumulative-update gauges — the convergence timeline), per operator
+    family with accrued wall time, and per program. Tracing does no
+    work at all when absent, and only pure reads when present, so
+    traced and untraced runs are [Stats.logical_equal]. *)
 val run_program :
   ?parallel:Parallel.ctx ->
   ?stats:Stats.t ->
   ?guards:Guards.t ->
   ?use_cache:bool ->
+  ?trace:Dbspinner_obs.Trace.t ->
   Catalog.t ->
   Program.t ->
   Relation.t
@@ -57,6 +65,7 @@ val run_program_with_stats :
   ?parallel:Parallel.ctx ->
   ?guards:Guards.t ->
   ?use_cache:bool ->
+  ?trace:Dbspinner_obs.Trace.t ->
   Catalog.t ->
   Program.t ->
   Relation.t * Stats.t

@@ -122,7 +122,7 @@ let offset ~stats n (rel : Relation.t) : Relation.t =
     (Array.sub (Relation.rows rel) n (Relation.cardinality rel - n))
 
 let union_all ~stats (a : Relation.t) (b : Relation.t) : Relation.t =
-  ignore stats;
+  Stats.timed stats Stats.Op_setop @@ fun () ->
   Relation.make_trusted (Relation.schema a)
     (Array.append (Relation.rows a) (Relation.rows b))
 

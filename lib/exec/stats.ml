@@ -162,6 +162,29 @@ let add ~into (src : t) =
     into.op_wall.(i) <- into.op_wall.(i) +. src.op_wall.(i)
   done
 
+(** Full snapshot, wall-time buckets included. The tracer records one of
+    these before a step/iteration and diffs against the live instance
+    afterwards to attribute counter deltas to the span. *)
+let copy (src : t) =
+  let c = create () in
+  add ~into:c src;
+  c
+
+(** Counter deltas since [since], packaged for a trace span. Pure reads
+    of both instances — attributing work to a span never perturbs the
+    stats themselves. *)
+let trace_counters ~(since : t) (now : t) : Dbspinner_obs.Trace.counters =
+  {
+    Dbspinner_obs.Trace.c_rows_scanned = now.rows_scanned - since.rows_scanned;
+    c_rows_joined = now.rows_joined - since.rows_joined;
+    c_rows_materialized = now.rows_materialized - since.rows_materialized;
+    c_cache_hits = now.cache_hits - since.cache_hits;
+    c_cache_misses = now.cache_misses - since.cache_misses;
+    c_faults = now.faults_injected - since.faults_injected;
+    c_retries = now.retries - since.retries;
+    c_recoveries = now.recoveries - since.recoveries;
+  }
+
 (** Snapshot of the logical counters only: wall-time buckets and the
     cache counters are zeroed. Used by the executor cache to record what
     a build {e logically} did, so a later hit can replay those counters

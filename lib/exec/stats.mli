@@ -57,6 +57,15 @@ val reset : t -> unit
     included). *)
 val add : into:t -> t -> unit
 
+(** Full snapshot, wall-time buckets included. The tracer records one
+    before a step/iteration and diffs afterwards with
+    {!trace_counters}. *)
+val copy : t -> t
+
+(** Counter deltas since [since], packaged for a trace span. Pure reads;
+    never perturbs either instance. *)
+val trace_counters : since:t -> t -> Dbspinner_obs.Trace.counters
+
 (** Copy with only the logical counters retained: [op_wall] and the
     cache counters are zeroed. The executor cache stores one of these
     per entry so a hit can replay the build's logical work. *)

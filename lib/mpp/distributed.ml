@@ -366,6 +366,7 @@ let run_plan ?(workers = 4) ?pool ?(fault = Fault.none) ?(use_cache = true)
 (* Distributed step programs                                           *)
 
 module Program = Dbspinner_plan.Program
+module Trace = Dbspinner_obs.Trace
 
 exception Unsupported of string
 
@@ -377,6 +378,9 @@ type loop_state = {
   mutable iterations : int;
   mutable cumulative_updates : int;
   mutable snapshot : Relation.t option;
+  mutable iter_mark : (float * Stats.t) option;
+      (** tracing only: wall clock and stats snapshot at the start of
+          the current iteration. [None] when tracing is off. *)
 }
 
 let copy_loop_state (st : loop_state) : loop_state =
@@ -388,6 +392,12 @@ let copy_loop_state (st : loop_state) : loop_state =
     iterations = st.iterations;
     cumulative_updates = st.cumulative_updates;
     snapshot = st.snapshot;
+    (* The snapshot pair is never mutated after creation, so checkpoint
+       copies may share it. After a restore, the restored mark predates
+       the fault — the retried iteration's span then absorbs the
+       fault/retry counters, which is exactly what the timeline should
+       show. *)
+    iter_mark = st.iter_mark;
   }
 
 (** A restart point: the program counter to resume at plus copies of
@@ -407,7 +417,7 @@ type checkpoint = {
     [max_retries] consecutive transient faults. The catalog's temp
     namespace is restored afterwards so callers see no leftover temps
     from the fallback execution. *)
-let fallback_single_node ~stats ~guards (catalog : Catalog.t)
+let fallback_single_node ~stats ~guards ?trace (catalog : Catalog.t)
     (program : Program.t) : Relation.t =
   stats.Stats.fallbacks <- stats.Stats.fallbacks + 1;
   let saved =
@@ -419,7 +429,8 @@ let fallback_single_node ~stats ~guards (catalog : Catalog.t)
     ~finally:(fun () ->
       Catalog.clear_temps catalog;
       List.iter (fun (n, r) -> Catalog.set_temp catalog n r) saved)
-    (fun () -> Dbspinner_exec.Executor.run_program ~stats ~guards catalog program)
+    (fun () ->
+      Dbspinner_exec.Executor.run_program ~stats ~guards ?trace catalog program)
 
 (** Execute a whole step program with every plan running distributed.
     Materialized temps stay {e partitioned on the workers} between
@@ -441,7 +452,8 @@ let fallback_single_node ~stats ~guards (catalog : Catalog.t)
     @raise Unsupported for programs containing recursive CTEs. *)
 let run_program ?(workers = 4) ?pool ?(fault = Fault.none) ?(max_retries = 3)
     ?(guards = Guards.none) ?(stats = Stats.create ()) ?(use_cache = true)
-    (catalog : Catalog.t) (program : Program.t) : Relation.t * shuffle_stats =
+    ?trace (catalog : Catalog.t) (program : Program.t) :
+    Relation.t * shuffle_stats =
   if workers <= 0 then invalid_arg "Distributed.run_program: workers <= 0";
   if max_retries < 0 then
     invalid_arg "Distributed.run_program: max_retries < 0";
@@ -484,6 +496,26 @@ let run_program ?(workers = 4) ?pool ?(fault = Fault.none) ?(max_retries = 3)
   let last_checkpoint = ref (take_checkpoint ~in_loop:false 0) in
   (* Consecutive failed attempts since the last successful checkpoint. *)
   let attempts = ref 0 in
+  let prog_mark =
+    match trace with
+    | None -> None
+    | Some _ -> Some (Unix.gettimeofday (), Stats.copy stats)
+  in
+  let step_label step =
+    match step with
+    | Program.Materialize { target; _ } -> "materialize:" ^ target
+    | Program.Rename { from_; into } -> "rename:" ^ from_ ^ "->" ^ into
+    | Program.Drop_temp name -> "drop:" ^ name
+    | Program.Assert_unique_key { temp; _ } -> "assert_unique:" ^ temp
+    | Program.Init_loop { cte; _ } -> "init_loop:" ^ cte
+    | Program.Snapshot { loop_id } -> Printf.sprintf "snapshot:%d" loop_id
+    | Program.Loop_end { loop_id; _ } -> Printf.sprintf "loop_end:%d" loop_id
+    | Program.Recursive_cte { name; _ } -> "recursive_cte:" ^ name
+    | Program.Return _ -> "return"
+  in
+  (* Gauges the current step wants attached to its Step span. *)
+  let step_rows = ref (-1) in
+  let step_delta = ref (-1) in
   let exec_step step =
     let jump = ref None in
     (match step with
@@ -494,6 +526,7 @@ let run_program ?(workers = 4) ?pool ?(fault = Fault.none) ?(max_retries = 3)
       stats.Stats.materializations <- stats.Stats.materializations + 1;
       stats.Stats.rows_materialized <-
         stats.Stats.rows_materialized + Partition.total_cardinality d.parts;
+      step_rows := Partition.total_cardinality d.parts;
       Guards.check guards ~stats;
       Hashtbl.replace temps (key target) d
     | Program.Rename { from_; into } ->
@@ -533,14 +566,25 @@ let run_program ?(workers = 4) ?pool ?(fault = Fault.none) ?(max_retries = 3)
           iterations = 0;
           cumulative_updates = 0;
           snapshot = None;
+          iter_mark =
+            (match trace with
+            | None -> None
+            | Some _ -> Some (Unix.gettimeofday (), Stats.copy stats));
         }
     | Program.Snapshot { loop_id } -> (
       match Hashtbl.find_opt loops loop_id with
       | None -> raise (Unsupported "snapshot for uninitialized loop")
       | Some st -> (
         match st.spec with
-        | Program.Max_iterations _ -> ()
-        | Program.Max_updates _ | Program.Delta_at_most _ | Program.Data _ ->
+        | Program.Max_iterations _ when trace = None ->
+          (* Fixed iteration counts never need the previous version —
+             skip the gather. With tracing on, gather anyway so the
+             timeline reports true deltas; [gather] is a pure
+             partition merge (no fault ticks, no shuffle counting), so
+             logical stats are unchanged. *)
+          ()
+        | Program.Max_iterations _ | Program.Max_updates _
+        | Program.Delta_at_most _ | Program.Data _ ->
           st.snapshot <-
             Option.map gather (Hashtbl.find_opt temps (key st.cte))))
     | Program.Loop_end { loop_id; body_start } ->
@@ -549,18 +593,23 @@ let run_program ?(workers = 4) ?pool ?(fault = Fault.none) ?(max_retries = 3)
       stats.Stats.loop_iterations <- stats.Stats.loop_iterations + 1;
       Guards.check guards ~stats;
       let current () = gather (find_temp st.cte) in
-      let updates () =
-        match st.snapshot with
-        | None -> Relation.cardinality (current ())
-        | Some prev -> Relation.delta_count ~key_idx:st.key_idx prev (current ())
+      (* Same first-iteration semantics as Executor.loop_continue:
+         without a snapshot, the full CTE cardinality counts as the
+         delta. Lazy so forcing it for the trace stays pure. *)
+      let updates =
+        lazy
+          (match st.snapshot with
+          | None -> Relation.cardinality (current ())
+          | Some prev ->
+            Relation.delta_count ~key_idx:st.key_idx prev (current ()))
       in
       let continue_ =
         match st.spec with
         | Program.Max_iterations n -> st.iterations < n
         | Program.Max_updates n ->
-          st.cumulative_updates <- st.cumulative_updates + updates ();
+          st.cumulative_updates <- st.cumulative_updates + Lazy.force updates;
           st.cumulative_updates < n
-        | Program.Delta_at_most bound -> updates () > bound
+        | Program.Delta_at_most bound -> Lazy.force updates > bound
         | Program.Data { any; pred } ->
           let rel = current () in
           let satisfied = ref 0 in
@@ -582,9 +631,32 @@ let run_program ?(workers = 4) ?pool ?(fault = Fault.none) ?(max_retries = 3)
         raise
           (Dbspinner_exec.Executor.Execution_error
              "distributed loop exceeded its iteration guard");
+      (match trace, st.iter_mark with
+      | Some tr, Some (t0, s0) ->
+        let now = Unix.gettimeofday () in
+        let rows =
+          match Hashtbl.find_opt temps (key st.cte) with
+          | Some d -> Partition.total_cardinality d.parts
+          | None -> -1
+        in
+        step_rows := rows;
+        step_delta := Lazy.force updates;
+        Trace.emit tr ~kind:Trace.Iteration ~label:st.cte ~loop_id
+          ~iteration:st.iterations ~rows ~delta:(Lazy.force updates)
+          ~cum_updates:
+            (match st.spec with
+            | Program.Max_updates _ -> st.cumulative_updates
+            | _ -> -1)
+          ~wall_ms:((now -. t0) *. 1000.)
+          ~counters:(Stats.trace_counters ~since:s0 stats)
+          ();
+        if continue_ then st.iter_mark <- Some (now, Stats.copy stats)
+      | _ -> ());
       if continue_ then jump := Some body_start;
       (* Iteration-granular checkpoint: the completed iteration's CTE
-         partitions and loop counters become the new restart point. *)
+         partitions and loop counters become the new restart point.
+         Taken after the trace mark refresh so a restore's retried
+         iteration diffs against a pre-fault baseline. *)
       let next_pc = match !jump with Some t -> t | None -> !pc + 1 in
       last_checkpoint := take_checkpoint ~in_loop:true next_pc;
       stats.Stats.checkpoints_taken <- stats.Stats.checkpoints_taken + 1;
@@ -592,11 +664,13 @@ let run_program ?(workers = 4) ?pool ?(fault = Fault.none) ?(max_retries = 3)
     | Program.Recursive_cte _ ->
       raise (Unsupported "recursive CTEs in distributed programs")
     | Program.Return plan ->
-      result :=
-        Some
-          (gather
-             (run ~temps ?cache ~pool ~workers ~shuffles ~fault ~stats catalog
-                plan)));
+      let rel =
+        gather
+          (run ~temps ?cache ~pool ~workers ~shuffles ~fault ~stats catalog
+             plan)
+      in
+      step_rows := Relation.cardinality rel;
+      result := Some rel);
     !jump
   in
   while !pc < Array.length steps do
@@ -604,17 +678,36 @@ let run_program ?(workers = 4) ?pool ?(fault = Fault.none) ?(max_retries = 3)
       Hashtbl.fold (fun _ st acc -> max acc st.iterations) loops 0
     in
     Fault.set_context fault ~step:!pc ~iteration;
+    step_rows := -1;
+    step_delta := -1;
+    let step_mark =
+      match trace with
+      | None -> None
+      | Some _ -> Some (Unix.gettimeofday (), Stats.copy stats)
+    in
     match exec_step steps.(!pc) with
     | jump -> (
+      (match trace, step_mark with
+      | Some tr, Some (t0, s0) ->
+        Trace.emit tr ~kind:Trace.Step
+          ~label:(step_label steps.(!pc))
+          ~rows:!step_rows ~delta:!step_delta
+          ~wall_ms:((Unix.gettimeofday () -. t0) *. 1000.)
+          ~counters:(Stats.trace_counters ~since:s0 stats)
+          ()
+      | _ -> ());
       match jump with
       | Some target -> pc := target
       | None -> incr pc)
     | exception Fault.Transient_fault _ ->
+      (* No Step span for a faulted attempt: the retried execution
+         emits the span for the work that actually completed. *)
       stats.Stats.faults_injected <- stats.Stats.faults_injected + 1;
       if !attempts >= max_retries then begin
         (* Retry budget exhausted: degrade gracefully to single-node
            execution instead of failing the query. *)
-        result := Some (fallback_single_node ~stats ~guards catalog program);
+        result :=
+          Some (fallback_single_node ~stats ~guards ?trace catalog program);
         pc := Array.length steps
       end
       else begin
@@ -629,6 +722,25 @@ let run_program ?(workers = 4) ?pool ?(fault = Fault.none) ?(max_retries = 3)
         restore !last_checkpoint
       end
   done;
+  (match trace, prog_mark with
+  | Some tr, Some (t0, s0) ->
+    List.iter
+      (fun op ->
+        let i = Stats.op_index op in
+        let dt = stats.Stats.op_wall.(i) -. s0.Stats.op_wall.(i) in
+        if dt > 0.0 then
+          Trace.emit tr ~kind:Trace.Operator ~label:(Stats.op_name op)
+            ~wall_ms:(dt *. 1000.) ~counters:Trace.zero_counters ())
+      Stats.all_ops;
+    Trace.emit tr ~kind:Trace.Program ~label:"program"
+      ~rows:
+        (match !result with
+        | Some rel -> Relation.cardinality rel
+        | None -> -1)
+      ~wall_ms:((Unix.gettimeofday () -. t0) *. 1000.)
+      ~counters:(Stats.trace_counters ~since:s0 stats)
+      ()
+  | _ -> ());
   match !result with
   | Some rel -> (rel, shuffles)
   | None -> raise (Unsupported "program without Return")

@@ -61,6 +61,16 @@ exception Unsupported of string
     across all partition domains; distributed temps live outside the
     catalog, so the generation-keyed build memo does not apply here.
     Results and logical stats are identical either way.
+
+    [trace], when given, records {!Dbspinner_obs.Trace} spans exactly
+    like the single-node executor (steps, iterations with convergence
+    gauges, operator families, program), including across recoveries: a
+    retried iteration's span absorbs the fault/retry counters, and a
+    fallback run emits the single-node spans. Tracing gathers the CTE
+    at [Snapshot] even under [Max_iterations] so deltas are true row
+    deltas; the gather is a pure partition merge, so logical stats are
+    unchanged and traced runs stay [Stats.logical_equal] with untraced
+    ones.
     @raise Unsupported for recursive CTEs
     @raise Guards.Resource_exhausted when a deadline or row budget is
     crossed
@@ -73,6 +83,7 @@ val run_program :
   ?guards:Guards.t ->
   ?stats:Stats.t ->
   ?use_cache:bool ->
+  ?trace:Dbspinner_obs.Trace.t ->
   Catalog.t ->
   Program.t ->
   Relation.t * shuffle_stats

@@ -42,6 +42,9 @@ type t = {
           builds / subquery digests under source generations and
           closure-compile expressions once per program run. An executor
           concern, not a paper rewrite, so [unoptimized] keeps it on. *)
+  trace_buffer : int;
+      (** ring-buffer capacity (spans) for the iteration-aware trace
+          collector; only consulted when tracing is enabled *)
 }
 
 let default =
@@ -59,6 +62,7 @@ let default =
     parallel_workers = 1;
     parallel_chunk_rows = 4096;
     use_exec_cache = true;
+    trace_buffer = 8192;
   }
 
 (** All paper optimizations off: the naive rewrite the paper's

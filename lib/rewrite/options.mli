@@ -38,6 +38,9 @@ type t = {
       (** iteration-aware executor cache (loop-invariant join-build
           reuse + compiled expressions); an executor concern, not a
           paper rewrite, so [unoptimized] keeps it on *)
+  trace_buffer : int;
+      (** ring-buffer capacity (spans) for the iteration-aware trace
+          collector; only consulted when tracing is enabled *)
 }
 
 (** Everything on. *)

@@ -48,6 +48,16 @@ let join_kind = function
   | Ast.Full_outer -> "FULL JOIN"
   | Ast.Cross -> "CROSS JOIN"
 
+(* The signed numeric literal a [Neg] chain folds to, if it is one.
+   The parser folds "-5" into [Lit (Int (-5))] at parse time, so the
+   printer must fold too or the output would not be print-idempotent;
+   folding the whole chain (not just one level) keeps [Neg (Neg ...)]
+   from printing as "--5", which lexes as a SQL comment. *)
+let rec neg_literal = function
+  | Ast.Lit ((Value.Int _ | Value.Float _) as v) -> Some v
+  | Ast.Unop (Ast.Neg, a) -> Option.map Value.neg (neg_literal a)
+  | _ -> None
+
 let rec expr e =
   match e with
   | Ast.Lit v -> Value.to_string v
@@ -56,15 +66,10 @@ let rec expr e =
   | Ast.Star -> "*"
   | Ast.Binop (op, a, b) ->
     Printf.sprintf "(%s %s %s)" (expr a) (binop_symbol op) (expr b)
-  (* Fold negation of numeric literals so printing agrees with the
-     parser's folded representation. *)
-  | Ast.Unop (Ast.Neg, Ast.Lit (Value.Int i)) -> Value.to_string (Value.Int (-i))
-  | Ast.Unop (Ast.Neg, Ast.Lit (Value.Float f)) ->
-    Value.to_string (Value.Float (-.f))
-  (* Print general negation as a subtraction so the output is stable
-     under re-parsing (a leading "-" would re-fold into the operand
-     when that operand prints as a literal, e.g. after Neg(Neg(0))). *)
-  | Ast.Unop (Ast.Neg, a) -> Printf.sprintf "(0 - %s)" (expr a)
+  | Ast.Unop (Ast.Neg, a) -> (
+    match neg_literal e with
+    | Some v -> Value.to_string v
+    | None -> Printf.sprintf "(-%s)" (expr a))
   | Ast.Unop (Ast.Not, a) -> Printf.sprintf "(NOT %s)" (expr a)
   | Ast.Func (name, args) ->
     Printf.sprintf "%s(%s)" name (String.concat ", " (List.map expr args))

@@ -2,14 +2,14 @@
     results. Handles quoted fields with embedded commas/quotes; no
     external dependency. *)
 
-let split_line line =
+let split_line ?(separator = ',') line =
   let buf = Buffer.create 16 in
   let fields = ref [] in
   let n = String.length line in
   let rec field i =
     if i >= n then finish i
     else if line.[i] = '"' then quoted (i + 1)
-    else if line.[i] = ',' then begin
+    else if line.[i] = separator then begin
       push ();
       field (i + 1)
     end
@@ -37,8 +37,8 @@ let split_line line =
   field 0;
   List.rev !fields
 
-let quote_field s =
-  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+let quote_field ?(separator = ',') s =
+  if String.exists (fun c -> c = separator || c = '"' || c = '\n') s then
     "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
   else s
 
@@ -53,10 +53,13 @@ let load ~(schema : Schema.t) ?(separator = ',') path : Relation.t =
        let line = input_line ic in
        if line <> "" && line.[0] <> '#' then begin
          let fields =
-           if separator = ',' then split_line line
-           else
-             String.split_on_char separator line
-             |> List.filter (fun s -> s <> "")
+           (* Quoting is honored for every separator, not just comma;
+              whitespace-separated edge lists (SNAP dumps) pad with
+              runs of the separator, so their empty fields are still
+              dropped. *)
+           let all = split_line ~separator line in
+           if separator = ',' then all
+           else List.filter (fun s -> s <> "") all
          in
          let row =
            Array.of_list
@@ -89,21 +92,25 @@ let raw_string (v : Value.t) =
   | Value.Float f -> Printf.sprintf "%.17g" f
   | v -> Value.to_string v
 
-(** [save ?header rel path] writes one line per row; [header] adds a
-    column-name line. *)
-let save ?(header = false) (rel : Relation.t) path =
+(** [save ?header ?separator rel path] writes one line per row;
+    [header] adds a column-name line. Fields containing the separator,
+    a quote, or a newline are double-quoted so [load] with the same
+    separator round-trips them. *)
+let save ?(header = false) ?(separator = ',') (rel : Relation.t) path =
+  let sep = String.make 1 separator in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
       if header then
         output_string oc
-          (String.concat "," (Schema.column_names (Relation.schema rel)) ^ "\n");
+          (String.concat sep (Schema.column_names (Relation.schema rel)) ^ "\n");
       Relation.iter
         (fun row ->
           let line =
-            String.concat ","
-              (Array.to_list (Array.map (fun v -> quote_field (raw_string v)) row))
+            String.concat sep
+              (Array.to_list
+                 (Array.map (fun v -> quote_field ~separator (raw_string v)) row))
           in
           output_string oc (line ^ "\n"))
         rel)

@@ -1,9 +1,9 @@
 (** Minimal CSV reader/writer: quoted fields, configurable separator,
     SNAP-style [#] comment lines. No external dependency. *)
 
-(** Split one CSV line honoring double-quoted fields with [""]
-    escapes. *)
-val split_line : string -> string list
+(** Split one line on [separator] (default [',']) honoring
+    double-quoted fields with [""] escapes. *)
+val split_line : ?separator:char -> string -> string list
 
 (** [load ~schema ?separator path] reads a headerless file, parsing
     each field under the schema's declared column type; empty fields
@@ -12,6 +12,8 @@ val split_line : string -> string list
     @raise Failure on arity mismatches, [Sys_error] on I/O errors. *)
 val load : schema:Schema.t -> ?separator:char -> string -> Relation.t
 
-(** [save ?header rel path] writes one line per row; floats keep full
-    round-trip precision. *)
-val save : ?header:bool -> Relation.t -> string -> unit
+(** [save ?header ?separator rel path] writes one line per row;
+    floats keep full round-trip precision, and fields containing the
+    separator, a quote, or a newline are double-quoted so that
+    [load] with the same separator round-trips them. *)
+val save : ?header:bool -> ?separator:char -> Relation.t -> string -> unit

@@ -25,13 +25,33 @@ let rank = function
   | Int _ | Float _ -> 2
   | Str _ -> 3
 
+(* Compare [Int x] with [Float y] exactly. Rounding [x] through
+   [float_of_int] collapses distinct values once |x| exceeds 2^53 (all
+   of [Int max_int], [Int (max_int - 1)], ... share one float image),
+   which would make [compare] report equality between unequal keys. So
+   compare in integer space: floats beyond the int range order by
+   sign, NaN sorts below every int (matching [Float.compare]'s total
+   order), and in-range floats compare by truncation with the
+   fractional part breaking ties. *)
+let compare_int_float x y =
+  if Float.is_nan y then 1
+  else if y >= 0x1p62 then -1 (* y > max_int *)
+  else if y < -0x1p62 then 1 (* y < min_int *)
+  else
+    let t = Float.trunc y in
+    let c = Int.compare x (int_of_float t) in
+    (* x = trunc y, so float_of_int x is exact here; deferring to
+       [Float.compare] orders the fractional part and keeps -0.0 vs
+       0.0 consistent with the Float/Float case. *)
+    if c <> 0 then c else Float.compare (float_of_int x) y
+
 let compare a b =
   match a, b with
   | Null, Null -> 0
   | Int x, Int y -> Int.compare x y
   | Float x, Float y -> Float.compare x y
-  | Int x, Float y -> Float.compare (float_of_int x) y
-  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Int x, Float y -> compare_int_float x y
+  | Float x, Int y -> -compare_int_float y x
   | Str x, Str y -> String.compare x y
   | Bool x, Bool y -> Bool.compare x y
   | (Null | Int _ | Float _ | Str _ | Bool _), _ -> Int.compare (rank a) (rank b)

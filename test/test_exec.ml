@@ -379,6 +379,97 @@ let test_loop_delta_termination () =
   (* 3 changing iterations + 1 confirming iteration. *)
   Alcotest.(check int) "four iterations" 4 stats.Stats.loop_iterations
 
+(* First-iteration semantics: when a loop body runs without a
+   [Snapshot] step, [loop_continue] has no previous version to diff
+   against and counts the full CTE cardinality as that iteration's
+   delta / update count. These tests pin that contract for the
+   update-counting terminations (see the comment on
+   [Executor.loop_continue]). *)
+
+(** A 3-row CTE iterated by an identity step, with no [Snapshot] in
+    the loop body. *)
+let no_snapshot_program ?(guard = 10) termination =
+  let schema = Schema.of_names [ "k"; "v" ] in
+  let base =
+    Logical.values
+      (rel [ "k"; "v" ] [ [ vi 1; vi 10 ]; [ vi 2; vi 20 ]; [ vi 3; vi 30 ] ])
+  in
+  let step =
+    Logical.project
+      [ (Bound_expr.B_col 0, "k"); (Bound_expr.B_col 1, "v") ]
+      (Logical.scan ~name:"c" ~schema)
+  in
+  Program.make
+    [
+      Program.Materialize { target = "c"; plan = base };
+      Program.Init_loop { loop_id = 0; termination; cte = "c"; key_idx = 0; guard };
+      Program.Materialize { target = "c#work"; plan = step };
+      Program.Rename { from_ = "c#work"; into = "c" };
+      Program.Loop_end { loop_id = 0; body_start = 2 };
+      Program.Return (Logical.scan ~name:"c" ~schema);
+    ]
+    ~result_schema:schema
+
+let test_first_iteration_max_updates () =
+  (* Every iteration contributes the full cardinality (3): UPDATES 3
+     is reached after one pass, UPDATES 7 after ceil(7/3) = 3. *)
+  let _, stats =
+    Executor.run_program_with_stats (Catalog.create ())
+      (no_snapshot_program (Program.Max_updates 3))
+  in
+  Alcotest.(check int) "3 updates in one pass" 1 stats.Stats.loop_iterations;
+  let _, stats =
+    Executor.run_program_with_stats (Catalog.create ())
+      (no_snapshot_program (Program.Max_updates 7))
+  in
+  Alcotest.(check int) "7 updates need three passes" 3
+    stats.Stats.loop_iterations
+
+let test_first_iteration_delta_at_most () =
+  (* DELTA <= 3 holds immediately (first delta = cardinality = 3)... *)
+  let _, stats =
+    Executor.run_program_with_stats (Catalog.create ())
+      (no_snapshot_program (Program.Delta_at_most 3))
+  in
+  Alcotest.(check int) "delta <= card stops at once" 1
+    stats.Stats.loop_iterations;
+  (* ...but DELTA = 0 can never hold without a snapshot on a nonempty
+     CTE, so the guard must trip rather than terminating spuriously. *)
+  match
+    Executor.run_program (Catalog.create ())
+      (no_snapshot_program ~guard:5 (Program.Delta_at_most 0))
+  with
+  | exception Executor.Execution_error m ->
+    Alcotest.(check bool) "guard trips" true (contains m "guard")
+  | _ -> Alcotest.fail "expected guard error"
+
+let test_first_iteration_with_snapshot_converged () =
+  (* Contrast: with a [Snapshot] the identity step yields delta 0 and
+     DELTA = 0 terminates after the first, confirming iteration. *)
+  let schema = Schema.of_names [ "k"; "v" ] in
+  let base = Logical.values (rel [ "k"; "v" ] [ [ vi 1; vi 10 ]; [ vi 2; vi 20 ] ]) in
+  let step =
+    Logical.project
+      [ (Bound_expr.B_col 0, "k"); (Bound_expr.B_col 1, "v") ]
+      (Logical.scan ~name:"c" ~schema)
+  in
+  let program =
+    Program.make
+      [
+        Program.Materialize { target = "c"; plan = base };
+        Program.Init_loop
+          { loop_id = 0; termination = Program.Delta_at_most 0; cte = "c"; key_idx = 0; guard = 10 };
+        Program.Snapshot { loop_id = 0 };
+        Program.Materialize { target = "c#work"; plan = step };
+        Program.Rename { from_ = "c#work"; into = "c" };
+        Program.Loop_end { loop_id = 0; body_start = 2 };
+        Program.Return (Logical.scan ~name:"c" ~schema);
+      ]
+      ~result_schema:schema
+  in
+  let _, stats = Executor.run_program_with_stats (Catalog.create ()) program in
+  Alcotest.(check int) "one confirming iteration" 1 stats.Stats.loop_iterations
+
 let test_loop_guard () =
   (* A Data condition that never holds trips the guard. *)
   let pred = Bound_expr.B_binop (Ast.Lt, Bound_expr.B_col 1, Bound_expr.B_lit (vi 0)) in
@@ -547,6 +638,12 @@ let () =
           Alcotest.test_case "data-any" `Quick test_loop_data_any;
           Alcotest.test_case "data-all" `Quick test_loop_data_all;
           Alcotest.test_case "delta" `Quick test_loop_delta_termination;
+          Alcotest.test_case "first-iteration-max-updates" `Quick
+            test_first_iteration_max_updates;
+          Alcotest.test_case "first-iteration-delta" `Quick
+            test_first_iteration_delta_at_most;
+          Alcotest.test_case "first-iteration-snapshot-converged" `Quick
+            test_first_iteration_with_snapshot_converged;
           Alcotest.test_case "guard" `Quick test_loop_guard;
           Alcotest.test_case "unique-key-check" `Quick test_assert_unique_key;
           Alcotest.test_case "recursive-cte" `Quick test_recursive_cte_program;

@@ -1,0 +1,288 @@
+(** Tests for the observability layer: the trace ring buffer, the
+    minimal JSON parser, NDJSON event validation, engine-level
+    convergence timelines, and agreement of the per-iteration delta
+    timeline across the sequential, parallel, and distributed
+    executors (including under injected faults). *)
+
+module Trace = Dbspinner_obs.Trace
+module Json = Dbspinner_obs.Json
+module Value = Dbspinner_storage.Value
+module Relation = Dbspinner_storage.Relation
+module Catalog = Dbspinner_storage.Catalog
+module Parser = Dbspinner_sql.Parser
+module Options = Dbspinner_rewrite.Options
+module Iterative_rewrite = Dbspinner_rewrite.Iterative_rewrite
+module Stats = Dbspinner_exec.Stats
+module Executor = Dbspinner_exec.Executor
+module Parallel = Dbspinner_exec.Parallel
+module Distributed = Dbspinner_mpp.Distributed
+module Fault = Dbspinner_mpp.Fault
+module Engine = Dbspinner.Engine
+open Helpers
+
+let emit_n tr n =
+  for i = 1 to n do
+    Trace.emit tr ~kind:Trace.Step
+      ~label:(Printf.sprintf "s%d" i)
+      ~wall_ms:0.0 ~counters:Trace.zero_counters ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer                                                         *)
+
+let test_ring_buffer () =
+  let tr = Trace.create ~capacity:4 () in
+  Alcotest.(check int) "empty" 0 (List.length (Trace.spans tr));
+  Alcotest.(check int) "first seq" 0 (Trace.next_seq tr);
+  emit_n tr 6;
+  let spans = Trace.spans tr in
+  Alcotest.(check int) "capacity bounds retention" 4 (List.length spans);
+  Alcotest.(check int) "two evicted" 2 (Trace.dropped tr);
+  Alcotest.(check (list int))
+    "oldest-first, seqs contiguous" [ 2; 3; 4; 5 ]
+    (List.map (fun (s : Trace.span) -> s.Trace.seq) spans);
+  Alcotest.(check (list string))
+    "labels survive wraparound" [ "s3"; "s4"; "s5"; "s6" ]
+    (List.map (fun (s : Trace.span) -> s.Trace.label) spans);
+  Alcotest.(check int) "min_seq slices" 2
+    (List.length (Trace.spans ~min_seq:4 tr));
+  Alcotest.(check int) "next_seq advanced" 6 (Trace.next_seq tr)
+
+let test_iteration_spans_filter () =
+  let tr = Trace.create () in
+  emit_n tr 2;
+  Trace.emit tr ~kind:Trace.Iteration ~label:"c" ~loop_id:3 ~iteration:1
+    ~rows:10 ~delta:4 ~wall_ms:0.5 ~counters:Trace.zero_counters ();
+  emit_n tr 1;
+  let iters = Trace.iteration_spans tr in
+  Alcotest.(check int) "only iteration spans" 1 (List.length iters);
+  let s = List.hd iters in
+  Alcotest.(check int) "loop id" 3 s.Trace.loop_id;
+  Alcotest.(check int) "delta" 4 s.Trace.delta;
+  Alcotest.(check int) "cum_updates defaults to n/a" (-1) s.Trace.cum_updates
+
+(* ------------------------------------------------------------------ *)
+(* JSON parser                                                         *)
+
+let test_json_parser () =
+  let ok s =
+    match Json.parse s with
+    | Ok v -> v
+    | Error m -> Alcotest.failf "parse %s failed: %s" s m
+  in
+  (match ok {|{"a": [1, -2.5, true, null], "b": "x\"y"}|} with
+  | Json.Obj fields ->
+    (match List.assoc "a" fields with
+    | Json.Arr [ Json.Num 1.0; Json.Num -2.5; Json.Bool true; Json.Null ] -> ()
+    | _ -> Alcotest.fail "array contents");
+    (match List.assoc "b" fields with
+    | Json.Str "x\"y" -> ()
+    | _ -> Alcotest.fail "escaped string")
+  | _ -> Alcotest.fail "expected object");
+  (match Json.member "a" (ok {|{"a": 1}|}) with
+  | Some (Json.Num 1.0) -> ()
+  | _ -> Alcotest.fail "member");
+  Alcotest.(check bool) "missing member" true
+    (Json.member "b" (ok {|{"a": 1}|}) = None);
+  List.iter
+    (fun bad ->
+      match Json.parse bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected parse error for: %s" bad)
+    [ "{"; "[1,]"; "{\"a\" 1}"; "1 2"; ""; "{\"a\": 1} trailing" ]
+
+(* ------------------------------------------------------------------ *)
+(* NDJSON event validation                                             *)
+
+let test_validate_event () =
+  let tr = Trace.create () in
+  Trace.emit tr ~kind:Trace.Iteration ~label:"c" ~loop_id:1 ~iteration:2
+    ~rows:5 ~delta:1 ~wall_ms:0.25 ~counters:Trace.zero_counters ();
+  let line = Trace.span_to_json (List.hd (Trace.spans tr)) in
+  (match Trace.validate_event line with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "emitted span must validate: %s" m);
+  List.iter
+    (fun bad ->
+      match Trace.validate_event bad with
+      | Error _ -> ()
+      | Ok () -> Alcotest.failf "expected invalid: %s" bad)
+    [
+      "not json";
+      "{\"seq\": 1}";
+      (* unknown kind *)
+      {|{"seq": 0, "kind": "nope", "label": "x", "loop": -1, "iter": 0, "rows": -1, "delta": -1, "cum_updates": -1, "wall_ms": 0.1, "scanned": 0, "joined": 0, "materialized": 0, "cache_hits": 0, "cache_misses": 0, "faults": 0, "retries": 0, "recoveries": 0}|};
+      (* non-integer counter *)
+      {|{"seq": 0, "kind": "step", "label": "x", "loop": -1, "iter": 0, "rows": 1.5, "delta": -1, "cum_updates": -1, "wall_ms": 0.1, "scanned": 0, "joined": 0, "materialized": 0, "cache_hits": 0, "cache_misses": 0, "faults": 0, "retries": 0, "recoveries": 0}|};
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine-level timeline                                               *)
+
+(** Converges to n = 3: deltas 1, 1, 1, then a confirming 0. *)
+let converging_sql =
+  "WITH ITERATIVE c (k, n) AS (SELECT 1, 0 ITERATE SELECT k, LEAST(n + 1, 3) \
+   FROM c UNTIL DELTA = 0) SELECT n FROM c"
+
+let iteration_deltas ?min_seq tr =
+  List.map (fun (s : Trace.span) -> s.Trace.delta)
+    (Trace.iteration_spans ?min_seq tr)
+
+let test_engine_timeline () =
+  let e = Engine.create () in
+  let tr = Engine.enable_trace e in
+  let min_seq = Trace.next_seq tr in
+  let out = Engine.query e converging_sql in
+  Alcotest.check relation_testable "converged result"
+    (rel [ "n" ] [ [ vi 3 ] ])
+    out;
+  Alcotest.(check (list int))
+    "per-iteration deltas" [ 1; 1; 1; 0 ]
+    (iteration_deltas ~min_seq tr);
+  List.iteri
+    (fun i (s : Trace.span) ->
+      Alcotest.(check int) "iterations are 1-based" (i + 1) s.Trace.iteration;
+      Alcotest.(check int) "cardinality gauge" 1 s.Trace.rows;
+      Alcotest.(check bool) "loop id recorded" true (s.Trace.loop_id >= 0))
+    (Trace.iteration_spans ~min_seq tr);
+  let timeline = Trace.render_timeline ~min_seq tr in
+  Alcotest.(check bool) "timeline header" true
+    (contains timeline "Convergence timeline");
+  (* Every emitted NDJSON line passes schema validation. *)
+  String.split_on_char '\n' (Trace.to_ndjson ~min_seq tr)
+  |> List.iter (fun line ->
+         if String.trim line <> "" then
+           match Trace.validate_event line with
+           | Ok () -> ()
+           | Error m -> Alcotest.failf "invalid event %s: %s" line m);
+  (* Uninstalling the collector stops emission. *)
+  Engine.set_trace e None;
+  let seq_before = Trace.next_seq tr in
+  ignore (Engine.query e converging_sql);
+  Alcotest.(check int) "no spans once disabled" seq_before (Trace.next_seq tr)
+
+let test_explain_analyze_timeline () =
+  let e = Engine.create () in
+  match Engine.execute e ("EXPLAIN ANALYZE " ^ converging_sql) with
+  | Engine.Explained text ->
+    Alcotest.(check bool) "timeline rendered inline" true
+      (contains text "Convergence timeline")
+  | _ -> Alcotest.fail "expected Explained"
+
+(* ------------------------------------------------------------------ *)
+(* Cross-executor agreement                                            *)
+
+let compile_standalone sql =
+  Iterative_rewrite.compile ~options:Options.default
+    ~lookup:(fun _ -> None)
+    (Parser.parse_query sql)
+
+let test_delta_agreement_across_executors () =
+  let program = compile_standalone converging_sql in
+  let run_seq ?trace () =
+    let catalog = Catalog.create () in
+    let stats = Stats.create () in
+    let rel = Executor.run_program ~stats ?trace catalog program in
+    (rel, stats)
+  in
+  let off_rel, off_stats = run_seq () in
+  let tr_seq = Trace.create () in
+  let on_rel, on_stats = run_seq ~trace:tr_seq () in
+  Alcotest.(check bool) "traced result identical" true
+    (Relation.equal_bag off_rel on_rel);
+  Alcotest.(check bool) "tracing is non-perturbing" true
+    (Stats.logical_equal off_stats on_stats);
+  let tr_par = Trace.create () in
+  let par_rel =
+    let parallel = Parallel.context ~workers:2 () in
+    Executor.run_program ?parallel ~trace:tr_par (Catalog.create ()) program
+  in
+  let tr_dist = Trace.create () in
+  let dist_rel, _ =
+    Distributed.run_program ~workers:3 ~trace:tr_dist (Catalog.create ())
+      program
+  in
+  Alcotest.(check bool) "parallel result identical" true
+    (Relation.equal_bag off_rel par_rel);
+  Alcotest.(check bool) "distributed result identical" true
+    (Relation.equal_bag off_rel dist_rel);
+  Alcotest.(check (list int))
+    "sequential deltas" [ 1; 1; 1; 0 ] (iteration_deltas tr_seq);
+  Alcotest.(check (list int))
+    "parallel timeline agrees" (iteration_deltas tr_seq)
+    (iteration_deltas tr_par);
+  Alcotest.(check (list int))
+    "distributed timeline agrees" (iteration_deltas tr_seq)
+    (iteration_deltas tr_dist);
+  Alcotest.(check int) "span count matches executor iterations"
+    on_stats.Stats.loop_iterations
+    (List.length (Trace.iteration_spans tr_seq))
+
+let test_trace_under_faults () =
+  (* Tracing a faulty distributed run must not change recovery
+     semantics, and the program span accounts for every injected
+     fault. *)
+  let program = compile_standalone converging_sql in
+  let expected = Executor.run_program (Catalog.create ()) program in
+  let tr = Trace.create () in
+  let stats = Stats.create () in
+  let actual, _ =
+    Distributed.run_program ~workers:2
+      ~fault:(Fault.probabilistic ~max_faults:2 ~seed:5 ~probability:0.4 ())
+      ~trace:tr ~stats (Catalog.create ()) program
+  in
+  Alcotest.(check bool) "recovered result = fault-free" true
+    (Relation.equal_bag expected actual);
+  Alcotest.(check bool) "faults were injected" true
+    (stats.Stats.faults_injected > 0);
+  let program_spans =
+    List.filter
+      (fun (s : Trace.span) -> s.Trace.kind = Trace.Program)
+      (Trace.spans tr)
+  in
+  (match program_spans with
+  | [ s ] ->
+    Alcotest.(check int) "program span accounts for all faults"
+      stats.Stats.faults_injected s.Trace.counters.Trace.c_faults;
+    Alcotest.(check int) "and all retries" stats.Stats.retries
+      s.Trace.counters.Trace.c_retries
+  | l -> Alcotest.failf "expected one program span, got %d" (List.length l));
+  let fault_sum =
+    List.fold_left
+      (fun acc (s : Trace.span) -> acc + s.Trace.counters.Trace.c_faults)
+      0
+      (Trace.iteration_spans tr)
+  in
+  Alcotest.(check bool) "iteration spans absorb loop-time faults" true
+    (fault_sum <= stats.Stats.faults_injected);
+  String.split_on_char '\n' (Trace.to_ndjson tr)
+  |> List.iter (fun line ->
+         if String.trim line <> "" then
+           match Trace.validate_event line with
+           | Ok () -> ()
+           | Error m -> Alcotest.failf "invalid event %s: %s" line m)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "ring-buffer" `Quick test_ring_buffer;
+          Alcotest.test_case "iteration-filter" `Quick
+            test_iteration_spans_filter;
+        ] );
+      ("json", [ Alcotest.test_case "parser" `Quick test_json_parser ]);
+      ("ndjson", [ Alcotest.test_case "validate" `Quick test_validate_event ]);
+      ( "engine",
+        [
+          Alcotest.test_case "timeline" `Quick test_engine_timeline;
+          Alcotest.test_case "explain-analyze" `Quick
+            test_explain_analyze_timeline;
+        ] );
+      ( "executors",
+        [
+          Alcotest.test_case "delta-agreement" `Quick
+            test_delta_agreement_across_executors;
+          Alcotest.test_case "faults" `Quick test_trace_under_faults;
+        ] );
+    ]

@@ -141,6 +141,39 @@ let parser_roundtrip =
          | exception _ ->
            QCheck2.Test.fail_reportf "failed to re-parse: %s" printed))
 
+let neg_chain_roundtrip =
+  (* Deep [Neg] chains stress the printer's literal folding: a naive
+     leading "-" would print "--5" (a SQL comment) or drift across
+     re-parses as the parser folds negated literals. The generic
+     [expr_gen] rarely nests Neg deeply, so bias for it here. *)
+  let gen =
+    let open QCheck2.Gen in
+    let base =
+      oneof
+        [
+          map (fun i -> Ast.int_lit i) (int_range (-9) 9);
+          map (fun i -> Ast.float_lit (float_of_int i /. 4.0)) (int_range 0 20);
+          return (Ast.Col (None, "x"));
+          map2
+            (fun a b -> Ast.Binop (Ast.Add, Ast.int_lit a, Ast.int_lit b))
+            (int_range 0 5) (int_range 0 5);
+        ]
+    in
+    map2
+      (fun depth b ->
+        let rec wrap n e = if n = 0 then e else wrap (n - 1) (Ast.Unop (Ast.Neg, e)) in
+        wrap depth b)
+      (int_range 1 6) base
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:500 ~name:"neg-chain print/parse round-trip"
+       ~print:Pretty.expr gen (fun e ->
+         let printed = Pretty.expr e in
+         match Parser.parse_expression printed with
+         | e' -> Pretty.expr e' = printed
+         | exception _ ->
+           QCheck2.Test.fail_reportf "failed to re-parse: %s" printed))
+
 (* ------------------------------------------------------------------ *)
 (* Join properties                                                     *)
 
@@ -623,7 +656,7 @@ let () =
   Alcotest.run "properties"
     [
       ("value", [ value_order_total; value_order_transitive; value_arith_null ]);
-      ("parser", [ parser_roundtrip ]);
+      ("parser", [ parser_roundtrip; neg_chain_roundtrip ]);
       ( "joins",
         [ join_inner; join_left; join_right; join_full; inner_join_cardinality ] );
       ( "join-edges",

@@ -359,6 +359,39 @@ let test_pretty_roundtrip () =
       "SELECT src FROM edges UNION SELECT dst FROM edges";
     ]
 
+let test_pretty_unary_minus () =
+  (* Unary minus prints as negation, not as the old "(0 - x)"
+     subtraction encoding; literal chains fold to signed literals. *)
+  let p sql = Pretty.expr (Parser.parse_expression sql) in
+  Alcotest.(check string) "negated column" "(-x)" (p "-x");
+  Alcotest.(check string) "negated literal folds" "-5" (p "-5");
+  Alcotest.(check string) "negated float folds" "-2.5" (p "-2.5");
+  Alcotest.(check string) "negated expression" "(-(x + 1))" (p "-(x + 1)");
+  (* Hand-built Neg chains over literals fold flat (never "--"). *)
+  let lit n = Ast.int_lit n in
+  let neg e = Ast.Unop (Ast.Neg, e) in
+  Alcotest.(check string) "double negation folds" "5" (Pretty.expr (neg (neg (lit 5))));
+  Alcotest.(check string) "triple negation folds" "-5"
+    (Pretty.expr (neg (neg (neg (lit 5)))));
+  Alcotest.(check string) "neg of neg column" "(-(-x))"
+    (Pretty.expr (neg (neg (Ast.Col (None, "x")))));
+  (* Each of those still round-trips through the parser. *)
+  List.iter
+    (fun e ->
+      let printed = Pretty.expr e in
+      Alcotest.(check string)
+        (Printf.sprintf "idempotent: %s" printed)
+        printed
+        (Pretty.expr (Parser.parse_expression printed)))
+    [
+      neg (Ast.Col (None, "x"));
+      neg (neg (lit 5));
+      neg (neg (neg (lit 5)));
+      neg (neg (Ast.Col (None, "x")));
+      neg (Ast.Binop (Ast.Add, Ast.Col (None, "x"), lit 1));
+      neg (lit 0);
+    ]
+
 let test_paper_queries_parse () =
   let pr = Dbspinner_workload.Queries.pr ~iterations:10 () in
   let sssp = Dbspinner_workload.Queries.sssp ~source:1 ~iterations:10 () in
@@ -399,6 +432,7 @@ let () =
       ( "pretty",
         [
           Alcotest.test_case "roundtrip" `Quick test_pretty_roundtrip;
+          Alcotest.test_case "unary-minus" `Quick test_pretty_unary_minus;
           Alcotest.test_case "paper-queries" `Quick test_paper_queries_parse;
         ] );
     ]

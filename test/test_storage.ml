@@ -23,6 +23,36 @@ let test_value_compare () =
     (Value.compare vnull (vi (-100)) < 0);
   Alcotest.(check bool) "string order" true (Value.compare (vs "a") (vs "b") < 0)
 
+let test_value_compare_int_float_boundary () =
+  (* Int/Float comparison is exact: going through [float_of_int] would
+     collapse distinct ints above 2^53 into one float image. *)
+  let two53 = 9007199254740992 (* 2^53 *) in
+  Alcotest.(check int) "2^53 = 2^53.0" 0
+    (Value.compare (vi two53) (vf 9007199254740992.0));
+  Alcotest.(check int) "2^53+1 > 2^53.0 (would be 0 via float_of_int)" 1
+    (Value.compare (vi (two53 + 1)) (vf 9007199254740992.0));
+  Alcotest.(check int) "2^53.0 < 2^53+1 (symmetric)" (-1)
+    (Value.compare (vf 9007199254740992.0) (vi (two53 + 1)));
+  (* max_int = 2^62 - 1 rounds up to 2^62 as a float; they must not
+     compare equal. *)
+  Alcotest.(check int) "max_int < float 2^62" (-1)
+    (Value.compare (vi max_int) (vf 0x1p62));
+  Alcotest.(check int) "float 2^62 > max_int" 1
+    (Value.compare (vf 0x1p62) (vi max_int));
+  Alcotest.(check int) "min_int = float -2^62" 0
+    (Value.compare (vi min_int) (vf (-0x1p62)));
+  (* Fractional parts break ties on the truncated comparison. *)
+  Alcotest.(check int) "5 < 5.5" (-1) (Value.compare (vi 5) (vf 5.5));
+  Alcotest.(check int) "-5 > -5.5" 1 (Value.compare (vi (-5)) (vf (-5.5)));
+  (* Non-finite floats order by sign; NaN stays the smallest numeric,
+     as in [Float.compare]'s total order. *)
+  Alcotest.(check int) "max_int < inf" (-1)
+    (Value.compare (vi max_int) (vf Float.infinity));
+  Alcotest.(check int) "min_int > -inf" 1
+    (Value.compare (vi min_int) (vf Float.neg_infinity));
+  Alcotest.(check int) "int > nan" 1 (Value.compare (vi 0) (vf Float.nan));
+  Alcotest.(check int) "nan < int" (-1) (Value.compare (vf Float.nan) (vi 0))
+
 let test_value_hash_consistent () =
   Alcotest.(check int) "hash int = hash float" (Value.hash (vi 5))
     (Value.hash (vf 5.0))
@@ -283,12 +313,53 @@ let test_csv_separator_and_comments () =
         (rel [ "src"; "dst" ] [ [ vi 1; vi 2 ]; [ vi 3; vi 4 ] ])
         loaded)
 
+let test_csv_quoting_non_comma_separator () =
+  (* Quoting is honored for every separator, not only comma: a
+     semicolon-separated file with quoted fields containing the
+     separator, quotes, and commas must round-trip. *)
+  let schema =
+    Schema.make
+      [
+        Schema.column ~ty:Column_type.T_int "id";
+        Schema.column ~ty:Column_type.T_string "name";
+      ]
+  in
+  let original =
+    Relation.of_lists schema
+      [
+        [ vi 1; vs "plain" ];
+        [ vi 2; vs "with;semicolon" ];
+        [ vi 3; vs "with\"quote" ];
+        [ vi 4; vs "a,comma stays literal" ];
+      ]
+  in
+  let path = Filename.temp_file "dbspinner_test" ".ssv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv.save ~separator:';' original path;
+      let loaded = Csv.load ~schema ~separator:';' path in
+      Alcotest.check relation_testable "semicolon roundtrip" original loaded);
+  (* split_line splits on the given separator only. *)
+  Alcotest.(check (list string))
+    "quoted separator is literal"
+    [ "a"; "b;c"; "d" ]
+    (Csv.split_line ~separator:';' "a;\"b;c\";d");
+  Alcotest.(check (list string))
+    "comma is an ordinary char under ';'" [ "a,b"; "c" ]
+    (Csv.split_line ~separator:';' "a,b;c");
+  Alcotest.(check (list string))
+    "tab separator with quotes" [ "x\ty"; "z" ]
+    (Csv.split_line ~separator:'\t' "\"x\ty\"\tz")
+
 let () =
   Alcotest.run "storage"
     [
       ( "value",
         [
           Alcotest.test_case "compare" `Quick test_value_compare;
+          Alcotest.test_case "compare-int-float-boundary" `Quick
+            test_value_compare_int_float_boundary;
           Alcotest.test_case "hash-consistency" `Quick test_value_hash_consistent;
           Alcotest.test_case "arithmetic" `Quick test_value_arith;
           Alcotest.test_case "type-errors" `Quick test_value_type_errors;
@@ -325,5 +396,7 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
           Alcotest.test_case "separator-comments" `Quick
             test_csv_separator_and_comments;
+          Alcotest.test_case "quoting-non-comma-separator" `Quick
+            test_csv_quoting_non_comma_separator;
         ] );
     ]
