@@ -6,7 +6,7 @@ DUNE ?= dune
 # Fixed seed so the property/fuzz suites are reproducible in CI.
 SMOKE_SEED ?= 42
 
-.PHONY: all build test fmt fmt-check smoke trace-smoke bench-fast bench-cache check ci clean
+.PHONY: all build test fmt fmt-check smoke trace-smoke server-smoke bench-fast bench-cache check ci clean
 
 all: build
 
@@ -65,6 +65,31 @@ trace-smoke: build
 	$(DUNE) exec bench/main.exe -- ext-trace --fast --json BENCH_trace.json
 	$(DUNE) exec bin/dbspinner_cli.exe -- trace-check BENCH_trace.json
 
+# Server smoke: boot the concurrent server on a private socket with a
+# small preloaded graph, push the examples/ workload through the
+# client (with a server-side row budget set over the wire), print the
+# STATS counters, then shut down gracefully and assert the server
+# drained cleanly (exit 0, socket removed). The server and client run
+# the built binaries directly: a background `dune exec` server would
+# hold the dune lock and deadlock every client invocation. Finishes by
+# regenerating BENCH_server.json (throughput + admission-overload
+# records) through the fast bench path.
+server-smoke: build
+	@set -e; \
+	SOCK="$${TMPDIR:-/tmp}/dbspinner-smoke-$$$$.sock"; \
+	SERVER=./_build/default/bin/server_main.exe; \
+	CLI=./_build/default/bin/dbspinner_cli.exe; \
+	$$SERVER --socket "$$SOCK" --gen dblp-like --scale 0.1 --max-inflight 4 & \
+	SERVER_PID=$$!; \
+	for i in $$(seq 1 100); do [ -S "$$SOCK" ] && break; sleep 0.1; done; \
+	[ -S "$$SOCK" ] || { echo "FAIL: server socket never appeared"; kill $$SERVER_PID 2>/dev/null; exit 1; }; \
+	$$CLI client --socket "$$SOCK" -e "SET budget 2000000" examples/server_smoke.sql --stats; \
+	$$CLI client --socket "$$SOCK" --shutdown; \
+	wait $$SERVER_PID; \
+	[ ! -S "$$SOCK" ] || { echo "FAIL: socket left behind after shutdown"; exit 1; }; \
+	echo "server-smoke: clean shutdown"
+	$(DUNE) exec bench/main.exe -- ext-server --fast --json BENCH_server.json
+
 bench-fast: build
 	$(DUNE) exec bench/main.exe -- --fast
 
@@ -73,11 +98,12 @@ bench-fast: build
 bench-cache: build
 	$(DUNE) exec bench/main.exe -- ext-cache --json BENCH_cache.json
 
-check: build test fmt-check smoke trace-smoke
+check: build test fmt-check smoke trace-smoke server-smoke
 
 # The minimal CI gate: compile, full test suite, formatting, trace
-# smoke (NDJSON + bench-record validation with the fault path traced).
-ci: build test fmt-check trace-smoke
+# smoke (NDJSON + bench-record validation with the fault path traced),
+# and the end-to-end server smoke (boot, workload, graceful drain).
+ci: build test fmt-check trace-smoke server-smoke
 
 clean:
 	$(DUNE) clean

@@ -398,6 +398,85 @@ let trace_check path =
       end)
 
 (* ------------------------------------------------------------------ *)
+(* client: talk to a running dbspinner server                          *)
+
+module Client = Dbspinner_server.Client
+
+(** [SET name value] is a protocol command, not SQL — recognize bare
+    [-e "SET budget 100000"] strings and route them through the
+    session-option request instead of the query path. *)
+let as_set_command sql =
+  let s = String.trim sql in
+  let s =
+    if String.length s > 0 && s.[String.length s - 1] = ';' then
+      String.trim (String.sub s 0 (String.length s - 1))
+    else s
+  in
+  let words =
+    String.map (function '\t' | '\n' | '\r' -> ' ' | c -> c) s
+    |> String.split_on_char ' '
+    |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | [ kw; name; value ] when String.lowercase_ascii kw = "set" ->
+    Some (name, value)
+  | _ -> None
+
+(** Run against a server: execute [-e SQL] strings and/or a script
+    file, or print server STATS, or request a graceful SHUTDOWN. *)
+let client_mode socket_path commands file show_stats do_shutdown =
+  let scripts =
+    commands
+    @
+    match file with
+    | None -> []
+    | Some path -> (
+      match In_channel.with_open_text path In_channel.input_all with
+      | sql -> [ sql ]
+      | exception Sys_error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1)
+  in
+  if scripts = [] && not (show_stats || do_shutdown) then begin
+    Printf.eprintf
+      "nothing to do: pass -e SQL, a script FILE, --stats or --shutdown\n";
+    exit 2
+  end;
+  match Client.connect ~socket_path with
+  | exception Unix.Unix_error (e, _, _) ->
+    Printf.eprintf "cannot connect to %s: %s\n" socket_path
+      (Unix.error_message e);
+    1
+  | client ->
+    Fun.protect
+      ~finally:(fun () -> Client.close client)
+      (fun () ->
+        let failed = ref false in
+        List.iter
+          (fun sql ->
+            match as_set_command sql with
+            | Some (name, value) -> (
+              match Client.set client name value with
+              | Ok body -> print_string body
+              | Error msg ->
+                failed := true;
+                Printf.eprintf "SET %s: %s\n" name msg)
+            | None -> (
+              match Client.query client sql with
+              | Ok body -> print_string body
+              | Error (status, msg) ->
+                failed := true;
+                Printf.eprintf "%s: %s\n" status msg))
+          scripts;
+        if show_stats then
+          List.iter
+            (fun (k, v) -> Printf.printf "%s %s\n" k v)
+            (Client.stats client);
+        if do_shutdown then Client.shutdown_server client
+        else Client.quit client;
+        if !failed then 1 else 0)
+
+(* ------------------------------------------------------------------ *)
 (* Cmdliner plumbing                                                   *)
 
 open Cmdliner
@@ -445,6 +524,40 @@ let demo_cmd =
     (Cmd.info "demo" ~doc:"Run the paper's queries on a synthetic graph")
     Term.(const demo $ workers_arg $ no_cache_arg $ trace_arg)
 
+let client_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt string
+          Dbspinner_server.Server.default_config
+            .Dbspinner_server.Server.socket_path
+      & info [ "s"; "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket of the server.")
+  in
+  let execute =
+    Arg.(
+      value & opt_all string []
+      & info [ "e"; "execute" ] ~docv:"SQL"
+          ~doc:"SQL script to run (repeatable; runs before FILE).")
+  in
+  let file =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Print server counters after the scripts.")
+  in
+  let shutdown =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ]
+          ~doc:"Ask the server to shut down gracefully afterwards.")
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc:"Run SQL against a running dbspinner server")
+    Term.(const client_mode $ socket $ execute $ file $ stats $ shutdown)
+
 let trace_check_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   Cmd.v
@@ -458,6 +571,6 @@ let main_cmd =
   let doc = "An analytical SQL engine with native iterative CTEs (DBSpinner)" in
   Cmd.group ~default:Term.(const repl $ workers_arg $ no_cache_arg $ trace_arg)
     (Cmd.info "dbspinner" ~version:"1.0.0" ~doc)
-    [ repl_cmd; run_cmd; demo_cmd; trace_check_cmd ]
+    [ repl_cmd; run_cmd; demo_cmd; client_cmd; trace_check_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,143 @@
+(* The dbspinner server binary: serve a shared database over a
+   Unix-domain socket until SIGINT/SIGTERM (or a client SHUTDOWN
+   request), then drain gracefully.
+
+   A --gen dataset preloads the shared catalog with a synthetic graph
+   (edges / vertexStatus), so clients can run the paper's iterative
+   workloads immediately. *)
+
+module Server = Dbspinner_server.Server
+module Options = Dbspinner_rewrite.Options
+module Engine = Dbspinner.Engine
+
+let preload_catalog gen scale =
+  match gen with
+  | None -> None
+  | Some name ->
+    let spec =
+      match Dbspinner_graph.Datasets.find name with
+      | Some spec -> spec
+      | None ->
+        Printf.eprintf "unknown dataset %s (try dblp-like, pokec-like)\n" name;
+        exit 2
+    in
+    let graph = Dbspinner_graph.Datasets.generate ~scale spec in
+    let engine = Engine.create () in
+    Dbspinner_workload.Loader.load_graph engine graph;
+    Printf.printf "preloaded %s (scale %g): %d nodes, %d edges\n%!" name scale
+      (Dbspinner_graph.Graph_gen.num_nodes graph)
+      (Dbspinner_graph.Graph_gen.num_edges graph);
+    Some (Engine.catalog engine)
+
+let serve socket_path max_sessions max_inflight workers deadline budget
+    max_iterations gen scale =
+  let options =
+    {
+      Options.default with
+      Options.deadline_seconds = deadline;
+      row_budget = budget;
+      max_iterations_guard = max_iterations;
+    }
+  in
+  let config =
+    {
+      Server.socket_path;
+      max_sessions;
+      max_inflight;
+      workers;
+      options;
+    }
+  in
+  let catalog = preload_catalog gen scale in
+  let server = Server.start ~config ?catalog () in
+  let stop _ = Server.request_shutdown server in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+  Printf.printf
+    "dbspinner server listening on %s (max %d sessions, %d in-flight, %d \
+     workers)\n\
+     %!"
+    socket_path max_sessions max_inflight workers;
+  Server.wait server;
+  print_endline "server drained, bye";
+  0
+
+open Cmdliner
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string Server.default_config.Server.socket_path
+    & info [ "s"; "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let max_sessions_arg =
+  Arg.(
+    value
+    & opt int Server.default_config.Server.max_sessions
+    & info [ "max-sessions" ] ~docv:"N"
+        ~doc:"Maximum concurrent client connections.")
+
+let max_inflight_arg =
+  Arg.(
+    value
+    & opt int Server.default_config.Server.max_inflight
+    & info [ "max-inflight" ] ~docv:"N"
+        ~doc:
+          "Maximum queries executing at once; queries beyond this are \
+           rejected with BUSY, never queued.")
+
+let workers_arg =
+  Arg.(
+    value
+    & opt int Server.default_config.Server.workers
+    & info [ "w"; "workers" ] ~docv:"N"
+        ~doc:"Domain-pool size query work is submitted to.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:"Default per-statement wall-clock budget for every session.")
+
+let budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "budget" ] ~docv:"ROWS"
+        ~doc:"Default per-statement rows-materialized budget.")
+
+let max_iterations_arg =
+  Arg.(
+    value
+    & opt int Options.default.Options.max_iterations_guard
+    & info [ "max-iterations" ] ~docv:"N"
+        ~doc:"Safety bound on loop iterations per iterative CTE.")
+
+let gen_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "gen" ] ~docv:"DATASET"
+        ~doc:
+          "Preload the shared database with a synthetic graph dataset \
+           (e.g. dblp-like).")
+
+let scale_arg =
+  Arg.(
+    value
+    & opt float 0.25
+    & info [ "scale" ] ~docv:"FACTOR" ~doc:"Scale factor for --gen.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "dbspinner-server" ~version:"1.0.0"
+       ~doc:
+         "Serve DBSpinner over a Unix-domain socket with per-session \
+          isolation, admission control and graceful drain")
+    Term.(
+      const serve $ socket_arg $ max_sessions_arg $ max_inflight_arg
+      $ workers_arg $ deadline_arg $ budget_arg $ max_iterations_arg $ gen_arg
+      $ scale_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,28 @@
+-- Server smoke workload: exercises iterative CTEs, DDL/DML on the
+-- shared base catalog, and plain aggregation through one client
+-- session. Run with:
+--   dbspinner client --socket PATH examples/server_smoke.sql
+-- against a server started with --gen dblp-like (provides edges).
+
+SELECT COUNT(*) AS edge_count FROM edges;
+
+WITH ITERATIVE PageRank (Node, Rank, Delta)
+AS ( SELECT src, 0, 0.15
+     FROM (SELECT src FROM edges UNION SELECT dst FROM edges)
+ ITERATE
+   SELECT PageRank.node,
+     PageRank.rank + PageRank.delta,
+     COALESCE(0.85 * SUM(IncomingRank.delta * IncomingEdges.weight), 0)
+   FROM PageRank
+     LEFT JOIN edges AS IncomingEdges
+       ON PageRank.node = IncomingEdges.dst
+     LEFT JOIN PageRank AS IncomingRank
+       ON IncomingRank.node = IncomingEdges.src
+   GROUP BY PageRank.node, PageRank.rank + PageRank.delta
+ UNTIL 5 ITERATIONS )
+SELECT COUNT(*) AS ranked_nodes FROM PageRank;
+
+CREATE TABLE smoke_scratch (k INT, v VARCHAR);
+INSERT INTO smoke_scratch VALUES (1, 'alpha'), (2, 'beta'), (3, 'gamma');
+SELECT COUNT(*) AS scratch_rows FROM smoke_scratch;
+DROP TABLE smoke_scratch;

@@ -42,6 +42,10 @@ type t = {
   mutable trace : Trace.t option;
       (** session trace collector; [None] (the default) disables
           tracing entirely — the executors then do no tracing work *)
+  mutable interrupt : (unit -> string option) option;
+      (** external cancellation probe folded into every statement's
+          guards; the server installs one per session so shutdown can
+          drain in-flight iterative loops at an iteration boundary *)
 }
 
 type result =
@@ -50,14 +54,15 @@ type result =
   | Executed  (** DDL *)
   | Explained of string
 
-let create ?(options = Options.default) () =
+let create ?(options = Options.default) ?catalog () =
   {
-    catalog = Catalog.create ();
+    catalog = (match catalog with Some c -> c | None -> Catalog.create ());
     views = Hashtbl.create 8;
     options;
     transaction = None;
     stats = Stats.create ();
     trace = None;
+    interrupt = None;
   }
 
 let in_transaction t = t.transaction <> None
@@ -75,6 +80,8 @@ let enable_trace t =
   let tr = Trace.create ~capacity:t.options.Options.trace_buffer () in
   t.trace <- Some tr;
   tr
+
+let set_interrupt t probe = t.interrupt <- probe
 
 let lookup t name =
   match Catalog.find_temp_opt t.catalog name with
@@ -146,12 +153,13 @@ let compile_query t (q : Ast.full_query) : Program.t =
   let q = prevaluate_scalar_subqueries t q in
   Iterative_rewrite.compile ~options:t.options ~lookup:(lookup t) q
 
-(** Resource guards for one statement, from the session options. Built
-    per statement so the wall-clock deadline starts at statement
-    start. *)
-let guards_of_options (options : Options.t) : Dbspinner_exec.Guards.t =
-  Dbspinner_exec.Guards.make ?deadline_seconds:options.deadline_seconds
-    ?row_budget:options.row_budget ()
+(** Resource guards for one statement, from the session options plus
+    the session interrupt probe. Built per statement so the wall-clock
+    deadline starts at statement start. *)
+let guards_of t : Dbspinner_exec.Guards.t =
+  Dbspinner_exec.Guards.make
+    ?deadline_seconds:t.options.Options.deadline_seconds
+    ?row_budget:t.options.Options.row_budget ?interrupt:t.interrupt ()
 
 (** Chunk-parallel execution context from the session options ([None]
     when [parallel_workers <= 1], i.e. sequential). *)
@@ -163,7 +171,7 @@ let parallel_of_options (options : Options.t) :
 let run_query ?(keep_temps = false) t (q : Ast.full_query) : Relation.t =
   let program = compile_query t q in
   let stats = Stats.create () in
-  let guards = guards_of_options t.options in
+  let guards = guards_of t in
   let parallel = parallel_of_options t.options in
   Fun.protect
     ~finally:(fun () ->
@@ -533,7 +541,7 @@ let rec exec_statement t (stmt : Ast.statement) : result =
            collector — so the convergence timeline can be rendered for
            iterative queries. *)
         let stats = Stats.create () in
-        let guards = guards_of_options t.options in
+        let guards = guards_of t in
         let parallel = parallel_of_options t.options in
         let tr =
           match t.trace with

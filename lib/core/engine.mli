@@ -20,7 +20,16 @@ type result =
   | Executed  (** DDL *)
   | Explained of string
 
-val create : ?options:Options.t -> unit -> t
+(** [create ?options ?catalog ()] — [catalog] lets a server hand each
+    session a {!Catalog.with_shared_base} view over one shared
+    database; by default the session gets a private fresh catalog. *)
+val create : ?options:Options.t -> ?catalog:Catalog.t -> unit -> t
+
+(** Install (or clear) the session's cancellation probe. It is folded
+    into every statement's resource guards and polled at materialize
+    and loop-iteration boundaries; returning [Some reason] aborts the
+    statement with a [Resource]-stage error. *)
+val set_interrupt : t -> (unit -> string option) option -> unit
 
 (** Is a BEGIN ... COMMIT/ROLLBACK transaction open? *)
 val in_transaction : t -> bool

@@ -14,19 +14,26 @@ type t = {
           execution aborts *)
   row_budget : int option;
       (** maximum total rows the program may materialize *)
+  interrupt : (unit -> string option) option;
+      (** external cancellation probe, polled at the same boundaries as
+          the limits; [Some reason] aborts with that reason. The server
+          uses this to drain in-flight iterative loops at an iteration
+          boundary during shutdown. *)
 }
 
-let none = { deadline = None; row_budget = None }
+let none = { deadline = None; row_budget = None; interrupt = None }
 
-let is_none t = t.deadline = None && t.row_budget = None
+let is_none t =
+  t.deadline = None && t.row_budget = None && Option.is_none t.interrupt
 
 (** Build guards from relative knobs: [deadline_seconds] is measured
     from now. *)
-let make ?deadline_seconds ?row_budget () =
+let make ?deadline_seconds ?row_budget ?interrupt () =
   {
     deadline =
       Option.map (fun s -> Unix.gettimeofday () +. s) deadline_seconds;
     row_budget;
+    interrupt;
   }
 
 let error fmt = Printf.ksprintf (fun s -> raise (Resource_exhausted s)) fmt
@@ -35,6 +42,14 @@ let error fmt = Printf.ksprintf (fun s -> raise (Resource_exhausted s)) fmt
     row budget is compared against [stats.rows_materialized], so the
     caller must account materialized rows before checking. *)
 let check t ~(stats : Stats.t) =
+  (match t.interrupt with
+  | Some probe -> (
+    match probe () with
+    | Some reason ->
+      error "interrupted after %d loop iterations: %s"
+        stats.Stats.loop_iterations reason
+    | None -> ())
+  | None -> ());
   (match t.row_budget with
   | Some budget when stats.Stats.rows_materialized > budget ->
     error

@@ -1,7 +1,7 @@
-(** Resource guards: wall-clock deadline and rows-materialized budget,
-    checked at materialize and loop boundaries by both executors.
-    {!Errors.wrap} maps {!Resource_exhausted} to the [Resource] error
-    stage. *)
+(** Resource guards: wall-clock deadline, rows-materialized budget and
+    an external interrupt probe, checked at materialize and loop
+    boundaries by both executors. {!Errors.wrap} maps
+    {!Resource_exhausted} to the [Resource] error stage. *)
 
 exception Resource_exhausted of string
 
@@ -10,17 +10,29 @@ type t = {
       (** absolute wall-clock time (Unix epoch seconds) *)
   row_budget : int option;
       (** maximum total rows the program may materialize *)
+  interrupt : (unit -> string option) option;
+      (** cancellation probe polled at guard boundaries; returning
+          [Some reason] aborts execution with that reason. Must be
+          cheap and thread-safe: the server calls it from worker
+          domains. *)
 }
 
 (** No limits. *)
 val none : t
 
-(** True when neither limit is set (checks are free to skip). *)
+(** True when neither limit nor interrupt is set (checks are free to
+    skip). *)
 val is_none : t -> bool
 
-(** [make ?deadline_seconds ?row_budget ()] — [deadline_seconds] is
-    relative to now. *)
-val make : ?deadline_seconds:float -> ?row_budget:int -> unit -> t
+(** [make ?deadline_seconds ?row_budget ?interrupt ()] —
+    [deadline_seconds] is relative to now. *)
+val make :
+  ?deadline_seconds:float ->
+  ?row_budget:int ->
+  ?interrupt:(unit -> string option) ->
+  unit ->
+  t
 
-(** @raise Resource_exhausted when a limit has been crossed. *)
+(** @raise Resource_exhausted when a limit has been crossed or the
+    interrupt probe fired. *)
 val check : t -> stats:Stats.t -> unit

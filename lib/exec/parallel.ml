@@ -186,6 +186,48 @@ let run_indexed pool ~(stats : Stats.t) n (f : Stats.t -> int -> 'a) : 'a array 
   end
 
 (* ------------------------------------------------------------------ *)
+(* Fire-and-wait single-task submission (server worker offload)        *)
+
+(** Run one closure on a worker domain and block the calling thread
+    until it finishes, returning its result (or re-raising its
+    exception). Unlike {!run}, the caller does {e not} help drain the
+    queue — this is meant for OS threads (server sessions) parking
+    while a Domain does the CPU work, so a systhread blocked here
+    releases the runtime lock instead of spinning. Inline when the
+    pool is sequential or shut down. A submitted task must not itself
+    call [submit] on the same pool (nested batches inside the task go
+    through {!run}, which helps, so they stay deadlock-free). *)
+let submit pool (f : unit -> 'a) : 'a =
+  if pool.size <= 1 || not pool.live then f ()
+  else begin
+    let slot : ('a, exn) result option ref = ref None in
+    let slot_lock = Mutex.create () in
+    let done_cond = Condition.create () in
+    let task () =
+      let result = try Ok (f ()) with e -> Error e in
+      Mutex.lock slot_lock;
+      slot := Some result;
+      Condition.signal done_cond;
+      Mutex.unlock slot_lock
+    in
+    Mutex.lock pool.lock;
+    Queue.push task pool.queue;
+    Condition.signal pool.work;
+    Mutex.unlock pool.lock;
+    Mutex.lock slot_lock;
+    (* Option.is_none, not [= None]: ['a] may contain closures, which
+       structural equality would raise on. *)
+    while Option.is_none !slot do
+      Condition.wait done_cond slot_lock
+    done;
+    Mutex.unlock slot_lock;
+    match !slot with
+    | Some (Ok v) -> v
+    | Some (Error e) -> raise e
+    | None -> assert false
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Chunk-parallel execution context (single-node operators)            *)
 
 (** How a single-node operator may split its input: a pool plus the

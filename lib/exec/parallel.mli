@@ -48,6 +48,15 @@ val run : t -> (unit -> unit) array -> unit
     stats into [stats] in index order after the barrier. *)
 val run_indexed : t -> stats:Stats.t -> int -> (Stats.t -> int -> 'a) -> 'a array
 
+(** [submit pool f] runs [f] on a worker domain and blocks the calling
+    thread until it completes, returning the result or re-raising the
+    task's exception. Designed for OS threads (server sessions)
+    offloading CPU work to the Domain pool: the caller parks on a
+    condition variable rather than helping. Runs inline when the pool
+    is sequential or shut down. A task must not call [submit] on its
+    own pool (use {!run}, which helps, for nesting). *)
+val submit : t -> (unit -> 'a) -> 'a
+
 (** How a single-node operator may split its input: a pool plus the
     minimum relation cardinality worth chunking. *)
 type ctx = {

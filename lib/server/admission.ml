@@ -1,0 +1,45 @@
+(** Admission control: a bounded count of in-flight queries.
+
+    The server rejects (rather than queues) work beyond the limit — a
+    client immediately gets [BUSY] and can back off, instead of
+    parking on an invisible queue while its deadline burns. Iterative
+    queries run for many iterations, so a queue would just convert
+    overload into timeout storms. *)
+
+type t = {
+  limit : int;
+  lock : Mutex.t;
+  mutable inflight : int;
+  mutable rejected : int;
+}
+
+let create ~limit = { limit = max 1 limit; lock = Mutex.create (); inflight = 0; rejected = 0 }
+
+(** Try to claim a slot; [false] (and a rejection recorded) when all
+    slots are taken. *)
+let try_acquire t =
+  Mutex.lock t.lock;
+  let ok = t.inflight < t.limit in
+  if ok then t.inflight <- t.inflight + 1
+  else t.rejected <- t.rejected + 1;
+  Mutex.unlock t.lock;
+  ok
+
+let release t =
+  Mutex.lock t.lock;
+  t.inflight <- max 0 (t.inflight - 1);
+  Mutex.unlock t.lock
+
+let inflight t =
+  Mutex.lock t.lock;
+  let n = t.inflight in
+  Mutex.unlock t.lock;
+  n
+
+let rejected t =
+  Mutex.lock t.lock;
+  let n = t.rejected in
+  Mutex.unlock t.lock;
+  n
+
+let limit t = t.limit

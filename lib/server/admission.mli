@@ -1,0 +1,14 @@
+(** Admission control: a bounded count of in-flight queries; work
+    beyond the limit is rejected with [BUSY], never queued. *)
+
+type t
+
+val create : limit:int -> t
+
+(** Claim a slot; [false] (and a rejection recorded) when full. *)
+val try_acquire : t -> bool
+
+val release : t -> unit
+val inflight : t -> int
+val rejected : t -> int
+val limit : t -> int

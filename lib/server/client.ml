@@ -1,0 +1,69 @@
+(** Blocking client for the DBSpinner server protocol: one connected
+    socket, synchronous request/response. Used by the CLI's [client]
+    subcommand, the server tests and the benchmark harness. *)
+
+type t = { fd : Unix.file_descr; mutable closed : bool }
+
+let connect ~socket_path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; closed = false }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+(** Send one request and wait for its response.
+    @raise End_of_file when the server closes the connection first. *)
+let request t (req : Protocol.request) : Protocol.response =
+  Protocol.write_frame t.fd (Protocol.render_request req);
+  match Protocol.read_frame t.fd with
+  | Some payload -> Protocol.parse_response payload
+  | None -> raise End_of_file
+
+(** Run a SQL script; [Ok rendered_results] or [Error (status, msg)]
+    where status is the response's wire status ([ERR <stage>], [BUSY],
+    [CLOSING]). *)
+let query t sql : (string, string * string) result =
+  match request t (Protocol.Query sql) with
+  | Protocol.Ok_result body -> Ok body
+  | Protocol.Err (stage, msg) -> Error ("ERR " ^ stage, msg)
+  | Protocol.Busy msg -> Error ("BUSY", msg)
+  | Protocol.Closing msg -> Error ("CLOSING", msg)
+  | Protocol.Pong | Protocol.Bye -> Error ("protocol", "unexpected response")
+
+let set t key value : (string, string) result =
+  match request t (Protocol.Set (key, value)) with
+  | Protocol.Ok_result body -> Ok body
+  | Protocol.Err (_, msg) -> Error msg
+  | _ -> Error "unexpected response"
+
+(** Server counters as an association list (see {!Metrics.render}). *)
+let stats t : (string * string) list =
+  match request t Protocol.Stats with
+  | Protocol.Ok_result body -> Metrics.parse body
+  | _ -> []
+
+let ping t =
+  match request t Protocol.Ping with Protocol.Pong -> true | _ -> false
+
+(** End the session ([QUIT]) and close the socket. *)
+let quit t =
+  (try ignore (request t Protocol.Quit) with _ -> ());
+  close t
+
+(** Ask the server to shut down gracefully, then close the socket. *)
+let shutdown_server t =
+  (try ignore (request t Protocol.Shutdown) with _ -> ());
+  close t
+
+(** [with_client ~socket_path f] connects, runs [f] and always closes
+    the socket. *)
+let with_client ~socket_path f =
+  let t = connect ~socket_path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,30 @@
+(** Blocking client: one connected socket, synchronous
+    request/response. *)
+
+type t
+
+val connect : socket_path:string -> t
+val close : t -> unit
+
+(** Send one request, wait for its response.
+    @raise End_of_file when the server closes the connection first. *)
+val request : t -> Protocol.request -> Protocol.response
+
+(** Run a SQL script; [Ok rendered_results] or [Error (status, msg)]
+    with status one of [ERR <stage>], [BUSY], [CLOSING]. *)
+val query : t -> string -> (string, string * string) result
+
+val set : t -> string -> string -> (string, string) result
+
+(** Server counters as an association list. *)
+val stats : t -> (string * string) list
+
+val ping : t -> bool
+
+(** End the session and close the socket. *)
+val quit : t -> unit
+
+(** Ask the server to shut down gracefully, then close the socket. *)
+val shutdown_server : t -> unit
+
+val with_client : socket_path:string -> (t -> 'a) -> 'a

@@ -1,0 +1,109 @@
+(** Server-wide counters and a bounded latency reservoir for the
+    [STATS] command. All entry points are thread-safe; sessions update
+    from their own threads and [STATS] renders a consistent snapshot. *)
+
+let reservoir_capacity = 4096
+
+type t = {
+  lock : Mutex.t;
+  mutable sessions_total : int;
+  mutable sessions_active : int;
+  mutable queries_ok : int;
+  mutable queries_err : int;
+  (* Latencies (seconds) of the most recent completed queries, a ring
+     of [reservoir_capacity]: recent percentiles, O(1) memory. *)
+  latencies : float array;
+  mutable latency_count : int;  (** total recorded, monotonically *)
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    sessions_total = 0;
+    sessions_active = 0;
+    queries_ok = 0;
+    queries_err = 0;
+    latencies = Array.make reservoir_capacity 0.0;
+    latency_count = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let session_opened t =
+  locked t (fun () ->
+      t.sessions_total <- t.sessions_total + 1;
+      t.sessions_active <- t.sessions_active + 1)
+
+let session_closed t =
+  locked t (fun () -> t.sessions_active <- max 0 (t.sessions_active - 1))
+
+let query_done t ~ok ~seconds =
+  locked t (fun () ->
+      if ok then t.queries_ok <- t.queries_ok + 1
+      else t.queries_err <- t.queries_err + 1;
+      t.latencies.(t.latency_count mod reservoir_capacity) <- seconds;
+      t.latency_count <- t.latency_count + 1)
+
+(** Nearest-rank percentile over the retained reservoir, in seconds;
+    0 when nothing has been recorded. *)
+let percentile_locked t p =
+  let n = min t.latency_count reservoir_capacity in
+  if n = 0 then 0.0
+  else begin
+    let sorted = Array.sub t.latencies 0 n in
+    Array.sort Float.compare sorted;
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+type snapshot = {
+  sessions_total : int;
+  sessions_active : int;
+  queries_ok : int;
+  queries_err : int;
+  p50_seconds : float;
+  p99_seconds : float;
+}
+
+let snapshot t =
+  locked t (fun () ->
+      {
+        sessions_total = t.sessions_total;
+        sessions_active = t.sessions_active;
+        queries_ok = t.queries_ok;
+        queries_err = t.queries_err;
+        p50_seconds = percentile_locked t 50.0;
+        p99_seconds = percentile_locked t 99.0;
+      })
+
+(** Render the [STATS] body: one [key value] pair per line, stable
+    keys, machine-parseable. *)
+let render t ~(admission : Admission.t) ~draining =
+  let s = snapshot t in
+  String.concat "\n"
+    [
+      Printf.sprintf "sessions_total %d" s.sessions_total;
+      Printf.sprintf "sessions_active %d" s.sessions_active;
+      Printf.sprintf "queries_ok %d" s.queries_ok;
+      Printf.sprintf "queries_err %d" s.queries_err;
+      Printf.sprintf "rejected %d" (Admission.rejected admission);
+      Printf.sprintf "inflight %d" (Admission.inflight admission);
+      Printf.sprintf "max_inflight %d" (Admission.limit admission);
+      Printf.sprintf "p50_ms %.3f" (s.p50_seconds *. 1000.0);
+      Printf.sprintf "p99_ms %.3f" (s.p99_seconds *. 1000.0);
+      Printf.sprintf "draining %b" draining;
+    ]
+
+(** Parse a {!render}ed body back into an association list (client /
+    test convenience). *)
+let parse body =
+  String.split_on_char '\n' body
+  |> List.filter_map (fun line ->
+         match String.index_opt line ' ' with
+         | Some i ->
+           Some
+             ( String.sub line 0 i,
+               String.sub line (i + 1) (String.length line - i - 1) )
+         | None -> None)

@@ -1,0 +1,28 @@
+(** Server-wide counters and a bounded latency reservoir for the
+    [STATS] command. Thread-safe. *)
+
+type t
+
+val create : unit -> t
+val session_opened : t -> unit
+val session_closed : t -> unit
+
+(** Record a completed query with its wall-clock latency. *)
+val query_done : t -> ok:bool -> seconds:float -> unit
+
+type snapshot = {
+  sessions_total : int;
+  sessions_active : int;
+  queries_ok : int;
+  queries_err : int;
+  p50_seconds : float;
+  p99_seconds : float;
+}
+
+val snapshot : t -> snapshot
+
+(** The [STATS] body: one [key value] pair per line. *)
+val render : t -> admission:Admission.t -> draining:bool -> string
+
+(** Parse a {!render}ed body into an association list. *)
+val parse : string -> (string * string) list

@@ -1,0 +1,181 @@
+(** Wire protocol for the DBSpinner server: length-prefixed text
+    frames over a stream socket.
+
+    A frame is [<decimal byte length>\n<payload>]. Length-prefixing
+    (rather than newline-framing) lets SQL scripts and rendered result
+    tables cross the wire verbatim, embedded newlines and all.
+
+    Request payloads are [<VERB>] or [<VERB>\n<body>]; response
+    payloads are [<STATUS>] or [<STATUS ...>\n<body>]. Both sides are
+    plain text so a session is debuggable with a hex dump. *)
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+
+(** Upper bound on an accepted frame; a malformed peer cannot make the
+    server allocate unbounded memory. *)
+let max_frame_bytes = 16 * 1024 * 1024
+
+exception Protocol_error of string
+
+let really_read fd buf ofs len =
+  let read = ref 0 in
+  while !read < len do
+    let n = Unix.read fd buf (ofs + !read) (len - !read) in
+    if n = 0 then raise End_of_file;
+    read := !read + n
+  done
+
+let really_write fd s =
+  let buf = Bytes.of_string s in
+  let len = Bytes.length buf in
+  let written = ref 0 in
+  while !written < len do
+    written := !written + Unix.write fd buf !written (len - !written)
+  done
+
+let write_frame fd payload =
+  really_write fd
+    (Printf.sprintf "%d\n%s" (String.length payload) payload)
+
+(** Read one frame; [None] on a clean EOF at a frame boundary.
+    @raise Protocol_error on a malformed or oversized header.
+    @raise End_of_file when the peer dies mid-frame. *)
+let read_frame fd : string option =
+  let header = Buffer.create 12 in
+  let byte = Bytes.create 1 in
+  let rec read_header () =
+    match Unix.read fd byte 0 1 with
+    | 0 ->
+      if Buffer.length header = 0 then None
+      else raise End_of_file
+    | _ -> (
+      match Bytes.get byte 0 with
+      | '\n' -> Some (Buffer.contents header)
+      | c when c >= '0' && c <= '9' ->
+        if Buffer.length header > 9 then
+          raise (Protocol_error "frame header too long");
+        Buffer.add_char header c;
+        read_header ()
+      | c ->
+        raise
+          (Protocol_error
+             (Printf.sprintf "invalid byte %C in frame header" c)))
+  in
+  match read_header () with
+  | None -> None
+  | Some digits ->
+    let len =
+      match int_of_string_opt digits with
+      | Some n when n >= 0 && n <= max_frame_bytes -> n
+      | Some n ->
+        raise
+          (Protocol_error (Printf.sprintf "frame of %d bytes exceeds limit" n))
+      | None -> raise (Protocol_error "empty frame header")
+    in
+    let buf = Bytes.create len in
+    really_read fd buf 0 len;
+    Some (Bytes.to_string buf)
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+
+type request =
+  | Query of string  (** a [;]-separated SQL script *)
+  | Set of string * string  (** session option: key, value *)
+  | Stats  (** server-wide counters *)
+  | Trace  (** this session's trace buffer as NDJSON *)
+  | Ping
+  | Quit  (** end this session *)
+  | Shutdown  (** initiate graceful server shutdown *)
+
+let split_head payload =
+  match String.index_opt payload '\n' with
+  | None -> (payload, "")
+  | Some i ->
+    ( String.sub payload 0 i,
+      String.sub payload (i + 1) (String.length payload - i - 1) )
+
+let render_request = function
+  | Query sql -> "QUERY\n" ^ sql
+  | Set (k, v) -> Printf.sprintf "SET %s %s" k v
+  | Stats -> "STATS"
+  | Trace -> "TRACE"
+  | Ping -> "PING"
+  | Quit -> "QUIT"
+  | Shutdown -> "SHUTDOWN"
+
+let parse_request payload : (request, string) result =
+  let head, body = split_head payload in
+  match String.split_on_char ' ' (String.trim head) with
+  | [ "QUERY" ] ->
+    if String.trim body = "" then Error "QUERY requires a SQL body"
+    else Ok (Query body)
+  | "SET" :: key :: rest when key <> "" && rest <> [] ->
+    Ok (Set (key, String.concat " " rest))
+  | [ "STATS" ] -> Ok Stats
+  | [ "TRACE" ] -> Ok Trace
+  | [ "PING" ] -> Ok Ping
+  | [ "QUIT" ] -> Ok Quit
+  | [ "SHUTDOWN" ] -> Ok Shutdown
+  | verb :: _ -> Error (Printf.sprintf "unknown request verb %s" verb)
+  | [] -> Error "empty request"
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+
+type response =
+  | Ok_result of string  (** rendered statement results *)
+  | Err of string * string  (** error stage, message *)
+  | Busy of string  (** admission control rejected the query *)
+  | Closing of string  (** server is draining; no new queries *)
+  | Pong
+  | Bye
+
+let render_response = function
+  | Ok_result body -> "OK\n" ^ body
+  | Err (stage, msg) -> Printf.sprintf "ERR %s\n%s" stage msg
+  | Busy msg -> "BUSY\n" ^ msg
+  | Closing msg -> "CLOSING\n" ^ msg
+  | Pong -> "PONG"
+  | Bye -> "BYE"
+
+let parse_response payload : response =
+  let head, body = split_head payload in
+  match String.split_on_char ' ' (String.trim head) with
+  | [ "OK" ] -> Ok_result body
+  | "ERR" :: stage -> Err (String.concat " " stage, body)
+  | [ "BUSY" ] -> Busy body
+  | [ "CLOSING" ] -> Closing body
+  | [ "PONG" ] -> Pong
+  | [ "BYE" ] -> Bye
+  | _ -> raise (Protocol_error ("unknown response status: " ^ head))
+
+(* ------------------------------------------------------------------ *)
+(* Statement classification (admission / locking)                      *)
+
+(** True when every non-empty [;]-fragment of [sql] starts with a
+    read-only verb, so the script can share the database read lock
+    with other sessions. Conservative: anything unrecognized counts as
+    a write. *)
+let read_only sql =
+  let fragment_read_only frag =
+    let frag = String.trim frag in
+    if frag = "" then true
+    else
+      let word =
+        let n = String.length frag in
+        let rec stop i =
+          if i >= n then i
+          else
+            match frag.[i] with
+            | 'a' .. 'z' | 'A' .. 'Z' -> stop (i + 1)
+            | _ -> i
+        in
+        String.lowercase_ascii (String.sub frag 0 (stop 0))
+      in
+      match word with
+      | "select" | "with" | "explain" | "values" -> true
+      | _ -> false
+  in
+  List.for_all fragment_read_only (String.split_on_char ';' sql)

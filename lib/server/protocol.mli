@@ -1,0 +1,46 @@
+(** Wire protocol: length-prefixed text frames
+    ([<decimal byte length>\n<payload>]) over a stream socket, with
+    plain-text request/response payloads. *)
+
+(** Raised on malformed frames or unknown statuses. *)
+exception Protocol_error of string
+
+(** Hard cap on an accepted frame's payload size. *)
+val max_frame_bytes : int
+
+val write_frame : Unix.file_descr -> string -> unit
+
+(** Read one frame; [None] on clean EOF at a frame boundary.
+    @raise Protocol_error on malformed input.
+    @raise End_of_file when the peer dies mid-frame. *)
+val read_frame : Unix.file_descr -> string option
+
+type request =
+  | Query of string  (** a [;]-separated SQL script *)
+  | Set of string * string  (** session option: key, value *)
+  | Stats  (** server-wide counters *)
+  | Trace  (** this session's trace buffer as NDJSON *)
+  | Ping
+  | Quit  (** end this session *)
+  | Shutdown  (** initiate graceful server shutdown *)
+
+val render_request : request -> string
+val parse_request : string -> (request, string) result
+
+type response =
+  | Ok_result of string  (** rendered statement results *)
+  | Err of string * string  (** error stage, message *)
+  | Busy of string  (** admission control rejected the query *)
+  | Closing of string  (** server is draining; no new queries *)
+  | Pong
+  | Bye
+
+val render_response : response -> string
+
+(** @raise Protocol_error on an unknown status line. *)
+val parse_response : string -> response
+
+(** True when every non-empty [;]-fragment starts with a read-only
+    verb (SELECT / WITH / EXPLAIN / VALUES). Conservative: anything
+    unrecognized counts as a write. *)
+val read_only : string -> bool

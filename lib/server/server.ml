@@ -1,0 +1,399 @@
+(** The DBSpinner server: a concurrent multi-session SQL front-end
+    over a Unix-domain socket.
+
+    Threading model: one OS thread accepts connections and one OS
+    thread per session parses frames and blocks on I/O, while query
+    CPU work is submitted to the shared {!Parallel} Domain pool
+    ({!Parallel.submit}) — so N idle sessions cost N parked threads,
+    not N domains, and the pool bounds actual query parallelism.
+
+    Isolation: every session executes over a
+    {!Catalog.with_shared_base} view of one shared database. Base
+    tables (and DDL) are shared; iterative CTE temps are
+    session-private. A readers-writer lock serializes write statements
+    against everything else, so concurrent read-only scripts (the
+    common case: iterative analytics) run fully in parallel and
+    produce results bit-identical to a sequential run.
+
+    Admission control: at most [max_inflight] queries execute at once;
+    excess queries are {e rejected} with [BUSY] rather than queued, so
+    overload surfaces immediately instead of as timeout storms.
+
+    Shutdown drains at iteration boundaries: a draining flag flips the
+    per-session interrupt probe (polled by {!Guards.check} at
+    materialize and loop boundaries), so in-flight iterative loops
+    abort cleanly with a [Resource]-stage error at the next boundary —
+    the same mechanism the MPP layer's checkpoints hook — and every
+    client gets a response before its socket closes. *)
+
+module Engine = Dbspinner.Engine
+module Errors = Dbspinner.Errors
+module Options = Dbspinner_rewrite.Options
+module Catalog = Dbspinner_storage.Catalog
+module Parallel = Dbspinner_exec.Parallel
+
+(* ------------------------------------------------------------------ *)
+(* Readers-writer lock (writer-preferring)                             *)
+
+module Rwlock = struct
+  type t = {
+    lock : Mutex.t;
+    can_read : Condition.t;
+    can_write : Condition.t;
+    mutable readers : int;
+    mutable writer : bool;
+    mutable writers_waiting : int;
+  }
+
+  let create () =
+    {
+      lock = Mutex.create ();
+      can_read = Condition.create ();
+      can_write = Condition.create ();
+      readers = 0;
+      writer = false;
+      writers_waiting = 0;
+    }
+
+  let lock_read t =
+    Mutex.lock t.lock;
+    (* Writer preference: queued writers block new readers, so a DML
+       burst cannot be starved by a stream of SELECTs. *)
+    while t.writer || t.writers_waiting > 0 do
+      Condition.wait t.can_read t.lock
+    done;
+    t.readers <- t.readers + 1;
+    Mutex.unlock t.lock
+
+  let unlock_read t =
+    Mutex.lock t.lock;
+    t.readers <- t.readers - 1;
+    if t.readers = 0 then Condition.signal t.can_write;
+    Mutex.unlock t.lock
+
+  let lock_write t =
+    Mutex.lock t.lock;
+    t.writers_waiting <- t.writers_waiting + 1;
+    while t.writer || t.readers > 0 do
+      Condition.wait t.can_write t.lock
+    done;
+    t.writers_waiting <- t.writers_waiting - 1;
+    t.writer <- true;
+    Mutex.unlock t.lock
+
+  let unlock_write t =
+    Mutex.lock t.lock;
+    t.writer <- false;
+    Condition.signal t.can_write;
+    Condition.broadcast t.can_read;
+    Mutex.unlock t.lock
+
+  let with_lock t ~read f =
+    if read then begin
+      lock_read t;
+      Fun.protect ~finally:(fun () -> unlock_read t) f
+    end
+    else begin
+      lock_write t;
+      Fun.protect ~finally:(fun () -> unlock_write t) f
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+
+type config = {
+  socket_path : string;
+  max_sessions : int;  (** concurrent client connections *)
+  max_inflight : int;  (** concurrent executing queries (admission) *)
+  workers : int;  (** Domain-pool size query work is submitted to *)
+  options : Options.t;  (** per-session engine defaults *)
+}
+
+let default_config =
+  {
+    socket_path = Filename.concat (Filename.get_temp_dir_name ()) "dbspinner.sock";
+    max_sessions = 64;
+    max_inflight = 8;
+    workers = 4;
+    options = Options.default;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Server state                                                        *)
+
+type t = {
+  config : config;
+  listen_fd : Unix.file_descr;
+  catalog : Catalog.t;  (** the shared database *)
+  admission : Admission.t;
+  metrics : Metrics.t;
+  pool : Parallel.t;
+  statement_lock : Rwlock.t;
+  draining : bool Atomic.t;
+  mutable accept_thread : Thread.t option;
+  conn_lock : Mutex.t;
+  conns : (int, Unix.file_descr) Hashtbl.t;  (** live session sockets *)
+  mutable session_threads : Thread.t list;
+  mutable next_session : int;
+  shutdown_done : Mutex.t * Condition.t * bool ref;
+  mutable on_shutdown_request : unit -> unit;
+      (** set at [start]; spawns the drain off the session thread *)
+}
+
+let catalog t = t.catalog
+let draining t = Atomic.get t.draining
+
+(* ------------------------------------------------------------------ *)
+(* Query execution                                                     *)
+
+let stage_of_exn = function
+  | Errors.Error (stage, msg) -> (Errors.stage_name stage, msg)
+  | e -> ("internal", Printexc.to_string e)
+
+let exec_query srv session sql : Protocol.response =
+  if Atomic.get srv.draining then
+    Protocol.Closing "server is shutting down; no new queries"
+  else if not (Admission.try_acquire srv.admission) then
+    Protocol.Busy
+      (Printf.sprintf "server at capacity (%d queries in flight); retry"
+         (Admission.limit srv.admission))
+  else
+    Fun.protect
+      ~finally:(fun () -> Admission.release srv.admission)
+      (fun () ->
+        Rwlock.with_lock srv.statement_lock ~read:(Protocol.read_only sql)
+          (fun () ->
+            let t0 = Unix.gettimeofday () in
+            match
+              (* The session thread parks here while a pool domain
+                 does the CPU work. *)
+              Parallel.submit srv.pool (fun () ->
+                  Session.run_script session sql)
+            with
+            | body ->
+              Metrics.query_done srv.metrics ~ok:true
+                ~seconds:(Unix.gettimeofday () -. t0);
+              Protocol.Ok_result body
+            | exception e ->
+              Metrics.query_done srv.metrics ~ok:false
+                ~seconds:(Unix.gettimeofday () -. t0);
+              let stage, msg = stage_of_exn e in
+              Protocol.Err (stage, msg)))
+
+(* ------------------------------------------------------------------ *)
+(* Session loop                                                        *)
+
+let handle_request srv session (req : Protocol.request) : Protocol.response * bool =
+  match req with
+  | Protocol.Ping -> (Protocol.Pong, true)
+  | Protocol.Query sql -> (exec_query srv session sql, true)
+  | Protocol.Set (key, value) -> (
+    match Session.set session key value with
+    | Ok confirmation -> (Protocol.Ok_result confirmation, true)
+    | Error usage -> (Protocol.Err ("set", usage), true))
+  | Protocol.Stats ->
+    ( Protocol.Ok_result
+        (Metrics.render srv.metrics ~admission:srv.admission
+           ~draining:(Atomic.get srv.draining)),
+      true )
+  | Protocol.Trace -> (Protocol.Ok_result (Session.trace_ndjson session), true)
+  | Protocol.Quit -> (Protocol.Bye, false)
+  | Protocol.Shutdown ->
+    srv.on_shutdown_request ();
+    (Protocol.Bye, false)
+
+let session_loop srv fd session =
+  let continue = ref true in
+  while !continue do
+    match Protocol.read_frame fd with
+    | None -> continue := false
+    | Some payload ->
+      let response, keep_going =
+        match Protocol.parse_request payload with
+        | Ok req -> handle_request srv session req
+        | Error msg -> (Protocol.Err ("protocol", msg), true)
+      in
+      (* The peer may vanish between request and response (EPIPE);
+         that ends the session, it must not kill the thread. *)
+      (try
+         Protocol.write_frame fd (Protocol.render_response response);
+         continue := keep_going
+       with Unix.Unix_error _ -> continue := false)
+    | exception (End_of_file | Unix.Unix_error _ | Protocol.Protocol_error _)
+      ->
+      continue := false
+  done
+
+let serve_connection srv id fd =
+  let session =
+    Session.create ~id ~options:srv.config.options
+      ~shared_catalog:srv.catalog
+  in
+  (* Drain hook: once the server starts draining, the probe makes this
+     session's in-flight statements abort at their next guard
+     boundary. *)
+  Engine.set_interrupt (Session.engine session)
+    (Some
+       (fun () ->
+         if Atomic.get srv.draining then Some "server shutting down"
+         else None));
+  Metrics.session_opened srv.metrics;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.session_closed srv.metrics;
+      Mutex.lock srv.conn_lock;
+      Hashtbl.remove srv.conns id;
+      Mutex.unlock srv.conn_lock;
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> session_loop srv fd session)
+
+let accept_loop srv () =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept srv.listen_fd with
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+      continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | fd, _ ->
+      if Atomic.get srv.draining then begin
+        (* Late connector during shutdown: answer once, then close. *)
+        (try
+           Protocol.write_frame fd
+             (Protocol.render_response
+                (Protocol.Closing "server is shutting down"))
+         with _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+      end
+      else begin
+        Mutex.lock srv.conn_lock;
+        let at_capacity =
+          Hashtbl.length srv.conns >= srv.config.max_sessions
+        in
+        let id = srv.next_session in
+        if not at_capacity then begin
+          srv.next_session <- id + 1;
+          Hashtbl.replace srv.conns id fd
+        end;
+        Mutex.unlock srv.conn_lock;
+        if at_capacity then begin
+          (try
+             Protocol.write_frame fd
+               (Protocol.render_response
+                  (Protocol.Busy
+                     (Printf.sprintf "session limit (%d) reached"
+                        srv.config.max_sessions)))
+           with _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+        end
+        else begin
+          let thread = Thread.create (fun () -> serve_connection srv id fd) () in
+          Mutex.lock srv.conn_lock;
+          srv.session_threads <- thread :: srv.session_threads;
+          Mutex.unlock srv.conn_lock
+        end
+      end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+
+let start ?(config = default_config) ?catalog () : t =
+  (* A dead client mid-write must surface as EPIPE, not kill the
+     process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  if Sys.file_exists config.socket_path then Sys.remove config.socket_path;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX config.socket_path);
+  Unix.listen listen_fd 64;
+  let srv =
+    {
+      config;
+      listen_fd;
+      catalog = (match catalog with Some c -> c | None -> Catalog.create ());
+      admission = Admission.create ~limit:config.max_inflight;
+      metrics = Metrics.create ();
+      pool = Parallel.get config.workers;
+      statement_lock = Rwlock.create ();
+      draining = Atomic.make false;
+      accept_thread = None;
+      conn_lock = Mutex.create ();
+      conns = Hashtbl.create 16;
+      session_threads = [];
+      next_session = 1;
+      shutdown_done = (Mutex.create (), Condition.create (), ref false);
+      on_shutdown_request = ignore;
+    }
+  in
+  srv.accept_thread <- Some (Thread.create (accept_loop srv) ());
+  srv
+
+(** Graceful shutdown: stop admitting, let in-flight loops abort at
+    their next iteration boundary (interrupt probe), answer every
+    waiting client, then close sockets, join threads and remove the
+    socket file. Idempotent. *)
+let shutdown srv =
+  if not (Atomic.exchange srv.draining true) then begin
+    (* Wake the accept loop: it is parked in [accept], so poke it with
+       a throwaway connection (it answers CLOSING and closes), then
+       close the listening socket to make further accepts fail. *)
+    (try
+       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+       (try Unix.connect fd (Unix.ADDR_UNIX srv.config.socket_path)
+        with Unix.Unix_error _ -> ());
+       Unix.close fd
+     with Unix.Unix_error _ -> ());
+    (try Unix.close srv.listen_fd with Unix.Unix_error _ -> ());
+    (match srv.accept_thread with
+    | Some t ->
+      Thread.join t;
+      srv.accept_thread <- None
+    | None -> ());
+    (* Session threads drain on their own: in-flight statements abort
+       at the next guard boundary and are answered with a Resource
+       error; subsequent queries get CLOSING. Shut the read side of
+       every live connection so sessions parked in [read_frame] (idle
+       clients) wake up with EOF instead of blocking shutdown. *)
+    Mutex.lock srv.conn_lock;
+    let fds = Hashtbl.fold (fun _ fd acc -> fd :: acc) srv.conns [] in
+    let threads = srv.session_threads in
+    srv.session_threads <- [];
+    Mutex.unlock srv.conn_lock;
+    List.iter
+      (fun fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+        with Unix.Unix_error _ -> ())
+      fds;
+    List.iter Thread.join threads;
+    if Sys.file_exists srv.config.socket_path then
+      Sys.remove srv.config.socket_path;
+    let lock, cond, flag = srv.shutdown_done in
+    Mutex.lock lock;
+    flag := true;
+    Condition.broadcast cond;
+    Mutex.unlock lock
+  end
+
+(** Block until {!shutdown} has completed (from any thread). *)
+let wait srv =
+  let lock, cond, flag = srv.shutdown_done in
+  Mutex.lock lock;
+  while not !flag do
+    Condition.wait cond lock
+  done;
+  Mutex.unlock lock
+
+(* A SHUTDOWN request must not run [shutdown] on the session thread
+   itself (it would join itself); hand it to a fresh thread. *)
+let request_shutdown srv =
+  ignore (Thread.create (fun () -> shutdown srv) ())
+
+let start ?config ?catalog () =
+  let srv = start ?config ?catalog () in
+  srv.on_shutdown_request <- (fun () -> request_shutdown srv);
+  srv
+
+let with_server ?config ?catalog f =
+  let srv = start ?config ?catalog () in
+  Fun.protect ~finally:(fun () -> shutdown srv) (fun () -> f srv)

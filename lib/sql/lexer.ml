@@ -133,7 +133,17 @@ let lex_number st =
   else
     match int_of_string_opt text with
     | Some i -> Token.Int_lit i
-    | None -> Token.Float_lit (float_of_string text)
+    | None ->
+      (* Do NOT silently demote to a float literal: above 2^63 the
+         nearest float loses low bits, so [WHERE id =
+         9223372036854775809] would quietly match the wrong rows even
+         though Value.compare is exact. Reject at the lexer where the
+         literal text is still available for the message. *)
+      error st
+        (Printf.sprintf
+           "integer literal %s is out of range (63-bit signed); write it as \
+            a float (%s.0) if approximation is intended"
+           text text)
 
 let lex_word st =
   let buf = Buffer.create 16 in

@@ -30,6 +30,22 @@ let create () =
     renames = 0;
   }
 
+(** A session-private view over a shared database: the [base] hashtable
+    is the {e same physical table} (DDL and DML are visible across all
+    views), while temps, generations and accounting counters are fresh.
+    This is what keeps concurrent sessions' iterative CTEs apart — two
+    sessions both materializing a temp named "pagerank" write to their
+    own lookup tables instead of clobbering each other. *)
+let with_shared_base parent =
+  {
+    base = parent.base;
+    temps = Hashtbl.create 16;
+    temp_gens = Hashtbl.create 16;
+    generation_counter = 0;
+    ddl_ops = 0;
+    renames = 0;
+  }
+
 let key = String.lowercase_ascii
 
 (* ------------------------------------------------------------------ *)

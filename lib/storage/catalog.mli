@@ -10,6 +10,12 @@ exception Duplicate_table of string
 
 val create : unit -> t
 
+(** [with_shared_base parent] is a session-private view: it aliases the
+    parent's base-table hashtable (DDL/DML visible both ways) but has
+    its own temps, generations and accounting counters, so concurrent
+    sessions' iterative CTEs cannot collide on temp names. *)
+val with_shared_base : t -> t
+
 (** {2 Base tables} *)
 
 (** @raise Duplicate_table when the name is taken. *)

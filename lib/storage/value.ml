@@ -94,10 +94,28 @@ let add a b = arith ( + ) ( +. ) a b
 let sub a b = arith ( - ) ( -. ) a b
 let mul a b = arith ( * ) ( *. ) a b
 
+(* A zero divisor raises Division_by_zero on EVERY numeric path, not
+   just Int/Int: IEEE semantics would make [1/0.0] return [inf] and
+   [1.0 % 0.0] return [nan], so whether a query errored would depend on
+   the inferred type of its operands. SQL wants one behavior. The
+   float-side test [f = 0.0] also catches [-0.0]. *)
+let zero_divisor = function
+  | Int 0 -> true
+  | Float f -> f = 0.0
+  | Null | Int _ | Str _ | Bool _ -> false
+
 let div a b =
   match a, b with
   | Null, _ | _, Null -> Null
-  | Int _, Int 0 -> raise Division_by_zero
+  | (Int _ | Float _), b when zero_divisor b -> raise Division_by_zero
+  (* [min_int / -1] overflows the int range; in native code the
+     hardware division traps (and the [x mod y = 0] guard below would
+     evaluate [min_int mod -1], which traps the same way), so this case
+     must be decided before either expression runs. The exact quotient
+     [-min_int = 2^62] is not representable as an Int; promote to the
+     (exactly representable) float image, matching the non-exact
+     branch's promotion policy. *)
+  | Int x, Int (-1) when x = min_int -> Float (-.(float_of_int x))
   | Int x, Int y when x mod y = 0 -> Int (x / y)
   (* Non-exact integer division promotes to float: SQL users writing
      [friends / friendsPrev] expect a ratio, not truncation. *)
@@ -108,7 +126,10 @@ let div a b =
 let modulo a b =
   match a, b with
   | Null, _ | _, Null -> Null
-  | Int _, Int 0 -> raise Division_by_zero
+  | (Int _ | Float _), b when zero_divisor b -> raise Division_by_zero
+  (* [min_int mod -1] is mathematically 0 but traps in native code
+     (the hardware computes the quotient first, which overflows). *)
+  | Int x, Int (-1) when x = min_int -> Int 0
   | Int x, Int y -> Int (x mod y)
   | (Int _ | Float _), (Int _ | Float _) ->
     Float (Float.rem (to_float a) (to_float b))

@@ -44,8 +44,14 @@ val to_bool : t -> bool option
 exception Type_error of string
 
 (** Arithmetic with SQL NULL propagation: any NULL operand yields NULL.
-    Integer pairs stay integral (except [div] by zero raising
-    [Division_by_zero]); mixed int/float promotes to float. *)
+    Integer pairs stay integral; mixed int/float promotes to float.
+    [div] and [modulo] raise [Division_by_zero] for {e every} zero
+    divisor — [Int 0], [Float 0.0] and [Float (-0.0)] alike — so the
+    error does not depend on the inferred type of the operands.
+    [div min_int (-1)] promotes to the exact float image of [2^62]
+    (the quotient overflows the int range) and
+    [modulo min_int (-1)] is [Int 0]; both would otherwise trap in
+    native code. *)
 
 val add : t -> t -> t
 val sub : t -> t -> t

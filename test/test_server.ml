@@ -1,0 +1,416 @@
+(** Server tests: protocol/admission units, concurrent sessions with
+    bit-identical results, session-temp isolation, BUSY rejection and
+    drain-on-shutdown. *)
+
+module Server = Dbspinner_server.Server
+module Client = Dbspinner_server.Client
+module Protocol = Dbspinner_server.Protocol
+module Admission = Dbspinner_server.Admission
+module Metrics = Dbspinner_server.Metrics
+module Engine = Dbspinner.Engine
+module Catalog = Dbspinner_storage.Catalog
+module Options = Dbspinner_rewrite.Options
+module Queries = Dbspinner_workload.Queries
+module Loader = Dbspinner_workload.Loader
+module Graph_gen = Dbspinner_graph.Graph_gen
+
+let socket_path tag =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "dbspinner-test-%s-%d.sock" tag (Unix.getpid ()))
+
+let test_graph () = Graph_gen.power_law ~seed:11 ~num_nodes:120 ~edges_per_node:3
+
+(** Shared catalog preloaded with the test graph. *)
+let graph_catalog () =
+  let engine = Engine.create () in
+  Loader.load_graph engine (test_graph ());
+  Engine.catalog engine
+
+(* ------------------------------------------------------------------ *)
+(* Protocol units                                                      *)
+
+let test_framing_roundtrip () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close a;
+      Unix.close b)
+    (fun () ->
+      let payloads =
+        [ ""; "x"; "line one\nline two\n"; String.make 70_000 'q' ]
+      in
+      List.iter (fun p -> Protocol.write_frame a p) payloads;
+      List.iter
+        (fun expected ->
+          match Protocol.read_frame b with
+          | Some got ->
+            Alcotest.(check string) "frame payload survives" expected got
+          | None -> Alcotest.fail "unexpected EOF")
+        payloads;
+      (* Clean EOF at a frame boundary reads as None. *)
+      Unix.shutdown a Unix.SHUTDOWN_SEND;
+      Alcotest.(check bool) "EOF is None" true (Protocol.read_frame b = None))
+
+let test_request_roundtrip () =
+  let roundtrip req =
+    match Protocol.parse_request (Protocol.render_request req) with
+    | Ok got -> got = req
+    | Error _ -> false
+  in
+  Alcotest.(check bool) "query" true
+    (roundtrip (Protocol.Query "SELECT 1;\nSELECT 2"));
+  Alcotest.(check bool) "set" true (roundtrip (Protocol.Set ("deadline", "1.5")));
+  List.iter
+    (fun r -> Alcotest.(check bool) "verb" true (roundtrip r))
+    [ Protocol.Stats; Protocol.Trace; Protocol.Ping; Protocol.Quit;
+      Protocol.Shutdown ];
+  (match Protocol.parse_request "FROBNICATE" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown verb must not parse");
+  match Protocol.parse_request "QUERY\n  " with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty QUERY body must not parse"
+
+let test_read_only_classification () =
+  List.iter
+    (fun sql ->
+      Alcotest.(check bool) (sql ^ " is read-only") true (Protocol.read_only sql))
+    [
+      "SELECT 1";
+      "  select * from t;  ";
+      "WITH ITERATIVE x (n) AS (SELECT 0 ITERATE SELECT n FROM x UNTIL 2 \
+       ITERATIONS) SELECT n FROM x";
+      "EXPLAIN SELECT 1";
+      "VALUES (1)";
+      "SELECT 1; SELECT 2";
+    ];
+  List.iter
+    (fun sql ->
+      Alcotest.(check bool) (sql ^ " is a write") false (Protocol.read_only sql))
+    [
+      "INSERT INTO t VALUES (1)";
+      "SELECT 1; DROP TABLE t";
+      "CREATE TABLE t (a INT)";
+      "garbage";
+    ]
+
+let test_admission_unit () =
+  let adm = Admission.create ~limit:2 in
+  Alcotest.(check bool) "slot 1" true (Admission.try_acquire adm);
+  Alcotest.(check bool) "slot 2" true (Admission.try_acquire adm);
+  Alcotest.(check bool) "slot 3 rejected" false (Admission.try_acquire adm);
+  Alcotest.(check int) "rejection recorded" 1 (Admission.rejected adm);
+  Admission.release adm;
+  Alcotest.(check bool) "freed slot reusable" true (Admission.try_acquire adm);
+  Alcotest.(check int) "inflight" 2 (Admission.inflight adm)
+
+let test_metrics_render_parse () =
+  let m = Metrics.create () in
+  Metrics.session_opened m;
+  Metrics.query_done m ~ok:true ~seconds:0.010;
+  Metrics.query_done m ~ok:true ~seconds:0.020;
+  Metrics.query_done m ~ok:false ~seconds:0.500;
+  let adm = Admission.create ~limit:4 in
+  let kv = Metrics.parse (Metrics.render m ~admission:adm ~draining:false) in
+  let get k = List.assoc k kv in
+  Alcotest.(check string) "ok count" "2" (get "queries_ok");
+  Alcotest.(check string) "err count" "1" (get "queries_err");
+  Alcotest.(check string) "active" "1" (get "sessions_active");
+  Alcotest.(check string) "draining" "false" (get "draining");
+  let s = Metrics.snapshot m in
+  Alcotest.(check bool) "p99 >= p50" true
+    (s.Metrics.p99_seconds >= s.Metrics.p50_seconds)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end over the socket                                          *)
+
+let pr_sql = Queries.pr ~iterations:5 ()
+
+(** The reference answer, computed sequentially on a private engine
+    over the same graph. *)
+let sequential_reference () =
+  let engine = Loader.engine_for (test_graph ()) in
+  Dbspinner_storage.Relation.to_table_string (Engine.query engine pr_sql)
+
+let test_concurrent_sessions_bit_identical () =
+  let expected = sequential_reference () in
+  let config =
+    {
+      Server.default_config with
+      Server.socket_path = socket_path "concurrent";
+      max_inflight = 16;
+      workers = 4;
+    }
+  in
+  Server.with_server ~config ~catalog:(graph_catalog ()) (fun _srv ->
+      let n = 8 in
+      let results = Array.make n (Error ("unset", "never ran")) in
+      let threads =
+        List.init n (fun i ->
+            Thread.create
+              (fun () ->
+                results.(i) <-
+                  Client.with_client ~socket_path:config.Server.socket_path
+                    (fun c ->
+                      match Client.query c pr_sql with
+                      | Ok body -> Ok body
+                      | Error (s, m) -> Error (s, m)))
+              ())
+      in
+      List.iter Thread.join threads;
+      Array.iteri
+        (fun i result ->
+          match result with
+          | Ok body ->
+            Alcotest.(check string)
+              (Printf.sprintf "session %d bit-identical to sequential" i)
+              expected body
+          | Error (status, msg) ->
+            Alcotest.fail (Printf.sprintf "session %d: %s %s" i status msg))
+        results)
+
+let test_session_temp_isolation () =
+  (* Two sessions interleave statements that materialize CTE temps of
+     the same name over the shared catalog; a shared temp namespace
+     would make one session's result leak into the other. *)
+  let config =
+    { Server.default_config with Server.socket_path = socket_path "isolation" }
+  in
+  Server.with_server ~config ~catalog:(graph_catalog ()) (fun srv ->
+      Client.with_client ~socket_path:config.Server.socket_path (fun c1 ->
+          Client.with_client ~socket_path:config.Server.socket_path (fun c2 ->
+              let q tag n =
+                Printf.sprintf
+                  "WITH ITERATIVE PageRank (who, n) AS (SELECT '%s', 0 ITERATE \
+                   SELECT who, n + 1 FROM PageRank UNTIL %d ITERATIONS) SELECT \
+                   who, n FROM PageRank"
+                  tag n
+              in
+              let r1 = Client.query c1 (q "one" 3) in
+              let r2 = Client.query c2 (q "two" 7) in
+              (match r1 with
+              | Ok body ->
+                Alcotest.(check bool) "session 1 sees its own tag" true
+                  (Helpers.contains body "one")
+              | Error (s, m) -> Alcotest.fail (s ^ " " ^ m));
+              (match r2 with
+              | Ok body ->
+                Alcotest.(check bool) "session 2 sees its own tag" true
+                  (Helpers.contains body "two");
+                Alcotest.(check bool) "session 2 not polluted" false
+                  (Helpers.contains body "one")
+              | Error (s, m) -> Alcotest.fail (s ^ " " ^ m));
+              (* Temps never became shared base tables. *)
+              Alcotest.(check bool) "no temp leaked into base" false
+                (Catalog.mem_table (Server.catalog srv) "PageRank"))))
+
+let test_shared_base_ddl_visible () =
+  let config =
+    { Server.default_config with Server.socket_path = socket_path "ddl" }
+  in
+  Server.with_server ~config (fun _srv ->
+      Client.with_client ~socket_path:config.Server.socket_path (fun c1 ->
+          Client.with_client ~socket_path:config.Server.socket_path (fun c2 ->
+              (match
+                 Client.query c1
+                   "CREATE TABLE shared (a INT); INSERT INTO shared VALUES \
+                    (42)"
+               with
+              | Ok _ -> ()
+              | Error (s, m) -> Alcotest.fail (s ^ " " ^ m));
+              match Client.query c2 "SELECT a FROM shared" with
+              | Ok body ->
+                Alcotest.(check bool) "other session reads the row" true
+                  (Helpers.contains body "42")
+              | Error (s, m) -> Alcotest.fail (s ^ " " ^ m))))
+
+(** A query that loops long enough to still be running when we probe /
+    drain: a counting loop with a generous iteration bound. *)
+let slow_sql =
+  "WITH ITERATIVE spin (n) AS (SELECT 0 ITERATE SELECT n + 1 FROM spin UNTIL \
+   2000000 ITERATIONS) SELECT n FROM spin"
+
+let spin_options = { Options.default with Options.max_iterations_guard = 3_000_000 }
+
+(** Poll STATS through [client] until [pred kv] or timeout. *)
+let wait_for_stats client pred =
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec loop () =
+    let kv = Client.stats client in
+    if pred kv then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Thread.delay 0.02;
+      loop ()
+    end
+  in
+  loop ()
+
+let inflight_at_least n kv =
+  match List.assoc_opt "inflight" kv with
+  | Some v -> (match int_of_string_opt v with Some i -> i >= n | None -> false)
+  | None -> false
+
+let test_admission_rejects_overload () =
+  let config =
+    {
+      Server.default_config with
+      Server.socket_path = socket_path "busy";
+      max_inflight = 1;
+      workers = 2;
+      options = spin_options;
+    }
+  in
+  Server.with_server ~config (fun _srv ->
+      let slow_result = ref (Error ("unset", "")) in
+      let slow_thread =
+        Thread.create
+          (fun () ->
+            slow_result :=
+              Client.with_client ~socket_path:config.Server.socket_path
+                (fun c -> Client.query c slow_sql))
+          ()
+      in
+      Client.with_client ~socket_path:config.Server.socket_path (fun probe ->
+          Alcotest.(check bool) "slow query became in-flight" true
+            (wait_for_stats probe (inflight_at_least 1));
+          (* STATS and PING stay responsive at capacity... *)
+          Alcotest.(check bool) "ping at capacity" true (Client.ping probe);
+          (* ...but a query beyond max_inflight is rejected immediately. *)
+          match Client.query probe "SELECT 1" with
+          | Error ("BUSY", _) -> ()
+          | Ok _ -> Alcotest.fail "overload query must be rejected"
+          | Error (s, m) ->
+            Alcotest.fail (Printf.sprintf "expected BUSY, got %s %s" s m));
+      Thread.join slow_thread;
+      (* The slow query itself completed fine. *)
+      match !slow_result with
+      | Ok _ -> ()
+      | Error (s, m) ->
+        Alcotest.fail (Printf.sprintf "slow query failed: %s %s" s m))
+
+let test_drain_aborts_inflight_at_boundary () =
+  let config =
+    {
+      Server.default_config with
+      Server.socket_path = socket_path "drain";
+      max_inflight = 4;
+      workers = 2;
+      options = spin_options;
+    }
+  in
+  let srv = Server.start ~config () in
+  let slow_result = ref (Error ("unset", "")) in
+  let slow_thread =
+    Thread.create
+      (fun () ->
+        slow_result :=
+          Client.with_client ~socket_path:config.Server.socket_path (fun c ->
+              Client.query c slow_sql))
+      ()
+  in
+  Client.with_client ~socket_path:config.Server.socket_path (fun probe ->
+      Alcotest.(check bool) "spin query in flight" true
+        (wait_for_stats probe (inflight_at_least 1)));
+  (* Graceful shutdown: the in-flight loop must abort at an iteration
+     boundary with a Resource error mentioning the drain — not hang,
+     not die silently. *)
+  Server.shutdown srv;
+  Thread.join slow_thread;
+  (match !slow_result with
+  | Error (status, msg) ->
+    Alcotest.(check bool)
+      (Printf.sprintf "resource-stage drain error (got %s: %s)" status msg)
+      true
+      (Helpers.contains status "resource" && Helpers.contains msg "shutting down")
+  | Ok _ -> Alcotest.fail "in-flight query must be aborted by drain");
+  (* Fully shut down: socket gone, fresh connections refused. *)
+  Alcotest.(check bool) "socket file removed" false
+    (Sys.file_exists config.Server.socket_path);
+  match Client.connect ~socket_path:config.Server.socket_path with
+  | exception Unix.Unix_error _ -> ()
+  | c ->
+    Client.close c;
+    Alcotest.fail "connect after shutdown must fail"
+
+let test_closing_after_drain_starts () =
+  let config =
+    { Server.default_config with Server.socket_path = socket_path "closing" }
+  in
+  let srv = Server.start ~config () in
+  Client.with_client ~socket_path:config.Server.socket_path (fun c ->
+      (match Client.query c "SELECT 1" with
+      | Ok _ -> ()
+      | Error (s, m) -> Alcotest.fail (s ^ " " ^ m));
+      (* Trigger the drain from another thread while this session is
+         still connected; its next query must get CLOSING. *)
+      Server.request_shutdown srv;
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      let rec await_closing () =
+        match Client.query c "SELECT 1" with
+        | Error ("CLOSING", _) -> ()
+        | Ok _ when Unix.gettimeofday () < deadline ->
+          Thread.delay 0.02;
+          await_closing ()
+        | Ok _ -> Alcotest.fail "draining server kept accepting queries"
+        | Error (s, m) ->
+          (* The server may already have closed this session's socket:
+             that is a valid drain outcome too. *)
+          ignore (s, m)
+      in
+      (try await_closing () with End_of_file -> ()));
+  Server.wait srv
+
+let test_session_set_and_stats () =
+  let config =
+    { Server.default_config with Server.socket_path = socket_path "set" }
+  in
+  Server.with_server ~config (fun _srv ->
+      Client.with_client ~socket_path:config.Server.socket_path (fun c ->
+          (match Client.set c "budget" "10" with
+          | Ok _ -> ()
+          | Error m -> Alcotest.fail m);
+          (* The per-session row budget now aborts a too-large query on
+             this session... *)
+          (match Client.query c slow_sql with
+          | Error (status, _) ->
+            Alcotest.(check bool) "budget trips as resource error" true
+              (Helpers.contains status "resource")
+          | Ok _ -> Alcotest.fail "row budget must trip");
+          match Client.set c "nonsense" "on" with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "unknown option must be rejected"))
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "framing-roundtrip" `Quick test_framing_roundtrip;
+          Alcotest.test_case "request-roundtrip" `Quick test_request_roundtrip;
+          Alcotest.test_case "read-only-classification" `Quick
+            test_read_only_classification;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "unit" `Quick test_admission_unit;
+          Alcotest.test_case "metrics" `Quick test_metrics_render_parse;
+          Alcotest.test_case "rejects-overload" `Quick
+            test_admission_rejects_overload;
+        ] );
+      ( "sessions",
+        [
+          Alcotest.test_case "concurrent-bit-identical" `Quick
+            test_concurrent_sessions_bit_identical;
+          Alcotest.test_case "temp-isolation" `Quick test_session_temp_isolation;
+          Alcotest.test_case "shared-ddl" `Quick test_shared_base_ddl_visible;
+          Alcotest.test_case "set-options" `Quick test_session_set_and_stats;
+        ] );
+      ( "shutdown",
+        [
+          Alcotest.test_case "drain-aborts-at-boundary" `Quick
+            test_drain_aborts_inflight_at_boundary;
+          Alcotest.test_case "closing-after-drain" `Quick
+            test_closing_after_drain_starts;
+        ] );
+    ]

@@ -51,6 +51,50 @@ let test_lex_comments () =
     | exception Lexer.Lex_error _ -> true
     | _ -> false)
 
+let test_lex_int_range () =
+  (* max_int (2^62 - 1 on a 64-bit OCaml) still lexes exactly. *)
+  Alcotest.(check bool) "max_int is exact" true
+    (tokens (string_of_int max_int) = [ Token.Int_lit max_int; Token.Eof ]);
+  (* One past max_int must be a lex error, not a silent demotion to a
+     float literal (which would round away the low bits and make exact
+     Int/Float comparison moot). *)
+  let past_max = "4611686018427387904" in
+  (match Lexer.tokenize past_max with
+  | exception Lexer.Lex_error (msg, _, _) ->
+    Alcotest.(check bool) "message names the literal" true
+      (Helpers.contains msg past_max && Helpers.contains msg "out of range")
+  | _ -> Alcotest.fail "out-of-range int literal must not lex");
+  (* Well past the float-exact range too. *)
+  (match Lexer.tokenize "99999999999999999999999" with
+  | exception Lexer.Lex_error _ -> ()
+  | _ -> Alcotest.fail "huge int literal must not lex");
+  (* An explicit float spelling of the same magnitude stays legal. *)
+  Alcotest.(check bool) "float spelling is fine" true
+    (tokens (past_max ^ ".0") = [ Token.Float_lit 0x1p62; Token.Eof ])
+
+(* Parser-level: the lex error surfaces through the engine as a Parse
+   stage error, so a client sees a clear message instead of silently
+   wrong results. *)
+let test_parse_int_overflow_statement () =
+  let engine = Dbspinner.Engine.create () in
+  (match Dbspinner.Engine.execute engine "SELECT 4611686018427387904" with
+  | exception Dbspinner.Errors.Error (Dbspinner.Errors.Parse, msg) ->
+    Alcotest.(check bool) "parse-stage error" true
+      (Helpers.contains msg "out of range")
+  | _ -> Alcotest.fail "expected a parse error");
+  (* A negated in-range literal still works: '-' is a separate token,
+     so min_int itself is only reachable via arithmetic, not as one
+     literal. *)
+  match
+    Dbspinner.Engine.query engine
+      (Printf.sprintf "SELECT -%d" max_int)
+  with
+  | rel ->
+    Alcotest.check Helpers.value_testable "negated max_int"
+      (Helpers.vi (-max_int))
+      (Dbspinner_storage.Relation.rows rel).(0).(0)
+  | exception _ -> Alcotest.fail "negated in-range literal must evaluate"
+
 let test_lex_quoted_ident () =
   Alcotest.(check bool) "quoted identifier" true
     (tokens "\"weird name\"" = [ Token.Ident "weird name"; Token.Eof ]);
@@ -406,6 +450,9 @@ let () =
           Alcotest.test_case "basics" `Quick test_lex_basic;
           Alcotest.test_case "comments" `Quick test_lex_comments;
           Alcotest.test_case "quoted-idents" `Quick test_lex_quoted_ident;
+          Alcotest.test_case "int-range" `Quick test_lex_int_range;
+          Alcotest.test_case "int-overflow-statement" `Quick
+            test_parse_int_overflow_statement;
           Alcotest.test_case "positions" `Quick test_lex_positions;
         ] );
       ( "expressions",

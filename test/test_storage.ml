@@ -70,6 +70,57 @@ let test_value_arith () =
   Alcotest.(check_raises) "div by zero" Division_by_zero (fun () ->
       ignore (Value.div (vi 1) (vi 0)))
 
+(* Every zero divisor raises, whatever the operand types: the int and
+   float paths must agree instead of IEEE inf/nan leaking out of the
+   float side. *)
+let test_value_division_by_zero () =
+  let zeros = [ vi 0; vf 0.0; vf (-0.0) ] in
+  let numerators = [ vi 1; vi (-7); vf 1.0; vf (-2.5) ] in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun z ->
+          let label op =
+            Printf.sprintf "%s %s %s raises"
+              (Value.to_string n) op (Value.to_string z)
+          in
+          Alcotest.(check_raises) (label "/") Division_by_zero (fun () ->
+              ignore (Value.div n z));
+          Alcotest.(check_raises) (label "%") Division_by_zero (fun () ->
+              ignore (Value.modulo n z)))
+        zeros)
+    numerators;
+  (* NULL still wins over the zero check (SQL NULL propagation). *)
+  Alcotest.check value_testable "null / 0 is null" vnull
+    (Value.div vnull (vi 0));
+  Alcotest.check value_testable "1 / null is null" vnull
+    (Value.div (vi 1) vnull);
+  Alcotest.check value_testable "null % 0.0 is null" vnull
+    (Value.modulo vnull (vf 0.0));
+  (* Non-numeric operands keep reporting a type error, not div-by-zero. *)
+  match Value.div (vs "x") (vi 0) with
+  | exception Value.Type_error _ -> ()
+  | _ | (exception _) -> Alcotest.fail "string / 0 must be a type error"
+
+(* min_int / -1 and min_int mod -1 overflow the hardware divide in
+   native code; the special cases must fire before the [x mod y = 0]
+   guard ever evaluates. *)
+let test_value_min_int_overflow () =
+  (* OCaml native ints are 63-bit, so -min_int is exactly 2^62. *)
+  Alcotest.check value_testable "min_int / -1 promotes to float" (vf 0x1p62)
+    (Value.div (vi min_int) (vi (-1)));
+  Alcotest.check value_testable "min_int mod -1 is 0" (vi 0)
+    (Value.modulo (vi min_int) (vi (-1)));
+  (* Neighbouring cases stay on the exact integer path. *)
+  Alcotest.check value_testable "(min_int + 1) / -1" (vi max_int)
+    (Value.div (vi (min_int + 1)) (vi (-1)));
+  Alcotest.check value_testable "min_int / 1" (vi min_int)
+    (Value.div (vi min_int) (vi 1));
+  Alcotest.check value_testable "min_int / -2 exact" (vi (min_int / -2))
+    (Value.div (vi min_int) (vi (-2)));
+  Alcotest.check value_testable "max_int mod -1" (vi 0)
+    (Value.modulo (vi max_int) (vi (-1)))
+
 let test_value_type_errors () =
   (match Value.add (vs "x") (vi 1) with
   | exception Value.Type_error _ -> ()
@@ -362,6 +413,10 @@ let () =
             test_value_compare_int_float_boundary;
           Alcotest.test_case "hash-consistency" `Quick test_value_hash_consistent;
           Alcotest.test_case "arithmetic" `Quick test_value_arith;
+          Alcotest.test_case "division-by-zero" `Quick
+            test_value_division_by_zero;
+          Alcotest.test_case "min-int-overflow" `Quick
+            test_value_min_int_overflow;
           Alcotest.test_case "type-errors" `Quick test_value_type_errors;
           Alcotest.test_case "to-string" `Quick test_value_to_string;
         ] );
