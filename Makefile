@@ -6,7 +6,7 @@ DUNE ?= dune
 # Fixed seed so the property/fuzz suites are reproducible in CI.
 SMOKE_SEED ?= 42
 
-.PHONY: all build test fmt fmt-check smoke trace-smoke server-smoke bench-fast bench-cache check ci clean
+.PHONY: all build test fmt fmt-check smoke trace-smoke server-smoke durable-smoke bench-fast bench-cache check ci clean
 
 all: build
 
@@ -90,6 +90,17 @@ server-smoke: build
 	echo "server-smoke: clean shutdown"
 	$(DUNE) exec bench/main.exe -- ext-server --fast --json BENCH_server.json
 
+# Durability smoke: the full durable suite — framing/codec/snapshot/WAL
+# units, recovery invariants (torn tails discarded, corruption refused,
+# replay digests validated) and the chaos harness that SIGKILLs the
+# real server binary at seeded points mid-DML / mid-iterative-query /
+# mid-checkpoint and asserts recovery is bit-identical to a
+# never-crashed oracle. Finishes with the fast durability bench
+# (fsync-policy overhead + recovery time, BENCH_durable.json).
+durable-smoke: build
+	$(DUNE) exec test/test_durable.exe
+	$(DUNE) exec bench/main.exe -- ext-durable --fast --json BENCH_durable.json
+
 bench-fast: build
 	$(DUNE) exec bench/main.exe -- --fast
 
@@ -98,12 +109,13 @@ bench-fast: build
 bench-cache: build
 	$(DUNE) exec bench/main.exe -- ext-cache --json BENCH_cache.json
 
-check: build test fmt-check smoke trace-smoke server-smoke
+check: build test fmt-check smoke trace-smoke server-smoke durable-smoke
 
 # The minimal CI gate: compile, full test suite, formatting, trace
 # smoke (NDJSON + bench-record validation with the fault path traced),
-# and the end-to-end server smoke (boot, workload, graceful drain).
-ci: build test fmt-check trace-smoke server-smoke
+# the end-to-end server smoke (boot, workload, graceful drain), and
+# the durability smoke (crash recovery + chaos harness).
+ci: build test fmt-check trace-smoke server-smoke durable-smoke
 
 clean:
 	$(DUNE) clean

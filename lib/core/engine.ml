@@ -159,6 +159,7 @@ let compile_query t (q : Ast.full_query) : Program.t =
 let guards_of t : Dbspinner_exec.Guards.t =
   Dbspinner_exec.Guards.make
     ?deadline_seconds:t.options.Options.deadline_seconds
+    ?timeout_seconds:t.options.Options.statement_timeout_seconds
     ?row_budget:t.options.Options.row_budget ?interrupt:t.interrupt ()
 
 (** Chunk-parallel execution context from the session options ([None]

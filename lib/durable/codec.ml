@@ -1,0 +1,141 @@
+(** Serialization for durable payloads. Space-terminated tagged tokens;
+    strings are netstring-style ([S<len>:<bytes> ]) so any byte
+    sequence round-trips; floats use hex literals ([%h]) for bit-exact
+    round-trips (with [nan]/[inf]/[-inf] spelled out). *)
+
+module Value = Dbspinner_storage.Value
+module Column_type = Dbspinner_storage.Column_type
+
+exception Decode_error of string
+
+type cursor = { s : string; mutable pos : int }
+
+let cursor s = { s; pos = 0 }
+let remaining c = String.length c.s - c.pos
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Decode_error m)) fmt
+
+let expect_char c ch =
+  if c.pos >= String.length c.s then fail "unexpected end of payload";
+  let got = c.s.[c.pos] in
+  if got <> ch then fail "expected %C at offset %d, got %C" ch c.pos got;
+  c.pos <- c.pos + 1
+
+(** Read up to (and consume) the next space. *)
+let read_token c =
+  match String.index_from_opt c.s c.pos ' ' with
+  | None -> fail "unterminated token at offset %d" c.pos
+  | Some i ->
+    let tok = String.sub c.s c.pos (i - c.pos) in
+    c.pos <- i + 1;
+    tok
+
+let add_int buf i =
+  Buffer.add_string buf (string_of_int i);
+  Buffer.add_char buf ' '
+
+let read_int c =
+  let tok = read_token c in
+  match int_of_string_opt tok with
+  | Some i -> i
+  | None -> fail "expected integer, got %S" tok
+
+let add_string buf s =
+  Buffer.add_char buf 'S';
+  Buffer.add_string buf (string_of_int (String.length s));
+  Buffer.add_char buf ':';
+  Buffer.add_string buf s;
+  Buffer.add_char buf ' '
+
+let read_string c =
+  expect_char c 'S';
+  let colon =
+    match String.index_from_opt c.s c.pos ':' with
+    | Some i when i - c.pos <= 10 -> i
+    | _ -> fail "malformed string length at offset %d" c.pos
+  in
+  let len =
+    match int_of_string_opt (String.sub c.s c.pos (colon - c.pos)) with
+    | Some n when n >= 0 -> n
+    | _ -> fail "malformed string length at offset %d" c.pos
+  in
+  if colon + 1 + len > String.length c.s then
+    fail "string of %d bytes truncated at offset %d" len c.pos;
+  let s = String.sub c.s (colon + 1) len in
+  c.pos <- colon + 1 + len;
+  expect_char c ' ';
+  s
+
+let encode_float f =
+  if Float.is_nan f then "nan"
+  else if f = Float.infinity then "inf"
+  else if f = Float.neg_infinity then "-inf"
+  else Printf.sprintf "%h" f
+
+let decode_float tok =
+  match tok with
+  | "nan" -> Float.nan
+  | "inf" -> Float.infinity
+  | "-inf" -> Float.neg_infinity
+  | _ -> (
+    match float_of_string_opt tok with
+    | Some f -> f
+    | None -> fail "malformed float %S" tok)
+
+let add_value buf (v : Value.t) =
+  match v with
+  | Value.Null -> Buffer.add_string buf "N "
+  | Value.Int i ->
+    Buffer.add_char buf 'I';
+    add_int buf i
+  | Value.Float f ->
+    Buffer.add_char buf 'F';
+    Buffer.add_string buf (encode_float f);
+    Buffer.add_char buf ' '
+  | Value.Bool b -> Buffer.add_string buf (if b then "B1 " else "B0 ")
+  | Value.Str s ->
+    Buffer.add_char buf 'V';
+    add_string buf s
+
+let read_value c : Value.t =
+  if c.pos >= String.length c.s then fail "unexpected end of payload";
+  let tag = c.s.[c.pos] in
+  match tag with
+  | 'N' ->
+    c.pos <- c.pos + 1;
+    expect_char c ' ';
+    Value.Null
+  | 'I' ->
+    c.pos <- c.pos + 1;
+    Value.Int (read_int c)
+  | 'F' ->
+    c.pos <- c.pos + 1;
+    Value.Float (decode_float (read_token c))
+  | 'B' ->
+    c.pos <- c.pos + 1;
+    let tok = read_token c in
+    if tok = "1" then Value.Bool true
+    else if tok = "0" then Value.Bool false
+    else fail "malformed bool %S" tok
+  | 'V' ->
+    c.pos <- c.pos + 1;
+    Value.Str (read_string c)
+  | _ -> fail "unknown value tag %C at offset %d" tag c.pos
+
+let add_column_type buf (ty : Column_type.t) =
+  Buffer.add_string buf
+    (match ty with
+    | Column_type.T_int -> "i "
+    | Column_type.T_float -> "f "
+    | Column_type.T_string -> "s "
+    | Column_type.T_bool -> "b "
+    | Column_type.T_any -> "a ")
+
+let read_column_type c : Column_type.t =
+  match read_token c with
+  | "i" -> Column_type.T_int
+  | "f" -> Column_type.T_float
+  | "s" -> Column_type.T_string
+  | "b" -> Column_type.T_bool
+  | "a" -> Column_type.T_any
+  | tok -> fail "unknown column type %S" tok

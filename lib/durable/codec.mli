@@ -1,0 +1,27 @@
+(** Exact, human-inspectable serialization of values, rows and schemas
+    for snapshot and WAL payloads. Floats round-trip bit-exactly (hex
+    float literals), strings are length-prefixed so arbitrary bytes —
+    embedded newlines, quotes, NULs — survive. *)
+
+exception Decode_error of string
+
+type cursor
+
+val cursor : string -> cursor
+
+(** Bytes remaining after the cursor position. *)
+val remaining : cursor -> int
+
+val add_value : Buffer.t -> Dbspinner_storage.Value.t -> unit
+
+(** @raise Decode_error on malformed input. *)
+val read_value : cursor -> Dbspinner_storage.Value.t
+
+(** Length-prefixed string (safe for arbitrary bytes). *)
+val add_string : Buffer.t -> string -> unit
+
+val read_string : cursor -> string
+val add_int : Buffer.t -> int -> unit
+val read_int : cursor -> int
+val add_column_type : Buffer.t -> Dbspinner_storage.Column_type.t -> unit
+val read_column_type : cursor -> Dbspinner_storage.Column_type.t

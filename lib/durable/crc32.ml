@@ -1,0 +1,24 @@
+(** CRC-32 (IEEE 802.3 / zlib). Table-driven, one table computed on
+    first use. All intermediate values stay within 32 bits, so native
+    63-bit ints hold them exactly. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc bytes ofs len =
+  let table = Lazy.force table in
+  let crc = ref (crc lxor 0xffffffff) in
+  for i = ofs to ofs + len - 1 do
+    crc :=
+      table.((!crc lxor Char.code (Bytes.unsafe_get bytes i)) land 0xff)
+      lxor (!crc lsr 8)
+  done;
+  !crc lxor 0xffffffff
+
+let string s = update 0 (Bytes.unsafe_of_string s) 0 (String.length s)

@@ -1,0 +1,11 @@
+(** CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant): the
+    per-record checksum of the write-ahead log and snapshot files.
+    Pure OCaml, table-driven; values fit the 32-bit range of a native
+    int. *)
+
+(** [update crc bytes ofs len] folds a byte range into a running
+    checksum (start from [0]). *)
+val update : int -> Bytes.t -> int -> int -> int
+
+(** Checksum of a whole string. [string "123456789" = 0xCBF43926]. *)
+val string : string -> int

@@ -1,0 +1,295 @@
+module Catalog = Dbspinner_storage.Catalog
+
+exception Durability_error of string
+
+type policy = Wal.policy =
+  | Always
+  | Batch
+  | Off
+
+let policy_of_string = Wal.policy_of_string
+let policy_to_string = Wal.policy_to_string
+
+type recovery = {
+  fresh : bool;
+  snapshot_seq : int;
+  snapshot_tables : int;
+  wal_records_applied : int;
+  wal_bytes_total : int;
+  wal_bytes_discarded : int;
+  torn_tail : string option;
+}
+
+let render_recovery r =
+  if r.fresh then "recovery: fresh data directory, no state to recover"
+  else
+    Printf.sprintf
+      "recovery: snapshot seq=%d tables=%d; wal replayed=%d records \
+       (%d bytes)%s"
+      r.snapshot_seq r.snapshot_tables r.wal_records_applied
+      (r.wal_bytes_total - r.wal_bytes_discarded)
+      (match r.torn_tail with
+      | None -> ""
+      | Some m ->
+        Printf.sprintf "; discarded %d-byte torn tail (%s)" r.wal_bytes_discarded m)
+
+type counters = {
+  wal_records : int;
+  wal_bytes : int;
+  wal_fsyncs : int;
+  checkpoints : int;
+  ddl_events : int;
+}
+
+type t = {
+  dir : string;
+  pol : policy;
+  catalog : Catalog.t;
+  mutex : Mutex.t;
+  mutable wal : Wal.t;
+  mutable checkpoint_seq : int;
+  mutable next_stmt_seq : int;
+  mutable pending : int;  (** records since last checkpoint *)
+  mutable checkpoints : int;
+  mutable ddl_events : int;
+  (* totals carried over from rotated-out WALs *)
+  mutable records_base : int;
+  mutable bytes_base : int;
+  mutable fsyncs_base : int;
+  recovered : recovery;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Directory layout                                                    *)
+
+let snap_path dir seq = Filename.concat dir (Printf.sprintf "snapshot-%06d.snap" seq)
+let wal_path dir seq = Filename.concat dir (Printf.sprintf "wal-%06d.wal" seq)
+
+(** Parse [<prefix><digits><suffix>] into the digits. *)
+let parse_seq ~prefix ~suffix name =
+  let plen = String.length prefix and slen = String.length suffix in
+  let n = String.length name in
+  if
+    n > plen + slen
+    && String.sub name 0 plen = prefix
+    && String.sub name (n - slen) slen = suffix
+  then int_of_string_opt (String.sub name plen (n - plen - slen))
+  else None
+
+let list_seqs ~prefix ~suffix dir =
+  match Sys.readdir dir with
+  | entries ->
+    Array.to_list entries
+    |> List.filter_map (parse_seq ~prefix ~suffix)
+    |> List.sort compare
+  | exception Sys_error _ -> []
+
+let snapshot_seqs = list_seqs ~prefix:"snapshot-" ~suffix:".snap"
+let wal_seqs = list_seqs ~prefix:"wal-" ~suffix:".wal"
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let has_state ~dir =
+  Sys.file_exists dir && (snapshot_seqs dir <> [] || wal_seqs dir <> [])
+
+(** Delete snapshots/WALs older than [keep] plus any stale [.tmp]. *)
+let cleanup dir ~keep =
+  let rm p = try Sys.remove p with Sys_error _ -> () in
+  List.iter (fun s -> if s < keep then rm (snap_path dir s)) (snapshot_seqs dir);
+  List.iter (fun s -> if s < keep then rm (wal_path dir s)) (wal_seqs dir);
+  (match Sys.readdir dir with
+  | entries ->
+    Array.iter
+      (fun e ->
+        if Filename.check_suffix e ".tmp" then rm (Filename.concat dir e))
+      entries
+  | exception Sys_error _ -> ());
+  fsync_dir dir
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+
+let recover ~dir ~catalog ~replay =
+  match List.rev (snapshot_seqs dir) with
+  | [] ->
+    (match List.rev (wal_seqs dir) with
+    | w :: _ ->
+      raise
+        (Durability_error
+           (Printf.sprintf "%s: wal-%06d.wal present but no snapshot — refusing \
+                            to guess a base state"
+              dir w))
+    | [] ->
+      ( {
+          fresh = true;
+          snapshot_seq = -1;
+          snapshot_tables = 0;
+          wal_records_applied = 0;
+          wal_bytes_total = 0;
+          wal_bytes_discarded = 0;
+          torn_tail = None;
+        },
+        -1 ))
+  | k :: _ ->
+    let tables =
+      match Snapshot.load ~path:(snap_path dir k) with
+      | Ok (seq, tables) ->
+        if seq <> k then
+          raise
+            (Durability_error
+               (Printf.sprintf "%s: header seq %d disagrees with filename"
+                  (snap_path dir k) seq));
+        tables
+      | Error m -> raise (Durability_error ("snapshot damaged: " ^ m))
+    in
+    (* A WAL newer than the newest snapshot cannot arise from a crash
+       (the log is only ever created after its snapshot is published). *)
+    (match List.filter (fun s -> s > k) (wal_seqs dir) with
+    | s :: _ ->
+      raise
+        (Durability_error
+           (Printf.sprintf "wal-%06d.wal is newer than the newest snapshot \
+                            (seq %d) — data directory is inconsistent"
+              s k))
+    | [] -> ());
+    Snapshot.restore catalog tables;
+    let wscan = Wal.scan ~path:(wal_path dir k) in
+    (match wscan.Wal.tail with
+    | Frame.Corrupt m ->
+      raise (Durability_error (Printf.sprintf "wal-%06d.wal: %s" k m))
+    | Frame.Clean | Frame.Torn _ -> ());
+    let expected = ref 1 in
+    List.iter
+      (fun (r : Wal.record) ->
+        if r.Wal.seq <> !expected then
+          raise
+            (Durability_error
+               (Printf.sprintf "wal-%06d.wal: record seq %d where %d expected"
+                  k r.Wal.seq !expected));
+        incr expected;
+        replay r.Wal.sql;
+        let d = Catalog.base_digest catalog in
+        if d <> r.Wal.digest then
+          raise
+            (Durability_error
+               (Printf.sprintf
+                  "wal-%06d.wal: digest mismatch after replaying record %d — \
+                   replay did not reproduce the logged state"
+                  k r.Wal.seq)))
+      wscan.Wal.records;
+    ( {
+        fresh = false;
+        snapshot_seq = k;
+        snapshot_tables = List.length tables;
+        wal_records_applied = List.length wscan.Wal.records;
+        wal_bytes_total = wscan.Wal.total_bytes;
+        wal_bytes_discarded = wscan.Wal.total_bytes - wscan.Wal.valid_bytes;
+        torn_tail =
+          (match wscan.Wal.tail with
+          | Frame.Torn m -> Some m
+          | Frame.Clean | Frame.Corrupt _ -> None);
+      },
+      k )
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint / rotation                                               *)
+
+(** Publish snapshot-[seq], open wal-[seq], delete everything older.
+    Crash-safe at every point: the old snapshot+WAL pair stays intact
+    until the new snapshot has been fsynced and renamed into place. *)
+let rotate_locked t =
+  let seq = t.checkpoint_seq + 1 in
+  Snapshot.write ~path:(snap_path t.dir seq) ~seq t.catalog;
+  let nw = Wal.create ~path:(wal_path t.dir seq) ~policy:t.pol in
+  t.records_base <- t.records_base + Wal.records_written t.wal;
+  t.bytes_base <- t.bytes_base + Wal.bytes_written t.wal;
+  t.fsyncs_base <- t.fsyncs_base + Wal.fsyncs t.wal;
+  Wal.close t.wal;
+  t.wal <- nw;
+  t.checkpoint_seq <- seq;
+  t.next_stmt_seq <- 1;
+  t.pending <- 0;
+  t.checkpoints <- t.checkpoints + 1;
+  cleanup t.dir ~keep:seq
+
+let attach ~dir ~policy ~catalog ~replay =
+  mkdir_p dir;
+  let recovered, k = recover ~dir ~catalog ~replay in
+  (* Boot checkpoint: collapse snapshot+WAL into a fresh pair so every
+     run starts from an empty log (also captures pre-attach preloads). *)
+  let seq = k + 1 in
+  Snapshot.write ~path:(snap_path dir seq) ~seq catalog;
+  let wal = Wal.create ~path:(wal_path dir seq) ~policy in
+  cleanup dir ~keep:seq;
+  let t =
+    {
+      dir;
+      pol = policy;
+      catalog;
+      mutex = Mutex.create ();
+      wal;
+      checkpoint_seq = seq;
+      next_stmt_seq = 1;
+      pending = 0;
+      checkpoints = 1;
+      ddl_events = 0;
+      records_base = 0;
+      bytes_base = 0;
+      fsyncs_base = 0;
+      recovered;
+    }
+  in
+  Catalog.set_base_hook catalog
+    (Some
+       (fun _event ->
+         Mutex.protect t.mutex (fun () -> t.ddl_events <- t.ddl_events + 1)));
+  t
+
+let recovery t = t.recovered
+let policy t = t.pol
+
+let log_script t ~digest ~sql =
+  Mutex.protect t.mutex (fun () ->
+      let seq = t.next_stmt_seq in
+      t.next_stmt_seq <- seq + 1;
+      Wal.append t.wal { Wal.seq; digest; sql };
+      t.pending <- t.pending + 1)
+
+let pending_records t = Mutex.protect t.mutex (fun () -> t.pending)
+let checkpoint t = Mutex.protect t.mutex (fun () -> rotate_locked t)
+
+let tick t =
+  Mutex.protect t.mutex (fun () ->
+      match t.pol with
+      | Always -> ()
+      | Batch -> Wal.sync t.wal
+      | Off -> Wal.flush t.wal)
+
+let counters t =
+  Mutex.protect t.mutex (fun () ->
+      {
+        wal_records = t.records_base + Wal.records_written t.wal;
+        wal_bytes = t.bytes_base + Wal.bytes_written t.wal;
+        wal_fsyncs = t.fsyncs_base + Wal.fsyncs t.wal;
+        checkpoints = t.checkpoints;
+        ddl_events = t.ddl_events;
+      })
+
+let close t =
+  Mutex.protect t.mutex (fun () -> Wal.close t.wal);
+  Catalog.set_base_hook t.catalog None

@@ -1,0 +1,91 @@
+(** The durability manager: owns a data directory containing at most a
+    handful of files — [snapshot-%06d.snap] (atomic full-catalog
+    checkpoints) and [wal-%06d.wal] (the statement log since that
+    checkpoint) — and orchestrates recovery, logging and rotation.
+
+    Invariants:
+    - The snapshot with the highest sequence number is the recovery
+      root. It must load validly; a damaged newest snapshot is a hard
+      {!Durability_error}, never a silent fallback.
+    - Only the WAL whose sequence number {e equals} the chosen
+      snapshot's is replayed. A WAL {e newer} than the newest snapshot
+      is impossible in any crash schedule and is rejected as
+      corruption. Older leftovers are ignored and cleaned up.
+    - Replay re-executes each logged script and validates the
+      base-catalog digest after every record; a mismatch is a hard
+      error (the log no longer describes this snapshot).
+    - A torn WAL tail (partial final record — the signature of a crash
+      mid-append) is discarded and reported. Any other damage
+      (checksum/magic failure) is a hard error.
+    - Attach ends with a fresh checkpoint + log rotation, so every
+      boot starts from [snapshot-k] + empty [wal-k]. *)
+
+module Catalog = Dbspinner_storage.Catalog
+
+exception Durability_error of string
+
+type policy = Wal.policy =
+  | Always
+  | Batch
+  | Off
+
+val policy_of_string : string -> policy option
+val policy_to_string : policy -> string
+
+(** What recovery found and did, for operator-facing boot output. *)
+type recovery = {
+  fresh : bool;  (** no prior state existed *)
+  snapshot_seq : int;
+  snapshot_tables : int;
+  wal_records_applied : int;
+  wal_bytes_total : int;
+  wal_bytes_discarded : int;  (** torn-tail bytes dropped *)
+  torn_tail : string option;  (** why the tail was discarded, if it was *)
+}
+
+val render_recovery : recovery -> string
+
+type counters = {
+  wal_records : int;
+  wal_bytes : int;
+  wal_fsyncs : int;
+  checkpoints : int;
+  ddl_events : int;  (** base-table creates/drops seen via catalog hook *)
+}
+
+type t
+
+(** [true] iff [dir] already holds durable state (snapshot or WAL). *)
+val has_state : dir:string -> bool
+
+(** Recover [catalog] from [dir] (creating it if needed), then
+    checkpoint and rotate. [replay] must execute one logged script
+    against the catalog exactly as live execution would, swallowing
+    statement-level errors (they are deterministic and were already
+    reflected in the logged digest).
+    @raise Durability_error on unrecoverable damage. *)
+val attach :
+  dir:string -> policy:policy -> catalog:Catalog.t -> replay:(string -> unit) -> t
+
+val recovery : t -> recovery
+val policy : t -> policy
+
+(** Append one committed script to the WAL. [digest] is the
+    base-catalog digest observed after the script ran. Thread-safe. *)
+val log_script : t -> digest:int -> sql:string -> unit
+
+(** Records logged since the last checkpoint. *)
+val pending_records : t -> int
+
+(** Serialize the catalog, rotate the WAL, delete superseded files.
+    Caller must hold whatever lock makes the catalog quiescent. *)
+val checkpoint : t -> unit
+
+(** Background maintenance: push buffered WAL bytes toward disk
+    ([Batch]: fsync; [Off]: flush to kernel). Thread-safe. *)
+val tick : t -> unit
+
+val counters : t -> counters
+
+(** Final sync + close of the WAL. The data directory remains valid. *)
+val close : t -> unit

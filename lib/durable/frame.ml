@@ -1,0 +1,115 @@
+(** Record framing for durable files: [magic | length | crc | payload].
+    See the interface for the torn-vs-corrupt distinction the scanner
+    draws. *)
+
+let magic = "DBF1"
+let header_bytes = 12
+let max_payload_bytes = 256 * 1024 * 1024
+
+let encode payload =
+  let len = String.length payload in
+  if len > max_payload_bytes then
+    invalid_arg (Printf.sprintf "Frame.encode: %d-byte payload" len);
+  let b = Bytes.create (header_bytes + len) in
+  Bytes.blit_string magic 0 b 0 4;
+  Bytes.set_int32_le b 4 (Int32.of_int len);
+  Bytes.set_int32_le b 8 (Int32.of_int (Crc32.string payload));
+  Bytes.blit_string payload 0 b header_bytes len;
+  Bytes.unsafe_to_string b
+
+type tail =
+  | Clean
+  | Torn of string
+  | Corrupt of string
+
+type scan = {
+  payloads : string list;
+  valid_bytes : int;
+  total_bytes : int;
+  tail : tail;
+}
+
+let tail_to_string = function
+  | Clean -> "clean"
+  | Torn m -> "torn record: " ^ m
+  | Corrupt m -> "corrupt record: " ^ m
+
+let scan_string data =
+  let total = String.length data in
+  let rec loop pos acc =
+    if pos = total then
+      { payloads = List.rev acc; valid_bytes = pos; total_bytes = total;
+        tail = Clean }
+    else if total - pos < header_bytes then
+      {
+        payloads = List.rev acc;
+        valid_bytes = pos;
+        total_bytes = total;
+        tail =
+          Torn
+            (Printf.sprintf "partial %d-byte header at offset %d"
+               (total - pos) pos);
+      }
+    else if String.sub data pos 4 <> magic then
+      {
+        payloads = List.rev acc;
+        valid_bytes = pos;
+        total_bytes = total;
+        tail = Corrupt (Printf.sprintf "bad frame magic at offset %d" pos);
+      }
+    else
+      let len =
+        Int32.to_int
+          (Bytes.get_int32_le (Bytes.unsafe_of_string data) (pos + 4))
+      in
+      if len < 0 || len > max_payload_bytes then
+        {
+          payloads = List.rev acc;
+          valid_bytes = pos;
+          total_bytes = total;
+          tail =
+            Corrupt
+              (Printf.sprintf "implausible frame length %d at offset %d" len
+                 pos);
+        }
+      else if pos + header_bytes + len > total then
+        {
+          payloads = List.rev acc;
+          valid_bytes = pos;
+          total_bytes = total;
+          tail =
+            Torn
+              (Printf.sprintf
+                 "frame at offset %d needs %d payload bytes, file has %d" pos
+                 len
+                 (total - pos - header_bytes));
+        }
+      else
+        let crc =
+          Int32.to_int
+            (Bytes.get_int32_le (Bytes.unsafe_of_string data) (pos + 8))
+          land 0xffffffff
+        in
+        let payload = String.sub data (pos + header_bytes) len in
+        if Crc32.string payload <> crc then
+          {
+            payloads = List.rev acc;
+            valid_bytes = pos;
+            total_bytes = total;
+            tail =
+              Corrupt (Printf.sprintf "CRC mismatch at offset %d" pos);
+          }
+        else loop (pos + header_bytes + len) (payload :: acc)
+  in
+  loop 0 []
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let scan_file path =
+  if not (Sys.file_exists path) then
+    { payloads = []; valid_bytes = 0; total_bytes = 0; tail = Clean }
+  else scan_string (read_file path)

@@ -1,0 +1,40 @@
+(** On-disk record framing shared by the write-ahead log and snapshot
+    files: [magic(4) | payload-length(4, LE) | crc32(payload)(4, LE) |
+    payload]. A reader can always decide whether a file ends in a
+    complete record, a torn (partially written) record, or outright
+    corruption — the distinction recovery needs to make between "the
+    process died mid-append" and "the log is damaged". *)
+
+val magic : string
+val header_bytes : int
+
+(** Upper bound on a single frame payload (a malformed length field
+    must not make recovery allocate unbounded memory). *)
+val max_payload_bytes : int
+
+(** Serialize one payload as a framed record. *)
+val encode : string -> string
+
+(** How a scan ended. [Torn] means the file ends mid-record (expected
+    after a crash during an append — the prefix is intact). [Corrupt]
+    means bytes that can never be a record prefix: bad magic, an
+    implausible length, or a checksum mismatch. Either way nothing at
+    or after [valid_bytes] was returned as a payload. *)
+type tail =
+  | Clean
+  | Torn of string
+  | Corrupt of string
+
+type scan = {
+  payloads : string list;  (** complete, checksum-valid records, in order *)
+  valid_bytes : int;  (** prefix length covered by [payloads] *)
+  total_bytes : int;
+  tail : tail;
+}
+
+val scan_string : string -> scan
+
+(** Scan a whole file. Missing file = empty clean scan. *)
+val scan_file : string -> scan
+
+val tail_to_string : tail -> string

@@ -1,0 +1,226 @@
+(** Snapshot files: a framed sequence of records —
+    [DBSNAP <format> <seq> <ntables>] header, then per table a [TBL]
+    record (name, primary key, version, schema, row count) followed by
+    [ROWS] chunks, then an [END <ntables>] footer. Every frame is
+    CRC-checksummed by {!Frame}; a snapshot missing its footer (or
+    failing any checksum) is rejected as a whole — snapshots are
+    written atomically, so a damaged one means external corruption,
+    never a crash artifact. *)
+
+module Catalog = Dbspinner_storage.Catalog
+module Table = Dbspinner_storage.Table
+module Schema = Dbspinner_storage.Schema
+module Row = Dbspinner_storage.Row
+
+type table_data = {
+  name : string;
+  primary_key : string option;
+  version : int;
+  schema : (string * Dbspinner_storage.Column_type.t) list;
+  rows : Row.t list;
+}
+
+let format_version = 1
+let rows_per_chunk = 4096
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+
+let header_payload ~seq ~ntables =
+  let buf = Buffer.create 32 in
+  Codec.add_string buf "DBSNAP";
+  Codec.add_int buf format_version;
+  Codec.add_int buf seq;
+  Codec.add_int buf ntables;
+  Buffer.contents buf
+
+let table_payload (tbl : Table.t) =
+  let schema = Table.schema tbl in
+  let buf = Buffer.create 256 in
+  Codec.add_string buf "TBL";
+  Codec.add_string buf (Table.name tbl);
+  (match Table.primary_key tbl with
+  | None -> Codec.add_int buf 0
+  | Some i ->
+    Codec.add_int buf 1;
+    Codec.add_string buf (List.nth (Schema.column_names schema) i));
+  Codec.add_int buf (Table.version tbl);
+  Codec.add_int buf (Schema.arity schema);
+  Array.iter
+    (fun (c : Schema.column) ->
+      Codec.add_string buf c.Schema.name;
+      Codec.add_column_type buf c.Schema.ty)
+    schema;
+  Codec.add_int buf (Table.cardinality tbl);
+  Buffer.contents buf
+
+let rows_payload rows =
+  let buf = Buffer.create 4096 in
+  Codec.add_string buf "ROWS";
+  Codec.add_int buf (List.length rows);
+  List.iter (fun (row : Row.t) -> Array.iter (Codec.add_value buf) row) rows;
+  Buffer.contents buf
+
+let footer_payload ~ntables =
+  let buf = Buffer.create 16 in
+  Codec.add_string buf "END";
+  Codec.add_int buf ntables;
+  Buffer.contents buf
+
+let rec chunks n = function
+  | [] -> []
+  | rows ->
+    let rec take k acc rest =
+      match k, rest with
+      | 0, _ | _, [] -> (List.rev acc, rest)
+      | k, r :: rest -> take (k - 1) (r :: acc) rest
+    in
+    let chunk, rest = take n [] rows in
+    chunk :: chunks n rest
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let write ~path ~seq catalog =
+  let bindings =
+    Catalog.base_bindings catalog
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc (Frame.encode (header_payload ~seq ~ntables:(List.length bindings)));
+     List.iter
+       (fun (_, tbl) ->
+         output_string oc (Frame.encode (table_payload tbl));
+         List.iter
+           (fun chunk -> output_string oc (Frame.encode (rows_payload chunk)))
+           (chunks rows_per_chunk (Table.snapshot_rows tbl)))
+       bindings;
+     output_string oc (Frame.encode (footer_payload ~ntables:(List.length bindings)));
+     flush oc;
+     (* Data must be on disk before the rename publishes the file. *)
+     Unix.fsync (Unix.descr_of_out_channel oc);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path;
+  fsync_dir (Filename.dirname path)
+
+(* ------------------------------------------------------------------ *)
+(* Loading                                                             *)
+
+exception Bad of string
+
+let load ~path : (int * table_data list, string) result =
+  let scan = Frame.scan_file path in
+  match scan.Frame.tail with
+  | Frame.Torn m | Frame.Corrupt m ->
+    Error (Printf.sprintf "%s: %s" path m)
+  | Frame.Clean -> (
+    try
+      let frames = scan.Frame.payloads in
+      let expect_tag cur tag =
+        let got = Codec.read_string cur in
+        if got <> tag then raise (Bad (Printf.sprintf "expected %s record, got %s" tag got))
+      in
+      match frames with
+      | [] -> Error (Printf.sprintf "%s: empty snapshot" path)
+      | header :: rest ->
+        let cur = Codec.cursor header in
+        expect_tag cur "DBSNAP";
+        let fmt = Codec.read_int cur in
+        if fmt <> format_version then
+          raise (Bad (Printf.sprintf "unsupported snapshot format %d" fmt));
+        let seq = Codec.read_int cur in
+        let ntables = Codec.read_int cur in
+        let rec read_tables acc n frames =
+          if n = 0 then (List.rev acc, frames)
+          else
+            match frames with
+            | [] -> raise (Bad "snapshot ends before all tables were read")
+            | thdr :: frames ->
+              let cur = Codec.cursor thdr in
+              expect_tag cur "TBL";
+              let name = Codec.read_string cur in
+              let primary_key =
+                if Codec.read_int cur = 1 then Some (Codec.read_string cur)
+                else None
+              in
+              let version = Codec.read_int cur in
+              let ncols = Codec.read_int cur in
+              (* Explicit loops: Array.init/List.init do not guarantee
+                 the evaluation order a sequential reader needs. *)
+              let schema = ref [] in
+              for _ = 1 to ncols do
+                let cname = Codec.read_string cur in
+                let ty = Codec.read_column_type cur in
+                schema := (cname, ty) :: !schema
+              done;
+              let schema = List.rev !schema in
+              let nrows = Codec.read_int cur in
+              let rec read_rows acc remaining frames =
+                if remaining = 0 then (List.rev acc, frames)
+                else
+                  match frames with
+                  | [] -> raise (Bad "snapshot ends inside a table's rows")
+                  | chunk :: frames ->
+                    let cur = Codec.cursor chunk in
+                    expect_tag cur "ROWS";
+                    let count = Codec.read_int cur in
+                    if count > remaining then
+                      raise (Bad "row chunk exceeds declared cardinality");
+                    let acc = ref acc in
+                    for _ = 1 to count do
+                      let row =
+                        Array.make ncols Dbspinner_storage.Value.Null
+                      in
+                      for i = 0 to ncols - 1 do
+                        row.(i) <- Codec.read_value cur
+                      done;
+                      acc := row :: !acc
+                    done;
+                    read_rows !acc (remaining - count) frames
+              in
+              let rows, frames = read_rows [] nrows frames in
+              read_tables
+                ({ name; primary_key; version; schema; rows } :: acc)
+                (n - 1) frames
+        in
+        let tables, frames = read_tables [] ntables rest in
+        (match frames with
+        | [ footer ] ->
+          let cur = Codec.cursor footer in
+          expect_tag cur "END";
+          if Codec.read_int cur <> ntables then
+            raise (Bad "footer table count disagrees with header")
+        | [] -> raise (Bad "snapshot footer missing")
+        | _ -> raise (Bad "trailing frames after snapshot footer"));
+        Ok (seq, tables)
+    with
+    | Bad m -> Error (Printf.sprintf "%s: %s" path m)
+    | Codec.Decode_error m -> Error (Printf.sprintf "%s: %s" path m))
+
+let restore catalog tables =
+  List.iter
+    (fun t ->
+      let schema =
+        Dbspinner_storage.Schema.make
+          (List.map
+             (fun (name, ty) -> Dbspinner_storage.Schema.column ~ty name)
+             t.schema)
+      in
+      let tbl =
+        Catalog.create_table ?primary_key:t.primary_key catalog ~name:t.name
+          schema
+      in
+      Table.restore_rows tbl t.rows;
+      Table.set_version tbl t.version)
+    tables

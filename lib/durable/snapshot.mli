@@ -1,0 +1,29 @@
+(** Catalog snapshots: a full serialization of the shared base tables
+    (schema, primary key, mutation version, rows in storage order)
+    written atomically (tmp + fsync + rename), so a crash mid-checkpoint
+    can never damage the previous snapshot. Row order and table
+    versions are preserved exactly — recovery must reproduce a catalog
+    bit-identical to the one that was checkpointed. *)
+
+module Catalog = Dbspinner_storage.Catalog
+
+type table_data = {
+  name : string;
+  primary_key : string option;  (** column name *)
+  version : int;  (** mutation version at snapshot time *)
+  schema : (string * Dbspinner_storage.Column_type.t) list;
+  rows : Dbspinner_storage.Row.t list;  (** in storage order *)
+}
+
+(** Serialize every base table of [catalog] to [path], atomically.
+    [seq] is the checkpoint sequence number recorded in the header. *)
+val write : path:string -> seq:int -> Catalog.t -> unit
+
+(** Load and fully validate a snapshot file: every frame checksummed,
+    header/footer consistent. [Error reason] on any damage. *)
+val load : path:string -> (int * table_data list, string) result
+
+(** Recreate the loaded tables inside [catalog] (expected empty of
+    conflicting names), restoring rows, primary-key indexes and
+    mutation versions exactly. *)
+val restore : Catalog.t -> table_data list -> unit

@@ -1,0 +1,153 @@
+type policy =
+  | Always
+  | Batch
+  | Off
+
+let policy_of_string = function
+  | "always" -> Some Always
+  | "batch" -> Some Batch
+  | "off" -> Some Off
+  | _ -> None
+
+let policy_to_string = function
+  | Always -> "always"
+  | Batch -> "batch"
+  | Off -> "off"
+
+type record = { seq : int; digest : int; sql : string }
+
+type t = {
+  wal_path : string;
+  policy : policy;
+  fd : Unix.file_descr;
+  buf : Buffer.t;  (** user-space staging for [Off]; drained per append otherwise *)
+  mutable unsynced : bool;  (** kernel-buffered bytes not yet fsynced *)
+  mutable records_written : int;
+  mutable bytes_written : int;
+  mutable fsyncs : int;
+}
+
+let rec eintr_safe f = try f () with Unix.Unix_error (Unix.EINTR, _, _) -> eintr_safe f
+
+let create ~path ~policy =
+  let fd =
+    eintr_safe (fun () ->
+        Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644)
+  in
+  {
+    wal_path = path;
+    policy;
+    fd;
+    buf = Buffer.create 4096;
+    unsynced = false;
+    records_written = 0;
+    bytes_written = 0;
+    fsyncs = 0;
+  }
+
+let path t = t.wal_path
+
+let record_payload r =
+  let buf = Buffer.create (String.length r.sql + 32) in
+  Codec.add_string buf "STMT";
+  Codec.add_int buf r.seq;
+  Codec.add_int buf r.digest;
+  Codec.add_string buf r.sql;
+  Buffer.contents buf
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    let n = eintr_safe (fun () -> Unix.write fd b !off (len - !off)) in
+    off := !off + n
+  done
+
+let flush t =
+  if Buffer.length t.buf > 0 then begin
+    write_all t.fd (Buffer.contents t.buf);
+    Buffer.clear t.buf;
+    t.unsynced <- true
+  end
+
+let do_fsync t =
+  eintr_safe (fun () -> Unix.fsync t.fd);
+  t.fsyncs <- t.fsyncs + 1;
+  t.unsynced <- false
+
+let sync t =
+  flush t;
+  if t.unsynced then do_fsync t
+
+let append t r =
+  let framed = Frame.encode (record_payload r) in
+  t.records_written <- t.records_written + 1;
+  t.bytes_written <- t.bytes_written + String.length framed;
+  match t.policy with
+  | Off ->
+    Buffer.add_string t.buf framed;
+    (* Keep the user-space buffer bounded even in Off mode. *)
+    if Buffer.length t.buf >= 1 lsl 20 then flush t
+  | Batch ->
+    Buffer.add_string t.buf framed;
+    flush t
+  | Always ->
+    Buffer.add_string t.buf framed;
+    flush t;
+    do_fsync t
+
+let close t =
+  (try sync t with Unix.Unix_error _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let records_written t = t.records_written
+let bytes_written t = t.bytes_written
+let fsyncs t = t.fsyncs
+
+type scan = {
+  records : record list;
+  valid_bytes : int;
+  total_bytes : int;
+  tail : Frame.tail;
+}
+
+exception Bad_record of string
+
+let decode_record payload =
+  let cur = Codec.cursor payload in
+  let tag = Codec.read_string cur in
+  if tag <> "STMT" then raise (Bad_record (Printf.sprintf "unknown wal record %S" tag));
+  let seq = Codec.read_int cur in
+  let digest = Codec.read_int cur in
+  let sql = Codec.read_string cur in
+  if Codec.remaining cur <> 0 then raise (Bad_record "trailing bytes in wal record");
+  { seq; digest; sql }
+
+let scan ~path =
+  let fscan = Frame.scan_file path in
+  (* Decode payloads in order; a frame that passes its checksum but does
+     not parse as a record still poisons everything after it. *)
+  let rec decode acc = function
+    | [] -> (List.rev acc, None)
+    | p :: rest -> (
+      match decode_record p with
+      | r -> decode (r :: acc) rest
+      | exception (Bad_record m | Codec.Decode_error m) -> (List.rev acc, Some m))
+  in
+  let records, decode_err = decode [] fscan.Frame.payloads in
+  let tail =
+    match (fscan.Frame.tail, decode_err) with
+    | Frame.Clean, Some m -> Frame.Corrupt (Printf.sprintf "undecodable wal record: %s" m)
+    | t, Some m ->
+      (* Frame damage after an undecodable record: report the earlier problem. *)
+      ignore t;
+      Frame.Corrupt (Printf.sprintf "undecodable wal record: %s" m)
+    | t, None -> t
+  in
+  {
+    records;
+    valid_bytes = fscan.Frame.valid_bytes;
+    total_bytes = fscan.Frame.total_bytes;
+    tail;
+  }

@@ -1,0 +1,67 @@
+(** The write-ahead log: an append-only file of framed, CRC-checksummed
+    logical statement records. Each record carries the committed SQL
+    script plus the base-catalog mutation digest observed after it ran,
+    so replay can verify — statement by statement — that it reproduced
+    the exact pre-crash state.
+
+    Fsync policy decides what an acknowledged write survives:
+    - [Always]: fsync per record — survives OS/power crash.
+    - [Batch]: write(2) per record (the kernel has the bytes before the
+      client sees OK, so SIGKILL loses nothing), fsync on a background
+      tick — an OS crash may lose the last un-synced records.
+    - [Off]: records buffer in user space and flush opportunistically —
+      even a plain process kill may lose the buffered suffix. *)
+
+type policy =
+  | Always
+  | Batch
+  | Off
+
+val policy_of_string : string -> policy option
+val policy_to_string : policy -> string
+
+type record = {
+  seq : int;  (** monotonically increasing record number *)
+  digest : int;  (** {!Dbspinner_storage.Catalog.base_digest} after the script ran *)
+  sql : string;  (** the committed script, verbatim *)
+}
+
+type t
+
+(** Open (create or append to) a log file. *)
+val create : path:string -> policy:policy -> t
+
+val path : t -> string
+
+(** Append one record and apply the policy's per-record durability
+    step. Thread-compatible with {!tick} under the caller's lock. *)
+val append : t -> record -> unit
+
+(** Push user-space buffered bytes to the kernel (no fsync). *)
+val flush : t -> unit
+
+(** Flush, then fsync if any bytes were written since the last sync. *)
+val sync : t -> unit
+
+val close : t -> unit
+
+(** {2 Counters} *)
+
+val records_written : t -> int
+val bytes_written : t -> int
+val fsyncs : t -> int
+
+(** {2 Reading} *)
+
+type scan = {
+  records : record list;  (** valid, decodable prefix *)
+  valid_bytes : int;
+  total_bytes : int;
+  tail : Frame.tail;  (** [Clean], or why the rest was discarded *)
+}
+
+(** Scan a log file; never raises on damaged input — damage is
+    reported in [tail] and everything from the first bad byte on is
+    excluded from [records]. A checksum-valid frame whose payload does
+    not decode as a record also stops the scan (reported as corrupt). *)
+val scan : path:string -> scan

@@ -12,6 +12,13 @@ type t = {
   deadline : float option;
       (** absolute wall-clock time (Unix epoch seconds) after which
           execution aborts *)
+  timeout : float option;
+      (** absolute wall-clock statement timeout; distinct from
+          [deadline] so the two produce distinct error messages — a
+          session deadline covers the whole connection's work, the
+          statement timeout a single script. The server relies on it to
+          keep a wedged query from stalling the checkpointer or a
+          shutdown drain. *)
   row_budget : int option;
       (** maximum total rows the program may materialize *)
   interrupt : (unit -> string option) option;
@@ -21,17 +28,19 @@ type t = {
           boundary during shutdown. *)
 }
 
-let none = { deadline = None; row_budget = None; interrupt = None }
+let none = { deadline = None; timeout = None; row_budget = None; interrupt = None }
 
 let is_none t =
-  t.deadline = None && t.row_budget = None && Option.is_none t.interrupt
+  t.deadline = None && t.timeout = None && t.row_budget = None
+  && Option.is_none t.interrupt
 
-(** Build guards from relative knobs: [deadline_seconds] is measured
-    from now. *)
-let make ?deadline_seconds ?row_budget ?interrupt () =
+(** Build guards from relative knobs: [deadline_seconds] and
+    [timeout_seconds] are measured from now. *)
+let make ?deadline_seconds ?timeout_seconds ?row_budget ?interrupt () =
+  let now = Unix.gettimeofday () in
   {
-    deadline =
-      Option.map (fun s -> Unix.gettimeofday () +. s) deadline_seconds;
+    deadline = Option.map (fun s -> now +. s) deadline_seconds;
+    timeout = Option.map (fun s -> now +. s) timeout_seconds;
     row_budget;
     interrupt;
   }
@@ -55,6 +64,11 @@ let check t ~(stats : Stats.t) =
     error
       "row budget exhausted: %d rows materialized exceeds the %d-row budget"
       stats.Stats.rows_materialized budget
+  | _ -> ());
+  (match t.timeout with
+  | Some cutoff when Unix.gettimeofday () > cutoff ->
+    error "statement timeout after %d loop iterations"
+      stats.Stats.loop_iterations
   | _ -> ());
   match t.deadline with
   | Some deadline when Unix.gettimeofday () > deadline ->

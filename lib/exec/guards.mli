@@ -1,13 +1,18 @@
-(** Resource guards: wall-clock deadline, rows-materialized budget and
-    an external interrupt probe, checked at materialize and loop
-    boundaries by both executors. {!Errors.wrap} maps
-    {!Resource_exhausted} to the [Resource] error stage. *)
+(** Resource guards: wall-clock deadline, per-statement timeout,
+    rows-materialized budget and an external interrupt probe, checked
+    at materialize and loop boundaries by both executors.
+    {!Errors.wrap} maps {!Resource_exhausted} to the [Resource] error
+    stage. *)
 
 exception Resource_exhausted of string
 
 type t = {
   deadline : float option;
       (** absolute wall-clock time (Unix epoch seconds) *)
+  timeout : float option;
+      (** absolute statement timeout; like [deadline] but scoped to one
+          script and reported as "statement timeout" so callers can
+          tell a per-statement cutoff from the session deadline *)
   row_budget : int option;
       (** maximum total rows the program may materialize *)
   interrupt : (unit -> string option) option;
@@ -20,14 +25,15 @@ type t = {
 (** No limits. *)
 val none : t
 
-(** True when neither limit nor interrupt is set (checks are free to
+(** True when no limit nor interrupt is set (checks are free to
     skip). *)
 val is_none : t -> bool
 
-(** [make ?deadline_seconds ?row_budget ?interrupt ()] —
-    [deadline_seconds] is relative to now. *)
+(** [make ?deadline_seconds ?timeout_seconds ?row_budget ?interrupt ()]
+    — the time knobs are relative to now. *)
 val make :
   ?deadline_seconds:float ->
+  ?timeout_seconds:float ->
   ?row_budget:int ->
   ?interrupt:(unit -> string option) ->
   unit ->

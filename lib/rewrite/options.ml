@@ -25,6 +25,10 @@ type t = {
   deadline_seconds : float option;
       (** wall-clock budget per statement; crossing it raises a
           Resource-stage error at the next materialize or loop boundary *)
+  statement_timeout_seconds : float option;
+      (** per-script statement timeout, reported distinctly from the
+          deadline; the server uses it to keep a wedged query from
+          stalling its checkpointer or shutdown drain *)
   row_budget : int option;
       (** cap on total rows materialized per statement; same Resource
           surfacing as the deadline *)
@@ -57,6 +61,7 @@ let default =
     max_recursion = 10_000;
     max_iterations_guard = 100_000;
     deadline_seconds = None;
+    statement_timeout_seconds = None;
     row_budget = None;
     mpp_max_retries = 3;
     parallel_workers = 1;
@@ -84,12 +89,17 @@ let to_string t =
       | None -> ""
       | Some s -> Printf.sprintf " deadline=%gs" s
     in
+    let timeout =
+      match t.statement_timeout_seconds with
+      | None -> ""
+      | Some s -> Printf.sprintf " statement_timeout=%gs" s
+    in
     let budget =
       match t.row_budget with
       | None -> ""
       | Some n -> Printf.sprintf " row_budget=%d" n
     in
-    deadline ^ budget
+    deadline ^ timeout ^ budget
   in
   let parallel =
     if t.parallel_workers > 1 then

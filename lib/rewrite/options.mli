@@ -23,6 +23,10 @@ type t = {
   deadline_seconds : float option;
       (** wall-clock budget per statement; crossing it raises a
           Resource-stage error at the next materialize or loop boundary *)
+  statement_timeout_seconds : float option;
+      (** per-script statement timeout, reported distinctly from the
+          deadline ("statement timeout"); the server uses it to keep a
+          wedged query from stalling its checkpointer or drain *)
   row_budget : int option;
       (** cap on total rows materialized per statement *)
   mpp_max_retries : int;

@@ -26,16 +26,41 @@ let request t (req : Protocol.request) : Protocol.response =
   | Some payload -> Protocol.parse_response payload
   | None -> raise End_of_file
 
+(* Jitter source for backoff; lazy so clients that never retry never
+   pay for seeding. *)
+let jitter_state = lazy (Random.State.make_self_init ())
+
 (** Run a SQL script; [Ok rendered_results] or [Error (status, msg)]
     where status is the response's wire status ([ERR <stage>], [BUSY],
-    [CLOSING]). *)
-let query t sql : (string, string * string) result =
-  match request t (Protocol.Query sql) with
-  | Protocol.Ok_result body -> Ok body
-  | Protocol.Err (stage, msg) -> Error ("ERR " ^ stage, msg)
-  | Protocol.Busy msg -> Error ("BUSY", msg)
-  | Protocol.Closing msg -> Error ("CLOSING", msg)
-  | Protocol.Pong | Protocol.Bye -> Error ("protocol", "unexpected response")
+    [CLOSING]).
+
+    [retries] (default 0) re-sends the script after a [BUSY] rejection
+    up to that many times, sleeping a jittered exponential backoff
+    starting at [backoff_ms] (default 5). Only [BUSY] is retried: it is
+    the one response that promises the server did not execute anything.
+    The final rejection surfaces unchanged. *)
+let query ?(retries = 0) ?(backoff_ms = 5.0) t sql :
+    (string, string * string) result =
+  let rec go attempt =
+    match request t (Protocol.Query sql) with
+    | Protocol.Ok_result body -> Ok body
+    | Protocol.Err (stage, msg) -> Error ("ERR " ^ stage, msg)
+    | Protocol.Busy _ when attempt < retries ->
+      let jitter = 0.5 +. Random.State.float (Lazy.force jitter_state) 1.0 in
+      (* Cap the doubling at 250ms so a long retry budget degrades into
+         steady polling instead of second-long sleeps. *)
+      let delay_s =
+        Float.min 0.25
+          (backoff_ms *. (2.0 ** float_of_int (min attempt 16)) /. 1000.0)
+        *. jitter
+      in
+      Thread.delay delay_s;
+      go (attempt + 1)
+    | Protocol.Busy msg -> Error ("BUSY", msg)
+    | Protocol.Closing msg -> Error ("CLOSING", msg)
+    | Protocol.Pong | Protocol.Bye -> Error ("protocol", "unexpected response")
+  in
+  go 0
 
 let set t key value : (string, string) result =
   match request t (Protocol.Set (key, value)) with

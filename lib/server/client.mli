@@ -11,8 +11,18 @@ val close : t -> unit
 val request : t -> Protocol.request -> Protocol.response
 
 (** Run a SQL script; [Ok rendered_results] or [Error (status, msg)]
-    with status one of [ERR <stage>], [BUSY], [CLOSING]. *)
-val query : t -> string -> (string, string * string) result
+    with status one of [ERR <stage>], [BUSY], [CLOSING].
+
+    [retries] (default 0) re-sends after a [BUSY] rejection up to that
+    many times with jittered exponential backoff starting at
+    [backoff_ms] (default 5). Only [BUSY] is retried — the one response
+    that guarantees the server executed nothing. *)
+val query :
+  ?retries:int ->
+  ?backoff_ms:float ->
+  t ->
+  string ->
+  (string, string * string) result
 
 val set : t -> string -> string -> (string, string) result
 

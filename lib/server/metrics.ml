@@ -79,22 +79,24 @@ let snapshot t =
       })
 
 (** Render the [STATS] body: one [key value] pair per line, stable
-    keys, machine-parseable. *)
-let render t ~(admission : Admission.t) ~draining =
+    keys, machine-parseable. [extra] appends subsystem counters (e.g.
+    durability) without this module knowing their names. *)
+let render ?(extra = []) t ~(admission : Admission.t) ~draining =
   let s = snapshot t in
   String.concat "\n"
-    [
-      Printf.sprintf "sessions_total %d" s.sessions_total;
-      Printf.sprintf "sessions_active %d" s.sessions_active;
-      Printf.sprintf "queries_ok %d" s.queries_ok;
-      Printf.sprintf "queries_err %d" s.queries_err;
-      Printf.sprintf "rejected %d" (Admission.rejected admission);
-      Printf.sprintf "inflight %d" (Admission.inflight admission);
-      Printf.sprintf "max_inflight %d" (Admission.limit admission);
-      Printf.sprintf "p50_ms %.3f" (s.p50_seconds *. 1000.0);
-      Printf.sprintf "p99_ms %.3f" (s.p99_seconds *. 1000.0);
-      Printf.sprintf "draining %b" draining;
-    ]
+    ([
+       Printf.sprintf "sessions_total %d" s.sessions_total;
+       Printf.sprintf "sessions_active %d" s.sessions_active;
+       Printf.sprintf "queries_ok %d" s.queries_ok;
+       Printf.sprintf "queries_err %d" s.queries_err;
+       Printf.sprintf "rejected %d" (Admission.rejected admission);
+       Printf.sprintf "inflight %d" (Admission.inflight admission);
+       Printf.sprintf "max_inflight %d" (Admission.limit admission);
+       Printf.sprintf "p50_ms %.3f" (s.p50_seconds *. 1000.0);
+       Printf.sprintf "p99_ms %.3f" (s.p99_seconds *. 1000.0);
+       Printf.sprintf "draining %b" draining;
+     ]
+    @ List.map (fun (k, v) -> Printf.sprintf "%s %s" k v) extra)
 
 (** Parse a {!render}ed body back into an association list (client /
     test convenience). *)

@@ -21,8 +21,14 @@ type snapshot = {
 
 val snapshot : t -> snapshot
 
-(** The [STATS] body: one [key value] pair per line. *)
-val render : t -> admission:Admission.t -> draining:bool -> string
+(** The [STATS] body: one [key value] pair per line; [extra] appends
+    subsystem counters (e.g. durability) after the core keys. *)
+val render :
+  ?extra:(string * string) list ->
+  t ->
+  admission:Admission.t ->
+  draining:bool ->
+  string
 
 (** Parse a {!render}ed body into an association list. *)
 val parse : string -> (string * string) list

@@ -18,10 +18,16 @@ let max_frame_bytes = 16 * 1024 * 1024
 
 exception Protocol_error of string
 
+(** Retry a syscall interrupted by a signal: the server handles
+    SIGPIPE/shutdown signals, and a mid-[read] EINTR must not tear down
+    a healthy session. *)
+let rec eintr_safe f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> eintr_safe f
+
 let really_read fd buf ofs len =
   let read = ref 0 in
   while !read < len do
-    let n = Unix.read fd buf (ofs + !read) (len - !read) in
+    let n = eintr_safe (fun () -> Unix.read fd buf (ofs + !read) (len - !read)) in
     if n = 0 then raise End_of_file;
     read := !read + n
   done
@@ -31,7 +37,8 @@ let really_write fd s =
   let len = Bytes.length buf in
   let written = ref 0 in
   while !written < len do
-    written := !written + Unix.write fd buf !written (len - !written)
+    written :=
+      !written + eintr_safe (fun () -> Unix.write fd buf !written (len - !written))
   done
 
 let write_frame fd payload =
@@ -45,7 +52,7 @@ let read_frame fd : string option =
   let header = Buffer.create 12 in
   let byte = Bytes.create 1 in
   let rec read_header () =
-    match Unix.read fd byte 0 1 with
+    match eintr_safe (fun () -> Unix.read fd byte 0 1) with
     | 0 ->
       if Buffer.length header = 0 then None
       else raise End_of_file

@@ -31,6 +31,7 @@ module Errors = Dbspinner.Errors
 module Options = Dbspinner_rewrite.Options
 module Catalog = Dbspinner_storage.Catalog
 module Parallel = Dbspinner_exec.Parallel
+module Durable = Dbspinner_durable.Durable
 
 (* ------------------------------------------------------------------ *)
 (* Readers-writer lock (writer-preferring)                             *)
@@ -108,6 +109,13 @@ type config = {
   max_inflight : int;  (** concurrent executing queries (admission) *)
   workers : int;  (** Domain-pool size query work is submitted to *)
   options : Options.t;  (** per-session engine defaults *)
+  data_dir : string option;
+      (** durability root (snapshot + WAL); [None] = in-memory only *)
+  fsync : Durable.policy;  (** WAL fsync policy when [data_dir] is set *)
+  checkpoint_every : float;
+      (** seconds between background checkpoints (only taken when the
+          WAL has pending records); <= 0 checkpoints on every
+          maintenance tick that finds pending records *)
 }
 
 let default_config =
@@ -117,6 +125,9 @@ let default_config =
     max_inflight = 8;
     workers = 4;
     options = Options.default;
+    data_dir = None;
+    fsync = Durable.Batch;
+    checkpoint_every = 30.0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -130,8 +141,11 @@ type t = {
   metrics : Metrics.t;
   pool : Parallel.t;
   statement_lock : Rwlock.t;
+  durable : Durable.t option;
   draining : bool Atomic.t;
   mutable accept_thread : Thread.t option;
+  mutable maintenance_thread : Thread.t option;
+      (** periodic WAL sync + checkpointing; runs iff [durable] is set *)
   conn_lock : Mutex.t;
   conns : (int, Unix.file_descr) Hashtbl.t;  (** live session sockets *)
   mutable session_threads : Thread.t list;
@@ -144,12 +158,21 @@ type t = {
 let catalog t = t.catalog
 let draining t = Atomic.get t.draining
 
+(** What recovery found at boot, when running durably. *)
+let recovery t = Option.map Durable.recovery t.durable
+
 (* ------------------------------------------------------------------ *)
 (* Query execution                                                     *)
 
 let stage_of_exn = function
   | Errors.Error (stage, msg) -> (Errors.stage_name stage, msg)
   | e -> ("internal", Printexc.to_string e)
+
+let durable_error_message = function
+  | Durable.Durability_error m -> m
+  | Unix.Unix_error (err, call, arg) ->
+    Printf.sprintf "%s(%s): %s" call arg (Unix.error_message err)
+  | e -> Printexc.to_string e
 
 let exec_query srv session sql : Protocol.response =
   if Atomic.get srv.draining then
@@ -162,24 +185,56 @@ let exec_query srv session sql : Protocol.response =
     Fun.protect
       ~finally:(fun () -> Admission.release srv.admission)
       (fun () ->
-        Rwlock.with_lock srv.statement_lock ~read:(Protocol.read_only sql)
-          (fun () ->
+        let read = Protocol.read_only sql in
+        Rwlock.with_lock srv.statement_lock ~read (fun () ->
             let t0 = Unix.gettimeofday () in
-            match
+            (* Log-before-ack: the WAL append happens after execution
+               but before the response, still under the writer lock, so
+               a checkpoint can never slip between a mutation and its
+               log record. Failed scripts log too when they mutated
+               anything (partial DML before an error): replay is
+               deterministic, so re-running them recovers the exact
+               state. *)
+            let digest_before =
+              match srv.durable with
+              | Some _ when not read -> Catalog.base_digest srv.catalog
+              | _ -> 0
+            in
+            let log_if_changed () =
+              match srv.durable with
+              | Some d when not read ->
+                let digest = Catalog.base_digest srv.catalog in
+                if digest <> digest_before then
+                  Durable.log_script d ~digest ~sql
+              | _ -> ()
+            in
+            let outcome =
               (* The session thread parks here while a pool domain
                  does the CPU work. *)
-              Parallel.submit srv.pool (fun () ->
-                  Session.run_script session sql)
-            with
-            | body ->
-              Metrics.query_done srv.metrics ~ok:true
-                ~seconds:(Unix.gettimeofday () -. t0);
-              Protocol.Ok_result body
+              match
+                Parallel.submit srv.pool (fun () ->
+                    Session.run_script session sql)
+              with
+              | body -> Ok body
+              | exception e -> Error (stage_of_exn e)
+            in
+            match log_if_changed () with
             | exception e ->
+              (* The mutation happened but could not be made durable;
+                 the client must not see an OK it could lose. *)
               Metrics.query_done srv.metrics ~ok:false
                 ~seconds:(Unix.gettimeofday () -. t0);
-              let stage, msg = stage_of_exn e in
-              Protocol.Err (stage, msg)))
+              Protocol.Err ("durable", durable_error_message e)
+            | () -> (
+              match outcome with
+              | Ok body ->
+                Metrics.query_done srv.metrics ~ok:true
+                  ~seconds:(Unix.gettimeofday () -. t0);
+                Protocol.Ok_result body
+              | Error (stage, msg) ->
+                Metrics.query_done srv.metrics ~ok:false
+                  ~seconds:(Unix.gettimeofday () -. t0);
+                Protocol.Err (stage, msg))))
 
 (* ------------------------------------------------------------------ *)
 (* Session loop                                                        *)
@@ -193,8 +248,22 @@ let handle_request srv session (req : Protocol.request) : Protocol.response * bo
     | Ok confirmation -> (Protocol.Ok_result confirmation, true)
     | Error usage -> (Protocol.Err ("set", usage), true))
   | Protocol.Stats ->
+    let extra =
+      match srv.durable with
+      | None -> []
+      | Some d ->
+        let c = Durable.counters d in
+        [
+          ("fsync_policy", Durable.policy_to_string (Durable.policy d));
+          ("wal_records", string_of_int c.Durable.wal_records);
+          ("wal_bytes", string_of_int c.Durable.wal_bytes);
+          ("wal_fsyncs", string_of_int c.Durable.wal_fsyncs);
+          ("checkpoints", string_of_int c.Durable.checkpoints);
+          ("ddl_events", string_of_int c.Durable.ddl_events);
+        ]
+    in
     ( Protocol.Ok_result
-        (Metrics.render srv.metrics ~admission:srv.admission
+        (Metrics.render ~extra srv.metrics ~admission:srv.admission
            ~draining:(Atomic.get srv.draining)),
       true )
   | Protocol.Trace -> (Protocol.Ok_result (Session.trace_ndjson session), true)
@@ -252,18 +321,25 @@ let accept_loop srv () =
   let continue = ref true in
   while !continue do
     match Unix.accept srv.listen_fd with
-    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+    | exception
+        Unix.Unix_error
+          ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED), _, _) ->
       continue := false
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | fd, _ ->
       if Atomic.get srv.draining then begin
-        (* Late connector during shutdown: answer once, then close. *)
+        (* Late connector during shutdown: answer once, then close —
+           and exit the loop rather than re-entering [accept].
+           Re-entering would race [shutdown]'s close of the listening
+           socket: closing an fd does not wake a thread already
+           blocked in accept, and the join would hang forever. *)
         (try
            Protocol.write_frame fd
              (Protocol.render_response
                 (Protocol.Closing "server is shutting down"))
          with _ -> ());
-        (try Unix.close fd with Unix.Unix_error _ -> ())
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        continue := false
       end
       else begin
         Mutex.lock srv.conn_lock;
@@ -296,6 +372,33 @@ let accept_loop srv () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Durability maintenance                                              *)
+
+(** Background loop: push buffered WAL bytes toward disk every tick
+    ([Batch]'s periodic fsync) and checkpoint when the interval has
+    elapsed with records pending. The checkpoint takes the writer lock,
+    so it sees a quiescent catalog; the statement-timeout guard keeps a
+    wedged query from holding that lock forever. *)
+let maintenance_loop srv d () =
+  let last_checkpoint = ref (Unix.gettimeofday ()) in
+  while not (Atomic.get srv.draining) do
+    Thread.delay 0.05;
+    (try Durable.tick d
+     with e -> prerr_endline ("durable tick: " ^ durable_error_message e));
+    if
+      Unix.gettimeofday () -. !last_checkpoint >= srv.config.checkpoint_every
+      && Durable.pending_records d > 0
+      && not (Atomic.get srv.draining)
+    then begin
+      Rwlock.with_lock srv.statement_lock ~read:false (fun () ->
+          try Durable.checkpoint d
+          with e ->
+            prerr_endline ("durable checkpoint: " ^ durable_error_message e));
+      last_checkpoint := Unix.gettimeofday ()
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
 
 let start ?(config = default_config) ?catalog () : t =
@@ -303,6 +406,27 @@ let start ?(config = default_config) ?catalog () : t =
      process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
+  let catalog = match catalog with Some c -> c | None -> Catalog.create () in
+  (* Recover before the socket exists: no client can connect until the
+     catalog is fully rebuilt. Replay runs each logged script through a
+     throwaway session view exactly like live execution, swallowing
+     statement errors (they are deterministic and their partial effects
+     are part of the logged digest). *)
+  let durable =
+    match config.data_dir with
+    | None -> None
+    | Some dir ->
+      let replay sql =
+        let eng =
+          Engine.create ~options:config.options
+            ~catalog:(Catalog.with_shared_base catalog) ()
+        in
+        match Engine.execute_script eng sql with
+        | _ -> ()
+        | exception _ -> ()
+      in
+      Some (Durable.attach ~dir ~policy:config.fsync ~catalog ~replay)
+  in
   if Sys.file_exists config.socket_path then Sys.remove config.socket_path;
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen_fd (Unix.ADDR_UNIX config.socket_path);
@@ -311,13 +435,15 @@ let start ?(config = default_config) ?catalog () : t =
     {
       config;
       listen_fd;
-      catalog = (match catalog with Some c -> c | None -> Catalog.create ());
+      catalog;
       admission = Admission.create ~limit:config.max_inflight;
       metrics = Metrics.create ();
       pool = Parallel.get config.workers;
       statement_lock = Rwlock.create ();
+      durable;
       draining = Atomic.make false;
       accept_thread = None;
+      maintenance_thread = None;
       conn_lock = Mutex.create ();
       conns = Hashtbl.create 16;
       session_threads = [];
@@ -327,6 +453,10 @@ let start ?(config = default_config) ?catalog () : t =
     }
   in
   srv.accept_thread <- Some (Thread.create (accept_loop srv) ());
+  (match durable with
+  | Some d ->
+    srv.maintenance_thread <- Some (Thread.create (maintenance_loop srv d) ())
+  | None -> ());
   srv
 
 (** Graceful shutdown: stop admitting, let in-flight loops abort at
@@ -335,21 +465,26 @@ let start ?(config = default_config) ?catalog () : t =
     socket file. Idempotent. *)
 let shutdown srv =
   if not (Atomic.exchange srv.draining true) then begin
-    (* Wake the accept loop: it is parked in [accept], so poke it with
-       a throwaway connection (it answers CLOSING and closes), then
-       close the listening socket to make further accepts fail. *)
+    (* Wake the accept loop. shutdown(2) on the listening socket
+       reliably interrupts a blocked [accept] (unlike close(2), which
+       leaves an already-parked accept sleeping); the throwaway
+       connection is belt-and-braces for the instant between accepting
+       one connection and re-checking the draining flag. Only close
+       the fd once the thread is joined. *)
+    (try Unix.shutdown srv.listen_fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
     (try
        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
        (try Unix.connect fd (Unix.ADDR_UNIX srv.config.socket_path)
         with Unix.Unix_error _ -> ());
        Unix.close fd
      with Unix.Unix_error _ -> ());
-    (try Unix.close srv.listen_fd with Unix.Unix_error _ -> ());
     (match srv.accept_thread with
     | Some t ->
       Thread.join t;
       srv.accept_thread <- None
     | None -> ());
+    (try Unix.close srv.listen_fd with Unix.Unix_error _ -> ());
     (* Session threads drain on their own: in-flight statements abort
        at the next guard boundary and are answered with a Resource
        error; subsequent queries get CLOSING. Shut the read side of
@@ -366,6 +501,21 @@ let shutdown srv =
         with Unix.Unix_error _ -> ())
       fds;
     List.iter Thread.join threads;
+    (match srv.maintenance_thread with
+    | Some t ->
+      Thread.join t;
+      srv.maintenance_thread <- None
+    | None -> ());
+    (* Final checkpoint: collapse the WAL into a snapshot so the next
+       boot replays nothing, then close the log. *)
+    (match srv.durable with
+    | Some d -> (
+      try
+        if Durable.pending_records d > 0 then Durable.checkpoint d;
+        Durable.close d
+      with e ->
+        prerr_endline ("durable shutdown: " ^ durable_error_message e))
+    | None -> ());
     if Sys.file_exists srv.config.socket_path then
       Sys.remove srv.config.socket_path;
     let lock, cond, flag = srv.shutdown_done in

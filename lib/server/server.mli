@@ -16,6 +16,17 @@ type config = {
   max_inflight : int;  (** concurrent executing queries (admission) *)
   workers : int;  (** Domain-pool size query work is submitted to *)
   options : Dbspinner_rewrite.Options.t;  (** per-session defaults *)
+  data_dir : string option;
+      (** durability root (snapshot + WAL). When set, the server
+          recovers from it at start, logs every committed write before
+          acknowledging it, and checkpoints periodically. [None] = pure
+          in-memory operation (prior behavior). *)
+  fsync : Dbspinner_durable.Durable.policy;
+      (** WAL fsync policy when [data_dir] is set; see
+          {!Dbspinner_durable.Wal.policy} for what each mode survives *)
+  checkpoint_every : float;
+      (** seconds between background checkpoints; <= 0 checkpoints on
+          every maintenance tick that finds pending WAL records *)
 }
 
 val default_config : config
@@ -29,6 +40,10 @@ val start : ?config:config -> ?catalog:Dbspinner_storage.Catalog.t -> unit -> t
 
 val catalog : t -> Dbspinner_storage.Catalog.t
 val draining : t -> bool
+
+(** What recovery found at boot; [None] when running without a
+    [data_dir]. *)
+val recovery : t -> Dbspinner_durable.Durable.recovery option
 
 (** Graceful shutdown: stop admitting queries, abort in-flight loops
     at their next iteration boundary, answer every waiting client,

@@ -14,11 +14,20 @@ module Trace = Dbspinner_obs.Trace
 type t = {
   id : int;
   engine : Engine.t;
+  timeout_ceiling : float option;
+      (** server-configured statement timeout at session start; [SET
+          statement_timeout] may only tighten it — the server relies on
+          the ceiling to keep a wedged query from stalling its
+          checkpointer or shutdown drain *)
 }
 
 let create ~id ~options ~shared_catalog =
   let catalog = Catalog.with_shared_base shared_catalog in
-  { id; engine = Engine.create ~options ~catalog () }
+  {
+    id;
+    engine = Engine.create ~options ~catalog ();
+    timeout_ceiling = options.Options.statement_timeout_seconds;
+  }
 
 let id t = t.id
 let engine t = t.engine
@@ -72,6 +81,31 @@ let set t key value : (string, string) result =
         { options with Options.deadline_seconds = Some s };
       Ok (Printf.sprintf "deadline %gs" s)
     | false, _ -> Error "usage: SET deadline SECONDS|off")
+  | "statement_timeout" -> (
+    match (off, float_of_string_opt value) with
+    | true, _ -> (
+      match t.timeout_ceiling with
+      | None ->
+        Engine.set_options t.engine
+          { options with Options.statement_timeout_seconds = None };
+        Ok "statement_timeout off"
+      | Some ceiling ->
+        Error
+          (Printf.sprintf
+             "statement_timeout may only be tightened (server ceiling %gs)"
+             ceiling))
+    | false, Some s when s > 0.0 -> (
+      match t.timeout_ceiling with
+      | Some ceiling when s > ceiling ->
+        Error
+          (Printf.sprintf
+             "statement_timeout may only be tightened (server ceiling %gs)"
+             ceiling)
+      | _ ->
+        Engine.set_options t.engine
+          { options with Options.statement_timeout_seconds = Some s };
+        Ok (Printf.sprintf "statement_timeout %gs" s))
+    | false, _ -> Error "usage: SET statement_timeout SECONDS|off")
   | "budget" -> (
     match (off, int_of_string_opt value) with
     | true, _ ->
@@ -116,7 +150,7 @@ let set t key value : (string, string) result =
         Error
           (Printf.sprintf
              "unknown option %s \
-              (rename|common|pushdown|fold|cache|deadline|budget|workers|max_iterations|trace)"
+              (rename|common|pushdown|fold|cache|deadline|statement_timeout|budget|workers|max_iterations|trace)"
              key))
     | None -> Error (Printf.sprintf "SET %s expects on|off" key))
 

@@ -6,12 +6,19 @@
     binding in O(1) and releases any displaced entry — this is exactly
     the "rename" operator DBSpinner adds to the engine. *)
 
+type base_event =
+  | Created of string
+  | Dropped of string
+
 type t = {
   base : (string, Table.t) Hashtbl.t;
   temps : (string, Relation.t) Hashtbl.t;
   temp_gens : (string, int) Hashtbl.t;
       (** generation number per temp; fresh on every (re)bind, so the
           executor cache can tell iterations of the same name apart *)
+  base_hook : (base_event -> unit) option ref;
+      (** shared across all {!with_shared_base} views, like [base]
+          itself — DDL through any view reaches the one observer *)
   mutable generation_counter : int;
   mutable ddl_ops : int;  (** CREATE/DROP count, for baseline accounting *)
   mutable renames : int;
@@ -25,6 +32,7 @@ let create () =
     base = Hashtbl.create 16;
     temps = Hashtbl.create 16;
     temp_gens = Hashtbl.create 16;
+    base_hook = ref None;
     generation_counter = 0;
     ddl_ops = 0;
     renames = 0;
@@ -41,6 +49,7 @@ let with_shared_base parent =
     base = parent.base;
     temps = Hashtbl.create 16;
     temp_gens = Hashtbl.create 16;
+    base_hook = parent.base_hook;
     generation_counter = 0;
     ddl_ops = 0;
     renames = 0;
@@ -51,19 +60,28 @@ let key = String.lowercase_ascii
 (* ------------------------------------------------------------------ *)
 (* Base tables                                                         *)
 
+let fire_base_event t ev =
+  match !(t.base_hook) with
+  | Some hook -> hook ev
+  | None -> ()
+
+let set_base_hook t hook = t.base_hook := hook
+
 let create_table ?primary_key t ~name schema =
   let k = key name in
   if Hashtbl.mem t.base k then raise (Duplicate_table name);
   let table = Table.create ?primary_key ~name schema in
   Hashtbl.replace t.base k table;
   t.ddl_ops <- t.ddl_ops + 1;
+  fire_base_event t (Created name);
   table
 
 let drop_table t name =
   let k = key name in
   if not (Hashtbl.mem t.base k) then raise (Unknown_table name);
   Hashtbl.remove t.base k;
-  t.ddl_ops <- t.ddl_ops + 1
+  t.ddl_ops <- t.ddl_ops + 1;
+  fire_base_event t (Dropped name)
 
 let find_table t name =
   match Hashtbl.find_opt t.base (key name) with
@@ -85,6 +103,22 @@ let base_bindings t = Hashtbl.fold (fun k tbl acc -> (k, tbl) :: acc) t.base []
 let restore_base t bindings =
   Hashtbl.reset t.base;
   List.iter (fun (k, tbl) -> Hashtbl.replace t.base k tbl) bindings
+
+(** A cheap fingerprint of base-table mutation state: an FNV-1a fold
+    over the sorted (name, version, cardinality) triples. Any DML or
+    DDL against any base table changes it; reads never do. Versions are
+    monotonic, so states never repeat within a process lifetime. *)
+let base_digest t =
+  let fnv_prime = 0x100000001b3 in
+  let mix h v = (h lxor v) * fnv_prime land max_int in
+  Hashtbl.fold (fun k tbl acc -> (k, tbl) :: acc) t.base []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.fold_left
+       (fun h (k, tbl) ->
+         let h = mix h (Hashtbl.hash k) in
+         let h = mix h (Table.version tbl) in
+         mix h (Table.cardinality tbl))
+       0x3bf29ce484222325 (* FNV offset basis, truncated to OCaml's int *)
 
 (* ------------------------------------------------------------------ *)
 (* Intermediate results (temp lookup table)                            *)

@@ -5,6 +5,11 @@
 
 type t
 
+(** Base-table DDL notifications, for durability observers. *)
+type base_event =
+  | Created of string
+  | Dropped of string
+
 exception Unknown_table of string
 exception Duplicate_table of string
 
@@ -37,6 +42,17 @@ val base_bindings : t -> (string * Table.t) list
 (** Restore a {!base_bindings} snapshot: tables created since are
     dropped, dropped tables reappear. *)
 val restore_base : t -> (string * Table.t) list -> unit
+
+(** Install (or clear) the single base-DDL observer. The hook slot is
+    shared across all {!with_shared_base} views, like the base tables
+    themselves: DDL through any view reaches the observer. *)
+val set_base_hook : t -> (base_event -> unit) option -> unit
+
+(** A cheap fingerprint of base-table mutation state (a fold over the
+    sorted (name, version, cardinality) triples). Any committed DML or
+    DDL changes it; reads never do. Versions are monotonic, so a state
+    is never repeated within a process lifetime. *)
+val base_digest : t -> int
 
 (** {2 Intermediate results (temps)} *)
 

@@ -157,6 +157,10 @@ let restore_rows t rows =
     List.iter (fun (r : Row.t) -> Hashtbl.replace idx r.(k) ()) rows
   | _ -> ()
 
+(** Recovery-only: force the mutation counter so a restored table's
+    version matches its pre-crash value (WAL digests depend on it). *)
+let set_version t v = t.version <- v
+
 let replace_contents t (rel : Relation.t) =
   truncate t;
   Relation.iter (fun r -> insert t r) rel

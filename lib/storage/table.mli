@@ -53,3 +53,7 @@ val snapshot_rows : t -> Row.t list
 (** Restore a {!snapshot_rows} snapshot, rebuilding the primary-key
     index. *)
 val restore_rows : t -> Row.t list -> unit
+
+(** Recovery-only: force the mutation counter so a restored table
+    matches its pre-crash version (durability digests depend on it). *)
+val set_version : t -> int -> unit

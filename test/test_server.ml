@@ -51,6 +51,94 @@ let test_framing_roundtrip () =
       Unix.shutdown a Unix.SHUTDOWN_SEND;
       Alcotest.(check bool) "EOF is None" true (Protocol.read_frame b = None))
 
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let write_raw fd s =
+  let b = Bytes.of_string s in
+  let n = Unix.write fd b 0 (Bytes.length b) in
+  Alcotest.(check int) "raw bytes written" (Bytes.length b) n
+
+let test_framing_zero_length () =
+  with_socketpair (fun a b ->
+      Protocol.write_frame a "";
+      (match Protocol.read_frame b with
+      | Some "" -> ()
+      | Some other ->
+        Alcotest.fail (Printf.sprintf "expected empty payload, got %S" other)
+      | None -> Alcotest.fail "unexpected EOF");
+      (* The stream stays usable after an empty frame. *)
+      Protocol.write_frame a "next";
+      Alcotest.(check bool) "next frame survives" true
+        (Protocol.read_frame b = Some "next"))
+
+let test_framing_oversized_header () =
+  (* A declared length over the limit must be rejected before any
+     allocation of that size. *)
+  with_socketpair (fun a b ->
+      write_raw a (Printf.sprintf "%d\n" (Protocol.max_frame_bytes + 1));
+      match Protocol.read_frame b with
+      | exception Protocol.Protocol_error m ->
+        Alcotest.(check bool)
+          (Printf.sprintf "limit error mentions excess (%s)" m)
+          true
+          (Helpers.contains m "exceeds")
+      | _ -> Alcotest.fail "oversized frame header must raise")
+
+let test_framing_header_too_long () =
+  with_socketpair (fun a b ->
+      write_raw a "12345678901\n";
+      match Protocol.read_frame b with
+      | exception Protocol.Protocol_error _ -> ()
+      | _ -> Alcotest.fail ">10-digit header must raise")
+
+let test_framing_garbage_header () =
+  with_socketpair (fun a b ->
+      write_raw a "hello\n";
+      match Protocol.read_frame b with
+      | exception Protocol.Protocol_error m ->
+        Alcotest.(check bool)
+          (Printf.sprintf "names the bad byte (%s)" m)
+          true
+          (Helpers.contains m "invalid byte")
+      | _ -> Alcotest.fail "non-digit header must raise")
+
+let test_framing_peer_death_mid_frame () =
+  (* Death inside the header and inside the payload are distinct code
+     paths; both must surface as End_of_file, not hang or garbage. *)
+  with_socketpair (fun a b ->
+      write_raw a "123";
+      Unix.shutdown a Unix.SHUTDOWN_SEND;
+      match Protocol.read_frame b with
+      | exception End_of_file -> ()
+      | _ -> Alcotest.fail "death mid-header must raise End_of_file");
+  with_socketpair (fun a b ->
+      write_raw a "100\npartial payload";
+      Unix.shutdown a Unix.SHUTDOWN_SEND;
+      match Protocol.read_frame b with
+      | exception End_of_file -> ()
+      | _ -> Alcotest.fail "death mid-payload must raise End_of_file")
+
+let test_framing_exactly_max_bytes () =
+  (* The limit itself is legal. The payload dwarfs the socketpair
+     buffer, so a writer thread keeps the pipe moving while this thread
+     reads. *)
+  with_socketpair (fun a b ->
+      let payload = String.make Protocol.max_frame_bytes 'z' in
+      let writer = Thread.create (fun () -> Protocol.write_frame a payload) () in
+      (match Protocol.read_frame b with
+      | Some got ->
+        Alcotest.(check int) "full payload length" Protocol.max_frame_bytes
+          (String.length got);
+        Alcotest.(check bool) "payload intact" true (got = payload)
+      | None -> Alcotest.fail "unexpected EOF");
+      Thread.join writer)
+
 let test_request_roundtrip () =
   let roundtrip req =
     match Protocol.parse_request (Protocol.render_request req) with
@@ -289,6 +377,91 @@ let test_admission_rejects_overload () =
       | Error (s, m) ->
         Alcotest.fail (Printf.sprintf "slow query failed: %s %s" s m))
 
+let test_busy_retry_eventually_succeeds () =
+  (* With retries enabled, a client squeezed out by admission control
+     backs off and lands once the slot frees — the bench harness uses
+     this for goodput under overload. *)
+  let config =
+    {
+      Server.default_config with
+      Server.socket_path = socket_path "retry";
+      max_inflight = 1;
+      workers = 2;
+      options = spin_options;
+    }
+  in
+  let spin_short =
+    "WITH ITERATIVE spin (n) AS (SELECT 0 ITERATE SELECT n + 1 FROM spin \
+     UNTIL 150000 ITERATIONS) SELECT n FROM spin"
+  in
+  Server.with_server ~config (fun _srv ->
+      let slow_result = ref (Error ("unset", "")) in
+      let slow_thread =
+        Thread.create
+          (fun () ->
+            slow_result :=
+              Client.with_client ~socket_path:config.Server.socket_path
+                (fun c -> Client.query c spin_short))
+          ()
+      in
+      Client.with_client ~socket_path:config.Server.socket_path (fun probe ->
+          Alcotest.(check bool) "spin in flight" true
+            (wait_for_stats probe (inflight_at_least 1));
+          (* Without retries: immediate BUSY. *)
+          (match Client.query probe "SELECT 1" with
+          | Error ("BUSY", _) -> ()
+          | Ok _ -> Alcotest.fail "no-retry query must be rejected"
+          | Error (s, m) ->
+            Alcotest.fail (Printf.sprintf "expected BUSY, got %s %s" s m));
+          (* With retries: backs off until the slot frees. *)
+          match Client.query ~retries:200 ~backoff_ms:2.0 probe "SELECT 1" with
+          | Ok _ -> ()
+          | Error (s, m) ->
+            Alcotest.fail (Printf.sprintf "retrying query failed: %s %s" s m));
+      Thread.join slow_thread;
+      match !slow_result with
+      | Ok _ -> ()
+      | Error (s, m) ->
+        Alcotest.fail (Printf.sprintf "slow query failed: %s %s" s m))
+
+let test_statement_timeout_guard () =
+  (* A server-wide statement timeout aborts a wedged query with a
+     distinct error, and sessions may only tighten the ceiling. *)
+  let config =
+    {
+      Server.default_config with
+      Server.socket_path = socket_path "stmt-timeout";
+      options =
+        {
+          spin_options with
+          Options.statement_timeout_seconds = Some 0.2;
+        };
+    }
+  in
+  Server.with_server ~config (fun _srv ->
+      Client.with_client ~socket_path:config.Server.socket_path (fun c ->
+          (match Client.query c slow_sql with
+          | Error (status, msg) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "statement timeout error (got %s: %s)" status msg)
+              true
+              (Helpers.contains status "resource"
+              && Helpers.contains msg "statement timeout")
+          | Ok _ -> Alcotest.fail "wedged query must time out");
+          (* Loosening beyond the server ceiling is refused... *)
+          (match Client.set c "statement_timeout" "30" with
+          | Error m ->
+            Alcotest.(check bool) "refusal names the ceiling" true
+              (Helpers.contains m "ceiling")
+          | Ok _ -> Alcotest.fail "loosening past the ceiling must fail");
+          (match Client.set c "statement_timeout" "off" with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "disabling past the ceiling must fail");
+          (* ...tightening is allowed. *)
+          match Client.set c "statement_timeout" "0.05" with
+          | Ok _ -> ()
+          | Error m -> Alcotest.fail m))
+
 let test_drain_aborts_inflight_at_boundary () =
   let config =
     {
@@ -387,6 +560,18 @@ let () =
       ( "protocol",
         [
           Alcotest.test_case "framing-roundtrip" `Quick test_framing_roundtrip;
+          Alcotest.test_case "framing-zero-length" `Quick
+            test_framing_zero_length;
+          Alcotest.test_case "framing-oversized-header" `Quick
+            test_framing_oversized_header;
+          Alcotest.test_case "framing-header-too-long" `Quick
+            test_framing_header_too_long;
+          Alcotest.test_case "framing-garbage-header" `Quick
+            test_framing_garbage_header;
+          Alcotest.test_case "framing-peer-death-mid-frame" `Quick
+            test_framing_peer_death_mid_frame;
+          Alcotest.test_case "framing-exactly-max-bytes" `Quick
+            test_framing_exactly_max_bytes;
           Alcotest.test_case "request-roundtrip" `Quick test_request_roundtrip;
           Alcotest.test_case "read-only-classification" `Quick
             test_read_only_classification;
@@ -397,6 +582,8 @@ let () =
           Alcotest.test_case "metrics" `Quick test_metrics_render_parse;
           Alcotest.test_case "rejects-overload" `Quick
             test_admission_rejects_overload;
+          Alcotest.test_case "busy-retry" `Quick
+            test_busy_retry_eventually_succeeds;
         ] );
       ( "sessions",
         [
@@ -405,6 +592,8 @@ let () =
           Alcotest.test_case "temp-isolation" `Quick test_session_temp_isolation;
           Alcotest.test_case "shared-ddl" `Quick test_shared_base_ddl_visible;
           Alcotest.test_case "set-options" `Quick test_session_set_and_stats;
+          Alcotest.test_case "statement-timeout" `Quick
+            test_statement_timeout_guard;
         ] );
       ( "shutdown",
         [
