@@ -6,7 +6,7 @@ DUNE ?= dune
 # Fixed seed so the property/fuzz suites are reproducible in CI.
 SMOKE_SEED ?= 42
 
-.PHONY: all build test fmt fmt-check smoke trace-smoke server-smoke durable-smoke bench-fast bench-cache check ci clean
+.PHONY: all build test fmt fmt-check smoke trace-smoke server-smoke durable-smoke delta-smoke bench-fast bench-cache check ci clean
 
 all: build
 
@@ -101,6 +101,17 @@ durable-smoke: build
 	$(DUNE) exec test/test_durable.exe
 	$(DUNE) exec bench/main.exe -- ext-durable --fast --json BENCH_durable.json
 
+# Delta smoke: the semi-naive suite (eligibility, first-iteration and
+# empty-delta protocol, fallback on ineligible keys, cross-executor
+# agreement, and the delta-on vs delta-off property under a fixed
+# seed), then the fast delta bench, which re-checks on/off equivalence
+# across sequential / traced / parallel / cached / distributed runs
+# and writes BENCH_delta.json (per-iteration on/off timings for SSSP
+# and friends-forecast) for CI trend tracking.
+delta-smoke: build
+	QCHECK_SEED=$(SMOKE_SEED) $(DUNE) exec test/test_delta.exe
+	$(DUNE) exec bench/main.exe -- ext-delta --fast --json BENCH_delta.json
+
 bench-fast: build
 	$(DUNE) exec bench/main.exe -- --fast
 
@@ -109,13 +120,14 @@ bench-fast: build
 bench-cache: build
 	$(DUNE) exec bench/main.exe -- ext-cache --json BENCH_cache.json
 
-check: build test fmt-check smoke trace-smoke server-smoke durable-smoke
+check: build test fmt-check smoke trace-smoke server-smoke durable-smoke delta-smoke
 
 # The minimal CI gate: compile, full test suite, formatting, trace
 # smoke (NDJSON + bench-record validation with the fault path traced),
-# the end-to-end server smoke (boot, workload, graceful drain), and
-# the durability smoke (crash recovery + chaos harness).
-ci: build test fmt-check trace-smoke server-smoke durable-smoke
+# the end-to-end server smoke (boot, workload, graceful drain), the
+# durability smoke (crash recovery + chaos harness), and the delta
+# smoke (semi-naive on/off equivalence + bench records).
+ci: build test fmt-check trace-smoke server-smoke durable-smoke delta-smoke
 
 clean:
 	$(DUNE) clean

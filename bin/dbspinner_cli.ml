@@ -13,7 +13,7 @@
                               pokec-like, webgoogle-like) into edges /
                               vertexStatus
      \set OPTION on|off       toggle rename | common | pushdown | fold |
-                              exec_cache
+                              exec_cache | delta
      \set trace on|off        emit NDJSON trace events to stdout
      \set deadline SECS|off   wall-clock budget per statement
      \set budget ROWS|off     rows-materialized budget per statement
@@ -134,6 +134,7 @@ let set_option engine key enabled =
     | "fold" -> Some { options with Options.use_constant_folding = enabled }
     | "exec_cache" | "cache" ->
       Some { options with Options.use_exec_cache = enabled }
+    | "delta" -> Some { options with Options.use_delta = enabled }
     | _ -> None
   in
   match options with
@@ -141,8 +142,8 @@ let set_option engine key enabled =
     Engine.set_options engine options;
     Printf.printf "set %s = %b\n" key enabled
   | None ->
-    Printf.printf "unknown option %s (rename|common|pushdown|fold|exec_cache)\n"
-      key
+    Printf.printf
+      "unknown option %s (rename|common|pushdown|fold|exec_cache|delta)\n" key
 
 (** Resource-guard and recovery knobs: [\set deadline SECS|off],
     [\set budget ROWS|off], [\set retries N]. *)
@@ -236,23 +237,27 @@ let handle_meta engine sink line =
   | _ ->
     print_endline
       "meta-commands: \\dt  \\load TABLE FILE  \\gen NAME [SCALE]  \\set OPT \
-       on|off (rename|common|pushdown|fold|exec_cache)  \\set trace on|off  \
-       \\set deadline SECS|off  \\set budget ROWS|off  \\set retries N  \\set \
-       workers N  \\set chunk ROWS  \\options  \\q";
+       on|off (rename|common|pushdown|fold|exec_cache|delta)  \\set trace \
+       on|off  \\set deadline SECS|off  \\set budget ROWS|off  \\set retries \
+       N  \\set workers N  \\set chunk ROWS  \\options  \\q";
     `Continue
 
 (** Session options for a CLI invocation: [--workers N] sets the
     Domain-pool size for chunk-parallel operators; [--no-exec-cache]
-    disables the iteration-aware executor cache. *)
-let options_of_workers workers no_cache =
+    disables the iteration-aware executor cache; [--no-delta] disables
+    semi-naive (delta-driven) iterative evaluation. *)
+let options_of_workers workers no_cache no_delta =
   {
     Options.default with
     Options.parallel_workers = max 1 workers;
     use_exec_cache = not no_cache;
+    use_delta = not no_delta;
   }
 
-let repl workers no_cache trace_dest =
-  let engine = Engine.create ~options:(options_of_workers workers no_cache) () in
+let repl workers no_cache no_delta trace_dest =
+  let engine =
+    Engine.create ~options:(options_of_workers workers no_cache no_delta) ()
+  in
   let sink = ref (Option.map (make_trace_sink engine) trace_dest) in
   print_endline "dbspinner shell — SQL with WITH ITERATIVE support.";
   print_endline "Type \\gen dblp-like 0.2 to load a sample graph; \\q to quit.";
@@ -281,10 +286,12 @@ let repl workers no_cache trace_dest =
   loop ();
   0
 
-let run_file workers no_cache trace_dest path =
+let run_file workers no_cache no_delta trace_dest path =
   match In_channel.with_open_text path In_channel.input_all with
   | sql ->
-    let engine = Engine.create ~options:(options_of_workers workers no_cache) () in
+    let engine =
+      Engine.create ~options:(options_of_workers workers no_cache no_delta) ()
+    in
     let sink = Option.map (make_trace_sink engine) trace_dest in
     (match Engine.execute_script engine sql with
     | results ->
@@ -299,8 +306,10 @@ let run_file workers no_cache trace_dest path =
     Printf.eprintf "%s\n" msg;
     1
 
-let demo workers no_cache trace_dest =
-  let engine = Engine.create ~options:(options_of_workers workers no_cache) () in
+let demo workers no_cache no_delta trace_dest =
+  let engine =
+    Engine.create ~options:(options_of_workers workers no_cache no_delta) ()
+  in
   let sink = Option.map (make_trace_sink engine) trace_dest in
   generate engine "dblp-like" 0.25;
   print_endline "\n== PageRank (10 iterations), top 5 ==";
@@ -499,6 +508,16 @@ let no_cache_arg =
            join-build reuse and compiled expressions). Results are \
            identical either way; use for perf comparisons.")
 
+let no_delta_arg =
+  Arg.(
+    value & flag
+    & info [ "no-delta" ]
+        ~doc:
+          "Disable semi-naive (delta-driven) iterative evaluation: every \
+           loop iteration re-evaluates its body over the whole CTE instead \
+           of only the keys affected by the last iteration's changes. \
+           Results are identical either way; use for perf comparisons.")
+
 let trace_arg =
   Arg.(
     value
@@ -512,17 +531,19 @@ let trace_arg =
 
 let repl_cmd =
   Cmd.v (Cmd.info "repl" ~doc:"Interactive SQL shell")
-    Term.(const repl $ workers_arg $ no_cache_arg $ trace_arg)
+    Term.(const repl $ workers_arg $ no_cache_arg $ no_delta_arg $ trace_arg)
 
 let run_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   Cmd.v (Cmd.info "run" ~doc:"Execute a SQL script")
-    Term.(const run_file $ workers_arg $ no_cache_arg $ trace_arg $ file)
+    Term.(
+      const run_file $ workers_arg $ no_cache_arg $ no_delta_arg $ trace_arg
+      $ file)
 
 let demo_cmd =
   Cmd.v
     (Cmd.info "demo" ~doc:"Run the paper's queries on a synthetic graph")
-    Term.(const demo $ workers_arg $ no_cache_arg $ trace_arg)
+    Term.(const demo $ workers_arg $ no_cache_arg $ no_delta_arg $ trace_arg)
 
 let client_cmd =
   let socket =
@@ -569,7 +590,9 @@ let trace_check_cmd =
 
 let main_cmd =
   let doc = "An analytical SQL engine with native iterative CTEs (DBSpinner)" in
-  Cmd.group ~default:Term.(const repl $ workers_arg $ no_cache_arg $ trace_arg)
+  Cmd.group
+    ~default:
+      Term.(const repl $ workers_arg $ no_cache_arg $ no_delta_arg $ trace_arg)
     (Cmd.info "dbspinner" ~version:"1.0.0" ~doc)
     [ repl_cmd; run_cmd; demo_cmd; client_cmd; trace_check_cmd ]
 

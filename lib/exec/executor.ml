@@ -75,8 +75,8 @@ let cache_sources (catalog : Catalog.t) (plan : Logical.t) :
   | () -> Some (List.sort_uniq compare !acc)
   | exception Not_cacheable -> None
 
-let rec run_plan ?parallel ?cache ~(stats : Stats.t) (catalog : Catalog.t)
-    (plan : Logical.t) : Relation.t =
+let rec run_plan ?parallel ?cache ?guards ~(stats : Stats.t)
+    (catalog : Catalog.t) (plan : Logical.t) : Relation.t =
   match plan with
   | Logical.L_scan { name; scan_schema } -> (
     Stats.timed stats Stats.Op_scan @@ fun () ->
@@ -90,13 +90,13 @@ let rec run_plan ?parallel ?cache ~(stats : Stats.t) (catalog : Catalog.t)
       rel)
   | Logical.L_values rel -> rel
   | Logical.L_filter { pred; input } ->
-    Operators.filter ?parallel ?cache ~stats pred
-      (run_plan ?parallel ?cache ~stats catalog input)
+    Operators.filter ?parallel ?cache ?guards ~stats pred
+      (run_plan ?parallel ?cache ?guards ~stats catalog input)
   | Logical.L_project { exprs; input } ->
-    Operators.project ?parallel ?cache ~stats exprs
-      (run_plan ?parallel ?cache ~stats catalog input)
+    Operators.project ?parallel ?cache ?guards ~stats exprs
+      (run_plan ?parallel ?cache ?guards ~stats catalog input)
   | Logical.L_join { kind; cond; left; right; join_schema } -> (
-    let l = run_plan ?parallel ?cache ~stats catalog left in
+    let l = run_plan ?parallel ?cache ?guards ~stats catalog left in
     (* Cached hash-join path: when the build (right) side reads only
        named relations, memoize its build table under the sources'
        generations. A loop-invariant side (the common-result temp, or a
@@ -119,47 +119,53 @@ let rec run_plan ?parallel ?cache ~(stats : Stats.t) (catalog : Catalog.t)
               Cache.join_build c ~stats
                 { Cache.bk_sources = srcs; bk_plan = right; bk_keys = build_keys }
                 (fun local ->
-                  let r = run_plan ?parallel ?cache ~stats:local catalog right in
-                  Operators.make_join_build ?cache ~stats:local build_keys r)
+                  let r =
+                    run_plan ?parallel ?cache ?guards ~stats:local catalog right
+                  in
+                  Operators.make_join_build ?cache ?guards ~stats:local
+                    build_keys r)
             in
             Some
-              (Operators.hash_join_probe ?parallel ?cache ~stats kind keys
-                 residual build l join_schema)))
+              (Operators.hash_join_probe ?parallel ?cache ?guards ~stats kind
+                 keys residual build l join_schema)))
       | _ -> None
     in
     match cached with
     | Some rel -> rel
     | None ->
-      let r = run_plan ?parallel ?cache ~stats catalog right in
-      Operators.join ?parallel ?cache ~stats kind cond l r join_schema)
+      let r = run_plan ?parallel ?cache ?guards ~stats catalog right in
+      Operators.join ?parallel ?cache ?guards ~stats kind cond l r join_schema)
   | Logical.L_aggregate { keys; aggs; input; agg_schema } ->
-    Operators.aggregate ?cache ~stats ~keys ~aggs
-      (run_plan ?parallel ?cache ~stats catalog input)
+    Operators.aggregate ?cache ?guards ~stats ~keys ~aggs
+      (run_plan ?parallel ?cache ?guards ~stats catalog input)
       agg_schema
   | Logical.L_distinct input ->
-    Operators.distinct ~stats (run_plan ?parallel ?cache ~stats catalog input)
+    Operators.distinct ~stats
+      (run_plan ?parallel ?cache ?guards ~stats catalog input)
   | Logical.L_sort { keys; input } ->
     Operators.sort ?cache ~stats keys
-      (run_plan ?parallel ?cache ~stats catalog input)
+      (run_plan ?parallel ?cache ?guards ~stats catalog input)
   | Logical.L_limit (n, input) ->
-    Operators.limit ~stats n (run_plan ?parallel ?cache ~stats catalog input)
+    Operators.limit ~stats n
+      (run_plan ?parallel ?cache ?guards ~stats catalog input)
   | Logical.L_offset (n, input) ->
-    Operators.offset ~stats n (run_plan ?parallel ?cache ~stats catalog input)
+    Operators.offset ~stats n
+      (run_plan ?parallel ?cache ?guards ~stats catalog input)
   | Logical.L_union { all; left; right } ->
-    let l = run_plan ?parallel ?cache ~stats catalog left in
-    let r = run_plan ?parallel ?cache ~stats catalog right in
+    let l = run_plan ?parallel ?cache ?guards ~stats catalog left in
+    let r = run_plan ?parallel ?cache ?guards ~stats catalog right in
     let u = Operators.union_all ~stats l r in
     if all then u else Operators.distinct ~stats u
   | Logical.L_intersect { all; left; right } ->
-    let l = run_plan ?parallel ?cache ~stats catalog left in
-    let r = run_plan ?parallel ?cache ~stats catalog right in
+    let l = run_plan ?parallel ?cache ?guards ~stats catalog left in
+    let r = run_plan ?parallel ?cache ?guards ~stats catalog right in
     Operators.intersect ~stats ~all l r
   | Logical.L_except { all; left; right } ->
-    let l = run_plan ?parallel ?cache ~stats catalog left in
-    let r = run_plan ?parallel ?cache ~stats catalog right in
+    let l = run_plan ?parallel ?cache ?guards ~stats catalog left in
+    let r = run_plan ?parallel ?cache ?guards ~stats catalog right in
     Operators.except ~stats ~all l r
   | Logical.L_subquery_filter { anti; key; input; sub } -> (
-    let i = run_plan ?parallel ?cache ~stats catalog input in
+    let i = run_plan ?parallel ?cache ?guards ~stats catalog input in
     (* Same memoization for IN / EXISTS subquery digests: a
        loop-invariant subquery is digested once per run. *)
     let cached =
@@ -173,7 +179,9 @@ let rec run_plan ?parallel ?cache ~(stats : Stats.t) (catalog : Catalog.t)
             Cache.sub_set c ~stats
               { Cache.sk_sources = srcs; sk_plan = sub; sk_keyed = keyed }
               (fun local ->
-                let sq = run_plan ?parallel ?cache ~stats:local catalog sub in
+                let sq =
+                  run_plan ?parallel ?cache ?guards ~stats:local catalog sub
+                in
                 Operators.make_sub_set ~stats:local ~need_members:keyed sq)
           in
           Some (Operators.subquery_filter_with_set ?cache ~stats ~anti ~key i set))
@@ -182,7 +190,7 @@ let rec run_plan ?parallel ?cache ~(stats : Stats.t) (catalog : Catalog.t)
     match cached with
     | Some rel -> rel
     | None ->
-      let sq = run_plan ?parallel ?cache ~stats catalog sub in
+      let sq = run_plan ?parallel ?cache ?guards ~stats catalog sub in
       Operators.subquery_filter ?cache ~stats ~anti ~key i sq)
 
 (* ------------------------------------------------------------------ *)
@@ -201,7 +209,29 @@ type loop_state = {
       (** tracing only: wall clock and stats snapshot at the start of
           the current iteration, so the iteration span can carry its
           own deltas. [None] whenever tracing is off. *)
+  mutable d_prev_cte : Relation.t option;
+      (** semi-naive only: CTE version consumed by the previous
+          iteration's [Delta_materialize], diffed against the current
+          version to find changed keys. Distinct from [snapshot]: the
+          snapshot feeds termination accounting and is taken at the top
+          of the body, while this one is updated by the delta step
+          itself, so a program may use either, both or neither. *)
+  mutable d_prev_work : Relation.t option;
+      (** semi-naive only: the previous iteration's work output, reused
+          for unaffected keys when stitching. *)
+  mutable d_cutoff_streak : int;
+      (** consecutive iterations whose diff hit the large-delta cutoff;
+          at {!delta_cutoff_streak_limit} the loop stops diffing
+          entirely (PageRank-style loops update every key every
+          iteration — without the streak they would pay an O(|CTE|)
+          diff per iteration just to learn that, every time). *)
 }
+
+(** Consecutive large-delta cutoffs after which a loop permanently
+    falls back to full re-evaluation. Deterministic (purely
+    data-driven), so every executor makes the same decision and stats
+    stay comparable across them. *)
+let delta_cutoff_streak_limit = 3
 
 (** Decide whether another iteration is needed, updating counters.
     Returns the continue flag and, when it was computed (or when
@@ -271,10 +301,10 @@ let loop_continue ~(stats : Stats.t) ?(want_delta = false) catalog
 (* ------------------------------------------------------------------ *)
 (* Recursive CTE (semi-naive)                                          *)
 
-let run_recursive ?parallel ?cache ~stats catalog ~name ~work_name ~base
-    ~step_plan ~union_all ~max_recursion =
+let run_recursive ?parallel ?cache ?guards ~stats catalog ~name ~work_name
+    ~base ~step_plan ~union_all ~max_recursion =
   let invalidate n = Option.iter (fun c -> Cache.invalidate_temp c n) cache in
-  let base_rel = run_plan ?parallel ?cache ~stats catalog base in
+  let base_rel = run_plan ?parallel ?cache ?guards ~stats catalog base in
   let schema = Relation.schema base_rel in
   let module Row_tbl = Operators.Row_tbl in
   let seen = Row_tbl.create (max 16 (Relation.cardinality base_rel)) in
@@ -302,7 +332,7 @@ let run_recursive ?parallel ?cache ~stats catalog ~name ~work_name ~base
         max_recursion;
     Catalog.set_temp catalog work_name !working;
     invalidate work_name;
-    let produced = run_plan ?parallel ?cache ~stats catalog step_plan in
+    let produced = run_plan ?parallel ?cache ?guards ~stats catalog step_plan in
     let fresh = if union_all then produced else dedupe produced in
     push fresh;
     working := fresh
@@ -349,6 +379,9 @@ let run_program ?parallel ?(stats = Stats.create ()) ?(guards = Guards.none)
     ?(use_cache = true) ?trace (catalog : Catalog.t) (program : Program.t) :
     Relation.t =
   let cache = if use_cache then Some (Cache.create ()) else None in
+  (* In-operator probes are free to skip when no limit is set; [None]
+     keeps the per-row tick a single branch. *)
+  let gopt = if Guards.is_none guards then None else Some guards in
   (* Memory hygiene at every rebinding step: generations already make
      stale hits impossible, but entries built over a dead generation
      would otherwise pile up for the length of the loop. *)
@@ -365,6 +398,7 @@ let run_program ?parallel ?(stats = Stats.create ()) ?(guards = Guards.none)
   let step_label step =
     match step with
     | Program.Materialize { target; _ } -> "materialize:" ^ target
+    | Program.Delta_materialize { target; _ } -> "delta_materialize:" ^ target
     | Program.Rename { from_; into } -> "rename:" ^ from_ ^ "->" ^ into
     | Program.Drop_temp name -> "drop:" ^ name
     | Program.Assert_unique_key { temp; _ } -> "assert_unique:" ^ temp
@@ -386,7 +420,7 @@ let run_program ?parallel ?(stats = Stats.create ()) ?(guards = Guards.none)
     in
     (match steps.(!pc) with
     | Program.Materialize { target; plan } ->
-      let rel = run_plan ?parallel ?cache ~stats catalog plan in
+      let rel = run_plan ?parallel ?cache ?guards:gopt ~stats catalog plan in
       stats.Stats.materializations <- stats.Stats.materializations + 1;
       stats.Stats.rows_materialized <-
         stats.Stats.rows_materialized + Relation.cardinality rel;
@@ -394,6 +428,192 @@ let run_program ?parallel ?(stats = Stats.create ()) ?(guards = Guards.none)
       Guards.check guards ~stats;
       Catalog.set_temp catalog target rel;
       invalidate target
+    | Program.Delta_materialize
+        {
+          loop_id;
+          target;
+          cte;
+          key_idx;
+          full_plan;
+          restricted_plan;
+          affected_plans;
+          delta_name;
+          affected_name;
+        } -> (
+      match Hashtbl.find_opt loops loop_id with
+      | None -> error "Delta_materialize for uninitialized loop %d" loop_id
+      | Some st ->
+        let cur = Catalog.find_temp catalog cte in
+        let full_eval () =
+          stats.Stats.full_reevals <- stats.Stats.full_reevals + 1;
+          run_plan ?parallel ?cache ?guards:gopt ~stats catalog full_plan
+        in
+        let work =
+          match st.d_prev_cte, st.d_prev_work with
+          | Some prev, Some prev_work -> (
+            let delta = Relation.changed_rows ~key_idx prev cur in
+            if Relation.cardinality delta = 0 then begin
+              (* Nothing changed: last iteration's work output is still
+                 exact. (The loop is about to converge; this avoids one
+                 final full pass.) *)
+              st.d_cutoff_streak <- 0;
+              prev_work
+            end
+            else
+              let changed_keys = Hashtbl.create 64 in
+              Relation.iter
+                (fun r -> Hashtbl.replace changed_keys r.(key_idx) ())
+                delta;
+              (* Cutoff: when most keys changed, restriction buys
+                 nothing — the extra diff/stitch passes would make the
+                 iteration slower than a plain re-evaluation (PageRank
+                 updates every key every iteration and takes this
+                 path). *)
+              if Hashtbl.length changed_keys * 2 >= Relation.cardinality cur
+              then begin
+                st.d_cutoff_streak <- st.d_cutoff_streak + 1;
+                full_eval ()
+              end
+              else begin
+                st.d_cutoff_streak <- 0;
+                Catalog.set_temp catalog delta_name delta;
+                invalidate delta_name;
+                (* Affected keys: directly-changed keys plus every key
+                   that reads a changed row through a join leg. *)
+                let affected = Hashtbl.create 64 in
+                Hashtbl.iter
+                  (fun k () -> Hashtbl.replace affected k ())
+                  changed_keys;
+                List.iter
+                  (fun p ->
+                    let rel =
+                      run_plan ?parallel ?cache ?guards:gopt ~stats catalog p
+                    in
+                    Relation.iter
+                      (fun r -> Hashtbl.replace affected r.(0) ())
+                      rel)
+                  affected_plans;
+                let a_rows =
+                  Hashtbl.fold (fun k () acc -> [| k |] :: acc) affected []
+                in
+                Catalog.set_temp catalog affected_name
+                  (Relation.make
+                     (Schema.of_names [ "key" ])
+                     (Array.of_list a_rows));
+                invalidate affected_name;
+                let restricted =
+                  run_plan ?parallel ?cache ?guards:gopt ~stats catalog
+                    restricted_plan
+                in
+                stats.Stats.delta_rows_evaluated <-
+                  stats.Stats.delta_rows_evaluated
+                  + Relation.cardinality restricted;
+                (* Stitch in CTE order, one key at a time: recomputed
+                   rows for affected keys, the previous work row
+                   otherwise. Eligible plans emit output in driver
+                   (CTE) key order, so this reproduces the full
+                   evaluation bit for bit — including rows-per-key
+                   multiplicities, so a duplicate-key plan still trips
+                   [Assert_unique_key] exactly as it would have. *)
+                let by_key : (Value.t, Row.t list) Hashtbl.t =
+                  Hashtbl.create 64
+                in
+                Relation.iter
+                  (fun r ->
+                    let k = r.(key_idx) in
+                    let rest =
+                      try Hashtbl.find by_key k with Not_found -> []
+                    in
+                    Hashtbl.replace by_key k (r :: rest))
+                  restricted;
+                let out = ref [] in
+                let cur_rows = Relation.rows cur in
+                let prev_rows = Relation.rows prev_work in
+                let n_cur = Array.length cur_rows in
+                (* Fast path: when the previous output lists the same
+                   keys at the same positions (the steady state of an
+                   iterative loop, whose key sequence is stable and —
+                   per the §II requirement, enforced by
+                   [Assert_unique_key] — duplicate-free), unaffected
+                   rows are copied by index with no hashing. *)
+                let aligned =
+                  Array.length prev_rows = n_cur
+                  &&
+                  let ok = ref true in
+                  let i = ref 0 in
+                  while !ok && !i < n_cur do
+                    if
+                      not
+                        (Value.equal
+                           cur_rows.(!i).(key_idx)
+                           prev_rows.(!i).(key_idx))
+                    then ok := false;
+                    incr i
+                  done;
+                  !ok
+                in
+                if aligned then
+                  for i = 0 to n_cur - 1 do
+                    let k = cur_rows.(i).(key_idx) in
+                    if Hashtbl.mem affected k then
+                      List.iter
+                        (fun row -> out := row :: !out)
+                        (List.rev
+                           (try Hashtbl.find by_key k with Not_found -> []))
+                    else out := prev_rows.(i) :: !out
+                  done
+                else begin
+                  let prev_by_key = Hashtbl.create 64 in
+                  Relation.iter
+                    (fun r ->
+                      if not (Hashtbl.mem prev_by_key r.(key_idx)) then
+                        Hashtbl.replace prev_by_key r.(key_idx) r)
+                    prev_work;
+                  let seen_keys =
+                    Hashtbl.create (Relation.cardinality cur)
+                  in
+                  Relation.iter
+                    (fun r ->
+                      let k = r.(key_idx) in
+                      if not (Hashtbl.mem seen_keys k) then begin
+                        Hashtbl.replace seen_keys k ();
+                        if Hashtbl.mem affected k then
+                          List.iter
+                            (fun row -> out := row :: !out)
+                            (List.rev
+                               (try Hashtbl.find by_key k
+                                with Not_found -> []))
+                        else
+                          match Hashtbl.find_opt prev_by_key k with
+                          | Some row -> out := row :: !out
+                          | None -> ()
+                      end)
+                    cur
+                end;
+                Relation.make
+                  (Relation.schema prev_work)
+                  (Array.of_list (List.rev !out))
+              end)
+          | _ -> full_eval ()
+        in
+        if st.d_cutoff_streak >= delta_cutoff_streak_limit then begin
+          (* This loop updates (nearly) every key every iteration;
+             stop paying for the diff and re-evaluate in full from
+             here on. *)
+          st.d_prev_cte <- None;
+          st.d_prev_work <- None
+        end
+        else begin
+          st.d_prev_cte <- Some cur;
+          st.d_prev_work <- Some work
+        end;
+        stats.Stats.materializations <- stats.Stats.materializations + 1;
+        stats.Stats.rows_materialized <-
+          stats.Stats.rows_materialized + Relation.cardinality work;
+        step_rows := Relation.cardinality work;
+        Guards.check guards ~stats;
+        Catalog.set_temp catalog target work;
+        invalidate target)
     | Program.Rename { from_; into } ->
       Catalog.rename_temp catalog ~from_ ~into;
       stats.Stats.renames <- stats.Stats.renames + 1;
@@ -418,6 +638,9 @@ let run_program ?parallel ?(stats = Stats.create ()) ?(guards = Guards.none)
             (match trace with
             | None -> None
             | Some _ -> Some (Unix.gettimeofday (), Stats.copy stats));
+          d_prev_cte = None;
+          d_prev_work = None;
+          d_cutoff_streak = 0;
         }
     | Program.Snapshot { loop_id } -> (
       match Hashtbl.find_opt loops loop_id with
@@ -455,10 +678,10 @@ let run_program ?parallel ?(stats = Stats.create ()) ?(guards = Guards.none)
         if continue_ then jump := Some body_start)
     | Program.Recursive_cte
         { name; work_name; base; step_plan; union_all; max_recursion } ->
-      run_recursive ?parallel ?cache ~stats catalog ~name ~work_name ~base
-        ~step_plan ~union_all ~max_recursion
+      run_recursive ?parallel ?cache ?guards:gopt ~stats catalog ~name
+        ~work_name ~base ~step_plan ~union_all ~max_recursion
     | Program.Return plan ->
-      let rel = run_plan ?parallel ?cache ~stats catalog plan in
+      let rel = run_plan ?parallel ?cache ?guards:gopt ~stats catalog plan in
       step_rows := Relation.cardinality rel;
       result := Some rel);
     (match trace, step_mark with

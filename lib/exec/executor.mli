@@ -13,15 +13,24 @@ exception Execution_error of string
 (** Evaluate one logical plan. Scans resolve through the catalog with
     temps shadowing base tables. [?parallel] enables chunk-parallel
     filter/project/hash-probe; results and logical stats counters are
-    identical to sequential execution.
+    identical to sequential execution. [?guards] threads periodic
+    in-operator probes ({!Guards.tick}) through the long row loops so a
+    single giant statement honors timeouts and interrupts.
     @raise Execution_error on missing relations or runtime failures. *)
 val run_plan :
   ?parallel:Parallel.ctx ->
   ?cache:Cache.t ->
+  ?guards:Guards.t ->
   stats:Stats.t ->
   Catalog.t ->
   Logical.t ->
   Relation.t
+
+(** Consecutive large-delta cutoffs after which a delta-eligible loop
+    permanently falls back to full re-evaluation and stops diffing.
+    Purely data-driven, so the sequential and distributed executors
+    always agree. Shared with {!Dbspinner_mpp.Distributed}. *)
+val delta_cutoff_streak_limit : int
 
 (** The §II duplicate-row-key check: fails when the named temp has
     duplicate or NULL keys in column [key_idx].
@@ -32,7 +41,16 @@ val assert_unique_key : Catalog.t -> temp:string -> key_idx:int -> unit
 (** Run a step program to completion and return the final relation.
     Temps created by the program are left in the catalog (the engine
     clears them per statement). [guards] are checked at materialize and
-    loop boundaries.
+    loop boundaries, plus periodic in-operator probes every
+    {!Guards.probe_interval} rows inside long operator loops.
+
+    [Delta_materialize] steps run semi-naive (delta-driven) evaluation:
+    the CTE version is diffed against the previous iteration's, only
+    rows whose key is affected by the change are re-evaluated through
+    the restricted plan, and untouched keys reuse the previous work
+    output — producing a relation bit-identical to the full plan's.
+    The first iteration (no previous version) and iterations where most
+    keys changed fall back to the full plan ([Stats.full_reevals]).
     @raise Execution_error on runtime failures, including the
     iteration-guard trip for non-converging loops
     @raise Guards.Resource_exhausted when a deadline or row budget is

@@ -75,3 +75,32 @@ let check t ~(stats : Stats.t) =
     error "deadline exceeded after %d loop iterations"
       stats.Stats.loop_iterations
   | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Periodic in-operator probes                                         *)
+
+(** Rows between two probes inside an operator loop. Large enough that
+    the clock read disappears in the per-row work (one gettimeofday per
+    8192 rows), small enough that a giant scan/join notices a
+    statement timeout within milliseconds. *)
+let probe_interval = 8192
+
+(** Mutable row countdown threaded through an operator's inner loop;
+    one per loop so chunk-parallel tasks never share state. *)
+type probe = { mutable until_check : int }
+
+let probe () = { until_check = probe_interval }
+
+(** Count one row; every {!probe_interval} rows, run {!check}. Checking
+    mid-operator means a single enormous statement honors timeouts and
+    interrupts instead of only noticing them at the next materialize or
+    loop boundary. [None] guards compile to a single branch. *)
+let tick (guards : t option) (p : probe) ~(stats : Stats.t) =
+  match guards with
+  | None -> ()
+  | Some g ->
+    p.until_check <- p.until_check - 1;
+    if p.until_check <= 0 then begin
+      p.until_check <- probe_interval;
+      check g ~stats
+    end

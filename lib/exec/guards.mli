@@ -42,3 +42,19 @@ val make :
 (** @raise Resource_exhausted when a limit has been crossed or the
     interrupt probe fired. *)
 val check : t -> stats:Stats.t -> unit
+
+(** Rows between two in-operator guard probes (see {!tick}). *)
+val probe_interval : int
+
+(** Row countdown for periodic checks inside an operator loop; allocate
+    one per loop (chunk-parallel tasks must not share one). *)
+type probe = { mutable until_check : int }
+
+val probe : unit -> probe
+
+(** Count one row against [p]; every {!probe_interval} rows, run
+    {!check}. Lets a single giant scan/join honor timeouts and
+    interrupts instead of only noticing them at the next materialize
+    or loop boundary. No-op when [guards] is [None].
+    @raise Resource_exhausted as {!check}. *)
+val tick : t option -> probe -> stats:Stats.t -> unit

@@ -34,16 +34,18 @@ let compiled_pred ?cache ~stats (e : Bound_expr.t) : Row.t -> bool =
   | Some c -> Cache.compiled_pred c ~stats e
   | None -> fun row -> Eval.eval_pred row e
 
-let filter ?parallel ?cache ~(stats : Stats.t) pred (rel : Relation.t) :
-    Relation.t =
+let filter ?parallel ?cache ?guards ~(stats : Stats.t) pred (rel : Relation.t)
+    : Relation.t =
   Stats.timed stats Stats.Op_filter @@ fun () ->
   let pred = compiled_pred ?cache ~stats pred in
   let rows = Relation.rows rel in
   let n = Array.length rows in
   let chunk (st : Stats.t) lo len =
     st.Stats.rows_filtered <- st.Stats.rows_filtered + len;
+    let probe = Guards.probe () in
     let kept = ref [] in
     for j = lo + len - 1 downto lo do
+      Guards.tick guards probe ~stats:st;
       let r = rows.(j) in
       if pred r then kept := r :: !kept
     done;
@@ -53,8 +55,8 @@ let filter ?parallel ?cache ~(stats : Stats.t) pred (rel : Relation.t) :
   Relation.make_trusted (Relation.schema rel)
     (Array.concat (Array.to_list chunks))
 
-let project ?parallel ?cache ~(stats : Stats.t) exprs (rel : Relation.t) :
-    Relation.t =
+let project ?parallel ?cache ?guards ~(stats : Stats.t) exprs (rel : Relation.t)
+    : Relation.t =
   Stats.timed stats Stats.Op_project @@ fun () ->
   let schema = Schema.of_names (List.map snd exprs) in
   let exprs =
@@ -68,7 +70,9 @@ let project ?parallel ?cache ~(stats : Stats.t) exprs (rel : Relation.t) :
   let out = Array.make n [||] in
   let chunk (st : Stats.t) lo len =
     st.Stats.rows_projected <- st.Stats.rows_projected + len;
+    let probe = Guards.probe () in
     for j = lo to lo + len - 1 do
+      Guards.tick guards probe ~stats:st;
       let r = rows.(j) in
       out.(j) <- Array.map (fun f -> f r) exprs
     done
@@ -281,15 +285,17 @@ let key_has_null (k : Row.t) = Array.exists Value.is_null k
     build side is loop-invariant, the table survives across iterations
     of the loop (see {!Cache}). The result carries no per-probe state —
     outer-join matched-row tracking is allocated by each probe call. *)
-let make_join_build ?cache ~(stats : Stats.t) keys (right : Relation.t) :
-    Cache.join_build =
+let make_join_build ?cache ?guards ~(stats : Stats.t) keys
+    (right : Relation.t) : Cache.join_build =
   Stats.timed stats Stats.Op_join @@ fun () ->
   let right_keys =
     Array.of_list (List.map (fun e -> compiled_val ?cache ~stats e) keys)
   in
   let table = Row_tbl.create (max 16 (Relation.cardinality right)) in
+  let gprobe = Guards.probe () in
   Array.iteri
     (fun idx row ->
+      Guards.tick guards gprobe ~stats;
       let k = Array.map (fun f -> f row) right_keys in
       if not (key_has_null k) then
         Row_tbl.replace table k
@@ -302,8 +308,9 @@ let make_join_build ?cache ~(stats : Stats.t) keys (right : Relation.t) :
     is chunk-parallel over the left rows, with per-chunk outputs
     concatenated in chunk order (probe order == left order, identical
     to sequential). *)
-let hash_join_probe ?parallel ?cache ~(stats : Stats.t) kind keys residual
-    (build : Cache.join_build) (left : Relation.t) schema : Relation.t =
+let hash_join_probe ?parallel ?cache ?guards ~(stats : Stats.t) kind keys
+    residual (build : Cache.join_build) (left : Relation.t) schema : Relation.t
+    =
   Stats.timed stats Stats.Op_join @@ fun () ->
   let right = build.Cache.jb_rel in
   let table = build.Cache.jb_table in
@@ -330,7 +337,9 @@ let hash_join_probe ?parallel ?cache ~(stats : Stats.t) kind keys residual
   let probe (st : Stats.t) lo len =
     let out = ref [] in
     let emit row = out := row :: !out in
+    let gprobe = Guards.probe () in
     for j = lo to lo + len - 1 do
+      Guards.tick guards gprobe ~stats:st;
       let lrow = lrows.(j) in
       st.Stats.join_probes <- st.Stats.join_probes + 1;
       let k = Array.map (fun f -> f lrow) left_keys in
@@ -376,14 +385,15 @@ let hash_join_probe ?parallel ?cache ~(stats : Stats.t) kind keys residual
 
 (** Hash join over extracted keys: build on the right, probe with the
     left. *)
-let hash_join ?parallel ?cache ~(stats : Stats.t) kind keys residual
+let hash_join ?parallel ?cache ?guards ~(stats : Stats.t) kind keys residual
     (left : Relation.t) (right : Relation.t) schema : Relation.t =
-  let build = make_join_build ?cache ~stats (List.map snd keys) right in
-  hash_join_probe ?parallel ?cache ~stats kind keys residual build left schema
+  let build = make_join_build ?cache ?guards ~stats (List.map snd keys) right in
+  hash_join_probe ?parallel ?cache ?guards ~stats kind keys residual build left
+    schema
 
 (** Nested-loop fallback when no equi-key exists. *)
-let nested_loop_join ?cache ~(stats : Stats.t) kind cond (left : Relation.t)
-    (right : Relation.t) schema : Relation.t =
+let nested_loop_join ?cache ?guards ~(stats : Stats.t) kind cond
+    (left : Relation.t) (right : Relation.t) schema : Relation.t =
   Stats.timed stats Stats.Op_join @@ fun () ->
   let l_arity = Schema.arity (Relation.schema left) in
   let r_arity = Schema.arity (Relation.schema right) in
@@ -400,12 +410,17 @@ let nested_loop_join ?cache ~(stats : Stats.t) kind cond (left : Relation.t)
     | None -> fun _ -> true
     | Some c -> compiled_pred ?cache ~stats c
   in
+  let gprobe = Guards.probe () in
   Relation.iter
     (fun lrow ->
       stats.Stats.join_probes <- stats.Stats.join_probes + 1;
       let matched = ref false in
       Array.iteri
         (fun ridx rrow ->
+          (* tick per candidate pair: a cross join is quadratic in its
+             inputs, so probing only per left row would still leave
+             arbitrarily long gaps between guard checks *)
+          Guards.tick guards gprobe ~stats;
           let combined = Row.concat lrow rrow in
           if passes combined then begin
             matched := true;
@@ -430,17 +445,20 @@ let nested_loop_join ?cache ~(stats : Stats.t) kind cond (left : Relation.t)
   stats.Stats.rows_joined <- stats.Stats.rows_joined + Array.length rows;
   Relation.make_trusted schema rows
 
-let join ?parallel ?cache ~stats kind cond (left : Relation.t)
+let join ?parallel ?cache ?guards ~stats kind cond (left : Relation.t)
     (right : Relation.t) schema : Relation.t =
   match kind, cond with
-  | Logical.Cross, _ -> nested_loop_join ?cache ~stats kind None left right schema
-  | _, None -> nested_loop_join ?cache ~stats kind None left right schema
+  | Logical.Cross, _ ->
+    nested_loop_join ?cache ?guards ~stats kind None left right schema
+  | _, None -> nested_loop_join ?cache ?guards ~stats kind None left right schema
   | _, Some c -> (
     let left_arity = Schema.arity (Relation.schema left) in
     match split_equi_condition ~left_arity c with
-    | [], _ -> nested_loop_join ?cache ~stats kind (Some c) left right schema
+    | [], _ ->
+      nested_loop_join ?cache ?guards ~stats kind (Some c) left right schema
     | keys, residual ->
-      hash_join ?parallel ?cache ~stats kind keys residual left right schema)
+      hash_join ?parallel ?cache ?guards ~stats kind keys residual left right
+        schema)
 
 (* ------------------------------------------------------------------ *)
 (* Aggregation                                                         *)
@@ -493,8 +511,8 @@ let finalize (kind : Ast.agg_kind) acc : Value.t =
     if acc.count = 0 then Value.Null
     else Value.Float (Value.to_float acc.sum /. float_of_int acc.count)
 
-let aggregate ?cache ~(stats : Stats.t) ~keys ~(aggs : Logical.agg list)
-    (input : Relation.t) schema : Relation.t =
+let aggregate ?cache ?guards ~(stats : Stats.t) ~keys
+    ~(aggs : Logical.agg list) (input : Relation.t) schema : Relation.t =
   Stats.timed stats Stats.Op_aggregate @@ fun () ->
   let keys =
     Array.of_list (List.map (fun e -> compiled_val ?cache ~stats e) keys)
@@ -514,8 +532,10 @@ let aggregate ?cache ~(stats : Stats.t) ~keys ~(aggs : Logical.agg list)
     Row_tbl.create (max 16 (Relation.cardinality input / 4))
   in
   let order = ref [] in
+  let gprobe = Guards.probe () in
   Relation.iter
     (fun row ->
+      Guards.tick guards gprobe ~stats;
       let key = Array.map (fun f -> f row) keys in
       let _, accs =
         match Row_tbl.find_opt groups key with

@@ -7,7 +7,13 @@
     [?parallel] context ({!Parallel.ctx}) and split inputs above the
     context's chunk threshold across the Domain pool; chunk outputs
     and counters merge in chunk order, so results and logical stats
-    are identical to the sequential path. *)
+    are identical to the sequential path.
+
+    Long-running operators ([filter], [project], joins, [aggregate])
+    accept optional [?guards] and run a periodic {!Guards.tick} probe
+    inside their row loops (every {!Guards.probe_interval} rows), so a
+    single giant statement honors timeouts, budgets and interrupts
+    without waiting for the next materialize boundary. *)
 
 module Value = Dbspinner_storage.Value
 module Row = Dbspinner_storage.Row
@@ -31,6 +37,7 @@ val compiled_pred : ?cache:Cache.t -> stats:Stats.t -> Bound_expr.t -> Row.t -> 
 val filter :
   ?parallel:Parallel.ctx ->
   ?cache:Cache.t ->
+  ?guards:Guards.t ->
   stats:Stats.t ->
   Bound_expr.t ->
   Relation.t ->
@@ -39,6 +46,7 @@ val filter :
 val project :
   ?parallel:Parallel.ctx ->
   ?cache:Cache.t ->
+  ?guards:Guards.t ->
   stats:Stats.t ->
   (Bound_expr.t * string) list ->
   Relation.t ->
@@ -101,13 +109,19 @@ val split_equi_condition :
     given the right-side key expressions. Split out so the executor can
     memoize loop-invariant builds (see {!Cache}). *)
 val make_join_build :
-  ?cache:Cache.t -> stats:Stats.t -> Bound_expr.t list -> Relation.t -> Cache.join_build
+  ?cache:Cache.t ->
+  ?guards:Guards.t ->
+  stats:Stats.t ->
+  Bound_expr.t list ->
+  Relation.t ->
+  Cache.join_build
 
 (** Probe a {!make_join_build} table with the left rows; [residual]
     filters combined rows. Chunk-parallel over the left rows. *)
 val hash_join_probe :
   ?parallel:Parallel.ctx ->
   ?cache:Cache.t ->
+  ?guards:Guards.t ->
   stats:Stats.t ->
   Logical.join_kind ->
   (Bound_expr.t * Bound_expr.t) list ->
@@ -122,6 +136,7 @@ val hash_join_probe :
 val hash_join :
   ?parallel:Parallel.ctx ->
   ?cache:Cache.t ->
+  ?guards:Guards.t ->
   stats:Stats.t ->
   Logical.join_kind ->
   (Bound_expr.t * Bound_expr.t) list ->
@@ -134,6 +149,7 @@ val hash_join :
 (** Nested-loop join for arbitrary (or absent) conditions. *)
 val nested_loop_join :
   ?cache:Cache.t ->
+  ?guards:Guards.t ->
   stats:Stats.t ->
   Logical.join_kind ->
   Bound_expr.t option ->
@@ -146,6 +162,7 @@ val nested_loop_join :
 val join :
   ?parallel:Parallel.ctx ->
   ?cache:Cache.t ->
+  ?guards:Guards.t ->
   stats:Stats.t ->
   Logical.join_kind ->
   Bound_expr.t option ->
@@ -159,6 +176,7 @@ val join :
     yields one default row. *)
 val aggregate :
   ?cache:Cache.t ->
+  ?guards:Guards.t ->
   stats:Stats.t ->
   keys:Bound_expr.t list ->
   aggs:Logical.agg list ->

@@ -76,6 +76,12 @@ type t = {
   mutable backoff_steps : int;
       (** cumulative deterministic backoff units accrued across retries
           (simulated, not slept) *)
+  mutable delta_rows_evaluated : int;
+      (** working-table rows produced by restricted (delta-driven)
+          re-evaluation instead of a full pass over the CTE *)
+  mutable full_reevals : int;
+      (** full loop-body re-evaluations inside delta-eligible loops
+          (first iteration, large deltas, post-recovery restarts) *)
   mutable cache_hits : int;  (** executor-cache lookups served from cache *)
   mutable cache_misses : int;  (** executor-cache lookups that built fresh *)
   mutable build_ms_saved : float;
@@ -106,6 +112,8 @@ let create () =
     recoveries = 0;
     fallbacks = 0;
     backoff_steps = 0;
+    delta_rows_evaluated = 0;
+    full_reevals = 0;
     cache_hits = 0;
     cache_misses = 0;
     build_ms_saved = 0.0;
@@ -131,6 +139,8 @@ let reset t =
   t.recoveries <- 0;
   t.fallbacks <- 0;
   t.backoff_steps <- 0;
+  t.delta_rows_evaluated <- 0;
+  t.full_reevals <- 0;
   t.cache_hits <- 0;
   t.cache_misses <- 0;
   t.build_ms_saved <- 0.0;
@@ -155,6 +165,9 @@ let add ~into (src : t) =
   into.recoveries <- into.recoveries + src.recoveries;
   into.fallbacks <- into.fallbacks + src.fallbacks;
   into.backoff_steps <- into.backoff_steps + src.backoff_steps;
+  into.delta_rows_evaluated <-
+    into.delta_rows_evaluated + src.delta_rows_evaluated;
+  into.full_reevals <- into.full_reevals + src.full_reevals;
   into.cache_hits <- into.cache_hits + src.cache_hits;
   into.cache_misses <- into.cache_misses + src.cache_misses;
   into.build_ms_saved <- into.build_ms_saved +. src.build_ms_saved;
@@ -222,6 +235,8 @@ let logical_equal a b =
   && a.recoveries = b.recoveries
   && a.fallbacks = b.fallbacks
   && a.backoff_steps = b.backoff_steps
+  && a.delta_rows_evaluated = b.delta_rows_evaluated
+  && a.full_reevals = b.full_reevals
 
 (** [timed t op f] runs [f ()], accruing its elapsed wall time into
     [t]'s bucket for [op] (also on exception). *)
@@ -251,6 +266,10 @@ let pp fmt t =
        backoff=%d"
       t.faults_injected t.retries t.checkpoints_taken t.recoveries t.fallbacks
       t.backoff_steps;
+  (* Delta counters only appear once a delta-eligible loop ran. *)
+  if t.delta_rows_evaluated > 0 || t.full_reevals > 0 then
+    Format.fprintf fmt " delta_rows_evaluated=%d full_reevals=%d"
+      t.delta_rows_evaluated t.full_reevals;
   (* Cache counters only appear when the executor cache saw traffic. *)
   if t.cache_hits > 0 || t.cache_misses > 0 then
     Format.fprintf fmt " cache_hits=%d cache_misses=%d build_ms_saved=%.1f"

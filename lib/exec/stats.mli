@@ -40,6 +40,12 @@ type t = {
   mutable backoff_steps : int;
       (** cumulative deterministic backoff units accrued across retries
           (simulated, not slept) *)
+  mutable delta_rows_evaluated : int;
+      (** working-table rows produced by restricted (delta-driven)
+          re-evaluation instead of a full pass over the CTE *)
+  mutable full_reevals : int;
+      (** full loop-body re-evaluations inside delta-eligible loops
+          (first iteration, large deltas, post-recovery restarts) *)
   mutable cache_hits : int;  (** executor-cache lookups served from cache *)
   mutable cache_misses : int;  (** executor-cache lookups that built fresh *)
   mutable build_ms_saved : float;

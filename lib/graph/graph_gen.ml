@@ -113,6 +113,34 @@ let chain_with_shortcuts ~seed ~num_nodes ~shortcut_every =
   done;
   { num_nodes; edges = Array.of_list !edges }
 
+(** A chain-with-shortcuts core plus [upstream] extra nodes that point
+    into the core but are unreachable from it (directed graphs
+    routinely have large regions upstream of any given source). SSSP
+    from the chain head keeps a narrow frontier — only core distances
+    ever improve — while every full re-evaluation of the loop body
+    still joins the entire fan-in. The shape where semi-naive
+    evaluation pays off most. *)
+let chain_with_fanin ~seed ~num_nodes ~shortcut_every ~upstream ~fanout =
+  let core = chain_with_shortcuts ~seed ~num_nodes ~shortcut_every in
+  let rng = Rng.create (seed + 1) in
+  let extra = ref [] in
+  for u = 0 to upstream - 1 do
+    let src = num_nodes + u in
+    for _ = 1 to fanout do
+      extra :=
+        {
+          src;
+          dst = Rng.int rng num_nodes;
+          weight = Rng.float_range rng 1.0 5.0;
+        }
+        :: !extra
+    done
+  done;
+  {
+    num_nodes = num_nodes + upstream;
+    edges = Array.append core.edges (Array.of_list !extra);
+  }
+
 (** Replace every edge weight by [1 / out-degree(src)] — the classic
     PageRank transition weighting. With it the delta iteration is a
     contraction (damping 0.85), so ranks stay bounded and readable;

@@ -40,6 +40,16 @@ val power_law : seed:int -> num_nodes:int -> edges_per_node:int -> t
     stand-in for the SSSP example. *)
 val chain_with_shortcuts : seed:int -> num_nodes:int -> shortcut_every:int -> t
 
+(** A {!chain_with_shortcuts} core plus [upstream] extra nodes, each
+    with [fanout] edges into random core nodes but no incoming edges —
+    unreachable from the core, like the regions upstream of any source
+    in a directed graph. SSSP from the chain head keeps its narrow
+    frontier while the loop body's full re-evaluation joins the whole
+    fan-in every iteration; the benchmark uses this shape to isolate
+    what semi-naive evaluation saves. *)
+val chain_with_fanin :
+  seed:int -> num_nodes:int -> shortcut_every:int -> upstream:int -> fanout:int -> t
+
 (** Replace weights by [1 / out-degree(src)] (classic PageRank
     transition weights; keeps the delta iteration contractive). *)
 val normalize_weights : t -> t

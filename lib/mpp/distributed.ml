@@ -381,6 +381,17 @@ type loop_state = {
   mutable iter_mark : (float * Stats.t) option;
       (** tracing only: wall clock and stats snapshot at the start of
           the current iteration. [None] when tracing is off. *)
+  mutable d_prev_cte : Relation.t option;
+      (** semi-naive only: gathered CTE version consumed by the previous
+          iteration's [Delta_materialize] (see the single-node
+          executor's loop state). *)
+  mutable d_prev_work : Relation.t option;
+      (** semi-naive only: the previous iteration's gathered work
+          output, reused for unaffected keys when stitching. *)
+  mutable d_cutoff_streak : int;
+      (** consecutive large-delta cutoffs; at the single-node
+          executor's streak limit the loop stops diffing (see
+          {!Dbspinner_exec.Executor}). *)
 }
 
 let copy_loop_state (st : loop_state) : loop_state =
@@ -398,6 +409,12 @@ let copy_loop_state (st : loop_state) : loop_state =
        fault/retry counters, which is exactly what the timeline should
        show. *)
     iter_mark = st.iter_mark;
+    (* Relations are immutable; the delta baselines are only rebound at
+       the end of a successful Delta_materialize, so checkpoint copies
+       may share them too. *)
+    d_prev_cte = st.d_prev_cte;
+    d_prev_work = st.d_prev_work;
+    d_cutoff_streak = st.d_cutoff_streak;
   }
 
 (** A restart point: the program counter to resume at plus copies of
@@ -504,6 +521,7 @@ let run_program ?(workers = 4) ?pool ?(fault = Fault.none) ?(max_retries = 3)
   let step_label step =
     match step with
     | Program.Materialize { target; _ } -> "materialize:" ^ target
+    | Program.Delta_materialize { target; _ } -> "delta_materialize:" ^ target
     | Program.Rename { from_; into } -> "rename:" ^ from_ ^ "->" ^ into
     | Program.Drop_temp name -> "drop:" ^ name
     | Program.Assert_unique_key { temp; _ } -> "assert_unique:" ^ temp
@@ -529,6 +547,183 @@ let run_program ?(workers = 4) ?pool ?(fault = Fault.none) ?(max_retries = 3)
       step_rows := Partition.total_cardinality d.parts;
       Guards.check guards ~stats;
       Hashtbl.replace temps (key target) d
+    | Program.Delta_materialize
+        {
+          loop_id;
+          target;
+          cte;
+          key_idx;
+          full_plan;
+          restricted_plan;
+          affected_plans;
+          delta_name;
+          affected_name;
+        } ->
+      (* Coordinator-side semi-naive evaluation: gather the CTE, diff
+         against the previous version, and restrict the distributed
+         re-evaluation to affected keys. The diff and stitch run on the
+         coordinator (they are cheap hash passes); the affected and
+         restricted plans run distributed, with the delta and
+         affected-key temps partitioned onto the workers like any
+         materialized temp. Mirrors the single-node executor's
+         [Delta_materialize]; the result is bag-identical to running
+         the full plan. *)
+      let st =
+        match Hashtbl.find_opt loops loop_id with
+        | Some st -> st
+        | None ->
+          raise (Unsupported "Delta_materialize for uninitialized loop")
+      in
+      let cur = gather (find_temp cte) in
+      let dist_eval plan =
+        gather
+          (run ~temps ?cache ~pool ~workers ~shuffles ~fault ~stats catalog
+             plan)
+      in
+      let full_eval () =
+        stats.Stats.full_reevals <- stats.Stats.full_reevals + 1;
+        dist_eval full_plan
+      in
+      let work =
+        match st.d_prev_cte, st.d_prev_work with
+        | Some prev, Some prev_work -> (
+          let delta = Relation.changed_rows ~key_idx prev cur in
+          if Relation.cardinality delta = 0 then begin
+            st.d_cutoff_streak <- 0;
+            prev_work
+          end
+          else
+            let changed_keys = Hashtbl.create 64 in
+            Relation.iter
+              (fun r -> Hashtbl.replace changed_keys r.(key_idx) ())
+              delta;
+            if Hashtbl.length changed_keys * 2 >= Relation.cardinality cur
+            then begin
+              st.d_cutoff_streak <- st.d_cutoff_streak + 1;
+              full_eval ()
+            end
+            else begin
+              st.d_cutoff_streak <- 0;
+              Hashtbl.replace temps (key delta_name)
+                { parts = Partition.round_robin ~workers delta };
+              let affected = Hashtbl.create 64 in
+              Hashtbl.iter
+                (fun k () -> Hashtbl.replace affected k ())
+                changed_keys;
+              List.iter
+                (fun p ->
+                  Relation.iter
+                    (fun r -> Hashtbl.replace affected r.(0) ())
+                    (dist_eval p))
+                affected_plans;
+              let a_rows =
+                Hashtbl.fold (fun k () acc -> [| k |] :: acc) affected []
+              in
+              Hashtbl.replace temps (key affected_name)
+                {
+                  parts =
+                    Partition.round_robin ~workers
+                      (Relation.make
+                         (Schema.of_names [ "key" ])
+                         (Array.of_list a_rows));
+                };
+              let restricted = dist_eval restricted_plan in
+              stats.Stats.delta_rows_evaluated <-
+                stats.Stats.delta_rows_evaluated
+                + Relation.cardinality restricted;
+              let by_key : (Value.t, Row.t list) Hashtbl.t =
+                Hashtbl.create 64
+              in
+              Relation.iter
+                (fun r ->
+                  let k = r.(key_idx) in
+                  let rest = try Hashtbl.find by_key k with Not_found -> [] in
+                  Hashtbl.replace by_key k (r :: rest))
+                restricted;
+              let out = ref [] in
+              let cur_rows = Relation.rows cur in
+              let prev_rows = Relation.rows prev_work in
+              let n_cur = Array.length cur_rows in
+              (* Same positional fast path as the single-node stitch:
+                 stable, duplicate-free key sequences copy unaffected
+                 rows by index. *)
+              let aligned =
+                Array.length prev_rows = n_cur
+                &&
+                let ok = ref true in
+                let i = ref 0 in
+                while !ok && !i < n_cur do
+                  if
+                    not
+                      (Value.equal
+                         cur_rows.(!i).(key_idx)
+                         prev_rows.(!i).(key_idx))
+                  then ok := false;
+                  incr i
+                done;
+                !ok
+              in
+              if aligned then
+                for i = 0 to n_cur - 1 do
+                  let k = cur_rows.(i).(key_idx) in
+                  if Hashtbl.mem affected k then
+                    List.iter
+                      (fun row -> out := row :: !out)
+                      (List.rev
+                         (try Hashtbl.find by_key k with Not_found -> []))
+                  else out := prev_rows.(i) :: !out
+                done
+              else begin
+                let prev_by_key = Hashtbl.create 64 in
+                Relation.iter
+                  (fun r ->
+                    if not (Hashtbl.mem prev_by_key r.(key_idx)) then
+                      Hashtbl.replace prev_by_key r.(key_idx) r)
+                  prev_work;
+                let seen_keys = Hashtbl.create (Relation.cardinality cur) in
+                Relation.iter
+                  (fun r ->
+                    let k = r.(key_idx) in
+                    if not (Hashtbl.mem seen_keys k) then begin
+                      Hashtbl.replace seen_keys k ();
+                      if Hashtbl.mem affected k then
+                        List.iter
+                          (fun row -> out := row :: !out)
+                          (List.rev
+                             (try Hashtbl.find by_key k with Not_found -> []))
+                      else
+                        match Hashtbl.find_opt prev_by_key k with
+                        | Some row -> out := row :: !out
+                        | None -> ()
+                    end)
+                  cur
+              end;
+              Relation.make
+                (Relation.schema prev_work)
+                (Array.of_list (List.rev !out))
+            end)
+        | _ -> full_eval ()
+      in
+      (* Rebind the baselines only after every fault-prone evaluation
+         has completed: a transient fault above restores the
+         checkpoint's loop state, which still holds the pre-iteration
+         baselines. *)
+      if st.d_cutoff_streak >= Dbspinner_exec.Executor.delta_cutoff_streak_limit
+      then begin
+        st.d_prev_cte <- None;
+        st.d_prev_work <- None
+      end
+      else begin
+        st.d_prev_cte <- Some cur;
+        st.d_prev_work <- Some work
+      end;
+      stats.Stats.materializations <- stats.Stats.materializations + 1;
+      stats.Stats.rows_materialized <-
+        stats.Stats.rows_materialized + Relation.cardinality work;
+      step_rows := Relation.cardinality work;
+      Guards.check guards ~stats;
+      Hashtbl.replace temps (key target)
+        { parts = Partition.round_robin ~workers work }
     | Program.Rename { from_; into } ->
       let d = find_temp from_ in
       Hashtbl.remove temps (key from_);
@@ -570,6 +765,9 @@ let run_program ?(workers = 4) ?pool ?(fault = Fault.none) ?(max_retries = 3)
             (match trace with
             | None -> None
             | Some _ -> Some (Unix.gettimeofday (), Stats.copy stats));
+          d_prev_cte = None;
+          d_prev_work = None;
+          d_cutoff_streak = 0;
         }
     | Program.Snapshot { loop_id } -> (
       match Hashtbl.find_opt loops loop_id with

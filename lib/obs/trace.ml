@@ -146,13 +146,18 @@ let escape_string s =
 
 let span_to_json s =
   let c = s.counters in
+  (* Every string field goes through [escape_string]: OCaml's [%S]
+     emits decimal escapes like [\123] that are not valid JSON, so it
+     must never be used here. *)
   Printf.sprintf
-    "{\"seq\": %d, \"kind\": %S, \"label\": \"%s\", \"loop\": %d, \"iter\": \
-     %d, \"rows\": %d, \"delta\": %d, \"cum_updates\": %d, \"wall_ms\": %.4f, \
-     \"scanned\": %d, \"joined\": %d, \"materialized\": %d, \"cache_hits\": \
-     %d, \"cache_misses\": %d, \"faults\": %d, \"retries\": %d, \
-     \"recoveries\": %d}"
-    s.seq (kind_to_string s.kind) (escape_string s.label) s.loop_id s.iteration
+    "{\"seq\": %d, \"kind\": \"%s\", \"label\": \"%s\", \"loop\": %d, \
+     \"iter\": %d, \"rows\": %d, \"delta\": %d, \"cum_updates\": %d, \
+     \"wall_ms\": %.4f, \"scanned\": %d, \"joined\": %d, \"materialized\": \
+     %d, \"cache_hits\": %d, \"cache_misses\": %d, \"faults\": %d, \
+     \"retries\": %d, \"recoveries\": %d}"
+    s.seq
+    (escape_string (kind_to_string s.kind))
+    (escape_string s.label) s.loop_id s.iteration
     s.rows s.delta s.cum_updates s.wall_ms c.c_rows_scanned c.c_rows_joined
     c.c_rows_materialized c.c_cache_hits c.c_cache_misses c.c_faults
     c.c_retries c.c_recoveries

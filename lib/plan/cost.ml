@@ -183,6 +183,16 @@ let program (stats : statistics) (p : Program.t) : program_estimate =
           (String.lowercase_ascii target)
           (int_of_float est.rows);
         charge (est.cost +. (est.rows *. w_materialize))
+      | Program.Delta_materialize { target; full_plan; _ } ->
+        (* Costed as the full plan: the delta restriction is a runtime
+           win whose magnitude (the affected fraction) the planner
+           cannot know, and the step falls back to the full plan
+           whenever most keys changed. *)
+        let est = plan stats full_plan in
+        Hashtbl.replace temp_rows
+          (String.lowercase_ascii target)
+          (int_of_float est.rows);
+        charge (est.cost +. (est.rows *. w_materialize))
       | Program.Return pl -> charge (plan stats pl).cost
       | Program.Recursive_cte { base; step_plan; _ } ->
         (* Recursive CTEs: base once plus a log-bounded number of

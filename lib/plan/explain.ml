@@ -104,6 +104,12 @@ let step_to_lines idx (s : Program.step) =
   | Program.Materialize { target; plan } ->
     (head ^ Printf.sprintf "Materialize %s:" target)
     :: List.map (fun l -> "      " ^ l) (plan_lines 0 plan [])
+  | Program.Delta_materialize { target; restricted_plan; affected_plans; _ } ->
+    (head
+    ^ Printf.sprintf "DeltaMaterialize %s (%d affected-key plan%s):" target
+        (List.length affected_plans)
+        (if List.length affected_plans = 1 then "" else "s"))
+    :: List.map (fun l -> "      " ^ l) (plan_lines 0 restricted_plan [])
   | Program.Rename { from_; into } ->
     [ head ^ Printf.sprintf "Rename %s -> %s" from_ into ]
   | Program.Drop_temp name -> [ head ^ Printf.sprintf "Drop %s" name ]

@@ -88,6 +88,12 @@ val subquery_filter : anti:bool -> key:Bound_expr.t option -> t -> t -> t
 
 (** {2 Traversals} *)
 
+(** Every scan name in the plan, one entry per occurrence, prepended to
+    the accumulator. Use {!referenced_tables} for the deduplicated
+    set; this form exists for occurrence counting (the semi-naive
+    eligibility check needs to know how many times a CTE is scanned). *)
+val scan_names : string list -> t -> string list
+
 (** Sorted unique names of all scans (base tables and temps). *)
 val referenced_tables : t -> string list
 

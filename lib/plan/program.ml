@@ -22,6 +22,28 @@ type termination =
 type step =
   | Materialize of { target : string; plan : Logical.t }
       (** evaluate [plan] and store it as temp [target] *)
+  | Delta_materialize of {
+      loop_id : int;
+      target : string;  (** the loop's working table *)
+      cte : string;  (** the CTE temp the loop iterates over *)
+      key_idx : int;
+      full_plan : Logical.t;  (** [Ri] as compiled for full re-evaluation *)
+      restricted_plan : Logical.t;
+          (** [Ri] with the driver scan semijoined against
+              [affected_name], evaluating only keys whose inputs
+              changed *)
+      affected_plans : Logical.t list;
+          (** one single-column plan per non-driver CTE occurrence,
+              mapping rows of [delta_name] to the driver keys they can
+              reach through the loop body's joins *)
+      delta_name : string;  (** temp holding rows changed last iteration *)
+      affected_name : string;  (** temp holding the affected key set *)
+    }
+      (** semi-naive working-table materialization: produce exactly what
+          [Materialize target full_plan] would, evaluating [Ri] only for
+          affected keys and stitching unaffected keys from the previous
+          iteration's working table (full re-evaluation on the first
+          iteration, after recovery, or when most keys changed) *)
   | Rename of { from_ : string; into : string }  (** O(1) pointer swap *)
   | Drop_temp of string
   | Assert_unique_key of { temp : string; key_idx : int }

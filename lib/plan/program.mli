@@ -16,6 +16,24 @@ type termination =
 
 type step =
   | Materialize of { target : string; plan : Logical.t }
+  | Delta_materialize of {
+      loop_id : int;
+      target : string;
+      cte : string;
+      key_idx : int;
+      full_plan : Logical.t;
+      restricted_plan : Logical.t;
+          (** [Ri] with the driver scan semijoined against
+              [affected_name] *)
+      affected_plans : Logical.t list;
+          (** single-column plans mapping [delta_name] rows to reachable
+              driver keys, one per non-driver CTE occurrence *)
+      delta_name : string;
+      affected_name : string;
+    }
+      (** semi-naive working-table materialization: bag-identical to
+          [Materialize target full_plan], but evaluates [Ri] only for
+          keys whose inputs changed since the previous iteration *)
   | Rename of { from_ : string; into : string }  (** O(1) pointer swap *)
   | Drop_temp of string
   | Assert_unique_key of { temp : string; key_idx : int }

@@ -1,0 +1,323 @@
+(** Semi-naive (delta-driven) eligibility analysis for iterative loop
+    bodies (ROADMAP: semi-naive iteration; SciDB's incremental
+    iterative processing is the precedent).
+
+    Full re-evaluation recomputes [Ri] over the whole CTE every
+    iteration even when a handful of rows changed. When the loop body
+    has the right shape we can instead recompute only the {e affected}
+    driver keys — those whose own row changed, or that some changed row
+    can reach through the body's joins — and stitch every other key's
+    working-table row from the previous iteration.
+
+    A body is eligible when it unwraps as
+
+    {v project / distinct / filter / IN-subquery / aggregate wrappers
+      over a left-deep join tree whose leftmost leaf scans the CTE v}
+
+    with the following conditions, each of which the soundness argument
+    below depends on:
+
+    - the output column at [key_idx] is a verbatim copy of the driver's
+      key column (through projections, and through aggregates only as a
+      grouping column), so every output row belongs to exactly one
+      driver key;
+    - every join on the driver's spine is Inner, Left_outer or Cross —
+      a Right/Full outer join could null-pad {e new} driver keys into
+      existence when the driver side shrinks;
+    - every other CTE occurrence is a plain leaf scan on the spine, and
+      no opaque subtree (non-leaf join input, IN-subquery) references
+      the CTE — anything else is loop-variant in a way we don't model;
+    - joins distribute over the per-key decomposition because each join
+      row carries exactly one driver row; aggregates qualify regardless
+      of monotonicity (the MIN of SSSP included) because affected keys
+      recompute their {e whole} group over the full current CTE, never
+      an increment.
+
+    For an eligible body the analysis derives:
+
+    - [restricted_plan]: [Ri] with the driver scan wrapped in an IN
+      semijoin against the affected-key temp;
+    - [affected_plans]: for each non-driver CTE occurrence, the join
+      tree with the driver leaf removed, that occurrence replaced by
+      the delta temp, every join demoted to Inner and every conjunct
+      referencing the driver dropped, projecting the expression the
+      driver key is equated to. Dropping filters and demoting joins
+      only ever {e enlarges} the affected set, which is sound: affected
+      keys are recomputed exactly, unaffected keys are provably
+      unchanged. *)
+
+module Schema = Dbspinner_storage.Schema
+module Ast = Dbspinner_sql.Ast
+module Logical = Dbspinner_plan.Logical
+module Bound_expr = Dbspinner_plan.Bound_expr
+
+type analysis = {
+  restricted_plan : Logical.t;
+  affected_plans : Logical.t list;
+}
+
+(** Schema of the affected-key temp: one column holding driver keys. *)
+let affected_key_schema = Schema.of_names [ "key" ]
+
+let is_cte ~cte name = String.lowercase_ascii name = String.lowercase_ascii cte
+
+let references_cte ~cte plan =
+  List.exists (is_cte ~cte) (Logical.referenced_tables plan)
+
+(** Walk the wrapper chain above the join tree, tracking which input
+    column position must be a verbatim copy of the driver key so that
+    the output carries it at [key_idx]. Returns the core join tree (or
+    bare driver scan) once reached, or [None] if any wrapper breaks
+    per-key locality (sort/limit/offset/set operations, aggregates not
+    grouped by the key, projections that compute the key). *)
+let rec core_of ~cte ~key_idx pos (plan : Logical.t) : Logical.t option =
+  match plan with
+  | Logical.L_project { exprs; input } -> (
+    match List.nth_opt exprs pos with
+    | Some (Bound_expr.B_col j, _) -> core_of ~cte ~key_idx j input
+    | _ -> None)
+  | Logical.L_aggregate { keys; input; _ } -> (
+    (* agg_schema lists grouping columns first, so [pos] must name a
+       grouping column that is itself a column copy. *)
+    match List.nth_opt keys pos with
+    | Some (Bound_expr.B_col j) -> core_of ~cte ~key_idx j input
+    | _ -> None)
+  | Logical.L_filter { input; _ } -> core_of ~cte ~key_idx pos input
+  | Logical.L_distinct input -> core_of ~cte ~key_idx pos input
+  | Logical.L_subquery_filter { sub; input; _ } ->
+    if references_cte ~cte sub then None
+    else core_of ~cte ~key_idx pos input
+  | Logical.L_join _ | Logical.L_scan _ ->
+    (* Driver columns lead the join row, so the driver's key column sits
+       at absolute position [key_idx]. *)
+    if pos = key_idx then Some plan else None
+  | _ -> None
+
+type leg = {
+  kind : Logical.join_kind;
+  cond : Bound_expr.t option;
+  right : Logical.t;
+  right_is_cte : bool;
+}
+
+(** Decompose the left spine: driver scan at the far left, one [leg]
+    per join. Right inputs may be leaf CTE scans or opaque subtrees
+    that never mention the CTE. *)
+let rec spine ~cte (plan : Logical.t) : (Logical.t * leg list) option =
+  match plan with
+  | Logical.L_scan { name; _ } when is_cte ~cte name -> Some (plan, [])
+  | Logical.L_join { kind; cond; left; right; _ } -> (
+    match kind with
+    | Logical.Right_outer | Logical.Full_outer -> None
+    | Logical.Inner | Logical.Left_outer | Logical.Cross -> (
+      match spine ~cte left with
+      | None -> None
+      | Some (driver, legs) ->
+        let right_is_cte =
+          match right with
+          | Logical.L_scan { name; _ } -> is_cte ~cte name
+          | _ -> false
+        in
+        if (not right_is_cte) && references_cte ~cte right then None
+        else Some (driver, legs @ [ { kind; cond; right; right_is_cte } ])))
+  | _ -> None
+
+(** Replace the driver scan (the leftmost leaf, reached through the
+    validated wrapper chain and spine) with an IN semijoin against the
+    affected-key temp. Schemas are untouched. *)
+let rec restrict_driver ~key_idx ~affected_name (plan : Logical.t) : Logical.t =
+  let recurse = restrict_driver ~key_idx ~affected_name in
+  match plan with
+  | Logical.L_scan _ ->
+    Logical.subquery_filter ~anti:false
+      ~key:(Some (Bound_expr.B_col key_idx))
+      plan
+      (Logical.scan ~name:affected_name ~schema:affected_key_schema)
+  | Logical.L_join { kind; cond; left; right; join_schema } ->
+    Logical.L_join { kind; cond; left = recurse left; right; join_schema }
+  | Logical.L_project { exprs; input } ->
+    Logical.L_project { exprs; input = recurse input }
+  | Logical.L_aggregate { keys; aggs; input; agg_schema } ->
+    Logical.L_aggregate { keys; aggs; input = recurse input; agg_schema }
+  | Logical.L_filter { pred; input } ->
+    Logical.L_filter { pred; input = recurse input }
+  | Logical.L_distinct input -> Logical.L_distinct (recurse input)
+  | Logical.L_subquery_filter { anti; key; input; sub } ->
+    Logical.L_subquery_filter { anti; key; input = recurse input; sub }
+  | other -> other
+
+let analyze ~cte ~key_idx ~delta_name ~affected_name (plan : Logical.t) :
+    analysis option =
+  match core_of ~cte ~key_idx key_idx plan with
+  | None -> None
+  | Some core -> (
+    match spine ~cte core with
+    | None -> None
+    | Some (driver, legs) ->
+      let d = Schema.arity (Logical.schema driver) in
+      if key_idx >= d then None
+      else if
+        (* Belt and braces: every CTE occurrence must be the driver or a
+           validated spine leaf — nothing hiding elsewhere. *)
+        List.length
+          (List.filter (is_cte ~cte) (Logical.scan_names [] plan))
+        <> 1 + List.length (List.filter (fun l -> l.right_is_cte) legs)
+      then None
+      else
+        (* The expression the driver key is equated to, over non-driver
+           columns only (shifted to the driver-less affected tree) —
+           how affected plans name the keys a delta row reaches. *)
+        let non_driver e =
+          List.for_all (fun i -> i >= d) (Bound_expr.columns_of e)
+        in
+        let key_expr =
+          List.fold_left
+            (fun acc (l : leg) ->
+              match (acc, l.cond) with
+              | Some _, _ | _, None -> acc
+              | None, Some c ->
+                List.fold_left
+                  (fun acc conj ->
+                    match (acc, conj) with
+                    | Some _, _ -> acc
+                    | None, Bound_expr.B_binop (Ast.Eq, a, b) ->
+                      if a = Bound_expr.B_col key_idx && non_driver b then
+                        Some (Bound_expr.shift (-d) b)
+                      else if b = Bound_expr.B_col key_idx && non_driver a
+                      then Some (Bound_expr.shift (-d) a)
+                      else None
+                    | None, _ -> None)
+                  None (Bound_expr.conjuncts c))
+            None legs
+        in
+        let cte_occurrences = List.exists (fun l -> l.right_is_cte) legs in
+        if cte_occurrences && key_expr = None then None
+        else
+          (* Join conditions for the driver-less tree: conjuncts that
+             mention the driver are dropped (conservative — the
+             affected set only grows), the rest shift down by the
+             driver's arity. *)
+          let shifted_cond cond =
+            match cond with
+            | None -> None
+            | Some c -> (
+              match
+                List.filter
+                  (fun conj -> non_driver conj)
+                  (Bound_expr.conjuncts c)
+              with
+              | [] -> None
+              | kept -> Some (Bound_expr.shift (-d) (Bound_expr.conjoin kept)))
+          in
+          let build_affected replace_idx =
+            match legs with
+            | [] -> None
+            | _ ->
+              (* The delta leaf leads the join chain so it sits on the
+                 probe (left) side of every join; the loop-invariant
+                 legs become right-side builds the executor's
+                 generation-keyed join cache can reuse across
+                 iterations. Without the reorder the affected plan
+                 probes the biggest leg (e.g. the whole edge table)
+                 once per iteration, which caps the semi-naive win. *)
+              let arr = Array.of_list legs in
+              let n = Array.length arr in
+              let ar =
+                Array.map
+                  (fun (l : leg) -> Schema.arity (Logical.schema l.right))
+                  arr
+              in
+              (* Column offsets of each leg in the original (driver-
+                 less) layout, and in the reordered layout. *)
+              let off = Array.make n 0 in
+              for i = 1 to n - 1 do
+                off.(i) <- off.(i - 1) + ar.(i - 1)
+              done;
+              let order =
+                replace_idx
+                :: List.filter
+                     (fun i -> i <> replace_idx)
+                     (List.init n (fun i -> i))
+              in
+              let noff = Array.make n 0 in
+              let pos = ref 0 in
+              List.iter
+                (fun j ->
+                  noff.(j) <- !pos;
+                  pos := !pos + ar.(j))
+                order;
+              let leg_of_col c =
+                let rec go i =
+                  if i + 1 < n && c >= off.(i + 1) then go (i + 1) else i
+                in
+                go 0
+              in
+              let remap c =
+                let j = leg_of_col c in
+                noff.(j) + (c - off.(j))
+              in
+              let remap_expr =
+                Bound_expr.substitute (fun c -> Bound_expr.B_col (remap c))
+              in
+              let leaf j =
+                let l = arr.(j) in
+                if j = replace_idx then
+                  Logical.scan ~name:delta_name
+                    ~schema:(Logical.schema l.right)
+                else l.right
+              in
+              (* Each conjunct attaches at the earliest join where all
+                 the legs it references are present; any left over (a
+                 single-leg tree has no joins) is dropped, which only
+                 enlarges the affected set — sound. *)
+              let conjs =
+                ref
+                  (List.concat_map
+                     (fun (l : leg) ->
+                       match shifted_cond l.cond with
+                       | None -> []
+                       | Some c -> Bound_expr.conjuncts c)
+                     legs)
+              in
+              let tree =
+                List.fold_left
+                  (fun acc j ->
+                    let avail = noff.(j) + ar.(j) in
+                    let here, later =
+                      List.partition
+                        (fun conj ->
+                          List.for_all
+                            (fun c -> remap c < avail)
+                            (Bound_expr.columns_of conj))
+                        !conjs
+                    in
+                    conjs := later;
+                    let cond =
+                      match here with
+                      | [] -> None
+                      | kept -> Some (remap_expr (Bound_expr.conjoin kept))
+                    in
+                    Logical.join Logical.Inner ?cond acc (leaf j))
+                  (leaf replace_idx) (List.tl order)
+              in
+              Option.map
+                (fun ke ->
+                  Logical.distinct
+                    (Logical.project [ (remap_expr ke, "key") ] tree))
+                key_expr
+          in
+          let affected_plans =
+            List.concat
+              (List.mapi
+                 (fun i (l : leg) ->
+                   if not l.right_is_cte then []
+                   else match build_affected i with
+                     | Some p -> [ p ]
+                     | None -> [])
+                 legs)
+          in
+          Some
+            {
+              restricted_plan = restrict_driver ~key_idx ~affected_name plan;
+              affected_plans;
+            })

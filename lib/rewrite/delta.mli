@@ -1,0 +1,39 @@
+(** Semi-naive (delta-driven) eligibility analysis for iterative loop
+    bodies. A body is eligible when it is a stack of per-key-local
+    wrappers (project / filter / distinct / IN-subquery / aggregate
+    grouped by the driver key) over a left-deep join tree whose
+    leftmost leaf scans the CTE, with every other CTE occurrence a
+    plain leaf scan on the spine. Joins then distribute over the
+    per-key decomposition, and any aggregate qualifies — affected keys
+    recompute their whole group — so the monotone MIN of SSSP is
+    covered as a special case. Ineligible bodies simply keep full
+    re-evaluation. *)
+
+module Schema = Dbspinner_storage.Schema
+module Logical = Dbspinner_plan.Logical
+
+type analysis = {
+  restricted_plan : Logical.t;
+      (** [Ri] with the driver scan semijoined against the affected-key
+          temp; bag-identical to the full plan on affected keys *)
+  affected_plans : Logical.t list;
+      (** one single-column plan per non-driver CTE occurrence, mapping
+          delta rows to the driver keys they can reach; conservative
+          (may name keys whose rows end up unchanged) but never misses
+          an affected key *)
+}
+
+(** Schema of the affected-key temp (a single [key] column). *)
+val affected_key_schema : Schema.t
+
+(** [analyze ~cte ~key_idx ~delta_name ~affected_name plan] — [Some]
+    when [plan] (the bound loop body, scanning the CTE as [cte]) is
+    eligible for delta-driven evaluation; [None] means the executor
+    must fall back to full re-evaluation. *)
+val analyze :
+  cte:string ->
+  key_idx:int ->
+  delta_name:string ->
+  affected_name:string ->
+  Logical.t ->
+  analysis option

@@ -40,6 +40,9 @@ type report = {
   mutable predicates_pushed : int;  (** §V-B pushes into R0 *)
   mutable rename_paths : int;  (** full-update loops using rename *)
   mutable merge_paths : int;  (** partial-update loops using the merge *)
+  mutable delta_paths : int;
+      (** loops whose working table is built semi-naively (delta-driven
+          restricted re-evaluation instead of a full [Ri] pass) *)
 }
 
 let empty_report () =
@@ -48,12 +51,15 @@ let empty_report () =
     predicates_pushed = 0;
     rename_paths = 0;
     merge_paths = 0;
+    delta_paths = 0;
   }
 
 let report_to_string r =
   Printf.sprintf
-    "common-results=%d predicates-pushed=%d rename-loops=%d merge-loops=%d"
+    "common-results=%d predicates-pushed=%d rename-loops=%d merge-loops=%d \
+     delta-loops=%d"
     r.common_results_extracted r.predicates_pushed r.rename_paths r.merge_paths
+    r.delta_paths
 
 (* ------------------------------------------------------------------ *)
 (* Merge plan for partial updates (Algorithm 1, line 8)                *)
@@ -235,7 +241,29 @@ let compile_iterative ctx ~name ~columns ~key ~base ~step ~until
        });
   let body_start = position ctx in
   emit ctx (Program.Snapshot { loop_id });
-  emit ctx (Program.Materialize { target = work_name; plan = step_plan });
+  (let delta_analysis =
+     if not options.Options.use_delta then None
+     else
+       Delta.analyze ~cte:name ~key_idx ~delta_name:(name ^ "#delta")
+         ~affected_name:(name ^ "#affected") step_plan
+   in
+   match delta_analysis with
+   | Some { Delta.restricted_plan; affected_plans } ->
+     ctx.report.delta_paths <- ctx.report.delta_paths + 1;
+     emit ctx
+       (Program.Delta_materialize
+          {
+            loop_id;
+            target = work_name;
+            cte = name;
+            key_idx;
+            full_plan = step_plan;
+            restricted_plan;
+            affected_plans;
+            delta_name = name ^ "#delta";
+            affected_name = name ^ "#affected";
+          })
+   | None -> emit ctx (Program.Materialize { target = work_name; plan = step_plan }));
   emit ctx (Program.Assert_unique_key { temp = work_name; key_idx });
   let full_update = updates_entire_dataset ~cte_name:name step in
   if full_update && options.Options.use_rename then begin
@@ -277,6 +305,15 @@ let optimize_step_plans options (steps : Program.step list) : Program.step list 
         match step with
         | Program.Materialize { target; plan } ->
           Program.Materialize { target; plan = Plan_pushdown.push_filters plan }
+        | Program.Delta_materialize d ->
+          (* The affected plans are filter-free by construction; push
+             into the two Ri variants only. *)
+          Program.Delta_materialize
+            {
+              d with
+              full_plan = Plan_pushdown.push_filters d.full_plan;
+              restricted_plan = Plan_pushdown.push_filters d.restricted_plan;
+            }
         | Program.Return plan -> Program.Return (Plan_pushdown.push_filters plan)
         | Program.Recursive_cte r ->
           Program.Recursive_cte

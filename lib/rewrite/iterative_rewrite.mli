@@ -26,12 +26,14 @@ val compile :
   Program.t
 
 (** What the optimizer did: counts of extracted common results, pushed
-    predicates, and rename vs merge loop paths. *)
+    predicates, rename vs merge loop paths, and loops compiled for
+    semi-naive (delta-driven) evaluation. *)
 type report = {
   mutable common_results_extracted : int;
   mutable predicates_pushed : int;
   mutable rename_paths : int;
   mutable merge_paths : int;
+  mutable delta_paths : int;
 }
 
 val report_to_string : report -> string

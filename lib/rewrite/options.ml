@@ -49,6 +49,13 @@ type t = {
   trace_buffer : int;
       (** ring-buffer capacity (spans) for the iteration-aware trace
           collector; only consulted when tracing is enabled *)
+  use_delta : bool;
+      (** semi-naive (delta-driven) iterative evaluation: when the loop
+          body is structurally eligible, re-evaluate [Ri] only for rows
+          whose inputs changed since the previous iteration and stitch
+          the rest from the previous working table. Results are
+          bag-identical to full re-evaluation; ineligible bodies fall
+          back to full re-evaluation per iteration. *)
 }
 
 let default =
@@ -68,6 +75,7 @@ let default =
     parallel_chunk_rows = 4096;
     use_exec_cache = true;
     trace_buffer = 8192;
+    use_delta = true;
   }
 
 (** All paper optimizations off: the naive rewrite the paper's
@@ -80,6 +88,7 @@ let unoptimized =
     use_pushdown = false;
     use_constant_folding = false;
     use_outer_to_inner = false;
+    use_delta = false;
   }
 
 let to_string t =
@@ -109,7 +118,8 @@ let to_string t =
   in
   (* Only shown when disabled, keeping the default rendering stable. *)
   let cache = if t.use_exec_cache then "" else " exec_cache=off" in
+  let delta = if t.use_delta then "" else " delta=off" in
   Printf.sprintf
-    "rename=%b common_result=%b pushdown=%b fold=%b outer_to_inner=%b%s%s%s"
+    "rename=%b common_result=%b pushdown=%b fold=%b outer_to_inner=%b%s%s%s%s"
     t.use_rename t.use_common_result t.use_pushdown t.use_constant_folding
-    t.use_outer_to_inner guards parallel cache
+    t.use_outer_to_inner guards parallel cache delta

@@ -45,6 +45,10 @@ type t = {
   trace_buffer : int;
       (** ring-buffer capacity (spans) for the iteration-aware trace
           collector; only consulted when tracing is enabled *)
+  use_delta : bool;
+      (** semi-naive (delta-driven) iterative evaluation; eligible loop
+          bodies re-evaluate [Ri] only over rows whose inputs changed,
+          ineligible bodies fall back to full re-evaluation *)
 }
 
 (** Everything on. *)

@@ -46,17 +46,25 @@ let query_done t ~ok ~seconds =
       t.latencies.(t.latency_count mod reservoir_capacity) <- seconds;
       t.latency_count <- t.latency_count + 1)
 
-(** Nearest-rank percentile over the retained reservoir, in seconds;
-    0 when nothing has been recorded. *)
+(** Nearest-rank percentile over the retained reservoir, in seconds.
+    Total on its edge cases: an empty reservoir yields 0.0 (never an
+    out-of-bounds read), a single sample is every percentile of itself,
+    and [p] is clamped to [0, 100] with NaN treated as 0 (NaN would
+    otherwise flow through [int_of_float], whose result is
+    unspecified). *)
 let percentile_locked t p =
   let n = min t.latency_count reservoir_capacity in
   if n = 0 then 0.0
   else begin
+    let p = if Float.is_nan p then 0.0 else Float.max 0.0 (Float.min 100.0 p) in
     let sorted = Array.sub t.latencies 0 n in
     Array.sort Float.compare sorted;
     let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
     sorted.(max 0 (min (n - 1) (rank - 1)))
   end
+
+(** Public, locking variant of {!percentile_locked}. *)
+let percentile t p = locked t (fun () -> percentile_locked t p)
 
 type snapshot = {
   sessions_total : int;

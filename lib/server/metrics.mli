@@ -10,6 +10,12 @@ val session_closed : t -> unit
 (** Record a completed query with its wall-clock latency. *)
 val query_done : t -> ok:bool -> seconds:float -> unit
 
+(** Nearest-rank percentile (in seconds) over the retained latency
+    reservoir. Total: 0.0 when nothing has been recorded, the lone
+    sample when one has; [p] is clamped to [0, 100] and NaN treated
+    as 0. *)
+val percentile : t -> float -> float
+
 type snapshot = {
   sessions_total : int;
   sessions_active : int;

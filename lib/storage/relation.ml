@@ -73,6 +73,56 @@ let delta_count ~key_idx (prev : t) (next : t) =
   (* Rows that vanished also count as changed. *)
   !changed + (cardinality prev - !seen)
 
+(** The rows behind {!delta_count}: every [next] row whose key is new or
+    whose payload differs from [prev], plus the {e previous} version of
+    changed and vanished keys. Returning both versions lets semi-naive
+    evaluation chase join partners a changed row used to reach as well
+    as the ones it reaches now. Schema is taken from [next]. *)
+let changed_rows ~key_idx (prev : t) (next : t) =
+  (* Fast path: iterative loops keep the key sequence stable from one
+     iteration to the next, so when both versions list the same keys in
+     the same positions the diff is a single lockstep walk with no
+     hashing — this runs once per iteration over the whole CTE, so its
+     constant matters. *)
+  let n = cardinality next in
+  let aligned =
+    cardinality prev = n
+    &&
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < n do
+      if not (Value.equal prev.rows.(!i).(key_idx) next.rows.(!i).(key_idx))
+      then ok := false;
+      incr i
+    done;
+    !ok
+  in
+  if aligned then begin
+    let out = ref [] in
+    for i = n - 1 downto 0 do
+      let old = prev.rows.(i) and r = next.rows.(i) in
+      if not (Row.equal old r) then out := r :: old :: !out
+    done;
+    { schema = next.schema; rows = Array.of_list !out }
+  end
+  else begin
+    let index = Hashtbl.create (cardinality prev) in
+    Array.iter (fun r -> Hashtbl.replace index r.(key_idx) r) prev.rows;
+    let out = ref [] in
+    let seen = Hashtbl.create (cardinality next) in
+    Array.iter
+      (fun r ->
+        Hashtbl.replace seen r.(key_idx) ();
+        match Hashtbl.find_opt index r.(key_idx) with
+        | Some old -> if not (Row.equal old r) then out := old :: r :: !out
+        | None -> out := r :: !out)
+      next.rows;
+    Array.iter
+      (fun r -> if not (Hashtbl.mem seen r.(key_idx)) then out := r :: !out)
+      prev.rows;
+    { schema = next.schema; rows = Array.of_list (List.rev !out) }
+  end
+
 let sorted t =
   let rows = Array.copy t.rows in
   Array.sort Row.compare rows;

@@ -37,6 +37,14 @@ val equal_bag : t -> t -> bool
     Drives the Delta termination condition and update counting. *)
 val delta_count : key_idx:int -> t -> t -> int
 
+(** [changed_rows ~key_idx prev next] — the rows behind
+    {!delta_count}: every [next] row whose key is new or whose payload
+    differs, plus the {e previous} version of changed and vanished
+    keys (so delta-driven evaluation can chase join partners a row
+    used to reach as well as the ones it reaches now). Schema is
+    [next]'s. *)
+val changed_rows : key_idx:int -> t -> t -> t
+
 (** Copy with rows sorted by {!Row.compare} (canonical order for
     comparisons). *)
 val sorted : t -> t

@@ -515,6 +515,40 @@ let test_error_stages () =
   | exception Errors.Error (Errors.Execute, _) -> ()
   | _ -> Alcotest.fail "runtime error expected"
 
+(** A statement whose whole cost sits inside ONE operator — a
+    nested-loop double self-join, hundreds of millions of candidate
+    pairs with no intermediate materialization boundary — must still
+    honor the statement timeout. Guards used to be checked only at
+    materialize and loop boundaries, so such a statement ran to
+    completion regardless of the timeout; the in-operator probes
+    (Guards.tick) abort it mid-join. The elapsed-time bound is the
+    actual regression check: without probes this join runs for far
+    longer than the allowance before the boundary check fires. *)
+let test_statement_timeout_inside_operator () =
+  let e =
+    Engine.create
+      ~options:
+        { Options.default with Options.statement_timeout_seconds = Some 0.05 }
+      ()
+  in
+  Engine.load_table e ~name:"big"
+    (rel [ "x" ] (List.init 700 (fun i -> [ vi i ])));
+  let t0 = Unix.gettimeofday () in
+  (match
+     Engine.execute e
+       "SELECT COUNT(*) FROM big AS a JOIN big AS b ON a.x < b.x JOIN big AS \
+        c ON b.x < c.x"
+   with
+  | exception Errors.Error (Errors.Resource, msg) ->
+    Alcotest.(check bool)
+      (Printf.sprintf "reported as statement timeout: %s" msg)
+      true (contains msg "timeout")
+  | _ -> Alcotest.fail "expected the statement timeout to trip");
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "aborted mid-operator (%.2fs)" elapsed)
+    true (elapsed < 2.0)
+
 let test_execute_script () =
   let e = Engine.create () in
   let results =
@@ -601,6 +635,8 @@ let () =
           Alcotest.test_case "temps-cleared" `Quick
             test_temps_cleared_between_queries;
           Alcotest.test_case "error-stages" `Quick test_error_stages;
+          Alcotest.test_case "timeout-inside-operator" `Quick
+            test_statement_timeout_inside_operator;
           Alcotest.test_case "script" `Quick test_execute_script;
         ] );
       ( "baselines",

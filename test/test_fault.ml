@@ -134,7 +134,7 @@ let work_step program =
   Array.iteri
     (fun i step ->
       match step with
-      | Program.Materialize { target; _ }
+      | (Program.Materialize { target; _ } | Program.Delta_materialize { target; _ })
         when !found < 0 && contains target "#work" ->
         found := i
       | _ -> ())

@@ -161,6 +161,9 @@ let test_distributed_pr_iteration_body () =
         | Dbspinner_plan.Program.Materialize { target; plan }
           when contains target "#work" ->
           Some plan
+        | Dbspinner_plan.Program.Delta_materialize { target; full_plan; _ }
+          when contains target "#work" ->
+          Some full_plan
         | _ -> None)
       (Dbspinner_plan.Program.steps program)
     |> Option.get

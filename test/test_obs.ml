@@ -114,7 +114,30 @@ let test_validate_event () =
       {|{"seq": 0, "kind": "nope", "label": "x", "loop": -1, "iter": 0, "rows": -1, "delta": -1, "cum_updates": -1, "wall_ms": 0.1, "scanned": 0, "joined": 0, "materialized": 0, "cache_hits": 0, "cache_misses": 0, "faults": 0, "retries": 0, "recoveries": 0}|};
       (* non-integer counter *)
       {|{"seq": 0, "kind": "step", "label": "x", "loop": -1, "iter": 0, "rows": 1.5, "delta": -1, "cum_updates": -1, "wall_ms": 0.1, "scanned": 0, "joined": 0, "materialized": 0, "cache_hits": 0, "cache_misses": 0, "faults": 0, "retries": 0, "recoveries": 0}|};
+      (* OCaml [%S]-style decimal escape: legal OCaml, invalid JSON.
+         The exporter once produced these; the validator must reject
+         them so a regression cannot slip through. *)
+      {|{"seq": 0, "kind": "step", "label": "x\027y", "loop": -1, "iter": 0, "rows": -1, "delta": -1, "cum_updates": -1, "wall_ms": 0.1, "scanned": 0, "joined": 0, "materialized": 0, "cache_hits": 0, "cache_misses": 0, "faults": 0, "retries": 0, "recoveries": 0}|};
     ]
+
+(** Labels with control bytes, quotes and backslashes must export as
+    valid JSON — every string field goes through the JSON escaper, not
+    OCaml's [%S] (which emits decimal escapes like [\027]). *)
+let test_export_escapes_weird_labels () =
+  let tr = Trace.create () in
+  List.iter
+    (fun label ->
+      Trace.emit tr ~kind:Trace.Operator ~label ~wall_ms:0.1
+        ~counters:Trace.zero_counters ())
+    [ "quote\"backslash\\"; "ctrl\001\027byte"; "tab\tnl\ncr\r"; "" ];
+  List.iter
+    (fun s ->
+      let line = Trace.span_to_json s in
+      match Trace.validate_event line with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "span %S exports invalid JSON (%s): %s"
+          s.Trace.label m line)
+    (Trace.spans tr)
 
 (* ------------------------------------------------------------------ *)
 (* Engine-level timeline                                               *)
@@ -272,7 +295,12 @@ let () =
             test_iteration_spans_filter;
         ] );
       ("json", [ Alcotest.test_case "parser" `Quick test_json_parser ]);
-      ("ndjson", [ Alcotest.test_case "validate" `Quick test_validate_event ]);
+      ( "ndjson",
+        [
+          Alcotest.test_case "validate" `Quick test_validate_event;
+          Alcotest.test_case "weird-labels" `Quick
+            test_export_escapes_weird_labels;
+        ] );
       ( "engine",
         [
           Alcotest.test_case "timeline" `Quick test_engine_timeline;

@@ -33,8 +33,12 @@ let compile ?(options = Options.default) sql =
 
 let count program f = Program.count_steps program ~f
 
+(* Delta_materialize is the working-table materialization compiled for
+   semi-naive evaluation; shape-wise it occupies the same slot. *)
 let materialize_count p =
-  count p (function Program.Materialize _ -> true | _ -> false)
+  count p (function
+    | Program.Materialize _ | Program.Delta_materialize _ -> true
+    | _ -> false)
 
 let rename_count p = count p (function Program.Rename _ -> true | _ -> false)
 
@@ -86,7 +90,8 @@ let test_loop_jump_target () =
   | Program.Snapshot _ -> ()
   | _ -> Alcotest.fail "loop should jump back to the snapshot step");
   match steps.(body_start + 1) with
-  | Program.Materialize { target; _ } ->
+  | Program.Materialize { target; _ }
+  | Program.Delta_materialize { target; _ } ->
     Alcotest.(check bool) "then materializes the working table" true
       (contains target "#work")
   | _ -> Alcotest.fail "expected working-table materialization"

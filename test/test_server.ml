@@ -209,6 +209,33 @@ let test_metrics_render_parse () =
   Alcotest.(check bool) "p99 >= p50" true
     (s.Metrics.p99_seconds >= s.Metrics.p50_seconds)
 
+(** Percentile totality on tiny reservoirs: n = 0 must yield 0.0 (not
+    an out-of-bounds read), n = 1 the lone sample for every p, and the
+    rank arithmetic must hold at n = 2; NaN and out-of-range p are
+    clamped instead of flowing into [int_of_float]. *)
+let test_metrics_percentile_edges () =
+  let fl = Alcotest.float 1e-12 in
+  let m = Metrics.create () in
+  (* n = 0: every percentile is 0. *)
+  List.iter
+    (fun p -> Alcotest.check fl "empty reservoir" 0.0 (Metrics.percentile m p))
+    [ 0.0; 50.0; 100.0; -3.0; 250.0; Float.nan ];
+  (* n = 1: every percentile is the lone sample. *)
+  Metrics.query_done m ~ok:true ~seconds:0.042;
+  List.iter
+    (fun p -> Alcotest.check fl "lone sample" 0.042 (Metrics.percentile m p))
+    [ 0.0; 50.0; 99.0; 100.0; -3.0; 250.0; Float.nan ];
+  (* n = 2: nearest-rank picks the lower sample up to p50, the upper
+     one above; clamping maps out-of-range p onto the extremes. *)
+  Metrics.query_done m ~ok:true ~seconds:0.010;
+  Alcotest.check fl "p0 = min" 0.010 (Metrics.percentile m 0.0);
+  Alcotest.check fl "p50 = lower" 0.010 (Metrics.percentile m 50.0);
+  Alcotest.check fl "p51 = upper" 0.042 (Metrics.percentile m 51.0);
+  Alcotest.check fl "p100 = max" 0.042 (Metrics.percentile m 100.0);
+  Alcotest.check fl "negative p clamps to min" 0.010 (Metrics.percentile m (-7.0));
+  Alcotest.check fl "p > 100 clamps to max" 0.042 (Metrics.percentile m 1000.0);
+  Alcotest.check fl "NaN treated as p0" 0.010 (Metrics.percentile m Float.nan)
+
 (* ------------------------------------------------------------------ *)
 (* End-to-end over the socket                                          *)
 
@@ -580,6 +607,8 @@ let () =
         [
           Alcotest.test_case "unit" `Quick test_admission_unit;
           Alcotest.test_case "metrics" `Quick test_metrics_render_parse;
+          Alcotest.test_case "metrics-percentile-edges" `Quick
+            test_metrics_percentile_edges;
           Alcotest.test_case "rejects-overload" `Quick
             test_admission_rejects_overload;
           Alcotest.test_case "busy-retry" `Quick
