@@ -6,7 +6,7 @@ DUNE ?= dune
 # Fixed seed so the property/fuzz suites are reproducible in CI.
 SMOKE_SEED ?= 42
 
-.PHONY: all build test fmt fmt-check smoke trace-smoke server-smoke durable-smoke delta-smoke bench-fast bench-cache check ci clean
+.PHONY: all build test fmt fmt-check smoke trace-smoke server-smoke durable-smoke delta-smoke columnar-smoke bench-fast bench-cache check ci clean
 
 all: build
 
@@ -112,6 +112,17 @@ delta-smoke: build
 	QCHECK_SEED=$(SMOKE_SEED) $(DUNE) exec test/test_delta.exe
 	$(DUNE) exec bench/main.exe -- ext-delta --fast --json BENCH_delta.json
 
+# Columnar smoke: the vectorized-execution suite (null-bitmap corners,
+# five-executor agreement, and the columnar on/off property under a
+# fixed seed), then the fast columnar bench, which re-checks row vs
+# columnar equivalence — results and logical stats — across the
+# sequential / parallel / cached / delta / distributed executors and
+# writes BENCH_columnar.json (row vs columnar timings and speedups per
+# workload) for CI trend tracking.
+columnar-smoke: build
+	QCHECK_SEED=$(SMOKE_SEED) $(DUNE) exec test/test_columnar.exe
+	$(DUNE) exec bench/main.exe -- ext-columnar --fast --json BENCH_columnar.json
+
 bench-fast: build
 	$(DUNE) exec bench/main.exe -- --fast
 
@@ -120,14 +131,15 @@ bench-fast: build
 bench-cache: build
 	$(DUNE) exec bench/main.exe -- ext-cache --json BENCH_cache.json
 
-check: build test fmt-check smoke trace-smoke server-smoke durable-smoke delta-smoke
+check: build test fmt-check smoke trace-smoke server-smoke durable-smoke delta-smoke columnar-smoke
 
 # The minimal CI gate: compile, full test suite, formatting, trace
 # smoke (NDJSON + bench-record validation with the fault path traced),
 # the end-to-end server smoke (boot, workload, graceful drain), the
-# durability smoke (crash recovery + chaos harness), and the delta
-# smoke (semi-naive on/off equivalence + bench records).
-ci: build test fmt-check trace-smoke server-smoke durable-smoke delta-smoke
+# durability smoke (crash recovery + chaos harness), the delta smoke
+# (semi-naive on/off equivalence + bench records), and the columnar
+# smoke (row vs vectorized equivalence + bench records).
+ci: build test fmt-check trace-smoke server-smoke durable-smoke delta-smoke columnar-smoke
 
 clean:
 	$(DUNE) clean

@@ -23,6 +23,9 @@
                        convergence-timeline agreement across the
                        sequential / parallel / distributed executors
                        (extension)
+     ext-columnar    — vectorized columnar execution vs the row
+                       engine, with cross-executor equivalence checks
+                       (extension)
      ext-durable     — write-ahead-log overhead by fsync policy
                        (none/off/batch/always) and recovery time from
                        WAL replay vs snapshot load (extension)
@@ -66,7 +69,12 @@ let improvement baseline optimized =
 (* Machine-readable output: sections push flat records; --json PATH
    writes them out (hand-rolled — the build carries no JSON library). *)
 
-type json_value = J_str of string | J_num of float | J_int of int | J_bool of bool
+type json_value =
+  | J_str of string
+  | J_num of float
+  | J_int of int
+  | J_bool of bool
+  | J_arr of json_value list
 
 let json_records : (string * json_value) list list ref = ref []
 let record_json fields = json_records := fields :: !json_records
@@ -88,11 +96,13 @@ let json_escape s =
   Buffer.contents b
 
 let write_json path =
-  let render = function
+  let rec render = function
     | J_str s -> Printf.sprintf "\"%s\"" (json_escape s)
     | J_num f -> Printf.sprintf "%.6f" f
     | J_int i -> string_of_int i
     | J_bool b -> if b then "true" else "false"
+    | J_arr items ->
+      Printf.sprintf "[%s]" (String.concat ", " (List.map render items))
   in
   let oc = open_out path in
   output_string oc "{\n  \"schema\": \"dbspinner-bench-v1\",\n  \"records\": [\n";
@@ -944,9 +954,7 @@ let ext_delta () =
         (secs on_t) (improvement off_t on_t)
         on_stats.Stats.delta_rows_evaluated on_stats.Stats.full_reevals
         (if all_equal then "yes" else "NO!");
-      let ms_list l =
-        String.concat "," (List.map (fun ms -> Printf.sprintf "%.3f" ms) l)
-      in
+      let ms_arr l = J_arr (List.map (fun ms -> J_num ms) l) in
       record_json
         [
           ("section", J_str "ext-delta");
@@ -959,8 +967,8 @@ let ext_delta () =
           ("iterations", J_int on_stats.Stats.loop_iterations);
           ("delta_rows_evaluated", J_int on_stats.Stats.delta_rows_evaluated);
           ("full_reevals", J_int on_stats.Stats.full_reevals);
-          ("per_iteration_off_ms", J_str (ms_list off_iters));
-          ("per_iteration_on_ms", J_str (ms_list on_iters));
+          ("per_iteration_off_ms", ms_arr off_iters);
+          ("per_iteration_on_ms", ms_arr on_iters);
           ("sequential_equal", J_bool seq_equal);
           ("traced_equal", J_bool traced_equal);
           ("parallel_distributed_cached_equal", J_bool executors_equal);
@@ -975,6 +983,208 @@ let ext_delta () =
     \ every key every iteration, so the cutoff falls back to full passes\n\
     \ and merely must not regress. `equal` covers sequential, traced,\n\
     \ parallel, cached and distributed runs)"
+
+
+(* ------------------------------------------------------------------ *)
+(* ext-columnar: vectorized columnar execution vs the row engine       *)
+
+let ext_columnar () =
+  header
+    (Printf.sprintf
+       "Extension: vectorized columnar execution (selection vectors), %d \
+        iterations"
+       (iterations ()));
+  let module Stats = Dbspinner_exec.Stats in
+  let module Executor = Dbspinner_exec.Executor in
+  let module Parallel = Dbspinner_exec.Parallel in
+  let module Catalog = Dbspinner_storage.Catalog in
+  let graph, engine = engine_for_dataset Datasets.dblp_like in
+  Printf.printf "dataset: dblp-like (%d nodes, %d edges)\n"
+    (Graph_gen.num_nodes graph) (Graph_gen.num_edges graph);
+  let catalog = Engine.catalog engine in
+  let lookup name =
+    Option.map Dbspinner_storage.Table.schema
+      (Catalog.find_table_opt catalog name)
+  in
+  let compile_for options sql =
+    Dbspinner_rewrite.Iterative_rewrite.compile ~options ~lookup
+      (Dbspinner_sql.Parser.parse_query sql)
+  in
+  (* The headline row-vs-columnar comparison runs with deltas off so
+     every iteration re-evaluates the full loop body — that is the
+     operator volume the vectorized engine accelerates. The delta legs
+     below measure the compounding when both are on. *)
+  let delta_off = { Options.default with Options.use_delta = false } in
+  let n = iterations () in
+  let workloads =
+    [
+      ("PR", Queries.pr ~iterations:n ());
+      ("PR-VS", Queries.pr_vs ~iterations:n ());
+      ("SSSP", Queries.sssp ~source:0 ~iterations:n ());
+      ("SSSP-VS", Queries.sssp_vs ~source:0 ~iterations:n ());
+      ("FF (50%, mod 2)", Queries.ff ~modulus:2 ~iterations:n ());
+    ]
+  in
+  (* Distributed partition order reorders float additions, so that leg
+     is compared with tolerance (same as ext-delta / ext-trace). *)
+  let close x y =
+    Float.abs (x -. y) <= 1e-9 *. (1.0 +. Float.abs x +. Float.abs y)
+  in
+  let approx_equal_bag a b =
+    let module Value = Dbspinner_storage.Value in
+    Relation.cardinality a = Relation.cardinality b
+    &&
+    let sa = Relation.sorted a and sb = Relation.sorted b in
+    Array.for_all2
+      (fun ra rb ->
+        Array.for_all2
+          (fun va vb ->
+            match ((va : Value.t), (vb : Value.t)) with
+            | (Value.Int _ | Value.Float _), (Value.Int _ | Value.Float _) ->
+              close (Value.to_float va) (Value.to_float vb)
+            | _ -> Value.equal va vb)
+          ra rb)
+      (Relation.rows sa) (Relation.rows sb)
+  in
+  let run ?parallel ?(use_cache = true) ~columnar program =
+    let stats = Stats.create () in
+    let rel = ref (Relation.make (Dbspinner_storage.Schema.make []) [||]) in
+    let t =
+      timed (fun () ->
+          Catalog.clear_temps catalog;
+          Stats.reset stats;
+          rel :=
+            Executor.run_program ?parallel ~stats ~use_cache ~columnar catalog
+              program)
+    in
+    (t, !rel, stats)
+  in
+  (* Single (untimed) run for the equivalence-only legs. *)
+  let once ?parallel ?(use_cache = true) ~columnar program =
+    let stats = Stats.create () in
+    Catalog.clear_temps catalog;
+    let rel =
+      Executor.run_program ?parallel ~stats ~use_cache ~columnar catalog
+        program
+    in
+    (rel, stats)
+  in
+  (* Headline legs take the best of [reps] timed runs so one scheduler
+     hiccup does not decide the comparison; both engines get the same
+     treatment. *)
+  let reps = if !fast then 1 else 3 in
+  let best_of k f =
+    let best = ref (f ()) in
+    for _ = 2 to k do
+      let ((t, _, _) as r) = f () in
+      let bt, _, _ = !best in
+      if t < bt then best := r
+    done;
+    !best
+  in
+  Printf.printf "\n%-18s %11s %11s %9s %6s\n" "workload" "row" "columnar"
+    "speedup" "equal";
+  List.iter
+    (fun (label, sql) ->
+      let p = compile_for delta_off sql in
+      let p_delta = compile_for Options.default sql in
+      (* Sequential (cached, the engine default). *)
+      let row_t, row_rel, row_stats =
+        best_of reps (fun () -> run ~columnar:false p)
+      in
+      let col_t, col_rel, col_stats =
+        best_of reps (fun () -> run ~columnar:true p)
+      in
+      let seq_equal =
+        Relation.equal_bag row_rel col_rel
+        && Stats.logical_equal row_stats col_stats
+      in
+      (* Chunk-parallel. *)
+      let parallel = Parallel.context ~workers:2 () in
+      let par_row_t, par_row_rel, par_row_stats =
+        run ?parallel ~columnar:false p
+      in
+      let par_col_t, par_col_rel, par_col_stats =
+        run ?parallel ~columnar:true p
+      in
+      let parallel_equal =
+        Relation.equal_bag par_row_rel par_col_rel
+        && Relation.equal_bag col_rel par_col_rel
+        && Stats.logical_equal par_row_stats par_col_stats
+      in
+      (* Uncached (the cache must be invisible to both engines). *)
+      let unc_row_rel, unc_row_stats = once ~use_cache:false ~columnar:false p in
+      let unc_col_rel, unc_col_stats = once ~use_cache:false ~columnar:true p in
+      let cached_equal =
+        Relation.equal_bag unc_row_rel unc_col_rel
+        && Relation.equal_bag col_rel unc_col_rel
+        && Stats.logical_equal unc_row_stats unc_col_stats
+      in
+      (* Semi-naive deltas on: the compounding configuration. *)
+      let d_row_t, d_row_rel, d_row_stats = run ~columnar:false p_delta in
+      let d_col_t, d_col_rel, d_col_stats = run ~columnar:true p_delta in
+      let delta_equal =
+        Relation.equal_bag d_row_rel d_col_rel
+        && Relation.equal_bag col_rel d_col_rel
+        && Stats.logical_equal d_row_stats d_col_stats
+      in
+      (* Distributed. *)
+      let dist_run ~columnar =
+        let stats = Stats.create () in
+        Catalog.clear_temps catalog;
+        let rel, _ =
+          Dbspinner_mpp.Distributed.run_program ~workers:4 ~stats ~columnar
+            catalog p
+        in
+        (rel, stats)
+      in
+      let dist_row_rel, dist_row_stats = dist_run ~columnar:false in
+      let dist_col_rel, dist_col_stats = dist_run ~columnar:true in
+      let distributed_equal =
+        approx_equal_bag dist_row_rel dist_col_rel
+        && approx_equal_bag col_rel dist_col_rel
+        && Stats.logical_equal dist_row_stats dist_col_stats
+      in
+      Catalog.clear_temps catalog;
+      let all_equal =
+        seq_equal && parallel_equal && cached_equal && delta_equal
+        && distributed_equal
+      in
+      Printf.printf "%-18s %11s %11s %8.2fx %6s\n" label (secs row_t)
+        (secs col_t)
+        (row_t /. Float.max col_t 1e-12)
+        (if all_equal then "yes" else "NO!");
+      record_json
+        [
+          ("section", J_str "ext-columnar");
+          ("workload", J_str label);
+          ("row_s", J_num row_t);
+          ("columnar_s", J_num col_t);
+          ("speedup", J_num (row_t /. Float.max col_t 1e-12));
+          ( "improvement_pct",
+            J_num ((row_t -. col_t) /. Float.max row_t 1e-12 *. 100.0) );
+          ("parallel_row_s", J_num par_row_t);
+          ("parallel_columnar_s", J_num par_col_t);
+          ( "parallel_speedup",
+            J_num (par_row_t /. Float.max par_col_t 1e-12) );
+          ("delta_row_s", J_num d_row_t);
+          ("delta_columnar_s", J_num d_col_t);
+          ("delta_speedup", J_num (d_row_t /. Float.max d_col_t 1e-12));
+          ("iterations", J_int col_stats.Stats.loop_iterations);
+          ("sequential_equal", J_bool seq_equal);
+          ("parallel_equal", J_bool parallel_equal);
+          ("cached_equal", J_bool cached_equal);
+          ("delta_equal", J_bool delta_equal);
+          ("distributed_equal", J_bool distributed_equal);
+          ("results_equal", J_bool all_equal);
+        ])
+    workloads;
+  print_endline
+    "\n(row is the tuple-at-a-time interpreter; columnar evaluates compiled\n\
+    \ kernels over typed column batches under selection vectors. Results\n\
+    \ and logical stats must be bit-identical across the sequential,\n\
+    \ chunk-parallel, cached, delta and distributed executors - `equal`\n\
+    \ covers all five; the distributed leg uses the usual float tolerance)"
 
 (* ------------------------------------------------------------------ *)
 (* ext-server: multi-session server throughput and admission control   *)
@@ -1342,6 +1552,7 @@ let sections =
     ("ext-cache", ext_cache);
     ("ext-trace", ext_trace);
     ("ext-delta", ext_delta);
+    ("ext-columnar", ext_columnar);
     ("ext-server", ext_server);
     ("ext-durable", ext_durable);
     ("micro", micro);

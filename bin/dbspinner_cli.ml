@@ -135,6 +135,7 @@ let set_option engine key enabled =
     | "exec_cache" | "cache" ->
       Some { options with Options.use_exec_cache = enabled }
     | "delta" -> Some { options with Options.use_delta = enabled }
+    | "columnar" -> Some { options with Options.use_columnar = enabled }
     | _ -> None
   in
   match options with
@@ -143,7 +144,8 @@ let set_option engine key enabled =
     Printf.printf "set %s = %b\n" key enabled
   | None ->
     Printf.printf
-      "unknown option %s (rename|common|pushdown|fold|exec_cache|delta)\n" key
+      "unknown option %s (rename|common|pushdown|fold|exec_cache|delta|columnar)\n"
+      key
 
 (** Resource-guard and recovery knobs: [\set deadline SECS|off],
     [\set budget ROWS|off], [\set retries N]. *)
@@ -237,7 +239,8 @@ let handle_meta engine sink line =
   | _ ->
     print_endline
       "meta-commands: \\dt  \\load TABLE FILE  \\gen NAME [SCALE]  \\set OPT \
-       on|off (rename|common|pushdown|fold|exec_cache|delta)  \\set trace \
+       on|off (rename|common|pushdown|fold|exec_cache|delta|columnar)  \\set \
+       trace \
        on|off  \\set deadline SECS|off  \\set budget ROWS|off  \\set retries \
        N  \\set workers N  \\set chunk ROWS  \\options  \\q";
     `Continue
@@ -245,18 +248,22 @@ let handle_meta engine sink line =
 (** Session options for a CLI invocation: [--workers N] sets the
     Domain-pool size for chunk-parallel operators; [--no-exec-cache]
     disables the iteration-aware executor cache; [--no-delta] disables
-    semi-naive (delta-driven) iterative evaluation. *)
-let options_of_workers workers no_cache no_delta =
+    semi-naive (delta-driven) iterative evaluation; [--no-columnar]
+    falls back to row-at-a-time operators. *)
+let options_of_workers workers no_cache no_delta no_columnar =
   {
     Options.default with
     Options.parallel_workers = max 1 workers;
     use_exec_cache = not no_cache;
     use_delta = not no_delta;
+    use_columnar = not no_columnar;
   }
 
-let repl workers no_cache no_delta trace_dest =
+let repl workers no_cache no_delta no_columnar trace_dest =
   let engine =
-    Engine.create ~options:(options_of_workers workers no_cache no_delta) ()
+    Engine.create
+      ~options:(options_of_workers workers no_cache no_delta no_columnar)
+      ()
   in
   let sink = ref (Option.map (make_trace_sink engine) trace_dest) in
   print_endline "dbspinner shell — SQL with WITH ITERATIVE support.";
@@ -286,11 +293,13 @@ let repl workers no_cache no_delta trace_dest =
   loop ();
   0
 
-let run_file workers no_cache no_delta trace_dest path =
+let run_file workers no_cache no_delta no_columnar trace_dest path =
   match In_channel.with_open_text path In_channel.input_all with
   | sql ->
     let engine =
-      Engine.create ~options:(options_of_workers workers no_cache no_delta) ()
+      Engine.create
+        ~options:(options_of_workers workers no_cache no_delta no_columnar)
+        ()
     in
     let sink = Option.map (make_trace_sink engine) trace_dest in
     (match Engine.execute_script engine sql with
@@ -306,9 +315,11 @@ let run_file workers no_cache no_delta trace_dest path =
     Printf.eprintf "%s\n" msg;
     1
 
-let demo workers no_cache no_delta trace_dest =
+let demo workers no_cache no_delta no_columnar trace_dest =
   let engine =
-    Engine.create ~options:(options_of_workers workers no_cache no_delta) ()
+    Engine.create
+      ~options:(options_of_workers workers no_cache no_delta no_columnar)
+      ()
   in
   let sink = Option.map (make_trace_sink engine) trace_dest in
   generate engine "dblp-like" 0.25;
@@ -518,6 +529,15 @@ let no_delta_arg =
            of only the keys affected by the last iteration's changes. \
            Results are identical either way; use for perf comparisons.")
 
+let no_columnar_arg =
+  Arg.(
+    value & flag
+    & info [ "no-columnar" ]
+        ~doc:
+          "Disable vectorized columnar execution: filter, project, join \
+           probe and aggregate fall back to row-at-a-time evaluation. \
+           Results are identical either way; use for perf comparisons.")
+
 let trace_arg =
   Arg.(
     value
@@ -531,19 +551,23 @@ let trace_arg =
 
 let repl_cmd =
   Cmd.v (Cmd.info "repl" ~doc:"Interactive SQL shell")
-    Term.(const repl $ workers_arg $ no_cache_arg $ no_delta_arg $ trace_arg)
+    Term.(
+      const repl $ workers_arg $ no_cache_arg $ no_delta_arg $ no_columnar_arg
+      $ trace_arg)
 
 let run_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   Cmd.v (Cmd.info "run" ~doc:"Execute a SQL script")
     Term.(
-      const run_file $ workers_arg $ no_cache_arg $ no_delta_arg $ trace_arg
-      $ file)
+      const run_file $ workers_arg $ no_cache_arg $ no_delta_arg
+      $ no_columnar_arg $ trace_arg $ file)
 
 let demo_cmd =
   Cmd.v
     (Cmd.info "demo" ~doc:"Run the paper's queries on a synthetic graph")
-    Term.(const demo $ workers_arg $ no_cache_arg $ no_delta_arg $ trace_arg)
+    Term.(
+      const demo $ workers_arg $ no_cache_arg $ no_delta_arg $ no_columnar_arg
+      $ trace_arg)
 
 let client_cmd =
   let socket =
@@ -592,7 +616,9 @@ let main_cmd =
   let doc = "An analytical SQL engine with native iterative CTEs (DBSpinner)" in
   Cmd.group
     ~default:
-      Term.(const repl $ workers_arg $ no_cache_arg $ no_delta_arg $ trace_arg)
+      Term.(
+        const repl $ workers_arg $ no_cache_arg $ no_delta_arg
+        $ no_columnar_arg $ trace_arg)
     (Cmd.info "dbspinner" ~version:"1.0.0" ~doc)
     [ repl_cmd; run_cmd; demo_cmd; client_cmd; trace_check_cmd ]
 

@@ -180,7 +180,8 @@ let run_query ?(keep_temps = false) t (q : Ast.full_query) : Relation.t =
       if not keep_temps then Catalog.clear_temps t.catalog)
     (fun () ->
       Executor.run_program ?parallel ~stats ~guards
-        ~use_cache:t.options.Options.use_exec_cache ?trace:t.trace t.catalog
+        ~use_cache:t.options.Options.use_exec_cache
+        ~columnar:t.options.Options.use_columnar ?trace:t.trace t.catalog
         program)
 
 (* ------------------------------------------------------------------ *)
@@ -559,7 +560,8 @@ let rec exec_statement t (stmt : Ast.statement) : result =
                 Catalog.clear_temps t.catalog)
               (fun () ->
                 Executor.run_program ?parallel ~stats ~guards
-                  ~use_cache:t.options.Options.use_exec_cache ~trace:tr
+                  ~use_cache:t.options.Options.use_exec_cache
+                  ~columnar:t.options.Options.use_columnar ~trace:tr
                   t.catalog program)
           in
           (rel, Unix.gettimeofday () -. t0)

@@ -55,13 +55,35 @@ type set_key = {
   sk_keyed : bool;  (** IN (membership set built) vs EXISTS (emptiness only) *)
 }
 
+(** Open-addressing (linear probing) int-keyed mirror of a build
+    table; an empty bucket marks a free slot (real buckets are never
+    empty). Capacity is a power of two at most half full. *)
+type int_mirror = {
+  im_mask : int;  (** capacity - 1 *)
+  im_keys : int array;
+  im_buckets : int list array;
+      (** build-row indices per key, most recent first (the boxed
+          table's bucket order) *)
+}
+
 (** A hash-join build table: the built relation plus buckets of
-    [(row index, row)] keyed by the key-expression values. The
-    [right_matched] tracking array for outer joins is deliberately NOT
-    here — it is per-probe state and is allocated by each probe call. *)
+    [(row index, row)] keyed by the key-expression values. The boxed
+    table is behind a memoizing thunk: the columnar probe serves
+    single-Int-key joins entirely from {!int_mirror} and never boxes
+    the build side. The thunk is safe to force from worker domains
+    (atomic memo, pure builder — a racy double build is wasted work,
+    not corruption). The [right_matched] tracking array for outer
+    joins is deliberately NOT here — it is per-probe state and is
+    allocated by each probe call. *)
 type join_build = {
   jb_rel : Relation.t;
-  jb_table : (int * Row.t) list Row.Tbl.t;
+  jb_table : unit -> (int * Row.t) list Row.Tbl.t;
+  mutable jb_int : int_mirror option option;
+      (** lazily built unboxed mirror of the build keys for
+          single-Int-key builds; [None] = not yet examined,
+          [Some None] = ineligible (multi-column or non-Int keys),
+          [Some (Some m)] = mirror. Written once by the coordinator
+          before any parallel probe fan-out, read-only afterwards. *)
 }
 
 (** An IN / EXISTS subquery result digest (see
@@ -81,8 +103,9 @@ type 'a entry = {
 }
 
 type t = {
-  lock : Mutex.t;  (** guards [compiled] only; see module doc *)
+  lock : Mutex.t;  (** guards [compiled] and [compiled_vec]; see module doc *)
   compiled : (Bound_expr.t, Row.t -> Value.t) Hashtbl.t;
+  compiled_vec : (Bound_expr.t, Vec_eval.kernel) Hashtbl.t;
   builds : (build_key, join_build entry) Hashtbl.t;
   sets : (set_key, sub_set entry) Hashtbl.t;
 }
@@ -91,6 +114,7 @@ let create () =
   {
     lock = Mutex.create ();
     compiled = Hashtbl.create 64;
+    compiled_vec = Hashtbl.create 64;
     builds = Hashtbl.create 16;
     sets = Hashtbl.create 16;
   }
@@ -138,6 +162,24 @@ let compiled t ~(stats : Stats.t) (e : Bound_expr.t) : Row.t -> Value.t =
     let f = Eval.compile e in
     Hashtbl.replace t.compiled e f;
     f
+
+(** Columnar twin of {!compiled}: memoized {!Vec_eval.compile} kernels.
+    A separate table because an expression used by both engines (e.g.
+    row-based build keys next to a columnar probe) needs both forms.
+    Cache hit/miss counts are outside {!Stats.logical_equal}, so the
+    columnar path counting differently from the row path is fine. *)
+let compiled_kernel t ~(stats : Stats.t) (e : Bound_expr.t) : Vec_eval.kernel =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
+  match Hashtbl.find_opt t.compiled_vec e with
+  | Some k ->
+    stats.Stats.cache_hits <- stats.Stats.cache_hits + 1;
+    k
+  | None ->
+    stats.Stats.cache_misses <- stats.Stats.cache_misses + 1;
+    let k = Vec_eval.compile e in
+    Hashtbl.replace t.compiled_vec e k;
+    k
 
 let compiled_pred t ~stats (e : Bound_expr.t) : Row.t -> bool =
   let f = compiled t ~stats e in

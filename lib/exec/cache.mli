@@ -31,13 +31,34 @@ type set_key = {
   sk_keyed : bool;  (** IN (membership set built) vs EXISTS *)
 }
 
+(** Open-addressing (linear probing) int-keyed mirror of a build
+    table; an empty bucket marks a free slot (real buckets are never
+    empty). Capacity is a power of two at most half full. *)
+type int_mirror = {
+  im_mask : int;  (** capacity - 1 *)
+  im_keys : int array;
+  im_buckets : int list array;
+      (** build-row indices per key, most recent first (the boxed
+          table's bucket order) *)
+}
+
 (** A hash-join build table: built relation plus buckets of
-    [(row index, row)] keyed by key-expression values. Outer-join
-    matched-row tracking is per-probe state and lives with the probe,
-    not here. *)
+    [(row index, row)] keyed by key-expression values. The boxed table
+    is behind a memoizing thunk — single-Int-key columnar probes serve
+    every lookup from {!int_mirror} and never force it; the thunk is
+    safe to force from worker domains. Outer-join matched-row tracking
+    is per-probe state and lives with the probe, not here. *)
 type join_build = {
   jb_rel : Relation.t;
-  jb_table : (int * Row.t) list Row.Tbl.t;
+  jb_table : unit -> (int * Row.t) list Row.Tbl.t;
+  mutable jb_int : int_mirror option option;
+      (** lazily built unboxed mirror of [jb_table], usable only when
+          every build key is a single non-NULL [Value.Int] (so boxed
+          and unboxed lookups agree; cross-type Int/Float key equality
+          is impossible against an all-Int build side). [None] = not
+          yet examined, [Some None] = ineligible, [Some (Some m)] =
+          mirror. The coordinator populates it before any parallel
+          probe fan-out; worker domains only read it. *)
 }
 
 (** Digest of an IN / EXISTS subquery result; [ss_members] is only
@@ -68,6 +89,11 @@ val compiled : t -> stats:Stats.t -> Bound_expr.t -> Row.t -> Value.t
 
 (** Predicate variant ({!Eval.eval_pred} semantics: NULL rejects). *)
 val compiled_pred : t -> stats:Stats.t -> Bound_expr.t -> Row.t -> bool
+
+(** Columnar twin of {!compiled}: fetch (or compile and insert) the
+    {!Vec_eval.compile} kernel for an expression. Safe to call from
+    concurrent partition domains. *)
+val compiled_kernel : t -> stats:Stats.t -> Bound_expr.t -> Vec_eval.kernel
 
 (** Drop build/set entries that read the named temp. Pure memory
     hygiene — generations already prevent stale hits — so that

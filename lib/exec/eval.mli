@@ -34,3 +34,37 @@ val like_match : string -> string -> bool
 (** [like_matcher pattern] precompiles a LIKE pattern into an
     allocation-free per-string matcher. *)
 val like_matcher : string -> string -> bool
+
+(** {2 Value-level combinators}
+
+    The scalar semantics shared with the columnar evaluator
+    ({!Vec_eval}); its typed kernels must produce bit-identical
+    results, and its boxed fallbacks call these directly. *)
+
+(** Three-valued comparison: NULL operand yields NULL. *)
+val compare_values :
+  Dbspinner_sql.Ast.binop -> Value.t -> Value.t -> Value.t
+
+(** Kleene conjunction/disjunction.
+    @raise Runtime_error on non-boolean operands. *)
+val kleene_and : Value.t -> Value.t -> Value.t
+
+val kleene_or : Value.t -> Value.t -> Value.t
+
+(** String concatenation ([||]); NULL propagates. *)
+val concat : Value.t -> Value.t -> Value.t
+
+(** Textual image used by [||], LIKE and the string functions ([Str]
+    passes through unquoted). *)
+val as_text : Value.t -> string
+
+(** Scalar function application (COALESCE, ROUND, SUBSTR, ...).
+    @raise Runtime_error on arity or type misuse. *)
+val apply_func : Bound_expr.func -> Value.t list -> Value.t
+
+(** CAST semantics; NULL stays NULL. *)
+val cast_value : Dbspinner_storage.Column_type.t -> Value.t -> Value.t
+
+(** Half-even-free rounding used by ROUND:
+    [Float.round (x *. 10^d) /. 10^d]. *)
+val round_to_digits : float -> int -> float

@@ -75,7 +75,7 @@ let cache_sources (catalog : Catalog.t) (plan : Logical.t) :
   | () -> Some (List.sort_uniq compare !acc)
   | exception Not_cacheable -> None
 
-let rec run_plan ?parallel ?cache ?guards ~(stats : Stats.t)
+let rec run_plan ?parallel ?cache ?guards ?columnar ~(stats : Stats.t)
     (catalog : Catalog.t) (plan : Logical.t) : Relation.t =
   match plan with
   | Logical.L_scan { name; scan_schema } -> (
@@ -90,13 +90,13 @@ let rec run_plan ?parallel ?cache ?guards ~(stats : Stats.t)
       rel)
   | Logical.L_values rel -> rel
   | Logical.L_filter { pred; input } ->
-    Operators.filter ?parallel ?cache ?guards ~stats pred
-      (run_plan ?parallel ?cache ?guards ~stats catalog input)
+    Operators.filter ?parallel ?cache ?guards ?columnar ~stats pred
+      (run_plan ?parallel ?cache ?guards ?columnar ~stats catalog input)
   | Logical.L_project { exprs; input } ->
-    Operators.project ?parallel ?cache ?guards ~stats exprs
-      (run_plan ?parallel ?cache ?guards ~stats catalog input)
+    Operators.project ?parallel ?cache ?guards ?columnar ~stats exprs
+      (run_plan ?parallel ?cache ?guards ?columnar ~stats catalog input)
   | Logical.L_join { kind; cond; left; right; join_schema } -> (
-    let l = run_plan ?parallel ?cache ?guards ~stats catalog left in
+    let l = run_plan ?parallel ?cache ?guards ?columnar ~stats catalog left in
     (* Cached hash-join path: when the build (right) side reads only
        named relations, memoize its build table under the sources'
        generations. A loop-invariant side (the common-result temp, or a
@@ -120,52 +120,54 @@ let rec run_plan ?parallel ?cache ?guards ~(stats : Stats.t)
                 { Cache.bk_sources = srcs; bk_plan = right; bk_keys = build_keys }
                 (fun local ->
                   let r =
-                    run_plan ?parallel ?cache ?guards ~stats:local catalog right
+                    run_plan ?parallel ?cache ?guards ?columnar ~stats:local
+                      catalog right
                   in
                   Operators.make_join_build ?cache ?guards ~stats:local
                     build_keys r)
             in
             Some
-              (Operators.hash_join_probe ?parallel ?cache ?guards ~stats kind
-                 keys residual build l join_schema)))
+              (Operators.hash_join_probe ?parallel ?cache ?guards ?columnar
+                 ~stats kind keys residual build l join_schema)))
       | _ -> None
     in
     match cached with
     | Some rel -> rel
     | None ->
-      let r = run_plan ?parallel ?cache ?guards ~stats catalog right in
-      Operators.join ?parallel ?cache ?guards ~stats kind cond l r join_schema)
+      let r = run_plan ?parallel ?cache ?guards ?columnar ~stats catalog right in
+      Operators.join ?parallel ?cache ?guards ?columnar ~stats kind cond l r
+        join_schema)
   | Logical.L_aggregate { keys; aggs; input; agg_schema } ->
-    Operators.aggregate ?cache ?guards ~stats ~keys ~aggs
-      (run_plan ?parallel ?cache ?guards ~stats catalog input)
+    Operators.aggregate ?cache ?guards ?columnar ~stats ~keys ~aggs
+      (run_plan ?parallel ?cache ?guards ?columnar ~stats catalog input)
       agg_schema
   | Logical.L_distinct input ->
     Operators.distinct ~stats
-      (run_plan ?parallel ?cache ?guards ~stats catalog input)
+      (run_plan ?parallel ?cache ?guards ?columnar ~stats catalog input)
   | Logical.L_sort { keys; input } ->
     Operators.sort ?cache ~stats keys
-      (run_plan ?parallel ?cache ?guards ~stats catalog input)
+      (run_plan ?parallel ?cache ?guards ?columnar ~stats catalog input)
   | Logical.L_limit (n, input) ->
     Operators.limit ~stats n
-      (run_plan ?parallel ?cache ?guards ~stats catalog input)
+      (run_plan ?parallel ?cache ?guards ?columnar ~stats catalog input)
   | Logical.L_offset (n, input) ->
     Operators.offset ~stats n
-      (run_plan ?parallel ?cache ?guards ~stats catalog input)
+      (run_plan ?parallel ?cache ?guards ?columnar ~stats catalog input)
   | Logical.L_union { all; left; right } ->
-    let l = run_plan ?parallel ?cache ?guards ~stats catalog left in
-    let r = run_plan ?parallel ?cache ?guards ~stats catalog right in
+    let l = run_plan ?parallel ?cache ?guards ?columnar ~stats catalog left in
+    let r = run_plan ?parallel ?cache ?guards ?columnar ~stats catalog right in
     let u = Operators.union_all ~stats l r in
     if all then u else Operators.distinct ~stats u
   | Logical.L_intersect { all; left; right } ->
-    let l = run_plan ?parallel ?cache ?guards ~stats catalog left in
-    let r = run_plan ?parallel ?cache ?guards ~stats catalog right in
+    let l = run_plan ?parallel ?cache ?guards ?columnar ~stats catalog left in
+    let r = run_plan ?parallel ?cache ?guards ?columnar ~stats catalog right in
     Operators.intersect ~stats ~all l r
   | Logical.L_except { all; left; right } ->
-    let l = run_plan ?parallel ?cache ?guards ~stats catalog left in
-    let r = run_plan ?parallel ?cache ?guards ~stats catalog right in
+    let l = run_plan ?parallel ?cache ?guards ?columnar ~stats catalog left in
+    let r = run_plan ?parallel ?cache ?guards ?columnar ~stats catalog right in
     Operators.except ~stats ~all l r
   | Logical.L_subquery_filter { anti; key; input; sub } -> (
-    let i = run_plan ?parallel ?cache ?guards ~stats catalog input in
+    let i = run_plan ?parallel ?cache ?guards ?columnar ~stats catalog input in
     (* Same memoization for IN / EXISTS subquery digests: a
        loop-invariant subquery is digested once per run. *)
     let cached =
@@ -180,7 +182,8 @@ let rec run_plan ?parallel ?cache ?guards ~(stats : Stats.t)
               { Cache.sk_sources = srcs; sk_plan = sub; sk_keyed = keyed }
               (fun local ->
                 let sq =
-                  run_plan ?parallel ?cache ?guards ~stats:local catalog sub
+                  run_plan ?parallel ?cache ?guards ?columnar ~stats:local
+                    catalog sub
                 in
                 Operators.make_sub_set ~stats:local ~need_members:keyed sq)
           in
@@ -190,7 +193,7 @@ let rec run_plan ?parallel ?cache ?guards ~(stats : Stats.t)
     match cached with
     | Some rel -> rel
     | None ->
-      let sq = run_plan ?parallel ?cache ?guards ~stats catalog sub in
+      let sq = run_plan ?parallel ?cache ?guards ?columnar ~stats catalog sub in
       Operators.subquery_filter ?cache ~stats ~anti ~key i sq)
 
 (* ------------------------------------------------------------------ *)
@@ -301,10 +304,10 @@ let loop_continue ~(stats : Stats.t) ?(want_delta = false) catalog
 (* ------------------------------------------------------------------ *)
 (* Recursive CTE (semi-naive)                                          *)
 
-let run_recursive ?parallel ?cache ?guards ~stats catalog ~name ~work_name
-    ~base ~step_plan ~union_all ~max_recursion =
+let run_recursive ?parallel ?cache ?guards ?columnar ~stats catalog ~name
+    ~work_name ~base ~step_plan ~union_all ~max_recursion =
   let invalidate n = Option.iter (fun c -> Cache.invalidate_temp c n) cache in
-  let base_rel = run_plan ?parallel ?cache ?guards ~stats catalog base in
+  let base_rel = run_plan ?parallel ?cache ?guards ?columnar ~stats catalog base in
   let schema = Relation.schema base_rel in
   let module Row_tbl = Operators.Row_tbl in
   let seen = Row_tbl.create (max 16 (Relation.cardinality base_rel)) in
@@ -332,7 +335,9 @@ let run_recursive ?parallel ?cache ?guards ~stats catalog ~name ~work_name
         max_recursion;
     Catalog.set_temp catalog work_name !working;
     invalidate work_name;
-    let produced = run_plan ?parallel ?cache ?guards ~stats catalog step_plan in
+    let produced =
+      run_plan ?parallel ?cache ?guards ?columnar ~stats catalog step_plan
+    in
     let fresh = if union_all then produced else dedupe produced in
     push fresh;
     working := fresh
@@ -348,10 +353,13 @@ let run_recursive ?parallel ?cache ?guards ~stats catalog ~name ~work_name
 
 let assert_unique_key catalog ~temp ~key_idx =
   let rel = Catalog.find_temp catalog temp in
-  let seen = Hashtbl.create (Relation.cardinality rel) in
-  Relation.iter
-    (fun r ->
-      let k = r.(key_idx) in
+  (* [key_values] reads whichever view is materialized, so a columnar
+     pipeline is not forced into a full row conversion just to check
+     one column. *)
+  let keys = Relation.key_values rel key_idx in
+  let seen = Hashtbl.create (Array.length keys) in
+  Array.iter
+    (fun k ->
       if Value.is_null k then
         error
           "iterative CTE produced a NULL row key; specify a key column or \
@@ -362,7 +370,7 @@ let assert_unique_key catalog ~temp ~key_idx =
            duplicates with an aggregation or GROUP BY (see paper §II)"
           (Value.to_string k)
       else Hashtbl.replace seen k ())
-    rel
+    keys
 
 (** Run a step program to completion and return the final relation.
     [guards] (wall-clock deadline, rows-materialized budget) are
@@ -376,8 +384,8 @@ let assert_unique_key catalog ~temp ~key_idx =
     all, and the [Some] path reads counters and relations purely, so
     traced and untraced runs stay [Stats.logical_equal]. *)
 let run_program ?parallel ?(stats = Stats.create ()) ?(guards = Guards.none)
-    ?(use_cache = true) ?trace (catalog : Catalog.t) (program : Program.t) :
-    Relation.t =
+    ?(use_cache = true) ?(columnar = false) ?trace (catalog : Catalog.t)
+    (program : Program.t) : Relation.t =
   let cache = if use_cache then Some (Cache.create ()) else None in
   (* In-operator probes are free to skip when no limit is set; [None]
      keeps the per-row tick a single branch. *)
@@ -420,7 +428,9 @@ let run_program ?parallel ?(stats = Stats.create ()) ?(guards = Guards.none)
     in
     (match steps.(!pc) with
     | Program.Materialize { target; plan } ->
-      let rel = run_plan ?parallel ?cache ?guards:gopt ~stats catalog plan in
+      let rel =
+        run_plan ?parallel ?cache ?guards:gopt ~columnar ~stats catalog plan
+      in
       stats.Stats.materializations <- stats.Stats.materializations + 1;
       stats.Stats.rows_materialized <-
         stats.Stats.rows_materialized + Relation.cardinality rel;
@@ -446,35 +456,40 @@ let run_program ?parallel ?(stats = Stats.create ()) ?(guards = Guards.none)
         let cur = Catalog.find_temp catalog cte in
         let full_eval () =
           stats.Stats.full_reevals <- stats.Stats.full_reevals + 1;
-          run_plan ?parallel ?cache ?guards:gopt ~stats catalog full_plan
+          run_plan ?parallel ?cache ?guards:gopt ~columnar ~stats catalog
+            full_plan
         in
         let work =
           match st.d_prev_cte, st.d_prev_work with
           | Some prev, Some prev_work -> (
-            let delta = Relation.changed_rows ~key_idx prev cur in
-            if Relation.cardinality delta = 0 then begin
-              (* Nothing changed: last iteration's work output is still
-                 exact. (The loop is about to converge; this avoids one
-                 final full pass.) *)
-              st.d_cutoff_streak <- 0;
-              prev_work
-            end
-            else
-              let changed_keys = Hashtbl.create 64 in
-              Relation.iter
-                (fun r -> Hashtbl.replace changed_keys r.(key_idx) ())
-                delta;
-              (* Cutoff: when most keys changed, restriction buys
-                 nothing — the extra diff/stitch passes would make the
-                 iteration slower than a plain re-evaluation (PageRank
-                 updates every key every iteration and takes this
-                 path). *)
-              if Hashtbl.length changed_keys * 2 >= Relation.cardinality cur
-              then begin
-                st.d_cutoff_streak <- st.d_cutoff_streak + 1;
-                full_eval ()
+            (* Cutoff: when at least half the keys changed, restriction
+               buys nothing — the extra diff/stitch passes would make
+               the iteration slower than a plain re-evaluation (PageRank
+               updates every key every iteration and takes this path).
+               The bounded diff abandons the scan — and skips building
+               the delta relation entirely — the moment the distinct
+               changed-key count reaches the cutoff. [max 1] keeps the
+               decision order of the unbounded original: a zero-change
+               scan must fall through to the empty-delta fast path, not
+               report a cutoff. *)
+            let cutoff = max 1 ((Relation.cardinality cur + 1) / 2) in
+            match Relation.changed_rows_bounded ~key_idx ~cutoff prev cur with
+            | None ->
+              st.d_cutoff_streak <- st.d_cutoff_streak + 1;
+              full_eval ()
+            | Some delta ->
+              if Relation.cardinality delta = 0 then begin
+                (* Nothing changed: last iteration's work output is
+                   still exact. (The loop is about to converge; this
+                   avoids one final full pass.) *)
+                st.d_cutoff_streak <- 0;
+                prev_work
               end
               else begin
+                let changed_keys = Hashtbl.create 64 in
+                Relation.iter
+                  (fun r -> Hashtbl.replace changed_keys r.(key_idx) ())
+                  delta;
                 st.d_cutoff_streak <- 0;
                 Catalog.set_temp catalog delta_name delta;
                 invalidate delta_name;
@@ -487,7 +502,8 @@ let run_program ?parallel ?(stats = Stats.create ()) ?(guards = Guards.none)
                 List.iter
                   (fun p ->
                     let rel =
-                      run_plan ?parallel ?cache ?guards:gopt ~stats catalog p
+                      run_plan ?parallel ?cache ?guards:gopt ~columnar ~stats
+                        catalog p
                     in
                     Relation.iter
                       (fun r -> Hashtbl.replace affected r.(0) ())
@@ -502,8 +518,8 @@ let run_program ?parallel ?(stats = Stats.create ()) ?(guards = Guards.none)
                      (Array.of_list a_rows));
                 invalidate affected_name;
                 let restricted =
-                  run_plan ?parallel ?cache ?guards:gopt ~stats catalog
-                    restricted_plan
+                  run_plan ?parallel ?cache ?guards:gopt ~columnar ~stats
+                    catalog restricted_plan
                 in
                 stats.Stats.delta_rows_evaluated <-
                   stats.Stats.delta_rows_evaluated
@@ -678,10 +694,12 @@ let run_program ?parallel ?(stats = Stats.create ()) ?(guards = Guards.none)
         if continue_ then jump := Some body_start)
     | Program.Recursive_cte
         { name; work_name; base; step_plan; union_all; max_recursion } ->
-      run_recursive ?parallel ?cache ?guards:gopt ~stats catalog ~name
-        ~work_name ~base ~step_plan ~union_all ~max_recursion
+      run_recursive ?parallel ?cache ?guards:gopt ~columnar ~stats catalog
+        ~name ~work_name ~base ~step_plan ~union_all ~max_recursion
     | Program.Return plan ->
-      let rel = run_plan ?parallel ?cache ?guards:gopt ~stats catalog plan in
+      let rel =
+        run_plan ?parallel ?cache ?guards:gopt ~columnar ~stats catalog plan
+      in
       step_rows := Relation.cardinality rel;
       result := Some rel);
     (match trace, step_mark with
@@ -722,10 +740,11 @@ let run_program ?parallel ?(stats = Stats.create ()) ?(guards = Guards.none)
 
 (** Loop-iteration count of the last loop in a program run — exposed
     for tests via running with an explicit [stats]. *)
-let run_program_with_stats ?parallel ?guards ?use_cache ?trace catalog program
-    =
+let run_program_with_stats ?parallel ?guards ?use_cache ?columnar ?trace
+    catalog program =
   let stats = Stats.create () in
   let rel =
-    run_program ?parallel ~stats ?guards ?use_cache ?trace catalog program
+    run_program ?parallel ~stats ?guards ?use_cache ?columnar ?trace catalog
+      program
   in
   (rel, stats)

@@ -16,11 +16,16 @@ exception Execution_error of string
     identical to sequential execution. [?guards] threads periodic
     in-operator probes ({!Guards.tick}) through the long row loops so a
     single giant statement honors timeouts and interrupts.
+    [?columnar] routes filter/project/hash-probe/aggregate through the
+    vectorized batch paths ({!Vec_eval} kernels over
+    {!Dbspinner_storage.Colbatch} columns under selection vectors);
+    results and logical stats are bit-identical to the row engine.
     @raise Execution_error on missing relations or runtime failures. *)
 val run_plan :
   ?parallel:Parallel.ctx ->
   ?cache:Cache.t ->
   ?guards:Guards.t ->
+  ?columnar:bool ->
   stats:Stats.t ->
   Catalog.t ->
   Logical.t ->
@@ -62,6 +67,10 @@ val assert_unique_key : Catalog.t -> temp:string -> key_idx:int -> unit
     compiled once per run. Results and logical stats are identical
     either way; only wall time and the cache counters differ.
 
+    [columnar] (default false) routes the hot operators through the
+    vectorized batch paths; see {!run_plan}. Results and logical stats
+    are identical to the row engine.
+
     [trace], when given, records one {!Dbspinner_obs.Trace} span per
     executed step, per loop iteration (with CTE cardinality, delta and
     cumulative-update gauges — the convergence timeline), per operator
@@ -73,6 +82,7 @@ val run_program :
   ?stats:Stats.t ->
   ?guards:Guards.t ->
   ?use_cache:bool ->
+  ?columnar:bool ->
   ?trace:Dbspinner_obs.Trace.t ->
   Catalog.t ->
   Program.t ->
@@ -83,6 +93,7 @@ val run_program_with_stats :
   ?parallel:Parallel.ctx ->
   ?guards:Guards.t ->
   ?use_cache:bool ->
+  ?columnar:bool ->
   ?trace:Dbspinner_obs.Trace.t ->
   Catalog.t ->
   Program.t ->

@@ -104,3 +104,16 @@ let tick (guards : t option) (p : probe) ~(stats : Stats.t) =
       p.until_check <- probe_interval;
       check g ~stats
     end
+
+(** Bulk {!tick}: count [n] rows at once (columnar operators process a
+    whole batch per call). Probes fire at least as often per row as the
+    per-row variant would over the same volume. *)
+let tick_n (guards : t option) (p : probe) ~(stats : Stats.t) n =
+  match guards with
+  | None -> ()
+  | Some g ->
+    p.until_check <- p.until_check - n;
+    if p.until_check <= 0 then begin
+      p.until_check <- probe_interval;
+      check g ~stats
+    end

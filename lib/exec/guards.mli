@@ -58,3 +58,7 @@ val probe : unit -> probe
     or loop boundary. No-op when [guards] is [None].
     @raise Resource_exhausted as {!check}. *)
 val tick : t option -> probe -> stats:Stats.t -> unit
+
+(** Bulk {!tick}: count [n] rows at once (columnar batch loops).
+    @raise Resource_exhausted as {!check}. *)
+val tick_n : t option -> probe -> stats:Stats.t -> int -> unit

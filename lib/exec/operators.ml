@@ -13,6 +13,7 @@ module Value = Dbspinner_storage.Value
 module Row = Dbspinner_storage.Row
 module Schema = Dbspinner_storage.Schema
 module Relation = Dbspinner_storage.Relation
+module Colbatch = Dbspinner_storage.Colbatch
 module Ast = Dbspinner_sql.Ast
 module Bound_expr = Dbspinner_plan.Bound_expr
 module Logical = Dbspinner_plan.Logical
@@ -34,51 +35,97 @@ let compiled_pred ?cache ~stats (e : Bound_expr.t) : Row.t -> bool =
   | Some c -> Cache.compiled_pred c ~stats e
   | None -> fun row -> Eval.eval_pred row e
 
-let filter ?parallel ?cache ?guards ~(stats : Stats.t) pred (rel : Relation.t)
-    : Relation.t =
-  Stats.timed stats Stats.Op_filter @@ fun () ->
-  let pred = compiled_pred ?cache ~stats pred in
-  let rows = Relation.rows rel in
-  let n = Array.length rows in
-  let chunk (st : Stats.t) lo len =
-    st.Stats.rows_filtered <- st.Stats.rows_filtered + len;
-    let probe = Guards.probe () in
-    let kept = ref [] in
-    for j = lo + len - 1 downto lo do
-      Guards.tick guards probe ~stats:st;
-      let r = rows.(j) in
-      if pred r then kept := r :: !kept
-    done;
-    Array.of_list !kept
-  in
-  let chunks = Parallel.chunked parallel ~stats ~n chunk in
-  Relation.make_trusted (Relation.schema rel)
-    (Array.concat (Array.to_list chunks))
+(* Columnar twin of [compiled_val]: a memoized (or fresh)
+   {!Vec_eval.compile} kernel. *)
+let compiled_kernel ?cache ~stats (e : Bound_expr.t) : Vec_eval.kernel =
+  match cache with
+  | Some c -> Cache.compiled_kernel c ~stats e
+  | None -> Vec_eval.compile e
 
-let project ?parallel ?cache ?guards ~(stats : Stats.t) exprs (rel : Relation.t)
-    : Relation.t =
+let filter ?parallel ?cache ?guards ?(columnar = false) ~(stats : Stats.t)
+    pred (rel : Relation.t) : Relation.t =
+  Stats.timed stats Stats.Op_filter @@ fun () ->
+  if columnar then begin
+    (* Batch path: evaluate the predicate kernel over each chunk, turn
+       the truthy rows into a selection vector, and gather — rows kept
+       and chunk order are exactly the row loop's, so the result is
+       bit-identical. *)
+    let kern = compiled_kernel ?cache ~stats pred in
+    let batch = Relation.columnar rel in
+    let n = Colbatch.length batch in
+    let chunk (st : Stats.t) lo len =
+      st.Stats.rows_filtered <- st.Stats.rows_filtered + len;
+      let probe = Guards.probe () in
+      Guards.tick_n guards probe ~stats:st len;
+      let sub = Colbatch.slice batch lo len in
+      Colbatch.gather sub (Vec_eval.truthy_sel (kern sub) len)
+    in
+    let chunks = Parallel.chunked parallel ~stats ~n chunk in
+    Relation.of_batch (Relation.schema rel) (Colbatch.concat chunks)
+  end
+  else begin
+    let pred = compiled_pred ?cache ~stats pred in
+    let rows = Relation.rows rel in
+    let n = Array.length rows in
+    let chunk (st : Stats.t) lo len =
+      st.Stats.rows_filtered <- st.Stats.rows_filtered + len;
+      let probe = Guards.probe () in
+      let kept = ref [] in
+      for j = lo + len - 1 downto lo do
+        Guards.tick guards probe ~stats:st;
+        let r = rows.(j) in
+        if pred r then kept := r :: !kept
+      done;
+      Array.of_list !kept
+    in
+    let chunks = Parallel.chunked parallel ~stats ~n chunk in
+    Relation.make_trusted (Relation.schema rel)
+      (Array.concat (Array.to_list chunks))
+  end
+
+let project ?parallel ?cache ?guards ?(columnar = false) ~(stats : Stats.t)
+    exprs (rel : Relation.t) : Relation.t =
   Stats.timed stats Stats.Op_project @@ fun () ->
   let schema = Schema.of_names (List.map snd exprs) in
-  let exprs =
-    Array.of_list
-      (List.map (fun (e, _) -> compiled_val ?cache ~stats e) exprs)
-  in
-  let rows = Relation.rows rel in
-  let n = Array.length rows in
-  (* Chunks write disjoint index ranges of one pre-sized output array,
-     so the merged result is position-identical to the sequential map. *)
-  let out = Array.make n [||] in
-  let chunk (st : Stats.t) lo len =
-    st.Stats.rows_projected <- st.Stats.rows_projected + len;
-    let probe = Guards.probe () in
-    for j = lo to lo + len - 1 do
-      Guards.tick guards probe ~stats:st;
-      let r = rows.(j) in
-      out.(j) <- Array.map (fun f -> f r) exprs
-    done
-  in
-  ignore (Parallel.chunked parallel ~stats ~n chunk);
-  Relation.make_trusted schema out
+  if columnar then begin
+    let kerns =
+      Array.of_list
+        (List.map (fun (e, _) -> compiled_kernel ?cache ~stats e) exprs)
+    in
+    let batch = Relation.columnar rel in
+    let n = Colbatch.length batch in
+    let chunk (st : Stats.t) lo len =
+      st.Stats.rows_projected <- st.Stats.rows_projected + len;
+      let probe = Guards.probe () in
+      Guards.tick_n guards probe ~stats:st len;
+      let sub = Colbatch.slice batch lo len in
+      Colbatch.make ~len (Array.map (fun k -> k sub) kerns)
+    in
+    let chunks = Parallel.chunked parallel ~stats ~n chunk in
+    Relation.of_batch schema (Colbatch.concat chunks)
+  end
+  else begin
+    let exprs =
+      Array.of_list
+        (List.map (fun (e, _) -> compiled_val ?cache ~stats e) exprs)
+    in
+    let rows = Relation.rows rel in
+    let n = Array.length rows in
+    (* Chunks write disjoint index ranges of one pre-sized output array,
+       so the merged result is position-identical to the sequential map. *)
+    let out = Array.make n [||] in
+    let chunk (st : Stats.t) lo len =
+      st.Stats.rows_projected <- st.Stats.rows_projected + len;
+      let probe = Guards.probe () in
+      for j = lo to lo + len - 1 do
+        Guards.tick guards probe ~stats:st;
+        let r = rows.(j) in
+        out.(j) <- Array.map (fun f -> f r) exprs
+      done
+    in
+    ignore (Parallel.chunked parallel ~stats ~n chunk);
+    Relation.make_trusted schema out
+  end
 
 let distinct ~stats (rel : Relation.t) : Relation.t =
   Stats.timed stats Stats.Op_distinct @@ fun () ->
@@ -291,29 +338,300 @@ let make_join_build ?cache ?guards ~(stats : Stats.t) keys
   let right_keys =
     Array.of_list (List.map (fun e -> compiled_val ?cache ~stats e) keys)
   in
-  let table = Row_tbl.create (max 16 (Relation.cardinality right)) in
+  let n = Relation.cardinality right in
   let gprobe = Guards.probe () in
-  Array.iteri
-    (fun idx row ->
-      Guards.tick guards gprobe ~stats;
-      let k = Array.map (fun f -> f row) right_keys in
-      if not (key_has_null k) then
-        Row_tbl.replace table k
-          ((idx, row) :: (try Row_tbl.find table k with Not_found -> [])))
-    (Relation.rows right);
-  { Cache.jb_rel = right; jb_table = table }
+  Guards.tick_n guards gprobe ~stats n;
+  (* The boxed table is deferred behind an atomic memo: the columnar
+     probe answers single-Int-key joins from the unboxed mirror alone,
+     so the per-row boxing below is only paid when a boxed lookup is
+     actually needed. The builder is pure (guard ticks were applied
+     above), so a racy double force from worker domains is benign. *)
+  let memo = Atomic.make None in
+  let jb_table () =
+    match Atomic.get memo with
+    | Some t -> t
+    | None ->
+      let table = Row_tbl.create (max 16 n) in
+      Array.iteri
+        (fun idx row ->
+          let k = Array.map (fun f -> f row) right_keys in
+          if not (key_has_null k) then
+            Row_tbl.replace table k
+              ((idx, row) :: (try Row_tbl.find table k with Not_found -> [])))
+        (Relation.rows right);
+      Atomic.set memo (Some table);
+      table
+  in
+  { Cache.jb_rel = right; jb_table; jb_int = None }
+
+(** The unboxed mirror of a build table, for single-Int-key builds.
+    Eligibility requires every build key to be [[| Value.Int _ |]]:
+    {!Value.equal} admits cross-type Int/Float equality and structural
+    NULL matching, but against an all-Int build side an int-indexed
+    lookup returns exactly the buckets the boxed lookup would (a NULL
+    or Float probe key can only match nothing — build keys are
+    null-free by construction). Memoized on the build record so a
+    cached (loop-invariant) build pays the scan once; must be forced
+    on the coordinator before any parallel probe fan-out. *)
+(* Multiplicative hash for the open-addressing mirror: sequential key
+   spaces (node ids) otherwise cluster badly under linear probing. *)
+let mix_int k =
+  let h = k * 0x2545F4914F6CDD1D in
+  h lxor (h lsr 29)
+
+let mirror_capacity count =
+  let rec up c = if c >= 2 * count + 1 then c else up (2 * c) in
+  up 16
+
+(* Preferred mirror construction: evaluate the right key expression as
+   a column kernel over the build side's columnar view. A typed
+   [D_int] column proves eligibility without boxing a single value;
+   masked (NULL) slots are skipped exactly as the boxed build skips
+   NULL keys. Ascending-index insertion with per-bucket prepend
+   reproduces the boxed table's most-recent-first bucket order. *)
+let int_mirror_of_column (ka : int array) (nulls : bool array option) =
+  let n = Array.length ka in
+  let cap = mirror_capacity n in
+  let imask = cap - 1 in
+  let ikeys = Array.make cap 0 in
+  let ibuckets = Array.make cap [] in
+  for idx = 0 to n - 1 do
+    let masked = match nulls with Some m -> m.(idx) | None -> false in
+    if not masked then begin
+      let k = ka.(idx) in
+      let s = ref (mix_int k land imask) in
+      while ibuckets.(!s) <> [] && ikeys.(!s) <> k do
+        s := (!s + 1) land imask
+      done;
+      ikeys.(!s) <- k;
+      ibuckets.(!s) <- idx :: ibuckets.(!s)
+    end
+  done;
+  { Cache.im_mask = imask; im_keys = ikeys; im_buckets = ibuckets }
+
+let int_mirror ?cache ~(stats : Stats.t) keys (build : Cache.join_build) =
+  match build.Cache.jb_int with
+  | Some m -> m
+  | None ->
+    let direct =
+      match keys with
+      | [ (_, rexpr) ] -> (
+        let rk = compiled_kernel ?cache ~stats rexpr in
+        let c = rk (Relation.columnar build.Cache.jb_rel) in
+        match c.Colbatch.data with
+        | Colbatch.D_int ka ->
+          Some (Some (int_mirror_of_column ka c.Colbatch.nulls))
+        | _ -> None (* undecided: scan the boxed table below *))
+      | _ -> None
+    in
+    let m =
+      match direct with
+      | Some m -> m
+      | None ->
+        let table = build.Cache.jb_table () in
+        let eligible = ref true in
+        let count = ref 0 in
+        Row_tbl.iter
+          (fun k _ ->
+            incr count;
+            match k with [| Value.Int _ |] -> () | _ -> eligible := false)
+          table;
+        if not !eligible then None
+        else begin
+          let cap = mirror_capacity !count in
+          let im =
+            {
+              Cache.im_mask = cap - 1;
+              im_keys = Array.make cap 0;
+              im_buckets = Array.make cap [];
+            }
+          in
+          Row_tbl.iter
+            (fun k bucket ->
+              match k with
+              | [| Value.Int key |] ->
+                let idx = ref (mix_int key land im.Cache.im_mask) in
+                while im.Cache.im_buckets.(!idx) <> [] do
+                  idx := (!idx + 1) land im.Cache.im_mask
+                done;
+                im.Cache.im_keys.(!idx) <- key;
+                im.Cache.im_buckets.(!idx) <- List.map fst bucket
+              | _ -> ())
+            table;
+          Some im
+        end
+    in
+    build.Cache.jb_int <- Some m;
+    m
+
+(* Growable pair-of-index buffer for the columnar probe: candidate
+   match lists have unknown fan-out, and boxing each (lidx, ridx) pair
+   into a list would dominate the probe loop. *)
+type sel_buf = {
+  mutable lsel : int array;
+  mutable rsel : int array;
+  mutable size : int;
+}
+
+let sel_buf_create cap =
+  { lsel = Array.make (max 16 cap) 0; rsel = Array.make (max 16 cap) 0; size = 0 }
+
+let sel_buf_push b l r =
+  if b.size = Array.length b.lsel then begin
+    let cap = 2 * b.size in
+    let grow a = let a' = Array.make cap 0 in Array.blit a 0 a' 0 b.size; a' in
+    b.lsel <- grow b.lsel;
+    b.rsel <- grow b.rsel
+  end;
+  b.lsel.(b.size) <- l;
+  b.rsel.(b.size) <- r;
+  b.size <- b.size + 1
+
+let sel_buf_contents b =
+  (Array.sub b.lsel 0 b.size, Array.sub b.rsel 0 b.size)
+
+(** Columnar probe: evaluate the left key expressions as column
+    kernels, probe the (row-built, cache-shared) table per left row in
+    index order collecting [(left, right)] index pairs — [-1] marks an
+    outer-join pad — and materialize the output as one
+    [gather_pad ++ gather_pad] per side. Candidate order, pad
+    placement, [join_probes] and [rows_joined] are exactly the row
+    probe's. Only called when there is no residual predicate (a
+    residual wants the combined row; those joins stay row-based). *)
+let hash_join_probe_columnar ?parallel ?cache ?guards ~(stats : Stats.t) kind
+    keys (build : Cache.join_build) (left : Relation.t) schema : Relation.t =
+  let right = build.Cache.jb_rel in
+  let key_kerns =
+    Array.of_list
+      (List.map (fun (l, _) -> compiled_kernel ?cache ~stats l) keys)
+  in
+  let right_matched =
+    match kind with
+    | Logical.Full_outer | Logical.Right_outer ->
+      Some (Array.make (Relation.cardinality right) false)
+    | _ -> None
+  in
+  let lbatch = Relation.columnar left in
+  let n = Colbatch.length lbatch in
+  (* Forced here, on the coordinator, so worker domains never write
+     the memo field. *)
+  let mirror =
+    if Array.length key_kerns = 1 then int_mirror ?cache ~stats keys build
+    else None
+  in
+  let probe (st : Stats.t) lo len =
+    let sub = Colbatch.slice lbatch lo len in
+    let key_cols = Array.map (fun k -> k sub) key_kerns in
+    let buf = sel_buf_create len in
+    let gprobe = Guards.probe () in
+    (match mirror, key_cols with
+    | Some im, [| { Colbatch.data = Colbatch.D_int ka; nulls } |] ->
+      (* Unboxed probe: int key column against the open-addressing
+         mirror. A masked (NULL) slot matches nothing, same as the
+         boxed path's [key_has_null] skip against a null-free build
+         table. Guard ticks and the probe counter are applied in bulk
+         (both are totals; the row path reaches the same values). *)
+      st.Stats.join_probes <- st.Stats.join_probes + len;
+      Guards.tick_n guards gprobe ~stats:st len;
+      let pad =
+        match kind with
+        | Logical.Left_outer | Logical.Full_outer -> true
+        | Logical.Inner | Logical.Right_outer | Logical.Cross -> false
+      in
+      let imask = im.Cache.im_mask in
+      let ikeys = im.Cache.im_keys in
+      let ibuckets = im.Cache.im_buckets in
+      let rec lookup k idx =
+        match ibuckets.(idx) with
+        | [] -> []
+        | b -> if ikeys.(idx) = k then b else lookup k ((idx + 1) land imask)
+      in
+      for j = 0 to len - 1 do
+        let isnull = match nulls with Some m -> m.(j) | None -> false in
+        let candidates =
+          if isnull then []
+          else
+            let k = ka.(j) in
+            lookup k (mix_int k land imask)
+        in
+        match candidates with
+        | [] -> if pad then sel_buf_push buf (lo + j) (-1)
+        | _ -> (
+          match right_matched with
+          | Some arr ->
+            List.iter
+              (fun ridx ->
+                arr.(ridx) <- true;
+                sel_buf_push buf (lo + j) ridx)
+              candidates
+          | None ->
+            List.iter
+              (fun ridx -> sel_buf_push buf (lo + j) ridx)
+              candidates)
+      done
+    | _ ->
+      let table = build.Cache.jb_table () in
+      for j = 0 to len - 1 do
+        Guards.tick guards gprobe ~stats:st;
+        st.Stats.join_probes <- st.Stats.join_probes + 1;
+        let k = Array.map (fun c -> Colbatch.get c j) key_cols in
+        let matched = ref false in
+        if not (key_has_null k) then begin
+          match Row_tbl.find_opt table k with
+          | None -> ()
+          | Some candidates ->
+            List.iter
+              (fun ((ridx, _rrow) : int * Row.t) ->
+                matched := true;
+                (match right_matched with
+                | Some arr -> arr.(ridx) <- true
+                | None -> ());
+                sel_buf_push buf (lo + j) ridx)
+              candidates
+        end;
+        if not !matched then
+          match kind with
+          | Logical.Left_outer | Logical.Full_outer ->
+            sel_buf_push buf (lo + j) (-1)
+          | Logical.Inner | Logical.Right_outer | Logical.Cross -> ()
+      done);
+    sel_buf_contents buf
+  in
+  let chunks = Parallel.chunked parallel ~stats ~n probe in
+  let pad =
+    match right_matched, kind with
+    | Some arr, (Logical.Right_outer | Logical.Full_outer) ->
+      let buf = sel_buf_create 16 in
+      Array.iteri (fun ridx m -> if not m then sel_buf_push buf (-1) ridx) arr;
+      [ sel_buf_contents buf ]
+    | _ -> []
+  in
+  let parts = Array.to_list chunks @ pad in
+  let lsel = Array.concat (List.map fst parts) in
+  let rsel = Array.concat (List.map snd parts) in
+  stats.Stats.rows_joined <- stats.Stats.rows_joined + Array.length lsel;
+  let out =
+    Colbatch.hstack
+      (Colbatch.gather_pad lbatch lsel)
+      (Colbatch.gather_pad (Relation.columnar right) rsel)
+  in
+  Relation.of_batch schema out
 
 (** Probe a {!make_join_build} table with the left rows. Emits
     left++right rows; [kind] controls unmatched-row padding. The probe
     is chunk-parallel over the left rows, with per-chunk outputs
     concatenated in chunk order (probe order == left order, identical
     to sequential). *)
-let hash_join_probe ?parallel ?cache ?guards ~(stats : Stats.t) kind keys
-    residual (build : Cache.join_build) (left : Relation.t) schema : Relation.t
-    =
+let hash_join_probe ?parallel ?cache ?guards ?(columnar = false)
+    ~(stats : Stats.t) kind keys residual (build : Cache.join_build)
+    (left : Relation.t) schema : Relation.t =
   Stats.timed stats Stats.Op_join @@ fun () ->
+  if columnar && residual = [] then
+    hash_join_probe_columnar ?parallel ?cache ?guards ~stats kind keys build
+      left schema
+  else begin
   let right = build.Cache.jb_rel in
-  let table = build.Cache.jb_table in
+  let table = build.Cache.jb_table () in
   let left_keys =
     Array.of_list
       (List.map (fun (l, _) -> compiled_val ?cache ~stats l) keys)
@@ -382,14 +700,15 @@ let hash_join_probe ?parallel ?cache ?guards ~(stats : Stats.t) kind keys
   let rows = Array.concat (Array.to_list chunks @ pad) in
   stats.Stats.rows_joined <- stats.Stats.rows_joined + Array.length rows;
   Relation.make_trusted schema rows
+  end
 
 (** Hash join over extracted keys: build on the right, probe with the
     left. *)
-let hash_join ?parallel ?cache ?guards ~(stats : Stats.t) kind keys residual
-    (left : Relation.t) (right : Relation.t) schema : Relation.t =
+let hash_join ?parallel ?cache ?guards ?columnar ~(stats : Stats.t) kind keys
+    residual (left : Relation.t) (right : Relation.t) schema : Relation.t =
   let build = make_join_build ?cache ?guards ~stats (List.map snd keys) right in
-  hash_join_probe ?parallel ?cache ?guards ~stats kind keys residual build left
-    schema
+  hash_join_probe ?parallel ?cache ?guards ?columnar ~stats kind keys residual
+    build left schema
 
 (** Nested-loop fallback when no equi-key exists. *)
 let nested_loop_join ?cache ?guards ~(stats : Stats.t) kind cond
@@ -445,8 +764,8 @@ let nested_loop_join ?cache ?guards ~(stats : Stats.t) kind cond
   stats.Stats.rows_joined <- stats.Stats.rows_joined + Array.length rows;
   Relation.make_trusted schema rows
 
-let join ?parallel ?cache ?guards ~stats kind cond (left : Relation.t)
-    (right : Relation.t) schema : Relation.t =
+let join ?parallel ?cache ?guards ?columnar ~stats kind cond
+    (left : Relation.t) (right : Relation.t) schema : Relation.t =
   match kind, cond with
   | Logical.Cross, _ ->
     nested_loop_join ?cache ?guards ~stats kind None left right schema
@@ -457,8 +776,8 @@ let join ?parallel ?cache ?guards ~stats kind cond (left : Relation.t)
     | [], _ ->
       nested_loop_join ?cache ?guards ~stats kind (Some c) left right schema
     | keys, residual ->
-      hash_join ?parallel ?cache ?guards ~stats kind keys residual left right
-        schema)
+      hash_join ?parallel ?cache ?guards ?columnar ~stats kind keys residual
+        left right schema)
 
 (* ------------------------------------------------------------------ *)
 (* Aggregation                                                         *)
@@ -501,6 +820,24 @@ let accumulate acc (v : Value.t) =
     end
   end
 
+(* Unboxed accumulator for the typed columnar aggregation loop. Only
+   the fields matching the argument column's type are meaningful; the
+   invariant "tcount = 0 iff no non-null input seen" mirrors the boxed
+   accumulator's Null-sum/min/max state (count, sum, min and max always
+   move together for non-COUNT-star aggregates). *)
+type tacc = {
+  mutable tcount : int;
+  mutable isum : int;
+  mutable imin : int;
+  mutable imax : int;
+  mutable fsum : float;
+  mutable fmin : float;
+  mutable fmax : float;
+}
+
+let new_tacc () =
+  { tcount = 0; isum = 0; imin = 0; imax = 0; fsum = 0.0; fmin = 0.0; fmax = 0.0 }
+
 let finalize (kind : Ast.agg_kind) acc : Value.t =
   match kind with
   | Ast.Count | Ast.Count_star -> Value.Int acc.count
@@ -511,32 +848,29 @@ let finalize (kind : Ast.agg_kind) acc : Value.t =
     if acc.count = 0 then Value.Null
     else Value.Float (Value.to_float acc.sum /. float_of_int acc.count)
 
-let aggregate ?cache ?guards ~(stats : Stats.t) ~keys
+let aggregate ?cache ?guards ?(columnar = false) ~(stats : Stats.t) ~keys
     ~(aggs : Logical.agg list) (input : Relation.t) schema : Relation.t =
   Stats.timed stats Stats.Op_aggregate @@ fun () ->
-  let keys =
-    Array.of_list (List.map (fun e -> compiled_val ?cache ~stats e) keys)
-  in
   let aggs = Array.of_list aggs in
-  let agg_args =
-    Array.map
-      (fun (a : Logical.agg) ->
-        match a.agg_kind with
-        | Ast.Count_star -> fun _ -> Value.Null  (* unused *)
-        | _ -> compiled_val ?cache ~stats a.agg_arg)
-      aggs
-  in
   stats.Stats.rows_aggregated <-
     stats.Stats.rows_aggregated + Relation.cardinality input;
   let groups : (Row.t * accumulator array) Row_tbl.t =
     Row_tbl.create (max 16 (Relation.cardinality input / 4))
   in
   let order = ref [] in
+  (* Set by the typed columnar fast path, which emits a finished
+     columnar relation directly and bypasses [groups]/[order]. *)
+  let direct : Relation.t option ref = ref None in
   let gprobe = Guards.probe () in
-  Relation.iter
-    (fun row ->
+  (* The accumulation step shared by both paths: identical grouping
+     (first-appearance order), DISTINCT and NULL handling by
+     construction. [key_of row_idx] and [arg_of i row_idx] differ only
+     in where the boxed values come from (row array vs evaluated
+     columns). *)
+  let accumulate_all n key_of arg_of =
+    for row_idx = 0 to n - 1 do
       Guards.tick guards gprobe ~stats;
-      let key = Array.map (fun f -> f row) keys in
+      let key = key_of row_idx in
       let _, accs =
         match Row_tbl.find_opt groups key with
         | Some entry -> entry
@@ -554,9 +888,334 @@ let aggregate ?cache ?guards ~(stats : Stats.t) ~keys
           | Ast.Count_star ->
             (* COUNT star counts rows regardless of nulls *)
             accs.(i).count <- accs.(i).count + 1
-          | _ -> accumulate accs.(i) (agg_args.(i) row))
-        aggs)
-    input;
+          | _ -> accumulate accs.(i) (arg_of i row_idx))
+        aggs
+    done
+  in
+  (if columnar then begin
+     (* Vectorize the key and argument expressions over the whole
+        batch, then run the (inherently row-at-a-time) grouping loop
+        over the evaluated columns. *)
+     let batch = Relation.columnar input in
+     let n = Colbatch.length batch in
+     let key_cols =
+       Array.of_list
+         (List.map (fun e -> (compiled_kernel ?cache ~stats e) batch) keys)
+     in
+     let arg_cols =
+       Array.map
+         (fun (a : Logical.agg) ->
+           match a.agg_kind with
+           | Ast.Count_star -> None  (* unused *)
+           | _ -> Some ((compiled_kernel ?cache ~stats a.agg_arg) batch))
+         aggs
+     in
+     (* Typed grouping fast path: when every key column is typed and
+        null-free (at most two of them) and every aggregate argument is
+        an int or float column with no DISTINCT, group by unboxed key
+        codes and accumulate into unboxed cells, converting to boxed
+        accumulators only once per group at the end. Key-code equality
+        is engineered to coincide with {!Value.equal} on these inputs:
+        within one typed column no cross-type equality can occur, and
+        float codes go through normalized bits (all NaNs one code, both
+        zeros one code) so code equality is exactly [Float.compare]
+        equality. *)
+     let typed_keys_ok =
+       Array.length key_cols <= 2
+       && Array.for_all
+            (fun (c : Colbatch.col) ->
+              c.Colbatch.nulls = None
+              &&
+              match c.Colbatch.data with
+              | Colbatch.D_value _ -> false
+              | _ -> true)
+            key_cols
+     in
+     let typed_aggs_ok =
+       let ok = ref true in
+       Array.iteri
+         (fun i (a : Logical.agg) ->
+           if a.agg_distinct then ok := false
+           else
+             match a.agg_kind, arg_cols.(i) with
+             | Ast.Count_star, _ -> ()
+             | _, Some { Colbatch.data = Colbatch.D_int _ | Colbatch.D_float _; _ }
+               -> ()
+             | _ -> ok := false)
+         aggs;
+       !ok
+     in
+     if typed_keys_ok && typed_aggs_ok then begin
+       Guards.tick_n guards gprobe ~stats n;
+       let nag = Array.length aggs in
+       (* Per-aggregate unboxed update, replicating [accumulate]'s
+          null-skip, first-value seeding and strict-compare
+          replacement exactly. *)
+       let updaters =
+         Array.mapi
+           (fun i (a : Logical.agg) ->
+             match a.agg_kind with
+             | Ast.Count_star -> fun (t : tacc) _ -> t.tcount <- t.tcount + 1
+             | _ -> (
+               match arg_cols.(i) with
+               | Some { Colbatch.data = Colbatch.D_int arr; nulls } ->
+                 let masked =
+                   match nulls with
+                   | Some m -> fun r -> m.(r)
+                   | None -> fun _ -> false
+                 in
+                 fun (t : tacc) r ->
+                   if not (masked r) then begin
+                     let v = arr.(r) in
+                     if t.tcount = 0 then begin
+                       t.isum <- v;
+                       t.imin <- v;
+                       t.imax <- v
+                     end
+                     else begin
+                       t.isum <- t.isum + v;
+                       if v < t.imin then t.imin <- v;
+                       if v > t.imax then t.imax <- v
+                     end;
+                     t.tcount <- t.tcount + 1
+                   end
+               | Some { Colbatch.data = Colbatch.D_float arr; nulls } ->
+                 let masked =
+                   match nulls with
+                   | Some m -> fun r -> m.(r)
+                   | None -> fun _ -> false
+                 in
+                 fun (t : tacc) r ->
+                   if not (masked r) then begin
+                     let v = arr.(r) in
+                     if t.tcount = 0 then begin
+                       t.fsum <- v;
+                       t.fmin <- v;
+                       t.fmax <- v
+                     end
+                     else begin
+                       t.fsum <- t.fsum +. v;
+                       if Float.compare v t.fmin < 0 then t.fmin <- v;
+                       if Float.compare v t.fmax > 0 then t.fmax <- v
+                     end;
+                     t.tcount <- t.tcount + 1
+                   end
+               | _ -> assert false))
+           aggs
+       in
+
+       (* Open-addressing group table hashed directly over the typed
+          key cells: no per-row boxing, interning or tuple keys.
+          Capacity >= 2n keeps the load factor under one half, so the
+          table never grows. Cell equality follows {!Value.equal} on
+          these inputs (ints natively, floats under [Float.compare]),
+          and float hash codes go through normalized bits (all NaNs
+          one code, both zeros one code) so hash agreement follows
+          equality. *)
+       let codes =
+         Array.map
+           (fun (c : Colbatch.col) : (int -> int) ->
+             match c.Colbatch.data with
+             | Colbatch.D_int a -> fun r -> a.(r)
+             | Colbatch.D_bool a -> fun r -> if a.(r) then 1 else 0
+             | Colbatch.D_float a ->
+               fun r ->
+                 let f = a.(r) in
+                 let bits =
+                   if f = 0.0 then 0L
+                   else if f <> f then 0x7FF8000000000000L
+                   else Int64.bits_of_float f
+                 in
+                 Int64.to_int bits
+             | Colbatch.D_str a -> fun r -> Hashtbl.hash a.(r)
+             | Colbatch.D_value _ -> assert false)
+           key_cols
+       in
+       let eqs =
+         Array.map
+           (fun (c : Colbatch.col) : (int -> int -> bool) ->
+             match c.Colbatch.data with
+             | Colbatch.D_int a -> fun r s -> a.(r) = a.(s)
+             | Colbatch.D_bool a -> fun r s -> a.(r) = a.(s)
+             | Colbatch.D_float a -> fun r s -> Float.compare a.(r) a.(s) = 0
+             | Colbatch.D_str a -> fun r s -> String.equal a.(r) a.(s)
+             | Colbatch.D_value _ -> assert false)
+           key_cols
+       in
+       let nkc = Array.length key_cols in
+       (* Keys are at most two columns (eligibility check), so unroll
+          both the hash and the equality instead of looping over
+          closure arrays per row. *)
+       let keys_equal, hash_row0 =
+         match nkc with
+         | 0 -> ((fun _ _ -> true), fun _ -> 0)
+         | 1 ->
+           let e0 = eqs.(0) and c0 = codes.(0) in
+           (e0, fun r -> c0 r * 0x2545F4914F6CDD1D)
+         | _ ->
+           let e0 = eqs.(0) and e1 = eqs.(1) in
+           let c0 = codes.(0) and c1 = codes.(1) in
+           ( (fun r s -> e0 r s && e1 r s),
+             fun r ->
+               ((c0 r * 0x2545F4914F6CDD1D) + c1 r) * 0x2545F4914F6CDD1D )
+       in
+       let cap =
+         let rec up c = if c >= 2 * n then c else up (2 * c) in
+         up 16
+       in
+       let hmask = cap - 1 in
+       let hash_row r =
+         let h = hash_row0 r in
+         (h lxor (h lsr 29)) land hmask
+       in
+       let slots = Array.make cap (-1) in
+       let rep = Array.make (max 1 n) 0 in
+       let gtaccs : tacc array array = Array.make (max 1 n) [||] in
+       let update =
+         if nag = 1 then (
+           let u0 = updaters.(0) in
+           fun (taccs : tacc array) r -> u0 taccs.(0) r)
+         else
+           fun taccs r ->
+             for i = 0 to nag - 1 do
+               updaters.(i) taccs.(i) r
+             done
+       in
+       let ng = ref 0 in
+       for r = 0 to n - 1 do
+         let taccs =
+           if nkc = 0 then begin
+             if !ng = 0 then begin
+               gtaccs.(0) <- Array.init nag (fun _ -> new_tacc ());
+               rep.(0) <- r;
+               ng := 1
+             end;
+             gtaccs.(0)
+           end
+           else begin
+             let idx = ref (hash_row r) in
+             let entry = ref (-1) in
+             let continue = ref true in
+             while !continue do
+               let e = slots.(!idx) in
+               if e = -1 then continue := false
+               else if keys_equal rep.(e) r then begin
+                 entry := e;
+                 continue := false
+               end
+               else idx := (!idx + 1) land hmask
+             done;
+             if !entry >= 0 then gtaccs.(!entry)
+             else begin
+               let e = !ng in
+               slots.(!idx) <- e;
+               rep.(e) <- r;
+               gtaccs.(e) <- Array.init nag (fun _ -> new_tacc ());
+               ng := e + 1;
+               gtaccs.(e)
+             end
+           end
+         in
+         update taccs r
+       done;
+       (* Emit the result as a columnar batch straight from the typed
+          cells, one slot per group in first-seen order (entry ids are
+          assigned in first-appearance order): key columns are a
+          gather of the evaluated key columns at each group's
+          representative row, aggregate columns are typed arrays with
+          a NULL mask exactly where the boxed [finalize] would return
+          Null (empty non-COUNT groups). The boxed group table and
+          per-row emission are skipped entirely. *)
+       let ng = !ng in
+       let grp_sel = Array.sub rep 0 ng in
+       let kbatch = Colbatch.gather (Colbatch.make ~len:n key_cols) grp_sel in
+       let empty_mask i =
+         let any = ref false in
+         let m =
+           Array.init ng (fun e ->
+               let z = gtaccs.(e).(i).tcount = 0 in
+               if z then any := true;
+               z)
+         in
+         if !any then Some m else None
+       in
+       let agg_cols =
+         Array.mapi
+           (fun i (a : Logical.agg) : Colbatch.col ->
+             let is_float =
+               match arg_cols.(i) with
+               | Some { Colbatch.data = Colbatch.D_float _; _ } -> true
+               | _ -> false
+             in
+             let int_of f =
+               {
+                 Colbatch.data =
+                   Colbatch.D_int (Array.init ng (fun e -> f gtaccs.(e).(i)));
+                 nulls = empty_mask i;
+               }
+             in
+             let float_of f =
+               {
+                 Colbatch.data =
+                   Colbatch.D_float (Array.init ng (fun e -> f gtaccs.(e).(i)));
+                 nulls = empty_mask i;
+               }
+             in
+             match a.agg_kind with
+             | Ast.Count | Ast.Count_star ->
+               {
+                 Colbatch.data =
+                   Colbatch.D_int
+                     (Array.init ng (fun e -> gtaccs.(e).(i).tcount));
+                 nulls = None;
+               }
+             | Ast.Sum ->
+               if is_float then float_of (fun t -> t.fsum)
+               else int_of (fun t -> t.isum)
+             | Ast.Min ->
+               if is_float then float_of (fun t -> t.fmin)
+               else int_of (fun t -> t.imin)
+             | Ast.Max ->
+               if is_float then float_of (fun t -> t.fmax)
+               else int_of (fun t -> t.imax)
+             | Ast.Avg ->
+               if is_float then
+                 float_of (fun t -> t.fsum /. float_of_int t.tcount)
+               else
+                 float_of (fun t ->
+                     float_of_int t.isum /. float_of_int t.tcount))
+           aggs
+       in
+       direct :=
+         Some
+           (Relation.of_batch schema
+              (Colbatch.hstack kbatch (Colbatch.make ~len:ng agg_cols)))
+     end
+     else
+       accumulate_all n
+         (fun i -> Array.map (fun c -> Colbatch.get c i) key_cols)
+         (fun j i ->
+           match arg_cols.(j) with
+           | Some c -> Colbatch.get c i
+           | None -> Value.Null)
+   end
+   else begin
+     let keys =
+       Array.of_list (List.map (fun e -> compiled_val ?cache ~stats e) keys)
+     in
+     let agg_args =
+       Array.map
+         (fun (a : Logical.agg) ->
+           match a.agg_kind with
+           | Ast.Count_star -> fun _ -> Value.Null  (* unused *)
+           | _ -> compiled_val ?cache ~stats a.agg_arg)
+         aggs
+     in
+     let rows = Relation.rows input in
+     accumulate_all (Array.length rows)
+       (fun i -> Array.map (fun f -> f rows.(i)) keys)
+       (fun j i -> agg_args.(j) rows.(i))
+   end);
   let emit key =
     let _, accs = Row_tbl.find groups key in
     let agg_values =
@@ -564,8 +1223,11 @@ let aggregate ?cache ?guards ~(stats : Stats.t) ~keys
     in
     Row.concat key agg_values
   in
+  match !direct with
+  | Some rel when not (keys = [] && Relation.cardinality rel = 0) -> rel
+  | _ ->
   let rows =
-    if Array.length keys = 0 && Row_tbl.length groups = 0 then
+    if keys = [] && Row_tbl.length groups = 0 then
       (* Global aggregate over an empty input yields one default row. *)
       [|
         Row.concat [||]

@@ -13,7 +13,14 @@
     accept optional [?guards] and run a periodic {!Guards.tick} probe
     inside their row loops (every {!Guards.probe_interval} rows), so a
     single giant statement honors timeouts, budgets and interrupts
-    without waiting for the next materialize boundary. *)
+    without waiting for the next materialize boundary.
+
+    [filter], [project], the hash-join probe and [aggregate] also take
+    [?columnar]: evaluate {!Vec_eval} kernels over the input's column
+    batch under selection vectors instead of materializing row lists.
+    The columnar paths are bit-identical to the row paths — same rows,
+    same order, same logical stats ({!Stats.logical_equal}) and same
+    errors. *)
 
 module Value = Dbspinner_storage.Value
 module Row = Dbspinner_storage.Row
@@ -38,6 +45,7 @@ val filter :
   ?parallel:Parallel.ctx ->
   ?cache:Cache.t ->
   ?guards:Guards.t ->
+  ?columnar:bool ->
   stats:Stats.t ->
   Bound_expr.t ->
   Relation.t ->
@@ -47,6 +55,7 @@ val project :
   ?parallel:Parallel.ctx ->
   ?cache:Cache.t ->
   ?guards:Guards.t ->
+  ?columnar:bool ->
   stats:Stats.t ->
   (Bound_expr.t * string) list ->
   Relation.t ->
@@ -122,6 +131,7 @@ val hash_join_probe :
   ?parallel:Parallel.ctx ->
   ?cache:Cache.t ->
   ?guards:Guards.t ->
+  ?columnar:bool ->
   stats:Stats.t ->
   Logical.join_kind ->
   (Bound_expr.t * Bound_expr.t) list ->
@@ -137,6 +147,7 @@ val hash_join :
   ?parallel:Parallel.ctx ->
   ?cache:Cache.t ->
   ?guards:Guards.t ->
+  ?columnar:bool ->
   stats:Stats.t ->
   Logical.join_kind ->
   (Bound_expr.t * Bound_expr.t) list ->
@@ -163,6 +174,7 @@ val join :
   ?parallel:Parallel.ctx ->
   ?cache:Cache.t ->
   ?guards:Guards.t ->
+  ?columnar:bool ->
   stats:Stats.t ->
   Logical.join_kind ->
   Bound_expr.t option ->
@@ -177,6 +189,7 @@ val join :
 val aggregate :
   ?cache:Cache.t ->
   ?guards:Guards.t ->
+  ?columnar:bool ->
   stats:Stats.t ->
   keys:Bound_expr.t list ->
   aggs:Logical.agg list ->

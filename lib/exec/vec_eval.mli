@@ -1,0 +1,24 @@
+(** Columnar expression evaluation: compiled batch-at-a-time kernels
+    over {!Dbspinner_storage.Colbatch} columns, bit-identical with the
+    row interpreter ({!Eval}) — same results, same NULL propagation,
+    same error messages, and errors raised at the same (first) row.
+    [CASE] subtrees fall back to a per-row scalar loop because their
+    branches short-circuit per row. *)
+
+module Colbatch = Dbspinner_storage.Colbatch
+module Bound_expr = Dbspinner_plan.Bound_expr
+
+(** A compiled kernel: evaluates the expression over every row of the
+    batch, returning one column of the batch's length.
+    @raise Eval.Runtime_error / Division_by_zero as {!Eval.eval}. *)
+type kernel = Colbatch.t -> Colbatch.col
+
+val compile : Bound_expr.t -> kernel
+
+(** [truthy_sel col n] — selection vector of the rows where the
+    predicate column is [TRUE] (NULL and [FALSE] reject; ascending).
+    @raise Eval.Runtime_error when a kept row is not boolean. *)
+val truthy_sel : Colbatch.col -> int -> int array
+
+(** Compiled predicate straight to a selection vector. *)
+val compile_sel : Bound_expr.t -> Colbatch.t -> int array

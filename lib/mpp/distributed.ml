@@ -144,21 +144,22 @@ let combiner_aggs ~nkeys (aggs : Logical.agg list) : Logical.agg list =
     pre-aggregated locally so only one partial row per (worker, group)
     crosses the network — the standard MPP shuffle-volume
     optimization. *)
-let run_aggregate ?cache ~pool ~workers ~shuffles ~fault ~stats ~keys ~aggs
-    ~agg_schema (d : dist_rel) : dist_rel =
+let run_aggregate ?cache ?(columnar = false) ~pool ~workers ~shuffles ~fault
+    ~stats ~keys ~aggs ~agg_schema (d : dist_rel) : dist_rel =
   let nkeys = List.length keys in
   if decomposable aggs then begin
     let partial =
       per_partition ~pool ~fault ~stats
         (fun st part ->
-          Operators.aggregate ?cache ~stats:st ~keys ~aggs part agg_schema)
+          Operators.aggregate ?cache ~columnar ~stats:st ~keys ~aggs part
+            agg_schema)
         d
     in
     let final_keys = List.init nkeys (fun i -> Bound_expr.B_col i) in
     let final_aggs = combiner_aggs ~nkeys aggs in
     let combine st part =
-      Operators.aggregate ?cache ~stats:st ~keys:final_keys ~aggs:final_aggs
-        part agg_schema
+      Operators.aggregate ?cache ~columnar ~stats:st ~keys:final_keys
+        ~aggs:final_aggs part agg_schema
     in
     if nkeys = 0 then begin
       (* One partial row per worker; combine on worker 0. *)
@@ -186,8 +187,8 @@ let run_aggregate ?cache ~pool ~workers ~shuffles ~fault ~stats ~keys ~aggs
       parts =
         Array.init workers (fun i ->
             if i = 0 then
-              Operators.aggregate ?cache ~stats ~keys ~aggs g.parts.(0)
-                agg_schema
+              Operators.aggregate ?cache ~columnar ~stats ~keys ~aggs
+                g.parts.(0) agg_schema
             else Relation.empty agg_schema);
     }
   end
@@ -200,13 +201,14 @@ let run_aggregate ?cache ~pool ~workers ~shuffles ~fault ~stats ~keys ~aggs
     in
     per_partition ~pool ~fault ~stats
       (fun st part ->
-        Operators.aggregate ?cache ~stats:st ~keys ~aggs part agg_schema)
+        Operators.aggregate ?cache ~columnar ~stats:st ~keys ~aggs part
+          agg_schema)
       d
   end
 
-let rec run ?temps ?cache ~pool ~workers ~shuffles ~fault ~(stats : Stats.t)
-    (catalog : Catalog.t) (plan : Logical.t) : dist_rel =
-  let run = run ?temps ?cache ~pool ~fault in
+let rec run ?temps ?cache ?(columnar = false) ~pool ~workers ~shuffles ~fault
+    ~(stats : Stats.t) (catalog : Catalog.t) (plan : Logical.t) : dist_rel =
+  let run = run ?temps ?cache ~columnar ~pool ~fault in
   (* Per-partition operator work fans out across the Domain pool;
      exchanges (repartition/gather) and fault ticks stay on the
      coordinator. *)
@@ -229,15 +231,17 @@ let rec run ?temps ?cache ~pool ~workers ~shuffles ~fault ~(stats : Stats.t)
       (Option.bind temps (fun t ->
            Hashtbl.find_opt t (String.lowercase_ascii name)))
   | Logical.L_scan _ | Logical.L_values _ ->
-    let rel = Dbspinner_exec.Executor.run_plan ?cache ~stats catalog plan in
+    let rel =
+      Dbspinner_exec.Executor.run_plan ?cache ~columnar ~stats catalog plan
+    in
     { parts = Partition.round_robin ~workers rel }
   | Logical.L_filter { pred; input } ->
     per_partition
-      (fun st part -> Operators.filter ?cache ~stats:st pred part)
+      (fun st part -> Operators.filter ?cache ~columnar ~stats:st pred part)
       (run ~workers ~shuffles ~stats catalog input)
   | Logical.L_project { exprs; input } ->
     per_partition
-      (fun st part -> Operators.project ?cache ~stats:st exprs part)
+      (fun st part -> Operators.project ?cache ~columnar ~stats:st exprs part)
       (run ~workers ~shuffles ~stats catalog input)
   | Logical.L_join { kind; cond; left; right; join_schema } -> (
     let dl = run ~workers ~shuffles ~stats catalog left in
@@ -257,7 +261,7 @@ let rec run ?temps ?cache ~pool ~workers ~shuffles ~fault ~(stats : Stats.t)
         parts =
           Array.init workers (fun i ->
               if i = 0 then
-                Operators.join ?cache ~stats kind cond dl.parts.(0)
+                Operators.join ?cache ~columnar ~stats kind cond dl.parts.(0)
                   dr.parts.(0) join_schema
               else Relation.empty join_schema);
       }
@@ -275,13 +279,13 @@ let rec run ?temps ?cache ~pool ~workers ~shuffles ~fault ~(stats : Stats.t)
       {
         parts =
           on_partitions workers (fun st i ->
-              Operators.join ?cache ~stats:st kind cond dl.parts.(i)
+              Operators.join ?cache ~columnar ~stats:st kind cond dl.parts.(i)
                 dr.parts.(i) join_schema);
       })
   | Logical.L_aggregate { keys; aggs; input; agg_schema } ->
     let d = run ~workers ~shuffles ~stats catalog input in
-    run_aggregate ?cache ~pool ~workers ~shuffles ~fault ~stats ~keys ~aggs
-      ~agg_schema d
+    run_aggregate ?cache ~columnar ~pool ~workers ~shuffles ~fault ~stats
+      ~keys ~aggs ~agg_schema d
   | Logical.L_distinct input ->
     let d = run ~workers ~shuffles ~stats catalog input in
     let d = repartition ~workers ~shuffles ~key:(fun row -> row) d in
@@ -353,13 +357,14 @@ let rec run ?temps ?cache ~pool ~workers ~shuffles ~fault ~(stats : Stats.t)
     pool). Injected faults propagate (single plans have no checkpoint
     to recover from; use {!run_program} for recovery semantics). *)
 let run_plan ?(workers = 4) ?pool ?(fault = Fault.none) ?(use_cache = true)
-    (catalog : Catalog.t) (plan : Logical.t) : Relation.t * shuffle_stats =
+    ?(columnar = false) (catalog : Catalog.t) (plan : Logical.t) :
+    Relation.t * shuffle_stats =
   if workers <= 0 then invalid_arg "Distributed.run_plan: workers <= 0";
   let pool = match pool with Some p -> p | None -> Parallel.default () in
   let cache = if use_cache then Some (Cache.create ()) else None in
   let shuffles = { rows_shuffled = 0; exchanges = 0 } in
   let stats = Stats.create () in
-  let d = run ?cache ~pool ~workers ~shuffles ~fault ~stats catalog plan in
+  let d = run ?cache ~columnar ~pool ~workers ~shuffles ~fault ~stats catalog plan in
   (gather d, shuffles)
 
 (* ------------------------------------------------------------------ *)
@@ -434,8 +439,8 @@ type checkpoint = {
     [max_retries] consecutive transient faults. The catalog's temp
     namespace is restored afterwards so callers see no leftover temps
     from the fallback execution. *)
-let fallback_single_node ~stats ~guards ?trace (catalog : Catalog.t)
-    (program : Program.t) : Relation.t =
+let fallback_single_node ~stats ~guards ~columnar ?trace
+    (catalog : Catalog.t) (program : Program.t) : Relation.t =
   stats.Stats.fallbacks <- stats.Stats.fallbacks + 1;
   let saved =
     List.map
@@ -447,7 +452,8 @@ let fallback_single_node ~stats ~guards ?trace (catalog : Catalog.t)
       Catalog.clear_temps catalog;
       List.iter (fun (n, r) -> Catalog.set_temp catalog n r) saved)
     (fun () ->
-      Dbspinner_exec.Executor.run_program ~stats ~guards ?trace catalog program)
+      Dbspinner_exec.Executor.run_program ~stats ~guards ~columnar ?trace
+        catalog program)
 
 (** Execute a whole step program with every plan running distributed.
     Materialized temps stay {e partitioned on the workers} between
@@ -469,7 +475,7 @@ let fallback_single_node ~stats ~guards ?trace (catalog : Catalog.t)
     @raise Unsupported for programs containing recursive CTEs. *)
 let run_program ?(workers = 4) ?pool ?(fault = Fault.none) ?(max_retries = 3)
     ?(guards = Guards.none) ?(stats = Stats.create ()) ?(use_cache = true)
-    ?trace (catalog : Catalog.t) (program : Program.t) :
+    ?(columnar = false) ?trace (catalog : Catalog.t) (program : Program.t) :
     Relation.t * shuffle_stats =
   if workers <= 0 then invalid_arg "Distributed.run_program: workers <= 0";
   if max_retries < 0 then
@@ -539,7 +545,8 @@ let run_program ?(workers = 4) ?pool ?(fault = Fault.none) ?(max_retries = 3)
     (match step with
     | Program.Materialize { target; plan } ->
       let d =
-        run ~temps ?cache ~pool ~workers ~shuffles ~fault ~stats catalog plan
+        run ~temps ?cache ~columnar ~pool ~workers ~shuffles ~fault ~stats
+          catalog plan
       in
       stats.Stats.materializations <- stats.Stats.materializations + 1;
       stats.Stats.rows_materialized <-
@@ -577,8 +584,8 @@ let run_program ?(workers = 4) ?pool ?(fault = Fault.none) ?(max_retries = 3)
       let cur = gather (find_temp cte) in
       let dist_eval plan =
         gather
-          (run ~temps ?cache ~pool ~workers ~shuffles ~fault ~stats catalog
-             plan)
+          (run ~temps ?cache ~columnar ~pool ~workers ~shuffles ~fault ~stats
+             catalog plan)
       in
       let full_eval () =
         stats.Stats.full_reevals <- stats.Stats.full_reevals + 1;
@@ -587,22 +594,26 @@ let run_program ?(workers = 4) ?pool ?(fault = Fault.none) ?(max_retries = 3)
       let work =
         match st.d_prev_cte, st.d_prev_work with
         | Some prev, Some prev_work -> (
-          let delta = Relation.changed_rows ~key_idx prev cur in
-          if Relation.cardinality delta = 0 then begin
-            st.d_cutoff_streak <- 0;
-            prev_work
-          end
-          else
-            let changed_keys = Hashtbl.create 64 in
-            Relation.iter
-              (fun r -> Hashtbl.replace changed_keys r.(key_idx) ())
-              delta;
-            if Hashtbl.length changed_keys * 2 >= Relation.cardinality cur
-            then begin
-              st.d_cutoff_streak <- st.d_cutoff_streak + 1;
-              full_eval ()
+          (* Bounded diff: once the distinct-changed-key count reaches
+             half the CTE (the large-delta cutoff), the probe returns
+             [None] without materializing the delta at all — same
+             decision as the unbounded diff followed by the cutoff
+             check, minus the wasted relation build. *)
+          let cutoff = max 1 ((Relation.cardinality cur + 1) / 2) in
+          match Relation.changed_rows_bounded ~key_idx ~cutoff prev cur with
+          | None ->
+            st.d_cutoff_streak <- st.d_cutoff_streak + 1;
+            full_eval ()
+          | Some delta ->
+            if Relation.cardinality delta = 0 then begin
+              st.d_cutoff_streak <- 0;
+              prev_work
             end
             else begin
+              let changed_keys = Hashtbl.create 64 in
+              Relation.iter
+                (fun r -> Hashtbl.replace changed_keys r.(key_idx) ())
+                delta;
               st.d_cutoff_streak <- 0;
               Hashtbl.replace temps (key delta_name)
                 { parts = Partition.round_robin ~workers delta };
@@ -864,8 +875,8 @@ let run_program ?(workers = 4) ?pool ?(fault = Fault.none) ?(max_retries = 3)
     | Program.Return plan ->
       let rel =
         gather
-          (run ~temps ?cache ~pool ~workers ~shuffles ~fault ~stats catalog
-             plan)
+          (run ~temps ?cache ~columnar ~pool ~workers ~shuffles ~fault ~stats
+             catalog plan)
       in
       step_rows := Relation.cardinality rel;
       result := Some rel);
@@ -905,7 +916,9 @@ let run_program ?(workers = 4) ?pool ?(fault = Fault.none) ?(max_retries = 3)
         (* Retry budget exhausted: degrade gracefully to single-node
            execution instead of failing the query. *)
         result :=
-          Some (fallback_single_node ~stats ~guards ?trace catalog program);
+          Some
+            (fallback_single_node ~stats ~guards ~columnar ?trace catalog
+               program);
         pc := Array.length steps
       end
       else begin

@@ -34,6 +34,7 @@ val run_plan :
   ?pool:Parallel.t ->
   ?fault:Fault.plan ->
   ?use_cache:bool ->
+  ?columnar:bool ->
   Catalog.t ->
   Logical.t ->
   Relation.t * shuffle_stats
@@ -62,6 +63,12 @@ exception Unsupported of string
     catalog, so the generation-keyed build memo does not apply here.
     Results and logical stats are identical either way.
 
+    [columnar] (default false) runs the per-partition filter, project,
+    equi-join probe and aggregate work through the vectorized batch
+    engine ({!Dbspinner_exec.Vec_eval}); results and logical stats are
+    bit-identical with the row engine, and the single-node fallback
+    inherits the same setting.
+
     [trace], when given, records {!Dbspinner_obs.Trace} spans exactly
     like the single-node executor (steps, iterations with convergence
     gauges, operator families, program), including across recoveries: a
@@ -83,6 +90,7 @@ val run_program :
   ?guards:Guards.t ->
   ?stats:Stats.t ->
   ?use_cache:bool ->
+  ?columnar:bool ->
   ?trace:Dbspinner_obs.Trace.t ->
   Catalog.t ->
   Program.t ->

@@ -56,6 +56,13 @@ type t = {
           the rest from the previous working table. Results are
           bag-identical to full re-evaluation; ineligible bodies fall
           back to full re-evaluation per iteration. *)
+  use_columnar : bool;
+      (** vectorized columnar execution: filter, project, equi-join
+          probe and aggregate run batch-at-a-time over typed column
+          arrays ({!Dbspinner_exec.Vec_eval}) instead of row-at-a-time.
+          Results and logical stats are bit-identical with the row
+          engine. An executor concern, not a paper rewrite, so
+          [unoptimized] keeps it on. *)
 }
 
 let default =
@@ -76,6 +83,7 @@ let default =
     use_exec_cache = true;
     trace_buffer = 8192;
     use_delta = true;
+    use_columnar = true;
   }
 
 (** All paper optimizations off: the naive rewrite the paper's
@@ -119,7 +127,8 @@ let to_string t =
   (* Only shown when disabled, keeping the default rendering stable. *)
   let cache = if t.use_exec_cache then "" else " exec_cache=off" in
   let delta = if t.use_delta then "" else " delta=off" in
+  let columnar = if t.use_columnar then "" else " columnar=off" in
   Printf.sprintf
-    "rename=%b common_result=%b pushdown=%b fold=%b outer_to_inner=%b%s%s%s%s"
+    "rename=%b common_result=%b pushdown=%b fold=%b outer_to_inner=%b%s%s%s%s%s"
     t.use_rename t.use_common_result t.use_pushdown t.use_constant_folding
-    t.use_outer_to_inner guards parallel cache delta
+    t.use_outer_to_inner guards parallel cache delta columnar

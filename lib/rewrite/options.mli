@@ -49,6 +49,11 @@ type t = {
       (** semi-naive (delta-driven) iterative evaluation; eligible loop
           bodies re-evaluate [Ri] only over rows whose inputs changed,
           ineligible bodies fall back to full re-evaluation *)
+  use_columnar : bool;
+      (** vectorized columnar execution for filter/project/join/
+          aggregate; bit-identical results and logical stats vs the
+          row engine. An executor concern, so [unoptimized] keeps it
+          on *)
 }
 
 (** Everything on. *)

@@ -59,6 +59,7 @@ let set_bool_option options key enabled =
   | "exec_cache" | "cache" ->
     Some { options with Options.use_exec_cache = enabled }
   | "delta" -> Some { options with Options.use_delta = enabled }
+  | "columnar" -> Some { options with Options.use_columnar = enabled }
   | _ -> None
 
 let parse_bool = function
@@ -151,7 +152,7 @@ let set t key value : (string, string) result =
         Error
           (Printf.sprintf
              "unknown option %s \
-              (rename|common|pushdown|fold|cache|delta|deadline|statement_timeout|budget|workers|max_iterations|trace)"
+              (rename|common|pushdown|fold|cache|delta|columnar|deadline|statement_timeout|budget|workers|max_iterations|trace)"
              key))
     | None -> Error (Printf.sprintf "SET %s expects on|off" key))
 

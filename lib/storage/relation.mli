@@ -1,5 +1,7 @@
-(** Immutable materialized relations: a schema plus a row array. All
-    executor operators consume and produce relations. *)
+(** Immutable materialized relations: a schema plus tuples held as a
+    row array, a typed column batch, or both (each view is materialized
+    lazily from the other and memoized). All executor operators consume
+    and produce relations. *)
 
 type t
 
@@ -13,10 +15,33 @@ val make : Schema.t -> Row.t array -> t
     external/CSV ingestion must keep using {!make}. *)
 val make_trusted : Schema.t -> Row.t array -> t
 
+(** Trusted columnar constructor (columnar operator outputs): the
+    batch's arity must match the schema's. The row view is only built
+    if a consumer asks for it. *)
+val of_batch : Schema.t -> Colbatch.t -> t
+
 val of_lists : Schema.t -> Value.t list list -> t
 val empty : Schema.t -> t
 val schema : t -> Schema.t
+
+(** The row view — the compatibility shim: materialized from the
+    columnar view on first use and memoized. *)
 val rows : t -> Row.t array
+
+(** The columnar view: converted from rows on first use and memoized.
+    Safe under concurrent use (a racy double conversion only wastes
+    work). *)
+val columnar : t -> Colbatch.t
+
+(** The columnar view only if already materialized; diff fast paths use
+    this to avoid forcing conversions. *)
+val columnar_opt : t -> Colbatch.t option
+
+(** [key_values t i] — column [i] as boxed values, read from whichever
+    view is already materialized (never forces a row
+    materialization). *)
+val key_values : t -> int -> Value.t array
+
 val cardinality : t -> int
 val is_empty : t -> bool
 val iter : (Row.t -> unit) -> t -> unit
@@ -44,6 +69,15 @@ val delta_count : key_idx:int -> t -> t -> int
     used to reach as well as the ones it reaches now). Schema is
     [next]'s. *)
 val changed_rows : key_idx:int -> t -> t -> t
+
+(** [changed_rows_bounded ~key_idx ~cutoff prev next] is
+    [Some (changed_rows prev next)] when fewer than [cutoff] distinct
+    keys changed, and [None] as soon as the distinct-changed-key count
+    reaches [cutoff] — early exit, before building any row list. The
+    semi-naive cutoff probe: full-churn iterations abandon the diff
+    partway through the scan instead of materializing a relation of
+    every old+new pair only to discard it. [cutoff >= 1]. *)
+val changed_rows_bounded : key_idx:int -> cutoff:int -> t -> t -> t option
 
 (** Copy with rows sorted by {!Row.compare} (canonical order for
     comparisons). *)

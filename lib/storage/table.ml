@@ -14,6 +14,11 @@ type t = {
       (** bumped on every mutation; executor caches key on it *)
   primary_key : int option;
   pk_index : (Value.t, unit) Hashtbl.t option;
+  snapshot : (int * Relation.t) option Atomic.t;
+      (** {!to_relation} memo keyed by [version], so repeated scans of
+          an unmutated table share one relation — and therefore share
+          its lazily built columnar view across loop iterations.
+          Atomic: server sessions read base tables concurrently. *)
 }
 
 exception Constraint_violation of string
@@ -37,6 +42,7 @@ let create ?primary_key ~name schema =
     version = 0;
     primary_key = pk_idx;
     pk_index = Option.map (fun _ -> Hashtbl.create 64) pk_idx;
+    snapshot = Atomic.make None;
   }
 
 let name t = t.name
@@ -140,7 +146,16 @@ let truncate t =
   t.version <- t.version + 1;
   Option.iter Hashtbl.reset t.pk_index
 
-let to_relation t = Relation.make t.schema (Array.of_list t.rows)
+let to_relation t =
+  match Atomic.get t.snapshot with
+  | Some (v, rel) when v = t.version -> rel
+  | _ ->
+    (* Capture the version before building: a concurrent mutation then
+       publishes under the old version and the next read rebuilds. *)
+    let v = t.version in
+    let rel = Relation.make t.schema (Array.of_list t.rows) in
+    Atomic.set t.snapshot (Some (v, rel));
+    rel
 
 (** O(1) snapshot of the row list (rows are immutable once stored). *)
 let snapshot_rows t = t.rows

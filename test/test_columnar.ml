@@ -1,0 +1,340 @@
+(** Vectorized columnar execution: the columnar engine must be
+    bit-identical to the row engine — same relations, same
+    [Stats.logical_equal] counters — across the sequential,
+    chunk-parallel, cached, delta and distributed executors, including
+    the NULL-heavy corners the column bitmaps encode (all-NULL
+    columns, NULL join keys, NULLs inside aggregates). *)
+
+module Engine = Dbspinner.Engine
+module Options = Dbspinner_rewrite.Options
+module Iterative_rewrite = Dbspinner_rewrite.Iterative_rewrite
+module Parser = Dbspinner_sql.Parser
+module Catalog = Dbspinner_storage.Catalog
+module Relation = Dbspinner_storage.Relation
+module Table = Dbspinner_storage.Table
+module Value = Dbspinner_storage.Value
+module Colbatch = Dbspinner_storage.Colbatch
+module Stats = Dbspinner_exec.Stats
+module Executor = Dbspinner_exec.Executor
+module Parallel = Dbspinner_exec.Parallel
+module Distributed = Dbspinner_mpp.Distributed
+module Graph_gen = Dbspinner_graph.Graph_gen
+module Loader = Dbspinner_workload.Loader
+module Queries = Dbspinner_workload.Queries
+open Helpers
+
+let delta_off = { Options.default with Options.use_delta = false }
+
+let lookup e name =
+  Option.map Table.schema (Catalog.find_table_opt (Engine.catalog e) name)
+
+let compile ?(options = Options.default) e sql =
+  Iterative_rewrite.compile ~options ~lookup:(lookup e)
+    (Parser.parse_query sql)
+
+(** Run on a clean temp namespace with fresh stats. *)
+let run ?parallel ?use_cache ~columnar e program =
+  Catalog.clear_temps (Engine.catalog e);
+  Executor.run_program_with_stats ?parallel ?use_cache ~columnar
+    (Engine.catalog e) program
+
+(** The core contract, asserted everywhere below: same rows, same
+    logical counters, with the columnar toggle the only difference. *)
+let check_modes ?options ~msg e sql =
+  let p = compile ?options e sql in
+  let r_row, s_row = run ~columnar:false e p in
+  let r_col, s_col = run ~columnar:true e p in
+  Alcotest.check relation_testable (msg ^ ": rows") r_row r_col;
+  Alcotest.(check bool)
+    (msg ^ ": logical_equal") true
+    (Stats.logical_equal s_row s_col);
+  r_col
+
+(* ------------------------------------------------------------------ *)
+(* Colbatch unit tests: the bitmap corners, independent of SQL         *)
+
+let test_colbatch_all_null () =
+  let c = Colbatch.of_values [| Value.Null; Value.Null; Value.Null |] in
+  for i = 0 to 2 do
+    Alcotest.(check bool) "is_null_at" true (Colbatch.is_null_at c i);
+    Alcotest.check value_testable "get" Value.Null (Colbatch.get c i)
+  done;
+  Alcotest.(check int) "roundtrip width" 3
+    (Array.length (Colbatch.to_values c))
+
+let test_colbatch_masked_roundtrip () =
+  (* Int-with-NULLs classifies to a typed column with a bitmap; the
+     boxed view must reproduce the original values exactly. *)
+  let vals = [| Value.Int 4; Value.Null; Value.Int (-7); Value.Null |] in
+  let c = Colbatch.of_values vals in
+  Array.iteri
+    (fun i v -> Alcotest.check value_testable "cell" v (Colbatch.get c i))
+    vals;
+  Alcotest.(check bool) "masked" true (Colbatch.is_null_at c 1);
+  Alcotest.(check bool) "unmasked" false (Colbatch.is_null_at c 2)
+
+let test_colbatch_gather_pad () =
+  let b =
+    Colbatch.make ~len:3
+      [| Colbatch.of_values [| Value.Int 1; Value.Int 2; Value.Int 3 |];
+         Colbatch.of_values [| Value.Str "a"; Value.Null; Value.Str "c" |]
+      |]
+  in
+  (* -1 is the outer-join pad: an all-NULL row. *)
+  let g = Colbatch.gather_pad b [| 2; -1; 1; -1 |] in
+  Alcotest.(check int) "length" 4 (Colbatch.length g);
+  Alcotest.check value_testable "picked int" (Value.Int 3)
+    (Colbatch.value_at g 0 0);
+  Alcotest.check value_testable "pad int" Value.Null (Colbatch.value_at g 0 1);
+  Alcotest.check value_testable "pad str" Value.Null (Colbatch.value_at g 1 3);
+  Alcotest.check value_testable "carried null" Value.Null
+    (Colbatch.value_at g 1 2);
+  Alcotest.check value_testable "picked str" (Value.Str "c")
+    (Colbatch.value_at g 1 0)
+
+let test_colbatch_gather_of_gather () =
+  (* A gather of an unforced gather composes selection vectors; the
+     values must match gathering twice eagerly. *)
+  let base =
+    Colbatch.make ~len:5
+      [| Colbatch.of_values
+           [| Value.Int 10; Value.Int 11; Value.Int 12; Value.Int 13;
+              Value.Int 14
+           |]
+      |]
+  in
+  let g1 = Colbatch.gather base [| 4; 2; 0; 2 |] in
+  let g2 = Colbatch.gather_pad g1 [| 3; -1; 0 |] in
+  Alcotest.check value_testable "composed pick" (Value.Int 12)
+    (Colbatch.value_at g2 0 0);
+  Alcotest.check value_testable "composed pad" Value.Null
+    (Colbatch.value_at g2 0 1);
+  Alcotest.check value_testable "composed head" (Value.Int 14)
+    (Colbatch.value_at g2 0 2)
+
+(* ------------------------------------------------------------------ *)
+(* NULL semantics through SQL, row vs columnar                         *)
+
+let null_engine () =
+  let e = Engine.create () in
+  ignore (Engine.execute e "CREATE TABLE t (k INT, v INT)");
+  ignore
+    (Engine.execute e
+       "INSERT INTO t VALUES (1, 10), (1, NULL), (2, NULL), (NULL, 5), (2, \
+        20), (NULL, NULL), (3, NULL)");
+  ignore (Engine.execute e "CREATE TABLE u (k INT, w INT)");
+  ignore
+    (Engine.execute e
+       "INSERT INTO u VALUES (1, 100), (NULL, 200), (2, 300), (2, NULL)");
+  e
+
+let test_all_null_column () =
+  let e = Engine.create () in
+  ignore (Engine.execute e "CREATE TABLE a (x INT, y INT)");
+  ignore
+    (Engine.execute e "INSERT INTO a VALUES (1, NULL), (2, NULL), (3, NULL)");
+  let r =
+    check_modes ~msg:"all-null projection" e
+      "SELECT y, x + 1 FROM a WHERE y IS NULL"
+  in
+  Alcotest.(check int) "all rows kept" 3 (Relation.cardinality r);
+  let r =
+    check_modes ~msg:"all-null aggregate" e
+      "SELECT COUNT(y), SUM(y), MIN(y) FROM a"
+  in
+  Alcotest.check row_testable "count 0, sums NULL"
+    [| Value.Int 0; Value.Null; Value.Null |]
+    (Relation.rows r).(0)
+
+let test_null_join_keys () =
+  let e = null_engine () in
+  (* NULL keys match nothing on either side. *)
+  let r =
+    check_modes ~msg:"inner join" e
+      "SELECT t.k, t.v, u.w FROM t JOIN u ON t.k = u.k"
+  in
+  Array.iter
+    (fun (row : Dbspinner_storage.Row.t) ->
+      Alcotest.(check bool) "no NULL key survives an inner join" false
+        (Value.is_null row.(0)))
+    (Relation.rows r);
+  ignore
+    (check_modes ~msg:"left join pads NULL keys" e
+       "SELECT t.k, u.w FROM t LEFT JOIN u ON t.k = u.k");
+  ignore
+    (check_modes ~msg:"right join" e
+       "SELECT t.k, u.k, u.w FROM t RIGHT JOIN u ON t.k = u.k");
+  ignore
+    (check_modes ~msg:"full join" e
+       "SELECT t.k, u.k FROM t FULL OUTER JOIN u ON t.k = u.k")
+
+let test_null_aggregates () =
+  let e = null_engine () in
+  let r =
+    check_modes ~msg:"grouped aggregates over NULLs" e
+      "SELECT k, COUNT(*), COUNT(v), SUM(v), AVG(v), MIN(v), MAX(v) FROM t \
+       GROUP BY k"
+  in
+  (* Group k=3 has only NULL v: COUNT(v)=0 and every fold is NULL. *)
+  let found = ref false in
+  Array.iter
+    (fun (row : Dbspinner_storage.Row.t) ->
+      if Value.equal row.(0) (Value.Int 3) then begin
+        found := true;
+        Alcotest.check row_testable "k=3 group"
+          [| Value.Int 3; Value.Int 1; Value.Int 0; Value.Null; Value.Null;
+             Value.Null; Value.Null
+          |]
+          row
+      end)
+    (Relation.rows r);
+  Alcotest.(check bool) "k=3 group present" true !found
+
+(* ------------------------------------------------------------------ *)
+(* Cross-executor equivalence on a paper workload                      *)
+
+let test_executors_agree () =
+  let g =
+    Graph_gen.chain_with_shortcuts ~seed:7 ~num_nodes:120 ~shortcut_every:10
+  in
+  let e = Loader.engine_for g in
+  let sql = Queries.sssp ~source:0 ~iterations:10 () in
+  let p = compile ~options:delta_off e sql in
+  let p_delta = compile e sql in
+  let r_row, s_row = run ~columnar:false e p in
+  let check ~msg (r, s) =
+    Alcotest.check relation_testable (msg ^ ": rows") r_row r;
+    Alcotest.(check bool)
+      (msg ^ ": logical_equal") true
+      (Stats.logical_equal s_row s)
+  in
+  check ~msg:"sequential columnar" (run ~columnar:true e p);
+  let parallel = Parallel.context ~chunk_rows:16 ~workers:4 () in
+  check ~msg:"chunk-parallel columnar" (run ?parallel ~columnar:true e p);
+  check ~msg:"uncached columnar" (run ~use_cache:false ~columnar:true e p);
+  (* Delta mode changes the delta counters by design; rows must agree
+     and the two columnar toggles must stay logical_equal. *)
+  let rd_row, sd_row = run ~columnar:false e p_delta in
+  let rd_col, sd_col = run ~columnar:true e p_delta in
+  Alcotest.check relation_testable "delta rows (row vs columnar)" rd_row rd_col;
+  Alcotest.check relation_testable "delta rows (vs delta-off)" r_row rd_col;
+  Alcotest.(check bool) "delta logical_equal" true
+    (Stats.logical_equal sd_row sd_col);
+  let dist ~columnar =
+    Catalog.clear_temps (Engine.catalog e);
+    let stats = Stats.create () in
+    let rel, _ =
+      Distributed.run_program ~workers:4 ~stats ~columnar (Engine.catalog e) p
+    in
+    (rel, stats)
+  in
+  let rx_row, sx_row = dist ~columnar:false in
+  let rx_col, sx_col = dist ~columnar:true in
+  Alcotest.(check bool) "distributed rows (row vs columnar)" true
+    (approx_equal_bag rx_row rx_col);
+  Alcotest.(check bool) "distributed rows (vs sequential)" true
+    (approx_equal_bag r_row rx_col);
+  Alcotest.(check bool) "distributed logical_equal" true
+    (Stats.logical_equal sx_row sx_col)
+
+(* ------------------------------------------------------------------ *)
+(* Property: random iterative programs agree, NULLs included           *)
+
+let kv_engine rows =
+  let e = Engine.create () in
+  ignore (Engine.execute e "CREATE TABLE t (a INT, b INT)");
+  if rows <> [] then
+    ignore
+      (Engine.execute e
+         (Printf.sprintf "INSERT INTO t VALUES %s"
+            (String.concat ", "
+               (List.map
+                  (fun (a, b) ->
+                    Printf.sprintf "(%d, %s)" a
+                      (match b with
+                      | None -> "NULL"
+                      | Some b -> string_of_int b))
+                  rows))));
+  e
+
+let kv_sql ?(where = "") ~step_expr ~until () =
+  Printf.sprintf
+    {|WITH ITERATIVE r (k, v) AS (
+  SELECT a, MIN(b) FROM t WHERE a IS NOT NULL GROUP BY a
+ITERATE SELECT k, %s FROM r%s
+UNTIL %s )
+SELECT k, v FROM r|}
+    step_expr
+    (if where = "" then "" else " WHERE " ^ where)
+    until
+
+let prop_columnar_on_off =
+  let open QCheck2 in
+  let rows_gen =
+    Gen.(
+      list_size (int_range 0 15)
+        (pair (int_range 0 6) (option (int_range (-8) 8))))
+  in
+  let query_gen =
+    Gen.(
+      let* step_expr =
+        oneofl
+          [ "v + 1"; "v + k"; "LEAST(v, k)"; "v"; "v * 2";
+            "COALESCE(v, 0) + 1"; "GREATEST(v, 0 - k)"
+          ]
+      in
+      let* where = oneofl [ ""; "v < 5"; "k > 2"; "v > k"; "v IS NOT NULL" ] in
+      let* rounds = int_range 1 5 in
+      return (step_expr, where, rounds))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:120
+       ~name:"columnar on = columnar off on random iterative programs"
+       ~print:(fun (rows, (step_expr, where, rounds)) ->
+         Printf.sprintf "%s over %d rows"
+           (kv_sql ~where ~step_expr
+              ~until:(Printf.sprintf "%d ITERATIONS" rounds)
+              ())
+           (List.length rows))
+       (Gen.pair rows_gen query_gen)
+       (fun (rows, (step_expr, where, rounds)) ->
+         let e = kv_engine rows in
+         let sql =
+           kv_sql ~where ~step_expr
+             ~until:(Printf.sprintf "%d ITERATIONS" rounds)
+             ()
+         in
+         let p = compile e sql in
+         let r_row, s_row = run ~columnar:false e p in
+         let r_col, s_col = run ~columnar:true e p in
+         if not (Relation.equal_bag r_row r_col) then
+           QCheck2.Test.fail_reportf "rows differ:\nrow:\n%s\ncolumnar:\n%s"
+             (Relation.to_table_string r_row)
+             (Relation.to_table_string r_col)
+         else if not (Stats.logical_equal s_row s_col) then
+           QCheck2.Test.fail_reportf "logical stats differ:\n%s\nvs\n%s"
+             (Stats.to_string s_row) (Stats.to_string s_col)
+         else true))
+
+let () =
+  Alcotest.run "columnar"
+    [
+      ( "colbatch",
+        [
+          Alcotest.test_case "all-null-column" `Quick test_colbatch_all_null;
+          Alcotest.test_case "masked-roundtrip" `Quick
+            test_colbatch_masked_roundtrip;
+          Alcotest.test_case "gather-pad" `Quick test_colbatch_gather_pad;
+          Alcotest.test_case "gather-of-gather" `Quick
+            test_colbatch_gather_of_gather;
+        ] );
+      ( "nulls",
+        [
+          Alcotest.test_case "all-null-column-sql" `Quick test_all_null_column;
+          Alcotest.test_case "null-join-keys" `Quick test_null_join_keys;
+          Alcotest.test_case "null-aggregates" `Quick test_null_aggregates;
+        ] );
+      ( "executors",
+        [ Alcotest.test_case "five-executors-agree" `Quick test_executors_agree ] );
+      ("properties", [ prop_columnar_on_off ]);
+    ]

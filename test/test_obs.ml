@@ -91,6 +91,25 @@ let test_json_parser () =
       | Ok _ -> Alcotest.failf "expected parse error for: %s" bad)
     [ "{"; "[1,]"; "{\"a\" 1}"; "1 2"; ""; "{\"a\": 1} trailing" ]
 
+(* The bench harness emits per-iteration timings as real JSON arrays
+   (e.g. "per_iteration_on_ms"); a record round-trips through the
+   parser with the array structure and element order intact. *)
+let test_bench_record_arrays () =
+  let line =
+    {|{"section": "ext-trace", "workload": "PR", |}
+    ^ {|"per_iteration_off_ms": [1.5, 0.25, 0.125], |}
+    ^ {|"per_iteration_on_ms": [], "iterations": 3}|}
+  in
+  match Json.parse line with
+  | Error m -> Alcotest.failf "bench record failed to parse: %s" m
+  | Ok v -> (
+    (match Json.member "per_iteration_off_ms" v with
+    | Some (Json.Arr [ Json.Num 1.5; Json.Num 0.25; Json.Num 0.125 ]) -> ()
+    | _ -> Alcotest.fail "per-iteration array contents");
+    match Json.member "per_iteration_on_ms" v with
+    | Some (Json.Arr []) -> ()
+    | _ -> Alcotest.fail "empty per-iteration array")
+
 (* ------------------------------------------------------------------ *)
 (* NDJSON event validation                                             *)
 
@@ -294,7 +313,12 @@ let () =
           Alcotest.test_case "iteration-filter" `Quick
             test_iteration_spans_filter;
         ] );
-      ("json", [ Alcotest.test_case "parser" `Quick test_json_parser ]);
+      ( "json",
+        [
+          Alcotest.test_case "parser" `Quick test_json_parser;
+          Alcotest.test_case "bench-record-arrays" `Quick
+            test_bench_record_arrays;
+        ] );
       ( "ndjson",
         [
           Alcotest.test_case "validate" `Quick test_validate_event;
