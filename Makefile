@@ -6,7 +6,7 @@ DUNE ?= dune
 # Fixed seed so the property/fuzz suites are reproducible in CI.
 SMOKE_SEED ?= 42
 
-.PHONY: all build test fmt fmt-check smoke trace-smoke server-smoke durable-smoke delta-smoke columnar-smoke bench-fast bench-cache check ci clean
+.PHONY: all build test fmt fmt-check smoke trace-smoke server-smoke mvcc-smoke durable-smoke delta-smoke columnar-smoke bench-fast bench-cache check ci clean
 
 all: build
 
@@ -90,6 +90,38 @@ server-smoke: build
 	echo "server-smoke: clean shutdown"
 	$(DUNE) exec bench/main.exe -- ext-server --fast --json BENCH_server.json
 
+# MVCC smoke: the protocol + mvcc suites (comment/quote-aware read-only
+# classification, request-id tagging, writer handoff order, pinned
+# snapshot isolation under concurrent DDL, plan-cache hit/staleness,
+# pipelined response ordering), then an end-to-end pass: boot the
+# server, stream the examples/ workload through one pipelined
+# connection, assert STATS exposes the snapshot/plan-cache counters,
+# and repeat against a --no-mvcc server to prove the single-RW-lock
+# escape hatch still serves the same workload.
+mvcc-smoke: build
+	$(DUNE) exec test/test_server.exe -- test protocol
+	$(DUNE) exec test/test_server.exe -- test mvcc
+	@set -e; \
+	SOCK="$${TMPDIR:-/tmp}/dbspinner-mvcc-smoke-$$$$.sock"; \
+	SERVER=./_build/default/bin/server_main.exe; \
+	CLI=./_build/default/bin/dbspinner_cli.exe; \
+	for MODE in "" "--no-mvcc"; do \
+	  $$SERVER --socket "$$SOCK" --gen dblp-like --scale 0.1 $$MODE & \
+	  SERVER_PID=$$!; \
+	  for i in $$(seq 1 100); do [ -S "$$SOCK" ] && break; sleep 0.1; done; \
+	  [ -S "$$SOCK" ] || { echo "FAIL: server socket never appeared"; kill $$SERVER_PID 2>/dev/null; exit 1; }; \
+	  OUT=$$($$CLI client --socket "$$SOCK" --pipeline examples/server_smoke.sql --stats); \
+	  echo "$$OUT" | tail -4; \
+	  if [ -z "$$MODE" ]; then \
+	    echo "$$OUT" | grep -q "snapshot_version" || { echo "FAIL: no snapshot_version in STATS"; exit 1; }; \
+	    echo "$$OUT" | grep -q "plan_hits" || { echo "FAIL: no plan_hits in STATS"; exit 1; }; \
+	  fi; \
+	  $$CLI client --socket "$$SOCK" --shutdown; \
+	  wait $$SERVER_PID; \
+	  [ ! -S "$$SOCK" ] || { echo "FAIL: socket left behind after shutdown"; exit 1; }; \
+	  echo "mvcc-smoke: clean shutdown ($${MODE:-mvcc})"; \
+	done
+
 # Durability smoke: the full durable suite — framing/codec/snapshot/WAL
 # units, recovery invariants (torn tails discarded, corruption refused,
 # replay digests validated) and the chaos harness that SIGKILLs the
@@ -131,7 +163,7 @@ bench-fast: build
 bench-cache: build
 	$(DUNE) exec bench/main.exe -- ext-cache --json BENCH_cache.json
 
-check: build test fmt-check smoke trace-smoke server-smoke durable-smoke delta-smoke columnar-smoke
+check: build test fmt-check smoke trace-smoke server-smoke mvcc-smoke durable-smoke delta-smoke columnar-smoke
 
 # The minimal CI gate: compile, full test suite, formatting, trace
 # smoke (NDJSON + bench-record validation with the fault path traced),
@@ -139,7 +171,7 @@ check: build test fmt-check smoke trace-smoke server-smoke durable-smoke delta-s
 # durability smoke (crash recovery + chaos harness), the delta smoke
 # (semi-naive on/off equivalence + bench records), and the columnar
 # smoke (row vs vectorized equivalence + bench records).
-ci: build test fmt-check trace-smoke server-smoke durable-smoke delta-smoke columnar-smoke
+ci: build test fmt-check trace-smoke server-smoke mvcc-smoke durable-smoke delta-smoke columnar-smoke
 
 clean:
 	$(DUNE) clean

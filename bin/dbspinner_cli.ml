@@ -443,8 +443,10 @@ let as_set_command sql =
   | _ -> None
 
 (** Run against a server: execute [-e SQL] strings and/or a script
-    file, or print server STATS, or request a graceful SHUTDOWN. *)
-let client_mode socket_path commands file show_stats do_shutdown =
+    file, or print server STATS, or request a graceful SHUTDOWN.
+    [pipelined] streams all scripts in one tagged batch (one
+    round-trip) instead of request/response per script. *)
+let client_mode socket_path commands file show_stats do_shutdown pipelined =
   let scripts =
     commands
     @
@@ -462,7 +464,7 @@ let client_mode socket_path commands file show_stats do_shutdown =
       "nothing to do: pass -e SQL, a script FILE, --stats or --shutdown\n";
     exit 2
   end;
-  match Client.connect ~socket_path with
+  match Client.connect ~socket_path () with
   | exception Unix.Unix_error (e, _, _) ->
     Printf.eprintf "cannot connect to %s: %s\n" socket_path
       (Unix.error_message e);
@@ -472,22 +474,56 @@ let client_mode socket_path commands file show_stats do_shutdown =
       ~finally:(fun () -> Client.close client)
       (fun () ->
         let failed = ref false in
-        List.iter
-          (fun sql ->
-            match as_set_command sql with
-            | Some (name, value) -> (
-              match Client.set client name value with
-              | Ok body -> print_string body
-              | Error msg ->
-                failed := true;
-                Printf.eprintf "SET %s: %s\n" name msg)
-            | None -> (
-              match Client.query client sql with
-              | Ok body -> print_string body
-              | Error (status, msg) ->
-                failed := true;
-                Printf.eprintf "%s: %s\n" status msg))
-          scripts;
+        if pipelined then begin
+          (* SET commands change session state the later scripts depend
+             on, so they stay synchronous even in pipelined mode; runs
+             of plain scripts between them go out as one batch. *)
+          let flush_batch batch =
+            match List.rev batch with
+            | [] -> ()
+            | sqls ->
+              List.iter
+                (function
+                  | Ok body -> print_string body
+                  | Error (status, msg) ->
+                    failed := true;
+                    Printf.eprintf "%s: %s\n" status msg)
+                (Client.pipeline_queries client sqls)
+          in
+          let batch =
+            List.fold_left
+              (fun batch sql ->
+                match as_set_command sql with
+                | Some (name, value) ->
+                  flush_batch batch;
+                  (match Client.set client name value with
+                  | Ok body -> print_string body
+                  | Error msg ->
+                    failed := true;
+                    Printf.eprintf "SET %s: %s\n" name msg);
+                  []
+                | None -> sql :: batch)
+              [] scripts
+          in
+          flush_batch batch
+        end
+        else
+          List.iter
+            (fun sql ->
+              match as_set_command sql with
+              | Some (name, value) -> (
+                match Client.set client name value with
+                | Ok body -> print_string body
+                | Error msg ->
+                  failed := true;
+                  Printf.eprintf "SET %s: %s\n" name msg)
+              | None -> (
+                match Client.query client sql with
+                | Ok body -> print_string body
+                | Error (status, msg) ->
+                  failed := true;
+                  Printf.eprintf "%s: %s\n" status msg))
+            scripts;
         if show_stats then
           List.iter
             (fun (k, v) -> Printf.printf "%s %s\n" k v)
@@ -599,9 +635,20 @@ let client_cmd =
       & info [ "shutdown" ]
           ~doc:"Ask the server to shut down gracefully afterwards.")
   in
+  let pipeline =
+    Arg.(
+      value & flag
+      & info [ "pipeline" ]
+          ~doc:
+            "Stream all scripts to the server as one tagged batch (one \
+             round-trip) instead of request/response per script; responses \
+             come back in order.")
+  in
   Cmd.v
     (Cmd.info "client" ~doc:"Run SQL against a running dbspinner server")
-    Term.(const client_mode $ socket $ execute $ file $ stats $ shutdown)
+    Term.(
+      const client_mode $ socket $ execute $ file $ stats $ shutdown
+      $ pipeline)
 
 let trace_check_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in

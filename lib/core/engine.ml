@@ -46,6 +46,13 @@ type t = {
       (** external cancellation probe folded into every statement's
           guards; the server installs one per session so shutdown can
           drain in-flight iterative loops at an iteration boundary *)
+  mutable plan_hook :
+    (Ast.full_query -> (unit -> Program.t) -> Program.t) option;
+      (** plan memoization seam: when set, [run_query] routes the
+          (query, compile thunk) pair through the hook instead of
+          compiling directly; the server installs a cross-session plan
+          cache here. Skipped when the session has views — view bodies
+          are session state no external cache key can see. *)
 }
 
 type result =
@@ -63,6 +70,7 @@ let create ?(options = Options.default) ?catalog () =
     stats = Stats.create ();
     trace = None;
     interrupt = None;
+    plan_hook = None;
   }
 
 let in_transaction t = t.transaction <> None
@@ -82,6 +90,7 @@ let enable_trace t =
   tr
 
 let set_interrupt t probe = t.interrupt <- probe
+let set_plan_hook t hook = t.plan_hook <- hook
 
 let lookup t name =
   match Catalog.find_temp_opt t.catalog name with
@@ -170,7 +179,12 @@ let parallel_of_options (options : Options.t) :
     ~workers:options.parallel_workers ()
 
 let run_query ?(keep_temps = false) t (q : Ast.full_query) : Relation.t =
-  let program = compile_query t q in
+  let program =
+    match t.plan_hook with
+    | Some hook when Hashtbl.length t.views = 0 ->
+      hook q (fun () -> compile_query t q)
+    | _ -> compile_query t q
+  in
   let stats = Stats.create () in
   let guards = guards_of t in
   let parallel = parallel_of_options t.options in

@@ -31,6 +31,22 @@ val create : ?options:Options.t -> ?catalog:Catalog.t -> unit -> t
     statement with a [Resource]-stage error. *)
 val set_interrupt : t -> (unit -> string option) option -> unit
 
+(** Install (or clear) a plan memoization hook. When set, each query's
+    compilation routes through [hook query compile]: the hook may
+    return a previously cached program or call [compile] (which
+    parses, rewrites, and pre-evaluates scalar subqueries against the
+    session's current catalog view) and cache the result. The hook is
+    bypassed while the session has views defined — view bodies are
+    per-session state that an external cache key cannot see. The
+    server installs its cross-session plan cache here. *)
+val set_plan_hook :
+  t ->
+  (Dbspinner_sql.Ast.full_query ->
+  (unit -> Dbspinner_plan.Program.t) ->
+  Dbspinner_plan.Program.t)
+  option ->
+  unit
+
 (** Is a BEGIN ... COMMIT/ROLLBACK transaction open? *)
 val in_transaction : t -> bool
 

@@ -1,16 +1,32 @@
 (** Blocking client for the DBSpinner server protocol: one connected
-    socket, synchronous request/response. Used by the CLI's [client]
-    subcommand, the server tests and the benchmark harness. *)
+    socket, synchronous request/response — plus a pipelined batch mode
+    that streams N tagged requests before reading the N responses.
+    Used by the CLI's [client] subcommand, the server tests and the
+    benchmark harness. *)
 
-type t = { fd : Unix.file_descr; mutable closed : bool }
+type t = {
+  fd : Unix.file_descr;
+  mutable closed : bool;
+  jitter : Random.State.t Lazy.t;
+      (** backoff jitter source; lazy so clients that never retry never
+          pay for seeding *)
+}
 
-let connect ~socket_path =
+(** [connect ?seed ~socket_path] — [seed] makes the BUSY-retry backoff
+    jitter deterministic (benchmarks and tests that must be
+    reproducible run-to-run); by default it is self-seeded. *)
+let connect ?seed ~socket_path () =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
-  { fd; closed = false }
+  let jitter =
+    match seed with
+    | Some s -> lazy (Random.State.make [| s |])
+    | None -> lazy (Random.State.make_self_init ())
+  in
+  { fd; closed = false; jitter }
 
 let close t =
   if not t.closed then begin
@@ -25,10 +41,6 @@ let request t (req : Protocol.request) : Protocol.response =
   match Protocol.read_frame t.fd with
   | Some payload -> Protocol.parse_response payload
   | None -> raise End_of_file
-
-(* Jitter source for backoff; lazy so clients that never retry never
-   pay for seeding. *)
-let jitter_state = lazy (Random.State.make_self_init ())
 
 (** Run a SQL script; [Ok rendered_results] or [Error (status, msg)]
     where status is the response's wire status ([ERR <stage>], [BUSY],
@@ -46,7 +58,7 @@ let query ?(retries = 0) ?(backoff_ms = 5.0) t sql :
     | Protocol.Ok_result body -> Ok body
     | Protocol.Err (stage, msg) -> Error ("ERR " ^ stage, msg)
     | Protocol.Busy _ when attempt < retries ->
-      let jitter = 0.5 +. Random.State.float (Lazy.force jitter_state) 1.0 in
+      let jitter = 0.5 +. Random.State.float (Lazy.force t.jitter) 1.0 in
       (* Cap the doubling at 250ms so a long retry budget degrades into
          steady polling instead of second-long sleeps. *)
       let delay_s =
@@ -61,6 +73,52 @@ let query ?(retries = 0) ?(backoff_ms = 5.0) t sql :
     | Protocol.Pong | Protocol.Bye -> Error ("protocol", "unexpected response")
   in
   go 0
+
+(* ------------------------------------------------------------------ *)
+(* Pipelining                                                          *)
+
+(** Send a whole batch of requests in one write, then collect the
+    responses in order. Each request is tagged [#i] (its index in
+    [reqs]); the server answers in request order and echoes each tag,
+    and this function verifies the echo — a hole or reorder raises
+    {!Protocol.Protocol_error} rather than silently misattributing a
+    response. One round-trip for N requests instead of N.
+    @raise End_of_file when the server closes mid-batch. *)
+let pipeline t (reqs : Protocol.request list) : Protocol.response list =
+  let payloads =
+    List.mapi (fun i req -> Protocol.with_id i (Protocol.render_request req)) reqs
+  in
+  Protocol.write_frames t.fd payloads;
+  List.mapi
+    (fun i _ ->
+      match Protocol.read_frame t.fd with
+      | None -> raise End_of_file
+      | Some payload -> (
+        match Protocol.strip_id payload with
+        | Some id, body when id = i -> Protocol.parse_response body
+        | Some id, _ ->
+          raise
+            (Protocol.Protocol_error
+               (Printf.sprintf "pipeline: expected response #%d, got #%d" i id))
+        | None, _ ->
+          raise
+            (Protocol.Protocol_error
+               (Printf.sprintf "pipeline: response #%d lost its tag" i))))
+    reqs
+
+(** Pipeline a list of SQL scripts; per-script results in order, with
+    the same [Ok]/[Error] shape as {!query} (no BUSY retry — a batch is
+    all-or-nothing admission-wise, each script admits separately). *)
+let pipeline_queries t (sqls : string list) :
+    (string, string * string) result list =
+  pipeline t (List.map (fun sql -> Protocol.Query sql) sqls)
+  |> List.map (function
+       | Protocol.Ok_result body -> Ok body
+       | Protocol.Err (stage, msg) -> Error ("ERR " ^ stage, msg)
+       | Protocol.Busy msg -> Error ("BUSY", msg)
+       | Protocol.Closing msg -> Error ("CLOSING", msg)
+       | Protocol.Pong | Protocol.Bye ->
+         Error ("protocol", "unexpected response"))
 
 let set t key value : (string, string) result =
   match request t (Protocol.Set (key, value)) with
@@ -89,6 +147,6 @@ let shutdown_server t =
 
 (** [with_client ~socket_path f] connects, runs [f] and always closes
     the socket. *)
-let with_client ~socket_path f =
-  let t = connect ~socket_path in
+let with_client ?seed ~socket_path f =
+  let t = connect ?seed ~socket_path () in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,9 +1,13 @@
 (** Blocking client: one connected socket, synchronous
-    request/response. *)
+    request/response, plus a pipelined batch mode. *)
 
 type t
 
-val connect : socket_path:string -> t
+(** [connect ?seed ~socket_path ()] — [seed] makes BUSY-retry backoff
+    jitter deterministic (reproducible benchmarks/tests); self-seeded
+    by default. *)
+val connect : ?seed:int -> socket_path:string -> unit -> t
+
 val close : t -> unit
 
 (** Send one request, wait for its response.
@@ -24,6 +28,17 @@ val query :
   string ->
   (string, string * string) result
 
+(** Send a whole batch of requests in one write, then collect the
+    responses in order (one round-trip for N requests). Request ids are
+    verified against the server's echo.
+    @raise Protocol.Protocol_error on a missing or reordered tag.
+    @raise End_of_file when the server closes mid-batch. *)
+val pipeline : t -> Protocol.request list -> Protocol.response list
+
+(** Pipeline SQL scripts; per-script results in order, same shape as
+    {!query} (no BUSY retry). *)
+val pipeline_queries : t -> string list -> (string, string * string) result list
+
 val set : t -> string -> string -> (string, string) result
 
 (** Server counters as an association list. *)
@@ -37,4 +52,4 @@ val quit : t -> unit
 (** Ask the server to shut down gracefully, then close the socket. *)
 val shutdown_server : t -> unit
 
-val with_client : socket_path:string -> (t -> 'a) -> 'a
+val with_client : ?seed:int -> socket_path:string -> (t -> 'a) -> 'a

@@ -10,6 +10,8 @@ type t = {
   mutable sessions_active : int;
   mutable queries_ok : int;
   mutable queries_err : int;
+  mutable queries_read : int;  (** completed on the lock-free read path *)
+  mutable queries_write : int;
   (* Latencies (seconds) of the most recent completed queries, a ring
      of [reservoir_capacity]: recent percentiles, O(1) memory. *)
   latencies : float array;
@@ -23,6 +25,8 @@ let create () =
     sessions_active = 0;
     queries_ok = 0;
     queries_err = 0;
+    queries_read = 0;
+    queries_write = 0;
     latencies = Array.make reservoir_capacity 0.0;
     latency_count = 0;
   }
@@ -39,10 +43,12 @@ let session_opened t =
 let session_closed t =
   locked t (fun () -> t.sessions_active <- max 0 (t.sessions_active - 1))
 
-let query_done t ~ok ~seconds =
+let query_done ?(read = false) t ~ok ~seconds =
   locked t (fun () ->
       if ok then t.queries_ok <- t.queries_ok + 1
       else t.queries_err <- t.queries_err + 1;
+      if read then t.queries_read <- t.queries_read + 1
+      else t.queries_write <- t.queries_write + 1;
       t.latencies.(t.latency_count mod reservoir_capacity) <- seconds;
       t.latency_count <- t.latency_count + 1)
 
@@ -71,6 +77,8 @@ type snapshot = {
   sessions_active : int;
   queries_ok : int;
   queries_err : int;
+  queries_read : int;
+  queries_write : int;
   p50_seconds : float;
   p99_seconds : float;
 }
@@ -82,6 +90,8 @@ let snapshot t =
         sessions_active = t.sessions_active;
         queries_ok = t.queries_ok;
         queries_err = t.queries_err;
+        queries_read = t.queries_read;
+        queries_write = t.queries_write;
         p50_seconds = percentile_locked t 50.0;
         p99_seconds = percentile_locked t 99.0;
       })
@@ -97,6 +107,8 @@ let render ?(extra = []) t ~(admission : Admission.t) ~draining =
        Printf.sprintf "sessions_active %d" s.sessions_active;
        Printf.sprintf "queries_ok %d" s.queries_ok;
        Printf.sprintf "queries_err %d" s.queries_err;
+       Printf.sprintf "queries_read %d" s.queries_read;
+       Printf.sprintf "queries_write %d" s.queries_write;
        Printf.sprintf "rejected %d" (Admission.rejected admission);
        Printf.sprintf "inflight %d" (Admission.inflight admission);
        Printf.sprintf "max_inflight %d" (Admission.limit admission);

@@ -7,8 +7,9 @@ val create : unit -> t
 val session_opened : t -> unit
 val session_closed : t -> unit
 
-(** Record a completed query with its wall-clock latency. *)
-val query_done : t -> ok:bool -> seconds:float -> unit
+(** Record a completed query with its wall-clock latency; [read] marks
+    it as having run on the lock-free snapshot read path. *)
+val query_done : ?read:bool -> t -> ok:bool -> seconds:float -> unit
 
 (** Nearest-rank percentile (in seconds) over the retained latency
     reservoir. Total: 0.0 when nothing has been recorded, the lone
@@ -21,6 +22,8 @@ type snapshot = {
   sessions_active : int;
   queries_ok : int;
   queries_err : int;
+  queries_read : int;
+  queries_write : int;
   p50_seconds : float;
   p99_seconds : float;
 }

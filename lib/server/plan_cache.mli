@@ -1,0 +1,32 @@
+(** Cross-session prepared-statement / plan cache: compiled programs
+    memoized under (normalized SQL, catalog snapshot version, options
+    fingerprint). The snapshot version in the key makes stale reuse
+    impossible by construction. Thread-safe; compilation runs outside
+    the cache lock. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+(** Fingerprint of the compile-relevant options (rewrites and loop
+    bounds); sessions differing only in runtime knobs share plans. *)
+val fingerprint : Dbspinner_rewrite.Options.t -> string
+
+(** [find_or_compile t ~sql ~version ~opts compile] returns the cached
+    program for the key, or runs [compile] and caches its result. *)
+val find_or_compile :
+  t ->
+  sql:string ->
+  version:int ->
+  opts:string ->
+  (unit -> Dbspinner_plan.Program.t) ->
+  Dbspinner_plan.Program.t
+
+(** Drop entries built against versions older than [version] (called
+    after each publish). *)
+val sweep : t -> version:int -> unit
+
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+val size : t -> int

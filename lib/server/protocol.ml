@@ -45,6 +45,18 @@ let write_frame fd payload =
   really_write fd
     (Printf.sprintf "%d\n%s" (String.length payload) payload)
 
+(** Write several frames with one [write]: a pipelining client streams
+    its whole batch in a single syscall instead of N round-trips. *)
+let write_frames fd payloads =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun payload ->
+      Buffer.add_string buf (string_of_int (String.length payload));
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf payload)
+    payloads;
+  really_write fd (Buffer.contents buf)
+
 (** Read one frame; [None] on a clean EOF at a frame boundary.
     @raise Protocol_error on a malformed or oversized header.
     @raise End_of_file when the peer dies mid-frame. *)
@@ -159,12 +171,110 @@ let parse_response payload : response =
   | _ -> raise (Protocol_error ("unknown response status: " ^ head))
 
 (* ------------------------------------------------------------------ *)
+(* Request ids (pipelining)                                            *)
+
+(** A request payload may carry a client-chosen id as a [#<id>\n]
+    prefix; the response to it echoes the same prefix. The server
+    answers strictly in request order per session, so a client can
+    stream a whole batch of frames and then collect the responses,
+    paying one round-trip for N statements instead of N. *)
+let with_id id payload =
+  if id < 0 then invalid_arg "Protocol.with_id: negative id";
+  Printf.sprintf "#%d\n%s" id payload
+
+(** Split a [#<id>\n] prefix off a payload; [(None, payload)] when the
+    payload is untagged (the pre-pipelining wire format). *)
+let strip_id payload =
+  let n = String.length payload in
+  if n = 0 || payload.[0] <> '#' then (None, payload)
+  else
+    match String.index_opt payload '\n' with
+    | None -> (None, payload)
+    | Some nl -> (
+      match int_of_string_opt (String.sub payload 1 (nl - 1)) with
+      | Some id when id >= 0 ->
+        (Some id, String.sub payload (nl + 1) (n - nl - 1))
+      | _ -> (None, payload))
+
+(* ------------------------------------------------------------------ *)
 (* Statement classification (admission / locking)                      *)
 
-(** True when every non-empty [;]-fragment of [sql] starts with a
-    read-only verb, so the script can share the database read lock
-    with other sessions. Conservative: anything unrecognized counts as
-    a write. *)
+(** Split a script into statement fragments at top-level [;] only:
+    semicolons inside single-quoted strings (with [''] escapes),
+    double-quoted identifiers, [--] line comments and [/* */] block
+    comments do not split. Comment bodies are dropped from the
+    fragments so a leading comment cannot masquerade as a statement's
+    first word. An unterminated string or comment swallows the rest of
+    the script into the current fragment — the classifier below treats
+    anything unrecognized as a write, so malformed input stays on the
+    conservative path. *)
+let split_statements sql =
+  let n = String.length sql in
+  let fragments = ref [] in
+  let buf = Buffer.create 64 in
+  let flush () =
+    fragments := Buffer.contents buf :: !fragments;
+    Buffer.clear buf
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = sql.[!i] in
+    if c = '-' && !i + 1 < n && sql.[!i + 1] = '-' then
+      (* Line comment: skip to (but not past) the newline, which then
+         lands in the fragment as ordinary whitespace. *)
+      while !i < n && sql.[!i] <> '\n' do
+        incr i
+      done
+    else if c = '/' && !i + 1 < n && sql.[!i + 1] = '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if sql.[!i] = '*' && !i + 1 < n && sql.[!i + 1] = '/' then begin
+          i := !i + 2;
+          closed := true
+        end
+        else incr i
+      done;
+      (* Keep the tokens on either side of a stripped comment apart. *)
+      Buffer.add_char buf ' '
+    end
+    else if c = '\'' || c = '"' then begin
+      (* Copy the quoted literal/identifier verbatim; a doubled quote
+         is an escape, not a terminator. *)
+      Buffer.add_char buf c;
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        Buffer.add_char buf sql.[!i];
+        if sql.[!i] = c then
+          if !i + 1 < n && sql.[!i + 1] = c then begin
+            Buffer.add_char buf c;
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else incr i
+      done
+    end
+    else if c = ';' then begin
+      flush ();
+      incr i
+    end
+    else begin
+      Buffer.add_char buf c;
+      incr i
+    end
+  done;
+  flush ();
+  List.rev !fragments
+
+(** True when every non-empty statement of [sql] starts with a
+    read-only verb, so the script can run lock-free against a pinned
+    MVCC snapshot. Statement splitting respects string literals and
+    comments (see {!split_statements}); conservative: anything
+    unrecognized counts as a write. *)
 let read_only sql =
   let fragment_read_only frag =
     let frag = String.trim frag in
@@ -185,4 +295,4 @@ let read_only sql =
       | "select" | "with" | "explain" | "values" -> true
       | _ -> false
   in
-  List.for_all fragment_read_only (String.split_on_char ';' sql)
+  List.for_all fragment_read_only (split_statements sql)

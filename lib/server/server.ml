@@ -10,10 +10,16 @@
     Isolation: every session executes over a
     {!Catalog.with_shared_base} view of one shared database. Base
     tables (and DDL) are shared; iterative CTE temps are
-    session-private. A readers-writer lock serializes write statements
-    against everything else, so concurrent read-only scripts (the
-    common case: iterative analytics) run fully in parallel and
-    produce results bit-identical to a sequential run.
+    session-private. Read statements take MVCC snapshots: they pin the
+    latest published catalog version (immutable frozen tables over
+    persistent row lists) and execute with no lock at all, so
+    concurrent read-only scripts (the common case: iterative
+    analytics) run fully in parallel, cannot be starved by writers,
+    and each sees one stable database for its whole script. Write
+    statements serialize on a writer lock and publish a new catalog
+    version before their OK is sent (read-your-writes). Setting
+    [config.mvcc = false] restores the previous whole-statement RW
+    lock.
 
     Admission control: at most [max_inflight] queries execute at once;
     excess queries are {e rejected} with [BUSY] rather than queued, so
@@ -69,7 +75,8 @@ module Rwlock = struct
   let unlock_read t =
     Mutex.lock t.lock;
     t.readers <- t.readers - 1;
-    if t.readers = 0 then Condition.signal t.can_write;
+    if t.readers = 0 && t.writers_waiting > 0 then
+      Condition.signal t.can_write;
     Mutex.unlock t.lock
 
   let lock_write t =
@@ -85,8 +92,13 @@ module Rwlock = struct
   let unlock_write t =
     Mutex.lock t.lock;
     t.writer <- false;
-    Condition.signal t.can_write;
-    Condition.broadcast t.can_read;
+    (* Hand off to a queued writer first; waking readers too would be
+       a thundering herd that re-blocks on [writers_waiting > 0] and —
+       worse — could slip in ahead of the writer on an unfair wakeup
+       order, breaking the writer preference [lock_read] promises.
+       Readers are only woken when no writer is queued. *)
+    if t.writers_waiting > 0 then Condition.signal t.can_write
+    else Condition.broadcast t.can_read;
     Mutex.unlock t.lock
 
   let with_lock t ~read f =
@@ -116,6 +128,14 @@ type config = {
       (** seconds between background checkpoints (only taken when the
           WAL has pending records); <= 0 checkpoints on every
           maintenance tick that finds pending records *)
+  mvcc : bool;
+      (** read statements pin a published catalog snapshot and run
+          without any lock (the default). [false] restores the PR 5
+          single-RW-lock read path — kept as the bench baseline and an
+          escape hatch *)
+  plan_cache : bool;
+      (** enable the cross-session plan cache (requires [mvcc]: cache
+          keys are snapshot versions) *)
 }
 
 let default_config =
@@ -128,6 +148,8 @@ let default_config =
     data_dir = None;
     fsync = Durable.Batch;
     checkpoint_every = 30.0;
+    mvcc = true;
+    plan_cache = true;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -141,6 +163,11 @@ type t = {
   metrics : Metrics.t;
   pool : Parallel.t;
   statement_lock : Rwlock.t;
+      (** with MVCC on this is purely a writer-serialization point
+          (write statements + durable checkpoints); readers never touch
+          it. With [config.mvcc = false] it reverts to the PR 5 role of
+          a full statement RW lock. *)
+  plans : Plan_cache.t option;  (** cross-session plan cache *)
   durable : Durable.t option;
   draining : bool Atomic.t;
   mutable accept_thread : Thread.t option;
@@ -186,55 +213,88 @@ let exec_query srv session sql : Protocol.response =
       ~finally:(fun () -> Admission.release srv.admission)
       (fun () ->
         let read = Protocol.read_only sql in
-        Rwlock.with_lock srv.statement_lock ~read (fun () ->
-            let t0 = Unix.gettimeofday () in
-            (* Log-before-ack: the WAL append happens after execution
-               but before the response, still under the writer lock, so
-               a checkpoint can never slip between a mutation and its
-               log record. Failed scripts log too when they mutated
-               anything (partial DML before an error): replay is
-               deterministic, so re-running them recovers the exact
-               state. *)
-            let digest_before =
-              match srv.durable with
-              | Some _ when not read -> Catalog.base_digest srv.catalog
-              | _ -> 0
-            in
-            let log_if_changed () =
-              match srv.durable with
-              | Some d when not read ->
-                let digest = Catalog.base_digest srv.catalog in
-                if digest <> digest_before then
-                  Durable.log_script d ~digest ~sql
-              | _ -> ()
-            in
-            let outcome =
-              (* The session thread parks here while a pool domain
-                 does the CPU work. *)
-              match
-                Parallel.submit srv.pool (fun () ->
-                    Session.run_script session sql)
-              with
-              | body -> Ok body
-              | exception e -> Error (stage_of_exn e)
-            in
-            match log_if_changed () with
-            | exception e ->
-              (* The mutation happened but could not be made durable;
-                 the client must not see an OK it could lose. *)
-              Metrics.query_done srv.metrics ~ok:false
-                ~seconds:(Unix.gettimeofday () -. t0);
-              Protocol.Err ("durable", durable_error_message e)
-            | () -> (
-              match outcome with
-              | Ok body ->
-                Metrics.query_done srv.metrics ~ok:true
+        let t0 = Unix.gettimeofday () in
+        let run () =
+          (* The session thread parks here while a pool domain does
+             the CPU work. *)
+          match
+            Parallel.submit srv.pool (fun () -> Session.run_script session sql)
+          with
+          | body -> Ok body
+          | exception e -> Error (stage_of_exn e)
+        in
+        let finish outcome =
+          match outcome with
+          | Ok body ->
+            Metrics.query_done srv.metrics ~read ~ok:true
+              ~seconds:(Unix.gettimeofday () -. t0);
+            Protocol.Ok_result body
+          | Error (stage, msg) ->
+            Metrics.query_done srv.metrics ~read ~ok:false
+              ~seconds:(Unix.gettimeofday () -. t0);
+            Protocol.Err (stage, msg)
+        in
+        if read && srv.config.mvcc then begin
+          (* MVCC read path: pin the latest published snapshot and run
+             with NO lock at all. The snapshot's tables are immutable
+             (persistent row lists), so concurrent writers — who only
+             ever publish whole new versions — cannot perturb this
+             statement, and a stream of writes cannot starve it. *)
+          Session.pin session (Catalog.snapshot srv.catalog);
+          Fun.protect
+            ~finally:(fun () -> Session.unpin session)
+            (fun () -> finish (run ()))
+        end
+        else
+          Rwlock.with_lock srv.statement_lock ~read (fun () ->
+              (* Writers (and, with MVCC off, readers too) still
+                 serialize on the statement lock. *)
+              let digest_before =
+                if read then 0 else Catalog.base_digest srv.catalog
+              in
+              let outcome = run () in
+              let changed_digest =
+                if read then None
+                else
+                  let digest = Catalog.base_digest srv.catalog in
+                  if digest <> digest_before then Some digest else None
+              in
+              (* Publish-before-ack: the new catalog version must be
+                 visible before the client hears OK, so its very next
+                 read (which pins the latest snapshot) observes its own
+                 write. Failed scripts publish too when they mutated
+                 anything — partial DML is committed state here. Stale
+                 plan-cache entries are swept in the same breath. *)
+              (match changed_digest with
+              | Some _ when srv.config.mvcc ->
+                let snap = Catalog.publish srv.catalog in
+                Option.iter
+                  (fun cache ->
+                    Plan_cache.sweep cache
+                      ~version:(Catalog.snapshot_version snap))
+                  srv.plans
+              | _ -> ());
+              (* Log-before-ack: the WAL append happens after execution
+                 but before the response, still under the writer lock,
+                 so a checkpoint can never slip between a mutation and
+                 its log record. Replay is deterministic, so re-running
+                 a failed-but-mutating script recovers the exact
+                 state. *)
+              let log_result =
+                match (srv.durable, changed_digest) with
+                | Some d, Some digest -> (
+                  try Ok (Durable.log_script d ~digest ~sql)
+                  with e -> Error e)
+                | _ -> Ok ()
+              in
+              match log_result with
+              | Error e ->
+                (* The mutation happened but could not be made durable;
+                   the client must not see an OK it could lose. *)
+                Metrics.query_done srv.metrics ~read ~ok:false
                   ~seconds:(Unix.gettimeofday () -. t0);
-                Protocol.Ok_result body
-              | Error (stage, msg) ->
-                Metrics.query_done srv.metrics ~ok:false
-                  ~seconds:(Unix.gettimeofday () -. t0);
-                Protocol.Err (stage, msg))))
+                Protocol.Err ("durable", durable_error_message e)
+              | Ok () -> finish outcome))
 
 (* ------------------------------------------------------------------ *)
 (* Session loop                                                        *)
@@ -248,7 +308,26 @@ let handle_request srv session (req : Protocol.request) : Protocol.response * bo
     | Ok confirmation -> (Protocol.Ok_result confirmation, true)
     | Error usage -> (Protocol.Err ("set", usage), true))
   | Protocol.Stats ->
-    let extra =
+    let mvcc_extra =
+      if srv.config.mvcc then
+        [
+          ( "snapshot_version",
+            string_of_int
+              (Catalog.snapshot_version (Catalog.snapshot srv.catalog)) );
+        ]
+      else []
+    in
+    let plan_extra =
+      match srv.plans with
+      | None -> []
+      | Some cache ->
+        [
+          ("plan_hits", string_of_int (Plan_cache.hits cache));
+          ("plan_misses", string_of_int (Plan_cache.misses cache));
+          ("plan_entries", string_of_int (Plan_cache.size cache));
+        ]
+    in
+    let durable_extra =
       match srv.durable with
       | None -> []
       | Some d ->
@@ -263,7 +342,9 @@ let handle_request srv session (req : Protocol.request) : Protocol.response * bo
         ]
     in
     ( Protocol.Ok_result
-        (Metrics.render ~extra srv.metrics ~admission:srv.admission
+        (Metrics.render
+           ~extra:(mvcc_extra @ plan_extra @ durable_extra)
+           srv.metrics ~admission:srv.admission
            ~draining:(Atomic.get srv.draining)),
       true )
   | Protocol.Trace -> (Protocol.Ok_result (Session.trace_ndjson session), true)
@@ -278,15 +359,27 @@ let session_loop srv fd session =
     match Protocol.read_frame fd with
     | None -> continue := false
     | Some payload ->
+      (* Pipelining: a [#<id>\n] prefix is split off before parsing
+         and echoed on the response. The loop itself already services
+         back-to-back frames in arrival order, so a client may stream
+         a whole batch and then collect the (order-preserving, id-
+         tagged) responses. *)
+      let tag, body = Protocol.strip_id payload in
       let response, keep_going =
-        match Protocol.parse_request payload with
+        match Protocol.parse_request body with
         | Ok req -> handle_request srv session req
         | Error msg -> (Protocol.Err ("protocol", msg), true)
+      in
+      let rendered = Protocol.render_response response in
+      let rendered =
+        match tag with
+        | Some id -> Protocol.with_id id rendered
+        | None -> rendered
       in
       (* The peer may vanish between request and response (EPIPE);
          that ends the session, it must not kill the thread. *)
       (try
-         Protocol.write_frame fd (Protocol.render_response response);
+         Protocol.write_frame fd rendered;
          continue := keep_going
        with Unix.Unix_error _ -> continue := false)
     | exception (End_of_file | Unix.Unix_error _ | Protocol.Protocol_error _)
@@ -307,6 +400,26 @@ let serve_connection srv id fd =
        (fun () ->
          if Atomic.get srv.draining then Some "server shutting down"
          else None));
+  (* Cross-session plan cache: compiled programs are keyed by
+     (normalized SQL, pinned snapshot version, options fingerprint).
+     Only snapshot-pinned statements participate — an unpinned
+     statement (write, or MVCC off) has no version to key by, and the
+     engine already bypasses the hook when the session has views. *)
+  (match srv.plans with
+  | Some cache ->
+    let engine = Session.engine session in
+    Engine.set_plan_hook engine
+      (Some
+         (fun q compile ->
+           match Session.pinned_version session with
+           | Some version when Session.plan_cache_enabled session ->
+             Plan_cache.find_or_compile cache
+               ~sql:(Dbspinner_sql.Sql_pretty.full_query q)
+               ~version
+               ~opts:(Plan_cache.fingerprint (Engine.options engine))
+               compile
+           | _ -> compile ()))
+  | None -> ());
   Metrics.session_opened srv.metrics;
   Fun.protect
     ~finally:(fun () ->
@@ -427,6 +540,10 @@ let start ?(config = default_config) ?catalog () : t =
       in
       Some (Durable.attach ~dir ~policy:config.fsync ~catalog ~replay)
   in
+  (* Publish the initial snapshot only after recovery has rebuilt the
+     catalog, so the very first pinned reader sees the recovered
+     database, not an empty version 0. *)
+  if config.mvcc then ignore (Catalog.publish catalog);
   if Sys.file_exists config.socket_path then Sys.remove config.socket_path;
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen_fd (Unix.ADDR_UNIX config.socket_path);
@@ -440,6 +557,9 @@ let start ?(config = default_config) ?catalog () : t =
       metrics = Metrics.create ();
       pool = Parallel.get config.workers;
       statement_lock = Rwlock.create ();
+      plans =
+        (if config.mvcc && config.plan_cache then Some (Plan_cache.create ())
+         else None);
       durable;
       draining = Atomic.make false;
       accept_thread = None;

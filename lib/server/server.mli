@@ -1,14 +1,35 @@
 (** Concurrent multi-session SQL server over a Unix-domain socket.
 
     One OS thread per session, query CPU work submitted to the shared
-    {!Dbspinner_exec.Parallel} Domain pool, a readers-writer statement
-    lock (read-only scripts run concurrently, writes are exclusive),
-    and admission control that rejects — never queues — work beyond
-    [max_inflight]. Sessions execute over
-    {!Dbspinner_storage.Catalog.with_shared_base} views of one shared
-    database, so base tables are shared while iterative CTE temps stay
-    session-private. Shutdown drains in-flight iterative loops at an
-    iteration boundary via the engine's interrupt probe. *)
+    {!Dbspinner_exec.Parallel} Domain pool, and admission control that
+    rejects — never queues — work beyond [max_inflight]. Sessions
+    execute over {!Dbspinner_storage.Catalog.with_shared_base} views
+    of one shared database, so base tables are shared while iterative
+    CTE temps stay session-private.
+
+    Concurrency control is MVCC: read statements pin the latest
+    published catalog snapshot and run lock-free; write statements
+    serialize on a writer lock and publish a new version before they
+    are acknowledged. A cross-session plan cache keyed by (normalized
+    SQL, snapshot version, options fingerprint) skips recompilation of
+    repeated statements. Shutdown drains in-flight iterative loops at
+    an iteration boundary via the engine's interrupt probe. *)
+
+(** Writer-preferring readers-writer lock. Exposed for tests (wakeup
+    ordering, starvation); the server itself now uses it only to
+    serialize writers and durable checkpoints when MVCC is on. *)
+module Rwlock : sig
+  type t
+
+  val create : unit -> t
+  val lock_read : t -> unit
+  val unlock_read : t -> unit
+  val lock_write : t -> unit
+  val unlock_write : t -> unit
+
+  (** Run [f] under the read (shared) or write (exclusive) side. *)
+  val with_lock : t -> read:bool -> (unit -> 'a) -> 'a
+end
 
 type config = {
   socket_path : string;
@@ -27,6 +48,11 @@ type config = {
   checkpoint_every : float;
       (** seconds between background checkpoints; <= 0 checkpoints on
           every maintenance tick that finds pending WAL records *)
+  mvcc : bool;
+      (** lock-free snapshot reads (the default). [false] restores the
+          single-RW-lock read path — bench baseline / escape hatch *)
+  plan_cache : bool;
+      (** cross-session plan cache (effective only with [mvcc]) *)
 }
 
 val default_config : config

@@ -14,11 +14,18 @@ module Trace = Dbspinner_obs.Trace
 type t = {
   id : int;
   engine : Engine.t;
+  catalog_view : Catalog.t;
+      (** the session's shared-base catalog view (same value the engine
+          holds); kept here so snapshot pin/unpin does not round-trip
+          through the engine *)
   timeout_ceiling : float option;
       (** server-configured statement timeout at session start; [SET
           statement_timeout] may only tighten it — the server relies on
           the ceiling to keep a wedged query from stalling its
           checkpointer or shutdown drain *)
+  mutable plan_cache : bool;
+      (** whether this session participates in the server's
+          cross-session plan cache ([SET plan_cache on|off]) *)
 }
 
 let create ~id ~options ~shared_catalog =
@@ -26,11 +33,26 @@ let create ~id ~options ~shared_catalog =
   {
     id;
     engine = Engine.create ~options ~catalog ();
+    catalog_view = catalog;
     timeout_ceiling = options.Options.statement_timeout_seconds;
+    plan_cache = true;
   }
 
 let id t = t.id
 let engine t = t.engine
+let plan_cache_enabled t = t.plan_cache
+
+(* ------------------------------------------------------------------ *)
+(* MVCC snapshot pinning                                               *)
+
+(** Pin the session's catalog view to an immutable snapshot: until
+    {!unpin}, every base-table read resolves against the snapshot's
+    frozen tables, so the statement runs lock-free and sees a stable
+    database no matter what concurrent writers commit. *)
+let pin t snap = Catalog.pin_snapshot t.catalog_view snap
+
+let unpin t = Catalog.unpin_snapshot t.catalog_view
+let pinned_version t = Catalog.pinned_version t.catalog_view
 
 (* ------------------------------------------------------------------ *)
 (* Result rendering                                                    *)
@@ -141,6 +163,12 @@ let set t key value : (string, string) result =
       Engine.set_trace t.engine None;
       Ok "trace off"
     | None -> Error "usage: SET trace on|off")
+  | "plan_cache" -> (
+    match parse_bool value with
+    | Some enabled ->
+      t.plan_cache <- enabled;
+      Ok (Printf.sprintf "plan_cache %b" enabled)
+    | None -> Error "usage: SET plan_cache on|off")
   | _ -> (
     match parse_bool value with
     | Some enabled -> (
@@ -152,7 +180,7 @@ let set t key value : (string, string) result =
         Error
           (Printf.sprintf
              "unknown option %s \
-              (rename|common|pushdown|fold|cache|delta|columnar|deadline|statement_timeout|budget|workers|max_iterations|trace)"
+              (rename|common|pushdown|fold|cache|delta|columnar|deadline|statement_timeout|budget|workers|max_iterations|trace|plan_cache)"
              key))
     | None -> Error (Printf.sprintf "SET %s expects on|off" key))
 

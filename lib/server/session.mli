@@ -13,6 +13,21 @@ val create :
 val id : t -> int
 val engine : t -> Dbspinner.Engine.t
 
+(** Does this session participate in the server's cross-session plan
+    cache? Toggled by [SET plan_cache on|off]; on by default. *)
+val plan_cache_enabled : t -> bool
+
+(** Pin the session's catalog view to an immutable snapshot: until
+    {!unpin}, base-table reads resolve against the snapshot's frozen
+    tables, so a read statement runs lock-free and sees a stable
+    database regardless of concurrent commits. *)
+val pin : t -> Dbspinner_storage.Catalog.snapshot -> unit
+
+val unpin : t -> unit
+
+(** Version of the currently pinned snapshot ([None] when unpinned). *)
+val pinned_version : t -> int option
+
 (** Run a [;]-separated script; the rendered results of every
     statement, concatenated in order.
     @raise Dbspinner.Errors.Error on failure. *)

@@ -10,6 +10,22 @@ type base_event =
   | Created of string
   | Dropped of string
 
+(** An immutable published version of the base tables (MVCC). Each
+    entry keeps the live table it was frozen from and the live version
+    at freeze time, so the next {!publish} can reuse unchanged entries
+    by physical identity instead of re-freezing every table. *)
+type snapshot_entry = {
+  src : Table.t;  (** the live table this entry was frozen from *)
+  src_version : int;  (** [Table.version src] at freeze time *)
+  frozen : Table.t;  (** the immutable copy readers scan *)
+}
+
+type snapshot = {
+  snap_version : int;  (** monotonic publish counter, never reused *)
+  snap_tables : (string, snapshot_entry) Hashtbl.t;
+      (** frozen after construction; concurrent reads are safe *)
+}
+
 type t = {
   base : (string, Table.t) Hashtbl.t;
   temps : (string, Relation.t) Hashtbl.t;
@@ -19,6 +35,12 @@ type t = {
   base_hook : (base_event -> unit) option ref;
       (** shared across all {!with_shared_base} views, like [base]
           itself — DDL through any view reaches the one observer *)
+  published : snapshot Atomic.t;
+      (** latest published base-table version, shared across all
+          {!with_shared_base} views; readers pin it without any lock *)
+  mutable pinned : snapshot option;
+      (** view-local: when set, base-table reads through this view
+          resolve against the pinned snapshot instead of [base] *)
   mutable generation_counter : int;
   mutable ddl_ops : int;  (** CREATE/DROP count, for baseline accounting *)
   mutable renames : int;
@@ -27,12 +49,16 @@ type t = {
 exception Unknown_table of string
 exception Duplicate_table of string
 
+let empty_snapshot () = { snap_version = 0; snap_tables = Hashtbl.create 1 }
+
 let create () =
   {
     base = Hashtbl.create 16;
     temps = Hashtbl.create 16;
     temp_gens = Hashtbl.create 16;
     base_hook = ref None;
+    published = Atomic.make (empty_snapshot ());
+    pinned = None;
     generation_counter = 0;
     ddl_ops = 0;
     renames = 0;
@@ -50,6 +76,8 @@ let with_shared_base parent =
     temps = Hashtbl.create 16;
     temp_gens = Hashtbl.create 16;
     base_hook = parent.base_hook;
+    published = parent.published;
+    pinned = None;
     generation_counter = 0;
     ddl_ops = 0;
     renames = 0;
@@ -67,7 +95,21 @@ let fire_base_event t ev =
 
 let set_base_hook t hook = t.base_hook := hook
 
+(** Resolve a base-table key for reading: the pinned snapshot (if any)
+    wins over the live table, so a reader's entire statement sees one
+    immutable version regardless of concurrent DML/DDL. *)
+let base_find_opt t k =
+  match t.pinned with
+  | Some snap ->
+    Option.map (fun e -> e.frozen) (Hashtbl.find_opt snap.snap_tables k)
+  | None -> Hashtbl.find_opt t.base k
+
+let guard_unpinned t what =
+  if t.pinned <> None then
+    invalid_arg ("Catalog." ^ what ^ ": view holds a pinned snapshot")
+
 let create_table ?primary_key t ~name schema =
+  guard_unpinned t "create_table";
   let k = key name in
   if Hashtbl.mem t.base k then raise (Duplicate_table name);
   let table = Table.create ?primary_key ~name schema in
@@ -77,6 +119,7 @@ let create_table ?primary_key t ~name schema =
   table
 
 let drop_table t name =
+  guard_unpinned t "drop_table";
   let k = key name in
   if not (Hashtbl.mem t.base k) then raise (Unknown_table name);
   Hashtbl.remove t.base k;
@@ -84,41 +127,98 @@ let drop_table t name =
   fire_base_event t (Dropped name)
 
 let find_table t name =
-  match Hashtbl.find_opt t.base (key name) with
+  match base_find_opt t (key name) with
   | Some table -> table
   | None -> raise (Unknown_table name)
 
-let find_table_opt t name = Hashtbl.find_opt t.base (key name)
-let mem_table t name = Hashtbl.mem t.base (key name)
+let find_table_opt t name = base_find_opt t (key name)
+let mem_table t name = base_find_opt t (key name) <> None
 
 let table_names t =
-  Hashtbl.fold (fun _ tbl acc -> Table.name tbl :: acc) t.base []
+  (match t.pinned with
+  | Some snap ->
+    Hashtbl.fold (fun _ e acc -> Table.name e.frozen :: acc) snap.snap_tables []
+  | None -> Hashtbl.fold (fun _ tbl acc -> Table.name tbl :: acc) t.base [])
   |> List.sort String.compare
 
-(** Current base-table bindings, for transaction snapshots. *)
+(** Current base-table bindings, for transaction snapshots. Always the
+    live tables: transactions run on the writer path, never pinned. *)
 let base_bindings t = Hashtbl.fold (fun k tbl acc -> (k, tbl) :: acc) t.base []
 
 (** Restore a {!base_bindings} snapshot: tables created since are
     dropped, dropped tables reappear. *)
 let restore_base t bindings =
+  guard_unpinned t "restore_base";
   Hashtbl.reset t.base;
   List.iter (fun (k, tbl) -> Hashtbl.replace t.base k tbl) bindings
 
 (** A cheap fingerprint of base-table mutation state: an FNV-1a fold
     over the sorted (name, version, cardinality) triples. Any DML or
     DDL against any base table changes it; reads never do. Versions are
-    monotonic, so states never repeat within a process lifetime. *)
+    monotonic, so states never repeat within a process lifetime. Under
+    a pinned snapshot it fingerprints the frozen tables, so the value
+    is stable for the whole pin. *)
 let base_digest t =
   let fnv_prime = 0x100000001b3 in
   let mix h v = (h lxor v) * fnv_prime land max_int in
-  Hashtbl.fold (fun k tbl acc -> (k, tbl) :: acc) t.base []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  let bindings =
+    match t.pinned with
+    | Some snap ->
+      Hashtbl.fold (fun k e acc -> (k, e.frozen) :: acc) snap.snap_tables []
+    | None -> Hashtbl.fold (fun k tbl acc -> (k, tbl) :: acc) t.base []
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) bindings
   |> List.fold_left
        (fun h (k, tbl) ->
          let h = mix h (Hashtbl.hash k) in
          let h = mix h (Table.version tbl) in
          mix h (Table.cardinality tbl))
        0x3bf29ce484222325 (* FNV offset basis, truncated to OCaml's int *)
+
+(* ------------------------------------------------------------------ *)
+(* MVCC snapshots (copy-on-write published versions)                   *)
+
+(** Publish the current live base tables as a new immutable snapshot.
+    Must be called with writers serialized (the server's writer lock):
+    it reads the live tables and the previous snapshot, and replaces
+    the shared published pointer atomically. Cost is O(#tables): a
+    table whose live version is unchanged since the previous publish
+    reuses its existing frozen entry (checked by physical identity, so
+    a drop-and-recreate under the same name can never alias), and
+    {!Table.freeze} itself is O(1) because row storage is a persistent
+    list. *)
+let publish t =
+  let prev = Atomic.get t.published in
+  let tables = Hashtbl.create (max 16 (Hashtbl.length t.base)) in
+  Hashtbl.iter
+    (fun k live ->
+      let entry =
+        match Hashtbl.find_opt prev.snap_tables k with
+        | Some e when e.src == live && e.src_version = Table.version live -> e
+        | _ ->
+          { src = live; src_version = Table.version live;
+            frozen = Table.freeze live }
+      in
+      Hashtbl.replace tables k entry)
+    t.base;
+  let snap = { snap_version = prev.snap_version + 1; snap_tables = tables } in
+  Atomic.set t.published snap;
+  snap
+
+(** The latest published snapshot (lock-free). Before the first
+    {!publish} this is an empty version-0 snapshot. *)
+let snapshot t = Atomic.get t.published
+
+let snapshot_version snap = snap.snap_version
+
+(** Pin [snap] on this view: base-table reads resolve against the
+    frozen tables until {!unpin_snapshot}. Pin only on session views
+    executing read-only statements — DDL through a pinned view is
+    refused, and DML would corrupt the shared snapshot. *)
+let pin_snapshot t snap = t.pinned <- Some snap
+
+let unpin_snapshot t = t.pinned <- None
+let pinned_version t = Option.map (fun s -> s.snap_version) t.pinned
 
 (* ------------------------------------------------------------------ *)
 (* Intermediate results (temp lookup table)                            *)

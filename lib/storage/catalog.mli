@@ -51,8 +51,47 @@ val set_base_hook : t -> (base_event -> unit) option -> unit
 (** A cheap fingerprint of base-table mutation state (a fold over the
     sorted (name, version, cardinality) triples). Any committed DML or
     DDL changes it; reads never do. Versions are monotonic, so a state
-    is never repeated within a process lifetime. *)
+    is never repeated within a process lifetime. Under a pinned
+    snapshot it fingerprints the frozen tables. *)
 val base_digest : t -> int
+
+(** {2 MVCC snapshots}
+
+    Copy-on-write published versions of the base tables. Writers
+    mutate the live tables (serialized externally) and {!publish} a
+    new immutable version; readers {!pin_snapshot} the latest
+    {!snapshot} on their session view and run without any lock — the
+    whole statement sees one frozen version regardless of concurrent
+    DML/DDL. Publishing is O(#tables), not O(rows): row storage is a
+    persistent list, so freezing a table is a pointer copy, and tables
+    unchanged since the previous publish reuse their frozen entry. *)
+
+type snapshot
+
+(** Publish the live base tables as a new immutable snapshot and make
+    it the shared latest version. Call only with writers serialized. *)
+val publish : t -> snapshot
+
+(** The latest published snapshot (lock-free read; shared across all
+    {!with_shared_base} views). An empty version-0 snapshot before the
+    first {!publish}. *)
+val snapshot : t -> snapshot
+
+(** Monotonic publish counter; version 0 is the pre-publish empty
+    snapshot. Plan caches key on it: any committed base change
+    publishes a fresh version, so stale reuse is impossible. *)
+val snapshot_version : snapshot -> int
+
+(** Pin a snapshot on this (session) view: base-table reads resolve
+    against the frozen tables until {!unpin_snapshot}; temps are
+    untouched. DDL through a pinned view raises [Invalid_argument].
+    Pin only around read-only statements. *)
+val pin_snapshot : t -> snapshot -> unit
+
+val unpin_snapshot : t -> unit
+
+(** Version of the pinned snapshot, if any. *)
+val pinned_version : t -> int option
 
 (** {2 Intermediate results (temps)} *)
 

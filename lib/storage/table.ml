@@ -160,6 +160,16 @@ let to_relation t =
 (** O(1) snapshot of the row list (rows are immutable once stored). *)
 let snapshot_rows t = t.rows
 
+(** O(1) immutable copy for MVCC catalog snapshots: the row list is a
+    persistent cons list (every mutation replaces the list pointer, it
+    never mutates cells), so the copy shares rows and schema with the
+    live table while keeping its own version/cardinality fields and a
+    private {!to_relation} memo — later mutations of the live table
+    can neither change what the copy scans nor thrash its scan cache.
+    The copy itself must never be mutated (it aliases the live pk
+    index, which only mutation paths touch). *)
+let freeze t = { t with snapshot = Atomic.make (Atomic.get t.snapshot) }
+
 (** Restore a snapshot taken with {!snapshot_rows}, rebuilding the
     primary-key index. *)
 let restore_rows t rows =

@@ -50,6 +50,12 @@ val replace_contents : t -> Relation.t -> unit
     pair with {!restore_rows} for transaction rollback. *)
 val snapshot_rows : t -> Row.t list
 
+(** O(1) immutable copy for MVCC catalog snapshots: shares the
+    persistent row list with the live table but is insulated from its
+    later mutations (own version/cardinality fields and scan-cache
+    memo). The copy must never be mutated. *)
+val freeze : t -> t
+
 (** Restore a {!snapshot_rows} snapshot, rebuilding the primary-key
     index. *)
 val restore_rows : t -> Row.t list -> unit

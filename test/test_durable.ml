@@ -521,7 +521,7 @@ let await_server run ~socket =
            | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s)
            log)
     | _ -> (
-      match Client.connect ~socket_path:socket with
+      match Client.connect ~socket_path:socket () with
       | c -> c
       | exception _ ->
         if Unix.gettimeofday () > deadline then

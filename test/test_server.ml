@@ -171,6 +171,17 @@ let test_read_only_classification () =
       "EXPLAIN SELECT 1";
       "VALUES (1)";
       "SELECT 1; SELECT 2";
+      (* Leading comments must not hide the read-only verb (the lexer
+         already accepts them; the classifier used to misfile these as
+         writes and serialize them). *)
+      "-- a comment\nSELECT 1";
+      "/* block\ncomment */ SELECT 1";
+      "/* c1 */ -- c2\nSELECT 1; /* c3 */ SELECT 2";
+      (* Semicolons and DML keywords inside string literals are data,
+         not statement boundaries. *)
+      "SELECT ';DROP TABLE t;' FROM s";
+      "SELECT 'it''s; fine'";
+      "SELECT \"a;b\" FROM s";
     ];
   List.iter
     (fun sql ->
@@ -180,7 +191,95 @@ let test_read_only_classification () =
       "SELECT 1; DROP TABLE t";
       "CREATE TABLE t (a INT)";
       "garbage";
+      (* A comment prefix on a genuine write must not launder it. *)
+      "/* just reading, promise */ DROP TABLE t";
+      "-- harmless\nDELETE FROM t";
     ]
+
+let test_split_statements () =
+  let check_split label sql expected =
+    Alcotest.(check (list string)) label expected
+      (List.filter
+         (fun s -> String.trim s <> "")
+         (List.map String.trim (Protocol.split_statements sql)))
+  in
+  check_split "plain split" "SELECT 1; SELECT 2" [ "SELECT 1"; "SELECT 2" ];
+  check_split "semicolon in string" "SELECT 'a;b'; SELECT 2"
+    [ "SELECT 'a;b'"; "SELECT 2" ];
+  check_split "doubled-quote escape" "SELECT 'it''s; x'" [ "SELECT 'it''s; x'" ];
+  check_split "quoted identifier" "SELECT \"a;b\" FROM t"
+    [ "SELECT \"a;b\" FROM t" ];
+  check_split "line comment dropped" "-- c; DROP TABLE t\nSELECT 1"
+    [ "SELECT 1" ];
+  check_split "block comment dropped" "/* x; y */ SELECT 1" [ "SELECT 1" ];
+  check_split "comment between statements" "SELECT 1; /* gap */ SELECT 2"
+    [ "SELECT 1"; "SELECT 2" ]
+
+let test_request_id_tags () =
+  let payload = "QUERY\nSELECT 1" in
+  Alcotest.(check (pair (option int) string))
+    "tag roundtrip" (Some 7, payload)
+    (Protocol.strip_id (Protocol.with_id 7 payload));
+  Alcotest.(check (pair (option int) string))
+    "untagged passthrough" (None, payload)
+    (Protocol.strip_id payload);
+  (* A '#' that is not a well-formed tag is payload, not a tag. *)
+  Alcotest.(check (pair (option int) string))
+    "malformed tag is payload" (None, "#abc\nx")
+    (Protocol.strip_id "#abc\nx");
+  match Protocol.with_id (-1) payload with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative id must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Rwlock wakeup order                                                 *)
+
+let test_rwlock_writer_handoff () =
+  (* With a writer holding the lock, a second writer queued and a
+     crowd of readers queued behind it, unlock_write must hand the
+     lock to the queued writer — waking the readers would at best be a
+     thundering herd and at worst let one slip in ahead. *)
+  let module Rwlock = Server.Rwlock in
+  let lock = Rwlock.create () in
+  let order = ref [] in
+  let order_lock = Mutex.create () in
+  let record who =
+    Mutex.lock order_lock;
+    order := who :: !order;
+    Mutex.unlock order_lock
+  in
+  Rwlock.lock_write lock;
+  let writer =
+    Thread.create
+      (fun () ->
+        Rwlock.lock_write lock;
+        record "writer";
+        (* Dawdle so racing readers would be caught red-handed. *)
+        Thread.delay 0.05;
+        Rwlock.unlock_write lock)
+      ()
+  in
+  Thread.delay 0.05 (* let the writer queue up *);
+  let readers =
+    List.init 4 (fun i ->
+        Thread.create
+          (fun () ->
+            Rwlock.lock_read lock;
+            record (Printf.sprintf "reader%d" i);
+            Rwlock.unlock_read lock)
+          ())
+  in
+  Thread.delay 0.05 (* let the readers queue behind the writer *);
+  Rwlock.unlock_write lock;
+  Thread.join writer;
+  List.iter Thread.join readers;
+  match List.rev !order with
+  | "writer" :: rest ->
+    Alcotest.(check int) "all readers ran after the writer" 4
+      (List.length rest)
+  | first :: _ ->
+    Alcotest.fail (Printf.sprintf "%s acquired before the queued writer" first)
+  | [] -> Alcotest.fail "nobody acquired the lock"
 
 let test_admission_unit () =
   let adm = Admission.create ~limit:2 in
@@ -339,14 +438,6 @@ let test_shared_base_ddl_visible () =
                   (Helpers.contains body "42")
               | Error (s, m) -> Alcotest.fail (s ^ " " ^ m))))
 
-(** A query that loops long enough to still be running when we probe /
-    drain: a counting loop with a generous iteration bound. *)
-let slow_sql =
-  "WITH ITERATIVE spin (n) AS (SELECT 0 ITERATE SELECT n + 1 FROM spin UNTIL \
-   2000000 ITERATIONS) SELECT n FROM spin"
-
-let spin_options = { Options.default with Options.max_iterations_guard = 3_000_000 }
-
 (** Poll STATS through [client] until [pred kv] or timeout. *)
 let wait_for_stats client pred =
   let deadline = Unix.gettimeofday () +. 10.0 in
@@ -365,6 +456,241 @@ let inflight_at_least n kv =
   match List.assoc_opt "inflight" kv with
   | Some v -> (match int_of_string_opt v with Some i -> i >= n | None -> false)
   | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* MVCC snapshot isolation                                             *)
+
+let pr_slow_sql = Queries.pr ~iterations:30 ()
+
+let sequential_slow_reference () =
+  let engine = Loader.engine_for (test_graph ()) in
+  Dbspinner_storage.Relation.to_table_string (Engine.query engine pr_slow_sql)
+
+let test_snapshot_isolation_under_ddl () =
+  (* A pinned reader must return a result bit-identical to the
+     sequential pre-DML answer even while a concurrent session drops
+     and recreates the very table it is iterating over. *)
+  let expected = sequential_slow_reference () in
+  let config =
+    {
+      Server.default_config with
+      Server.socket_path = socket_path "mvcc-iso";
+      max_inflight = 8;
+      workers = 2;
+    }
+  in
+  Server.with_server ~config ~catalog:(graph_catalog ()) (fun _srv ->
+      let reader_result = ref (Error ("unset", "never ran")) in
+      let reader =
+        Thread.create
+          (fun () ->
+            reader_result :=
+              Client.with_client ~socket_path:config.Server.socket_path
+                (fun c -> Client.query c pr_slow_sql))
+          ()
+      in
+      Client.with_client ~socket_path:config.Server.socket_path (fun vandal ->
+          Alcotest.(check bool) "reader in flight" true
+            (wait_for_stats vandal (inflight_at_least 1));
+          (* The reader pinned its snapshot at admission; now wreck the
+             live table underneath it. *)
+          match
+            Client.query vandal
+              "DROP TABLE edges; CREATE TABLE edges (src INT, dst INT, \
+               weight FLOAT); INSERT INTO edges VALUES (0, 0, 1.0)"
+          with
+          | Ok _ -> ()
+          | Error (s, m) -> Alcotest.fail (Printf.sprintf "vandal: %s %s" s m));
+      Thread.join reader;
+      (match !reader_result with
+      | Ok body ->
+        Alcotest.(check string) "pinned reader bit-identical to pre-DML run"
+          expected body
+      | Error (s, m) -> Alcotest.fail (Printf.sprintf "reader: %s %s" s m));
+      (* A fresh read pins the *new* snapshot and sees the wreckage —
+         versions move forward, they do not freeze the world. *)
+      Client.with_client ~socket_path:config.Server.socket_path (fun c ->
+          match Client.query c "SELECT COUNT(*) AS n FROM edges" with
+          | Ok body ->
+            Alcotest.(check bool) "later reader sees the new table" true
+              (Helpers.contains body "1")
+          | Error (s, m) -> Alcotest.fail (s ^ " " ^ m)))
+
+let test_read_your_writes () =
+  (* The publish happens before the write's OK, so the same session's
+     immediate next read (a fresh snapshot pin) must see the write. *)
+  let config =
+    { Server.default_config with Server.socket_path = socket_path "ryw" }
+  in
+  Server.with_server ~config (fun _srv ->
+      Client.with_client ~socket_path:config.Server.socket_path (fun c ->
+          (match Client.query c "CREATE TABLE t (a INT)" with
+          | Ok _ -> ()
+          | Error (s, m) -> Alcotest.fail (s ^ " " ^ m));
+          for i = 1 to 20 do
+            (match
+               Client.query c (Printf.sprintf "INSERT INTO t VALUES (%d)" i)
+             with
+            | Ok _ -> ()
+            | Error (s, m) -> Alcotest.fail (s ^ " " ^ m));
+            match Client.query c "SELECT COUNT(*) AS n FROM t" with
+            | Ok body ->
+              Alcotest.(check bool)
+                (Printf.sprintf "write %d visible to its own session" i)
+                true
+                (Helpers.contains body (string_of_int i))
+            | Error (s, m) -> Alcotest.fail (s ^ " " ^ m)
+          done))
+
+(* ------------------------------------------------------------------ *)
+(* Plan cache                                                          *)
+
+let stat_int kv key =
+  match List.assoc_opt key kv with
+  | Some v -> ( match int_of_string_opt v with Some i -> i | None -> -1)
+  | None -> -1
+
+let test_plan_cache_hit_and_staleness () =
+  let config =
+    { Server.default_config with Server.socket_path = socket_path "plan" }
+  in
+  (* The scalar subquery is pre-evaluated at compile time, so its value
+     is baked into the cached plan — reusing a stale plan after the
+     INSERT would resurrect the old count. *)
+  let probe_sql = "SELECT (SELECT COUNT(*) FROM t) AS n" in
+  Server.with_server ~config (fun _srv ->
+      Client.with_client ~socket_path:config.Server.socket_path (fun c1 ->
+          Client.with_client ~socket_path:config.Server.socket_path (fun c2 ->
+              (match
+                 Client.query c1 "CREATE TABLE t (a INT); INSERT INTO t \
+                                  VALUES (1)"
+               with
+              | Ok _ -> ()
+              | Error (s, m) -> Alcotest.fail (s ^ " " ^ m));
+              let expect_n client label n =
+                match Client.query client probe_sql with
+                | Ok body ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s returns %d" label n)
+                    true
+                    (Helpers.contains body (string_of_int n))
+                | Error (s, m) -> Alcotest.fail (s ^ " " ^ m)
+              in
+              expect_n c1 "cold run" 1;
+              let kv = Client.stats c1 in
+              let misses0 = stat_int kv "plan_misses" in
+              Alcotest.(check bool) "cold run was a miss" true (misses0 >= 1);
+              expect_n c1 "warm run" 1;
+              (* The warm run and the cross-session run hit the cache. *)
+              expect_n c2 "other session, same SQL" 1;
+              let kv = Client.stats c1 in
+              Alcotest.(check bool) "warm runs hit" true
+                (stat_int kv "plan_hits" >= 2);
+              Alcotest.(check bool) "no extra misses" true
+                (stat_int kv "plan_misses" = misses0);
+              (* DML bumps the snapshot version: the cached plan (with
+                 the stale prevaluated count) must NOT be reused. *)
+              (match Client.query c1 "INSERT INTO t VALUES (2)" with
+              | Ok _ -> ()
+              | Error (s, m) -> Alcotest.fail (s ^ " " ^ m));
+              expect_n c1 "post-DML run recompiles" 2;
+              expect_n c2 "post-DML other session too" 2)))
+
+let test_plan_cache_opt_out () =
+  let config =
+    { Server.default_config with Server.socket_path = socket_path "plan-off" }
+  in
+  Server.with_server ~config (fun _srv ->
+      Client.with_client ~socket_path:config.Server.socket_path (fun c ->
+          (match Client.set c "plan_cache" "off" with
+          | Ok confirmation ->
+            Alcotest.(check bool) "confirmation echoes state" true
+              (Helpers.contains confirmation "false")
+          | Error m -> Alcotest.fail m);
+          let kv0 = Client.stats c in
+          (match Client.query c "SELECT 1" with
+          | Ok _ -> ()
+          | Error (s, m) -> Alcotest.fail (s ^ " " ^ m));
+          (match Client.query c "SELECT 1" with
+          | Ok _ -> ()
+          | Error (s, m) -> Alcotest.fail (s ^ " " ^ m));
+          let kv = Client.stats c in
+          (* An opted-out session never touches the cache: neither hits
+             nor misses move. *)
+          Alcotest.(check int) "hits unchanged" (stat_int kv0 "plan_hits")
+            (stat_int kv "plan_hits");
+          Alcotest.(check int) "misses unchanged" (stat_int kv0 "plan_misses")
+            (stat_int kv "plan_misses");
+          (* Opting back in works. *)
+          match Client.set c "plan_cache" "on" with
+          | Ok _ -> ()
+          | Error m -> Alcotest.fail m))
+
+(* ------------------------------------------------------------------ *)
+(* Pipelining                                                          *)
+
+let test_pipeline_ordered_responses () =
+  let config =
+    { Server.default_config with Server.socket_path = socket_path "pipeline" }
+  in
+  Server.with_server ~config ~catalog:(graph_catalog ()) (fun _srv ->
+      Client.with_client ~socket_path:config.Server.socket_path (fun c ->
+          (* Distinct per-request payloads prove responses came back in
+             request order with the right tags. *)
+          let sqls =
+            List.init 10 (fun i -> Printf.sprintf "SELECT %d AS tag" (i + 100))
+          in
+          let results = Client.pipeline_queries c sqls in
+          Alcotest.(check int) "one response per request" 10
+            (List.length results);
+          List.iteri
+            (fun i result ->
+              match result with
+              | Ok body ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "response %d carries its own tag" i)
+                  true
+                  (Helpers.contains body (string_of_int (i + 100)))
+              | Error (s, m) ->
+                Alcotest.fail (Printf.sprintf "request %d: %s %s" i s m))
+            results;
+          (* Mixed batches work too, and errors stay position-aligned. *)
+          match
+            Client.pipeline c
+              [
+                Protocol.Query "SELECT 1 AS a";
+                Protocol.Ping;
+                Protocol.Query "SELECT nope FROM nowhere";
+                Protocol.Query "SELECT 2 AS b";
+              ]
+          with
+          | [ Protocol.Ok_result _; Protocol.Pong; Protocol.Err _;
+              Protocol.Ok_result _ ] ->
+            ()
+          | _ -> Alcotest.fail "mixed pipeline lost its shape"))
+
+let test_pipeline_untagged_interop () =
+  (* An old-style untagged client must keep working against the same
+     server (backward compatibility of the wire format). *)
+  let config =
+    { Server.default_config with Server.socket_path = socket_path "untagged" }
+  in
+  Server.with_server ~config (fun _srv ->
+      Client.with_client ~socket_path:config.Server.socket_path (fun c ->
+          (match Client.query c "SELECT 41 + 1 AS n" with
+          | Ok body ->
+            Alcotest.(check bool) "untagged query answered untagged" true
+              (Helpers.contains body "42")
+          | Error (s, m) -> Alcotest.fail (s ^ " " ^ m));
+          Alcotest.(check bool) "ping still works" true (Client.ping c)))
+
+(** A query that loops long enough to still be running when we probe /
+    drain: a counting loop with a generous iteration bound. *)
+let slow_sql =
+  "WITH ITERATIVE spin (n) AS (SELECT 0 ITERATE SELECT n + 1 FROM spin UNTIL \
+   2000000 ITERATIONS) SELECT n FROM spin"
+
+let spin_options = { Options.default with Options.max_iterations_guard = 3_000_000 }
 
 let test_admission_rejects_overload () =
   let config =
@@ -431,7 +757,10 @@ let test_busy_retry_eventually_succeeds () =
                 (fun c -> Client.query c spin_short))
           ()
       in
-      Client.with_client ~socket_path:config.Server.socket_path (fun probe ->
+      (* A fixed seed pins the backoff jitter so the retry cadence is
+         reproducible run-to-run. *)
+      Client.with_client ~seed:7 ~socket_path:config.Server.socket_path
+        (fun probe ->
           Alcotest.(check bool) "spin in flight" true
             (wait_for_stats probe (inflight_at_least 1));
           (* Without retries: immediate BUSY. *)
@@ -527,7 +856,7 @@ let test_drain_aborts_inflight_at_boundary () =
   (* Fully shut down: socket gone, fresh connections refused. *)
   Alcotest.(check bool) "socket file removed" false
     (Sys.file_exists config.Server.socket_path);
-  match Client.connect ~socket_path:config.Server.socket_path with
+  match Client.connect ~socket_path:config.Server.socket_path () with
   | exception Unix.Unix_error _ -> ()
   | c ->
     Client.close c;
@@ -602,9 +931,13 @@ let () =
           Alcotest.test_case "request-roundtrip" `Quick test_request_roundtrip;
           Alcotest.test_case "read-only-classification" `Quick
             test_read_only_classification;
+          Alcotest.test_case "split-statements" `Quick test_split_statements;
+          Alcotest.test_case "request-id-tags" `Quick test_request_id_tags;
         ] );
       ( "admission",
         [
+          Alcotest.test_case "rwlock-writer-handoff" `Quick
+            test_rwlock_writer_handoff;
           Alcotest.test_case "unit" `Quick test_admission_unit;
           Alcotest.test_case "metrics" `Quick test_metrics_render_parse;
           Alcotest.test_case "metrics-percentile-edges" `Quick
@@ -623,6 +956,20 @@ let () =
           Alcotest.test_case "set-options" `Quick test_session_set_and_stats;
           Alcotest.test_case "statement-timeout" `Quick
             test_statement_timeout_guard;
+        ] );
+      ( "mvcc",
+        [
+          Alcotest.test_case "snapshot-isolation-under-ddl" `Quick
+            test_snapshot_isolation_under_ddl;
+          Alcotest.test_case "read-your-writes" `Quick test_read_your_writes;
+          Alcotest.test_case "plan-cache-hit-and-staleness" `Quick
+            test_plan_cache_hit_and_staleness;
+          Alcotest.test_case "plan-cache-opt-out" `Quick
+            test_plan_cache_opt_out;
+          Alcotest.test_case "pipeline-ordered" `Quick
+            test_pipeline_ordered_responses;
+          Alcotest.test_case "pipeline-untagged-interop" `Quick
+            test_pipeline_untagged_interop;
         ] );
       ( "shutdown",
         [
