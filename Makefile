@@ -6,7 +6,7 @@ DUNE ?= dune
 # Fixed seed so the property/fuzz suites are reproducible in CI.
 SMOKE_SEED ?= 42
 
-.PHONY: all build test fmt fmt-check smoke trace-smoke server-smoke mvcc-smoke durable-smoke delta-smoke columnar-smoke bench-fast bench-cache check ci clean
+.PHONY: all build test fmt fmt-check smoke trace-smoke server-smoke mvcc-smoke durable-smoke delta-smoke columnar-smoke rewrite-smoke bench-fast bench-cache check ci clean
 
 all: build
 
@@ -155,6 +155,21 @@ columnar-smoke: build
 	QCHECK_SEED=$(SMOKE_SEED) $(DUNE) exec test/test_columnar.exe
 	$(DUNE) exec bench/main.exe -- ext-columnar --fast --json BENCH_columnar.json
 
+# Rewrite-engine smoke: the rule-combinator suite under a fixed seed
+# (combinator laws, per-pass golden rule logs, engine on/off
+# bit-identity across all five executors, per-loop cost accounting,
+# and the cost-guard decision flip), then an end-to-end pass: the demo
+# script must print byte-identical results with cost-based rewrite
+# arbitration on and off — arbitration may change plans, never
+# answers.
+rewrite-smoke: build
+	QCHECK_SEED=$(SMOKE_SEED) $(DUNE) exec test/test_rules.exe
+	$(DUNE) exec bin/dbspinner_cli.exe -- run examples/demo.sql > rewrite_smoke_on.out
+	$(DUNE) exec bin/dbspinner_cli.exe -- run --no-cost-rewrites examples/demo.sql > rewrite_smoke_off.out
+	cmp rewrite_smoke_on.out rewrite_smoke_off.out
+	@rm -f rewrite_smoke_on.out rewrite_smoke_off.out
+	@echo "rewrite-smoke: cost arbitration on/off outputs identical"
+
 bench-fast: build
 	$(DUNE) exec bench/main.exe -- --fast
 
@@ -163,15 +178,17 @@ bench-fast: build
 bench-cache: build
 	$(DUNE) exec bench/main.exe -- ext-cache --json BENCH_cache.json
 
-check: build test fmt-check smoke trace-smoke server-smoke mvcc-smoke durable-smoke delta-smoke columnar-smoke
+check: build test fmt-check smoke trace-smoke server-smoke mvcc-smoke durable-smoke delta-smoke columnar-smoke rewrite-smoke
 
 # The minimal CI gate: compile, full test suite, formatting, trace
 # smoke (NDJSON + bench-record validation with the fault path traced),
 # the end-to-end server smoke (boot, workload, graceful drain), the
 # durability smoke (crash recovery + chaos harness), the delta smoke
 # (semi-naive on/off equivalence + bench records), and the columnar
-# smoke (row vs vectorized equivalence + bench records).
-ci: build test fmt-check trace-smoke server-smoke mvcc-smoke durable-smoke delta-smoke columnar-smoke
+# smoke (row vs vectorized equivalence + bench records), and the
+# rewrite smoke (rule-engine bit-identity + cost-arbitration on/off
+# output equivalence).
+ci: build test fmt-check trace-smoke server-smoke mvcc-smoke durable-smoke delta-smoke columnar-smoke rewrite-smoke
 
 clean:
 	$(DUNE) clean

@@ -136,6 +136,9 @@ let set_option engine key enabled =
       Some { options with Options.use_exec_cache = enabled }
     | "delta" -> Some { options with Options.use_delta = enabled }
     | "columnar" -> Some { options with Options.use_columnar = enabled }
+    | "rule_engine" -> Some { options with Options.use_rule_engine = enabled }
+    | "cost_rewrites" ->
+      Some { options with Options.cost_based_rewrites = enabled }
     | _ -> None
   in
   match options with
@@ -144,7 +147,8 @@ let set_option engine key enabled =
     Printf.printf "set %s = %b\n" key enabled
   | None ->
     Printf.printf
-      "unknown option %s (rename|common|pushdown|fold|exec_cache|delta|columnar)\n"
+      "unknown option %s \
+       (rename|common|pushdown|fold|exec_cache|delta|columnar|rule_engine|cost_rewrites)\n"
       key
 
 (** Resource-guard and recovery knobs: [\set deadline SECS|off],
@@ -239,8 +243,9 @@ let handle_meta engine sink line =
   | _ ->
     print_endline
       "meta-commands: \\dt  \\load TABLE FILE  \\gen NAME [SCALE]  \\set OPT \
-       on|off (rename|common|pushdown|fold|exec_cache|delta|columnar)  \\set \
-       trace \
+       on|off \
+       (rename|common|pushdown|fold|exec_cache|delta|columnar|rule_engine|cost_rewrites)  \
+       \\set trace \
        on|off  \\set deadline SECS|off  \\set budget ROWS|off  \\set retries \
        N  \\set workers N  \\set chunk ROWS  \\options  \\q";
     `Continue
@@ -249,20 +254,24 @@ let handle_meta engine sink line =
     Domain-pool size for chunk-parallel operators; [--no-exec-cache]
     disables the iteration-aware executor cache; [--no-delta] disables
     semi-naive (delta-driven) iterative evaluation; [--no-columnar]
-    falls back to row-at-a-time operators. *)
-let options_of_workers workers no_cache no_delta no_columnar =
+    falls back to row-at-a-time operators; [--no-cost-rewrites] keeps
+    the §V rewrites always-on instead of cost-arbitrated. *)
+let options_of_workers workers no_cache no_delta no_columnar no_cost_rewrites =
   {
     Options.default with
     Options.parallel_workers = max 1 workers;
     use_exec_cache = not no_cache;
     use_delta = not no_delta;
     use_columnar = not no_columnar;
+    cost_based_rewrites = not no_cost_rewrites;
   }
 
-let repl workers no_cache no_delta no_columnar trace_dest =
+let repl workers no_cache no_delta no_columnar no_cost_rewrites trace_dest =
   let engine =
     Engine.create
-      ~options:(options_of_workers workers no_cache no_delta no_columnar)
+      ~options:
+        (options_of_workers workers no_cache no_delta no_columnar
+           no_cost_rewrites)
       ()
   in
   let sink = ref (Option.map (make_trace_sink engine) trace_dest) in
@@ -293,12 +302,15 @@ let repl workers no_cache no_delta no_columnar trace_dest =
   loop ();
   0
 
-let run_file workers no_cache no_delta no_columnar trace_dest path =
+let run_file workers no_cache no_delta no_columnar no_cost_rewrites trace_dest
+    path =
   match In_channel.with_open_text path In_channel.input_all with
   | sql ->
     let engine =
       Engine.create
-        ~options:(options_of_workers workers no_cache no_delta no_columnar)
+        ~options:
+          (options_of_workers workers no_cache no_delta no_columnar
+             no_cost_rewrites)
         ()
     in
     let sink = Option.map (make_trace_sink engine) trace_dest in
@@ -315,10 +327,12 @@ let run_file workers no_cache no_delta no_columnar trace_dest path =
     Printf.eprintf "%s\n" msg;
     1
 
-let demo workers no_cache no_delta no_columnar trace_dest =
+let demo workers no_cache no_delta no_columnar no_cost_rewrites trace_dest =
   let engine =
     Engine.create
-      ~options:(options_of_workers workers no_cache no_delta no_columnar)
+      ~options:
+        (options_of_workers workers no_cache no_delta no_columnar
+           no_cost_rewrites)
       ()
   in
   let sink = Option.map (make_trace_sink engine) trace_dest in
@@ -574,6 +588,17 @@ let no_columnar_arg =
            probe and aggregate fall back to row-at-a-time evaluation. \
            Results are identical either way; use for perf comparisons.")
 
+let no_cost_rewrites_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cost-rewrites" ]
+        ~doc:
+          "Disable cost-based rewrite selection: the predicate-push and \
+           common-result rewrites stay always-on (the paper's behavior) \
+           instead of being arbitrated by the cost model against catalog \
+           cardinalities. Results are identical either way; use for plan \
+           comparisons.")
+
 let trace_arg =
   Arg.(
     value
@@ -589,21 +614,21 @@ let repl_cmd =
   Cmd.v (Cmd.info "repl" ~doc:"Interactive SQL shell")
     Term.(
       const repl $ workers_arg $ no_cache_arg $ no_delta_arg $ no_columnar_arg
-      $ trace_arg)
+      $ no_cost_rewrites_arg $ trace_arg)
 
 let run_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   Cmd.v (Cmd.info "run" ~doc:"Execute a SQL script")
     Term.(
       const run_file $ workers_arg $ no_cache_arg $ no_delta_arg
-      $ no_columnar_arg $ trace_arg $ file)
+      $ no_columnar_arg $ no_cost_rewrites_arg $ trace_arg $ file)
 
 let demo_cmd =
   Cmd.v
     (Cmd.info "demo" ~doc:"Run the paper's queries on a synthetic graph")
     Term.(
       const demo $ workers_arg $ no_cache_arg $ no_delta_arg $ no_columnar_arg
-      $ trace_arg)
+      $ no_cost_rewrites_arg $ trace_arg)
 
 let client_cmd =
   let socket =
@@ -665,7 +690,7 @@ let main_cmd =
     ~default:
       Term.(
         const repl $ workers_arg $ no_cache_arg $ no_delta_arg
-        $ no_columnar_arg $ trace_arg)
+        $ no_columnar_arg $ no_cost_rewrites_arg $ trace_arg)
     (Cmd.info "dbspinner" ~version:"1.0.0" ~doc)
     [ repl_cmd; run_cmd; demo_cmd; client_cmd; trace_check_cmd ]
 

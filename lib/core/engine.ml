@@ -155,12 +155,27 @@ let prevaluate_expr t (e : Ast.expr) : Ast.expr =
   | Ast.Q_select { items = [ { Ast.expr; _ } ]; _ } -> expr
   | _ -> e
 
+(** Catalog-backed cardinalities for the cost model: base tables by
+    table cardinality, already-materialized temps by relation size.
+    Supplying this to the compiler is what arms cost-based rewrite
+    arbitration ([Options.cost_based_rewrites]). *)
+let statistics_of t : Dbspinner_plan.Cost.statistics =
+  {
+    Dbspinner_plan.Cost.cardinality_of =
+      (fun name ->
+        match Catalog.find_table_opt t.catalog name with
+        | Some tbl -> Some (Table.cardinality tbl)
+        | None ->
+          Option.map Relation.cardinality (Catalog.find_temp_opt t.catalog name));
+  }
+
 let compile_query t (q : Ast.full_query) : Program.t =
   let q =
     Dbspinner_rewrite.View_expansion.expand ~lookup:(view_body t) q
   in
   let q = prevaluate_scalar_subqueries t q in
-  Iterative_rewrite.compile ~options:t.options ~lookup:(lookup t) q
+  Iterative_rewrite.compile ~options:t.options ~statistics:(statistics_of t)
+    ~lookup:(lookup t) q
 
 (** Resource guards for one statement, from the session options plus
     the session interrupt probe. Built per statement so the wall-clock
@@ -527,27 +542,26 @@ let rec exec_statement t (stmt : Ast.statement) : result =
         Dbspinner_rewrite.View_expansion.expand ~lookup:(view_body t) q
       in
       let expanded = prevaluate_scalar_subqueries t expanded in
+      let statistics = statistics_of t in
       let program, report =
-        Iterative_rewrite.compile_with_report ~options:t.options
+        Iterative_rewrite.compile_with_report ~options:t.options ~statistics
           ~lookup:(lookup t) expanded
       in
-      let statistics =
-        {
-          Dbspinner_plan.Cost.cardinality_of =
-            (fun name ->
-              match Catalog.find_table_opt t.catalog name with
-              | Some tbl -> Some (Table.cardinality tbl)
-              | None ->
-                Option.map Relation.cardinality
-                  (Catalog.find_temp_opt t.catalog name));
-        }
-      in
       let estimate = Dbspinner_plan.Cost.program statistics program in
+      let rewrite_log =
+        match
+          Dbspinner_rewrite.Rule.to_lines
+            report.Iterative_rewrite.rewrite_log
+        with
+        | [] -> ""
+        | lines -> "\nRewrite log:\n  " ^ String.concat "\n  " lines
+      in
       let base =
         Explain.program_to_string program
         ^ Format.asprintf "@\n@\nRewrites applied: %s@\nCost estimate: %a"
             (Iterative_rewrite.report_to_string report)
             Dbspinner_plan.Cost.pp_program_estimate estimate
+        ^ rewrite_log
       in
       if not analyze then Explained base
       else begin

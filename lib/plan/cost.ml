@@ -40,6 +40,17 @@ let is_equality_pred = function
   | Bound_expr.B_binop (Ast.Eq, _, _) -> true
   | _ -> false
 
+(** Selectivity of a (possibly compound) predicate: conjuncts multiply,
+    each contributing the equality or default constant — [a = 1 AND
+    b = 2] is 0.1 × 0.1, not a flat 0.33. *)
+let pred_selectivity pred =
+  List.fold_left
+    (fun acc conjunct ->
+      acc
+      *. (if is_equality_pred conjunct then equality_selectivity
+          else default_selectivity))
+    1.0 (Bound_expr.conjuncts pred)
+
 let rec plan (stats : statistics) (p : Logical.t) : estimate =
   match p with
   | Logical.L_scan { name; _ } ->
@@ -52,9 +63,7 @@ let rec plan (stats : statistics) (p : Logical.t) : estimate =
     { rows; cost = rows }
   | Logical.L_filter { pred; input } ->
     let inp = plan stats input in
-    let selectivity =
-      if is_equality_pred pred then equality_selectivity else default_selectivity
-    in
+    let selectivity = pred_selectivity pred in
     {
       rows = Float.max 1.0 (inp.rows *. selectivity);
       cost = inp.cost +. (inp.rows *. w_filter);
@@ -149,17 +158,33 @@ let estimate_iterations ~(cte_rows : float) (t : Program.termination) : float =
   | Program.Delta_at_most _ | Program.Data _ ->
     Float.max 8.0 (4.0 *. (Float.log (cte_rows +. 2.0) /. Float.log 2.0))
 
+type loop_estimate = {
+  body_cost : float;  (** one iteration of this loop's body *)
+  loop_iterations : float;
+}
+
 type program_estimate = {
   setup_cost : float;  (** work outside any loop *)
-  per_iteration_cost : float;
-  iterations : float;
+  per_iteration_cost : float;  (** first loop's body (0 without loops) *)
+  iterations : float;  (** first loop's estimate (1 without loops) *)
+  loops : loop_estimate list;  (** every loop, in program order *)
   total_cost : float;
 }
 
+(** Clamp an estimated row count to a sane [0, max_int] cardinality:
+    NaN and non-positive estimates collapse to 0, overflow saturates —
+    a degenerate estimate must not poison later steps' lookups. *)
+let cardinality_of_rows rows =
+  if Float.is_nan rows || rows <= 0.0 then 0
+  else if rows >= float_of_int max_int then max_int
+  else int_of_float rows
+
 (** Estimate a full step program: steps between [Init_loop] and its
-    [Loop_end] are charged once per estimated iteration. Materialized
-    temp cardinalities are propagated so later steps see earlier
-    estimates. *)
+    [Loop_end] are charged once per that loop's estimated iteration
+    count — each loop keeps its own (body, iterations) pair, so a
+    program with two iterative CTEs costs each region independently.
+    Materialized temp cardinalities are propagated so later steps see
+    earlier estimates. *)
 let program (stats : statistics) (p : Program.t) : program_estimate =
   let temp_rows : (string, int) Hashtbl.t = Hashtbl.create 8 in
   let lookup name =
@@ -170,10 +195,20 @@ let program (stats : statistics) (p : Program.t) : program_estimate =
   let stats = { cardinality_of = lookup } in
   let steps = Program.steps p in
   let setup = ref 0.0 in
-  let body = ref 0.0 in
-  let iterations = ref 1.0 in
-  let in_loop = ref false in
-  let charge c = if !in_loop then body := !body +. c else setup := !setup +. c in
+  let loops = ref [] in  (* closed loops, reversed *)
+  let current = ref None in  (* (body so far, iterations) of the open loop *)
+  let charge c =
+    match !current with
+    | Some (body, iters) -> current := Some (body +. c, iters)
+    | None -> setup := !setup +. c
+  in
+  let close_loop () =
+    match !current with
+    | Some (body, iters) ->
+      loops := { body_cost = body; loop_iterations = iters } :: !loops;
+      current := None
+    | None -> ()
+  in
   Array.iter
     (fun step ->
       match step with
@@ -181,7 +216,7 @@ let program (stats : statistics) (p : Program.t) : program_estimate =
         let est = plan stats pl in
         Hashtbl.replace temp_rows
           (String.lowercase_ascii target)
-          (int_of_float est.rows);
+          (cardinality_of_rows est.rows);
         charge (est.cost +. (est.rows *. w_materialize))
       | Program.Delta_materialize { target; full_plan; _ } ->
         (* Costed as the full plan: the delta restriction is a runtime
@@ -191,7 +226,7 @@ let program (stats : statistics) (p : Program.t) : program_estimate =
         let est = plan stats full_plan in
         Hashtbl.replace temp_rows
           (String.lowercase_ascii target)
-          (int_of_float est.rows);
+          (cardinality_of_rows est.rows);
         charge (est.cost +. (est.rows *. w_materialize))
       | Program.Return pl -> charge (plan stats pl).cost
       | Program.Recursive_cte { base; step_plan; _ } ->
@@ -201,12 +236,12 @@ let program (stats : statistics) (p : Program.t) : program_estimate =
         let s = plan stats step_plan in
         charge (b.cost +. (s.cost *. Float.max 4.0 (Float.log (b.rows +. 2.0))))
       | Program.Init_loop { termination; cte; _ } ->
+        close_loop ();
         let cte_rows =
           float_of_int (Option.value (lookup cte) ~default:1000)
         in
-        iterations := estimate_iterations ~cte_rows termination;
-        in_loop := true
-      | Program.Loop_end _ -> in_loop := false
+        current := Some (0.0, estimate_iterations ~cte_rows termination)
+      | Program.Loop_end _ -> close_loop ()
       | Program.Snapshot _ -> ()
       | Program.Rename _ ->
         (* The O(1) pointer swap: effectively free, the point of §VI-A. *)
@@ -216,14 +251,36 @@ let program (stats : statistics) (p : Program.t) : program_estimate =
         charge
           (float_of_int (Option.value (lookup temp) ~default:1000) *. 0.25))
     steps;
+  close_loop ();
+  let loops = List.rev !loops in
+  let loop_total =
+    List.fold_left
+      (fun acc l -> acc +. (l.body_cost *. l.loop_iterations))
+      0.0 loops
+  in
+  let per_iteration_cost, iterations =
+    match loops with
+    | [] -> (0.0, 1.0)
+    | first :: _ -> (first.body_cost, first.loop_iterations)
+  in
   {
     setup_cost = !setup;
-    per_iteration_cost = !body;
-    iterations = !iterations;
-    total_cost = !setup +. (!body *. !iterations);
+    per_iteration_cost;
+    iterations;
+    loops;
+    total_cost = !setup +. loop_total;
   }
 
 let pp_program_estimate fmt e =
   Format.fprintf fmt
     "setup=%.0f per-iteration=%.0f estimated-iterations=%.1f total=%.0f"
-    e.setup_cost e.per_iteration_cost e.iterations e.total_cost
+    e.setup_cost e.per_iteration_cost e.iterations e.total_cost;
+  match e.loops with
+  | [] | [ _ ] -> ()
+  | loops ->
+    Format.fprintf fmt " loops=[%s]"
+      (String.concat "; "
+         (List.map
+            (fun l ->
+              Printf.sprintf "%.0fx%.1f" l.body_cost l.loop_iterations)
+            loops))

@@ -21,16 +21,32 @@ val plan : statistics -> Logical.t -> estimate
     working-set size. *)
 val estimate_iterations : cte_rows:float -> Program.termination -> float
 
-type program_estimate = {
-  setup_cost : float;  (** work outside any loop *)
-  per_iteration_cost : float;
-  iterations : float;
-  total_cost : float;  (** setup + per-iteration × iterations *)
+(** Selectivity of a (possibly compound) predicate: conjuncts multiply
+    — equality conjuncts contribute the equality constant, everything
+    else the default. *)
+val pred_selectivity : Bound_expr.t -> float
+
+(** Clamp an estimated row count to a sane [0, max_int] cardinality:
+    NaN and non-positive estimates collapse to 0, overflow saturates. *)
+val cardinality_of_rows : float -> int
+
+type loop_estimate = {
+  body_cost : float;  (** one iteration of this loop's body *)
+  loop_iterations : float;
 }
 
-(** Estimate a full step program; loop-body steps are charged per
-    estimated iteration, and materialized temp cardinalities propagate
-    to later steps. *)
+type program_estimate = {
+  setup_cost : float;  (** work outside any loop *)
+  per_iteration_cost : float;  (** first loop's body (0 without loops) *)
+  iterations : float;  (** first loop's estimate (1 without loops) *)
+  loops : loop_estimate list;  (** every loop, in program order *)
+  total_cost : float;  (** setup + Σ body × iterations over all loops *)
+}
+
+(** Estimate a full step program; each loop's body steps are charged
+    per that loop's own estimated iteration count, and materialized
+    temp cardinalities propagate (clamped to [0, max_int]) to later
+    steps. *)
 val program : statistics -> Program.t -> program_estimate
 
 val pp_program_estimate : Format.formatter -> program_estimate -> unit

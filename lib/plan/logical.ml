@@ -193,6 +193,31 @@ let rec rename_scans mapping = function
         sub = rename_scans mapping sub;
       }
 
+(** Rebuild a node with [f] applied to each immediate child plan; the
+    node's own fields (predicates, schemas, conditions) are preserved
+    verbatim. One-layer map — rewrite combinators build full traversals
+    (e.g. bottom-up) on top of it. *)
+let map_children f = function
+  | (L_scan _ | L_values _) as t -> t
+  | L_filter { pred; input } -> L_filter { pred; input = f input }
+  | L_project { exprs; input } -> L_project { exprs; input = f input }
+  | L_join { kind; cond; left; right; join_schema } ->
+    L_join { kind; cond; left = f left; right = f right; join_schema }
+  | L_aggregate { keys; aggs; input; agg_schema } ->
+    L_aggregate { keys; aggs; input = f input; agg_schema }
+  | L_distinct input -> L_distinct (f input)
+  | L_sort { keys; input } -> L_sort { keys; input = f input }
+  | L_limit (n, input) -> L_limit (n, f input)
+  | L_offset (n, input) -> L_offset (n, f input)
+  | L_union { all; left; right } ->
+    L_union { all; left = f left; right = f right }
+  | L_intersect { all; left; right } ->
+    L_intersect { all; left = f left; right = f right }
+  | L_except { all; left; right } ->
+    L_except { all; left = f left; right = f right }
+  | L_subquery_filter { anti; key; input; sub } ->
+    L_subquery_filter { anti; key; input = f input; sub = f sub }
+
 (** Number of operator nodes; a coarse plan-size metric used by tests
     and EXPLAIN. *)
 let rec size = function

@@ -100,5 +100,10 @@ val referenced_tables : t -> string list
 (** Replace scan names per the (case-insensitive) mapping. *)
 val rename_scans : (string * string) list -> t -> t
 
+(** Rebuild a node with the function applied to each immediate child
+    plan; all other fields are preserved verbatim. One-layer map —
+    rewrite combinators build full traversals on top of it. *)
+val map_children : (t -> t) -> t -> t
+
 (** Operator-node count; a coarse plan-size metric. *)
 val size : t -> int

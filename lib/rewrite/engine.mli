@@ -1,0 +1,61 @@
+(** The rewrite engine: the optimizer passes re-expressed as named
+    {!Rule}s over the AST, bound logical plans and emitted program
+    steps. The rules wrap the same pass functions the legacy pipeline
+    calls directly, so engine-on and engine-off compilations are
+    bit-identical by construction. *)
+
+module Ast = Dbspinner_sql.Ast
+module Logical = Dbspinner_plan.Logical
+module Program = Dbspinner_plan.Program
+module Schema = Dbspinner_storage.Schema
+
+(** {2 AST-phase rules (whole [full_query])} *)
+
+val fold_rule : Ast.full_query Rule.t
+val outer_to_inner_rule : Ast.full_query Rule.t
+
+(** Fires once per materialized common CTE (§V-A). *)
+val common_result_rule :
+  lookup:(string -> Schema.t option) -> Ast.full_query Rule.t
+
+(** The standard AST pipeline under the options' switches, in the
+    legacy pass order. [allow_common] is the cost-arbitration
+    override. *)
+val ast_pipeline :
+  options:Options.t ->
+  allow_common:bool ->
+  lookup:(string -> Schema.t option) ->
+  Ast.full_query Rule.t
+
+(** {2 Per-CTE rules} *)
+
+(** Predicate push-into-R0 (§V-B) over the bound non-iterative plan;
+    [schema] is the CTE's schema (for binding the pushed conjunct). *)
+val pushdown_rule :
+  cte_name:string ->
+  columns:string list ->
+  step:Ast.query ->
+  final:Ast.query ->
+  schema:Schema.t ->
+  Logical.t Rule.t
+
+(** Semi-naive eligibility as a pattern-match/construct rule: a
+    working-table [Materialize] whose plan passes [Delta.analyze]
+    becomes a [Delta_materialize]. *)
+val delta_rule :
+  loop_id:int ->
+  cte:string ->
+  key_idx:int ->
+  work_name:string ->
+  Program.step Rule.t
+
+(** {2 Step-plan phase} *)
+
+(** Rewrite every logical plan inside one step. *)
+val map_step_plans : (Logical.t -> Logical.t) -> Program.step -> Program.step
+
+(** Generic plan-level filter push down over one step's plans. *)
+val step_pushdown_rule : Program.step Rule.t
+
+(** Every rule name the engine can fire, in pipeline order. *)
+val rule_names : string list

@@ -28,6 +28,7 @@ module Binder = Dbspinner_plan.Binder
 module Logical = Dbspinner_plan.Logical
 module Program = Dbspinner_plan.Program
 module Bound_expr = Dbspinner_plan.Bound_expr
+module Cost = Dbspinner_plan.Cost
 
 exception Rewrite_error of string
 
@@ -43,6 +44,9 @@ type report = {
   mutable delta_paths : int;
       (** loops whose working table is built semi-naively (delta-driven
           restricted re-evaluation instead of a full [Ri] pass) *)
+  rewrite_log : Rule.log;
+      (** per-rule firing log from the rule engine, including cost-guard
+          decisions; empty when [Options.use_rule_engine] is off *)
 }
 
 let empty_report () =
@@ -52,6 +56,7 @@ let empty_report () =
     rename_paths = 0;
     merge_paths = 0;
     delta_paths = 0;
+    rewrite_log = Rule.create_log ();
   }
 
 let report_to_string r =
@@ -92,6 +97,9 @@ let merge_plan ~schema ~key_idx ~cte_name ~work_name =
 
 type ctx = {
   options : Options.t;
+  allow_push : bool;
+      (** cost-arbitration override for the §V-B push into R0; [false]
+          means the push is suppressed even though [use_pushdown] is on *)
   report : report;
   mutable env : Binder.env;
   mutable steps : Program.step list;  (** reversed *)
@@ -189,9 +197,17 @@ let compile_iterative ctx ~name ~columns ~key ~base ~step ~until
   let schema = Logical.schema base_plan in
   let column_names = Schema.column_names schema in
   (* Predicate push down (§V-B): filter R0 with the sound part of the
-     final query's WHERE clause. *)
+     final query's WHERE clause. The rule-engine path and the legacy
+     path call the same [Pushdown.pushable_predicate]; the engine path
+     additionally logs the firing (counters are derived from the log
+     after compilation). *)
   let base_plan =
-    if not options.Options.use_pushdown then base_plan
+    if not (options.Options.use_pushdown && ctx.allow_push) then base_plan
+    else if options.Options.use_rule_engine then
+      Rule.run
+        (Engine.pushdown_rule ~cte_name:name ~columns:column_names ~step
+           ~final ~schema)
+        ctx.report.rewrite_log base_plan
     else
       match
         Pushdown.pushable_predicate ~cte_name:name ~columns:column_names ~step
@@ -241,29 +257,41 @@ let compile_iterative ctx ~name ~columns ~key ~base ~step ~until
        });
   let body_start = position ctx in
   emit ctx (Program.Snapshot { loop_id });
-  (let delta_analysis =
-     if not options.Options.use_delta then None
-     else
+  (* Semi-naive eligibility: with the rule engine the working-table
+     Materialize is pattern-matched and reconstructed as a
+     Delta_materialize by the registered rule; the legacy path calls
+     the analyzer directly. Same [Delta.analyze], same step. *)
+  (let work_materialize =
+     Program.Materialize { target = work_name; plan = step_plan }
+   in
+   if not options.Options.use_delta then emit ctx work_materialize
+   else if options.Options.use_rule_engine then
+     emit ctx
+       (Rule.run
+          (Engine.delta_rule ~loop_id ~cte:name ~key_idx ~work_name)
+          ctx.report.rewrite_log work_materialize)
+   else
+     let delta_analysis =
        Delta.analyze ~cte:name ~key_idx ~delta_name:(name ^ "#delta")
          ~affected_name:(name ^ "#affected") step_plan
-   in
-   match delta_analysis with
-   | Some { Delta.restricted_plan; affected_plans } ->
-     ctx.report.delta_paths <- ctx.report.delta_paths + 1;
-     emit ctx
-       (Program.Delta_materialize
-          {
-            loop_id;
-            target = work_name;
-            cte = name;
-            key_idx;
-            full_plan = step_plan;
-            restricted_plan;
-            affected_plans;
-            delta_name = name ^ "#delta";
-            affected_name = name ^ "#affected";
-          })
-   | None -> emit ctx (Program.Materialize { target = work_name; plan = step_plan }));
+     in
+     match delta_analysis with
+     | Some { Delta.restricted_plan; affected_plans } ->
+       ctx.report.delta_paths <- ctx.report.delta_paths + 1;
+       emit ctx
+         (Program.Delta_materialize
+            {
+              loop_id;
+              target = work_name;
+              cte = name;
+              key_idx;
+              full_plan = step_plan;
+              restricted_plan;
+              affected_plans;
+              delta_name = name ^ "#delta";
+              affected_name = name ^ "#affected";
+            })
+     | None -> emit ctx work_materialize);
   emit ctx (Program.Assert_unique_key { temp = work_name; key_idx });
   let full_update = updates_entire_dataset ~cte_name:name step in
   if full_update && options.Options.use_rename then begin
@@ -295,59 +323,52 @@ let compile_iterative ctx ~name ~columns ~key ~base ~step ~until
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 
-(** Compile a full query into a single executable step program.
-    [lookup] resolves base-table schemas. *)
-let optimize_step_plans options (steps : Program.step list) : Program.step list =
+(** Sink filters through every emitted plan. Under the rule engine
+    this is the per-step [plan-filter-pushdown] rule (logging each
+    step it moved a filter in); the legacy path maps the same
+    [Plan_pushdown.push_filters] unconditionally. *)
+let optimize_step_plans options log (steps : Program.step list) :
+    Program.step list =
   if not options.Options.use_pushdown then steps
-  else
-    List.map
-      (fun step ->
-        match step with
-        | Program.Materialize { target; plan } ->
-          Program.Materialize { target; plan = Plan_pushdown.push_filters plan }
-        | Program.Delta_materialize d ->
-          (* The affected plans are filter-free by construction; push
-             into the two Ri variants only. *)
-          Program.Delta_materialize
-            {
-              d with
-              full_plan = Plan_pushdown.push_filters d.full_plan;
-              restricted_plan = Plan_pushdown.push_filters d.restricted_plan;
-            }
-        | Program.Return plan -> Program.Return (Plan_pushdown.push_filters plan)
-        | Program.Recursive_cte r ->
-          Program.Recursive_cte
-            {
-              r with
-              base = Plan_pushdown.push_filters r.base;
-              step_plan = Plan_pushdown.push_filters r.step_plan;
-            }
-        | Program.Rename _ | Program.Drop_temp _ | Program.Assert_unique_key _
-        | Program.Init_loop _ | Program.Loop_end _ | Program.Snapshot _ ->
-          step)
-      steps
+  else if options.Options.use_rule_engine then
+    List.map (Rule.run Engine.step_pushdown_rule log) steps
+  else List.map (Engine.map_step_plans Plan_pushdown.push_filters) steps
 
-let compile_with_report ?(options = Options.default) ~lookup
+(** One full compilation under explicit cost-arbitration overrides
+    ([allow_push], [allow_common]); the cost-based selection below
+    recompiles with a rewrite disabled to price the alternative. *)
+let compile_once ~options ~allow_push ~allow_common ~lookup
     (q : Ast.full_query) : Program.t * report =
   let report = empty_report () in
   let q =
-    if options.Options.use_constant_folding then Fold.fold_full_query q else q
+    if options.Options.use_rule_engine then
+      Rule.run
+        (Engine.ast_pipeline ~options ~allow_common ~lookup)
+        report.rewrite_log q
+    else begin
+      let q =
+        if options.Options.use_constant_folding then Fold.fold_full_query q
+        else q
+      in
+      let q =
+        if options.Options.use_outer_to_inner then
+          Outer_to_inner.simplify_full_query q
+        else q
+      in
+      let ctes_before = List.length q.ctes in
+      let q =
+        if options.Options.use_common_result && allow_common then
+          Common_result.rewrite_full_query ~lookup q
+        else q
+      in
+      report.common_results_extracted <- List.length q.ctes - ctes_before;
+      q
+    end
   in
-  let q =
-    if options.Options.use_outer_to_inner then
-      Outer_to_inner.simplify_full_query q
-    else q
-  in
-  let ctes_before = List.length q.ctes in
-  let q =
-    if options.Options.use_common_result then
-      Common_result.rewrite_full_query ~lookup q
-    else q
-  in
-  report.common_results_extracted <- List.length q.ctes - ctes_before;
   let ctx =
     {
       options;
+      allow_push;
       report;
       env = Binder.env_of_lookup lookup;
       steps = [];
@@ -368,8 +389,88 @@ let compile_with_report ?(options = Options.default) ~lookup
     Binder.bind_ordered ~offset:q.offset ctx.env q.body q.order_by q.limit
   in
   emit ctx (Program.Return result_plan);
-  let steps = optimize_step_plans options (List.rev ctx.steps) in
+  let steps = optimize_step_plans options report.rewrite_log (List.rev ctx.steps) in
+  (* Engine path: the firing counters fall out of the rule log. *)
+  if options.Options.use_rule_engine then begin
+    report.common_results_extracted <-
+      Rule.fired_count report.rewrite_log "common-result";
+    report.predicates_pushed <-
+      Rule.fired_count report.rewrite_log "predicate-pushdown";
+    report.delta_paths <- Rule.fired_count report.rewrite_log "semi-naive-delta"
+  end;
   (Program.make steps ~result_schema:(Logical.schema result_plan), ctx.report)
 
-let compile ?options ~lookup (q : Ast.full_query) : Program.t =
-  fst (compile_with_report ?options ~lookup q)
+(* ------------------------------------------------------------------ *)
+(* Cost-based rewrite selection                                        *)
+
+(** A compile candidate during arbitration: the overrides it was built
+    with plus the result. *)
+type candidate = {
+  c_allow_push : bool;
+  c_allow_common : bool;
+  c_program : Program.t;
+  c_report : report;
+}
+
+(** Choose between the §V-B predicate push and the §V-A common-result
+    hoist by estimated cost: starting from the everything-on candidate,
+    a cost-guarded rule per rewrite recompiles with that rewrite
+    disabled and keeps the drop only when {!Cost.program} prices it
+    strictly cheaper (e.g. a hoist is pure overhead when the loop is
+    expected to run once). Guard decisions land in the winning
+    candidate's rewrite log. *)
+let arbitrate ~options ~lookup ~statistics q (first : candidate) :
+    Program.t * report =
+  let cost c = (Cost.program statistics c.c_program).total_cost in
+  let recompile ~allow_push ~allow_common =
+    let program, report =
+      compile_once ~options ~allow_push ~allow_common ~lookup q
+    in
+    {
+      c_allow_push = allow_push;
+      c_allow_common = allow_common;
+      c_program = program;
+      c_report = report;
+    }
+  in
+  let drop_push =
+    Rule.make ~name:"cost:no-predicate-pushdown" (fun c ->
+        if not (c.c_allow_push && c.c_report.predicates_pushed > 0) then None
+        else
+          Some (recompile ~allow_push:false ~allow_common:c.c_allow_common))
+  in
+  let drop_common =
+    Rule.make ~name:"cost:no-common-result" (fun c ->
+        if not (c.c_allow_common && c.c_report.common_results_extracted > 0)
+        then None
+        else Some (recompile ~allow_push:c.c_allow_push ~allow_common:false))
+  in
+  let pipeline =
+    Rule.(cost_guard ~cost drop_push >>> cost_guard ~cost drop_common)
+  in
+  let decisions = Rule.create_log () in
+  let winner = Rule.run pipeline decisions first in
+  Rule.merge ~into:winner.c_report.rewrite_log decisions;
+  (winner.c_program, winner.c_report)
+
+let compile_with_report ?(options = Options.default) ?statistics ~lookup
+    (q : Ast.full_query) : Program.t * report =
+  let program, report =
+    compile_once ~options ~allow_push:true ~allow_common:true ~lookup q
+  in
+  match statistics with
+  | Some statistics
+    when options.Options.cost_based_rewrites
+         && (report.predicates_pushed > 0
+            || report.common_results_extracted > 0) ->
+    arbitrate ~options ~lookup ~statistics q
+      {
+        c_allow_push = true;
+        c_allow_common = true;
+        c_program = program;
+        c_report = report;
+      }
+  | _ -> (program, report)
+
+let compile ?options ?statistics ~lookup (q : Ast.full_query) : Program.t =
+  fst (compile_with_report ?options ?statistics ~lookup q)

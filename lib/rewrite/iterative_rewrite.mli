@@ -14,32 +14,40 @@ module Program = Dbspinner_plan.Program
 exception Rewrite_error of string
 
 (** [compile ~options ~lookup q] — [lookup] resolves base-table
-    schemas.
+    schemas. [statistics] supplies base-table cardinalities; when given
+    (and [Options.cost_based_rewrites] is on) the predicate-push vs
+    common-result-hoist decision is arbitrated by
+    {!Dbspinner_plan.Cost.program} instead of staying always-on.
     @raise Rewrite_error on invalid iterative CTEs (arity mismatch
     between the parts, unknown KEY column, non-positive counts)
     @raise Dbspinner_plan.Binder.Bind_error on name-resolution
     failures. *)
 val compile :
   ?options:Options.t ->
+  ?statistics:Dbspinner_plan.Cost.statistics ->
   lookup:(string -> Schema.t option) ->
   Ast.full_query ->
   Program.t
 
 (** What the optimizer did: counts of extracted common results, pushed
-    predicates, rename vs merge loop paths, and loops compiled for
-    semi-naive (delta-driven) evaluation. *)
+    predicates, rename vs merge loop paths, loops compiled for
+    semi-naive (delta-driven) evaluation, and the per-rule firing log
+    (populated when [Options.use_rule_engine] is on, including
+    cost-guard decisions). *)
 type report = {
   mutable common_results_extracted : int;
   mutable predicates_pushed : int;
   mutable rename_paths : int;
   mutable merge_paths : int;
   mutable delta_paths : int;
+  rewrite_log : Rule.log;
 }
 
 val report_to_string : report -> string
 
 val compile_with_report :
   ?options:Options.t ->
+  ?statistics:Dbspinner_plan.Cost.statistics ->
   lookup:(string -> Schema.t option) ->
   Ast.full_query ->
   Program.t * report

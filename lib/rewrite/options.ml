@@ -63,6 +63,18 @@ type t = {
           Results and logical stats are bit-identical with the row
           engine. An executor concern, not a paper rewrite, so
           [unoptimized] keeps it on. *)
+  use_rule_engine : bool;
+      (** route the optimizer passes through the rule-combinator
+          engine ({!Rule}/{!Engine}) with per-rule logging, instead of
+          the legacy direct-call pipeline. Compiled programs are
+          bit-identical either way — the toggle is an equivalence
+          oracle, so [unoptimized] keeps it on. *)
+  cost_based_rewrites : bool;
+      (** arbitrate the predicate-push-into-loop vs common-result-hoist
+          decision by estimated cost ({!Dbspinner_plan.Cost.program}
+          before/after each candidate rewrite) whenever the compiler is
+          given a statistics source; off = the rewrites stay always-on
+          as in the paper. *)
 }
 
 let default =
@@ -84,6 +96,8 @@ let default =
     trace_buffer = 8192;
     use_delta = true;
     use_columnar = true;
+    use_rule_engine = true;
+    cost_based_rewrites = true;
   }
 
 (** All paper optimizations off: the naive rewrite the paper's
@@ -128,7 +142,9 @@ let to_string t =
   let cache = if t.use_exec_cache then "" else " exec_cache=off" in
   let delta = if t.use_delta then "" else " delta=off" in
   let columnar = if t.use_columnar then "" else " columnar=off" in
+  let rule_engine = if t.use_rule_engine then "" else " rule_engine=off" in
+  let cost = if t.cost_based_rewrites then "" else " cost_rewrites=off" in
   Printf.sprintf
-    "rename=%b common_result=%b pushdown=%b fold=%b outer_to_inner=%b%s%s%s%s%s"
+    "rename=%b common_result=%b pushdown=%b fold=%b outer_to_inner=%b%s%s%s%s%s%s%s"
     t.use_rename t.use_common_result t.use_pushdown t.use_constant_folding
-    t.use_outer_to_inner guards parallel cache delta columnar
+    t.use_outer_to_inner guards parallel cache delta columnar rule_engine cost

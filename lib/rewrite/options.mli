@@ -54,6 +54,13 @@ type t = {
           aggregate; bit-identical results and logical stats vs the
           row engine. An executor concern, so [unoptimized] keeps it
           on *)
+  use_rule_engine : bool;
+      (** route optimizer passes through the rule-combinator engine
+          with per-rule logging; compiled programs are bit-identical
+          either way, so [unoptimized] keeps it on *)
+  cost_based_rewrites : bool;
+      (** arbitrate predicate-push vs common-result-hoist by estimated
+          cost when a statistics source is available *)
 }
 
 (** Everything on. *)

@@ -1,0 +1,215 @@
+(** Named rewrite rules with combinators and a per-rule log.
+
+    A rule is a partial transformation over any plan representation
+    ([Ast.full_query], {!Dbspinner_plan.Logical.t},
+    {!Dbspinner_plan.Program} steps, or whole compile candidates):
+    [apply] returns [Some y] when the rule matched and constructed a
+    replacement, [None] when it declined. Every application records
+    into a {!log}, which the compiler surfaces through
+    [Iterative_rewrite.report] and the EXPLAIN header.
+
+    Combinators compose rules in the DSH Rewrite/Match style: [>>>]
+    sequences, [alt] takes the first match, [fixpoint] iterates to
+    exhaustion, [bottom_up] lifts a node-local rule to a full traversal
+    (given a one-layer child map such as
+    {!Dbspinner_plan.Logical.map_children}), and [cost_guard] keeps a
+    rewrite only when an estimate says it pays. *)
+
+(* ------------------------------------------------------------------ *)
+(* Per-rule log                                                        *)
+
+type entry = {
+  rule : string;
+  mutable fired : int;  (** times the rule matched and was kept *)
+  mutable notes : string list;  (** reversed detail lines *)
+}
+
+type log = { mutable entries : entry list  (** reversed first-use order *) }
+
+let create_log () = { entries = [] }
+
+let entry_for log rule =
+  match List.find_opt (fun e -> e.rule = rule) log.entries with
+  | Some e -> e
+  | None ->
+    let e = { rule; fired = 0; notes = [] } in
+    log.entries <- e :: log.entries;
+    e
+
+let record ?detail log rule =
+  let e = entry_for log rule in
+  e.fired <- e.fired + 1;
+  match detail with
+  | None -> ()
+  | Some d -> e.notes <- d :: e.notes
+
+(** Attach a detail line without counting a firing (e.g. a guard's
+    rejection, with the costs that justified it). *)
+let note log rule fmt =
+  Printf.ksprintf
+    (fun d ->
+      let e = entry_for log rule in
+      e.notes <- d :: e.notes)
+    fmt
+
+let entries log = List.rev log.entries
+let fired_count log rule = (entry_for log rule).fired
+let total_fired log = List.fold_left (fun n e -> n + e.fired) 0 log.entries
+
+(** Copy every entry of [src] into [into] (appended in [src]'s
+    first-use order), merging counts and notes for same-named rules. *)
+let merge ~into src =
+  List.iter
+    (fun e ->
+      let dst = entry_for into e.rule in
+      dst.fired <- dst.fired + e.fired;
+      dst.notes <- e.notes @ dst.notes)
+    (entries src)
+
+(** One line per rule in first-use order — ["rule <name>: fired <n>"]
+    followed by its detail lines indented two spaces. Rules that never
+    fired and carry no notes are omitted. *)
+let to_lines log =
+  List.concat_map
+    (fun e ->
+      if e.fired = 0 && e.notes = [] then []
+      else
+        Printf.sprintf "rule %s: fired %d" e.rule e.fired
+        :: List.rev_map (fun n -> "  " ^ n) e.notes)
+    (entries log)
+
+(* ------------------------------------------------------------------ *)
+(* Rules                                                               *)
+
+type 'a t = {
+  name : string;
+  apply : log -> 'a -> 'a option;
+}
+
+let name r = r.name
+
+(** [make ~name f] — a rule from a partial function; a [Some] result
+    counts one firing (with [detail] of the match when given). *)
+let make ?detail ~name f =
+  {
+    name;
+    apply =
+      (fun log x ->
+        match f x with
+        | None -> None
+        | Some y ->
+          record ?detail:(Option.map (fun d -> d x y) detail) log name;
+          Some y);
+  }
+
+(** A rule whose body logs for itself (per-match details, partial
+    progress); the body is responsible for calling {!record}. *)
+let make_logged ~name apply = { name; apply }
+
+let apply r log x = r.apply log x
+
+(** Total application: the input unchanged when the rule declines. *)
+let run r log x = Option.value (r.apply log x) ~default:x
+
+(* --- combinators --------------------------------------------------- *)
+
+(** [seq a b] — run [a] then [b] on the intermediate result; matches
+    when either matched. *)
+let seq a b =
+  {
+    name = Printf.sprintf "%s >>> %s" a.name b.name;
+    apply =
+      (fun log x ->
+        match a.apply log x with
+        | None -> b.apply log x
+        | Some y -> Some (run b log y));
+  }
+
+let ( >>> ) = seq
+
+(** First rule that matches wins; later rules are not tried. *)
+let alt a b =
+  {
+    name = Printf.sprintf "%s | %s" a.name b.name;
+    apply =
+      (fun log x ->
+        match a.apply log x with
+        | Some _ as r -> r
+        | None -> b.apply log x);
+  }
+
+(** Sequence a whole pipeline; the identity rule when empty. *)
+let all = function
+  | [] -> { name = "id"; apply = (fun _ _ -> None) }
+  | r :: rest -> List.fold_left seq r rest
+
+(** Repeat until the rule declines (or [max_passes], a safety bound
+    against non-terminating rule sets, is hit); matches when the first
+    pass matched. *)
+let fixpoint ?(max_passes = 8) r =
+  {
+    name = Printf.sprintf "fixpoint(%s)" r.name;
+    apply =
+      (fun log x ->
+        let rec go passes x =
+          if passes >= max_passes then x
+          else
+            match r.apply log x with
+            | None -> x
+            | Some y -> go (passes + 1) y
+        in
+        match r.apply log x with
+        | None -> None
+        | Some y -> Some (go 1 y));
+  }
+
+(** Lift a node-local rule to a full bottom-up traversal:
+    [map_children] maps a function over a node's immediate children
+    (e.g. {!Dbspinner_plan.Logical.map_children}); children rewrite
+    first, then the rule tries the rebuilt node. Matches when any node
+    matched. *)
+let bottom_up ~map_children r =
+  {
+    name = Printf.sprintf "bottom-up(%s)" r.name;
+    apply =
+      (fun log x ->
+        let changed = ref false in
+        let rec go x =
+          let x = map_children go x in
+          match r.apply log x with
+          | None -> x
+          | Some y ->
+            changed := true;
+            y
+        in
+        let y = go x in
+        if !changed then Some y else None);
+  }
+
+(** Keep the underlying rule's rewrite only when [cost] says it is
+    strictly cheaper; otherwise decline (reverting to the input) and
+    log why. Both outcomes leave a note with the two estimates, so
+    EXPLAIN shows every cost decision. *)
+let cost_guard ~cost r =
+  {
+    name = r.name;
+    apply =
+      (fun log x ->
+        (* Trial run on a scratch log: a reverted rewrite must not
+           leave its firing in the surfaced log. *)
+        let scratch = create_log () in
+        match r.apply scratch x with
+        | None -> None
+        | Some y ->
+          let before = cost x and after = cost y in
+          if after < before then begin
+            merge ~into:log scratch;
+            note log r.name "kept by cost guard (%.0f -> %.0f)" before after;
+            Some y
+          end
+          else begin
+            note log r.name
+              "rejected by cost guard (%.0f, would be %.0f)" before after;
+            None
+          end);
+  }

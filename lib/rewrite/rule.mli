@@ -1,0 +1,78 @@
+(** Named rewrite rules with combinators and a per-rule log (the DSH
+    Rewrite/Match style). A rule is a partial transformation: [Some]
+    when it matched and constructed a replacement, [None] when it
+    declined. Applications record into a {!log} that the compiler
+    surfaces through [Iterative_rewrite.report] and EXPLAIN. *)
+
+(** {2 Per-rule log} *)
+
+type entry = {
+  rule : string;
+  mutable fired : int;  (** times the rule matched and was kept *)
+  mutable notes : string list;  (** reversed detail lines *)
+}
+
+type log
+
+val create_log : unit -> log
+
+(** Count one firing of the named rule, with an optional detail line. *)
+val record : ?detail:string -> log -> string -> unit
+
+(** Attach a detail line without counting a firing. *)
+val note : log -> string -> ('a, unit, string, unit) format4 -> 'a
+
+(** Entries in first-use order. *)
+val entries : log -> entry list
+
+val fired_count : log -> string -> int
+val total_fired : log -> int
+
+(** Merge [src]'s counts and notes into [into]. *)
+val merge : into:log -> log -> unit
+
+(** Render: one ["rule <name>: fired <n>"] line per rule plus indented
+    detail lines; silent rules are omitted. *)
+val to_lines : log -> string list
+
+(** {2 Rules} *)
+
+type 'a t
+
+val name : 'a t -> string
+
+(** A rule from a partial function; a [Some] result counts one firing.
+    [detail] renders a per-match note from the (input, output) pair. *)
+val make : ?detail:('a -> 'a -> string) -> name:string -> ('a -> 'a option) -> 'a t
+
+(** A rule whose body does its own logging via {!record}/{!note}. *)
+val make_logged : name:string -> (log -> 'a -> 'a option) -> 'a t
+
+val apply : 'a t -> log -> 'a -> 'a option
+
+(** Total application: input unchanged when the rule declines. *)
+val run : 'a t -> log -> 'a -> 'a
+
+(** {2 Combinators} *)
+
+(** Run both in order; matches when either matched. *)
+val seq : 'a t -> 'a t -> 'a t
+
+val ( >>> ) : 'a t -> 'a t -> 'a t
+
+(** First match wins. *)
+val alt : 'a t -> 'a t -> 'a t
+
+(** Sequence a pipeline; the identity rule when empty. *)
+val all : 'a t list -> 'a t
+
+(** Repeat until the rule declines, bounded by [max_passes]. *)
+val fixpoint : ?max_passes:int -> 'a t -> 'a t
+
+(** Lift a node-local rule to a bottom-up traversal, given a one-layer
+    child map such as {!Dbspinner_plan.Logical.map_children}. *)
+val bottom_up : map_children:(('a -> 'a) -> 'a -> 'a) -> 'a t -> 'a t
+
+(** Keep the rewrite only when [cost] says it is strictly cheaper;
+    both outcomes leave a note with the two estimates. *)
+val cost_guard : cost:('a -> float) -> 'a t -> 'a t

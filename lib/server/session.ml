@@ -82,6 +82,9 @@ let set_bool_option options key enabled =
     Some { options with Options.use_exec_cache = enabled }
   | "delta" -> Some { options with Options.use_delta = enabled }
   | "columnar" -> Some { options with Options.use_columnar = enabled }
+  | "rule_engine" -> Some { options with Options.use_rule_engine = enabled }
+  | "cost_rewrites" ->
+    Some { options with Options.cost_based_rewrites = enabled }
   | _ -> None
 
 let parse_bool = function
@@ -180,7 +183,7 @@ let set t key value : (string, string) result =
         Error
           (Printf.sprintf
              "unknown option %s \
-              (rename|common|pushdown|fold|cache|delta|columnar|deadline|statement_timeout|budget|workers|max_iterations|trace|plan_cache)"
+              (rename|common|pushdown|fold|cache|delta|columnar|rule_engine|cost_rewrites|deadline|statement_timeout|budget|workers|max_iterations|trace|plan_cache)"
              key))
     | None -> Error (Printf.sprintf "SET %s expects on|off" key))
 
